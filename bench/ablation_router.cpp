@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation bench for the router design choices DESIGN.md calls out:
+ * virtual-channel count, buffer depth, and the escape/adaptive VC
+ * split under Duato's protocol. Not a paper figure — this quantifies
+ * the sensitivity of the reproduction to its microarchitectural knobs.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+
+using namespace lapses;
+
+namespace
+{
+
+SimStats
+runPoint(SimConfig cfg)
+{
+    Simulation sim(cfg);
+    return sim.run();
+}
+
+SimConfig
+base(BenchMode mode)
+{
+    SimConfig cfg;
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.selector = SelectorKind::StaticXY;
+    applyBenchMode(cfg, mode);
+    if (mode != BenchMode::Paper) {
+        // Ablations need less statistical depth than the figures.
+        cfg.measureMessages = std::min<std::uint64_t>(
+            cfg.measureMessages, 8000);
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchMode mode = benchModeFromEnv();
+    std::printf("=== Router design ablations (16x16 mesh, mode: %s) "
+                "===\n\n",
+                benchModeName(mode).c_str());
+
+    // 1. VC count at fixed buffer budget per port (paper assumes 4).
+    std::printf("--- VCs per physical channel (uniform 0.5 / "
+                "transpose 0.25, 20-flit buffers) ---\n");
+    std::printf("%-6s %12s %12s\n", "VCs", "uniform", "transpose");
+    for (int vcs : {2, 3, 4, 6, 8}) {
+        SimConfig cfg = base(mode);
+        cfg.vcsPerPort = vcs;
+        cfg.traffic = TrafficKind::Uniform;
+        cfg.normalizedLoad = 0.5;
+        std::fprintf(stderr, "[ablation] vcs=%d uniform...\n", vcs);
+        const SimStats u = runPoint(cfg);
+        cfg.traffic = TrafficKind::Transpose;
+        cfg.normalizedLoad = 0.25;
+        std::fprintf(stderr, "[ablation] vcs=%d transpose...\n", vcs);
+        const SimStats t = runPoint(cfg);
+        std::printf("%-6d %12s %12s\n", vcs, latencyCell(u).c_str(),
+                    latencyCell(t).c_str());
+    }
+
+    // 2. Buffer depth (Table 2 uses 20 flits).
+    std::printf("\n--- In/out buffer depth in flits (uniform 0.5) "
+                "---\n");
+    std::printf("%-8s %12s\n", "Depth", "latency");
+    for (int depth : {5, 10, 20, 40}) {
+        SimConfig cfg = base(mode);
+        cfg.bufferDepth = depth;
+        cfg.traffic = TrafficKind::Uniform;
+        cfg.normalizedLoad = 0.5;
+        std::fprintf(stderr, "[ablation] depth=%d...\n", depth);
+        std::printf("%-8d %12s\n", depth,
+                    latencyCell(runPoint(cfg)).c_str());
+    }
+
+    // 3. Escape/adaptive split of the 4 VCs under Duato's protocol.
+    std::printf("\n--- Escape VCs out of 4 (transpose 0.3) ---\n");
+    std::printf("%-8s %12s\n", "Escape", "latency");
+    for (int escape : {1, 2, 3}) {
+        SimConfig cfg = base(mode);
+        cfg.escapeVcs = escape;
+        cfg.traffic = TrafficKind::Transpose;
+        cfg.normalizedLoad = 0.3;
+        std::fprintf(stderr, "[ablation] escape=%d...\n", escape);
+        std::printf("%-8d %12s\n", escape,
+                    latencyCell(runPoint(cfg)).c_str());
+    }
+
+    // 4. Injection process (the paper's exponential vs Bernoulli).
+    std::printf("\n--- Injection process (uniform 0.5) ---\n");
+    for (InjectionKind kind :
+         {InjectionKind::Exponential, InjectionKind::Bernoulli}) {
+        SimConfig cfg = base(mode);
+        cfg.injection = kind;
+        cfg.traffic = TrafficKind::Uniform;
+        cfg.normalizedLoad = 0.5;
+        std::fprintf(stderr, "[ablation] injection...\n");
+        std::printf("%-12s %12s\n",
+                    kind == InjectionKind::Exponential ? "exponential"
+                                                       : "bernoulli",
+                    latencyCell(runPoint(cfg)).c_str());
+    }
+    return 0;
+}

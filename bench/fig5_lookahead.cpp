@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: latency of NO-LA-DET, NO-LA-ADAPT and
+ * LA-DET relative to LA-ADAPT across normalized load for the four
+ * traffic patterns, plus the absolute LA-ADAPT latency table.
+ *
+ * Scale is controlled by LAPSES_BENCH_MODE=quick|default|paper.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+
+using namespace lapses;
+
+namespace
+{
+
+struct Scheme
+{
+    const char* label;
+    RouterModel model;
+    RoutingAlgo routing;
+};
+
+const Scheme kSchemes[] = {
+    {"NO LA, DET", RouterModel::Proud, RoutingAlgo::DeterministicXY},
+    {"NO LA, ADAPT", RouterModel::Proud,
+     RoutingAlgo::DuatoFullyAdaptive},
+    {"LA, DET", RouterModel::LaProud, RoutingAlgo::DeterministicXY},
+    {"LA, ADAPT", RouterModel::LaProud,
+     RoutingAlgo::DuatoFullyAdaptive},
+};
+
+struct PatternSpec
+{
+    TrafficKind traffic;
+    std::vector<double> loads; // the paper's x-axis per pattern
+};
+
+std::vector<PatternSpec>
+patterns(BenchMode mode)
+{
+    std::vector<PatternSpec> specs = {
+        {TrafficKind::Uniform,
+         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}},
+        {TrafficKind::Transpose, {0.1, 0.2, 0.3, 0.4}},
+        {TrafficKind::BitReversal, {0.1, 0.2, 0.3, 0.4}},
+        {TrafficKind::PerfectShuffle, {0.1, 0.2, 0.3, 0.4, 0.5}},
+    };
+    if (mode == BenchMode::Quick) {
+        for (auto& s : specs) {
+            std::vector<double> thin;
+            for (std::size_t i = 0; i < s.loads.size(); i += 2)
+                thin.push_back(s.loads[i]);
+            s.loads = thin;
+        }
+    }
+    return specs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchMode mode = benchModeFromEnv();
+    SimConfig base;
+    base.table = TableKind::Full;
+    base.selector = SelectorKind::StaticXY; // Fig. 5 uses static PS
+    applyBenchMode(base, mode);
+
+    std::printf("=== Figure 5: look-ahead and adaptivity on a 16x16 "
+                "mesh (mode: %s) ===\n",
+                benchModeName(mode).c_str());
+    std::printf("20-flit messages, 4 VCs/PC, Duato adaptive vs "
+                "dimension-order XY, static path selection\n\n");
+
+    for (const PatternSpec& spec : patterns(mode)) {
+        base.traffic = spec.traffic;
+        // Sweep all four schemes over the pattern's load axis.
+        std::vector<std::vector<SweepPoint>> results;
+        for (const Scheme& s : kSchemes) {
+            SimConfig cfg = base;
+            cfg.model = s.model;
+            cfg.routing = s.routing;
+            std::fprintf(stderr, "[fig5] %s / %s ...\n",
+                         trafficKindName(spec.traffic).c_str(),
+                         s.label);
+            results.push_back(runLoadSweep(cfg, spec.loads));
+        }
+        const auto& la_adapt = results[3];
+
+        std::printf("--- %s traffic: %% latency increase over "
+                    "LA,ADAPT ---\n",
+                    trafficKindName(spec.traffic).c_str());
+        std::printf("%-14s", "Load");
+        for (double load : spec.loads)
+            std::printf("%9.1f", load);
+        std::printf("\n");
+        for (std::size_t s = 0; s < 3; ++s) {
+            std::printf("%-14s", kSchemes[s].label);
+            for (std::size_t i = 0; i < spec.loads.size(); ++i) {
+                const SimStats& ref = la_adapt[i].stats;
+                const SimStats& cur = results[s][i].stats;
+                if (ref.saturated || cur.saturated) {
+                    std::printf("%9s", cur.saturated ? "Sat." : "-");
+                } else {
+                    const double pct = 100.0 *
+                        (cur.meanLatency() - ref.meanLatency()) /
+                        ref.meanLatency();
+                    std::printf("%8.1f%%", pct);
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("%-14s", "LA,ADAPT abs");
+        for (const SweepPoint& pt : la_adapt)
+            std::printf("%9s", latencyCell(pt.stats).c_str());
+        std::printf("\n\n");
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the router datapath: arbitration
+ * (the other critical stage of Section 2.2), path selection, and
+ * whole-network cycle throughput of the simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hpp"
+#include "router/arbiter.hpp"
+#include "selection/selector_factory.hpp"
+
+namespace
+{
+
+using namespace lapses;
+
+void
+BM_ArbiterGrant(benchmark::State& state)
+{
+    const int requesters = static_cast<int>(state.range(0));
+    RoundRobinArbiter arb(requesters);
+    for (auto _ : state) {
+        for (int i = 0; i < requesters; i += 2)
+            arb.request(i);
+        benchmark::DoNotOptimize(arb.grant());
+    }
+}
+BENCHMARK(BM_ArbiterGrant)->Arg(4)->Arg(20)->Arg(64);
+
+void
+BM_PathSelection(benchmark::State& state)
+{
+    const SelectorKind kind =
+        static_cast<SelectorKind>(state.range(0));
+    const PathSelectorPtr sel = makePathSelector(kind, Rng{1});
+    PortStatus status[2];
+    status[0] = {1, 2, 35, 1, 100, 40};
+    status[1] = {3, 1, 62, 3, 80, 55};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sel->select(std::span<const PortStatus>(status, 2)));
+        ++status[0].useCount;
+        ++status[1].totalCredits;
+    }
+}
+BENCHMARK(BM_PathSelection)
+    ->Arg(static_cast<int>(SelectorKind::StaticXY))
+    ->Arg(static_cast<int>(SelectorKind::MinMux))
+    ->Arg(static_cast<int>(SelectorKind::Lfu))
+    ->Arg(static_cast<int>(SelectorKind::Lru))
+    ->Arg(static_cast<int>(SelectorKind::MaxCredit));
+
+void
+networkCycles(benchmark::State& state, double load)
+{
+    SimConfig cfg;
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.traffic = TrafficKind::Uniform;
+    cfg.normalizedLoad = load;
+    Simulation sim(cfg);
+    sim.stepCycles(2000); // warm the network up
+    for (auto _ : state)
+        sim.stepCycles(100);
+    // Report simulated router-cycles per wall second.
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 100 * sim.topology().numNodes()));
+}
+
+void
+BM_NetworkCycleLowLoad(benchmark::State& state)
+{
+    networkCycles(state, 0.1);
+}
+BENCHMARK(BM_NetworkCycleLowLoad)->Unit(benchmark::kMicrosecond);
+
+void
+BM_NetworkCycleHighLoad(benchmark::State& state)
+{
+    networkCycles(state, 0.7);
+}
+BENCHMARK(BM_NetworkCycleHighLoad)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Table 3: impact of message length on the look-ahead
+ * benefit (uniform traffic, normalized load 0.2).
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+
+using namespace lapses;
+
+int
+main()
+{
+    const BenchMode mode = benchModeFromEnv();
+    SimConfig base;
+    base.routing = RoutingAlgo::DuatoFullyAdaptive;
+    base.table = TableKind::Full;
+    base.selector = SelectorKind::StaticXY;
+    base.traffic = TrafficKind::Uniform;
+    base.normalizedLoad = 0.2;
+    applyBenchMode(base, mode);
+
+    std::printf("=== Table 3: impact of message length (uniform "
+                "traffic, load 0.2, mode: %s) ===\n\n",
+                benchModeName(mode).c_str());
+    std::printf("%-10s %-12s %-14s %-10s\n", "Mesg. Len", "Look Ahead",
+                "No Look Ahead", "% Improv.");
+
+    for (int len : {5, 10, 20, 50}) {
+        SimConfig cfg = base;
+        cfg.msgLen = len;
+
+        cfg.model = RouterModel::LaProud;
+        std::fprintf(stderr, "[table3] len %d LA ...\n", len);
+        Simulation la(cfg);
+        const SimStats st_la = la.run();
+
+        cfg.model = RouterModel::Proud;
+        std::fprintf(stderr, "[table3] len %d NO-LA ...\n", len);
+        Simulation nola(cfg);
+        const SimStats st_nola = nola.run();
+
+        const double improv = 100.0 *
+            (st_nola.meanLatency() - st_la.meanLatency()) /
+            st_la.meanLatency();
+        std::printf("%-10d %-12.1f %-14.1f %-10.1f\n", len,
+                    st_la.meanLatency(), st_nola.meanLatency(),
+                    improv);
+    }
+    std::printf("\nPaper reference: 18.0 / 15.4 / 11.5 / 6.5 %% for "
+                "lengths 5 / 10 / 20 / 50.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Table 4: adaptive routing latency under meta-table
+ * (maximal and minimal flexibility maps), full-table and economical
+ * storage, for uniform / transpose / bit-reversal traffic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+
+using namespace lapses;
+
+namespace
+{
+
+struct Column
+{
+    const char* label;
+    TableKind table;
+};
+
+const Column kColumns[] = {
+    {"Meta-Tbl Adp.", TableKind::MetaBlockMaximal},
+    {"Meta-Tbl Det.", TableKind::MetaRowMinimal},
+    {"Full-Tbl", TableKind::Full},
+    {"Econ. Storage", TableKind::EconomicalStorage},
+};
+
+struct PatternSpec
+{
+    TrafficKind traffic;
+    std::vector<double> loads;
+};
+
+} // namespace
+
+int
+main()
+{
+    const BenchMode mode = benchModeFromEnv();
+    SimConfig base;
+    base.model = RouterModel::LaProud;
+    base.routing = RoutingAlgo::DuatoFullyAdaptive;
+    base.selector = SelectorKind::StaticXY;
+    applyBenchMode(base, mode);
+
+    std::vector<PatternSpec> specs = {
+        {TrafficKind::Uniform,
+         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}},
+        {TrafficKind::Transpose, {0.1, 0.2, 0.3, 0.4, 0.5}},
+        {TrafficKind::BitReversal, {0.1, 0.2, 0.3, 0.4}},
+    };
+    if (mode == BenchMode::Quick) {
+        for (auto& s : specs) {
+            std::vector<double> thin;
+            for (std::size_t i = 0; i < s.loads.size(); i += 2)
+                thin.push_back(s.loads[i]);
+            s.loads = thin;
+        }
+    }
+
+    std::printf("=== Table 4: table-storage schemes on a 16x16 mesh "
+                "(mode: %s) ===\n",
+                benchModeName(mode).c_str());
+    std::printf("LA-PROUD, Duato fully adaptive, static path "
+                "selection. \"Sat.\" = network saturated.\n");
+    std::printf("The paper folds Full-Tbl and Econ. Storage into one "
+                "column because they are identical; both are run here "
+                "to demonstrate it.\n\n");
+
+    std::printf("%-10s %-6s", "Traffic", "Load");
+    for (const Column& col : kColumns)
+        std::printf(" %14s", col.label);
+    std::printf("\n");
+
+    for (const PatternSpec& spec : specs) {
+        std::vector<std::vector<SweepPoint>> per_col;
+        for (const Column& col : kColumns) {
+            SimConfig cfg = base;
+            cfg.traffic = spec.traffic;
+            cfg.table = col.table;
+            std::fprintf(stderr, "[table4] %s / %s ...\n",
+                         trafficKindName(spec.traffic).c_str(),
+                         col.label);
+            per_col.push_back(runLoadSweep(cfg, spec.loads));
+        }
+        for (std::size_t i = 0; i < spec.loads.size(); ++i) {
+            std::printf("%-10s %-6.1f",
+                        i == 0 ? trafficKindName(spec.traffic).c_str()
+                               : "",
+                        spec.loads[i]);
+            for (const auto& col : per_col) {
+                std::printf(" %14s",
+                            latencyCell(col[i].stats).c_str());
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-tolerance scenario from the paper's Section 1 motivation: "the
+ * ability to use alternate paths improves fault-tolerance properties
+ * of the network".
+ *
+ * Breaks links in a 8x8 mesh, reprograms the full routing tables
+ * around the failures (shortest surviving paths), and runs uniform
+ * traffic over the degraded network — demonstrating the per-destination
+ * flexibility that full tables keep and economical storage gives up.
+ */
+
+#include <cstdio>
+
+#include "core/lapses.hpp"
+
+namespace
+{
+
+using namespace lapses;
+
+/** Drive a network built on an externally programmed table. */
+SimStats
+runOnTable(const MeshTopology& topo, const RoutingTable& table,
+           double load, int messages)
+{
+    NetworkParams np;
+    np.router.lookahead = true;
+    np.nic.lookahead = true;
+    np.nic.msgsPerCycle =
+        msgRateForLoad(topo, load, np.nic.msgLen);
+    np.selector = SelectorKind::MaxCredit;
+    np.seed = 11;
+
+    const TrafficPatternPtr pattern =
+        makeTrafficPattern(TrafficKind::Uniform, topo);
+    // Fault tables carry no escape designation; all VCs adaptive.
+    Network net(topo, np, table, /*escape_channels=*/false, *pattern);
+
+    SimStats stats;
+    struct Ctx
+    {
+        SimStats* stats;
+    } ctx{&stats};
+    net.setDeliveryHook(
+        [](void* c, const Flit& tail, Cycle now) {
+            SimStats& s = *static_cast<Ctx*>(c)->stats;
+            s.totalLatency.add(
+                static_cast<double>(now - tail.createdAt));
+            s.hops.add(tail.hops);
+            ++s.deliveredMessages;
+        },
+        &ctx);
+
+    net.setMeasuring(true);
+    while (net.deliveredMeasured() <
+           static_cast<std::uint64_t>(messages)) {
+        net.step();
+        if (net.now() > 400000) {
+            stats.saturated = true;
+            break;
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lapses;
+
+    std::printf("Fault rerouting on an 8x8 mesh\n");
+    std::printf("==============================\n\n");
+
+    const MeshTopology topo = MeshTopology::square2d(8);
+
+    // Healthy network: minimal adaptive DAG (no failures).
+    const FullTable healthy = programFaultAwareTable(topo, {});
+    const SimStats h = runOnTable(topo, healthy, 0.2, 4000);
+    std::printf("healthy network    : latency %7.1f  hops %.2f\n",
+                h.meanLatency(), h.hops.mean());
+
+    // Progressive link failures along the mesh center.
+    FailureSet failures;
+    const int fail_steps[][2] = {{3, 3}, {4, 3}, {3, 4}, {4, 4}};
+    int broken = 0;
+    for (const auto& at : fail_steps) {
+        failures.fail(topo,
+                      topo.coordsToNode(Coordinates(at[0], at[1])),
+                      MeshTopology::port(0, Direction::Plus));
+        ++broken;
+        const FullTable degraded =
+            programFaultAwareTable(topo, failures);
+        const SimStats d = runOnTable(topo, degraded, 0.2, 4000);
+        std::printf("%d central link%s cut : latency %7.1f  hops %.2f\n",
+                    broken, broken == 1 ? " " : "s", d.meanLatency(),
+                    d.hops.mean());
+    }
+
+    std::printf("\nEvery run delivers all traffic: the reprogrammed "
+                "tables steer messages onto shortest surviving "
+                "paths.\nEconomical storage cannot express these "
+                "tables (candidates are no longer a pure function of "
+                "the sign vector) -- the flexibility cost in Table 5's "
+                "trade-off, paid only when links actually fail.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * System-area-network scenario from the paper's introduction: "a more
+ * general environment such as a system area network is likely to
+ * experience high and fluctuating workloads" — web/multimedia servers
+ * mixing short control messages with bulk transfers and hotspots.
+ *
+ * This example sweeps three workload phases and shows that the LAPSES
+ * router (LA + MAX-CREDIT + ES) holds its advantage across all of
+ * them, which is the paper's argument that look-ahead adaptive routers
+ * are "a good choice across the entire spectrum".
+ */
+
+#include <cstdio>
+
+#include "core/lapses.hpp"
+
+namespace
+{
+
+using namespace lapses;
+
+struct Phase
+{
+    const char* name;
+    TrafficKind traffic;
+    double load;
+    int msgLen;
+    double hotspotFraction;
+};
+
+SimStats
+run(const Phase& ph, RouterModel model, RoutingAlgo routing,
+    TableKind table, SelectorKind selector)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.routing = routing;
+    cfg.table = table;
+    cfg.selector = selector;
+    cfg.traffic = ph.traffic;
+    cfg.hotspot.fraction = ph.hotspotFraction;
+    cfg.normalizedLoad = ph.load;
+    cfg.msgLen = ph.msgLen;
+    cfg.warmupMessages = 400;
+    cfg.measureMessages = 4000;
+    Simulation sim(cfg);
+    return sim.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lapses;
+
+    const Phase phases[] = {
+        // Shared-memory-style short control messages at light load.
+        {"control msgs (5 flits, light)", TrafficKind::Uniform, 0.15,
+         5, 0.0},
+        // Bulk data movement phase: long messages, skewed pattern.
+        {"bulk transfers (50 flits)", TrafficKind::Transpose, 0.3, 50,
+         0.0},
+        // Server hotspot: 5% of requests hit one node (a 16x16 mesh
+        // node ejects at most 1 flit/cycle, so the hotspot fraction
+        // must keep its influx under that bound).
+        {"server hotspot (20 flits)", TrafficKind::Hotspot, 0.25, 20,
+         0.05},
+    };
+
+    std::printf("SAN workload phases: LAPSES router vs deterministic "
+                "baseline\n");
+    std::printf("============================================================"
+                "\n\n");
+    std::printf("%-32s %14s %14s %10s\n", "Phase", "LAPSES",
+                "Baseline", "Gain");
+
+    for (const Phase& ph : phases) {
+        const SimStats lapses_stats =
+            run(ph, RouterModel::LaProud,
+                RoutingAlgo::DuatoFullyAdaptive,
+                TableKind::EconomicalStorage, SelectorKind::MaxCredit);
+        const SimStats base_stats =
+            run(ph, RouterModel::Proud, RoutingAlgo::DeterministicXY,
+                TableKind::Full, SelectorKind::StaticXY);
+        std::string gain = "-";
+        if (!lapses_stats.saturated && !base_stats.saturated) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%.1f%%",
+                          100.0 *
+                              (base_stats.meanLatency() -
+                               lapses_stats.meanLatency()) /
+                              base_stats.meanLatency());
+            gain = buf;
+        } else if (base_stats.saturated && !lapses_stats.saturated) {
+            gain = "base Sat.";
+        }
+        std::printf("%-32s %14s %14s %10s\n", ph.name,
+                    latencyCell(lapses_stats).c_str(),
+                    latencyCell(base_stats).c_str(), gain.c_str());
+    }
+
+    std::printf("\nLook-ahead trims every hop for the short messages; "
+                "adaptivity + MAX-CREDIT absorb the skewed and "
+                "hotspot phases.\n");
+    return 0;
+}

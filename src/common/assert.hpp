@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 panic()/fatal() split.
+ *
+ * LAPSES_ASSERT is a panic-style check: it fires on internal invariant
+ * violations (library bugs) and aborts. ConfigError is a fatal-style
+ * exception: it reports conditions caused by user configuration and is
+ * meant to be caught (or to terminate with a clean message).
+ */
+
+#ifndef LAPSES_COMMON_ASSERT_HPP
+#define LAPSES_COMMON_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lapses
+{
+
+/** Thrown when a user-supplied configuration is invalid. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Thrown when a simulation detects an unrecoverable runtime condition
+ *  attributable to the configured system (e.g. a deadlock watchdog firing
+ *  for a routing function that is not deadlock-free). */
+class SimulationError : public std::runtime_error
+{
+  public:
+    explicit SimulationError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+namespace detail
+{
+
+[[noreturn]] inline void
+assertFail(const char* expr, const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "LAPSES_ASSERT failed: %s\n  at %s:%d\n  %s\n",
+                 expr, file, line, msg ? msg : "");
+    std::abort();
+}
+
+} // namespace detail
+} // namespace lapses
+
+/**
+ * Internal invariant check; aborts on failure. Enabled in all build types
+ * because the simulator's correctness claims (deadlock freedom, credit
+ * conservation) rest on these checks running in Release benchmarks too.
+ */
+#define LAPSES_ASSERT(expr)                                                 \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::lapses::detail::assertFail(#expr, __FILE__, __LINE__,         \
+                                         nullptr);                          \
+        }                                                                   \
+    } while (0)
+
+/** LAPSES_ASSERT with an explanatory message. */
+#define LAPSES_ASSERT_MSG(expr, msg)                                        \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::lapses::detail::assertFail(#expr, __FILE__, __LINE__, (msg)); \
+        }                                                                   \
+    } while (0)
+
+#endif // LAPSES_COMMON_ASSERT_HPP

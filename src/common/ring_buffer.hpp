@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fixed-capacity FIFO used for flit buffers and injection queues.
+ *
+ * The simulator pushes/pops millions of flits per run; this ring buffer
+ * never allocates after construction and keeps the hot path to a couple of
+ * index updates. Capacity is a runtime constructor argument because buffer
+ * depth is a simulation parameter (Table 2: 20 flits).
+ */
+
+#ifndef LAPSES_COMMON_RING_BUFFER_HPP
+#define LAPSES_COMMON_RING_BUFFER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+/** Bounded FIFO with O(1) push/pop and stable iteration order. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** Construct with a fixed capacity (> 0). */
+    explicit RingBuffer(std::size_t capacity)
+        : slots_(capacity), head_(0), size_(0)
+    {
+        LAPSES_ASSERT(capacity > 0);
+    }
+
+    /** Maximum number of elements the buffer can hold. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Current number of buffered elements. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == slots_.size(); }
+
+    /** Free slots remaining; this is what credits advertise upstream. */
+    std::size_t freeSpace() const { return slots_.size() - size_; }
+
+    /** Append an element; the buffer must not be full. */
+    void
+    push(const T& value)
+    {
+        LAPSES_ASSERT_MSG(!full(), "RingBuffer overflow");
+        slots_[(head_ + size_) % slots_.size()] = value;
+        ++size_;
+    }
+
+    /** Oldest element; the buffer must not be empty. */
+    const T&
+    front() const
+    {
+        LAPSES_ASSERT_MSG(!empty(), "RingBuffer::front on empty buffer");
+        return slots_[head_];
+    }
+
+    /** Mutable access to the oldest element. */
+    T&
+    front()
+    {
+        LAPSES_ASSERT_MSG(!empty(), "RingBuffer::front on empty buffer");
+        return slots_[head_];
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop()
+    {
+        LAPSES_ASSERT_MSG(!empty(), "RingBuffer underflow");
+        T value = slots_[head_];
+        head_ = (head_ + 1) % slots_.size();
+        --size_;
+        return value;
+    }
+
+    /** Element at FIFO position i (0 = front), for inspection in tests. */
+    const T&
+    at(std::size_t i) const
+    {
+        LAPSES_ASSERT(i < size_);
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
+    /** Drop all contents (used when resetting a simulation). */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t head_;
+    std::size_t size_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_COMMON_RING_BUFFER_HPP

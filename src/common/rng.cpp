@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace lapses
+{
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& s : state_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    LAPSES_ASSERT(bound > 0);
+    // Rejection sampling over the top of the range removes modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1) with full double precision.
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    LAPSES_ASSERT(mean > 0.0);
+    // Inverse-CDF; 1 - u avoids log(0).
+    return -mean * std::log(1.0 - nextDouble());
+}
+
+Rng
+Rng::split(std::uint64_t stream_index) const
+{
+    std::uint64_t mix = seed_;
+    (void)splitmix64(mix);
+    mix ^= 0xA5A5A5A55A5A5A5Aull + stream_index * 0x9E3779B97F4A7C15ull;
+    return Rng(splitmix64(mix));
+}
+
+} // namespace lapses

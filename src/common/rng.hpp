@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * A self-contained xoshiro256** implementation (public-domain algorithm by
+ * Blackman & Vigna) seeded through splitmix64. Using our own generator
+ * rather than std::mt19937 keeps results bit-identical across standard
+ * library implementations, which the regression tests rely on.
+ */
+
+#ifndef LAPSES_COMMON_RNG_HPP
+#define LAPSES_COMMON_RNG_HPP
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+/** Deterministic 64-bit PRNG with convenience draws used by the library. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x1A95E5u) { reseed(seed); }
+
+    /** Re-initialize the stream from a seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        LAPSES_ASSERT(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+            nextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Exponentially distributed value with the given mean (> 0). */
+    double nextExponential(double mean);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Derive an independent child stream, e.g. one per network node.
+     * Children of distinct indices are decorrelated via splitmix64.
+     */
+    Rng split(std::uint64_t stream_index) const;
+
+  private:
+    std::uint64_t state_[4];
+    std::uint64_t seed_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_COMMON_RNG_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the LAPSES library.
+ *
+ * The simulator is cycle-driven; every timestamp is a Cycle. Nodes, ports
+ * and virtual channels are small dense integer ids so that hot-path state
+ * can live in flat arrays indexed by them.
+ */
+
+#ifndef LAPSES_COMMON_TYPES_HPP
+#define LAPSES_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace lapses
+{
+
+/** Simulation time in network cycles (Table 2: network cycle time = 1). */
+using Cycle = std::uint64_t;
+
+/** Dense node identifier, 0 .. N-1 for an N-node network. */
+using NodeId = std::int32_t;
+
+/** Router port index; port 0 is always the local/ejection port. */
+using PortId = std::int8_t;
+
+/** Virtual-channel index within a physical channel. */
+using VcId = std::int8_t;
+
+/** Unique message identifier assigned at injection. */
+using MessageId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for "no port". */
+inline constexpr PortId kInvalidPort = -1;
+
+/** Sentinel for "no virtual channel". */
+inline constexpr VcId kInvalidVc = -1;
+
+/** Sentinel cycle value meaning "never / not yet". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** The local (processor/NIC) port of every router. Paper Section 2.2. */
+inline constexpr PortId kLocalPort = 0;
+
+} // namespace lapses
+
+#endif // LAPSES_COMMON_TYPES_HPP

@@ -1,0 +1,63 @@
+#include "core/config.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+std::string
+routerModelName(RouterModel m)
+{
+    return m == RouterModel::LaProud ? "la-proud" : "proud";
+}
+
+void
+SimConfig::validate() const
+{
+    if (radices.empty())
+        throw ConfigError("topology needs at least one dimension");
+    if (vcsPerPort < 1)
+        throw ConfigError("vcsPerPort must be >= 1");
+    if (bufferDepth < 1)
+        throw ConfigError("bufferDepth must be >= 1");
+    if (msgLen < 1)
+        throw ConfigError("msgLen must be >= 1");
+    if (normalizedLoad <= 0.0)
+        throw ConfigError("normalizedLoad must be > 0");
+    if (measureMessages < 1)
+        throw ConfigError("measureMessages must be >= 1");
+    if (latencySatCutoff <= 0.0)
+        throw ConfigError("latencySatCutoff must be > 0");
+    if (escapeVcs == 0 || escapeVcs < -1)
+        throw ConfigError("escapeVcs must be -1 (auto) or >= 1");
+    if (escapeVcs >= vcsPerPort)
+        throw ConfigError("escapeVcs must leave at least one adaptive "
+                          "VC (escapeVcs < vcsPerPort)");
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::string s;
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+        if (i)
+            s += 'x';
+        s += std::to_string(radices[i]);
+    }
+    s += torus ? " torus" : " mesh";
+    s += ", " + routerModelName(model);
+    s += ", " + routingAlgoName(routing);
+    s += ", " + tableKindName(table);
+    s += ", sel " + selectorKindName(selector);
+    s += ", " + trafficKindName(traffic);
+    char load_buf[24];
+    std::snprintf(load_buf, sizeof(load_buf), ", load %.2f",
+                  normalizedLoad);
+    s += load_buf;
+    s += ", len " + std::to_string(msgLen);
+    return s;
+}
+
+} // namespace lapses

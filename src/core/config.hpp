@@ -1,0 +1,86 @@
+/**
+ * @file
+ * User-facing simulation configuration (paper Table 2 defaults).
+ */
+
+#ifndef LAPSES_CORE_CONFIG_HPP
+#define LAPSES_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/algorithm_factory.hpp"
+#include "selection/selector_factory.hpp"
+#include "tables/table_factory.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/patterns.hpp"
+
+namespace lapses
+{
+
+/** Router pipeline model (Fig. 1 vs Fig. 2). */
+enum class RouterModel
+{
+    Proud,   //!< 5-stage pipe, dedicated table-lookup stage
+    LaProud, //!< 4-stage pipe, look-ahead routing
+};
+
+/** Short identifier, e.g. "la-proud". */
+std::string routerModelName(RouterModel m);
+
+/** Complete configuration of one simulation point. */
+struct SimConfig
+{
+    // --- Topology (Table 2: 256-node 16x16 mesh) ---
+    std::vector<int> radices = {16, 16};
+    bool torus = false;
+
+    // --- Router microarchitecture ---
+    RouterModel model = RouterModel::LaProud;
+    int vcsPerPort = 4;      //!< Table 2: 4 VCs per physical channel
+    int bufferDepth = 20;    //!< Table 2: 20-flit in/out buffers
+    /** Escape VCs under Duato's protocol; -1 = automatic (2 for
+     *  meta-tables' two-phase escape, 1 otherwise). */
+    int escapeVcs = -1;
+
+    // --- Routing ---
+    RoutingAlgo routing = RoutingAlgo::DuatoFullyAdaptive;
+    TableKind table = TableKind::EconomicalStorage;
+    SelectorKind selector = SelectorKind::StaticXY;
+
+    // --- Workload (Table 2) ---
+    TrafficKind traffic = TrafficKind::Uniform;
+    HotspotOptions hotspot;
+    double normalizedLoad = 0.1; //!< fraction of bisection saturation
+    int msgLen = 20;             //!< Table 2: 20 flits
+    InjectionKind injection = InjectionKind::Exponential;
+    BurstOptions burst;          //!< shape of InjectionKind::Bursty
+
+    // --- Measurement (paper: 10k warm-up, 400k measured) ---
+    std::uint64_t warmupMessages = 1000;
+    std::uint64_t measureMessages = 10000;
+
+    // --- Safety rails ---
+    /** Mean total latency beyond which the run is declared saturated. */
+    double latencySatCutoff = 4000.0;
+    /** Mean per-node source backlog (messages) declaring saturation. */
+    double backlogSatPerNode = 16.0;
+    /** Hard cycle cap (counts as saturation if hit). */
+    Cycle maxCycles = 5'000'000;
+    /** Cycles without any flit movement that trigger the deadlock
+     *  watchdog (SimulationError). */
+    Cycle deadlockCycles = 50'000;
+
+    std::uint64_t seed = 1;
+
+    /** Throw ConfigError on inconsistent settings. */
+    void validate() const;
+
+    /** One-line description, e.g. for bench output headers. */
+    std::string describe() const;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_CORE_CONFIG_HPP

@@ -1,0 +1,95 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/simulation.hpp"
+
+namespace lapses
+{
+
+std::vector<SweepPoint>
+runLoadSweep(SimConfig base, const std::vector<double>& loads,
+             const std::function<void(const SweepPoint&)>& progress)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(loads.size());
+    bool saturated = false;
+    for (double load : loads) {
+        SweepPoint pt;
+        pt.load = load;
+        if (saturated) {
+            // Open-loop latency is monotone in load; once saturated,
+            // stay saturated (the paper prints "Sat.").
+            pt.stats.saturated = true;
+        } else {
+            base.normalizedLoad = load;
+            Simulation sim(base);
+            pt.stats = sim.run();
+            saturated = pt.stats.saturated;
+        }
+        if (progress)
+            progress(pt);
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+BenchMode
+benchModeFromEnv()
+{
+    const char* env = std::getenv("LAPSES_BENCH_MODE");
+    if (env == nullptr)
+        return BenchMode::Default;
+    if (std::strcmp(env, "quick") == 0)
+        return BenchMode::Quick;
+    if (std::strcmp(env, "paper") == 0)
+        return BenchMode::Paper;
+    return BenchMode::Default;
+}
+
+std::string
+benchModeName(BenchMode mode)
+{
+    switch (mode) {
+      case BenchMode::Quick:
+        return "quick";
+      case BenchMode::Default:
+        return "default";
+      case BenchMode::Paper:
+        return "paper";
+    }
+    return "?";
+}
+
+void
+applyBenchMode(SimConfig& cfg, BenchMode mode)
+{
+    switch (mode) {
+      case BenchMode::Quick:
+        cfg.warmupMessages = 200;
+        cfg.measureMessages = 2000;
+        break;
+      case BenchMode::Default:
+        cfg.warmupMessages = 800;
+        cfg.measureMessages = 8000;
+        break;
+      case BenchMode::Paper:
+        cfg.warmupMessages = 10000;   // Section 2.2
+        cfg.measureMessages = 400000; // Section 2.2
+        break;
+    }
+}
+
+std::string
+latencyCell(const SimStats& stats)
+{
+    if (stats.saturated)
+        return "Sat.";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", stats.meanLatency());
+    return std::string(buf);
+}
+
+} // namespace lapses

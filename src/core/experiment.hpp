@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sweep drivers and formatting shared by the paper-reproduction benches.
+ */
+
+#ifndef LAPSES_CORE_EXPERIMENT_HPP
+#define LAPSES_CORE_EXPERIMENT_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace lapses
+{
+
+/** One (load, result) pair of a sweep. */
+struct SweepPoint
+{
+    double load = 0.0;
+    SimStats stats;
+};
+
+/**
+ * Run the same configuration across a list of normalized loads. Once a
+ * load saturates, higher loads are marked saturated without simulating
+ * (the paper reports "Sat." beyond the saturation point).
+ *
+ * @param base      configuration (normalizedLoad is overwritten)
+ * @param loads     ascending normalized loads
+ * @param progress  optional callback after each point (may be null)
+ */
+std::vector<SweepPoint>
+runLoadSweep(SimConfig base, const std::vector<double>& loads,
+             const std::function<void(const SweepPoint&)>& progress = {});
+
+/** Scale presets for bench runtime, selected by LAPSES_BENCH_MODE. */
+enum class BenchMode
+{
+    Quick,   //!< smoke-test scale
+    Default, //!< minutes-scale, shape-faithful
+    Paper,   //!< the paper's 10k warm-up / 400k measured messages
+};
+
+/** Parse LAPSES_BENCH_MODE (quick|default|paper); Default if unset. */
+BenchMode benchModeFromEnv();
+
+/** Human-readable mode name. */
+std::string benchModeName(BenchMode mode);
+
+/** Apply a mode's warm-up and measurement message budgets. */
+void applyBenchMode(SimConfig& cfg, BenchMode mode);
+
+/** Format a latency cell: "74.0" or "Sat." like the paper's tables. */
+std::string latencyCell(const SimStats& stats);
+
+} // namespace lapses
+
+#endif // LAPSES_CORE_EXPERIMENT_HPP

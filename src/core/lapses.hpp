@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Umbrella header for the LAPSES library.
+ *
+ * Include this to get the whole public API: topology, routing
+ * algorithms, table storage schemes, path-selection heuristics, the
+ * PROUD/LA-PROUD router, the network simulator and the experiment
+ * drivers.
+ *
+ * Quick start:
+ * @code
+ *   lapses::SimConfig cfg;                 // Table 2 defaults
+ *   cfg.model = lapses::RouterModel::LaProud;
+ *   cfg.traffic = lapses::TrafficKind::Transpose;
+ *   cfg.normalizedLoad = 0.2;
+ *   lapses::Simulation sim(cfg);
+ *   lapses::SimStats stats = sim.run();
+ *   std::cout << stats.summary() << "\n";
+ * @endcode
+ */
+
+#ifndef LAPSES_CORE_LAPSES_HPP
+#define LAPSES_CORE_LAPSES_HPP
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/router_catalog.hpp"
+#include "core/simulation.hpp"
+#include "network/network.hpp"
+#include "routing/algorithm_factory.hpp"
+#include "routing/dimension_order.hpp"
+#include "routing/duato.hpp"
+#include "routing/torus.hpp"
+#include "routing/turn_model.hpp"
+#include "selection/selector_factory.hpp"
+#include "stats/sim_stats.hpp"
+#include "tables/economical_storage.hpp"
+#include "tables/fault_aware.hpp"
+#include "tables/full_table.hpp"
+#include "tables/interval_table.hpp"
+#include "tables/meta_table.hpp"
+#include "tables/storage_cost.hpp"
+#include "tables/table_factory.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/patterns.hpp"
+
+#endif // LAPSES_CORE_LAPSES_HPP

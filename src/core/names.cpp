@@ -1,0 +1,118 @@
+#include "core/names.hpp"
+
+#include <initializer_list>
+
+namespace lapses
+{
+namespace
+{
+
+/** Generic reverse lookup over (value, name) pairs. */
+template <typename E>
+E
+parseByName(const std::string& name, const char* what,
+            std::initializer_list<std::pair<E, const char*>> table)
+{
+    std::string accepted;
+    for (const auto& [value, value_name] : table) {
+        if (name == value_name)
+            return value;
+        if (!accepted.empty())
+            accepted += ", ";
+        accepted += value_name;
+    }
+    throw ConfigError("unknown " + std::string(what) + " '" + name +
+                      "' (accepted: " + accepted + ")");
+}
+
+} // namespace
+
+RouterModel
+parseRouterModel(const std::string& name)
+{
+    return parseByName<RouterModel>(
+        name, "router model",
+        {{RouterModel::Proud, "proud"},
+         {RouterModel::LaProud, "la-proud"}});
+}
+
+RoutingAlgo
+parseRoutingAlgo(const std::string& name)
+{
+    return parseByName<RoutingAlgo>(
+        name, "routing algorithm",
+        {{RoutingAlgo::DeterministicXY, "xy"},
+         {RoutingAlgo::DeterministicYX, "yx"},
+         {RoutingAlgo::DuatoFullyAdaptive, "duato"},
+         {RoutingAlgo::NorthLast, "north-last"},
+         {RoutingAlgo::WestFirst, "west-first"},
+         {RoutingAlgo::NegativeFirst, "negative-first"},
+         {RoutingAlgo::TorusAdaptive, "torus-adaptive"}});
+}
+
+TableKind
+parseTableKind(const std::string& name)
+{
+    return parseByName<TableKind>(
+        name, "table kind",
+        {{TableKind::Full, "full-table"},
+         {TableKind::MetaRowMinimal, "meta-row"},
+         {TableKind::MetaBlockMaximal, "meta-block"},
+         {TableKind::EconomicalStorage, "economical-storage"},
+         {TableKind::Interval, "interval"}});
+}
+
+SelectorKind
+parseSelectorKind(const std::string& name)
+{
+    return parseByName<SelectorKind>(
+        name, "path selector",
+        {{SelectorKind::StaticXY, "static-xy"},
+         {SelectorKind::FirstFree, "first-free"},
+         {SelectorKind::Random, "random"},
+         {SelectorKind::MinMux, "min-mux"},
+         {SelectorKind::Lfu, "lfu"},
+         {SelectorKind::Lru, "lru"},
+         {SelectorKind::MaxCredit, "max-credit"}});
+}
+
+TrafficKind
+parseTrafficKind(const std::string& name)
+{
+    return parseByName<TrafficKind>(
+        name, "traffic pattern",
+        {{TrafficKind::Uniform, "uniform"},
+         {TrafficKind::Transpose, "transpose"},
+         {TrafficKind::BitReversal, "bit-reversal"},
+         {TrafficKind::PerfectShuffle, "perfect-shuffle"},
+         {TrafficKind::BitComplement, "bit-complement"},
+         {TrafficKind::Tornado, "tornado"},
+         {TrafficKind::Neighbor, "neighbor"},
+         {TrafficKind::Hotspot, "hotspot"}});
+}
+
+InjectionKind
+parseInjectionKind(const std::string& name)
+{
+    return parseByName<InjectionKind>(
+        name, "injection process",
+        {{InjectionKind::Exponential, "exponential"},
+         {InjectionKind::Bernoulli, "bernoulli"},
+         {InjectionKind::Bursty, "bursty"}});
+}
+
+std::string
+injectionKindName(InjectionKind kind)
+{
+    switch (kind) {
+      case InjectionKind::Exponential:
+        return "exponential";
+      case InjectionKind::Bernoulli:
+        return "bernoulli";
+      case InjectionKind::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+} // namespace lapses

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * String -> enum parsers for every configuration enum, matching the
+ * identifiers the *Name() functions print. Used by the CLI driver and
+ * any config-file front end; throws ConfigError with the accepted
+ * values on a mismatch.
+ */
+
+#ifndef LAPSES_CORE_NAMES_HPP
+#define LAPSES_CORE_NAMES_HPP
+
+#include <string>
+
+#include "core/config.hpp"
+
+namespace lapses
+{
+
+/** Parse "proud" / "la-proud". */
+RouterModel parseRouterModel(const std::string& name);
+
+/** Parse "xy", "yx", "duato", "north-last", "west-first",
+ *  "negative-first". */
+RoutingAlgo parseRoutingAlgo(const std::string& name);
+
+/** Parse "full-table", "meta-row", "meta-block",
+ *  "economical-storage", "interval". */
+TableKind parseTableKind(const std::string& name);
+
+/** Parse "static-xy", "first-free", "random", "min-mux", "lfu",
+ *  "lru", "max-credit". */
+SelectorKind parseSelectorKind(const std::string& name);
+
+/** Parse "uniform", "transpose", "bit-reversal", "perfect-shuffle",
+ *  "bit-complement", "tornado", "neighbor", "hotspot". */
+TrafficKind parseTrafficKind(const std::string& name);
+
+/** Parse "exponential", "bernoulli", "bursty". */
+InjectionKind parseInjectionKind(const std::string& name);
+
+/** Name for an injection kind (inverse of parseInjectionKind). */
+std::string injectionKindName(InjectionKind kind);
+
+} // namespace lapses
+
+#endif // LAPSES_CORE_NAMES_HPP

@@ -1,0 +1,87 @@
+#include "core/router_catalog.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace lapses
+{
+namespace
+{
+
+// Table 1 of the paper, verbatim.
+constexpr std::array<CommercialRouter, 9> kCatalog = {{
+    {"SGI SPIDER", true, "ASIC", "512", "6", "4", "P",
+     CatalogRouting::Deterministic},
+    {"Cray T3D", true, "ASIC", "2K", "7", "4", "P",
+     CatalogRouting::Deterministic},
+    {"Cray T3E", true, "ASIC", "2176", "7", "5", "P",
+     CatalogRouting::Adaptive},
+    {"Tandem Servernet-II", true, "ASIC", "1M", "12", "No", "P",
+     CatalogRouting::LimitedAdaptive},
+    {"Sun S3.mp", true, "ASIC", "1K", "6", "4", "2P + 4S",
+     CatalogRouting::Adaptive},
+    {"Intel Cavallino", false, "Custom", ">4K", "6", "4", "P",
+     CatalogRouting::Deterministic},
+    {"HAL Mercury", false, "Custom", "64", "6", "3", "P",
+     CatalogRouting::Deterministic},
+    {"Inmos C-104", true, "Custom", "Any", "32", "Any", "S",
+     CatalogRouting::LimitedAdaptive},
+    {"Myricom Myrinet", false, "Custom", "Any", "8/16", "No", "P",
+     CatalogRouting::Deterministic},
+}};
+
+} // namespace
+
+std::span<const CommercialRouter>
+routerCatalog()
+{
+    return {kCatalog.data(), kCatalog.size()};
+}
+
+std::string
+catalogRoutingName(CatalogRouting r)
+{
+    switch (r) {
+      case CatalogRouting::Deterministic:
+        return "Det";
+      case CatalogRouting::LimitedAdaptive:
+        return "Lim. Adpt";
+      case CatalogRouting::Adaptive:
+        return "Adpt";
+    }
+    return "?";
+}
+
+int
+catalogAdaptiveCount()
+{
+    int n = 0;
+    for (const auto& r : kCatalog) {
+        if (r.routing != CatalogRouting::Deterministic)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+renderRouterCatalog()
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-20s %-5s %-7s %-9s %-6s %-4s %-8s %s\n", "Router",
+                  "R-Tbl", "Design", "MaxNodes", "Ports", "VCs",
+                  "PortType", "Routing");
+    out += line;
+    for (const auto& r : routerCatalog()) {
+        std::snprintf(line, sizeof(line),
+                      "%-20s %-5s %-7s %-9s %-6s %-4s %-8s %s\n", r.name,
+                      r.routingTable ? "Y" : "N", r.design, r.maxNodes,
+                      r.ports, r.vcs, r.portType,
+                      catalogRoutingName(r.routing).c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace lapses

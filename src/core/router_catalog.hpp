@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The commercial router survey of paper Table 1 as queryable data.
+ *
+ * Useful for documentation, the quickstart example, and sanity tests
+ * that the paper's context (which routers used tables, VCs, adaptive
+ * routing) is preserved in the repository.
+ */
+
+#ifndef LAPSES_CORE_ROUTER_CATALOG_HPP
+#define LAPSES_CORE_ROUTER_CATALOG_HPP
+
+#include <span>
+#include <string>
+
+namespace lapses
+{
+
+/** Routing capability of a commercial router. */
+enum class CatalogRouting
+{
+    Deterministic,
+    LimitedAdaptive,
+    Adaptive,
+};
+
+/** One row of Table 1. */
+struct CommercialRouter
+{
+    const char* name;
+    bool routingTable;     //!< R-Tbl column
+    const char* design;    //!< ASIC / Custom
+    const char* maxNodes;
+    const char* ports;
+    const char* vcs;
+    const char* portType;  //!< P (parallel) / S (serial)
+    CatalogRouting routing;
+};
+
+/** All Table 1 rows. */
+std::span<const CommercialRouter> routerCatalog();
+
+/** Human-readable routing column value ("Det", "Lim. Adpt", "Adpt"). */
+std::string catalogRoutingName(CatalogRouting r);
+
+/** Number of catalog routers supporting (any degree of) adaptivity. */
+int catalogAdaptiveCount();
+
+/** Render the whole catalog as an aligned text table. */
+std::string renderRouterCatalog();
+
+} // namespace lapses
+
+#endif // LAPSES_CORE_ROUTER_CATALOG_HPP

@@ -1,0 +1,195 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+
+namespace lapses
+{
+namespace
+{
+
+int
+resolveEscapeVcs(const SimConfig& cfg, const RoutingAlgorithm& algo)
+{
+    if (!algo.usesEscapeChannels())
+        return 1; // unused; routers ignore it without escape discipline
+    if (cfg.escapeVcs > 0)
+        return cfg.escapeVcs;
+    // Meta-tables need the two-phase escape (see DESIGN.md); torus
+    // dateline routing needs two classes as well; all other schemes
+    // reserve a single escape VC.
+    const bool meta = cfg.table == TableKind::MetaRowMinimal ||
+                      cfg.table == TableKind::MetaBlockMaximal;
+    return std::max(algo.escapeClasses(), meta ? 2 : 1);
+}
+
+} // namespace
+
+Simulation::Simulation(const SimConfig& cfg)
+    : cfg_(cfg), topo_(cfg.radices, cfg.torus)
+{
+    cfg_.validate();
+    algo_ = makeRoutingAlgorithm(cfg_.routing, topo_);
+    table_ = makeRoutingTable(cfg_.table, topo_, *algo_);
+    pattern_ = makeTrafficPattern(cfg_.traffic, topo_, cfg_.hotspot);
+    escape_vcs_ = resolveEscapeVcs(cfg_, *algo_);
+    if (algo_->usesEscapeChannels() && escape_vcs_ >= cfg_.vcsPerPort) {
+        throw ConfigError(
+            "vcsPerPort too small for the required escape VCs (" +
+            std::to_string(escape_vcs_) + ")");
+    }
+
+    NetworkParams np;
+    np.router.vcsPerPort = cfg_.vcsPerPort;
+    np.router.inBufDepth = cfg_.bufferDepth;
+    np.router.outBufDepth = cfg_.bufferDepth;
+    np.router.lookahead = cfg_.model == RouterModel::LaProud;
+    np.router.escapeVcs = escape_vcs_;
+    np.nic.numVcs = cfg_.vcsPerPort;
+    np.nic.routerBufDepth = cfg_.bufferDepth;
+    np.nic.msgLen = cfg_.msgLen;
+    np.nic.lookahead = np.router.lookahead;
+    np.nic.injection = cfg_.injection;
+    np.nic.burst = cfg_.burst;
+    np.nic.msgsPerCycle =
+        msgRateForLoad(topo_, cfg_.normalizedLoad, cfg_.msgLen);
+    np.selector = cfg_.selector;
+    np.seed = cfg_.seed;
+
+    net_ = std::make_unique<Network>(topo_, np, *table_,
+                                     algo_->usesEscapeChannels(),
+                                     *pattern_);
+    net_->setDeliveryHook(&Simulation::deliveryHook, this);
+
+    stats_.offeredFlitRate = np.nic.msgsPerCycle * cfg_.msgLen;
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::deliveryHook(void* ctx, const Flit& tail, Cycle now)
+{
+    static_cast<Simulation*>(ctx)->recordDelivery(tail, now);
+}
+
+void
+Simulation::recordDelivery(const Flit& tail, Cycle now)
+{
+    if (measuring_window_)
+        window_flits_ += tail.msgLen;
+    if (!tail.measured)
+        return;
+    const auto total = static_cast<double>(now - tail.createdAt);
+    const auto network = static_cast<double>(now - tail.injectedAt);
+    stats_.totalLatency.add(total);
+    stats_.networkLatency.add(network);
+    stats_.latencyHist.add(total);
+    stats_.hops.add(static_cast<double>(tail.hops));
+    ++stats_.deliveredMessages;
+    stats_.deliveredFlits += tail.msgLen;
+}
+
+bool
+Simulation::saturationCheck()
+{
+    Network& net = *net_;
+    const Cycle now = net.now();
+
+    // Deadlock watchdog: flits are in the network but nothing moved for
+    // a long time. This is a configuration error (non-deadlock-free
+    // routing), not saturation.
+    const std::uint64_t progress = net.progressCounter();
+    if (progress != last_progress_count_) {
+        last_progress_count_ = progress;
+        last_progress_cycle_ = now;
+    } else if (now - last_progress_cycle_ > cfg_.deadlockCycles &&
+               net.totalOccupancy() > 0) {
+        throw SimulationError(
+            "deadlock detected: no flit movement for " +
+            std::to_string(now - last_progress_cycle_) +
+            " cycles with flits in flight (" + cfg_.describe() + ")");
+    }
+
+    // Saturation: the offered load exceeds what the network drains.
+    const double backlog_limit =
+        cfg_.backlogSatPerNode * static_cast<double>(topo_.numNodes());
+    if (static_cast<double>(net.totalBacklog()) > backlog_limit)
+        return true;
+    if (stats_.totalLatency.count() >= 100 &&
+        stats_.totalLatency.mean() > cfg_.latencySatCutoff) {
+        return true;
+    }
+    return now >= cfg_.maxCycles;
+}
+
+template <typename Pred>
+bool
+Simulation::runUntil(Pred pred)
+{
+    Network& net = *net_;
+    while (!pred()) {
+        // Batch cycles between saturation checks to keep the check off
+        // the per-cycle fast path.
+        for (int i = 0; i < 256 && !pred(); ++i)
+            net.step();
+        if (saturationCheck()) {
+            stats_.saturated = true;
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Simulation::stepCycles(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        net_->step();
+}
+
+SimStats
+Simulation::run()
+{
+    Network& net = *net_;
+
+    // Phase 1: warm-up. Inject unmeasured traffic until the configured
+    // number of messages has been created.
+    if (!runUntil([&] {
+            return net.createdTotal() >= cfg_.warmupMessages;
+        })) {
+        return stats_;
+    }
+
+    // Phase 2: measurement window. Tag new messages; stop tagging after
+    // the quota.
+    net.setMeasuring(true);
+    measuring_window_ = true;
+    measure_start_ = net.now();
+    const bool measured = runUntil([&] {
+        return net.createdMeasured() >= cfg_.measureMessages;
+    });
+    net.setMeasuring(false);
+    measure_end_ = net.now();
+    measuring_window_ = false;
+    stats_.injectedMessages = net.createdMeasured();
+    if (!measured)
+        return stats_;
+
+    // Phase 3: drain. Injection continues (unmeasured) to hold the load
+    // steady while tagged messages finish.
+    if (!runUntil([&] {
+            return net.deliveredMeasured() >= net.createdMeasured();
+        })) {
+        return stats_;
+    }
+
+    stats_.measuredCycles = measure_end_ - measure_start_;
+    if (stats_.measuredCycles > 0) {
+        stats_.acceptedFlitRate =
+            static_cast<double>(window_flits_) /
+            (static_cast<double>(stats_.measuredCycles) *
+             static_cast<double>(topo_.numNodes()));
+    }
+    return stats_;
+}
+
+} // namespace lapses

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The top-level simulation facade: build a configured network, warm it
+ * up, measure, drain, and return statistics.
+ *
+ * Methodology follows the paper (Section 2.2): open-loop injection,
+ * warm-up messages excluded from statistics, measurement over a fixed
+ * number of injected messages, results reported up to network
+ * saturation ("Sat." entries in Table 4).
+ */
+
+#ifndef LAPSES_CORE_SIMULATION_HPP
+#define LAPSES_CORE_SIMULATION_HPP
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "network/network.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace lapses
+{
+
+/** One configured simulation instance (single use: construct, run). */
+class Simulation
+{
+  public:
+    /** Build the network; throws ConfigError on invalid settings. */
+    explicit Simulation(const SimConfig& cfg);
+    ~Simulation();
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /**
+     * Run warm-up, measurement and drain; returns the collected
+     * statistics. Throws SimulationError if the deadlock watchdog
+     * fires (indicating a non-deadlock-free configuration).
+     */
+    SimStats run();
+
+    /** Advance exactly n cycles without phase logic (for tests and
+     *  interactive exploration). */
+    void stepCycles(Cycle n);
+
+    const SimConfig& config() const { return cfg_; }
+    const MeshTopology& topology() const { return topo_; }
+    const RoutingAlgorithm& algorithm() const { return *algo_; }
+    const RoutingTable& table() const { return *table_; }
+    Network& network() { return *net_; }
+
+    /** The effective escape-VC count after auto-resolution. */
+    int effectiveEscapeVcs() const { return escape_vcs_; }
+
+  private:
+    static void deliveryHook(void* ctx, const Flit& tail, Cycle now);
+    void recordDelivery(const Flit& tail, Cycle now);
+
+    /** Run phase loop until pred is true or saturation; returns false
+     *  when the run saturated. */
+    template <typename Pred>
+    bool runUntil(Pred pred);
+
+    /** Periodic saturation / deadlock checks. */
+    bool saturationCheck();
+
+    SimConfig cfg_;
+    MeshTopology topo_;
+    RoutingAlgorithmPtr algo_;
+    RoutingTablePtr table_;
+    TrafficPatternPtr pattern_;
+    std::unique_ptr<Network> net_;
+    int escape_vcs_;
+
+    SimStats stats_;
+    bool measuring_window_ = false;
+    Cycle measure_start_ = 0;
+    Cycle measure_end_ = 0;
+    std::uint64_t window_flits_ = 0;
+
+    // Deadlock watchdog state.
+    std::uint64_t last_progress_count_ = 0;
+    Cycle last_progress_cycle_ = 0;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_CORE_SIMULATION_HPP

@@ -1,0 +1,241 @@
+#include "network/network.hpp"
+
+namespace lapses
+{
+
+// A flit transmitted during cycle t is latched into the sender's output
+// register at the end of t, spends linkDelay cycles on the wire, and is
+// synchronized by the receiver during t + 1 + linkDelay. This keeps the
+// contention-free hop cost at exactly (pipeline stages + link delay)
+// cycles, matching Table 2 (6 for PROUD, 5 for LA-PROUD with unit link
+// delay).
+
+void
+Network::RouterEnv::flitOut(PortId out_port, VcId out_vc,
+                            const Flit& flit)
+{
+    Network& net = *net_;
+    net.flit_wires_[net.wireIndex(id_, out_port)].push(
+        {flit, out_vc, net.now_ + 1 + net.params_.linkDelay});
+}
+
+void
+Network::RouterEnv::creditOut(PortId in_port, VcId vc)
+{
+    Network& net = *net_;
+    net.credit_wires_[net.wireIndex(id_, in_port)].push(
+        {vc, net.now_ + 1 + net.params_.linkDelay});
+}
+
+void
+Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
+{
+    Network& net = *net_;
+    net.inject_wires_[static_cast<std::size_t>(id_)].push(
+        {flit, vc, net.now_ + 1 + net.params_.linkDelay});
+}
+
+Network::Network(const MeshTopology& topo, const NetworkParams& params,
+                 const RoutingTable& table, bool escape_channels,
+                 const TrafficPattern& pattern)
+    : topo_(topo), params_(params)
+{
+    const NodeId n = topo.numNodes();
+    const int ports = topo.numPorts();
+    const int vcs = params.router.vcsPerPort;
+    Rng master(params.seed);
+
+    routers_.reserve(static_cast<std::size_t>(n));
+    nics_.reserve(static_cast<std::size_t>(n));
+    router_envs_.resize(static_cast<std::size_t>(n));
+    nic_envs_.resize(static_cast<std::size_t>(n));
+
+    for (NodeId id = 0; id < n; ++id) {
+        routers_.push_back(std::make_unique<Router>(
+            id, topo, params.router, table, escape_channels,
+            makePathSelector(params.selector,
+                             master.split(0x5E1Eu + static_cast<
+                                          std::uint64_t>(id)))));
+        nics_.push_back(std::make_unique<Nic>(
+            id, params.nic, table, pattern,
+            master.split(0x417Cu + static_cast<std::uint64_t>(id))));
+        router_envs_[static_cast<std::size_t>(id)].bind(this, id);
+        nic_envs_[static_cast<std::size_t>(id)].bind(this, id);
+    }
+
+    // Wires: a link carries at most one flit per cycle, so capacity
+    // linkDelay + 1 suffices; credit wires may carry one credit per VC
+    // per cycle.
+    const auto wire_count =
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(ports);
+    const auto flit_cap =
+        static_cast<std::size_t>(params.linkDelay) + 3;
+    const auto credit_cap = static_cast<std::size_t>(vcs) *
+                                (static_cast<std::size_t>(
+                                     params.linkDelay) + 2) + 2;
+    flit_wires_.reserve(wire_count);
+    credit_wires_.reserve(wire_count);
+    for (std::size_t i = 0; i < wire_count; ++i) {
+        flit_wires_.emplace_back(flit_cap);
+        credit_wires_.emplace_back(credit_cap);
+    }
+    inject_wires_.reserve(static_cast<std::size_t>(n));
+    for (NodeId id = 0; id < n; ++id)
+        inject_wires_.emplace_back(flit_cap);
+}
+
+void
+Network::deliverWires()
+{
+    const int ports = topo_.numPorts();
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        // Router output wires -> neighbor router input / local NIC.
+        for (PortId p = 0; p < ports; ++p) {
+            auto& fw = flit_wires_[wireIndex(id, p)];
+            while (!fw.empty() && fw.front().due <= now_) {
+                const WireFlit wf = fw.pop();
+                if (p == kLocalPort) {
+                    if (tracer_ != nullptr) {
+                        tracer_->record({now_,
+                                         TraceEvent::Kind::Eject, id,
+                                         kInvalidPort, wf.flit.msg,
+                                         wf.flit.seq, wf.flit.type});
+                    }
+                    nics_[static_cast<std::size_t>(id)]->acceptFlit(
+                        wf.flit, now_, *this);
+                } else {
+                    const NodeId peer = topo_.neighbor(id, p);
+                    LAPSES_ASSERT(peer != kInvalidNode);
+                    if (tracer_ != nullptr) {
+                        tracer_->record(
+                            {now_, TraceEvent::Kind::HopArrive, peer,
+                             MeshTopology::oppositePort(p),
+                             wf.flit.msg, wf.flit.seq, wf.flit.type});
+                    }
+                    routers_[static_cast<std::size_t>(peer)]->acceptFlit(
+                        MeshTopology::oppositePort(p), wf.vc, wf.flit,
+                        now_);
+                }
+            }
+            // Credit wires from (router id, in port p) upstream.
+            auto& cw = credit_wires_[wireIndex(id, p)];
+            while (!cw.empty() && cw.front().due <= now_) {
+                const WireCredit wc = cw.pop();
+                if (p == kLocalPort) {
+                    nics_[static_cast<std::size_t>(id)]->acceptCredit(
+                        wc.vc);
+                } else {
+                    const NodeId peer = topo_.neighbor(id, p);
+                    LAPSES_ASSERT(peer != kInvalidNode);
+                    routers_[static_cast<std::size_t>(peer)]
+                        ->acceptCredit(MeshTopology::oppositePort(p),
+                                       wc.vc);
+                }
+            }
+        }
+        // NIC injection wires -> router local input port.
+        auto& iw = inject_wires_[static_cast<std::size_t>(id)];
+        while (!iw.empty() && iw.front().due <= now_) {
+            const WireFlit wf = iw.pop();
+            if (tracer_ != nullptr) {
+                tracer_->record({now_, TraceEvent::Kind::Inject, id,
+                                 kLocalPort, wf.flit.msg, wf.flit.seq,
+                                 wf.flit.type});
+            }
+            routers_[static_cast<std::size_t>(id)]->acceptFlit(
+                kLocalPort, wf.vc, wf.flit, now_);
+        }
+    }
+}
+
+void
+Network::step()
+{
+    deliverWires();
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        nics_[static_cast<std::size_t>(id)]->step(
+            now_, nic_envs_[static_cast<std::size_t>(id)]);
+    }
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        routers_[static_cast<std::size_t>(id)]->step(
+            now_, router_envs_[static_cast<std::size_t>(id)]);
+    }
+    ++now_;
+}
+
+void
+Network::setMeasuring(bool on)
+{
+    for (auto& nic : nics_)
+        nic->setMeasuring(on);
+}
+
+void
+Network::setInjectionEnabled(bool on)
+{
+    for (auto& nic : nics_)
+        nic->setInjectionEnabled(on);
+}
+
+std::uint64_t
+Network::createdMeasured() const
+{
+    std::uint64_t n = 0;
+    for (const auto& nic : nics_)
+        n += nic->createdMeasured();
+    return n;
+}
+
+std::uint64_t
+Network::createdTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto& nic : nics_)
+        n += nic->createdTotal();
+    return n;
+}
+
+std::size_t
+Network::totalBacklog() const
+{
+    std::size_t n = 0;
+    for (const auto& nic : nics_)
+        n += nic->backlog();
+    return n;
+}
+
+std::size_t
+Network::totalOccupancy() const
+{
+    std::size_t n = 0;
+    for (const auto& r : routers_)
+        n += r->occupancy();
+    for (const auto& w : flit_wires_)
+        n += w.size();
+    for (const auto& w : inject_wires_)
+        n += w.size();
+    return n;
+}
+
+std::uint64_t
+Network::progressCounter() const
+{
+    std::uint64_t n = delivered_total_;
+    for (const auto& r : routers_)
+        n += r->forwardedFlits();
+    for (const auto& nic : nics_)
+        n += nic->injectedFlits();
+    return n;
+}
+
+void
+Network::messageDelivered(const Flit& tail, Cycle now)
+{
+    ++delivered_total_;
+    if (tail.measured)
+        ++delivered_measured_;
+    if (hook_ != nullptr)
+        hook_(hook_ctx_, tail, now);
+}
+
+} // namespace lapses

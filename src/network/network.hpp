@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The interconnection network: routers + NICs wired by 1-cycle links.
+ *
+ * Each bidirectional mesh link is a pair of unidirectional flit wires
+ * plus reverse credit wires. Delivery is staged: everything a component
+ * emits at cycle t arrives at its peer at t + linkDelay, so the order in
+ * which routers step within a cycle cannot matter.
+ */
+
+#ifndef LAPSES_NETWORK_NETWORK_HPP
+#define LAPSES_NETWORK_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "network/nic.hpp"
+#include "network/tracer.hpp"
+#include "router/router.hpp"
+#include "selection/selector_factory.hpp"
+
+namespace lapses
+{
+
+/** Network-level construction parameters. */
+struct NetworkParams
+{
+    RouterParams router;
+    Nic::Params nic;
+    Cycle linkDelay = 1;
+    SelectorKind selector = SelectorKind::StaticXY;
+    std::uint64_t seed = 1;
+};
+
+/** A mesh of routers and NICs with credit-based flow control. */
+class Network : public DeliverySink
+{
+  public:
+    /**
+     * @param topo     the mesh
+     * @param params   microarchitecture + injection parameters
+     * @param table    programmed routing tables (must outlive Network)
+     * @param escape_channels Duato escape discipline on/off
+     * @param pattern  traffic pattern (must outlive Network)
+     */
+    Network(const MeshTopology& topo, const NetworkParams& params,
+            const RoutingTable& table, bool escape_channels,
+            const TrafficPattern& pattern);
+
+    /** Advance the whole network by one cycle. */
+    void step();
+
+    /** The next cycle to execute (cycles completed so far). */
+    Cycle now() const { return now_; }
+
+    /** Start/stop tagging new messages as measured. */
+    void setMeasuring(bool on);
+
+    /** Stop/resume message generation at every NIC (drain support). */
+    void setInjectionEnabled(bool on);
+
+    /** Messages created with the measured tag. */
+    std::uint64_t createdMeasured() const;
+
+    /** Messages created in total. */
+    std::uint64_t createdTotal() const;
+
+    /** Measured messages delivered so far. */
+    std::uint64_t deliveredMeasured() const
+    {
+        return delivered_measured_;
+    }
+
+    /** All messages delivered so far. */
+    std::uint64_t deliveredTotal() const { return delivered_total_; }
+
+    /** Sum of source-queue backlogs (saturation detector input). */
+    std::size_t totalBacklog() const;
+
+    /** Flits buffered anywhere in routers or on wires. */
+    std::size_t totalOccupancy() const;
+
+    /** Monotone progress counter (flit movements), for the deadlock
+     *  watchdog. */
+    std::uint64_t progressCounter() const;
+
+    /** Hook invoked on every delivered message (set by Simulation). */
+    using DeliveryHook = void (*)(void* ctx, const Flit& tail, Cycle now);
+    void
+    setDeliveryHook(DeliveryHook hook, void* ctx)
+    {
+        hook_ = hook;
+        hook_ctx_ = ctx;
+    }
+
+    /** Attach (or detach with nullptr) a flit-event tracer. */
+    void setTracer(FlitTracer* tracer) { tracer_ = tracer; }
+
+    // DeliverySink
+    void messageDelivered(const Flit& tail, Cycle now) override;
+
+    const MeshTopology& topology() const { return topo_; }
+    Router& router(NodeId id)
+    {
+        return *routers_[static_cast<std::size_t>(id)];
+    }
+    const Router&
+    router(NodeId id) const
+    {
+        return *routers_[static_cast<std::size_t>(id)];
+    }
+
+  private:
+    /** A flit in flight on a wire. */
+    struct WireFlit
+    {
+        Flit flit;
+        VcId vc;
+        Cycle due;
+    };
+
+    /** A credit in flight on a wire. */
+    struct WireCredit
+    {
+        VcId vc;
+        Cycle due;
+    };
+
+    /** Adapter giving each router its link endpoints. */
+    class RouterEnv : public Router::Env
+    {
+      public:
+        RouterEnv() : net_(nullptr), id_(kInvalidNode) {}
+        void
+        bind(Network* net, NodeId id)
+        {
+            net_ = net;
+            id_ = id;
+        }
+        void flitOut(PortId out_port, VcId out_vc,
+                     const Flit& flit) override;
+        void creditOut(PortId in_port, VcId vc) override;
+
+      private:
+        Network* net_;
+        NodeId id_;
+    };
+
+    /** Adapter for NIC injection. */
+    class NicEnv : public Nic::Env
+    {
+      public:
+        NicEnv() : net_(nullptr), id_(kInvalidNode) {}
+        void
+        bind(Network* net, NodeId id)
+        {
+            net_ = net;
+            id_ = id;
+        }
+        void injectFlit(VcId vc, const Flit& flit) override;
+
+      private:
+        Network* net_;
+        NodeId id_;
+    };
+
+    friend class RouterEnv;
+    friend class NicEnv;
+
+    std::size_t
+    wireIndex(NodeId node, PortId port) const
+    {
+        return static_cast<std::size_t>(node) *
+                   static_cast<std::size_t>(topo_.numPorts()) +
+               static_cast<std::size_t>(port);
+    }
+
+    /** Deliver all wire traffic due at 'now'. */
+    void deliverWires();
+
+    const MeshTopology& topo_;
+    NetworkParams params_;
+    Cycle now_ = 0;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<RouterEnv> router_envs_;
+    std::vector<NicEnv> nic_envs_;
+
+    /** Router output wires, indexed by (router, out port). Port 0 wires
+     *  deliver to the local NIC (ejection). */
+    std::vector<RingBuffer<WireFlit>> flit_wires_;
+
+    /** Credit wires from (router, in port) back upstream; in port 0
+     *  credits deliver to the local NIC. */
+    std::vector<RingBuffer<WireCredit>> credit_wires_;
+
+    /** NIC -> router injection wires, one per node. */
+    std::vector<RingBuffer<WireFlit>> inject_wires_;
+
+    std::uint64_t delivered_measured_ = 0;
+    std::uint64_t delivered_total_ = 0;
+    DeliveryHook hook_ = nullptr;
+    void* hook_ctx_ = nullptr;
+    FlitTracer* tracer_ = nullptr;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_NETWORK_NETWORK_HPP

@@ -1,0 +1,131 @@
+#include "network/nic.hpp"
+
+namespace lapses
+{
+
+Nic::Nic(NodeId node, const Params& params, const RoutingTable& table,
+         const TrafficPattern& pattern, Rng rng)
+    : node_(node), params_(params), table_(table), pattern_(pattern),
+      rng_(rng), process_(params.injection, params.msgsPerCycle,
+                          rng.split(0x1111), params.burst),
+      active_(static_cast<std::size_t>(params.numVcs)),
+      credits_(static_cast<std::size_t>(params.numVcs),
+               params.routerBufDepth),
+      next_msg_id_(static_cast<MessageId>(node) << 40)
+{
+    if (params.msgLen < 1)
+        throw ConfigError("message length must be at least 1 flit");
+}
+
+std::size_t
+Nic::backlog() const
+{
+    std::size_t n = queue_.size();
+    for (const auto& a : active_)
+        n += a.active ? 1 : 0;
+    return n;
+}
+
+void
+Nic::acceptCredit(VcId vc)
+{
+    ++credits_[static_cast<std::size_t>(vc)];
+    LAPSES_ASSERT(credits_[static_cast<std::size_t>(vc)] <=
+                  params_.routerBufDepth);
+}
+
+void
+Nic::acceptFlit(const Flit& flit, Cycle now, DeliverySink& sink)
+{
+    LAPSES_ASSERT_MSG(flit.dest == node_,
+                      "flit ejected at the wrong node");
+    if (isTail(flit.type))
+        sink.messageDelivered(flit, now);
+}
+
+void
+Nic::step(Cycle now, Env& env)
+{
+    // 1. Open-loop arrivals join the (unbounded) source queue. The
+    //    process clock advances even while injection is disabled so a
+    //    re-enabled NIC does not release a burst of stale arrivals.
+    const int arrivals = process_.arrivals(now);
+    for (int i = 0; i < (injection_enabled_ ? arrivals : 0); ++i) {
+        const NodeId dest = pattern_.pick(node_, rng_);
+        if (dest == kInvalidNode)
+            continue; // node is silent under this pattern
+        queue_.push_back({dest, now, measuring_});
+        ++created_total_;
+        if (measuring_)
+            ++created_measured_;
+    }
+
+    // 2. Allocate idle VCs to waiting messages (conservative
+    //    reallocation: the downstream buffer must have drained).
+    for (VcId v = 0; v < params_.numVcs && !queue_.empty(); ++v) {
+        ActiveInjection& a = active_[static_cast<std::size_t>(v)];
+        if (a.active ||
+            credits_[static_cast<std::size_t>(v)] !=
+                params_.routerBufDepth) {
+            continue;
+        }
+        const QueuedMessage m = queue_.front();
+        queue_.pop_front();
+        a.active = true;
+        a.dest = m.dest;
+        a.createdAt = m.createdAt;
+        a.measured = m.measured;
+        a.nextSeq = 0;
+        a.msg = next_msg_id_++;
+    }
+
+    // 3. The local physical link carries one flit per cycle; round-robin
+    //    over the active VCs with credit.
+    const int nv = params_.numVcs;
+    for (int k = 0; k < nv; ++k) {
+        const VcId v = static_cast<VcId>((mux_next_ + k) % nv);
+        ActiveInjection& a = active_[static_cast<std::size_t>(v)];
+        if (!a.active || credits_[static_cast<std::size_t>(v)] <= 0)
+            continue;
+
+        if (a.nextSeq == 0)
+            a.injectedAt = now; // the header actually enters the network
+
+        Flit flit;
+        const int len = params_.msgLen;
+        if (len == 1) {
+            flit.type = FlitType::HeadTail;
+        } else if (a.nextSeq == 0) {
+            flit.type = FlitType::Head;
+        } else if (a.nextSeq == len - 1) {
+            flit.type = FlitType::Tail;
+        } else {
+            flit.type = FlitType::Body;
+        }
+        flit.msg = a.msg;
+        flit.src = node_;
+        flit.dest = a.dest;
+        flit.seq = a.nextSeq;
+        flit.msgLen = static_cast<std::uint16_t>(len);
+        flit.createdAt = a.createdAt;
+        flit.injectedAt = a.injectedAt;
+        flit.measured = a.measured;
+        if (isHead(flit.type) && params_.lookahead) {
+            // First-hop lookup performed by the NIC so the header
+            // reaches the source router carrying its candidates.
+            flit.laRoute = table_.lookup(node_, a.dest);
+            flit.laValid = true;
+        }
+
+        --credits_[static_cast<std::size_t>(v)];
+        ++a.nextSeq;
+        ++injected_flits_;
+        if (a.nextSeq == len)
+            a.active = false;
+        env.injectFlit(v, flit);
+        mux_next_ = (static_cast<int>(v) + 1) % nv;
+        break;
+    }
+}
+
+} // namespace lapses

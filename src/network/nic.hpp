@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Network interface controller: open-loop injection and ejection.
+ *
+ * The NIC owns the (unbounded) source queue, breaks messages into flits,
+ * allocates virtual channels on the router's local input port with the
+ * same conservative discipline routers use, streams at most one flit per
+ * cycle over the local link, and in look-ahead mode performs the
+ * first-hop table lookup so the header arrives at the source router with
+ * its candidate set (Section 3.2).
+ */
+
+#ifndef LAPSES_NETWORK_NIC_HPP
+#define LAPSES_NETWORK_NIC_HPP
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "router/flit.hpp"
+#include "tables/routing_table.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/patterns.hpp"
+
+namespace lapses
+{
+
+/** Receives delivered messages (tail ejection) for statistics. */
+class DeliverySink
+{
+  public:
+    virtual ~DeliverySink() = default;
+
+    /** The tail flit of a message reached its destination NIC. */
+    virtual void messageDelivered(const Flit& tail, Cycle now) = 0;
+};
+
+/** Injection + ejection endpoint of one node. */
+class Nic
+{
+  public:
+    /** Construction parameters shared by all NICs. */
+    struct Params
+    {
+        int numVcs = 4;
+        int routerBufDepth = 20; //!< credits toward the local input port
+        int msgLen = 20;
+        bool lookahead = false;
+        InjectionKind injection = InjectionKind::Exponential;
+        BurstOptions burst;
+        double msgsPerCycle = 0.0;
+    };
+
+    /** Environment callback: puts a flit on the NIC -> router link. */
+    class Env
+    {
+      public:
+        virtual ~Env() = default;
+        virtual void injectFlit(VcId vc, const Flit& flit) = 0;
+    };
+
+    Nic(NodeId node, const Params& params, const RoutingTable& table,
+        const TrafficPattern& pattern, Rng rng);
+
+    /** Generate arrivals, allocate VCs, stream one flit if possible. */
+    void step(Cycle now, Env& env);
+
+    /** Credit returned from the router's local input port. */
+    void acceptCredit(VcId vc);
+
+    /** A flit ejected from the router's local output port arrives. */
+    void acceptFlit(const Flit& flit, Cycle now, DeliverySink& sink);
+
+    /** Begin tagging newly created messages as measured. */
+    void setMeasuring(bool on) { measuring_ = on; }
+
+    /** Stop (or resume) generating new messages; in-flight traffic
+     *  continues so the network can drain to quiescence. */
+    void setInjectionEnabled(bool on) { injection_enabled_ = on; }
+
+    /** Messages created while measuring was on. */
+    std::uint64_t createdMeasured() const { return created_measured_; }
+
+    /** All messages created (including warm-up/drain). */
+    std::uint64_t createdTotal() const { return created_total_; }
+
+    /** Source-queue backlog: queued messages not yet fully injected. */
+    std::size_t backlog() const;
+
+    /** Flits sent into the network (progress watchdog input). */
+    std::uint64_t injectedFlits() const { return injected_flits_; }
+
+  private:
+    /** A message waiting in the source queue. */
+    struct QueuedMessage
+    {
+        NodeId dest;
+        Cycle createdAt;
+        bool measured;
+    };
+
+    /** A message streaming flits on one local-link VC. */
+    struct ActiveInjection
+    {
+        bool active = false;
+        NodeId dest = kInvalidNode;
+        Cycle createdAt = 0;
+        Cycle injectedAt = 0;
+        bool measured = false;
+        std::uint16_t nextSeq = 0;
+        MessageId msg = 0;
+    };
+
+    NodeId node_;
+    Params params_;
+    const RoutingTable& table_;
+    const TrafficPattern& pattern_;
+    Rng rng_;
+    InjectionProcess process_;
+
+    std::deque<QueuedMessage> queue_;
+    std::vector<ActiveInjection> active_;
+    std::vector<int> credits_;
+    int mux_next_ = 0;
+
+    bool measuring_ = false;
+    bool injection_enabled_ = true;
+    std::uint64_t created_measured_ = 0;
+    std::uint64_t created_total_ = 0;
+    std::uint64_t injected_flits_ = 0;
+    MessageId next_msg_id_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_NETWORK_NIC_HPP

@@ -1,0 +1,84 @@
+#include "network/tracer.hpp"
+
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+FlitTracer::FlitTracer(std::size_t capacity) : ring_(capacity)
+{
+    LAPSES_ASSERT(capacity > 0);
+}
+
+void
+FlitTracer::record(const TraceEvent& ev)
+{
+    ++recorded_;
+    if (size_ < ring_.size()) {
+        ring_[(head_ + size_) % ring_.size()] = ev;
+        ++size_;
+    } else {
+        ring_[head_] = ev;
+        head_ = (head_ + 1) % ring_.size();
+    }
+}
+
+std::vector<TraceEvent>
+FlitTracer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::vector<TraceEvent>
+FlitTracer::eventsFor(MessageId msg) const
+{
+    std::vector<TraceEvent> out;
+    for (std::size_t i = 0; i < size_; ++i) {
+        const TraceEvent& ev = ring_[(head_ + i) % ring_.size()];
+        if (ev.msg == msg)
+            out.push_back(ev);
+    }
+    return out;
+}
+
+void
+FlitTracer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+}
+
+void
+FlitTracer::dump(std::ostream& os) const
+{
+    for (const TraceEvent& ev : events()) {
+        os << ev.cycle << ' ' << traceKindName(ev.kind) << " node "
+           << ev.node;
+        if (ev.kind == TraceEvent::Kind::HopArrive)
+            os << " port " << MeshTopology::portName(ev.port);
+        os << " msg " << ev.msg << " seq " << ev.seq << '\n';
+    }
+}
+
+const char*
+traceKindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::Inject:
+        return "inject";
+      case TraceEvent::Kind::HopArrive:
+        return "hop";
+      case TraceEvent::Kind::Eject:
+        return "eject";
+    }
+    return "?";
+}
+
+} // namespace lapses

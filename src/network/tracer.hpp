@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Flit-event tracer: a bounded ring of network events (injection,
+ * per-hop arrival, ejection) for debugging and for timing analysis in
+ * tests. Attach with Network::setTracer; tracing is off (and free)
+ * by default.
+ */
+
+#ifndef LAPSES_NETWORK_TRACER_HPP
+#define LAPSES_NETWORK_TRACER_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace lapses
+{
+
+/** One observed flit event. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Inject,    //!< flit entered its source router from the NIC
+        HopArrive, //!< flit delivered to a router input port
+        Eject,     //!< flit delivered to the destination NIC
+    };
+
+    Cycle cycle = 0;
+    Kind kind = Kind::Inject;
+    NodeId node = kInvalidNode; //!< router/NIC observing the event
+    PortId port = kInvalidPort; //!< input port (HopArrive only)
+    MessageId msg = 0;
+    std::uint16_t seq = 0;
+    FlitType type = FlitType::Head;
+};
+
+/** Bounded event recorder (oldest events are dropped when full). */
+class FlitTracer
+{
+  public:
+    /** @param capacity maximum retained events (> 0) */
+    explicit FlitTracer(std::size_t capacity = 65536);
+
+    /** Record an event (called by the Network). */
+    void record(const TraceEvent& ev);
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Retained events of one message, oldest first. */
+    std::vector<TraceEvent> eventsFor(MessageId msg) const;
+
+    /** Number of retained events. */
+    std::size_t size() const { return size_; }
+
+    /** Total events ever recorded (including dropped ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Drop everything. */
+    void clear();
+
+    /** Human-readable dump, one event per line. */
+    void dump(std::ostream& os) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0; //!< index of the oldest event
+    std::size_t size_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+/** Event-kind name for dumps ("inject", "hop", "eject"). */
+const char* traceKindName(TraceEvent::Kind kind);
+
+} // namespace lapses
+
+#endif // LAPSES_NETWORK_TRACER_HPP

@@ -1,0 +1,39 @@
+#include "router/arbiter.hpp"
+
+#include <algorithm>
+
+namespace lapses
+{
+
+bool
+RoundRobinArbiter::anyRequest() const
+{
+    return std::find(requests_.begin(), requests_.end(), true) !=
+           requests_.end();
+}
+
+int
+RoundRobinArbiter::grant()
+{
+    const int n = numRequesters();
+    int winner = -1;
+    for (int k = 0; k < n; ++k) {
+        const int i = (next_ + k) % n;
+        if (requests_[static_cast<std::size_t>(i)]) {
+            winner = i;
+            break;
+        }
+    }
+    if (winner >= 0)
+        next_ = (winner + 1) % n;
+    clear();
+    return winner;
+}
+
+void
+RoundRobinArbiter::clear()
+{
+    std::fill(requests_.begin(), requests_.end(), false);
+}
+
+} // namespace lapses

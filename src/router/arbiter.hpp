@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Round-robin arbiters for crossbar output ports and VC multiplexers.
+ *
+ * The two arbitration points of the paper's router model (Section 2.2:
+ * "contention ... can occur only in the crossbar arbitration and VC
+ * multiplexing stages") both use rotating-priority arbitration for
+ * starvation freedom.
+ */
+
+#ifndef LAPSES_ROUTER_ARBITER_HPP
+#define LAPSES_ROUTER_ARBITER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+/** Rotating-priority (round-robin) arbiter over a fixed requester set. */
+class RoundRobinArbiter
+{
+  public:
+    /** @param num_requesters size of the requester id space */
+    explicit RoundRobinArbiter(int num_requesters)
+        : requests_(static_cast<std::size_t>(num_requesters), false),
+          next_(0)
+    {
+        LAPSES_ASSERT(num_requesters > 0);
+    }
+
+    int numRequesters() const
+    {
+        return static_cast<int>(requests_.size());
+    }
+
+    /** Raise requester i's request line for this arbitration round. */
+    void
+    request(int i)
+    {
+        requests_[static_cast<std::size_t>(i)] = true;
+    }
+
+    /** True if any request line is raised. */
+    bool anyRequest() const;
+
+    /**
+     * Grant one requester, starting the scan at the rotating priority
+     * pointer, then advance the pointer past the winner and clear all
+     * request lines. Returns -1 when no line is raised.
+     */
+    int grant();
+
+    /** Clear request lines without granting (end of cycle). */
+    void clear();
+
+  private:
+    std::vector<bool> requests_;
+    int next_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTER_ARBITER_HPP

@@ -1,0 +1,23 @@
+#include "router/flit.hpp"
+
+namespace lapses
+{
+
+/** Name of a flit type for diagnostics. */
+const char*
+flitTypeName(FlitType t)
+{
+    switch (t) {
+      case FlitType::Head:
+        return "head";
+      case FlitType::Body:
+        return "body";
+      case FlitType::Tail:
+        return "tail";
+      case FlitType::HeadTail:
+        return "head-tail";
+    }
+    return "?";
+}
+
+} // namespace lapses

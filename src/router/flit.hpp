@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flits — the flow-control units of wormhole switching.
+ *
+ * A message is a header flit, zero or more body flits and a tail flit
+ * (single-flit messages use HeadTail). The header carries the routing
+ * information; in look-ahead mode it additionally carries the candidate
+ * output ports for the *current* router, computed by the previous
+ * router's concurrent table lookup (Fig. 3/4 header formats).
+ */
+
+#ifndef LAPSES_ROUTER_FLIT_HPP
+#define LAPSES_ROUTER_FLIT_HPP
+
+#include "common/types.hpp"
+#include "routing/route_candidates.hpp"
+
+namespace lapses
+{
+
+/** Position of a flit within its message. */
+enum class FlitType : std::uint8_t
+{
+    Head,
+    Body,
+    Tail,
+    HeadTail, //!< single-flit message
+};
+
+/** True for Head and HeadTail flits. */
+inline bool
+isHead(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
+
+/** True for Tail and HeadTail flits. */
+inline bool
+isTail(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+/** One flow-control unit travelling through the network. */
+struct Flit
+{
+    FlitType type = FlitType::Head;
+
+    /** Message identity and addressing (header information, replicated
+     *  on every flit for simulator convenience). */
+    MessageId msg = 0;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+
+    /** Flit index within the message, 0 = header. */
+    std::uint16_t seq = 0;
+
+    /** Message length in flits. */
+    std::uint16_t msgLen = 1;
+
+    /** Cycle the message was created at the source NIC. */
+    Cycle createdAt = 0;
+
+    /** Cycle the header entered the network (left the source queue). */
+    Cycle injectedAt = 0;
+
+    /** Earliest cycle the flit may take its next pipeline action;
+     *  maintained locally by each router/NIC stage. */
+    Cycle readyAt = 0;
+
+    /** Routers traversed so far (incremented at each router). */
+    std::uint16_t hops = 0;
+
+    /** True when the message was created inside the measurement
+     *  window and contributes to statistics. */
+    bool measured = false;
+
+    /** Look-ahead route: candidate ports at the router this flit is
+     *  arriving at. Valid on header flits when laValid is set. */
+    bool laValid = false;
+    RouteCandidates laRoute;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTER_FLIT_HPP

@@ -1,0 +1,327 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+
+namespace lapses
+{
+
+Router::Router(NodeId id, const MeshTopology& topo,
+               const RouterParams& params, const RoutingTable& table,
+               bool escape_channels, PathSelectorPtr selector)
+    : id_(id), topo_(topo), params_(params), table_(table),
+      escape_channels_(escape_channels), selector_(std::move(selector)),
+      num_ports_(topo.numPorts())
+{
+    LAPSES_ASSERT(selector_ != nullptr);
+    if (params_.vcsPerPort < 1)
+        throw ConfigError("router needs at least one VC per port");
+    if (escape_channels_ &&
+        (params_.escapeVcs < 1 ||
+         params_.escapeVcs >= params_.vcsPerPort)) {
+        throw ConfigError(
+            "Duato's protocol needs 1 <= escapeVcs < vcsPerPort");
+    }
+    inputs_.reserve(static_cast<std::size_t>(num_ports_));
+    outputs_.reserve(static_cast<std::size_t>(num_ports_));
+    const int xbar_requesters = num_ports_ * params_.vcsPerPort;
+    for (PortId p = 0; p < num_ports_; ++p) {
+        inputs_.emplace_back(params_.vcsPerPort,
+                             static_cast<std::size_t>(params_.inBufDepth));
+        // Downstream of every network output is a peer input FIFO of
+        // inBufDepth; the ejection port's NIC sink never backpressures.
+        outputs_.emplace_back(params_.vcsPerPort,
+                              static_cast<std::size_t>(params_.outBufDepth),
+                              params_.inBufDepth, xbar_requesters,
+                              p == kLocalPort);
+    }
+    pending_request_.assign(
+        static_cast<std::size_t>(xbar_requesters), kInvalidPort);
+}
+
+void
+Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit, Cycle now)
+{
+    LAPSES_ASSERT(in_port >= 0 && in_port < num_ports_);
+    inputs_[static_cast<std::size_t>(in_port)].receiveFlit(vc, flit, now);
+}
+
+void
+Router::acceptCredit(PortId out_port, VcId vc)
+{
+    LAPSES_ASSERT(out_port >= 0 && out_port < num_ports_);
+    OutputVc& ovc =
+        outputs_[static_cast<std::size_t>(out_port)].vc(vc);
+    ++ovc.credits;
+    LAPSES_ASSERT_MSG(ovc.credits <= params_.inBufDepth,
+                      "credit overflow: more credits than buffer slots");
+}
+
+std::size_t
+Router::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto& in : inputs_)
+        n += in.occupancy();
+    for (PortId p = 0; p < num_ports_; ++p) {
+        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+            n += outputs_[static_cast<std::size_t>(p)].vc(v)
+                     .buffer.size();
+        }
+    }
+    return n;
+}
+
+void
+Router::advanceHeaderState(PortId in_port, VcId vc, Cycle now)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(in_port)].vc(vc);
+    if (ivc.state != RouteState::Idle || ivc.buffer.empty())
+        return;
+    const Flit& front = ivc.buffer.front();
+    if (front.readyAt > now)
+        return;
+    LAPSES_ASSERT_MSG(isHead(front.type),
+                      "non-header flit at the front of an idle VC");
+    if (params_.lookahead) {
+        // LA-PROUD: the candidates arrived in the header; selection and
+        // arbitration may start immediately (4-stage pipe). The lookup
+        // for the *next* router happens concurrently at grant time.
+        LAPSES_ASSERT_MSG(front.laValid,
+                          "look-ahead router received a header without "
+                          "look-ahead route");
+        ivc.route = front.laRoute;
+        ivc.arbEligibleAt = std::max(front.readyAt, now);
+    } else {
+        // PROUD: a dedicated table-lookup stage precedes selection
+        // (5-stage pipe).
+        ivc.route = table_.lookup(id_, front.dest);
+        ivc.arbEligibleAt = std::max(front.readyAt, now) + 1;
+    }
+    LAPSES_ASSERT_MSG(!ivc.route.empty(), "empty routing-table entry");
+    ivc.state = RouteState::WaitArb;
+}
+
+int
+Router::countFreeVcs(const RouteCandidates& route, PortId p) const
+{
+    const OutputUnit& out = outputs_[static_cast<std::size_t>(p)];
+    const int full = params_.inBufDepth;
+    if (p == kLocalPort || !escape_channels_ ||
+        route.escapePort() == kInvalidPort) {
+        // No escape discipline: every VC is usable on any candidate.
+        int n = 0;
+        for (VcId v = 0; v < params_.vcsPerPort; ++v)
+            n += out.allocatable(v, full) ? 1 : 0;
+        return n;
+    }
+    int n = 0;
+    // Adaptive class on any candidate port.
+    for (VcId v = static_cast<VcId>(params_.escapeVcs);
+         v < params_.vcsPerPort; ++v) {
+        n += out.allocatable(v, full) ? 1 : 0;
+    }
+    // Escape class only toward the escape port, on the VC of the
+    // entry's escape phase.
+    if (p == route.escapePort()) {
+        const VcId ev = static_cast<VcId>(
+            std::min(route.escapeClass(), params_.escapeVcs - 1));
+        n += out.allocatable(ev, full) ? 1 : 0;
+    }
+    return n;
+}
+
+VcId
+Router::allocateVc(const RouteCandidates& route, PortId p) const
+{
+    const OutputUnit& out = outputs_[static_cast<std::size_t>(p)];
+    const int full = params_.inBufDepth;
+    if (p == kLocalPort || !escape_channels_ ||
+        route.escapePort() == kInvalidPort) {
+        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+            if (out.allocatable(v, full))
+                return v;
+        }
+        return kInvalidVc;
+    }
+    // Prefer adaptive VCs, keeping the escape network free for blocked
+    // messages.
+    for (VcId v = static_cast<VcId>(params_.escapeVcs);
+         v < params_.vcsPerPort; ++v) {
+        if (out.allocatable(v, full))
+            return v;
+    }
+    if (p == route.escapePort()) {
+        const VcId ev = static_cast<VcId>(
+            std::min(route.escapeClass(), params_.escapeVcs - 1));
+        if (out.allocatable(ev, full))
+            return ev;
+    }
+    return kInvalidVc;
+}
+
+PortId
+Router::gatherRequest(PortId in_port, VcId vc, Cycle now)
+{
+    InputVc& ivc = inputs_[static_cast<std::size_t>(in_port)].vc(vc);
+    if (ivc.buffer.empty())
+        return kInvalidPort;
+
+    if (ivc.state == RouteState::WaitArb) {
+        if (now < ivc.arbEligibleAt)
+            return kInvalidPort;
+        // Selection-cum-arbitration stage: filter candidates to those
+        // with an allocatable VC, then apply the path-selection
+        // heuristic (Section 4).
+        std::array<PortStatus, RouteCandidates::kMaxCandidates> status;
+        int avail = 0;
+        for (int i = 0; i < ivc.route.count(); ++i) {
+            const PortId p = ivc.route.at(i);
+            const int free_vcs = countFreeVcs(ivc.route, p);
+            if (free_vcs == 0)
+                continue;
+            const OutputUnit& out =
+                outputs_[static_cast<std::size_t>(p)];
+            status[static_cast<std::size_t>(avail++)] = PortStatus{
+                p, free_vcs, out.totalCredits(), out.activeVcCount(),
+                out.useCount(), out.lastUseCycle()};
+        }
+        if (avail == 0)
+            return kInvalidPort; // all candidates blocked; retry
+        const PortId chosen = avail == 1
+            ? status[0].port
+            : selector_->select(std::span<const PortStatus>(
+                  status.data(), static_cast<std::size_t>(avail)));
+        LAPSES_ASSERT(ivc.route.contains(chosen));
+        return chosen;
+    }
+
+    if (ivc.state == RouteState::Active) {
+        // Bypass path: body/tail flits follow the allocated route,
+        // contending only for the crossbar output slot.
+        const Flit& front = ivc.buffer.front();
+        if (front.readyAt > now)
+            return kInvalidPort;
+        const OutputUnit& out =
+            outputs_[static_cast<std::size_t>(ivc.outPort)];
+        if (out.vc(ivc.outVc).buffer.full())
+            return kInvalidPort;
+        return ivc.outPort;
+    }
+    return kInvalidPort;
+}
+
+void
+Router::serveCrossbar(Cycle now, Env& env)
+{
+    // Raise request lines.
+    for (PortId ip = 0; ip < num_ports_; ++ip) {
+        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+            const PortId req = gatherRequest(ip, v, now);
+            pending_request_[static_cast<std::size_t>(
+                requesterIndex(ip, v))] = req;
+            if (req != kInvalidPort) {
+                outputs_[static_cast<std::size_t>(req)].xbarArb.request(
+                    requesterIndex(ip, v));
+            }
+        }
+    }
+
+    // One grant per output port per cycle.
+    for (PortId op = 0; op < num_ports_; ++op) {
+        OutputUnit& out = outputs_[static_cast<std::size_t>(op)];
+        const int winner = out.xbarArb.grant();
+        if (winner < 0)
+            continue;
+        const PortId ip = static_cast<PortId>(winner /
+                                              params_.vcsPerPort);
+        const VcId v = static_cast<VcId>(winner % params_.vcsPerPort);
+        InputVc& ivc = inputs_[static_cast<std::size_t>(ip)].vc(v);
+        LAPSES_ASSERT(pending_request_[static_cast<std::size_t>(winner)]
+                      == op);
+
+        if (ivc.state == RouteState::WaitArb) {
+            // Header granted: allocate the output VC now. The grant is
+            // exclusive per output port, so the VC seen free during
+            // selection is still free.
+            const VcId ov = allocateVc(ivc.route, op);
+            LAPSES_ASSERT_MSG(ov != kInvalidVc,
+                              "granted header found no allocatable VC");
+            out.vc(ov).busy = true;
+            ivc.state = RouteState::Active;
+            ivc.outPort = op;
+            ivc.outVc = ov;
+        }
+        const VcId ov = ivc.outVc;
+        LAPSES_ASSERT(ov != kInvalidVc && ivc.outPort == op);
+        LAPSES_ASSERT(!out.vc(ov).buffer.full());
+
+        // Move the flit through the crossbar into the output FIFO: one
+        // cycle of crossbar traversal, then it is eligible for the VC
+        // multiplexer.
+        Flit flit = ivc.buffer.pop();
+        env.creditOut(ip, v);
+        flit.readyAt = now + 2;
+        ++flit.hops; // routers traversed; tails carry it to statistics
+        if (isHead(flit.type)) {
+            if (params_.lookahead && op != kLocalPort) {
+                // Concurrent lookup for the next hop; the new header is
+                // generated off the arbitration critical path (Fig. 4b),
+                // so this costs no pipeline time.
+                const NodeId next = topo_.neighbor(id_, op);
+                LAPSES_ASSERT(next != kInvalidNode);
+                flit.laRoute = table_.lookup(next, flit.dest);
+                flit.laValid = true;
+            }
+        }
+        if (isTail(flit.type)) {
+            // The wormhole releases the input VC; the output VC stays
+            // busy until the tail is transmitted on the link.
+            ivc.state = RouteState::Idle;
+            ivc.outPort = kInvalidPort;
+            ivc.outVc = kInvalidVc;
+        }
+        out.vc(ov).buffer.push(flit);
+        ++forwarded_flits_;
+    }
+}
+
+void
+Router::serveVcMux(Cycle now, Env& env)
+{
+    for (PortId op = 0; op < num_ports_; ++op) {
+        OutputUnit& out = outputs_[static_cast<std::size_t>(op)];
+        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+            const OutputVc& ovc = out.vc(v);
+            if (!ovc.buffer.empty() &&
+                ovc.buffer.front().readyAt <= now &&
+                out.canTransmit(v)) {
+                out.muxArb.request(v);
+            }
+        }
+        const int winner = out.muxArb.grant();
+        if (winner < 0)
+            continue;
+        const VcId v = static_cast<VcId>(winner);
+        OutputVc& ovc = out.vc(v);
+        Flit flit = ovc.buffer.pop();
+        if (!out.hasInfiniteCredits())
+            --ovc.credits;
+        out.recordUse(now);
+        if (isTail(flit.type))
+            ovc.busy = false;
+        env.flitOut(op, v, flit);
+    }
+}
+
+void
+Router::step(Cycle now, Env& env)
+{
+    for (PortId ip = 0; ip < num_ports_; ++ip) {
+        for (VcId v = 0; v < params_.vcsPerPort; ++v)
+            advanceHeaderState(ip, v, now);
+    }
+    serveCrossbar(now, env);
+    serveVcMux(now, env);
+}
+
+} // namespace lapses

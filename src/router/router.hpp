@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The PROUD / LA-PROUD pipelined wormhole router (paper Sections 2-3).
+ *
+ * Pipeline stages (Fig. 1 / Fig. 2), each one cycle in the absence of
+ * contention:
+ *
+ *   PROUD    (5): Sync/DeMux/Buffer/Decode -> Table Lookup ->
+ *                 Select+Arbitrate -> Xbar -> VC Mux
+ *   LA-PROUD (4): Sync/DeMux/Buffer/Decode -> Select+Arbitrate
+ *                 (lookup for the *next* hop runs concurrently) ->
+ *                 Xbar -> VC Mux
+ *
+ * Header flits walk the full pipe; middle/tail flits use the bypass path
+ * (no lookup or selection). Contention occurs only at crossbar output
+ * arbitration and VC multiplexing, matching the paper's model of a
+ * router as parallel per-(port,VC) pipes.
+ *
+ * Deadlock avoidance is Duato's protocol when the routing algorithm
+ * requests it: escape VCs are acquired only toward the escape port of
+ * the table entry, adaptive VCs toward any candidate, and a blocked
+ * header re-arbitrates over all of them every cycle.
+ */
+
+#ifndef LAPSES_ROUTER_ROUTER_HPP
+#define LAPSES_ROUTER_ROUTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/input_unit.hpp"
+#include "router/output_unit.hpp"
+#include "selection/path_selector.hpp"
+#include "tables/routing_table.hpp"
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+/** Microarchitectural parameters of one router. */
+struct RouterParams
+{
+    /** Virtual channels per physical channel (Table 2: 4). */
+    int vcsPerPort = 4;
+
+    /** Input FIFO depth in flits (Table 2: 20). */
+    int inBufDepth = 20;
+
+    /** Output FIFO depth in flits (Table 2: 20). */
+    int outBufDepth = 20;
+
+    /** LA-PROUD (4-stage) when true, PROUD (5-stage) when false. */
+    bool lookahead = false;
+
+    /** Escape VC classes reserved when the routing algorithm uses
+     *  Duato's protocol: VCs [0, escapeVcs) are escape, the rest
+     *  adaptive. Meta-tables need 2 (two-phase escape); everything else
+     *  1. Ignored for algorithms that are deadlock-free on all VCs. */
+    int escapeVcs = 1;
+};
+
+/** One pipelined wormhole router. */
+class Router
+{
+  public:
+    /**
+     * Sink for flits and credits a router emits during step(); the
+     * network implements it with 1-cycle links.
+     */
+    class Env
+    {
+      public:
+        virtual ~Env() = default;
+
+        /** A flit leaves through out_port (VC identified by the
+         *  allocated output VC). */
+        virtual void flitOut(PortId out_port, VcId out_vc,
+                             const Flit& flit) = 0;
+
+        /** A buffer slot freed on input (in_port, vc); credit the
+         *  upstream transmitter. */
+        virtual void creditOut(PortId in_port, VcId vc) = 0;
+    };
+
+    /**
+     * @param id        this router's node id
+     * @param topo      network topology (port/neighbor geometry)
+     * @param params    microarchitecture parameters
+     * @param table     programmed routing tables (shared, immutable)
+     * @param escape_channels whether the routing algorithm requires
+     *                  Duato escape-VC discipline
+     * @param selector  path-selection heuristic instance (owned)
+     */
+    Router(NodeId id, const MeshTopology& topo, const RouterParams& params,
+           const RoutingTable& table, bool escape_channels,
+           PathSelectorPtr selector);
+
+    NodeId id() const { return id_; }
+    int numPorts() const { return num_ports_; }
+    int numVcs() const { return params_.vcsPerPort; }
+
+    /** A flit arrives on in_port / vc from the link. */
+    void acceptFlit(PortId in_port, VcId vc, const Flit& flit, Cycle now);
+
+    /** A credit returns for output (out_port, vc). */
+    void acceptCredit(PortId out_port, VcId vc);
+
+    /** Advance one cycle: route headers, arbitrate the crossbar,
+     *  multiplex VCs onto links. */
+    void step(Cycle now, Env& env);
+
+    /** Flits buffered in the router (diagnostics / quiescence check). */
+    std::size_t occupancy() const;
+
+    /** Flits forwarded over the router's lifetime (progress watchdog). */
+    std::uint64_t forwardedFlits() const { return forwarded_flits_; }
+
+    const InputUnit& inputUnit(PortId p) const
+    {
+        return inputs_[static_cast<std::size_t>(p)];
+    }
+
+    const OutputUnit& outputUnit(PortId p) const
+    {
+        return outputs_[static_cast<std::size_t>(p)];
+    }
+
+  private:
+    /** Move a header at the front of (in_port, vc) through decode /
+     *  lookup into the WaitArb state. */
+    void advanceHeaderState(PortId in_port, VcId vc, Cycle now);
+
+    /** Raise crossbar requests for one input VC; returns the requested
+     *  output port or kInvalidPort. */
+    PortId gatherRequest(PortId in_port, VcId vc, Cycle now);
+
+    /** VCs this header may allocate on candidate port p. */
+    int countFreeVcs(const RouteCandidates& route, PortId p) const;
+
+    /** Pick the output VC on the selected port (adaptive preferred,
+     *  escape as last resort). */
+    VcId allocateVc(const RouteCandidates& route, PortId p) const;
+
+    /** Grant winners per output port, move flits input -> output FIFO. */
+    void serveCrossbar(Cycle now, Env& env);
+
+    /** Transmit one flit per output port onto the link. */
+    void serveVcMux(Cycle now, Env& env);
+
+    int
+    requesterIndex(PortId in_port, VcId vc) const
+    {
+        return static_cast<int>(in_port) * params_.vcsPerPort +
+               static_cast<int>(vc);
+    }
+
+    NodeId id_;
+    const MeshTopology& topo_;
+    RouterParams params_;
+    const RoutingTable& table_;
+    bool escape_channels_;
+    PathSelectorPtr selector_;
+    int num_ports_;
+
+    std::vector<InputUnit> inputs_;
+    std::vector<OutputUnit> outputs_;
+
+    /** Pending crossbar request per input VC this cycle. */
+    std::vector<PortId> pending_request_;
+
+    std::uint64_t forwarded_flits_ = 0;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTER_ROUTER_HPP

@@ -1,0 +1,60 @@
+#include "routing/algorithm_factory.hpp"
+
+#include "routing/dimension_order.hpp"
+#include "routing/duato.hpp"
+#include "routing/torus.hpp"
+#include "routing/turn_model.hpp"
+
+namespace lapses
+{
+
+RoutingAlgorithmPtr
+makeRoutingAlgorithm(RoutingAlgo algo, const MeshTopology& topo)
+{
+    switch (algo) {
+      case RoutingAlgo::DeterministicXY:
+        return std::make_unique<DimensionOrderRouting>(
+            DimensionOrderRouting::xy(topo));
+      case RoutingAlgo::DeterministicYX:
+        return std::make_unique<DimensionOrderRouting>(
+            DimensionOrderRouting::yx(topo));
+      case RoutingAlgo::DuatoFullyAdaptive:
+        return std::make_unique<DuatoAdaptiveRouting>(topo);
+      case RoutingAlgo::NorthLast:
+        return std::make_unique<TurnModelRouting>(topo,
+                                                  TurnModel::NorthLast);
+      case RoutingAlgo::WestFirst:
+        return std::make_unique<TurnModelRouting>(topo,
+                                                  TurnModel::WestFirst);
+      case RoutingAlgo::NegativeFirst:
+        return std::make_unique<TurnModelRouting>(
+            topo, TurnModel::NegativeFirst);
+      case RoutingAlgo::TorusAdaptive:
+        return std::make_unique<TorusAdaptiveRouting>(topo);
+    }
+    throw ConfigError("unknown routing algorithm");
+}
+
+std::string
+routingAlgoName(RoutingAlgo algo)
+{
+    switch (algo) {
+      case RoutingAlgo::DeterministicXY:
+        return "xy";
+      case RoutingAlgo::DeterministicYX:
+        return "yx";
+      case RoutingAlgo::DuatoFullyAdaptive:
+        return "duato";
+      case RoutingAlgo::NorthLast:
+        return "north-last";
+      case RoutingAlgo::WestFirst:
+        return "west-first";
+      case RoutingAlgo::NegativeFirst:
+        return "negative-first";
+      case RoutingAlgo::TorusAdaptive:
+        return "torus-adaptive";
+    }
+    return "?";
+}
+
+} // namespace lapses

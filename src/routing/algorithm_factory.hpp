@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Factory for routing algorithms by enum, used by the simulation config.
+ */
+
+#ifndef LAPSES_ROUTING_ALGORITHM_FACTORY_HPP
+#define LAPSES_ROUTING_ALGORITHM_FACTORY_HPP
+
+#include <string>
+
+#include "routing/routing_algorithm.hpp"
+
+namespace lapses
+{
+
+/** Selectable routing algorithms. */
+enum class RoutingAlgo
+{
+    DeterministicXY,    //!< dimension-order, the paper's DET baseline
+    DeterministicYX,    //!< reverse dimension-order
+    DuatoFullyAdaptive, //!< the paper's evaluated adaptive algorithm
+    NorthLast,          //!< turn model (Fig. 7)
+    WestFirst,          //!< turn model
+    NegativeFirst,      //!< turn model
+    TorusAdaptive,      //!< Duato over dateline XY (tori only, T3E-style)
+};
+
+/** Instantiate the algorithm for a topology. Throws ConfigError when the
+ *  algorithm does not support the topology (e.g. turn model on 3-D). */
+RoutingAlgorithmPtr makeRoutingAlgorithm(RoutingAlgo algo,
+                                         const MeshTopology& topo);
+
+/** Short identifier, e.g. "duato". */
+std::string routingAlgoName(RoutingAlgo algo);
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTING_ALGORITHM_FACTORY_HPP

@@ -1,0 +1,33 @@
+#include "routing/duato.hpp"
+
+namespace lapses
+{
+
+DuatoAdaptiveRouting::DuatoAdaptiveRouting(const MeshTopology& topo)
+    : RoutingAlgorithm(topo), escape_(DimensionOrderRouting::xy(topo))
+{
+    if (topo.isTorus()) {
+        // Wrap-around escape would need datelines; out of scope for the
+        // paper's mesh study.
+        throw ConfigError(
+            "DuatoAdaptiveRouting requires a mesh (no wrap links)");
+    }
+}
+
+RouteCandidates
+DuatoAdaptiveRouting::route(NodeId current, NodeId dest) const
+{
+    if (current == dest)
+        return ejectionEntry();
+
+    RouteCandidates rc;
+    for (int d = 0; d < topo_.dims(); ++d) {
+        const PortId p = topo_.productivePortInDim(current, dest, d);
+        if (p != kInvalidPort)
+            rc.add(p);
+    }
+    rc.setEscapePort(escape_.nextPort(current, dest));
+    return rc;
+}
+
+} // namespace lapses

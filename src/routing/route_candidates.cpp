@@ -1,0 +1,25 @@
+#include "routing/route_candidates.hpp"
+
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+std::string
+RouteCandidates::toString() const
+{
+    std::string out = "{";
+    for (int i = 0; i < count_; ++i) {
+        if (i)
+            out += ',';
+        out += MeshTopology::portName(at(i));
+    }
+    if (escape_ != kInvalidPort) {
+        out += "|esc ";
+        out += MeshTopology::portName(escape_);
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace lapses

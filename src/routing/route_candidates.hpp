@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The result of a routing decision: the set of candidate output ports.
+ *
+ * An adaptive routing function may return several productive ports; the
+ * path-selection stage (Section 4) picks one. For Duato-protocol
+ * algorithms the escape port identifies the deadlock-free base network's
+ * (dimension-order) choice: escape virtual channels may only be acquired
+ * on that port, adaptive VCs on any candidate.
+ */
+
+#ifndef LAPSES_ROUTING_ROUTE_CANDIDATES_HPP
+#define LAPSES_ROUTING_ROUTE_CANDIDATES_HPP
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+#include "topology/coordinates.hpp"
+
+namespace lapses
+{
+
+/** Fixed-capacity set of candidate output ports for one routing step. */
+class RouteCandidates
+{
+  public:
+    /** Max candidates: one port per dimension for minimal routing. */
+    static constexpr int kMaxCandidates = kMaxDims;
+
+    RouteCandidates() : count_(0), escape_(kInvalidPort), escape_class_(0)
+    {}
+
+    /** Number of candidate ports (0 only for malformed entries). */
+    int count() const { return count_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** Candidate i in table order (dimension order by construction). */
+    PortId
+    at(int i) const
+    {
+        LAPSES_ASSERT(i >= 0 && i < count_);
+        return ports_[static_cast<std::size_t>(i)];
+    }
+
+    /** Append a candidate port. */
+    void
+    add(PortId p)
+    {
+        LAPSES_ASSERT(count_ < kMaxCandidates);
+        LAPSES_ASSERT(p != kInvalidPort);
+        ports_[static_cast<std::size_t>(count_++)] = p;
+    }
+
+    /** True if p is among the candidates. */
+    bool
+    contains(PortId p) const
+    {
+        for (int i = 0; i < count_; ++i) {
+            if (ports_[static_cast<std::size_t>(i)] == p)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * The escape-network port (Duato's protocol), or kInvalidPort when
+     * the algorithm is deadlock-free on every virtual channel (turn
+     * models, deterministic routing) and needs no escape restriction.
+     */
+    PortId escapePort() const { return escape_; }
+
+    void
+    setEscapePort(PortId p)
+    {
+        LAPSES_ASSERT(p == kInvalidPort || contains(p));
+        escape_ = p;
+    }
+
+    /**
+     * Escape subnetwork class. Single-phase escapes (plain XY under
+     * Duato's protocol) always use class 0. Hierarchical meta-table
+     * routing needs a two-phase escape to stay deadlock-free: class 0
+     * is dimension-order toward the destination cluster's bounding box,
+     * class 1 is dimension-order to the destination inside its cluster;
+     * messages move from class 0 to class 1 exactly once, keeping the
+     * combined escape dependency graph acyclic.
+     */
+    int escapeClass() const { return escape_class_; }
+
+    void
+    setEscapeClass(int c)
+    {
+        LAPSES_ASSERT(c >= 0 && c < 4);
+        escape_class_ = static_cast<std::int8_t>(c);
+    }
+
+    /** True when the only move is ejection at the destination. */
+    bool
+    isEjection() const
+    {
+        return count_ == 1 && ports_[0] == kLocalPort;
+    }
+
+    bool
+    operator==(const RouteCandidates& o) const
+    {
+        if (count_ != o.count_ || escape_ != o.escape_ ||
+            escape_class_ != o.escape_class_) {
+            return false;
+        }
+        for (int i = 0; i < count_; ++i) {
+            if (ports_[static_cast<std::size_t>(i)] !=
+                o.ports_[static_cast<std::size_t>(i)]) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool operator!=(const RouteCandidates& o) const { return !(*this == o); }
+
+    /** "{+X,+Y|esc +X}" rendering for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::array<PortId, kMaxCandidates> ports_;
+    int count_;
+    PortId escape_;
+    std::int8_t escape_class_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTING_ROUTE_CANDIDATES_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Abstract routing function R(current, destination) -> candidate ports.
+ *
+ * Routing algorithms are pure functions of topology, current node and
+ * destination; they know nothing about table storage (Section 5) or path
+ * selection (Section 4). Tables are *programmed from* an algorithm, and
+ * selectors choose among the candidates an algorithm (or table) returns.
+ */
+
+#ifndef LAPSES_ROUTING_ROUTING_ALGORITHM_HPP
+#define LAPSES_ROUTING_ROUTING_ALGORITHM_HPP
+
+#include <memory>
+#include <string>
+
+#include "routing/route_candidates.hpp"
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+/** Interface for minimal routing functions over a mesh/torus. */
+class RoutingAlgorithm
+{
+  public:
+    explicit RoutingAlgorithm(const MeshTopology& topo) : topo_(topo) {}
+    virtual ~RoutingAlgorithm() = default;
+
+    RoutingAlgorithm(const RoutingAlgorithm&) = delete;
+    RoutingAlgorithm& operator=(const RoutingAlgorithm&) = delete;
+    /** Move construction is allowed so factories can return by value. */
+    RoutingAlgorithm(RoutingAlgorithm&&) = default;
+    RoutingAlgorithm& operator=(RoutingAlgorithm&&) = delete;
+
+    /** Short identifier, e.g. "xy" or "duato". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Candidate output ports at 'current' for a message addressed to
+     * 'dest'. Returns the ejection entry when current == dest. Every
+     * returned candidate moves the message strictly closer to dest
+     * (minimal routing).
+     */
+    virtual RouteCandidates route(NodeId current, NodeId dest) const = 0;
+
+    /**
+     * True when the algorithm relies on Duato's protocol: an escape VC
+     * class restricted to the escape port. False for algorithms that are
+     * deadlock-free on all VCs (deterministic, turn models).
+     */
+    virtual bool usesEscapeChannels() const = 0;
+
+    /** True when route() may return more than one candidate. */
+    virtual bool isAdaptive() const = 0;
+
+    /** Escape VC classes the algorithm's entries may reference (1 for
+     *  single-phase escapes; torus dateline routing needs 2). Only
+     *  meaningful when usesEscapeChannels() is true. */
+    virtual int escapeClasses() const { return 1; }
+
+    const MeshTopology& topology() const { return topo_; }
+
+  protected:
+    /** The ejection-only candidate set. */
+    RouteCandidates
+    ejectionEntry() const
+    {
+        RouteCandidates rc;
+        rc.add(kLocalPort);
+        return rc;
+    }
+
+    const MeshTopology& topo_;
+};
+
+using RoutingAlgorithmPtr = std::unique_ptr<RoutingAlgorithm>;
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTING_ROUTING_ALGORITHM_HPP

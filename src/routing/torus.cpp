@@ -1,0 +1,54 @@
+#include "routing/torus.hpp"
+
+namespace lapses
+{
+
+TorusAdaptiveRouting::TorusAdaptiveRouting(const MeshTopology& topo)
+    : RoutingAlgorithm(topo)
+{
+    if (!topo.isTorus())
+        throw ConfigError(
+            "TorusAdaptiveRouting requires wrap links (a torus)");
+}
+
+bool
+TorusAdaptiveRouting::crossesDateline(NodeId current, NodeId dest,
+                                      int d) const
+{
+    const PortId p = topo_.productivePortInDim(current, dest, d);
+    if (p == kInvalidPort)
+        return false; // dimension resolved
+    const int cur = topo_.nodeToCoords(current).at(d);
+    const int dst = topo_.nodeToCoords(dest).at(d);
+    // Travelling +d wraps through radix-1 -> 0 iff the destination
+    // coordinate is numerically behind us; -d wraps through 0 ->
+    // radix-1 iff it is ahead.
+    return MeshTopology::portDir(p) == Direction::Plus ? dst < cur
+                                                       : dst > cur;
+}
+
+RouteCandidates
+TorusAdaptiveRouting::route(NodeId current, NodeId dest) const
+{
+    if (current == dest)
+        return ejectionEntry();
+
+    RouteCandidates rc;
+    int escape_dim = -1;
+    for (int d = 0; d < topo_.dims(); ++d) {
+        const PortId p = topo_.productivePortInDim(current, dest, d);
+        if (p == kInvalidPort)
+            continue;
+        rc.add(p);
+        if (escape_dim < 0)
+            escape_dim = d; // dimension order: lowest unresolved dim
+    }
+    LAPSES_ASSERT(escape_dim >= 0);
+    rc.setEscapePort(
+        topo_.productivePortInDim(current, dest, escape_dim));
+    rc.setEscapeClass(crossesDateline(current, dest, escape_dim) ? 0
+                                                                 : 1);
+    return rc;
+}
+
+} // namespace lapses

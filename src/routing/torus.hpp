@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deadlock-free torus routing with dateline virtual-channel classes.
+ *
+ * The paper's flagship adaptive router — the Cray T3E — is a 3-D
+ * torus. Wrap links close a cycle in every ring, so dimension-order
+ * routing alone is not deadlock-free on a torus; the standard fix is a
+ * *dateline* per ring: packets that still have to cross the wrap edge
+ * of their current dimension use escape class 0, packets that no
+ * longer do use class 1. Ordering channels by (dimension, class,
+ * position) shows the escape network acyclic; Duato's protocol then
+ * layers minimal fully adaptive VCs on top, exactly as on the mesh.
+ *
+ * Economical storage cannot hold these tables: the escape class
+ * depends on the distance to the wrap edge, not just the coordinate
+ * signs — one reason the paper defers torus ES to the tech report.
+ */
+
+#ifndef LAPSES_ROUTING_TORUS_HPP
+#define LAPSES_ROUTING_TORUS_HPP
+
+#include "routing/routing_algorithm.hpp"
+
+namespace lapses
+{
+
+/** Minimal fully adaptive torus routing (Duato over dateline XY). */
+class TorusAdaptiveRouting : public RoutingAlgorithm
+{
+  public:
+    explicit TorusAdaptiveRouting(const MeshTopology& topo);
+
+    std::string name() const override { return "torus-adaptive"; }
+    RouteCandidates route(NodeId current, NodeId dest) const override;
+    bool usesEscapeChannels() const override { return true; }
+    bool isAdaptive() const override { return true; }
+    int escapeClasses() const override { return 2; }
+
+    /**
+     * True when the remaining dimension-d walk from 'current' to
+     * 'dest' (taking the shorter way) still crosses the wrap edge
+     * between coordinates radix-1 and 0. Exposed for tests.
+     */
+    bool crossesDateline(NodeId current, NodeId dest, int d) const;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTING_TORUS_HPP

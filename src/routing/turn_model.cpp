@@ -1,0 +1,94 @@
+#include "routing/turn_model.hpp"
+
+namespace lapses
+{
+
+TurnModelRouting::TurnModelRouting(const MeshTopology& topo,
+                                   TurnModel model)
+    : RoutingAlgorithm(topo), model_(model)
+{
+    if (topo.dims() != 2)
+        throw ConfigError("turn models are defined for 2-D meshes");
+    if (topo.isTorus())
+        throw ConfigError("turn models require a mesh (no wrap links)");
+}
+
+std::string
+TurnModelRouting::name() const
+{
+    switch (model_) {
+      case TurnModel::NorthLast:
+        return "north-last";
+      case TurnModel::WestFirst:
+        return "west-first";
+      case TurnModel::NegativeFirst:
+        return "negative-first";
+    }
+    return "turn-model";
+}
+
+RouteCandidates
+TurnModelRouting::route(NodeId current, NodeId dest) const
+{
+    if (current == dest)
+        return ejectionEntry();
+
+    const Coordinates cc = topo_.nodeToCoords(current);
+    const Coordinates cd = topo_.nodeToCoords(dest);
+    const int dx = cd.at(0) - cc.at(0);
+    const int dy = cd.at(1) - cc.at(1);
+
+    const PortId east = MeshTopology::port(0, Direction::Plus);
+    const PortId west = MeshTopology::port(0, Direction::Minus);
+    const PortId north = MeshTopology::port(1, Direction::Plus);
+    const PortId south = MeshTopology::port(1, Direction::Minus);
+
+    RouteCandidates rc;
+    switch (model_) {
+      case TurnModel::NorthLast:
+        // A message travelling north may never turn, so +Y is usable
+        // only once the X offset is fully resolved. Southward routing
+        // stays fully adaptive.
+        if (dx != 0)
+            rc.add(dx > 0 ? east : west);
+        if (dy < 0)
+            rc.add(south);
+        else if (dy > 0 && dx == 0)
+            rc.add(north);
+        break;
+
+      case TurnModel::WestFirst:
+        // No turn into -X: all west hops must be taken first. While a
+        // west offset remains, only -X is legal; afterwards routing is
+        // fully adaptive over {+X, +Y, -Y}.
+        if (dx < 0) {
+            rc.add(west);
+        } else {
+            if (dx > 0)
+                rc.add(east);
+            if (dy != 0)
+                rc.add(dy > 0 ? north : south);
+        }
+        break;
+
+      case TurnModel::NegativeFirst:
+        // No turn from a negative direction to a positive one: take all
+        // negative hops first (adaptively among them), then all positive
+        // hops (adaptively among them).
+        if (dx < 0)
+            rc.add(west);
+        if (dy < 0)
+            rc.add(south);
+        if (rc.empty()) {
+            if (dx > 0)
+                rc.add(east);
+            if (dy > 0)
+                rc.add(north);
+        }
+        break;
+    }
+    LAPSES_ASSERT_MSG(!rc.empty(), "turn model produced no candidate");
+    return rc;
+}
+
+} // namespace lapses

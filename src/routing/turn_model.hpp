@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Turn-model partially adaptive routing (Glass & Ni [15]).
+ *
+ * Turn models prohibit just enough turns to break every cycle in the
+ * channel dependency graph, so they are deadlock-free on every virtual
+ * channel with no escape class. The paper programs North-Last into an
+ * economical-storage table in Fig. 7; West-First and Negative-First are
+ * the other two canonical 2-D models.
+ *
+ * Direction naming on our 2-D mesh: +X = East, -X = West, +Y = North,
+ * -Y = South.
+ */
+
+#ifndef LAPSES_ROUTING_TURN_MODEL_HPP
+#define LAPSES_ROUTING_TURN_MODEL_HPP
+
+#include "routing/routing_algorithm.hpp"
+
+namespace lapses
+{
+
+/** The three canonical 2-D turn models. */
+enum class TurnModel
+{
+    NorthLast,     //!< no turn out of +Y: go north only when X resolved
+    WestFirst,     //!< no turn into -X: finish all west hops first
+    NegativeFirst, //!< no turn from negative to positive direction
+};
+
+/** Minimal partially adaptive routing under a turn model (2-D only). */
+class TurnModelRouting : public RoutingAlgorithm
+{
+  public:
+    TurnModelRouting(const MeshTopology& topo, TurnModel model);
+
+    std::string name() const override;
+    RouteCandidates route(NodeId current, NodeId dest) const override;
+    bool usesEscapeChannels() const override { return false; }
+    bool isAdaptive() const override { return true; }
+
+    TurnModel model() const { return model_; }
+
+  private:
+    TurnModel model_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTING_TURN_MODEL_HPP

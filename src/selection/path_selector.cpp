@@ -1,0 +1,91 @@
+#include "selection/path_selector.hpp"
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+/**
+ * Generic arg-best scan. Candidates arrive in dimension (table) order,
+ * so "first wins ties" gives every dynamic policy the same STATIC-XY
+ * tie-break, keeping runs reproducible.
+ */
+template <typename Better>
+PortId
+argBest(std::span<const PortStatus> candidates, Better better)
+{
+    LAPSES_ASSERT(!candidates.empty());
+    const PortStatus* best = &candidates[0];
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (better(candidates[i], *best))
+            best = &candidates[i];
+    }
+    return best->port;
+}
+
+} // namespace
+
+PortId
+StaticXySelector::select(std::span<const PortStatus> candidates)
+{
+    // Table order is dimension order: the first candidate is the
+    // lowest-dimension (X-first) port.
+    LAPSES_ASSERT(!candidates.empty());
+    return candidates[0].port;
+}
+
+PortId
+FirstFreeSelector::select(std::span<const PortStatus> candidates)
+{
+    // Candidates are pre-filtered to free ones; first in priority order.
+    LAPSES_ASSERT(!candidates.empty());
+    return candidates[0].port;
+}
+
+PortId
+RandomSelector::select(std::span<const PortStatus> candidates)
+{
+    LAPSES_ASSERT(!candidates.empty());
+    return candidates[rng_.nextBounded(candidates.size())].port;
+}
+
+PortId
+MinMuxSelector::select(std::span<const PortStatus> candidates)
+{
+    return argBest(candidates, [](const PortStatus& a,
+                                  const PortStatus& b) {
+        return a.activeVcs < b.activeVcs;
+    });
+}
+
+PortId
+LfuSelector::select(std::span<const PortStatus> candidates)
+{
+    return argBest(candidates, [](const PortStatus& a,
+                                  const PortStatus& b) {
+        return a.useCount < b.useCount;
+    });
+}
+
+PortId
+LruSelector::select(std::span<const PortStatus> candidates)
+{
+    // Oldest last use wins; a port never used (cycle 0) is oldest.
+    return argBest(candidates, [](const PortStatus& a,
+                                  const PortStatus& b) {
+        return a.lastUseCycle < b.lastUseCycle;
+    });
+}
+
+PortId
+MaxCreditSelector::select(std::span<const PortStatus> candidates)
+{
+    return argBest(candidates, [](const PortStatus& a,
+                                  const PortStatus& b) {
+        return a.totalCredits > b.totalCredits;
+    });
+}
+
+} // namespace lapses

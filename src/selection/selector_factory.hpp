@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Factory for path-selection heuristics by enum.
+ */
+
+#ifndef LAPSES_SELECTION_SELECTOR_FACTORY_HPP
+#define LAPSES_SELECTION_SELECTOR_FACTORY_HPP
+
+#include <string>
+
+#include "selection/path_selector.hpp"
+
+namespace lapses
+{
+
+/** Selectable path-selection heuristics (Section 4). */
+enum class SelectorKind
+{
+    StaticXY,  //!< dimension-order preference (baseline)
+    FirstFree, //!< first available free path (baseline)
+    Random,    //!< uniform random (baseline)
+    MinMux,    //!< min VC-multiplexing degree (baseline, [9])
+    Lfu,       //!< least frequently used (proposed)
+    Lru,       //!< least recently used (proposed)
+    MaxCredit, //!< maximum credits (proposed)
+};
+
+/** Instantiate a selector; rng seeds the Random policy's stream. */
+PathSelectorPtr makePathSelector(SelectorKind kind, Rng rng);
+
+/** Short identifier, e.g. "max-credit". */
+std::string selectorKindName(SelectorKind kind);
+
+} // namespace lapses
+
+#endif // LAPSES_SELECTION_SELECTOR_FACTORY_HPP

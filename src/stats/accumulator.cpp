@@ -1,0 +1,124 @@
+#include "stats/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+}
+
+void
+Accumulator::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0), overflow_(0),
+      total_(0)
+{
+    LAPSES_ASSERT(bucket_width > 0.0);
+    LAPSES_ASSERT(num_buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < 0.0)
+        x = 0.0;
+    const auto idx = static_cast<std::size_t>(x / width_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+double
+Histogram::percentile(double q) const
+{
+    LAPSES_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            const double frac =
+                (target - cum) / static_cast<double>(buckets_[i]);
+            return (static_cast<double>(i) + frac) * width_;
+        }
+        cum = next;
+    }
+    // Target lies in the overflow bucket; report its lower edge.
+    return width_ * static_cast<double>(buckets_.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+} // namespace lapses

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Streaming statistics accumulators for latency and throughput data.
+ */
+
+#ifndef LAPSES_STATS_ACCUMULATOR_HPP
+#define LAPSES_STATS_ACCUMULATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace lapses
+{
+
+/**
+ * Running mean/variance/min/max over a stream of samples (Welford's
+ * algorithm, numerically stable for long runs).
+ */
+class Accumulator
+{
+  public:
+    Accumulator() { reset(); }
+
+    /** Discard all samples. */
+    void reset();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 if no samples. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 if no samples. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 if no samples. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator& other);
+
+  private:
+    std::uint64_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Fixed-width histogram with overflow bucket, used for latency
+ * distributions and percentile estimates.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket in sample units
+     * @param num_buckets  number of regular buckets; samples beyond
+     *                     bucket_width*num_buckets land in the overflow
+     */
+    Histogram(double bucket_width, std::size_t num_buckets);
+
+    /** Add one sample (negative samples clamp to bucket 0). */
+    void add(double x);
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return total_; }
+
+    /** Count in regular bucket i. */
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_[i]; }
+
+    /** Samples that exceeded the last regular bucket. */
+    std::uint64_t overflowCount() const { return overflow_; }
+
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+
+    /**
+     * Value below which the given fraction of samples fall, estimated by
+     * linear interpolation within the containing bucket.
+     * @param q quantile in [0, 1]
+     */
+    double percentile(double q) const;
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_;
+    std::uint64_t total_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_STATS_ACCUMULATOR_HPP

@@ -1,0 +1,97 @@
+#include "stats/report.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+std::string
+csvEscape(const std::string& field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeSweepCsv(std::ostream& os, const std::vector<SweepSeries>& series)
+{
+    os << "series,load,latency,network_latency,hops,accepted,offered,"
+          "saturated\n";
+    for (const SweepSeries& s : series) {
+        LAPSES_ASSERT(s.loads.size() == s.points.size());
+        for (std::size_t i = 0; i < s.loads.size(); ++i) {
+            const SimStats& st = s.points[i];
+            os << csvEscape(s.label) << ',' << s.loads[i] << ',';
+            if (st.saturated) {
+                os << ",,,,";
+            } else {
+                os << st.meanLatency() << ','
+                   << st.meanNetworkLatency() << ',' << st.hops.mean()
+                   << ',' << st.acceptedFlitRate << ',';
+            }
+            os << st.offeredFlitRate << ','
+               << (st.saturated ? "true" : "false") << '\n';
+        }
+    }
+}
+
+namespace
+{
+
+void
+jsonNumber(std::ostringstream& os, const char* key, double v,
+           bool& first)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << '"' << key << "\":";
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+std::string
+statsToJson(const SimStats& stats)
+{
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    jsonNumber(os, "latency_mean", stats.meanLatency(), first);
+    jsonNumber(os, "latency_p50", stats.latencyHist.percentile(0.5),
+               first);
+    jsonNumber(os, "latency_p95", stats.latencyHist.percentile(0.95),
+               first);
+    jsonNumber(os, "latency_p99", stats.latencyHist.percentile(0.99),
+               first);
+    jsonNumber(os, "network_latency_mean", stats.meanNetworkLatency(),
+               first);
+    jsonNumber(os, "hops_mean", stats.hops.mean(), first);
+    jsonNumber(os, "accepted_flit_rate", stats.acceptedFlitRate,
+               first);
+    jsonNumber(os, "offered_flit_rate", stats.offeredFlitRate, first);
+    jsonNumber(os, "delivered_messages",
+               static_cast<double>(stats.deliveredMessages), first);
+    jsonNumber(os, "measured_cycles",
+               static_cast<double>(stats.measuredCycles), first);
+    os << ",\"saturated\":" << (stats.saturated ? "true" : "false");
+    os << '}';
+    return os.str();
+}
+
+} // namespace lapses

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable result writers: CSV for sweep series (plotting the
+ * figures) and JSON for single points (dashboards, regression bots).
+ */
+
+#ifndef LAPSES_STATS_REPORT_HPP
+#define LAPSES_STATS_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/sim_stats.hpp"
+
+namespace lapses
+{
+
+/** One labeled series of (load, stats) points, e.g. a Fig. 6 curve. */
+struct SweepSeries
+{
+    std::string label;
+    std::vector<double> loads;
+    std::vector<SimStats> points; //!< same length as loads
+};
+
+/**
+ * Write sweep series as tidy CSV:
+ *   series,load,latency,network_latency,hops,accepted,offered,saturated
+ * Saturated points keep the row with empty latency fields.
+ */
+void writeSweepCsv(std::ostream& os,
+                   const std::vector<SweepSeries>& series);
+
+/** JSON object for one simulation point (flat keys, no nesting). */
+std::string statsToJson(const SimStats& stats);
+
+/** Escape a string for CSV (quotes fields containing , " or \n). */
+std::string csvEscape(const std::string& field);
+
+} // namespace lapses
+
+#endif // LAPSES_STATS_REPORT_HPP

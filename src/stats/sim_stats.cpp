@@ -1,0 +1,28 @@
+#include "stats/sim_stats.hpp"
+
+#include <cstdio>
+
+namespace lapses
+{
+
+std::string
+SimStats::summary() const
+{
+    char buf[256];
+    if (saturated) {
+        std::snprintf(buf, sizeof(buf),
+                      "SATURATED (offered %.4f flits/node/cycle, "
+                      "accepted %.4f)",
+                      offeredFlitRate, acceptedFlitRate);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "latency %.1f (net %.1f) cycles, hops %.2f, "
+                      "accepted %.4f flits/node/cycle over %llu msgs",
+                      totalLatency.mean(), networkLatency.mean(),
+                      hops.mean(), acceptedFlitRate,
+                      static_cast<unsigned long long>(deliveredMessages));
+    }
+    return std::string(buf);
+}
+
+} // namespace lapses

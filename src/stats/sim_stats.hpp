@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Result records produced by a simulation run.
+ *
+ * The paper reports "average network latency versus normalized load"
+ * (Section 2.2). We record both the network latency (header injection into
+ * the network to tail ejection) and the total latency (message creation,
+ * i.e. including source queueing, to tail ejection); Fig. 5's saturation
+ * growth matches the total-latency metric.
+ */
+
+#ifndef LAPSES_STATS_SIM_STATS_HPP
+#define LAPSES_STATS_SIM_STATS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "stats/accumulator.hpp"
+
+namespace lapses
+{
+
+/** Aggregate results of one simulation point (one load, one config). */
+struct SimStats
+{
+    /** Latency from message creation to tail ejection (cycles). */
+    Accumulator totalLatency;
+
+    /** Latency from header network entry to tail ejection (cycles). */
+    Accumulator networkLatency;
+
+    /** Per-message hop counts (routers traversed). */
+    Accumulator hops;
+
+    /** Latency distribution for percentile reporting. */
+    Histogram latencyHist{10.0, 500};
+
+    /** Messages injected during the measurement window. */
+    std::uint64_t injectedMessages = 0;
+
+    /** Messages delivered during the measurement window. */
+    std::uint64_t deliveredMessages = 0;
+
+    /** Flits delivered during the measurement window. */
+    std::uint64_t deliveredFlits = 0;
+
+    /** Cycles in the measurement window. */
+    Cycle measuredCycles = 0;
+
+    /** Accepted throughput in flits/node/cycle. */
+    double acceptedFlitRate = 0.0;
+
+    /** Offered load in flits/node/cycle (from the injection process). */
+    double offeredFlitRate = 0.0;
+
+    /**
+     * True when the run was declared saturated: the network could not
+     * drain the offered load (persistent source-queue growth) or latency
+     * exceeded the configured cutoff. The paper prints "Sat." for these.
+     */
+    bool saturated = false;
+
+    /** Mean total latency, the paper's headline metric. */
+    double meanLatency() const { return totalLatency.mean(); }
+
+    /** Mean network latency (excludes source queueing). */
+    double meanNetworkLatency() const { return networkLatency.mean(); }
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_STATS_SIM_STATS_HPP

@@ -1,0 +1,114 @@
+#include "tables/cluster_map.hpp"
+
+namespace lapses
+{
+
+bool
+ClusterBox::contains(const Coordinates& c) const
+{
+    for (int d = 0; d < c.dims(); ++d) {
+        if (c.at(d) < lo.at(d) || c.at(d) > hi.at(d))
+            return false;
+    }
+    return true;
+}
+
+ClusterMap::ClusterMap(const MeshTopology& topo,
+                       std::vector<int> block_edge, std::string map_name)
+    : topo_(topo), edge_(std::move(block_edge)), name_(std::move(map_name))
+{
+    if (static_cast<int>(edge_.size()) != topo.dims())
+        throw ConfigError("cluster map needs one block edge per dim");
+    num_clusters_ = 1;
+    nodes_per_cluster_ = 1;
+    blocks_.resize(edge_.size());
+    for (int d = 0; d < topo.dims(); ++d) {
+        const int e = edge_[static_cast<std::size_t>(d)];
+        if (e < 1 || topo.radix(d) % e != 0) {
+            throw ConfigError(
+                "cluster block edge must divide the mesh radix");
+        }
+        blocks_[static_cast<std::size_t>(d)] = topo.radix(d) / e;
+        num_clusters_ *= blocks_[static_cast<std::size_t>(d)];
+        nodes_per_cluster_ *= e;
+    }
+}
+
+ClusterMap
+ClusterMap::rowMap(const MeshTopology& topo)
+{
+    // Whole rows: full extent in dimension 0, single node in the rest.
+    std::vector<int> edge(static_cast<std::size_t>(topo.dims()), 1);
+    edge[0] = topo.radix(0);
+    return ClusterMap(topo, std::move(edge), "row");
+}
+
+ClusterMap
+ClusterMap::blockMap(const MeshTopology& topo, int edge)
+{
+    std::vector<int> edges(static_cast<std::size_t>(topo.dims()), edge);
+    return ClusterMap(topo, std::move(edges),
+                      "block" + std::to_string(edge));
+}
+
+int
+ClusterMap::clusterOf(NodeId node) const
+{
+    const Coordinates c = topo_.nodeToCoords(node);
+    int id = 0;
+    int weight = 1;
+    for (int d = 0; d < topo_.dims(); ++d) {
+        id += (c.at(d) / edge_[static_cast<std::size_t>(d)]) * weight;
+        weight *= blocks_[static_cast<std::size_t>(d)];
+    }
+    return id;
+}
+
+int
+ClusterMap::subOf(NodeId node) const
+{
+    const Coordinates c = topo_.nodeToCoords(node);
+    int id = 0;
+    int weight = 1;
+    for (int d = 0; d < topo_.dims(); ++d) {
+        id += (c.at(d) % edge_[static_cast<std::size_t>(d)]) * weight;
+        weight *= edge_[static_cast<std::size_t>(d)];
+    }
+    return id;
+}
+
+NodeId
+ClusterMap::nodeOf(int cluster, int sub) const
+{
+    LAPSES_ASSERT(cluster >= 0 && cluster < num_clusters_);
+    LAPSES_ASSERT(sub >= 0 && sub < nodes_per_cluster_);
+    Coordinates c(topo_.dims());
+    for (int d = 0; d < topo_.dims(); ++d) {
+        const int e = edge_[static_cast<std::size_t>(d)];
+        const int b = blocks_[static_cast<std::size_t>(d)];
+        c.set(d, (cluster % b) * e + (sub % e));
+        cluster /= b;
+        sub /= e;
+    }
+    return topo_.coordsToNode(c);
+}
+
+ClusterBox
+ClusterMap::box(int cluster) const
+{
+    LAPSES_ASSERT(cluster >= 0 && cluster < num_clusters_);
+    ClusterBox bx;
+    bx.lo = Coordinates(topo_.dims());
+    bx.hi = Coordinates(topo_.dims());
+    for (int d = 0; d < topo_.dims(); ++d) {
+        const int e = edge_[static_cast<std::size_t>(d)];
+        const int b = blocks_[static_cast<std::size_t>(d)];
+        const int first = (cluster % b) * e;
+        bx.lo.set(d, first);
+        bx.hi.set(d, first + e - 1);
+        cluster /= b;
+    }
+    return bx;
+}
+
+} // namespace lapses

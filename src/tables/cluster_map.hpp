@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Node-to-cluster mappings for meta-table routing (paper Fig. 8).
+ *
+ * A cluster map logically partitions the mesh into axis-aligned
+ * rectangular clusters; every node gets a (cluster id, sub-cluster id)
+ * pair. Two mappings from the paper:
+ *
+ *  - Row map (Fig. 8a, "minimal adaptivity"): each row is a cluster, so
+ *    intra-cluster routing is +-X only and inter-cluster routing is +-Y
+ *    only — meta-table routing degenerates to deterministic
+ *    dimension-order routing.
+ *
+ *  - Block map (Fig. 8b, "maximal adaptivity"): square blocks (4x4 on the
+ *    paper's 16x16 mesh) arranged in a grid, preserving adaptivity within
+ *    and between clusters but congesting cluster-boundary links.
+ */
+
+#ifndef LAPSES_TABLES_CLUSTER_MAP_HPP
+#define LAPSES_TABLES_CLUSTER_MAP_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+/** Inclusive axis-aligned bounding box of a cluster. */
+struct ClusterBox
+{
+    Coordinates lo;
+    Coordinates hi;
+
+    /** True when c lies inside the box in every dimension. */
+    bool contains(const Coordinates& c) const;
+};
+
+/** Rectangular partition of the mesh into clusters. */
+class ClusterMap
+{
+  public:
+    /**
+     * Partition by per-dimension block edge lengths; block_edge[d] must
+     * divide radix(d). Cluster ids are row-major over the block grid,
+     * sub ids row-major within a block.
+     */
+    ClusterMap(const MeshTopology& topo, std::vector<int> block_edge,
+               std::string map_name);
+
+    /** Fig. 8(a): one cluster per row (minimal flexibility). */
+    static ClusterMap rowMap(const MeshTopology& topo);
+
+    /** Fig. 8(b): square blocks of the given edge (maximal flexibility);
+     *  edge defaults to radix/4 on the paper's 16x16 mesh. */
+    static ClusterMap blockMap(const MeshTopology& topo, int edge);
+
+    const std::string& name() const { return name_; }
+    const MeshTopology& topology() const { return topo_; }
+
+    int numClusters() const { return num_clusters_; }
+    int nodesPerCluster() const { return nodes_per_cluster_; }
+
+    /** Cluster id of a node. */
+    int clusterOf(NodeId node) const;
+
+    /** Sub-cluster id of a node within its cluster. */
+    int subOf(NodeId node) const;
+
+    /** The node with the given (cluster, sub) pair. */
+    NodeId nodeOf(int cluster, int sub) const;
+
+    /** Bounding box of a cluster. */
+    ClusterBox box(int cluster) const;
+
+  private:
+    const MeshTopology& topo_;
+    std::vector<int> edge_;        // block edge per dimension
+    std::vector<int> blocks_;      // block count per dimension
+    std::string name_;
+    int num_clusters_;
+    int nodes_per_cluster_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_CLUSTER_MAP_HPP

@@ -1,0 +1,97 @@
+#include "tables/economical_storage.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+int
+pow3(int n)
+{
+    int v = 1;
+    for (int i = 0; i < n; ++i)
+        v *= 3;
+    return v;
+}
+
+} // namespace
+
+EconomicalStorageTable::EconomicalStorageTable(const MeshTopology& topo)
+    : RoutingTable(topo), entries_per_router_(pow3(topo.dims()))
+{
+    if (topo.isTorus()) {
+        // Minimal torus routing needs distance, not just sign; the paper
+        // defers the torus extension to the tech report [23].
+        throw ConfigError("economical storage is defined for meshes");
+    }
+    entries_.resize(static_cast<std::size_t>(topo.numNodes()) *
+                    static_cast<std::size_t>(entries_per_router_));
+}
+
+EconomicalStorageTable::EconomicalStorageTable(
+    const MeshTopology& topo, const RoutingAlgorithm& algo)
+    : EconomicalStorageTable(topo)
+{
+    // Program each router's 3^n entries from a representative
+    // destination one hop away along the sign vector, then validate
+    // sign-representability exhaustively: every destination must map to
+    // the candidates of its sign entry.
+    for (NodeId r = 0; r < topo.numNodes(); ++r) {
+        const Coordinates rc = topo.nodeToCoords(r);
+        for (int t = 0; t < entries_per_router_; ++t) {
+            const SignVector sv =
+                SignVector::fromTableIndex(t, topo.dims());
+            Coordinates rep(topo.dims());
+            bool feasible = true;
+            for (int d = 0; d < topo.dims(); ++d) {
+                const int step = static_cast<int>(sv.at(d));
+                const int v = rc.at(d) + step;
+                if (v < 0 || v >= topo.radix(d))
+                    feasible = false;
+                else
+                    rep.set(d, v);
+            }
+            if (!feasible)
+                continue; // unreachable sign at a mesh edge
+            entries_[index(r, t)] =
+                algo.route(r, topo.coordsToNode(rep));
+        }
+    }
+
+    for (NodeId r = 0; r < topo.numNodes(); ++r) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (lookup(r, d) != algo.route(r, d)) {
+                throw ConfigError(
+                    "algorithm '" + algo.name() +
+                    "' is not sign-representable; economical storage "
+                    "cannot hold it");
+            }
+        }
+    }
+}
+
+RouteCandidates
+EconomicalStorageTable::lookup(NodeId router, NodeId dest) const
+{
+    LAPSES_ASSERT(topo_.contains(router) && topo_.contains(dest));
+    const SignVector sv(topo_.nodeToCoords(router),
+                        topo_.nodeToCoords(dest));
+    return entries_[index(router, sv.tableIndex())];
+}
+
+void
+EconomicalStorageTable::setEntry(NodeId router, const SignVector& sv,
+                                 const RouteCandidates& rc)
+{
+    LAPSES_ASSERT(topo_.contains(router));
+    entries_[index(router, sv.tableIndex())] = rc;
+}
+
+RouteCandidates
+EconomicalStorageTable::entry(NodeId router, const SignVector& sv) const
+{
+    LAPSES_ASSERT(topo_.contains(router));
+    return entries_[index(router, sv.tableIndex())];
+}
+
+} // namespace lapses

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Economical storage (ES) — the paper's proposed scheme (Section 5.2).
+ *
+ * For an n-dimensional mesh, the candidate ports of every minimal mesh
+ * routing algorithm depend only on the *sign* of the destination's
+ * relative coordinates, so a 3^n-entry table indexed by
+ * (sign(d_x - i_x), sign(d_y - i_y), ...) suffices: 9 entries for 2-D, 27
+ * for 3-D — independent of network size. The router hardware is the table
+ * plus a node-id register and one comparator per dimension (Fig. 7).
+ */
+
+#ifndef LAPSES_TABLES_ECONOMICAL_STORAGE_HPP
+#define LAPSES_TABLES_ECONOMICAL_STORAGE_HPP
+
+#include <vector>
+
+#include "routing/routing_algorithm.hpp"
+#include "tables/routing_table.hpp"
+
+namespace lapses
+{
+
+/** Sign-indexed 3^n-entry routing table. */
+class EconomicalStorageTable : public RoutingTable
+{
+  public:
+    /**
+     * Program from a routing algorithm. Throws ConfigError if the
+     * algorithm is not sign-representable (its candidate set must be a
+     * pure function of the relative-coordinate sign vector, which holds
+     * for all the minimal mesh algorithms in this library; validation is
+     * exhaustive at construction).
+     */
+    EconomicalStorageTable(const MeshTopology& topo,
+                           const RoutingAlgorithm& algo);
+
+    /**
+     * Build an unprogrammed (all-empty) table for manual programming via
+     * setEntry, as a router configuration interface would (Fig. 7d).
+     */
+    explicit EconomicalStorageTable(const MeshTopology& topo);
+
+    std::string name() const override { return "economical-storage"; }
+    RouteCandidates lookup(NodeId router, NodeId dest) const override;
+
+    std::size_t
+    entriesPerRouter() const override
+    {
+        return static_cast<std::size_t>(entries_per_router_);
+    }
+
+    bool supportsAdaptive() const override { return true; }
+
+    /** Program one sign-indexed entry of one router's table. */
+    void setEntry(NodeId router, const SignVector& sv,
+                  const RouteCandidates& rc);
+
+    /** Read one sign-indexed entry of one router's table. */
+    RouteCandidates entry(NodeId router, const SignVector& sv) const;
+
+  private:
+    std::size_t
+    index(NodeId router, int table_index) const
+    {
+        return static_cast<std::size_t>(router) *
+                   static_cast<std::size_t>(entries_per_router_) +
+               static_cast<std::size_t>(table_index);
+    }
+
+    int entries_per_router_;
+    std::vector<RouteCandidates> entries_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_ECONOMICAL_STORAGE_HPP

@@ -1,0 +1,117 @@
+#include "tables/fault_aware.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "routing/dimension_order.hpp"
+
+namespace lapses
+{
+
+void
+FailureSet::fail(const MeshTopology& topo, NodeId node, PortId port)
+{
+    const NodeId peer = topo.neighbor(node, port);
+    if (port == kLocalPort || peer == kInvalidNode)
+        throw ConfigError("cannot fail a local port or mesh-edge port");
+    const auto insert = [this](NodeId n, PortId p) {
+        const auto key = std::make_pair(n, p);
+        const auto it =
+            std::lower_bound(failed_.begin(), failed_.end(), key);
+        if (it == failed_.end() || *it != key)
+            failed_.insert(it, key);
+    };
+    insert(node, port);
+    insert(peer, MeshTopology::oppositePort(port));
+}
+
+bool
+FailureSet::isFailed(NodeId node, PortId port) const
+{
+    return std::binary_search(failed_.begin(), failed_.end(),
+                              std::make_pair(node, port));
+}
+
+namespace
+{
+
+/** BFS distances to 'dest' over the surviving topology. */
+std::vector<int>
+distancesTo(const MeshTopology& topo, const FailureSet& failures,
+            NodeId dest)
+{
+    std::vector<int> dist(static_cast<std::size_t>(topo.numNodes()),
+                          -1);
+    std::queue<NodeId> frontier;
+    dist[static_cast<std::size_t>(dest)] = 0;
+    frontier.push(dest);
+    while (!frontier.empty()) {
+        const NodeId cur = frontier.front();
+        frontier.pop();
+        for (PortId p = 1; p < topo.numPorts(); ++p) {
+            if (failures.isFailed(cur, p))
+                continue;
+            const NodeId peer = topo.neighbor(cur, p);
+            if (peer == kInvalidNode ||
+                dist[static_cast<std::size_t>(peer)] >= 0) {
+                continue;
+            }
+            dist[static_cast<std::size_t>(peer)] =
+                dist[static_cast<std::size_t>(cur)] + 1;
+            frontier.push(peer);
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+int
+survivingDistance(const MeshTopology& topo, const FailureSet& failures,
+                  NodeId from, NodeId to)
+{
+    return distancesTo(topo, failures,
+                       to)[static_cast<std::size_t>(from)];
+}
+
+FullTable
+programFaultAwareTable(const MeshTopology& topo,
+                       const FailureSet& failures)
+{
+    // Start from any algorithm (entries are overwritten below).
+    const DimensionOrderRouting seed = DimensionOrderRouting::xy(topo);
+    FullTable table(topo, seed);
+
+    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+        const std::vector<int> dist = distancesTo(topo, failures, dest);
+        for (NodeId r = 0; r < topo.numNodes(); ++r) {
+            if (r == dest)
+                continue; // keep the ejection entry
+            const int here = dist[static_cast<std::size_t>(r)];
+            if (here < 0) {
+                throw ConfigError(
+                    "failure set disconnects node " +
+                    std::to_string(r) + " from " +
+                    std::to_string(dest));
+            }
+            RouteCandidates rc;
+            for (PortId p = 1;
+                 p < topo.numPorts() &&
+                 rc.count() < RouteCandidates::kMaxCandidates;
+                 ++p) {
+                if (failures.isFailed(r, p))
+                    continue;
+                const NodeId peer = topo.neighbor(r, p);
+                if (peer != kInvalidNode &&
+                    dist[static_cast<std::size_t>(peer)] == here - 1) {
+                    rc.add(p);
+                }
+            }
+            LAPSES_ASSERT(!rc.empty());
+            table.setEntry(r, dest, rc);
+        }
+    }
+    return table;
+}
+
+} // namespace lapses

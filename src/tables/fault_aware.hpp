@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fault-aware full-table programming.
+ *
+ * The paper motivates adaptive routing partly by fault tolerance ("the
+ * ability to use alternate paths improves fault-tolerance properties",
+ * Section 1) and notes that full-table routing's per-destination
+ * flexibility — "rarely useful" for regular algorithms — is exactly
+ * what reconfiguration needs. This module reprograms a full table
+ * around a set of failed links: every entry holds all next hops on
+ * shortest surviving paths.
+ *
+ * Economical storage cannot express such tables (candidates stop being
+ * a function of the coordinate sign vector), which is the flexibility
+ * trade-off of Table 5's topology row made concrete.
+ */
+
+#ifndef LAPSES_TABLES_FAULT_AWARE_HPP
+#define LAPSES_TABLES_FAULT_AWARE_HPP
+
+#include <utility>
+#include <vector>
+
+#include "tables/full_table.hpp"
+
+namespace lapses
+{
+
+/** A failed bidirectional link, identified by one endpoint + port. */
+struct LinkFailure
+{
+    NodeId node;
+    PortId port;
+};
+
+/** Set of failed links with symmetric (both-direction) semantics. */
+class FailureSet
+{
+  public:
+    /** Mark the bidirectional link at (node, port) failed. Throws
+     *  ConfigError if the port faces the mesh edge. */
+    void fail(const MeshTopology& topo, NodeId node, PortId port);
+
+    /** True when the link out of node through port is failed. */
+    bool isFailed(NodeId node, PortId port) const;
+
+    std::size_t count() const { return failed_.size() / 2; }
+    bool empty() const { return failed_.empty(); }
+
+  private:
+    // Stored once per direction for O(log n) lookup.
+    std::vector<std::pair<NodeId, PortId>> failed_;
+};
+
+/**
+ * Program a full table whose entries hold every next hop lying on a
+ * shortest path in the surviving topology (BFS per destination).
+ * Entries keep no escape designation: fault-aware tables target
+ * deterministic-escape-free operation (turn-model style) or offline
+ * analysis; the simulator's deadlock watchdog guards misuse.
+ *
+ * @throws ConfigError if any node pair is disconnected.
+ */
+FullTable programFaultAwareTable(const MeshTopology& topo,
+                                 const FailureSet& failures);
+
+/** Hop count of the shortest surviving path between two nodes, or -1
+ *  when disconnected. */
+int survivingDistance(const MeshTopology& topo,
+                      const FailureSet& failures, NodeId from,
+                      NodeId to);
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_FAULT_AWARE_HPP

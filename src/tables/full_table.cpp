@@ -1,0 +1,32 @@
+#include "tables/full_table.hpp"
+
+namespace lapses
+{
+
+FullTable::FullTable(const MeshTopology& topo, const RoutingAlgorithm& algo)
+    : RoutingTable(topo)
+{
+    const NodeId n = topo.numNodes();
+    entries_.resize(static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(n));
+    for (NodeId r = 0; r < n; ++r) {
+        for (NodeId d = 0; d < n; ++d)
+            entries_[index(r, d)] = algo.route(r, d);
+    }
+}
+
+RouteCandidates
+FullTable::lookup(NodeId router, NodeId dest) const
+{
+    LAPSES_ASSERT(topo_.contains(router) && topo_.contains(dest));
+    return entries_[index(router, dest)];
+}
+
+void
+FullTable::setEntry(NodeId router, NodeId dest, const RouteCandidates& rc)
+{
+    LAPSES_ASSERT(topo_.contains(router) && topo_.contains(dest));
+    entries_[index(router, dest)] = rc;
+}
+
+} // namespace lapses

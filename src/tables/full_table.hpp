@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Full-table routing: one entry per destination node (Section 5).
+ *
+ * Complete flexibility — used by Cray T3D/T3E and Sun S3.mp — at storage
+ * cost proportional to the network size: N entries per router.
+ */
+
+#ifndef LAPSES_TABLES_FULL_TABLE_HPP
+#define LAPSES_TABLES_FULL_TABLE_HPP
+
+#include <vector>
+
+#include "routing/routing_algorithm.hpp"
+#include "tables/routing_table.hpp"
+
+namespace lapses
+{
+
+/** Flat per-destination routing table, programmed from an algorithm. */
+class FullTable : public RoutingTable
+{
+  public:
+    /** Program every router's table from the routing algorithm. */
+    FullTable(const MeshTopology& topo, const RoutingAlgorithm& algo);
+
+    std::string name() const override { return "full-table"; }
+    RouteCandidates lookup(NodeId router, NodeId dest) const override;
+
+    std::size_t
+    entriesPerRouter() const override
+    {
+        return static_cast<std::size_t>(topo_.numNodes());
+    }
+
+    bool supportsAdaptive() const override { return true; }
+
+    /**
+     * Reprogram one entry. Full tables allow per-(router, destination)
+     * configuration; this is the flexibility the paper notes is "rarely
+     * useful" but present in commercial routers.
+     */
+    void setEntry(NodeId router, NodeId dest, const RouteCandidates& rc);
+
+  private:
+    std::size_t
+    index(NodeId router, NodeId dest) const
+    {
+        return static_cast<std::size_t>(router) *
+                   static_cast<std::size_t>(topo_.numNodes()) +
+               static_cast<std::size_t>(dest);
+    }
+
+    std::vector<RouteCandidates> entries_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_FULL_TABLE_HPP

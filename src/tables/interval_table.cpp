@@ -1,0 +1,74 @@
+#include "tables/interval_table.hpp"
+
+#include <algorithm>
+
+namespace lapses
+{
+
+IntervalTable::IntervalTable(const MeshTopology& topo,
+                             const RoutingAlgorithm& algo)
+    : RoutingTable(topo)
+{
+    if (algo.isAdaptive()) {
+        throw ConfigError(
+            "interval routing stores one port per destination; program "
+            "it from a deterministic algorithm");
+    }
+    const NodeId n = topo.numNodes();
+    per_router_.resize(static_cast<std::size_t>(n));
+    for (NodeId r = 0; r < n; ++r) {
+        auto& ivals = per_router_[static_cast<std::size_t>(r)];
+        for (NodeId d = 0; d < n; ++d) {
+            const PortId p = algo.route(r, d).at(0);
+            if (!ivals.empty() && ivals.back().port == p &&
+                ivals.back().hi == d - 1) {
+                ivals.back().hi = d;
+            } else {
+                ivals.push_back({d, d, p});
+            }
+        }
+        ivals.shrink_to_fit();
+    }
+}
+
+RouteCandidates
+IntervalTable::lookup(NodeId router, NodeId dest) const
+{
+    LAPSES_ASSERT(topo_.contains(router) && topo_.contains(dest));
+    const auto& ivals = per_router_[static_cast<std::size_t>(router)];
+    // Binary search for the interval containing dest.
+    auto it = std::upper_bound(
+        ivals.begin(), ivals.end(), dest,
+        [](NodeId d, const IntervalEntry& e) { return d < e.lo; });
+    LAPSES_ASSERT(it != ivals.begin());
+    --it;
+    LAPSES_ASSERT(dest >= it->lo && dest <= it->hi);
+    RouteCandidates rc;
+    rc.add(it->port);
+    return rc;
+}
+
+std::size_t
+IntervalTable::entriesPerRouter() const
+{
+    std::size_t worst = 0;
+    for (const auto& ivals : per_router_)
+        worst = std::max(worst, ivals.size());
+    return worst;
+}
+
+std::size_t
+IntervalTable::intervalCount(NodeId router) const
+{
+    LAPSES_ASSERT(topo_.contains(router));
+    return per_router_[static_cast<std::size_t>(router)].size();
+}
+
+const std::vector<IntervalEntry>&
+IntervalTable::intervals(NodeId router) const
+{
+    LAPSES_ASSERT(topo_.contains(router));
+    return per_router_[static_cast<std::size_t>(router)];
+}
+
+} // namespace lapses

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Interval (universal) routing — Section 5.1.2, van Leeuwen & Tan [25].
+ *
+ * Destinations with contiguous node labels that exit through the same
+ * port share one table entry holding the label interval. Table size is
+ * independent of the network size, but the scheme is deterministic: a
+ * label belongs to exactly one interval, so only one exit port can be
+ * stored per destination ("not readily receptive to adaptive routing").
+ */
+
+#ifndef LAPSES_TABLES_INTERVAL_TABLE_HPP
+#define LAPSES_TABLES_INTERVAL_TABLE_HPP
+
+#include <vector>
+
+#include "routing/routing_algorithm.hpp"
+#include "tables/routing_table.hpp"
+
+namespace lapses
+{
+
+/** One interval entry: destinations in [lo, hi] leave through port. */
+struct IntervalEntry
+{
+    NodeId lo;
+    NodeId hi;
+    PortId port;
+};
+
+/** Per-router interval routing tables for a deterministic algorithm. */
+class IntervalTable : public RoutingTable
+{
+  public:
+    /**
+     * Compress a deterministic algorithm's per-destination ports into
+     * maximal label intervals. Throws ConfigError for adaptive
+     * algorithms.
+     */
+    IntervalTable(const MeshTopology& topo, const RoutingAlgorithm& algo);
+
+    std::string name() const override { return "interval"; }
+    RouteCandidates lookup(NodeId router, NodeId dest) const override;
+
+    /** Worst-case interval count over all routers (the table size a
+     *  hardware implementation must provision). */
+    std::size_t entriesPerRouter() const override;
+
+    bool supportsAdaptive() const override { return false; }
+
+    /** Interval count at one router. */
+    std::size_t intervalCount(NodeId router) const;
+
+    /** The intervals of one router, sorted by label. */
+    const std::vector<IntervalEntry>& intervals(NodeId router) const;
+
+  private:
+    std::vector<std::vector<IntervalEntry>> per_router_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_INTERVAL_TABLE_HPP

@@ -1,0 +1,88 @@
+#include "tables/meta_table.hpp"
+
+#include <algorithm>
+
+namespace lapses
+{
+namespace
+{
+
+/** The node of 'box' nearest to 'from' (coordinate clamp). */
+NodeId
+nearestNodeInBox(const MeshTopology& topo, NodeId from,
+                 const ClusterBox& box)
+{
+    const Coordinates c = topo.nodeToCoords(from);
+    Coordinates nearest(topo.dims());
+    for (int d = 0; d < topo.dims(); ++d)
+        nearest.set(d, std::clamp(c.at(d), box.lo.at(d), box.hi.at(d)));
+    return topo.coordsToNode(nearest);
+}
+
+} // namespace
+
+MetaTable::MetaTable(const MeshTopology& topo,
+                     const RoutingAlgorithm& algo, ClusterMap map)
+    : RoutingTable(topo), map_(std::move(map))
+{
+    if (topo.isTorus()) {
+        // The two-phase escape classes would collide with torus
+        // dateline classes; the paper's meta-table study is mesh-only.
+        throw ConfigError("meta-tables are defined for meshes");
+    }
+    const NodeId n = topo.numNodes();
+    local_entries_.resize(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(map_.nodesPerCluster()));
+    cluster_entries_.resize(static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(map_.numClusters()));
+
+    for (NodeId r = 0; r < n; ++r) {
+        const int my_cluster = map_.clusterOf(r);
+        // Sub-cluster table: exact algorithm entries for local nodes,
+        // escape phase 1 (inside the destination cluster).
+        for (int sub = 0; sub < map_.nodesPerCluster(); ++sub) {
+            const NodeId dest = map_.nodeOf(my_cluster, sub);
+            RouteCandidates rc = algo.route(r, dest);
+            if (rc.escapePort() != kInvalidPort)
+                rc.setEscapeClass(1);
+            local_entries_[localIndex(r, sub)] = rc;
+        }
+        // Cluster table: one shared entry per remote cluster, escape
+        // phase 0 (dimension-order toward the cluster's bounding box).
+        for (int c = 0; c < map_.numClusters(); ++c) {
+            if (c == my_cluster)
+                continue;
+            cluster_entries_[clusterIndex(r, c)] =
+                interClusterEntry(r, c, algo);
+        }
+    }
+}
+
+RouteCandidates
+MetaTable::interClusterEntry(NodeId router, int cluster,
+                             const RoutingAlgorithm& algo) const
+{
+    // All destinations of the cluster share this entry, so it can only
+    // hold ports productive toward the whole region. Routing toward the
+    // nearest node of the bounding box yields exactly those ports for
+    // every sign-representable mesh algorithm.
+    const NodeId rep = nearestNodeInBox(topo_, router, map_.box(cluster));
+    LAPSES_ASSERT_MSG(rep != router,
+                      "router inside a remote cluster's box");
+    RouteCandidates rc = algo.route(router, rep);
+    if (rc.escapePort() != kInvalidPort)
+        rc.setEscapeClass(0);
+    return rc;
+}
+
+RouteCandidates
+MetaTable::lookup(NodeId router, NodeId dest) const
+{
+    LAPSES_ASSERT(topo_.contains(router) && topo_.contains(dest));
+    const int dest_cluster = map_.clusterOf(dest);
+    if (dest_cluster == map_.clusterOf(router))
+        return local_entries_[localIndex(router, map_.subOf(dest))];
+    return cluster_entries_[clusterIndex(router, dest_cluster)];
+}
+
+} // namespace lapses

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hierarchical (meta-table) routing — Section 5.1.1.
+ *
+ * Two table levels per router: a cluster table with one entry per remote
+ * cluster and a sub-cluster table with one entry per node of the local
+ * cluster. Remote destinations share their cluster's entry, which is the
+ * storage saving and the flexibility loss: the entry can only hold ports
+ * productive toward the whole cluster region, so adaptivity collapses at
+ * cluster boundaries (the congestion the paper demonstrates in Table 4).
+ *
+ * Deadlock freedom: the adaptive VC class follows the (restricted) table
+ * candidates; the escape class is two-phase dimension-order — class 0
+ * toward the destination cluster's bounding box, class 1 inside the
+ * destination cluster — which is acyclic per phase with one-way
+ * class-0 -> class-1 dependencies (see DESIGN.md).
+ */
+
+#ifndef LAPSES_TABLES_META_TABLE_HPP
+#define LAPSES_TABLES_META_TABLE_HPP
+
+#include <vector>
+
+#include "routing/routing_algorithm.hpp"
+#include "tables/cluster_map.hpp"
+#include "tables/routing_table.hpp"
+
+namespace lapses
+{
+
+/** Two-level cluster/sub-cluster routing table. */
+class MetaTable : public RoutingTable
+{
+  public:
+    /**
+     * Program from a routing algorithm. Intra-cluster entries reproduce
+     * the algorithm exactly; inter-cluster entries keep only the
+     * algorithm's candidates that are productive toward the destination
+     * cluster's region (a deterministic algorithm therefore stays
+     * deterministic, an adaptive one loses boundary adaptivity).
+     */
+    MetaTable(const MeshTopology& topo, const RoutingAlgorithm& algo,
+              ClusterMap map);
+
+    std::string name() const override { return "meta-" + map_.name(); }
+    RouteCandidates lookup(NodeId router, NodeId dest) const override;
+
+    /** Local sub-cluster entries + remote cluster entries. */
+    std::size_t
+    entriesPerRouter() const override
+    {
+        return static_cast<std::size_t>(map_.nodesPerCluster()) +
+               static_cast<std::size_t>(map_.numClusters());
+    }
+
+    bool supportsAdaptive() const override { return true; }
+
+    const ClusterMap& clusterMap() const { return map_; }
+
+  private:
+    /** Candidates at 'router' productive toward the box of 'cluster'. */
+    RouteCandidates interClusterEntry(NodeId router, int cluster,
+                                      const RoutingAlgorithm& algo) const;
+
+    std::size_t
+    localIndex(NodeId router, int sub) const
+    {
+        return static_cast<std::size_t>(router) *
+                   static_cast<std::size_t>(map_.nodesPerCluster()) +
+               static_cast<std::size_t>(sub);
+    }
+
+    std::size_t
+    clusterIndex(NodeId router, int cluster) const
+    {
+        return static_cast<std::size_t>(router) *
+                   static_cast<std::size_t>(map_.numClusters()) +
+               static_cast<std::size_t>(cluster);
+    }
+
+    ClusterMap map_;
+    std::vector<RouteCandidates> local_entries_;
+    std::vector<RouteCandidates> cluster_entries_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_META_TABLE_HPP

@@ -1,0 +1,81 @@
+#include "tables/route_entry.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+int
+bitsFor(unsigned values)
+{
+    int bits = 0;
+    while ((1u << bits) < values)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+int
+portFieldBits(int num_ports)
+{
+    // +1 code for "absent".
+    return bitsFor(static_cast<unsigned>(num_ports) + 1);
+}
+
+int
+packedEntryBits(int num_ports)
+{
+    // Candidate fields, escape field, 2-bit escape class.
+    return (RouteCandidates::kMaxCandidates + 1) * portFieldBits(num_ports)
+        + 2;
+}
+
+PackedRouteEntry
+packRouteEntry(const RouteCandidates& rc, int num_ports)
+{
+    const int field = portFieldBits(num_ports);
+    const std::uint32_t absent = (1u << field) - 1;
+    PackedRouteEntry e;
+    int shift = 0;
+    for (int i = 0; i < RouteCandidates::kMaxCandidates; ++i) {
+        const std::uint32_t code =
+            i < rc.count() ? static_cast<std::uint32_t>(rc.at(i)) : absent;
+        LAPSES_ASSERT(code <= absent);
+        e.bits |= code << shift;
+        shift += field;
+    }
+    const std::uint32_t esc = rc.escapePort() == kInvalidPort
+        ? absent
+        : static_cast<std::uint32_t>(rc.escapePort());
+    e.bits |= esc << shift;
+    shift += field;
+    e.bits |= static_cast<std::uint32_t>(rc.escapeClass()) << shift;
+    return e;
+}
+
+RouteCandidates
+unpackRouteEntry(PackedRouteEntry entry, int num_ports)
+{
+    const int field = portFieldBits(num_ports);
+    const std::uint32_t mask = (1u << field) - 1;
+    const std::uint32_t absent = mask;
+    RouteCandidates rc;
+    int shift = 0;
+    for (int i = 0; i < RouteCandidates::kMaxCandidates; ++i) {
+        const std::uint32_t code = (entry.bits >> shift) & mask;
+        if (code != absent)
+            rc.add(static_cast<PortId>(code));
+        shift += field;
+    }
+    const std::uint32_t esc = (entry.bits >> shift) & mask;
+    shift += field;
+    const auto esc_class = static_cast<int>((entry.bits >> shift) & 0x3u);
+    if (esc != absent) {
+        rc.setEscapePort(static_cast<PortId>(esc));
+        rc.setEscapeClass(esc_class);
+    }
+    return rc;
+}
+
+} // namespace lapses

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hardware-style bit encoding of routing-table entries.
+ *
+ * The simulator keeps RouteCandidates in expanded form for speed, but the
+ * storage-cost analysis (Table 5) and the encoding round-trip tests use
+ * this packed representation to count real bits: each entry holds up to
+ * kMaxCandidates port fields plus the escape designation, every field
+ * wide enough for "no port" + the router's port count.
+ */
+
+#ifndef LAPSES_TABLES_ROUTE_ENTRY_HPP
+#define LAPSES_TABLES_ROUTE_ENTRY_HPP
+
+#include <cstdint>
+
+#include "routing/route_candidates.hpp"
+
+namespace lapses
+{
+
+/** Packed routing-table entry, as a router RAM would store it. */
+struct PackedRouteEntry
+{
+    std::uint32_t bits = 0;
+};
+
+/** Bits needed for one port field given the router's port count
+ *  (one code is reserved for "invalid/absent"). */
+int portFieldBits(int num_ports);
+
+/** Bits per packed entry: kMaxCandidates port fields + escape field +
+ *  2-bit escape class. */
+int packedEntryBits(int num_ports);
+
+/** Pack a candidate set into entry bits. */
+PackedRouteEntry packRouteEntry(const RouteCandidates& rc, int num_ports);
+
+/** Expand entry bits back into a candidate set. */
+RouteCandidates unpackRouteEntry(PackedRouteEntry entry, int num_ports);
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_ROUTE_ENTRY_HPP

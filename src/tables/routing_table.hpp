@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table-based routing decision block (paper Section 5).
+ *
+ * A RoutingTable models the programmable lookup tables of every router in
+ * the network collectively: lookup(router, dest) returns what router's
+ * hardware table would produce for a header addressed to dest. Tables are
+ * programmed from a RoutingAlgorithm; the different implementations trade
+ * storage for routing flexibility:
+ *
+ *   FullTable          N entries/router   complete flexibility
+ *   MetaTable          2*sqrt(N)/router   cluster-boundary restrictions
+ *   EconomicalStorage  3^n entries/router no loss for mesh algorithms
+ *   IntervalTable      ~#ports intervals  deterministic only
+ */
+
+#ifndef LAPSES_TABLES_ROUTING_TABLE_HPP
+#define LAPSES_TABLES_ROUTING_TABLE_HPP
+
+#include <memory>
+#include <string>
+
+#include "routing/route_candidates.hpp"
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+/** Interface over the per-router programmable routing tables. */
+class RoutingTable
+{
+  public:
+    explicit RoutingTable(const MeshTopology& topo) : topo_(topo) {}
+    virtual ~RoutingTable() = default;
+
+    RoutingTable(const RoutingTable&) = delete;
+    RoutingTable& operator=(const RoutingTable&) = delete;
+    /** Move construction is allowed so builders can return by value. */
+    RoutingTable(RoutingTable&&) = default;
+    RoutingTable& operator=(RoutingTable&&) = delete;
+
+    /** Scheme identifier, e.g. "full-table". */
+    virtual std::string name() const = 0;
+
+    /**
+     * The routing decision at 'router' for a message addressed to
+     * 'dest'. Must return the ejection entry when router == dest.
+     */
+    virtual RouteCandidates lookup(NodeId router, NodeId dest) const = 0;
+
+    /** Table entries stored in each router (the paper's cost metric). */
+    virtual std::size_t entriesPerRouter() const = 0;
+
+    /** True when entries may hold multiple candidate ports. */
+    virtual bool supportsAdaptive() const = 0;
+
+    const MeshTopology& topology() const { return topo_; }
+
+  protected:
+    const MeshTopology& topo_;
+};
+
+using RoutingTablePtr = std::unique_ptr<RoutingTable>;
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_ROUTING_TABLE_HPP

@@ -1,0 +1,91 @@
+#include "tables/storage_cost.hpp"
+
+#include "tables/route_entry.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+int
+ceilLog2(std::size_t v)
+{
+    int bits = 0;
+    while ((std::size_t{1} << bits) < v)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+int
+entryBits(const MeshTopology& topo, TableFeatures f)
+{
+    const int field = portFieldBits(topo.numPorts());
+    const int n = topo.dims();
+    if (!f.adaptive)
+        return field; // one port, with or without look-ahead
+    // n candidate fields; look-ahead expands each candidate into the n
+    // options at that neighbor. Escape designator picks one candidate.
+    const int fields = f.lookahead ? n * n : n;
+    const int escape_bits = ceilLog2(static_cast<std::size_t>(n) + 1);
+    return fields * field + escape_bits;
+}
+
+StorageCost
+fullTableCost(const MeshTopology& topo, TableFeatures f)
+{
+    StorageCost c;
+    c.scheme = "full-table";
+    c.entriesPerRouter = static_cast<std::size_t>(topo.numNodes());
+    c.bitsPerEntry = entryBits(topo, f);
+    c.indexHardware = "none (flat index by destination id)";
+    return c;
+}
+
+StorageCost
+metaTableCost(const MeshTopology& topo, int cluster_nodes, TableFeatures f)
+{
+    LAPSES_ASSERT(cluster_nodes > 0 &&
+                  topo.numNodes() % cluster_nodes == 0);
+    StorageCost c;
+    c.scheme = "meta-table";
+    c.entriesPerRouter =
+        static_cast<std::size_t>(topo.numNodes() / cluster_nodes) +
+        static_cast<std::size_t>(cluster_nodes);
+    c.bitsPerEntry = entryBits(topo, f);
+    c.indexHardware = "cluster-id compare + id split";
+    return c;
+}
+
+StorageCost
+intervalCost(const MeshTopology& topo)
+{
+    StorageCost c;
+    c.scheme = "interval";
+    c.entriesPerRouter = static_cast<std::size_t>(topo.numPorts());
+    // Each entry: interval start label + exit port.
+    c.bitsPerEntry =
+        ceilLog2(static_cast<std::size_t>(topo.numNodes())) +
+        portFieldBits(topo.numPorts());
+    c.indexHardware = "label comparators per interval";
+    return c;
+}
+
+StorageCost
+economicalStorageCost(const MeshTopology& topo, TableFeatures f)
+{
+    StorageCost c;
+    c.scheme = "economical-storage";
+    std::size_t entries = 1;
+    for (int d = 0; d < topo.dims(); ++d)
+        entries *= 3;
+    c.entriesPerRouter = entries;
+    c.bitsPerEntry = entryBits(topo, f);
+    c.indexHardware =
+        "node-id register + " + std::to_string(topo.dims()) +
+        " sign comparators";
+    return c;
+}
+
+} // namespace lapses

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic storage-cost model for routing-table schemes (paper Table 5).
+ *
+ * The model counts the bits a router RAM must provision:
+ *   - deterministic entry: 1 port field
+ *   - deterministic + look-ahead: 1 port field (the next router's port)
+ *   - adaptive entry: n port fields (one candidate per dimension) plus
+ *     an escape designator
+ *   - adaptive + look-ahead: n*n port fields (for each of the n current
+ *     candidates, the n options at that neighbor, Fig. 4b) plus escape
+ * A port field is ceil(log2(ports + 1)) bits (one code for "absent").
+ */
+
+#ifndef LAPSES_TABLES_STORAGE_COST_HPP
+#define LAPSES_TABLES_STORAGE_COST_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+/** Storage requirement of one table scheme under one router feature set. */
+struct StorageCost
+{
+    std::string scheme;
+    std::size_t entriesPerRouter = 0;
+    int bitsPerEntry = 0;
+    /** Index computation hardware beyond the RAM (comparators etc.). */
+    std::string indexHardware;
+
+    std::size_t
+    bitsPerRouter() const
+    {
+        return entriesPerRouter * static_cast<std::size_t>(bitsPerEntry);
+    }
+};
+
+/** Router feature set the table must serve. */
+struct TableFeatures
+{
+    bool adaptive = true;
+    bool lookahead = false;
+};
+
+/** Bits in one entry for the feature set on this topology. */
+int entryBits(const MeshTopology& topo, TableFeatures f);
+
+/** Full-table cost: N entries. */
+StorageCost fullTableCost(const MeshTopology& topo, TableFeatures f);
+
+/** Two-level meta-table cost for clusters of the given node count:
+ *  (N / clusterNodes) cluster entries + clusterNodes local entries. */
+StorageCost metaTableCost(const MeshTopology& topo, int cluster_nodes,
+                          TableFeatures f);
+
+/** Interval-routing cost: #ports interval entries of (label + port)
+ *  bits. Deterministic only, so the adaptive flag is ignored. */
+StorageCost intervalCost(const MeshTopology& topo);
+
+/** Economical-storage cost: 3^n entries + n comparators. */
+StorageCost economicalStorageCost(const MeshTopology& topo,
+                                  TableFeatures f);
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_STORAGE_COST_HPP

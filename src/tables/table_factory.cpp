@@ -1,0 +1,81 @@
+#include "tables/table_factory.hpp"
+
+#include "tables/economical_storage.hpp"
+#include "tables/full_table.hpp"
+#include "tables/interval_table.hpp"
+#include "tables/meta_table.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+bool
+edgeDividesAll(const MeshTopology& topo, int edge)
+{
+    for (int d = 0; d < topo.dims(); ++d) {
+        if (topo.radix(d) % edge != 0)
+            return false;
+    }
+    return true;
+}
+
+int
+blockEdgeFor(const MeshTopology& topo)
+{
+    // The paper clusters a 16x16 mesh into 4x4 blocks; generalize to
+    // radix/4 when divisible, else the largest proper divisor.
+    int base = topo.radix(0);
+    for (int d = 1; d < topo.dims(); ++d)
+        base = std::min(base, topo.radix(d));
+    if (base % 4 == 0 && edgeDividesAll(topo, base / 4))
+        return base / 4;
+    for (int e = base / 2; e >= 2; --e) {
+        if (edgeDividesAll(topo, e))
+            return e;
+    }
+    return 1;
+}
+
+} // namespace
+
+RoutingTablePtr
+makeRoutingTable(TableKind kind, const MeshTopology& topo,
+                 const RoutingAlgorithm& algo)
+{
+    switch (kind) {
+      case TableKind::Full:
+        return std::make_unique<FullTable>(topo, algo);
+      case TableKind::MetaRowMinimal:
+        return std::make_unique<MetaTable>(topo, algo,
+                                           ClusterMap::rowMap(topo));
+      case TableKind::MetaBlockMaximal:
+        return std::make_unique<MetaTable>(
+            topo, algo, ClusterMap::blockMap(topo, blockEdgeFor(topo)));
+      case TableKind::EconomicalStorage:
+        return std::make_unique<EconomicalStorageTable>(topo, algo);
+      case TableKind::Interval:
+        return std::make_unique<IntervalTable>(topo, algo);
+    }
+    throw ConfigError("unknown table kind");
+}
+
+std::string
+tableKindName(TableKind kind)
+{
+    switch (kind) {
+      case TableKind::Full:
+        return "full-table";
+      case TableKind::MetaRowMinimal:
+        return "meta-row";
+      case TableKind::MetaBlockMaximal:
+        return "meta-block";
+      case TableKind::EconomicalStorage:
+        return "economical-storage";
+      case TableKind::Interval:
+        return "interval";
+    }
+    return "?";
+}
+
+} // namespace lapses

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Factory for routing-table storage schemes by enum.
+ */
+
+#ifndef LAPSES_TABLES_TABLE_FACTORY_HPP
+#define LAPSES_TABLES_TABLE_FACTORY_HPP
+
+#include <string>
+
+#include "routing/routing_algorithm.hpp"
+#include "tables/routing_table.hpp"
+
+namespace lapses
+{
+
+/** Selectable table-storage schemes (Section 5). */
+enum class TableKind
+{
+    Full,             //!< N entries per router
+    MetaRowMinimal,   //!< Fig. 8(a) row clusters — minimal flexibility
+    MetaBlockMaximal, //!< Fig. 8(b) square blocks — maximal flexibility
+    EconomicalStorage,//!< 3^n sign-indexed entries (proposed)
+    Interval,         //!< label intervals, deterministic algorithms only
+};
+
+/**
+ * Build and program a table of the given kind from an algorithm.
+ * MetaBlockMaximal uses blocks of edge radix/4 when divisible (the
+ * paper's 4x4 blocks on a 16x16 mesh) and otherwise the largest
+ * square divisor.
+ */
+RoutingTablePtr makeRoutingTable(TableKind kind, const MeshTopology& topo,
+                                 const RoutingAlgorithm& algo);
+
+/** Short identifier, e.g. "economical-storage". */
+std::string tableKindName(TableKind kind);
+
+} // namespace lapses
+
+#endif // LAPSES_TABLES_TABLE_FACTORY_HPP

@@ -1,0 +1,95 @@
+#include "topology/coordinates.hpp"
+
+namespace lapses
+{
+
+std::string
+Coordinates::toString() const
+{
+    std::string out = "(";
+    for (int d = 0; d < dims_; ++d) {
+        if (d)
+            out += ',';
+        out += std::to_string(at(d));
+    }
+    out += ')';
+    return out;
+}
+
+char
+signChar(Sign s)
+{
+    switch (s) {
+      case Sign::Plus:
+        return '+';
+      case Sign::Minus:
+        return '-';
+      case Sign::Zero:
+        return '0';
+    }
+    return '?';
+}
+
+SignVector::SignVector(const Coordinates& from, const Coordinates& to)
+    : dims_(from.dims())
+{
+    LAPSES_ASSERT(from.dims() == to.dims());
+    signs_.fill(Sign::Zero);
+    for (int d = 0; d < dims_; ++d)
+        signs_[static_cast<std::size_t>(d)] = signOf(from.at(d), to.at(d));
+}
+
+bool
+SignVector::isZero() const
+{
+    for (int d = 0; d < dims_; ++d) {
+        if (signs_[static_cast<std::size_t>(d)] != Sign::Zero)
+            return false;
+    }
+    return true;
+}
+
+int
+SignVector::tableIndex() const
+{
+    int index = 0;
+    int weight = 1;
+    for (int d = 0; d < dims_; ++d) {
+        const int digit =
+            static_cast<int>(signs_[static_cast<std::size_t>(d)]) + 1;
+        index += digit * weight;
+        weight *= 3;
+    }
+    return index;
+}
+
+SignVector
+SignVector::fromTableIndex(int index, int dims)
+{
+    LAPSES_ASSERT(dims >= 1 && dims <= kMaxDims);
+    SignVector sv;
+    sv.dims_ = dims;
+    for (int d = 0; d < dims; ++d) {
+        const int digit = index % 3;
+        index /= 3;
+        sv.signs_[static_cast<std::size_t>(d)] =
+            static_cast<Sign>(digit - 1);
+    }
+    LAPSES_ASSERT(index == 0);
+    return sv;
+}
+
+std::string
+SignVector::toString() const
+{
+    std::string out = "(";
+    for (int d = 0; d < dims_; ++d) {
+        if (d)
+            out += ',';
+        out += signChar(at(d));
+    }
+    out += ')';
+    return out;
+}
+
+} // namespace lapses

@@ -1,0 +1,101 @@
+#include "traffic/injection.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+InjectionProcess::InjectionProcess(InjectionKind kind,
+                                   double msgs_per_cycle, Rng rng,
+                                   BurstOptions burst)
+    : kind_(kind), rate_(msgs_per_cycle), next_time_(0.0), rng_(rng),
+      burst_(burst)
+{
+    if (rate_ < 0.0)
+        throw ConfigError("injection rate must be non-negative");
+    if (kind_ == InjectionKind::Bernoulli && rate_ > 1.0)
+        throw ConfigError("Bernoulli injection rate must be <= 1");
+    if (kind_ == InjectionKind::Exponential && rate_ > 0.0) {
+        // First arrival is a full inter-arrival gap from time 0.
+        next_time_ = rng_.nextExponential(1.0 / rate_);
+    }
+    if (kind_ == InjectionKind::Bursty) {
+        if (burst_.meanOnCycles <= 0.0 || burst_.meanOffCycles < 0.0)
+            throw ConfigError("bursty injection needs a positive ON "
+                              "period");
+        // Deliver the same mean rate concentrated into ON periods.
+        const double duty = burst_.meanOnCycles /
+            (burst_.meanOnCycles + burst_.meanOffCycles);
+        on_rate_ = rate_ / duty;
+        on_ = false;
+        phase_ends_ = 0;
+    }
+}
+
+int
+InjectionProcess::arrivals(Cycle now)
+{
+    if (rate_ <= 0.0)
+        return 0;
+
+    switch (kind_) {
+      case InjectionKind::Bernoulli:
+        return rng_.nextBool(rate_) ? 1 : 0;
+
+      case InjectionKind::Exponential: {
+        int count = 0;
+        const double cycle_end = static_cast<double>(now) + 1.0;
+        while (next_time_ < cycle_end) {
+            ++count;
+            next_time_ += rng_.nextExponential(1.0 / rate_);
+        }
+        return count;
+      }
+
+      case InjectionKind::Bursty: {
+        if (now >= phase_ends_) {
+            // Toggle phase; geometric (exponential) period lengths.
+            on_ = !on_;
+            const double mean = on_ ? burst_.meanOnCycles
+                                    : burst_.meanOffCycles;
+            const double len = std::max(1.0,
+                                        rng_.nextExponential(mean));
+            phase_ends_ = now + static_cast<Cycle>(len);
+            if (on_) {
+                // Restart the arrival clock inside the burst.
+                next_time_ = static_cast<double>(now) +
+                    rng_.nextExponential(1.0 / on_rate_);
+            }
+        }
+        if (!on_)
+            return 0;
+        int count = 0;
+        const double cycle_end = static_cast<double>(now) + 1.0;
+        while (next_time_ < cycle_end) {
+            ++count;
+            next_time_ += rng_.nextExponential(1.0 / on_rate_);
+        }
+        return count;
+      }
+    }
+    return 0;
+}
+
+double
+flitRateForLoad(const MeshTopology& topo, double normalized_load)
+{
+    LAPSES_ASSERT(normalized_load >= 0.0);
+    return normalized_load * topo.bisectionSaturationFlitRate();
+}
+
+double
+msgRateForLoad(const MeshTopology& topo, double normalized_load,
+               int msg_len)
+{
+    LAPSES_ASSERT(msg_len > 0);
+    return flitRateForLoad(topo, normalized_load) / msg_len;
+}
+
+} // namespace lapses

@@ -1,0 +1,267 @@
+#include "traffic/patterns.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+/** Bits in the node-id space; requires N to be a power of two. */
+int
+addressBits(const MeshTopology& topo, const char* pattern)
+{
+    const auto n = static_cast<unsigned>(topo.numNodes());
+    if ((n & (n - 1)) != 0) {
+        throw ConfigError(std::string(pattern) +
+                          " traffic needs a power-of-two node count");
+    }
+    int b = 0;
+    while ((1u << b) < n)
+        ++b;
+    return b;
+}
+
+class UniformTraffic : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    std::string name() const override { return "uniform"; }
+
+    NodeId
+    pick(NodeId src, Rng& rng) const override
+    {
+        // Uniform over the other N-1 nodes.
+        const NodeId n = topo_.numNodes();
+        auto d = static_cast<NodeId>(
+            rng.nextBounded(static_cast<std::uint64_t>(n - 1)));
+        if (d >= src)
+            ++d;
+        return d;
+    }
+};
+
+class TransposeTraffic : public TrafficPattern
+{
+  public:
+    explicit TransposeTraffic(const MeshTopology& topo)
+        : TrafficPattern(topo)
+    {
+        if (topo.dims() != 2 || topo.radix(0) != topo.radix(1))
+            throw ConfigError("transpose needs a square 2-D mesh");
+    }
+
+    std::string name() const override { return "transpose"; }
+
+    NodeId
+    pick(NodeId src, Rng&) const override
+    {
+        const Coordinates c = topo_.nodeToCoords(src);
+        const NodeId d =
+            topo_.coordsToNode(Coordinates(c.at(1), c.at(0)));
+        return d == src ? kInvalidNode : d;
+    }
+};
+
+class BitReversalTraffic : public TrafficPattern
+{
+  public:
+    explicit BitReversalTraffic(const MeshTopology& topo)
+        : TrafficPattern(topo), bits_(addressBits(topo, "bit-reversal"))
+    {}
+
+    std::string name() const override { return "bit-reversal"; }
+
+    NodeId
+    pick(NodeId src, Rng&) const override
+    {
+        unsigned s = static_cast<unsigned>(src);
+        unsigned d = 0;
+        for (int i = 0; i < bits_; ++i) {
+            d = (d << 1) | (s & 1u);
+            s >>= 1;
+        }
+        const auto dest = static_cast<NodeId>(d);
+        return dest == src ? kInvalidNode : dest;
+    }
+
+  private:
+    int bits_;
+};
+
+class PerfectShuffleTraffic : public TrafficPattern
+{
+  public:
+    explicit PerfectShuffleTraffic(const MeshTopology& topo)
+        : TrafficPattern(topo),
+          bits_(addressBits(topo, "perfect-shuffle"))
+    {}
+
+    std::string name() const override { return "perfect-shuffle"; }
+
+    NodeId
+    pick(NodeId src, Rng&) const override
+    {
+        const auto s = static_cast<unsigned>(src);
+        const unsigned mask = (1u << bits_) - 1;
+        const unsigned d =
+            ((s << 1) | (s >> (bits_ - 1))) & mask; // rotate left
+        const auto dest = static_cast<NodeId>(d);
+        return dest == src ? kInvalidNode : dest;
+    }
+
+  private:
+    int bits_;
+};
+
+class BitComplementTraffic : public TrafficPattern
+{
+  public:
+    explicit BitComplementTraffic(const MeshTopology& topo)
+        : TrafficPattern(topo),
+          bits_(addressBits(topo, "bit-complement"))
+    {}
+
+    std::string name() const override { return "bit-complement"; }
+
+    NodeId
+    pick(NodeId src, Rng&) const override
+    {
+        const unsigned mask = (1u << bits_) - 1;
+        const auto dest =
+            static_cast<NodeId>(~static_cast<unsigned>(src) & mask);
+        return dest == src ? kInvalidNode : dest;
+    }
+
+  private:
+    int bits_;
+};
+
+class TornadoTraffic : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    std::string name() const override { return "tornado"; }
+
+    NodeId
+    pick(NodeId src, Rng&) const override
+    {
+        Coordinates c = topo_.nodeToCoords(src);
+        for (int d = 0; d < topo_.dims(); ++d) {
+            const int k = topo_.radix(d);
+            c.set(d, (c.at(d) + (k / 2 - 1) + k) % k);
+        }
+        const NodeId dest = topo_.coordsToNode(c);
+        return dest == src ? kInvalidNode : dest;
+    }
+};
+
+class NeighborTraffic : public TrafficPattern
+{
+  public:
+    using TrafficPattern::TrafficPattern;
+
+    std::string name() const override { return "neighbor"; }
+
+    NodeId
+    pick(NodeId src, Rng&) const override
+    {
+        Coordinates c = topo_.nodeToCoords(src);
+        c.set(0, (c.at(0) + 1) % topo_.radix(0));
+        const NodeId dest = topo_.coordsToNode(c);
+        return dest == src ? kInvalidNode : dest;
+    }
+};
+
+class HotspotTraffic : public TrafficPattern
+{
+  public:
+    HotspotTraffic(const MeshTopology& topo, HotspotOptions opts)
+        : TrafficPattern(topo), opts_(std::move(opts)), uniform_(topo)
+    {
+        if (opts_.hotspots.empty()) {
+            // Default hotspot: the mesh center.
+            Coordinates c(topo.dims());
+            for (int d = 0; d < topo.dims(); ++d)
+                c.set(d, topo.radix(d) / 2);
+            opts_.hotspots.push_back(topo.coordsToNode(c));
+        }
+        for (NodeId h : opts_.hotspots) {
+            if (!topo.contains(h))
+                throw ConfigError("hotspot node outside the mesh");
+        }
+        if (opts_.fraction < 0.0 || opts_.fraction > 1.0)
+            throw ConfigError("hotspot fraction must be in [0,1]");
+    }
+
+    std::string name() const override { return "hotspot"; }
+
+    NodeId
+    pick(NodeId src, Rng& rng) const override
+    {
+        if (rng.nextBool(opts_.fraction)) {
+            const NodeId h = opts_.hotspots[rng.nextBounded(
+                opts_.hotspots.size())];
+            if (h != src)
+                return h;
+        }
+        return uniform_.pick(src, rng);
+    }
+
+  private:
+    HotspotOptions opts_;
+    UniformTraffic uniform_;
+};
+
+} // namespace
+
+TrafficPatternPtr
+makeTrafficPattern(TrafficKind kind, const MeshTopology& topo,
+                   const HotspotOptions& hs)
+{
+    switch (kind) {
+      case TrafficKind::Uniform:
+        return std::make_unique<UniformTraffic>(topo);
+      case TrafficKind::Transpose:
+        return std::make_unique<TransposeTraffic>(topo);
+      case TrafficKind::BitReversal:
+        return std::make_unique<BitReversalTraffic>(topo);
+      case TrafficKind::PerfectShuffle:
+        return std::make_unique<PerfectShuffleTraffic>(topo);
+      case TrafficKind::BitComplement:
+        return std::make_unique<BitComplementTraffic>(topo);
+      case TrafficKind::Tornado:
+        return std::make_unique<TornadoTraffic>(topo);
+      case TrafficKind::Neighbor:
+        return std::make_unique<NeighborTraffic>(topo);
+      case TrafficKind::Hotspot:
+        return std::make_unique<HotspotTraffic>(topo, hs);
+    }
+    throw ConfigError("unknown traffic pattern");
+}
+
+std::string
+trafficKindName(TrafficKind kind)
+{
+    switch (kind) {
+      case TrafficKind::Uniform:
+        return "uniform";
+      case TrafficKind::Transpose:
+        return "transpose";
+      case TrafficKind::BitReversal:
+        return "bit-reversal";
+      case TrafficKind::PerfectShuffle:
+        return "perfect-shuffle";
+      case TrafficKind::BitComplement:
+        return "bit-complement";
+      case TrafficKind::Tornado:
+        return "tornado";
+      case TrafficKind::Neighbor:
+        return "neighbor";
+      case TrafficKind::Hotspot:
+        return "hotspot";
+    }
+    return "?";
+}
+
+} // namespace lapses

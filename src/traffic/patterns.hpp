@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic traffic patterns (paper Section 2.2, following Fulgham &
+ * Snyder's standard definitions [11]).
+ *
+ * The paper evaluates uniform, transpose, bit-reversal and
+ * perfect-shuffle; bit-complement, tornado, nearest-neighbor and hotspot
+ * are provided as extensions for wider experiments.
+ */
+
+#ifndef LAPSES_TRAFFIC_PATTERNS_HPP
+#define LAPSES_TRAFFIC_PATTERNS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/mesh.hpp"
+
+namespace lapses
+{
+
+/** Destination generator for messages originating at a node. */
+class TrafficPattern
+{
+  public:
+    explicit TrafficPattern(const MeshTopology& topo) : topo_(topo) {}
+    virtual ~TrafficPattern() = default;
+
+    TrafficPattern(const TrafficPattern&) = delete;
+    TrafficPattern& operator=(const TrafficPattern&) = delete;
+
+    /** Pattern identifier, e.g. "transpose". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Destination of a message from src, or kInvalidNode when the node
+     * does not inject under this pattern (e.g. transpose diagonal).
+     * Never returns src itself.
+     */
+    virtual NodeId pick(NodeId src, Rng& rng) const = 0;
+
+    const MeshTopology& topology() const { return topo_; }
+
+  protected:
+    const MeshTopology& topo_;
+};
+
+using TrafficPatternPtr = std::unique_ptr<TrafficPattern>;
+
+/** Selectable traffic patterns. */
+enum class TrafficKind
+{
+    Uniform,       //!< uniformly random destination (excluding self)
+    Transpose,     //!< (x, y) -> (y, x); needs a square 2-D mesh
+    BitReversal,   //!< address bits reversed; needs power-of-two N
+    PerfectShuffle,//!< address bits rotated left by one
+    BitComplement, //!< address bits complemented
+    Tornado,       //!< half-radix offset along each dimension
+    Neighbor,      //!< +1 along dimension 0
+    Hotspot,       //!< uniform with a fraction aimed at hotspot nodes
+};
+
+/** Options for the Hotspot pattern. */
+struct HotspotOptions
+{
+    /** Nodes attracting extra traffic (defaults to the mesh center). */
+    std::vector<NodeId> hotspots;
+
+    /** Probability a message is redirected to a hotspot. */
+    double fraction = 0.1;
+};
+
+/** Instantiate a traffic pattern; validates topology requirements. */
+TrafficPatternPtr makeTrafficPattern(TrafficKind kind,
+                                     const MeshTopology& topo,
+                                     const HotspotOptions& hs = {});
+
+/** Short identifier, e.g. "bit-reversal". */
+std::string trafficKindName(TrafficKind kind);
+
+} // namespace lapses
+
+#endif // LAPSES_TRAFFIC_PATTERNS_HPP

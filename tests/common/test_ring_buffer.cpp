@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the fixed-capacity ring buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/ring_buffer.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> rb(4);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_FALSE(rb.full());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 4u);
+    EXPECT_EQ(rb.freeSpace(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer<int> rb(3);
+    rb.push(1);
+    rb.push(2);
+    rb.push(3);
+    EXPECT_EQ(rb.pop(), 1);
+    EXPECT_EQ(rb.pop(), 2);
+    EXPECT_EQ(rb.pop(), 3);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAround)
+{
+    RingBuffer<int> rb(3);
+    for (int round = 0; round < 10; ++round) {
+        rb.push(round);
+        rb.push(round + 100);
+        EXPECT_EQ(rb.pop(), round);
+        EXPECT_EQ(rb.pop(), round + 100);
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FullAndFreeSpaceTrack)
+{
+    RingBuffer<int> rb(2);
+    rb.push(1);
+    EXPECT_EQ(rb.freeSpace(), 1u);
+    rb.push(2);
+    EXPECT_TRUE(rb.full());
+    EXPECT_EQ(rb.freeSpace(), 0u);
+    rb.pop();
+    EXPECT_FALSE(rb.full());
+}
+
+TEST(RingBuffer, FrontPeeksWithoutRemoving)
+{
+    RingBuffer<int> rb(4);
+    rb.push(9);
+    rb.push(8);
+    EXPECT_EQ(rb.front(), 9);
+    EXPECT_EQ(rb.size(), 2u);
+    rb.front() = 7; // mutable front
+    EXPECT_EQ(rb.pop(), 7);
+}
+
+TEST(RingBuffer, AtIndexesFromFront)
+{
+    RingBuffer<int> rb(4);
+    rb.push(10);
+    rb.push(11);
+    rb.push(12);
+    rb.pop();
+    rb.push(13);
+    EXPECT_EQ(rb.at(0), 11);
+    EXPECT_EQ(rb.at(1), 12);
+    EXPECT_EQ(rb.at(2), 13);
+}
+
+TEST(RingBuffer, ClearEmpties)
+{
+    RingBuffer<int> rb(4);
+    rb.push(1);
+    rb.push(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    rb.push(5);
+    EXPECT_EQ(rb.front(), 5);
+}
+
+TEST(RingBufferDeath, OverflowAborts)
+{
+    RingBuffer<int> rb(1);
+    rb.push(1);
+    EXPECT_DEATH(rb.push(2), "overflow");
+}
+
+TEST(RingBufferDeath, UnderflowAborts)
+{
+    RingBuffer<int> rb(1);
+    EXPECT_DEATH(rb.pop(), "underflow");
+}
+
+TEST(RingBufferDeath, FrontOnEmptyAborts)
+{
+    RingBuffer<int> rb(1);
+    EXPECT_DEATH(rb.front(), "empty");
+}
+
+} // namespace
+} // namespace lapses

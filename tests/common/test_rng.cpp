@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next64() == b.next64()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const auto first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(13);
+    bool lo = false;
+    bool hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo = lo || v == -3;
+        hi = hi || v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextExponential(40.0);
+    EXPECT_NEAR(sum / n, 40.0, 1.0);
+}
+
+TEST(Rng, ExponentialAlwaysPositive)
+{
+    Rng r(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.nextExponential(1.0), 0.0);
+}
+
+TEST(Rng, BoolProbabilityRespected)
+{
+    Rng r(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng base(101);
+    Rng a = base.split(0);
+    Rng b = base.split(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next64() == b.next64()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng base(101);
+    Rng a = base.split(5);
+    Rng b = base.split(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent)
+{
+    Rng a(77);
+    Rng b(77);
+    (void)a.split(3);
+    EXPECT_EQ(a.next64(), b.next64());
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for SimConfig validation and Table 2 defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Config, DefaultsMatchPaperTable2)
+{
+    const SimConfig cfg;
+    // "Mesh Network Size: 256 node (16x16)"
+    ASSERT_EQ(cfg.radices.size(), 2u);
+    EXPECT_EQ(cfg.radices[0], 16);
+    EXPECT_EQ(cfg.radices[1], 16);
+    EXPECT_FALSE(cfg.torus);
+    // "Message Length: 20 flits"
+    EXPECT_EQ(cfg.msgLen, 20);
+    // "Inter-arrival time: Exponential distrib."
+    EXPECT_EQ(cfg.injection, InjectionKind::Exponential);
+    // "In/Out Buffer Size: 20 flits"
+    EXPECT_EQ(cfg.bufferDepth, 20);
+    // "VCs per PC: 4"
+    EXPECT_EQ(cfg.vcsPerPort, 4);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ValidateRejectsBadValues)
+{
+    SimConfig cfg;
+    cfg.vcsPerPort = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.msgLen = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.normalizedLoad = 0.0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.bufferDepth = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.measureMessages = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.radices.clear();
+    EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(Config, ValidateRejectsBadEscapeVcs)
+{
+    SimConfig cfg;
+    cfg.escapeVcs = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.escapeVcs = 4; // == vcsPerPort: no adaptive VC left
+    EXPECT_THROW(cfg.validate(), ConfigError);
+
+    cfg = SimConfig{};
+    cfg.escapeVcs = 2;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, RouterModelNames)
+{
+    EXPECT_EQ(routerModelName(RouterModel::Proud), "proud");
+    EXPECT_EQ(routerModelName(RouterModel::LaProud), "la-proud");
+}
+
+TEST(Config, DescribeMentionsKeyChoices)
+{
+    SimConfig cfg;
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.traffic = TrafficKind::Transpose;
+    const std::string d = cfg.describe();
+    EXPECT_NE(d.find("16x16 mesh"), std::string::npos);
+    EXPECT_NE(d.find("la-proud"), std::string::npos);
+    EXPECT_NE(d.find("duato"), std::string::npos);
+    EXPECT_NE(d.find("economical-storage"), std::string::npos);
+    EXPECT_NE(d.find("transpose"), std::string::npos);
+}
+
+TEST(Config, EnumNamesAreStable)
+{
+    // Bench output and EXPERIMENTS.md rely on these identifiers.
+    EXPECT_EQ(routingAlgoName(RoutingAlgo::DuatoFullyAdaptive), "duato");
+    EXPECT_EQ(tableKindName(TableKind::EconomicalStorage),
+              "economical-storage");
+    EXPECT_EQ(selectorKindName(SelectorKind::MaxCredit), "max-credit");
+    EXPECT_EQ(trafficKindName(TrafficKind::PerfectShuffle),
+              "perfect-shuffle");
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the string -> enum parsers used by the CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/names.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Names, RouterModelRoundTrip)
+{
+    for (RouterModel m : {RouterModel::Proud, RouterModel::LaProud})
+        EXPECT_EQ(parseRouterModel(routerModelName(m)), m);
+}
+
+TEST(Names, RoutingAlgoRoundTrip)
+{
+    for (RoutingAlgo a :
+         {RoutingAlgo::DeterministicXY, RoutingAlgo::DeterministicYX,
+          RoutingAlgo::DuatoFullyAdaptive, RoutingAlgo::NorthLast,
+          RoutingAlgo::WestFirst, RoutingAlgo::NegativeFirst,
+          RoutingAlgo::TorusAdaptive}) {
+        EXPECT_EQ(parseRoutingAlgo(routingAlgoName(a)), a);
+    }
+}
+
+TEST(Names, TableKindRoundTrip)
+{
+    for (TableKind t :
+         {TableKind::Full, TableKind::MetaRowMinimal,
+          TableKind::MetaBlockMaximal, TableKind::EconomicalStorage,
+          TableKind::Interval}) {
+        EXPECT_EQ(parseTableKind(tableKindName(t)), t);
+    }
+}
+
+TEST(Names, SelectorKindRoundTrip)
+{
+    for (SelectorKind s :
+         {SelectorKind::StaticXY, SelectorKind::FirstFree,
+          SelectorKind::Random, SelectorKind::MinMux, SelectorKind::Lfu,
+          SelectorKind::Lru, SelectorKind::MaxCredit}) {
+        EXPECT_EQ(parseSelectorKind(selectorKindName(s)), s);
+    }
+}
+
+TEST(Names, TrafficKindRoundTrip)
+{
+    for (TrafficKind t :
+         {TrafficKind::Uniform, TrafficKind::Transpose,
+          TrafficKind::BitReversal, TrafficKind::PerfectShuffle,
+          TrafficKind::BitComplement, TrafficKind::Tornado,
+          TrafficKind::Neighbor, TrafficKind::Hotspot}) {
+        EXPECT_EQ(parseTrafficKind(trafficKindName(t)), t);
+    }
+}
+
+TEST(Names, InjectionKindRoundTrip)
+{
+    for (InjectionKind k :
+         {InjectionKind::Exponential, InjectionKind::Bernoulli,
+          InjectionKind::Bursty}) {
+        EXPECT_EQ(parseInjectionKind(injectionKindName(k)), k);
+    }
+}
+
+TEST(Names, UnknownNamesListAccepted)
+{
+    try {
+        (void)parseSelectorKind("speediest");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("speediest"), std::string::npos);
+        EXPECT_NE(what.find("max-credit"), std::string::npos);
+        EXPECT_NE(what.find("static-xy"), std::string::npos);
+    }
+}
+
+TEST(Names, CaseSensitiveByDesign)
+{
+    EXPECT_THROW(parseRoutingAlgo("Duato"), ConfigError);
+    EXPECT_THROW(parseTableKind("FULL-TABLE"), ConfigError);
+}
+
+} // namespace
+} // namespace lapses

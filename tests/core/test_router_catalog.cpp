@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the Table 1 commercial router catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/router_catalog.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(RouterCatalog, HasAllNineRows)
+{
+    EXPECT_EQ(routerCatalog().size(), 9u);
+}
+
+TEST(RouterCatalog, T3eIsTheAdaptiveAsicRouter)
+{
+    // The paper singles out the T3E as the adaptive commercial router.
+    bool found = false;
+    for (const auto& r : routerCatalog()) {
+        if (std::string(r.name) == "Cray T3E") {
+            found = true;
+            EXPECT_TRUE(r.routingTable);
+            EXPECT_EQ(std::string(r.design), "ASIC");
+            EXPECT_EQ(r.routing, CatalogRouting::Adaptive);
+            EXPECT_EQ(std::string(r.vcs), "5");
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(RouterCatalog, FewRoutersAdoptAdaptivity)
+{
+    // The paper's motivation: most commercial routers are
+    // deterministic; only T3E, Servernet-II, S3.mp and C-104 support
+    // any adaptivity.
+    EXPECT_EQ(catalogAdaptiveCount(), 4);
+}
+
+TEST(RouterCatalog, TableDrivenRoutersDominate)
+{
+    int with_table = 0;
+    for (const auto& r : routerCatalog())
+        with_table += r.routingTable ? 1 : 0;
+    EXPECT_EQ(with_table, 6);
+}
+
+TEST(RouterCatalog, RoutingNamesRender)
+{
+    EXPECT_EQ(catalogRoutingName(CatalogRouting::Deterministic), "Det");
+    EXPECT_EQ(catalogRoutingName(CatalogRouting::LimitedAdaptive),
+              "Lim. Adpt");
+    EXPECT_EQ(catalogRoutingName(CatalogRouting::Adaptive), "Adpt");
+}
+
+TEST(RouterCatalog, RenderContainsHeaderAndSpider)
+{
+    const std::string table = renderRouterCatalog();
+    EXPECT_NE(table.find("Router"), std::string::npos);
+    EXPECT_NE(table.find("SGI SPIDER"), std::string::npos);
+    EXPECT_NE(table.find("Myricom Myrinet"), std::string::npos);
+    // One header + nine rows.
+    EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 10);
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the round-robin arbiters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/arbiter.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Arbiter, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_FALSE(arb.anyRequest());
+    EXPECT_EQ(arb.grant(), -1);
+}
+
+TEST(Arbiter, SingleRequesterWins)
+{
+    RoundRobinArbiter arb(4);
+    arb.request(2);
+    EXPECT_TRUE(arb.anyRequest());
+    EXPECT_EQ(arb.grant(), 2);
+    // Lines cleared after the grant.
+    EXPECT_FALSE(arb.anyRequest());
+    EXPECT_EQ(arb.grant(), -1);
+}
+
+TEST(Arbiter, RotatesPriorityAfterWin)
+{
+    RoundRobinArbiter arb(3);
+    arb.request(0);
+    arb.request(1);
+    arb.request(2);
+    EXPECT_EQ(arb.grant(), 0);
+    arb.request(0);
+    arb.request(1);
+    arb.request(2);
+    EXPECT_EQ(arb.grant(), 1); // priority moved past last winner
+    arb.request(0);
+    arb.request(1);
+    arb.request(2);
+    EXPECT_EQ(arb.grant(), 2);
+    arb.request(0);
+    arb.request(1);
+    arb.request(2);
+    EXPECT_EQ(arb.grant(), 0);
+}
+
+TEST(Arbiter, FairUnderPersistentContention)
+{
+    RoundRobinArbiter arb(4);
+    int wins[4] = {0, 0, 0, 0};
+    for (int round = 0; round < 400; ++round) {
+        for (int i = 0; i < 4; ++i)
+            arb.request(i);
+        ++wins[arb.grant()];
+    }
+    for (int w : wins)
+        EXPECT_EQ(w, 100);
+}
+
+TEST(Arbiter, SkipsIdleRequesters)
+{
+    RoundRobinArbiter arb(4);
+    arb.request(3);
+    EXPECT_EQ(arb.grant(), 3);
+    arb.request(1);
+    EXPECT_EQ(arb.grant(), 1);
+}
+
+TEST(Arbiter, NoStarvationWithGreedyPeer)
+{
+    // Requester 0 requests every round; requester 1 must still win
+    // within two rounds.
+    RoundRobinArbiter arb(2);
+    arb.request(0);
+    EXPECT_EQ(arb.grant(), 0);
+    arb.request(0);
+    arb.request(1);
+    EXPECT_EQ(arb.grant(), 1);
+}
+
+TEST(Arbiter, ClearDropsRequests)
+{
+    RoundRobinArbiter arb(2);
+    arb.request(0);
+    arb.clear();
+    EXPECT_EQ(arb.grant(), -1);
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for flit types and header payloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/flit.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Flit, HeadTailPredicates)
+{
+    EXPECT_TRUE(isHead(FlitType::Head));
+    EXPECT_TRUE(isHead(FlitType::HeadTail));
+    EXPECT_FALSE(isHead(FlitType::Body));
+    EXPECT_FALSE(isHead(FlitType::Tail));
+
+    EXPECT_TRUE(isTail(FlitType::Tail));
+    EXPECT_TRUE(isTail(FlitType::HeadTail));
+    EXPECT_FALSE(isTail(FlitType::Head));
+    EXPECT_FALSE(isTail(FlitType::Body));
+}
+
+TEST(Flit, DefaultsAreSane)
+{
+    const Flit f;
+    EXPECT_EQ(f.src, kInvalidNode);
+    EXPECT_EQ(f.dest, kInvalidNode);
+    EXPECT_FALSE(f.laValid);
+    EXPECT_FALSE(f.measured);
+    EXPECT_EQ(f.hops, 0);
+}
+
+TEST(Flit, LookaheadPayloadCarriesCandidates)
+{
+    Flit f;
+    f.laRoute.add(1);
+    f.laRoute.add(3);
+    f.laRoute.setEscapePort(1);
+    f.laValid = true;
+    EXPECT_EQ(f.laRoute.count(), 2);
+    EXPECT_EQ(f.laRoute.escapePort(), 1);
+}
+
+TEST(RouteCandidatesRender, ToStringIncludesEscape)
+{
+    RouteCandidates rc;
+    rc.add(1);
+    rc.add(3);
+    rc.setEscapePort(1);
+    EXPECT_EQ(rc.toString(), "{+X,+Y|esc +X}");
+}
+
+} // namespace
+} // namespace lapses

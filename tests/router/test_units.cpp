@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for router input/output units: buffering, credits, and the
+ * conservative VC reallocation rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/input_unit.hpp"
+#include "router/output_unit.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(InputUnit, ReceiveStampsStageOneDelay)
+{
+    InputUnit in(2, 4);
+    Flit f;
+    f.type = FlitType::Head;
+    in.receiveFlit(0, f, 10);
+    EXPECT_EQ(in.vc(0).buffer.front().readyAt, 11u);
+    EXPECT_EQ(in.occupancy(), 1u);
+}
+
+TEST(InputUnit, VcsAreIndependent)
+{
+    InputUnit in(2, 2);
+    Flit f;
+    in.receiveFlit(0, f, 1);
+    in.receiveFlit(1, f, 1);
+    in.receiveFlit(1, f, 2);
+    EXPECT_EQ(in.vc(0).buffer.size(), 1u);
+    EXPECT_EQ(in.vc(1).buffer.size(), 2u);
+    EXPECT_EQ(in.occupancy(), 3u);
+}
+
+TEST(InputUnit, StateStartsIdle)
+{
+    InputUnit in(2, 2);
+    EXPECT_EQ(in.vc(0).state, RouteState::Idle);
+    EXPECT_EQ(in.vc(0).outPort, kInvalidPort);
+    EXPECT_EQ(in.vc(0).outVc, kInvalidVc);
+}
+
+TEST(OutputUnit, InitialCreditsMatchDepth)
+{
+    OutputUnit out(4, 8, 20, 20, false);
+    for (VcId v = 0; v < 4; ++v) {
+        EXPECT_EQ(out.vc(v).credits, 20);
+        EXPECT_FALSE(out.vc(v).busy);
+    }
+    EXPECT_EQ(out.totalCredits(), 80);
+    EXPECT_EQ(out.activeVcCount(), 0);
+}
+
+TEST(OutputUnit, AllocatableNeedsIdleAndFullCredits)
+{
+    OutputUnit out(2, 8, 20, 10, false);
+    EXPECT_TRUE(out.allocatable(0, 20));
+    out.vc(0).busy = true;
+    EXPECT_FALSE(out.allocatable(0, 20));
+    out.vc(0).busy = false;
+    out.vc(0).credits = 19; // downstream not fully drained
+    EXPECT_FALSE(out.allocatable(0, 20));
+    out.vc(0).credits = 20;
+    EXPECT_TRUE(out.allocatable(0, 20));
+}
+
+TEST(OutputUnit, EjectionPortIgnoresCredits)
+{
+    OutputUnit out(2, 8, 20, 10, true);
+    out.vc(0).credits = 0;
+    EXPECT_TRUE(out.hasInfiniteCredits());
+    EXPECT_TRUE(out.canTransmit(0));
+    EXPECT_TRUE(out.allocatable(0, 20));
+}
+
+TEST(OutputUnit, CanTransmitTracksCredits)
+{
+    OutputUnit out(2, 8, 1, 10, false);
+    EXPECT_TRUE(out.canTransmit(0));
+    out.vc(0).credits = 0;
+    EXPECT_FALSE(out.canTransmit(0));
+}
+
+TEST(OutputUnit, ActiveVcCountIsMuxDegree)
+{
+    OutputUnit out(4, 8, 20, 20, false);
+    out.vc(1).busy = true;
+    out.vc(3).busy = true;
+    EXPECT_EQ(out.activeVcCount(), 2);
+}
+
+TEST(OutputUnit, RecordUseFeedsLfuAndLru)
+{
+    OutputUnit out(2, 8, 20, 10, false);
+    EXPECT_EQ(out.useCount(), 0u);
+    EXPECT_EQ(out.lastUseCycle(), 0u);
+    out.recordUse(42);
+    out.recordUse(99);
+    EXPECT_EQ(out.useCount(), 2u);
+    EXPECT_EQ(out.lastUseCycle(), 99u);
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for deterministic dimension-order (e-cube) routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "routing/dimension_order.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+/** Follow the routing function hop by hop; returns hops taken. */
+int
+walk(const RoutingAlgorithm& algo, const MeshTopology& m, NodeId src,
+     NodeId dest, int max_hops = 1000)
+{
+    NodeId cur = src;
+    int hops = 0;
+    while (cur != dest) {
+        const RouteCandidates rc = algo.route(cur, dest);
+        EXPECT_EQ(rc.count(), 1) << "deterministic route not unique";
+        cur = m.neighbor(cur, rc.at(0));
+        EXPECT_NE(cur, kInvalidNode);
+        if (++hops > max_hops)
+            return -1;
+    }
+    return hops;
+}
+
+TEST(DimensionOrder, XyResolvesXFirst)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const NodeId src = m.coordsToNode(Coordinates(1, 1));
+    const NodeId dest = m.coordsToNode(Coordinates(4, 5));
+    EXPECT_EQ(xy.route(src, dest).at(0),
+              MeshTopology::port(0, Direction::Plus));
+    // Once X matches, Y moves.
+    const NodeId mid = m.coordsToNode(Coordinates(4, 1));
+    EXPECT_EQ(xy.route(mid, dest).at(0),
+              MeshTopology::port(1, Direction::Plus));
+}
+
+TEST(DimensionOrder, YxResolvesYFirst)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto yx = DimensionOrderRouting::yx(m);
+    const NodeId src = m.coordsToNode(Coordinates(1, 1));
+    const NodeId dest = m.coordsToNode(Coordinates(4, 5));
+    EXPECT_EQ(yx.route(src, dest).at(0),
+              MeshTopology::port(1, Direction::Plus));
+}
+
+TEST(DimensionOrder, EjectsAtDestination)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const RouteCandidates rc = xy.route(9, 9);
+    EXPECT_TRUE(rc.isEjection());
+}
+
+TEST(DimensionOrder, NamesReflectOrder)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    EXPECT_EQ(DimensionOrderRouting::xy(m).name(), "xy");
+    EXPECT_EQ(DimensionOrderRouting::yx(m).name(), "yx");
+}
+
+TEST(DimensionOrder, NotAdaptiveNoEscape)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto xy = DimensionOrderRouting::xy(m);
+    EXPECT_FALSE(xy.isAdaptive());
+    EXPECT_FALSE(xy.usesEscapeChannels());
+    EXPECT_EQ(xy.route(0, 63).escapePort(), kInvalidPort);
+}
+
+TEST(DimensionOrder, WalksAreMinimalEverywhere)
+{
+    const MeshTopology m = MeshTopology::square2d(6);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const auto yx = DimensionOrderRouting::yx(m);
+    for (NodeId s = 0; s < m.numNodes(); s += 5) {
+        for (NodeId d = 0; d < m.numNodes(); d += 3) {
+            EXPECT_EQ(walk(xy, m, s, d), m.distance(s, d));
+            EXPECT_EQ(walk(yx, m, s, d), m.distance(s, d));
+        }
+    }
+}
+
+TEST(DimensionOrder, XyPathStaysInRowAfterColumn)
+{
+    // The defining property: an XY path never changes X after its first
+    // Y move.
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const NodeId dest = m.coordsToNode(Coordinates(6, 6));
+    NodeId cur = m.coordsToNode(Coordinates(1, 2));
+    bool seen_y = false;
+    while (cur != dest) {
+        const PortId p = xy.route(cur, dest).at(0);
+        if (MeshTopology::portDim(p) == 1)
+            seen_y = true;
+        else
+            EXPECT_FALSE(seen_y) << "X move after Y move in XY routing";
+        cur = m.neighbor(cur, p);
+    }
+}
+
+TEST(DimensionOrder, ThreeDimensional)
+{
+    const MeshTopology m = MeshTopology::cube3d(4);
+    const auto xyz = DimensionOrderRouting::xy(m);
+    const NodeId src = m.coordsToNode(Coordinates(0, 0, 0));
+    const NodeId dest = m.coordsToNode(Coordinates(1, 1, 1));
+    // Resolves dim 0, then 1, then 2.
+    EXPECT_EQ(xyz.route(src, dest).at(0),
+              MeshTopology::port(0, Direction::Plus));
+    EXPECT_EQ(walk(xyz, m, src, dest), 3);
+}
+
+TEST(DimensionOrder, TorusTakesShortWay)
+{
+    const MeshTopology t = MeshTopology::square2d(8, true);
+    const auto xy = DimensionOrderRouting::xy(t);
+    const NodeId src = t.coordsToNode(Coordinates(0, 0));
+    const NodeId dest = t.coordsToNode(Coordinates(7, 0));
+    EXPECT_EQ(xy.route(src, dest).at(0),
+              MeshTopology::port(0, Direction::Minus)); // wrap is 1 hop
+}
+
+TEST(DimensionOrder, RejectsBadOrder)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    EXPECT_THROW(DimensionOrderRouting(m, {0}), ConfigError);
+    EXPECT_THROW(DimensionOrderRouting(m, {0, 0}), ConfigError);
+    EXPECT_THROW(DimensionOrderRouting(m, {0, 2}), ConfigError);
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for Duato's fully adaptive routing (Section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "routing/dimension_order.hpp"
+#include "routing/duato.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Duato, FullyAdaptiveInQuadrant)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const NodeId src = m.coordsToNode(Coordinates(2, 2));
+    const NodeId dest = m.coordsToNode(Coordinates(5, 6));
+    const RouteCandidates rc = duato.route(src, dest);
+    EXPECT_EQ(rc.count(), 2);
+    EXPECT_TRUE(rc.contains(MeshTopology::port(0, Direction::Plus)));
+    EXPECT_TRUE(rc.contains(MeshTopology::port(1, Direction::Plus)));
+}
+
+TEST(Duato, SingleCandidateOnAxis)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const NodeId src = m.coordsToNode(Coordinates(2, 2));
+    const NodeId dest = m.coordsToNode(Coordinates(2, 7));
+    const RouteCandidates rc = duato.route(src, dest);
+    EXPECT_EQ(rc.count(), 1);
+    EXPECT_EQ(rc.at(0), MeshTopology::port(1, Direction::Plus));
+}
+
+TEST(Duato, EscapeIsDimensionOrder)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const auto xy = DimensionOrderRouting::xy(m);
+    Rng rng(9);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const NodeId a = static_cast<NodeId>(rng.nextBounded(64));
+        const NodeId b = static_cast<NodeId>(rng.nextBounded(64));
+        if (a == b)
+            continue;
+        const RouteCandidates rc = duato.route(a, b);
+        EXPECT_EQ(rc.escapePort(), xy.nextPort(a, b));
+        EXPECT_TRUE(rc.contains(rc.escapePort()));
+        EXPECT_EQ(rc.escapeClass(), 0);
+    }
+}
+
+TEST(Duato, EveryCandidateIsMinimal)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    Rng rng(10);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const NodeId a = static_cast<NodeId>(rng.nextBounded(64));
+        const NodeId b = static_cast<NodeId>(rng.nextBounded(64));
+        if (a == b)
+            continue;
+        const RouteCandidates rc = duato.route(a, b);
+        for (int i = 0; i < rc.count(); ++i) {
+            const NodeId next = m.neighbor(a, rc.at(i));
+            ASSERT_NE(next, kInvalidNode);
+            EXPECT_EQ(m.distance(next, b), m.distance(a, b) - 1);
+        }
+    }
+}
+
+TEST(Duato, CandidateCountMatchesUnresolvedDims)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    for (NodeId a = 0; a < m.numNodes(); ++a) {
+        for (NodeId b = 0; b < m.numNodes(); ++b) {
+            const Coordinates ca = m.nodeToCoords(a);
+            const Coordinates cb = m.nodeToCoords(b);
+            int unresolved = 0;
+            for (int d = 0; d < 2; ++d)
+                unresolved += ca.at(d) != cb.at(d) ? 1 : 0;
+            const RouteCandidates rc = duato.route(a, b);
+            if (a == b)
+                EXPECT_TRUE(rc.isEjection());
+            else
+                EXPECT_EQ(rc.count(), unresolved);
+        }
+    }
+}
+
+TEST(Duato, UsesEscapeChannels)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    EXPECT_TRUE(duato.usesEscapeChannels());
+    EXPECT_TRUE(duato.isAdaptive());
+    EXPECT_EQ(duato.name(), "duato");
+}
+
+TEST(Duato, ThreeDimensionalCandidates)
+{
+    const MeshTopology m = MeshTopology::cube3d(4);
+    const DuatoAdaptiveRouting duato(m);
+    const NodeId src = m.coordsToNode(Coordinates(0, 0, 0));
+    const NodeId dest = m.coordsToNode(Coordinates(3, 3, 3));
+    EXPECT_EQ(duato.route(src, dest).count(), 3);
+}
+
+TEST(Duato, RejectsTorus)
+{
+    const MeshTopology t = MeshTopology::square2d(4, true);
+    EXPECT_THROW(DuatoAdaptiveRouting{t}, ConfigError);
+}
+
+} // namespace
+} // namespace lapses

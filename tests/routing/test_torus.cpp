@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for torus adaptive routing with dateline escape classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "routing/torus.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+class TorusRoutingTest : public ::testing::Test
+{
+  protected:
+    TorusRoutingTest()
+        : torus(MeshTopology::square2d(6, /*wrap=*/true)), algo(torus)
+    {}
+
+    NodeId
+    at(int x, int y) const
+    {
+        return torus.coordsToNode(Coordinates(x, y));
+    }
+
+    MeshTopology torus;
+    TorusAdaptiveRouting algo;
+};
+
+TEST_F(TorusRoutingTest, RejectsMesh)
+{
+    const MeshTopology mesh = MeshTopology::square2d(4);
+    EXPECT_THROW(TorusAdaptiveRouting{mesh}, ConfigError);
+    EXPECT_EQ(algo.escapeClasses(), 2);
+    EXPECT_TRUE(algo.usesEscapeChannels());
+}
+
+TEST_F(TorusRoutingTest, TakesShorterWayAround)
+{
+    // (0,0) -> (5,0): one hop across the wrap edge, not five east.
+    const RouteCandidates rc = algo.route(at(0, 0), at(5, 0));
+    EXPECT_EQ(rc.count(), 1);
+    EXPECT_EQ(rc.at(0), MeshTopology::port(0, Direction::Minus));
+}
+
+TEST_F(TorusRoutingTest, CandidatesAreMinimalEverywhere)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const NodeId a = static_cast<NodeId>(rng.nextBounded(36));
+        const NodeId b = static_cast<NodeId>(rng.nextBounded(36));
+        if (a == b)
+            continue;
+        const RouteCandidates rc = algo.route(a, b);
+        for (int i = 0; i < rc.count(); ++i) {
+            const NodeId next = torus.neighbor(a, rc.at(i));
+            EXPECT_EQ(torus.distance(next, b),
+                      torus.distance(a, b) - 1);
+        }
+    }
+}
+
+TEST_F(TorusRoutingTest, DatelineCrossingDetected)
+{
+    // +X from x=4 to x=1 wraps through 5 -> 0.
+    EXPECT_TRUE(algo.crossesDateline(at(4, 0), at(1, 0), 0));
+    // +X from x=1 to x=3 does not wrap.
+    EXPECT_FALSE(algo.crossesDateline(at(1, 0), at(3, 0), 0));
+    // -X from x=1 to x=5 wraps through 0 -> 5.
+    EXPECT_TRUE(algo.crossesDateline(at(1, 0), at(5, 0), 0));
+    // Half-ring ties break toward +X: x=1 -> x=4 goes east, no wrap.
+    EXPECT_FALSE(algo.crossesDateline(at(1, 0), at(4, 0), 0));
+    // Resolved dimension never crosses.
+    EXPECT_FALSE(algo.crossesDateline(at(2, 0), at(2, 3), 0));
+}
+
+TEST_F(TorusRoutingTest, EscapeClassDropsAfterCrossing)
+{
+    // Pre-crossing: class 0; post-crossing: class 1; the class never
+    // goes back to 0 within one dimension's walk.
+    const NodeId dest = at(1, 0);
+    NodeId cur = at(4, 0);
+    int cls = 0;
+    while (cur != dest) {
+        const RouteCandidates rc = algo.route(cur, dest);
+        EXPECT_GE(rc.escapeClass(), cls);
+        cls = rc.escapeClass();
+        cur = torus.neighbor(cur, rc.escapePort());
+    }
+    EXPECT_EQ(cls, 1); // crossed the wrap edge on the way
+}
+
+TEST_F(TorusRoutingTest, NonWrappingWalkStaysClassOne)
+{
+    const NodeId dest = at(3, 3);
+    NodeId cur = at(1, 1);
+    while (cur != dest) {
+        const RouteCandidates rc = algo.route(cur, dest);
+        EXPECT_EQ(rc.escapeClass(), 1);
+        cur = torus.neighbor(cur, rc.escapePort());
+    }
+}
+
+TEST_F(TorusRoutingTest, EscapeWalkIsDimensionOrder)
+{
+    // The escape chain resolves X fully (shorter way) before Y.
+    const NodeId dest = at(5, 4);
+    NodeId cur = at(2, 1);
+    bool seen_y = false;
+    int hops = 0;
+    while (cur != dest) {
+        const RouteCandidates rc = algo.route(cur, dest);
+        if (MeshTopology::portDim(rc.escapePort()) == 1)
+            seen_y = true;
+        else
+            EXPECT_FALSE(seen_y);
+        cur = torus.neighbor(cur, rc.escapePort());
+        ASSERT_LE(++hops, 6);
+    }
+    EXPECT_EQ(hops, torus.distance(at(2, 1), dest));
+}
+
+TEST_F(TorusRoutingTest, AdaptiveWalksTerminateMinimally)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        NodeId cur = static_cast<NodeId>(rng.nextBounded(36));
+        const NodeId dest = static_cast<NodeId>(rng.nextBounded(36));
+        const int want = torus.distance(cur, dest);
+        int hops = 0;
+        while (cur != dest) {
+            const RouteCandidates rc = algo.route(cur, dest);
+            cur = torus.neighbor(
+                cur, rc.at(static_cast<int>(rng.nextBounded(
+                         static_cast<std::uint64_t>(rc.count())))));
+            ASSERT_LE(++hops, want);
+        }
+        EXPECT_EQ(hops, want);
+    }
+}
+
+TEST_F(TorusRoutingTest, ThreeDimensionalTorus)
+{
+    const MeshTopology t3 = MeshTopology::cube3d(4, /*wrap=*/true);
+    const TorusAdaptiveRouting a3(t3);
+    const NodeId src = t3.coordsToNode(Coordinates(0, 0, 0));
+    const NodeId dest = t3.coordsToNode(Coordinates(3, 3, 3));
+    const RouteCandidates rc = a3.route(src, dest);
+    EXPECT_EQ(rc.count(), 3); // one (wrap) hop in every dimension
+    for (int i = 0; i < rc.count(); ++i) {
+        EXPECT_EQ(MeshTopology::portDir(rc.at(i)), Direction::Minus);
+    }
+}
+
+} // namespace
+} // namespace lapses

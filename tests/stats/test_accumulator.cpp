@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/accumulator.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(5.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, MeanAndVariance)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0); // classic textbook set
+    EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Accumulator whole;
+    Accumulator left;
+    Accumulator right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.37 - 5.0;
+        whole.add(x);
+        (i < 40 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity)
+{
+    Accumulator a;
+    a.add(3.0);
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+
+    Accumulator b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, CountsBuckets)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(49.9);
+    h.add(1000.0); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBucket)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(Histogram, PercentileInterpolates)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    // Median of uniform 0..100 close to 50.
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+    EXPECT_LE(h.percentile(0.0), 1.0);
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h(1.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 4);
+    h.add(1.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+}
+
+TEST(SimStats, SummaryMentionsSaturation)
+{
+    SimStats s;
+    s.saturated = true;
+    EXPECT_NE(s.summary().find("SATURATED"), std::string::npos);
+}
+
+TEST(SimStats, SummaryReportsLatency)
+{
+    SimStats s;
+    s.totalLatency.add(100.0);
+    s.networkLatency.add(90.0);
+    s.deliveredMessages = 1;
+    EXPECT_NE(s.summary().find("latency 100.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the Fig. 8 cluster mappings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tables/cluster_map.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(ClusterMap, RowMapMatchesFig8a)
+{
+    // Fig. 8(a): 16 row clusters; nodes 0..15 are cluster 0,
+    // 16..31 cluster 1, ..., 240..255 cluster 15.
+    const MeshTopology m = MeshTopology::square2d(16);
+    const ClusterMap map = ClusterMap::rowMap(m);
+    EXPECT_EQ(map.numClusters(), 16);
+    EXPECT_EQ(map.nodesPerCluster(), 16);
+    EXPECT_EQ(map.clusterOf(0), 0);
+    EXPECT_EQ(map.clusterOf(15), 0);
+    EXPECT_EQ(map.clusterOf(16), 1);
+    EXPECT_EQ(map.clusterOf(31), 1);
+    EXPECT_EQ(map.clusterOf(240), 15);
+    EXPECT_EQ(map.clusterOf(255), 15);
+    EXPECT_EQ(map.subOf(16), 0);
+    EXPECT_EQ(map.subOf(31), 15);
+}
+
+TEST(ClusterMap, BlockMapMatchesFig8b)
+{
+    // Fig. 8(b): 4x4 blocks of 4x4 nodes. Node 0 in cluster 0; node 5
+    // = (5,0) in cluster 1; node 255 = (15,15) in cluster 15.
+    const MeshTopology m = MeshTopology::square2d(16);
+    const ClusterMap map = ClusterMap::blockMap(m, 4);
+    EXPECT_EQ(map.numClusters(), 16);
+    EXPECT_EQ(map.nodesPerCluster(), 16);
+    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(0, 0))), 0);
+    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(5, 0))), 1);
+    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(0, 5))), 4);
+    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(5, 5))), 5);
+    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(15, 15))), 15);
+}
+
+TEST(ClusterMap, PaperExampleClusters0145)
+{
+    // The Table 4 discussion: from cluster 0, cluster 1 is the east
+    // neighbor, cluster 4 the north neighbor, cluster 5 the diagonal.
+    const MeshTopology m = MeshTopology::square2d(16);
+    const ClusterMap map = ClusterMap::blockMap(m, 4);
+    const ClusterBox b0 = map.box(0);
+    const ClusterBox b1 = map.box(1);
+    const ClusterBox b4 = map.box(4);
+    const ClusterBox b5 = map.box(5);
+    EXPECT_EQ(b1.lo.at(0), b0.hi.at(0) + 1); // east
+    EXPECT_EQ(b1.lo.at(1), b0.lo.at(1));
+    EXPECT_EQ(b4.lo.at(1), b0.hi.at(1) + 1); // north
+    EXPECT_EQ(b4.lo.at(0), b0.lo.at(0));
+    EXPECT_EQ(b5.lo.at(0), b1.lo.at(0));     // diagonal
+    EXPECT_EQ(b5.lo.at(1), b4.lo.at(1));
+}
+
+TEST(ClusterMap, NodeOfInvertsClusterSub)
+{
+    const MeshTopology m = MeshTopology::square2d(16);
+    for (const ClusterMap& map :
+         {ClusterMap::rowMap(m), ClusterMap::blockMap(m, 4)}) {
+        for (NodeId n = 0; n < m.numNodes(); ++n) {
+            EXPECT_EQ(map.nodeOf(map.clusterOf(n), map.subOf(n)), n);
+        }
+    }
+}
+
+TEST(ClusterMap, BoxContainsExactlyClusterNodes)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const ClusterMap map = ClusterMap::blockMap(m, 4);
+    for (int c = 0; c < map.numClusters(); ++c) {
+        const ClusterBox box = map.box(c);
+        int inside = 0;
+        for (NodeId n = 0; n < m.numNodes(); ++n) {
+            const bool in = box.contains(m.nodeToCoords(n));
+            EXPECT_EQ(in, map.clusterOf(n) == c);
+            inside += in ? 1 : 0;
+        }
+        EXPECT_EQ(inside, map.nodesPerCluster());
+    }
+}
+
+TEST(ClusterMap, SubIdsAreDenseWithinCluster)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const ClusterMap map = ClusterMap::blockMap(m, 2);
+    std::vector<int> seen(static_cast<std::size_t>(
+                              map.nodesPerCluster()),
+                          0);
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        if (map.clusterOf(n) == 3)
+            ++seen[static_cast<std::size_t>(map.subOf(n))];
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(ClusterMap, RejectsNonDividingEdges)
+{
+    const MeshTopology m = MeshTopology::square2d(6);
+    EXPECT_THROW(ClusterMap::blockMap(m, 4), ConfigError);
+    EXPECT_NO_THROW(ClusterMap::blockMap(m, 3));
+}
+
+TEST(ClusterMap, NamesIdentifyMapping)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    EXPECT_EQ(ClusterMap::rowMap(m).name(), "row");
+    EXPECT_EQ(ClusterMap::blockMap(m, 4).name(), "block4");
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for economical storage (Section 5.2), including the exact
+ * Fig. 7 North-Last programming example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "routing/algorithm_factory.hpp"
+#include "routing/turn_model.hpp"
+#include "tables/economical_storage.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(EconomicalStorage, NineEntriesFor2D)
+{
+    const MeshTopology m = MeshTopology::square2d(16);
+    const EconomicalStorageTable table(m);
+    EXPECT_EQ(table.entriesPerRouter(), 9u);
+    EXPECT_EQ(table.name(), "economical-storage");
+    EXPECT_TRUE(table.supportsAdaptive());
+}
+
+TEST(EconomicalStorage, TwentySevenEntriesFor3D)
+{
+    const MeshTopology m = MeshTopology::cube3d(4);
+    const EconomicalStorageTable table(m);
+    EXPECT_EQ(table.entriesPerRouter(), 27u);
+}
+
+TEST(EconomicalStorage, EntriesIndependentOfNetworkSize)
+{
+    // The paper's scalability claim: the T3D's 2048-entry table
+    // becomes 27 entries; any k keeps 3^n entries.
+    for (int k : {4, 8, 16}) {
+        const EconomicalStorageTable t2(MeshTopology::square2d(k));
+        EXPECT_EQ(t2.entriesPerRouter(), 9u);
+    }
+}
+
+TEST(EconomicalStorage, MatchesEveryAlgorithmExhaustively)
+{
+    // The central claim of Section 5.2.2: economical storage loses no
+    // flexibility; all the library's mesh algorithms program into it
+    // exactly (validated against every (router, dest) pair).
+    const MeshTopology m = MeshTopology::square2d(6);
+    for (RoutingAlgo a :
+         {RoutingAlgo::DeterministicXY, RoutingAlgo::DeterministicYX,
+          RoutingAlgo::DuatoFullyAdaptive, RoutingAlgo::NorthLast,
+          RoutingAlgo::WestFirst, RoutingAlgo::NegativeFirst}) {
+        const RoutingAlgorithmPtr algo = makeRoutingAlgorithm(a, m);
+        const EconomicalStorageTable table(m, *algo);
+        for (NodeId r = 0; r < m.numNodes(); ++r) {
+            for (NodeId d = 0; d < m.numNodes(); ++d) {
+                EXPECT_EQ(table.lookup(r, d), algo->route(r, d))
+                    << algo->name() << " r=" << r << " d=" << d;
+            }
+        }
+    }
+}
+
+TEST(EconomicalStorage, MatchesDuatoIn3D)
+{
+    const MeshTopology m = MeshTopology::cube3d(3);
+    const RoutingAlgorithmPtr algo =
+        makeRoutingAlgorithm(RoutingAlgo::DuatoFullyAdaptive, m);
+    const EconomicalStorageTable table(m, *algo);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d)
+            EXPECT_EQ(table.lookup(r, d), algo->route(r, d));
+    }
+}
+
+/**
+ * Fig. 7(d), row by row: North-Last programming of router (1,1) in a
+ * 3x3 mesh. The paper's port labels are 1 = -Y, 2 = -X, 3 = +Y,
+ * 4 = +X, 0 = local.
+ */
+TEST(EconomicalStorage, Fig7NorthLastTableExact)
+{
+    const MeshTopology m = MeshTopology::square2d(3);
+    const TurnModelRouting nl(m, TurnModel::NorthLast);
+    const EconomicalStorageTable table(m, nl);
+    const NodeId router = m.coordsToNode(Coordinates(1, 1)); // node 4
+
+    const PortId east = MeshTopology::port(0, Direction::Plus);
+    const PortId west = MeshTopology::port(0, Direction::Minus);
+    const PortId north = MeshTopology::port(1, Direction::Plus);
+    const PortId south = MeshTopology::port(1, Direction::Minus);
+
+    struct Fig7Row
+    {
+        int destX, destY;
+        std::vector<PortId> northLastPorts;
+    };
+    const std::vector<Fig7Row> rows = {
+        {0, 0, {west, south}},  // paper entry "2, 1"
+        {1, 0, {south}},        // "1"
+        {2, 0, {east, south}},  // "4, 1"
+        {0, 1, {west}},         // "2"
+        {1, 1, {kLocalPort}},   // "0"
+        {2, 1, {east}},         // "4"
+        {0, 2, {west}},         // "2"  (candidates 2,3 - north denied)
+        {1, 2, {north}},        // "3"
+        {2, 2, {east}},         // "4"  (candidates 4,3 - north denied)
+    };
+
+    for (const auto& row : rows) {
+        const NodeId dest =
+            m.coordsToNode(Coordinates(row.destX, row.destY));
+        const RouteCandidates rc = table.lookup(router, dest);
+        ASSERT_EQ(rc.count(),
+                  static_cast<int>(row.northLastPorts.size()))
+            << "dest (" << row.destX << "," << row.destY << ")";
+        for (PortId p : row.northLastPorts)
+            EXPECT_TRUE(rc.contains(p))
+                << "dest (" << row.destX << "," << row.destY << ")";
+    }
+}
+
+TEST(EconomicalStorage, ManualProgrammingRoundTrip)
+{
+    // The Fig. 7(d) configuration interface: program entries by sign.
+    const MeshTopology m = MeshTopology::square2d(3);
+    EconomicalStorageTable table(m);
+    const NodeId router = m.coordsToNode(Coordinates(1, 1));
+
+    RouteCandidates rc;
+    rc.add(MeshTopology::port(0, Direction::Plus));
+    rc.add(MeshTopology::port(1, Direction::Plus));
+    const SignVector sv(Coordinates(1, 1), Coordinates(2, 2));
+    table.setEntry(router, sv, rc);
+    EXPECT_EQ(table.entry(router, sv), rc);
+    // lookup() uses the comparator-computed sign.
+    EXPECT_EQ(table.lookup(router, m.coordsToNode(Coordinates(2, 2))),
+              rc);
+}
+
+TEST(EconomicalStorage, InfeasibleEdgeSignsStayEmpty)
+{
+    // A router on the +X edge can never see sign (+, 0).
+    const MeshTopology m = MeshTopology::square2d(4);
+    const RoutingAlgorithmPtr algo =
+        makeRoutingAlgorithm(RoutingAlgo::DeterministicXY, m);
+    const EconomicalStorageTable table(m, *algo);
+    const NodeId edge_router = m.coordsToNode(Coordinates(3, 1));
+    SignVector sv;
+    sv = SignVector(Coordinates(0, 0), Coordinates(1, 0)); // (+, 0)
+    EXPECT_TRUE(table.entry(edge_router, sv).empty());
+}
+
+TEST(EconomicalStorage, RejectsTorus)
+{
+    const MeshTopology t = MeshTopology::square2d(4, true);
+    EXPECT_THROW(EconomicalStorageTable{t}, ConfigError);
+}
+
+} // namespace
+} // namespace lapses

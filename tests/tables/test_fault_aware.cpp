@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for fault-aware full-table reprogramming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "routing/duato.hpp"
+#include "tables/economical_storage.hpp"
+#include "tables/fault_aware.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+PortId
+px()
+{
+    return MeshTopology::port(0, Direction::Plus);
+}
+
+TEST(FailureSet, SymmetricAndQueryable)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    FailureSet fs;
+    const NodeId n = m.coordsToNode(Coordinates(1, 1));
+    fs.fail(m, n, px());
+    EXPECT_EQ(fs.count(), 1u);
+    EXPECT_TRUE(fs.isFailed(n, px()));
+    // The reverse direction is failed too.
+    const NodeId peer = m.neighbor(n, px());
+    EXPECT_TRUE(fs.isFailed(peer, MeshTopology::oppositePort(px())));
+    EXPECT_FALSE(fs.isFailed(n, MeshTopology::port(1,
+                                                   Direction::Plus)));
+}
+
+TEST(FailureSet, DuplicateFailureCountsOnce)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    FailureSet fs;
+    fs.fail(m, 0, px());
+    fs.fail(m, 0, px());
+    EXPECT_EQ(fs.count(), 1u);
+}
+
+TEST(FailureSet, RejectsEdgeAndLocalPorts)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    FailureSet fs;
+    EXPECT_THROW(fs.fail(m, 0, kLocalPort), ConfigError);
+    // Node 0's -X port faces the mesh edge.
+    EXPECT_THROW(
+        fs.fail(m, 0, MeshTopology::port(0, Direction::Minus)),
+        ConfigError);
+}
+
+TEST(FaultAware, NoFailuresGivesMinimalAdaptiveTable)
+{
+    // With an empty failure set the shortest-path DAG is exactly the
+    // minimal-adaptive candidate set.
+    const MeshTopology m = MeshTopology::square2d(4);
+    const FullTable table = programFaultAwareTable(m, FailureSet{});
+    const DuatoAdaptiveRouting duato(m);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            const RouteCandidates got = table.lookup(r, d);
+            const RouteCandidates want = duato.route(r, d);
+            ASSERT_EQ(got.count(), want.count());
+            for (int i = 0; i < want.count(); ++i)
+                EXPECT_TRUE(got.contains(want.at(i)));
+        }
+    }
+}
+
+TEST(FaultAware, RoutesAroundASingleFailure)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    FailureSet fs;
+    const NodeId a = m.coordsToNode(Coordinates(1, 1));
+    fs.fail(m, a, px()); // break (1,1) <-> (2,1)
+    const FullTable table = programFaultAwareTable(m, fs);
+    // From (1,1) to (2,1): direct link dead, detour costs 3 hops.
+    const NodeId b = m.coordsToNode(Coordinates(2, 1));
+    EXPECT_EQ(survivingDistance(m, fs, a, b), 3);
+    const RouteCandidates rc = table.lookup(a, b);
+    EXPECT_FALSE(rc.contains(px()));
+    EXPECT_EQ(rc.count(), 2); // detour north or south
+}
+
+TEST(FaultAware, WalksDeliverUnderRandomFailures)
+{
+    // Property: with a random (connected) failure set, following any
+    // candidate chain reaches the destination in the surviving
+    // shortest distance.
+    const MeshTopology m = MeshTopology::square2d(5);
+    Rng rng(21);
+    FailureSet fs;
+    int failed = 0;
+    while (failed < 4) {
+        const NodeId n = static_cast<NodeId>(rng.nextBounded(25));
+        const PortId p = static_cast<PortId>(1 + rng.nextBounded(4));
+        if (m.neighbor(n, p) == kInvalidNode || fs.isFailed(n, p))
+            continue;
+        FailureSet trial = fs;
+        trial.fail(m, n, p);
+        try {
+            (void)programFaultAwareTable(m, trial); // connectivity ok?
+        } catch (const ConfigError&) {
+            continue;
+        }
+        fs = trial;
+        ++failed;
+    }
+    const FullTable table = programFaultAwareTable(m, fs);
+    for (int trial = 0; trial < 400; ++trial) {
+        NodeId cur = static_cast<NodeId>(rng.nextBounded(25));
+        const NodeId dest = static_cast<NodeId>(rng.nextBounded(25));
+        const int want = survivingDistance(m, fs, cur, dest);
+        ASSERT_GE(want, 0);
+        int hops = 0;
+        while (cur != dest) {
+            const RouteCandidates rc = table.lookup(cur, dest);
+            const PortId p = rc.at(static_cast<int>(
+                rng.nextBounded(static_cast<std::uint64_t>(
+                    rc.count()))));
+            ASSERT_FALSE(fs.isFailed(cur, p));
+            cur = m.neighbor(cur, p);
+            ASSERT_NE(cur, kInvalidNode);
+            ASSERT_LE(++hops, want);
+        }
+        EXPECT_EQ(hops, want);
+    }
+}
+
+TEST(FaultAware, DisconnectionIsReported)
+{
+    // Cut node (0,0) off completely: both its links fail.
+    const MeshTopology m = MeshTopology::square2d(3);
+    FailureSet fs;
+    fs.fail(m, 0, px());
+    fs.fail(m, 0, MeshTopology::port(1, Direction::Plus));
+    EXPECT_THROW(programFaultAwareTable(m, fs), ConfigError);
+}
+
+TEST(FaultAware, EconomicalStorageCannotHoldFaultTables)
+{
+    // The concrete Table 5 trade-off: a fault-reprogrammed table stops
+    // being a function of the sign vector, so ES rejects it. Build the
+    // equivalent algorithm wrapper and check sign-representability
+    // breaks: two destinations with the same sign get different
+    // candidates at the router next to the failure.
+    const MeshTopology m = MeshTopology::square2d(4);
+    FailureSet fs;
+    fs.fail(m, m.coordsToNode(Coordinates(1, 1)), px());
+    const FullTable table = programFaultAwareTable(m, fs);
+    // From (0,1), destinations (1,1) and (2,1) share sign (+, 0) but
+    // need different entries: the direct hop vs the detour DAG that
+    // includes sign-unproductive +-Y ports.
+    const NodeId router = m.coordsToNode(Coordinates(0, 1));
+    const RouteCandidates near_rc =
+        table.lookup(router, m.coordsToNode(Coordinates(1, 1)));
+    const RouteCandidates far_rc =
+        table.lookup(router, m.coordsToNode(Coordinates(2, 1)));
+    EXPECT_NE(near_rc, far_rc);
+    EXPECT_EQ(near_rc.count(), 1);
+    EXPECT_EQ(far_rc.count(), 3);
+    EXPECT_TRUE(far_rc.contains(MeshTopology::port(1,
+                                                   Direction::Plus)));
+    EXPECT_TRUE(far_rc.contains(MeshTopology::port(1,
+                                                   Direction::Minus)));
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for full-table routing plus packed-entry encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "routing/duato.hpp"
+#include "routing/dimension_order.hpp"
+#include "tables/full_table.hpp"
+#include "tables/route_entry.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(FullTable, ReproducesAlgorithmExactly)
+{
+    const MeshTopology m = MeshTopology::square2d(5);
+    const DuatoAdaptiveRouting duato(m);
+    const FullTable table(m, duato);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d)
+            EXPECT_EQ(table.lookup(r, d), duato.route(r, d));
+    }
+}
+
+TEST(FullTable, EntriesPerRouterIsN)
+{
+    const MeshTopology m = MeshTopology::square2d(5);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const FullTable table(m, xy);
+    EXPECT_EQ(table.entriesPerRouter(), 25u);
+    EXPECT_TRUE(table.supportsAdaptive());
+    EXPECT_EQ(table.name(), "full-table");
+}
+
+TEST(FullTable, SetEntryReprograms)
+{
+    // Full tables allow per-(router, destination) reprogramming — the
+    // flexibility the paper notes commercial routers expose.
+    const MeshTopology m = MeshTopology::square2d(4);
+    const auto xy = DimensionOrderRouting::xy(m);
+    FullTable table(m, xy);
+    RouteCandidates custom;
+    custom.add(MeshTopology::port(1, Direction::Plus));
+    table.setEntry(0, 15, custom);
+    EXPECT_EQ(table.lookup(0, 15), custom);
+    // Other entries untouched.
+    EXPECT_EQ(table.lookup(0, 14), xy.route(0, 14));
+}
+
+TEST(FullTable, EjectionAtSelf)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const FullTable table(m, xy);
+    for (NodeId r = 0; r < m.numNodes(); ++r)
+        EXPECT_TRUE(table.lookup(r, r).isEjection());
+}
+
+TEST(RouteEntry, PortFieldBitsCoverPorts)
+{
+    EXPECT_EQ(portFieldBits(5), 3);  // 5 ports + absent code -> 3 bits
+    EXPECT_EQ(portFieldBits(7), 3);  // 3-D router: 7 ports + absent
+    EXPECT_EQ(portFieldBits(8), 4);
+}
+
+TEST(RouteEntry, PackUnpackRoundTripsAdaptiveEntry)
+{
+    RouteCandidates rc;
+    rc.add(1);
+    rc.add(3);
+    rc.setEscapePort(1);
+    rc.setEscapeClass(1);
+    const RouteCandidates back =
+        unpackRouteEntry(packRouteEntry(rc, 5), 5);
+    EXPECT_EQ(back, rc);
+}
+
+TEST(RouteEntry, PackUnpackRoundTripsDeterministicEntry)
+{
+    RouteCandidates rc;
+    rc.add(4);
+    const RouteCandidates back =
+        unpackRouteEntry(packRouteEntry(rc, 5), 5);
+    EXPECT_EQ(back, rc);
+    EXPECT_EQ(back.escapePort(), kInvalidPort);
+}
+
+TEST(RouteEntry, PackUnpackRoundTripsEveryTableEntry)
+{
+    // Property sweep: every entry of a programmed table encodes into
+    // hardware bits and back without loss.
+    const MeshTopology m = MeshTopology::square2d(4);
+    const DuatoAdaptiveRouting duato(m);
+    const FullTable table(m, duato);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            const RouteCandidates rc = table.lookup(r, d);
+            EXPECT_EQ(unpackRouteEntry(packRouteEntry(rc, m.numPorts()),
+                                       m.numPorts()),
+                      rc);
+        }
+    }
+}
+
+TEST(RouteEntry, PackedBitsFitBudget)
+{
+    // 2-D: 4 candidate fields + escape field (3 bits each) + 2 class
+    // bits = 17 bits.
+    EXPECT_EQ(packedEntryBits(5), 17);
+    EXPECT_LE(packedEntryBits(7), 32);
+}
+
+} // namespace
+} // namespace lapses

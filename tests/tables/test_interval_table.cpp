@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for interval (universal) routing tables (Section 5.1.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "routing/dimension_order.hpp"
+#include "routing/duato.hpp"
+#include "tables/interval_table.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(IntervalTable, MatchesDeterministicAlgorithm)
+{
+    const MeshTopology m = MeshTopology::square2d(6);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const IntervalTable table(m, xy);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d)
+            EXPECT_EQ(table.lookup(r, d), xy.route(r, d));
+    }
+}
+
+TEST(IntervalTable, IntervalsPartitionLabelSpace)
+{
+    const MeshTopology m = MeshTopology::square2d(6);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const IntervalTable table(m, xy);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        const auto& ivals = table.intervals(r);
+        NodeId expect_lo = 0;
+        for (const auto& e : ivals) {
+            EXPECT_EQ(e.lo, expect_lo);
+            EXPECT_LE(e.lo, e.hi);
+            expect_lo = e.hi + 1;
+        }
+        EXPECT_EQ(expect_lo, m.numNodes());
+    }
+}
+
+TEST(IntervalTable, AdjacentIntervalsDifferInPort)
+{
+    const MeshTopology m = MeshTopology::square2d(6);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const IntervalTable table(m, xy);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        const auto& ivals = table.intervals(r);
+        for (std::size_t i = 1; i < ivals.size(); ++i)
+            EXPECT_NE(ivals[i].port, ivals[i - 1].port);
+    }
+}
+
+TEST(IntervalTable, RowMajorXyNeedsFewIntervals)
+{
+    // With row-major labels and YX routing, destinations group into
+    // whole-row runs: the south block, the north block and the local
+    // row. The worst-case interval count stays far below N.
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto yx = DimensionOrderRouting::yx(m);
+    const IntervalTable table(m, yx);
+    EXPECT_LE(table.entriesPerRouter(), 8u);
+}
+
+TEST(IntervalTable, IntervalCountsBoundedPerRouter)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const auto yx = DimensionOrderRouting::yx(m);
+    const IntervalTable table(m, yx);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        EXPECT_GE(table.intervalCount(r), 2u);
+        EXPECT_LE(table.intervalCount(r), table.entriesPerRouter());
+    }
+}
+
+TEST(IntervalTable, RejectsAdaptiveAlgorithms)
+{
+    // "not readily receptive to adaptive routing" — a label maps to
+    // exactly one interval, so only one port can be stored.
+    const MeshTopology m = MeshTopology::square2d(4);
+    const DuatoAdaptiveRouting duato(m);
+    EXPECT_THROW(IntervalTable(m, duato), ConfigError);
+}
+
+TEST(IntervalTable, DoesNotSupportAdaptive)
+{
+    const MeshTopology m = MeshTopology::square2d(4);
+    const auto xy = DimensionOrderRouting::xy(m);
+    const IntervalTable table(m, xy);
+    EXPECT_FALSE(table.supportsAdaptive());
+    EXPECT_EQ(table.name(), "interval");
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for hierarchical meta-table routing (Section 5.1.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "routing/dimension_order.hpp"
+#include "routing/duato.hpp"
+#include "tables/meta_table.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(MetaTable, IntraClusterEntriesMatchAlgorithm)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
+    const ClusterMap& map = table.clusterMap();
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            if (map.clusterOf(r) != map.clusterOf(d))
+                continue;
+            const RouteCandidates got = table.lookup(r, d);
+            const RouteCandidates want = duato.route(r, d);
+            ASSERT_EQ(got.count(), want.count());
+            for (int i = 0; i < want.count(); ++i) {
+                EXPECT_TRUE(got.contains(want.at(i)));
+            }
+            if (r != d) {
+                EXPECT_EQ(got.escapeClass(), 1); // phase-1 escape
+            }
+        }
+    }
+}
+
+TEST(MetaTable, InterClusterCandidatesAreSubsetOfAlgorithm)
+{
+    // Storage sharing can only *restrict* routing: every meta-table
+    // candidate must be a candidate of the underlying algorithm (thus
+    // minimal), and the entry must never be empty.
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            if (r == d)
+                continue;
+            const RouteCandidates got = table.lookup(r, d);
+            const RouteCandidates want = duato.route(r, d);
+            ASSERT_GE(got.count(), 1);
+            for (int i = 0; i < got.count(); ++i)
+                EXPECT_TRUE(want.contains(got.at(i)))
+                    << "meta candidate not minimal toward dest";
+        }
+    }
+}
+
+TEST(MetaTable, BoundaryAdaptivityLoss)
+{
+    // The Table 4 phenomenon: routing from cluster 1 (east of 0,
+    // south of 5) to a node of cluster 5 is deterministic (+Y only)
+    // although the algorithm offers two productive ports.
+    const MeshTopology m = MeshTopology::square2d(16);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
+    const NodeId in_c1 = m.coordsToNode(Coordinates(5, 1));
+    const NodeId in_c5 = m.coordsToNode(Coordinates(7, 5));
+    EXPECT_EQ(duato.route(in_c1, in_c5).count(), 2);
+    const RouteCandidates got = table.lookup(in_c1, in_c5);
+    EXPECT_EQ(got.count(), 1);
+    EXPECT_EQ(got.at(0), MeshTopology::port(1, Direction::Plus));
+    EXPECT_EQ(got.escapeClass(), 0); // phase-0 escape outside cluster
+}
+
+TEST(MetaTable, DiagonalClustersKeepAdaptivity)
+{
+    // From cluster 0 toward diagonal cluster 5 both +X and +Y stay
+    // productive until a boundary is crossed.
+    const MeshTopology m = MeshTopology::square2d(16);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
+    const NodeId in_c0 = m.coordsToNode(Coordinates(1, 1));
+    const NodeId in_c5 = m.coordsToNode(Coordinates(6, 6));
+    EXPECT_EQ(table.lookup(in_c0, in_c5).count(), 2);
+}
+
+TEST(MetaTable, RowMapDegeneratesToDimensionOrder)
+{
+    // Fig. 8(a): row clusters force deterministic dimension-order
+    // (Y to the destination row, then X within it).
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::rowMap(m));
+    const auto yx = DimensionOrderRouting::yx(m);
+    for (NodeId r = 0; r < m.numNodes(); ++r) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            const RouteCandidates got = table.lookup(r, d);
+            EXPECT_EQ(got.count(), 1)
+                << "row map should remove all adaptivity";
+            EXPECT_EQ(got.at(0), yx.route(r, d).at(0));
+        }
+    }
+}
+
+TEST(MetaTable, EntriesPerRouterIsClusterPlusSub)
+{
+    const MeshTopology m = MeshTopology::square2d(16);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
+    // 16 clusters + 16 sub-cluster entries = 32 vs 256 full-table.
+    EXPECT_EQ(table.entriesPerRouter(), 32u);
+}
+
+TEST(MetaTable, LookupWalksTerminateMinimally)
+{
+    // Property: following any meta-table candidate chain reaches the
+    // destination in exactly distance(src, dest) hops.
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 2));
+    Rng rng(3);
+    for (int trial = 0; trial < 500; ++trial) {
+        NodeId cur = static_cast<NodeId>(rng.nextBounded(64));
+        const NodeId dest = static_cast<NodeId>(rng.nextBounded(64));
+        const int expect_hops = m.distance(cur, dest);
+        int hops = 0;
+        while (cur != dest) {
+            const RouteCandidates rc = table.lookup(cur, dest);
+            const PortId p = rc.at(static_cast<int>(
+                rng.nextBounded(static_cast<std::uint64_t>(
+                    rc.count()))));
+            cur = m.neighbor(cur, p);
+            ASSERT_NE(cur, kInvalidNode);
+            ASSERT_LE(++hops, expect_hops);
+        }
+        EXPECT_EQ(hops, expect_hops);
+    }
+}
+
+TEST(MetaTable, EscapeWalkIsDeadlockFreePhases)
+{
+    // The escape port chain must be: phase 0 (class 0) while outside
+    // the destination cluster, phase 1 (class 1) inside, with no
+    // return to phase 0.
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
+    const ClusterMap& map = table.clusterMap();
+    for (NodeId s = 0; s < m.numNodes(); s += 3) {
+        for (NodeId d = 0; d < m.numNodes(); d += 5) {
+            if (s == d)
+                continue;
+            NodeId cur = s;
+            int phase = 0;
+            while (cur != d) {
+                const RouteCandidates rc = table.lookup(cur, d);
+                const bool inside =
+                    map.clusterOf(cur) == map.clusterOf(d);
+                EXPECT_EQ(rc.escapeClass(), inside ? 1 : 0);
+                EXPECT_GE(rc.escapeClass(), phase)
+                    << "escape phase went backwards";
+                phase = rc.escapeClass();
+                cur = m.neighbor(cur, rc.escapePort());
+                ASSERT_NE(cur, kInvalidNode);
+            }
+        }
+    }
+}
+
+TEST(MetaTable, NameIncludesMapName)
+{
+    const MeshTopology m = MeshTopology::square2d(8);
+    const DuatoAdaptiveRouting duato(m);
+    const MetaTable table(m, duato, ClusterMap::rowMap(m));
+    EXPECT_EQ(table.name(), "meta-row");
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for injection processes and normalized-load conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traffic/injection.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(Injection, ExponentialMeanRateMatches)
+{
+    InjectionProcess p(InjectionKind::Exponential, 0.05, Rng{3});
+    std::uint64_t total = 0;
+    const Cycle cycles = 200000;
+    for (Cycle c = 0; c < cycles; ++c)
+        total += static_cast<std::uint64_t>(p.arrivals(c));
+    EXPECT_NEAR(static_cast<double>(total) / cycles, 0.05, 0.003);
+}
+
+TEST(Injection, BernoulliMeanRateMatches)
+{
+    InjectionProcess p(InjectionKind::Bernoulli, 0.1, Rng{4});
+    std::uint64_t total = 0;
+    const Cycle cycles = 100000;
+    for (Cycle c = 0; c < cycles; ++c) {
+        const int a = p.arrivals(c);
+        EXPECT_LE(a, 1); // at most one per cycle
+        total += static_cast<std::uint64_t>(a);
+    }
+    EXPECT_NEAR(static_cast<double>(total) / cycles, 0.1, 0.005);
+}
+
+TEST(Injection, ExponentialBurstsPossible)
+{
+    // Unlike Bernoulli, the exponential process can deliver 2+
+    // arrivals in one cycle at high rate.
+    InjectionProcess p(InjectionKind::Exponential, 2.0, Rng{5});
+    int max_burst = 0;
+    for (Cycle c = 0; c < 10000; ++c)
+        max_burst = std::max(max_burst, p.arrivals(c));
+    EXPECT_GE(max_burst, 2);
+}
+
+TEST(Injection, ZeroRateNeverArrives)
+{
+    InjectionProcess p(InjectionKind::Exponential, 0.0, Rng{6});
+    for (Cycle c = 0; c < 1000; ++c)
+        EXPECT_EQ(p.arrivals(c), 0);
+}
+
+TEST(Injection, DeterministicForSeed)
+{
+    InjectionProcess a(InjectionKind::Exponential, 0.1, Rng{7});
+    InjectionProcess b(InjectionKind::Exponential, 0.1, Rng{7});
+    for (Cycle c = 0; c < 5000; ++c)
+        EXPECT_EQ(a.arrivals(c), b.arrivals(c));
+}
+
+TEST(Injection, InterArrivalIsMemoryless)
+{
+    // Coefficient of variation of exponential inter-arrivals is 1.
+    InjectionProcess p(InjectionKind::Exponential, 0.02, Rng{8});
+    Cycle last = 0;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    int n = 0;
+    for (Cycle c = 0; c < 2000000 && n < 10000; ++c) {
+        if (p.arrivals(c) > 0) {
+            const double gap = static_cast<double>(c - last);
+            last = c;
+            sum += gap;
+            sum2 += gap * gap;
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 5000);
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.08);
+}
+
+TEST(Injection, BurstyPreservesMeanRate)
+{
+    BurstOptions burst;
+    burst.meanOnCycles = 100.0;
+    burst.meanOffCycles = 400.0;
+    InjectionProcess p(InjectionKind::Bursty, 0.02, Rng{11}, burst);
+    std::uint64_t total = 0;
+    const Cycle cycles = 500000;
+    for (Cycle c = 0; c < cycles; ++c)
+        total += static_cast<std::uint64_t>(p.arrivals(c));
+    EXPECT_NEAR(static_cast<double>(total) / cycles, 0.02, 0.002);
+}
+
+TEST(Injection, BurstyIsActuallyBursty)
+{
+    // Count arrivals in 100-cycle windows: a bursty stream must show
+    // both silent windows and windows far above the mean.
+    BurstOptions burst;
+    burst.meanOnCycles = 200.0;
+    burst.meanOffCycles = 800.0;
+    InjectionProcess p(InjectionKind::Bursty, 0.05, Rng{12}, burst);
+    int silent = 0;
+    int hot = 0;
+    for (int w = 0; w < 2000; ++w) {
+        int in_window = 0;
+        for (Cycle c = 0; c < 100; ++c)
+            in_window += p.arrivals(static_cast<Cycle>(w) * 100 + c);
+        if (in_window == 0)
+            ++silent;
+        if (in_window > 10) // 2x the 5/window mean
+            ++hot;
+    }
+    EXPECT_GT(silent, 200);
+    EXPECT_GT(hot, 100);
+}
+
+TEST(Injection, BurstyPhaseToggles)
+{
+    InjectionProcess p(InjectionKind::Bursty, 0.05, Rng{13});
+    bool saw_on = false;
+    bool saw_off = false;
+    for (Cycle c = 0; c < 20000; ++c) {
+        (void)p.arrivals(c);
+        (p.inBurst() ? saw_on : saw_off) = true;
+    }
+    EXPECT_TRUE(saw_on);
+    EXPECT_TRUE(saw_off);
+}
+
+TEST(Injection, BurstyRejectsBadShape)
+{
+    BurstOptions bad;
+    bad.meanOnCycles = 0.0;
+    EXPECT_THROW(
+        InjectionProcess(InjectionKind::Bursty, 0.1, Rng{1}, bad),
+        ConfigError);
+}
+
+TEST(Injection, RejectsBadRates)
+{
+    EXPECT_THROW(InjectionProcess(InjectionKind::Exponential, -0.1,
+                                  Rng{1}),
+                 ConfigError);
+    EXPECT_THROW(InjectionProcess(InjectionKind::Bernoulli, 1.5, Rng{1}),
+                 ConfigError);
+}
+
+TEST(LoadModel, FlitRateAtFullLoadIsBisectionRate)
+{
+    const MeshTopology m = MeshTopology::square2d(16);
+    // Section 2.2 normalization: load 1.0 = 4k/N = 0.25 flits/node/cyc.
+    EXPECT_DOUBLE_EQ(flitRateForLoad(m, 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(flitRateForLoad(m, 0.4), 0.1);
+}
+
+TEST(LoadModel, MsgRateDividesByLength)
+{
+    const MeshTopology m = MeshTopology::square2d(16);
+    EXPECT_DOUBLE_EQ(msgRateForLoad(m, 1.0, 20), 0.0125);
+    EXPECT_DOUBLE_EQ(msgRateForLoad(m, 0.2, 5), 0.01);
+}
+
+TEST(LoadModel, SmallerMeshHasHigherPerNodeCapacity)
+{
+    const MeshTopology m8 = MeshTopology::square2d(8);
+    const MeshTopology m16 = MeshTopology::square2d(16);
+    EXPECT_GT(flitRateForLoad(m8, 1.0), flitRateForLoad(m16, 1.0));
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * lapses-sim: command-line driver for the LAPSES network simulator.
+ *
+ * Run a single point:
+ *   lapses-sim --traffic transpose --load 0.3 --selector max-credit
+ *
+ * Sweep loads and emit CSV (plot Fig. 5/6-style curves directly):
+ *   lapses-sim --traffic bit-reversal --sweep 0.1:0.8:0.1 --csv out.csv
+ *
+ * Every option has the paper's Table 2 value as its default; run with
+ * --help for the full list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/lapses.hpp"
+#include "core/names.hpp"
+#include "stats/report.hpp"
+
+namespace
+{
+
+using namespace lapses;
+
+void
+printHelp()
+{
+    std::printf(
+        "lapses-sim -- LAPSES adaptive-router network simulator\n"
+        "\n"
+        "Topology / router (defaults = paper Table 2):\n"
+        "  --mesh KxK[xK]       mesh radices        [16x16]\n"
+        "  --torus              wrap links (use --routing "
+        "torus-adaptive)\n"
+        "  --model M            proud | la-proud    [la-proud]\n"
+        "  --vcs N              VCs per channel     [4]\n"
+        "  --buffers N          buffer depth flits  [20]\n"
+        "  --escape-vcs N       escape VCs (-1=auto)[-1]\n"
+        "\n"
+        "Routing:\n"
+        "  --routing A          xy|yx|duato|north-last|west-first|\n"
+        "                       negative-first      [duato]\n"
+        "  --table T            full-table|meta-row|meta-block|\n"
+        "                       economical-storage|interval\n"
+        "                                           [economical-storage]\n"
+        "  --selector S         static-xy|first-free|random|min-mux|\n"
+        "                       lfu|lru|max-credit  [static-xy]\n"
+        "\n"
+        "Workload:\n"
+        "  --traffic P          uniform|transpose|bit-reversal|\n"
+        "                       perfect-shuffle|bit-complement|\n"
+        "                       tornado|neighbor|hotspot [uniform]\n"
+        "  --load X             normalized load     [0.1]\n"
+        "  --msglen N           flits per message   [20]\n"
+        "  --injection I        exponential|bernoulli|bursty\n"
+        "  --hotspot-frac X     hotspot fraction    [0.1]\n"
+        "\n"
+        "Measurement:\n"
+        "  --warmup N           warm-up messages    [1000]\n"
+        "  --measure N          measured messages   [10000]\n"
+        "  --seed N             RNG seed            [1]\n"
+        "\n"
+        "Output / sweeps:\n"
+        "  --sweep LO:HI:STEP   sweep normalized load\n"
+        "  --csv FILE           write results as CSV\n"
+        "  --json               print the point as JSON\n"
+        "  --quiet              suppress the human-readable line\n"
+        "  --help               this text\n");
+}
+
+/** Parse "16x16" or "4x4x4" into radices. */
+std::vector<int>
+parseMesh(const std::string& spec)
+{
+    std::vector<int> radices;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t next = spec.find('x', pos);
+        if (next == std::string::npos)
+            next = spec.size();
+        const std::string part = spec.substr(pos, next - pos);
+        const int k = std::atoi(part.c_str());
+        if (k < 2)
+            throw ConfigError("bad mesh spec '" + spec + "'");
+        radices.push_back(k);
+        pos = next + 1;
+    }
+    if (radices.empty())
+        throw ConfigError("bad mesh spec '" + spec + "'");
+    return radices;
+}
+
+/** Parse "0.1:0.9:0.1" into a load list. */
+std::vector<double>
+parseSweep(const std::string& spec)
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    double step = 0.0;
+    if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &lo, &hi, &step) != 3 ||
+        step <= 0.0 || lo <= 0.0 || hi < lo) {
+        throw ConfigError("bad sweep spec '" + spec +
+                          "' (want LO:HI:STEP)");
+    }
+    std::vector<double> loads;
+    for (double x = lo; x <= hi + 1e-9; x += step)
+        loads.push_back(x);
+    return loads;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SimConfig cfg;
+    cfg.warmupMessages = 1000;
+    cfg.measureMessages = 10000;
+    std::vector<double> sweep;
+    std::string csv_path;
+    bool as_json = false;
+    bool quiet = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw ConfigError("missing value for " + arg);
+                return argv[++i];
+            };
+            if (arg == "--help" || arg == "-h") {
+                printHelp();
+                return 0;
+            } else if (arg == "--mesh") {
+                cfg.radices = parseMesh(value());
+            } else if (arg == "--torus") {
+                cfg.torus = true;
+            } else if (arg == "--model") {
+                cfg.model = parseRouterModel(value());
+            } else if (arg == "--vcs") {
+                cfg.vcsPerPort = std::atoi(value().c_str());
+            } else if (arg == "--buffers") {
+                cfg.bufferDepth = std::atoi(value().c_str());
+            } else if (arg == "--escape-vcs") {
+                cfg.escapeVcs = std::atoi(value().c_str());
+            } else if (arg == "--routing") {
+                cfg.routing = parseRoutingAlgo(value());
+            } else if (arg == "--table") {
+                cfg.table = parseTableKind(value());
+            } else if (arg == "--selector") {
+                cfg.selector = parseSelectorKind(value());
+            } else if (arg == "--traffic") {
+                cfg.traffic = parseTrafficKind(value());
+            } else if (arg == "--load") {
+                cfg.normalizedLoad = std::atof(value().c_str());
+            } else if (arg == "--msglen") {
+                cfg.msgLen = std::atoi(value().c_str());
+            } else if (arg == "--injection") {
+                cfg.injection = parseInjectionKind(value());
+            } else if (arg == "--hotspot-frac") {
+                cfg.hotspot.fraction = std::atof(value().c_str());
+            } else if (arg == "--warmup") {
+                cfg.warmupMessages = std::strtoull(value().c_str(),
+                                                   nullptr, 10);
+            } else if (arg == "--measure") {
+                cfg.measureMessages = std::strtoull(value().c_str(),
+                                                    nullptr, 10);
+            } else if (arg == "--seed") {
+                cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--sweep") {
+                sweep = parseSweep(value());
+            } else if (arg == "--csv") {
+                csv_path = value();
+            } else if (arg == "--json") {
+                as_json = true;
+            } else if (arg == "--quiet") {
+                quiet = true;
+            } else {
+                throw ConfigError("unknown option '" + arg +
+                                  "' (see --help)");
+            }
+        }
+
+        std::vector<SweepSeries> series(1);
+        series[0].label = cfg.describe();
+
+        if (sweep.empty()) {
+            cfg.validate();
+            Simulation sim(cfg);
+            const SimStats stats = sim.run();
+            if (!quiet) {
+                std::printf("%s\n  %s\n", cfg.describe().c_str(),
+                            stats.summary().c_str());
+            }
+            if (as_json)
+                std::printf("%s\n", statsToJson(stats).c_str());
+            series[0].loads.push_back(cfg.normalizedLoad);
+            series[0].points.push_back(stats);
+        } else {
+            const auto points = runLoadSweep(
+                cfg, sweep, [&](const SweepPoint& pt) {
+                    if (!quiet) {
+                        std::printf("load %.3f: %s\n", pt.load,
+                                    pt.stats.summary().c_str());
+                        std::fflush(stdout);
+                    }
+                });
+            for (const SweepPoint& pt : points) {
+                series[0].loads.push_back(pt.load);
+                series[0].points.push_back(pt.stats);
+            }
+        }
+
+        if (!csv_path.empty()) {
+            std::ofstream os(csv_path);
+            if (!os)
+                throw ConfigError("cannot open " + csv_path);
+            writeSweepCsv(os, series);
+            if (!quiet)
+                std::printf("wrote %s\n", csv_path.c_str());
+        }
+    } catch (const ConfigError& e) {
+        std::fprintf(stderr, "lapses-sim: %s\n", e.what());
+        return 1;
+    } catch (const SimulationError& e) {
+        std::fprintf(stderr, "lapses-sim: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
