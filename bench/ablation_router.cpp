@@ -9,19 +9,14 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/names.hpp"
 #include "core/simulation.hpp"
+#include "exp/campaign.hpp"
 
 using namespace lapses;
 
 namespace
 {
-
-SimStats
-runPoint(SimConfig cfg)
-{
-    Simulation sim(cfg);
-    return sim.run();
-}
 
 SimConfig
 base(BenchMode mode)
@@ -50,65 +45,100 @@ main()
                 "===\n\n",
                 benchModeName(mode).c_str());
 
+    const std::vector<int> vc_counts = {2, 3, 4, 6, 8};
+    const std::vector<int> depths = {5, 10, 20, 40};
+    const std::vector<int> escapes = {1, 2, 3};
+    const std::vector<InjectionKind> injections = {
+        InjectionKind::Exponential, InjectionKind::Bernoulli};
+
+    // Every ablation point is an independent single-load series; one
+    // campaign of five grids runs them all concurrently.
+    std::vector<CampaignGrid> grids;
+    {
+        CampaignGrid vcs_uniform; // section 1, uniform 0.5 column
+        vcs_uniform.base = base(mode);
+        vcs_uniform.base.traffic = TrafficKind::Uniform;
+        vcs_uniform.base.normalizedLoad = 0.5;
+        vcs_uniform.axes.vcCounts = vc_counts;
+        grids.push_back(vcs_uniform);
+
+        CampaignGrid vcs_transpose; // section 1, transpose 0.25 column
+        vcs_transpose.base = base(mode);
+        vcs_transpose.base.traffic = TrafficKind::Transpose;
+        vcs_transpose.base.normalizedLoad = 0.25;
+        vcs_transpose.axes.vcCounts = vc_counts;
+        grids.push_back(vcs_transpose);
+
+        CampaignGrid depth; // section 2
+        depth.base = base(mode);
+        depth.base.traffic = TrafficKind::Uniform;
+        depth.base.normalizedLoad = 0.5;
+        depth.axes.bufferDepths = depths;
+        grids.push_back(depth);
+
+        CampaignGrid escape; // section 3
+        escape.base = base(mode);
+        escape.base.traffic = TrafficKind::Transpose;
+        escape.base.normalizedLoad = 0.3;
+        escape.axes.escapeVcs = escapes;
+        grids.push_back(escape);
+
+        CampaignGrid injection; // section 4
+        injection.base = base(mode);
+        injection.base.traffic = TrafficKind::Uniform;
+        injection.base.normalizedLoad = 0.5;
+        injection.axes.injections = injections;
+        grids.push_back(injection);
+    }
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    opts.progress = [](const RunResult& r) {
+        std::fprintf(stderr, "[ablation] run %zu: %s\n", r.run.index,
+                     r.run.config.describe().c_str());
+    };
+    const std::vector<RunResult> results =
+        runCampaign(expandGrids(grids), opts);
+
+    std::size_t offset = 0;
+
     // 1. VC count at fixed buffer budget per port (paper assumes 4).
     std::printf("--- VCs per physical channel (uniform 0.5 / "
                 "transpose 0.25, 20-flit buffers) ---\n");
     std::printf("%-6s %12s %12s\n", "VCs", "uniform", "transpose");
-    for (int vcs : {2, 3, 4, 6, 8}) {
-        SimConfig cfg = base(mode);
-        cfg.vcsPerPort = vcs;
-        cfg.traffic = TrafficKind::Uniform;
-        cfg.normalizedLoad = 0.5;
-        std::fprintf(stderr, "[ablation] vcs=%d uniform...\n", vcs);
-        const SimStats u = runPoint(cfg);
-        cfg.traffic = TrafficKind::Transpose;
-        cfg.normalizedLoad = 0.25;
-        std::fprintf(stderr, "[ablation] vcs=%d transpose...\n", vcs);
-        const SimStats t = runPoint(cfg);
-        std::printf("%-6d %12s %12s\n", vcs, latencyCell(u).c_str(),
-                    latencyCell(t).c_str());
+    for (std::size_t i = 0; i < vc_counts.size(); ++i) {
+        const SimStats& u = results[offset + i].stats;
+        const SimStats& t = results[offset + vc_counts.size() + i].stats;
+        std::printf("%-6d %12s %12s\n", vc_counts[i],
+                    latencyCell(u).c_str(), latencyCell(t).c_str());
     }
+    offset += 2 * vc_counts.size();
 
     // 2. Buffer depth (Table 2 uses 20 flits).
     std::printf("\n--- In/out buffer depth in flits (uniform 0.5) "
                 "---\n");
     std::printf("%-8s %12s\n", "Depth", "latency");
-    for (int depth : {5, 10, 20, 40}) {
-        SimConfig cfg = base(mode);
-        cfg.bufferDepth = depth;
-        cfg.traffic = TrafficKind::Uniform;
-        cfg.normalizedLoad = 0.5;
-        std::fprintf(stderr, "[ablation] depth=%d...\n", depth);
-        std::printf("%-8d %12s\n", depth,
-                    latencyCell(runPoint(cfg)).c_str());
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        std::printf("%-8d %12s\n", depths[i],
+                    latencyCell(results[offset + i].stats).c_str());
     }
+    offset += depths.size();
 
     // 3. Escape/adaptive split of the 4 VCs under Duato's protocol.
     std::printf("\n--- Escape VCs out of 4 (transpose 0.3) ---\n");
     std::printf("%-8s %12s\n", "Escape", "latency");
-    for (int escape : {1, 2, 3}) {
-        SimConfig cfg = base(mode);
-        cfg.escapeVcs = escape;
-        cfg.traffic = TrafficKind::Transpose;
-        cfg.normalizedLoad = 0.3;
-        std::fprintf(stderr, "[ablation] escape=%d...\n", escape);
-        std::printf("%-8d %12s\n", escape,
-                    latencyCell(runPoint(cfg)).c_str());
+    for (std::size_t i = 0; i < escapes.size(); ++i) {
+        std::printf("%-8d %12s\n", escapes[i],
+                    latencyCell(results[offset + i].stats).c_str());
     }
+    offset += escapes.size();
 
     // 4. Injection process (the paper's exponential vs Bernoulli).
     std::printf("\n--- Injection process (uniform 0.5) ---\n");
-    for (InjectionKind kind :
-         {InjectionKind::Exponential, InjectionKind::Bernoulli}) {
-        SimConfig cfg = base(mode);
-        cfg.injection = kind;
-        cfg.traffic = TrafficKind::Uniform;
-        cfg.normalizedLoad = 0.5;
-        std::fprintf(stderr, "[ablation] injection...\n");
+    for (std::size_t i = 0; i < injections.size(); ++i) {
         std::printf("%-12s %12s\n",
-                    kind == InjectionKind::Exponential ? "exponential"
-                                                       : "bernoulli",
-                    latencyCell(runPoint(cfg)).c_str());
+                    injectionKindName(injections[i]).c_str(),
+                    latencyCell(results[offset + i].stats).c_str());
     }
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "core/experiment.hpp"
 #include "core/simulation.hpp"
+#include "exp/campaign.hpp"
 
 using namespace lapses;
 
@@ -26,6 +27,8 @@ struct Scheme
     RoutingAlgo routing;
 };
 
+// Expansion order of the model x routing axes below: model outer,
+// routing inner — the campaign series enumerate exactly this list.
 const Scheme kSchemes[] = {
     {"NO LA, DET", RouterModel::Proud, RoutingAlgo::DeterministicXY},
     {"NO LA, ADAPT", RouterModel::Proud,
@@ -79,20 +82,38 @@ main()
     std::printf("20-flit messages, 4 VCs/PC, Duato adaptive vs "
                 "dimension-order XY, static path selection\n\n");
 
-    for (const PatternSpec& spec : patterns(mode)) {
-        base.traffic = spec.traffic;
-        // Sweep all four schemes over the pattern's load axis.
-        std::vector<std::vector<SweepPoint>> results;
-        for (const Scheme& s : kSchemes) {
-            SimConfig cfg = base;
-            cfg.model = s.model;
-            cfg.routing = s.routing;
-            std::fprintf(stderr, "[fig5] %s / %s ...\n",
-                         trafficKindName(spec.traffic).c_str(),
-                         s.label);
-            results.push_back(runLoadSweep(cfg, spec.loads));
-        }
-        const auto& la_adapt = results[3];
+    // One grid per traffic pattern (the load axes differ); the four
+    // schemes are the model x routing cross-product within each grid.
+    const std::vector<PatternSpec> specs = patterns(mode);
+    std::vector<CampaignGrid> grids;
+    for (const PatternSpec& spec : specs) {
+        CampaignGrid grid;
+        grid.base = base;
+        grid.base.traffic = spec.traffic;
+        grid.axes.models = {RouterModel::Proud, RouterModel::LaProud};
+        grid.axes.routings = {RoutingAlgo::DeterministicXY,
+                              RoutingAlgo::DuatoFullyAdaptive};
+        grid.axes.loads = spec.loads;
+        grids.push_back(std::move(grid));
+    }
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    opts.progress = [](const RunResult& r) {
+        std::fprintf(stderr, "[fig5] run %zu: %s\n", r.run.index,
+                     r.run.config.describe().c_str());
+    };
+    const std::vector<RunResult> results =
+        runCampaign(expandGrids(grids), opts);
+
+    std::size_t offset = 0;
+    const std::size_t n_schemes = std::size(kSchemes);
+    for (const PatternSpec& spec : specs) {
+        const std::size_t n_loads = spec.loads.size();
+        auto at = [&](std::size_t scheme,
+                      std::size_t load) -> const SimStats& {
+            return results[offset + scheme * n_loads + load].stats;
+        };
 
         std::printf("--- %s traffic: %% latency increase over "
                     "LA,ADAPT ---\n",
@@ -101,11 +122,11 @@ main()
         for (double load : spec.loads)
             std::printf("%9.1f", load);
         std::printf("\n");
-        for (std::size_t s = 0; s < 3; ++s) {
+        for (std::size_t s = 0; s + 1 < n_schemes; ++s) {
             std::printf("%-14s", kSchemes[s].label);
-            for (std::size_t i = 0; i < spec.loads.size(); ++i) {
-                const SimStats& ref = la_adapt[i].stats;
-                const SimStats& cur = results[s][i].stats;
+            for (std::size_t i = 0; i < n_loads; ++i) {
+                const SimStats& ref = at(3, i);
+                const SimStats& cur = at(s, i);
                 if (ref.saturated || cur.saturated) {
                     std::printf("%9s", cur.saturated ? "Sat." : "-");
                 } else {
@@ -118,9 +139,10 @@ main()
             std::printf("\n");
         }
         std::printf("%-14s", "LA,ADAPT abs");
-        for (const SweepPoint& pt : la_adapt)
-            std::printf("%9s", latencyCell(pt.stats).c_str());
+        for (std::size_t i = 0; i < n_loads; ++i)
+            std::printf("%9s", latencyCell(at(3, i)).c_str());
         std::printf("\n\n");
+        offset += n_schemes * n_loads;
     }
     return 0;
 }

@@ -6,10 +6,12 @@
  */
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/simulation.hpp"
+#include "exp/campaign.hpp"
 
 using namespace lapses;
 
@@ -67,27 +69,50 @@ main()
                 benchModeName(mode).c_str());
     std::printf("LA-PROUD, Duato fully adaptive, 20-flit messages\n\n");
 
-    for (const PatternSpec& spec : patterns(mode)) {
-        base.traffic = spec.traffic;
+    // One grid per traffic pattern; the selector axis gives one series
+    // per heuristic, all sweeping that pattern's load axis in parallel.
+    const std::vector<PatternSpec> specs = patterns(mode);
+    std::vector<CampaignGrid> grids;
+    for (const PatternSpec& spec : specs) {
+        CampaignGrid grid;
+        grid.base = base;
+        grid.base.traffic = spec.traffic;
+        grid.axes.selectors.assign(std::begin(kSelectors),
+                                   std::end(kSelectors));
+        grid.axes.loads = spec.loads;
+        grids.push_back(std::move(grid));
+    }
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    opts.progress = [](const RunResult& r) {
+        std::fprintf(stderr, "[fig6] run %zu: %s\n", r.run.index,
+                     r.run.config.describe().c_str());
+    };
+    const std::vector<RunResult> results =
+        runCampaign(expandGrids(grids), opts);
+
+    std::size_t offset = 0;
+    for (const PatternSpec& spec : specs) {
+        const std::size_t n_loads = spec.loads.size();
         std::printf("--- %s traffic: average latency ---\n",
                     trafficKindName(spec.traffic).c_str());
         std::printf("%-12s", "Load");
         for (double load : spec.loads)
             std::printf("%9.1f", load);
         std::printf("\n");
-        for (SelectorKind sel : kSelectors) {
-            SimConfig cfg = base;
-            cfg.selector = sel;
-            std::fprintf(stderr, "[fig6] %s / %s ...\n",
-                         trafficKindName(spec.traffic).c_str(),
-                         selectorKindName(sel).c_str());
-            const auto points = runLoadSweep(cfg, spec.loads);
-            std::printf("%-12s", selectorKindName(sel).c_str());
-            for (const SweepPoint& pt : points)
-                std::printf("%9s", latencyCell(pt.stats).c_str());
+        for (std::size_t s = 0; s < std::size(kSelectors); ++s) {
+            std::printf("%-12s",
+                        selectorKindName(kSelectors[s]).c_str());
+            for (std::size_t i = 0; i < n_loads; ++i) {
+                const SimStats& st =
+                    results[offset + s * n_loads + i].stats;
+                std::printf("%9s", latencyCell(st).c_str());
+            }
             std::printf("\n");
         }
         std::printf("\n");
+        offset += std::size(kSelectors) * n_loads;
     }
     std::printf("Expected shape (paper): STATIC-XY best for uniform; "
                 "LRU/LFU/MAX-CREDIT clearly best for the non-uniform "

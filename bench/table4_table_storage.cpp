@@ -10,6 +10,7 @@
 
 #include "core/experiment.hpp"
 #include "core/simulation.hpp"
+#include "exp/campaign.hpp"
 
 using namespace lapses;
 
@@ -76,28 +77,45 @@ main()
         std::printf(" %14s", col.label);
     std::printf("\n");
 
+    // One grid per traffic pattern; the table axis yields one series
+    // per storage scheme, in kColumns order.
+    std::vector<CampaignGrid> grids;
     for (const PatternSpec& spec : specs) {
-        std::vector<std::vector<SweepPoint>> per_col;
-        for (const Column& col : kColumns) {
-            SimConfig cfg = base;
-            cfg.traffic = spec.traffic;
-            cfg.table = col.table;
-            std::fprintf(stderr, "[table4] %s / %s ...\n",
-                         trafficKindName(spec.traffic).c_str(),
-                         col.label);
-            per_col.push_back(runLoadSweep(cfg, spec.loads));
-        }
-        for (std::size_t i = 0; i < spec.loads.size(); ++i) {
+        CampaignGrid grid;
+        grid.base = base;
+        grid.base.traffic = spec.traffic;
+        for (const Column& col : kColumns)
+            grid.axes.tables.push_back(col.table);
+        grid.axes.loads = spec.loads;
+        grids.push_back(std::move(grid));
+    }
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    opts.progress = [](const RunResult& r) {
+        std::fprintf(stderr, "[table4] run %zu: %s\n", r.run.index,
+                     r.run.config.describe().c_str());
+    };
+    const std::vector<RunResult> results =
+        runCampaign(expandGrids(grids), opts);
+
+    const std::size_t n_cols = std::size(kColumns);
+    std::size_t offset = 0;
+    for (const PatternSpec& spec : specs) {
+        const std::size_t n_loads = spec.loads.size();
+        for (std::size_t i = 0; i < n_loads; ++i) {
             std::printf("%-10s %-6.1f",
                         i == 0 ? trafficKindName(spec.traffic).c_str()
                                : "",
                         spec.loads[i]);
-            for (const auto& col : per_col) {
-                std::printf(" %14s",
-                            latencyCell(col[i].stats).c_str());
+            for (std::size_t c = 0; c < n_cols; ++c) {
+                const SimStats& st =
+                    results[offset + c * n_loads + i].stats;
+                std::printf(" %14s", latencyCell(st).c_str());
             }
             std::printf("\n");
         }
+        offset += n_cols * n_loads;
     }
     return 0;
 }

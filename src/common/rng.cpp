@@ -78,13 +78,32 @@ Rng::nextExponential(double mean)
     return -mean * std::log(1.0 - nextDouble());
 }
 
+namespace
+{
+
+/** Shared stream-mixing chain; distinct salts keep split() and
+ *  deriveSeed() streams decorrelated from each other. */
+std::uint64_t
+mixStream(std::uint64_t base, std::uint64_t stream, std::uint64_t salt)
+{
+    std::uint64_t mix = base;
+    (void)splitmix64(mix);
+    mix ^= salt + stream * 0x9E3779B97F4A7C15ull;
+    return splitmix64(mix);
+}
+
+} // namespace
+
 Rng
 Rng::split(std::uint64_t stream_index) const
 {
-    std::uint64_t mix = seed_;
-    (void)splitmix64(mix);
-    mix ^= 0xA5A5A5A55A5A5A5Aull + stream_index * 0x9E3779B97F4A7C15ull;
-    return Rng(splitmix64(mix));
+    return Rng(mixStream(seed_, stream_index, 0xA5A5A5A55A5A5A5Aull));
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    return mixStream(base, stream, 0xD6E8FEB86659FD93ull);
 }
 
 } // namespace lapses

@@ -67,6 +67,15 @@ class Rng
     std::uint64_t seed_;
 };
 
+/**
+ * Mix a base seed with a stream index into a well-distributed derived
+ * seed (splitmix64 chain). Distinct (base, stream) pairs yield
+ * decorrelated seeds; the campaign engine uses this to give run i of a
+ * campaign the seed deriveSeed(campaign_seed, i) independent of thread
+ * count or schedule.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
 } // namespace lapses
 
 #endif // LAPSES_COMMON_RNG_HPP

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "core/simulation.hpp"
+#include "exp/campaign.hpp"
 
 namespace lapses
 {
@@ -13,24 +15,33 @@ std::vector<SweepPoint>
 runLoadSweep(SimConfig base, const std::vector<double>& loads,
              const std::function<void(const SweepPoint&)>& progress)
 {
+    // Thin wrapper over the campaign engine: one series (the load
+    // axis), executed in ascending order with the saturated tail
+    // marked, not simulated (the paper prints "Sat." there). Seeds are
+    // not derived per point: a sweep reuses base.seed for every load,
+    // matching the single-run CLI semantics.
+    CampaignGrid grid;
+    grid.base = base;
+    grid.axes.loads = loads;
+    grid.deriveSeeds = false;
+
+    CampaignOptions opts;
+    opts.jobs = 1; // one series; parallelism lives across series
+    if (progress) {
+        opts.progress = [&progress](const RunResult& r) {
+            SweepPoint pt;
+            pt.load = r.run.config.normalizedLoad;
+            pt.stats = r.stats;
+            progress(pt);
+        };
+    }
+
     std::vector<SweepPoint> points;
     points.reserve(loads.size());
-    bool saturated = false;
-    for (double load : loads) {
+    for (const RunResult& r : runCampaign(grid.expand(), opts)) {
         SweepPoint pt;
-        pt.load = load;
-        if (saturated) {
-            // Open-loop latency is monotone in load; once saturated,
-            // stay saturated (the paper prints "Sat.").
-            pt.stats.saturated = true;
-        } else {
-            base.normalizedLoad = load;
-            Simulation sim(base);
-            pt.stats = sim.run();
-            saturated = pt.stats.saturated;
-        }
-        if (progress)
-            progress(pt);
+        pt.load = r.run.config.normalizedLoad;
+        pt.stats = r.stats;
         points.push_back(std::move(pt));
     }
     return points;
@@ -47,6 +58,21 @@ benchModeFromEnv()
     if (std::strcmp(env, "paper") == 0)
         return BenchMode::Paper;
     return BenchMode::Default;
+}
+
+unsigned
+benchJobsFromEnv()
+{
+    const char* env = std::getenv("LAPSES_JOBS");
+    unsigned jobs = 0;
+    if (env != nullptr)
+        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    return jobs;
 }
 
 std::string

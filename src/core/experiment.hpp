@@ -47,6 +47,13 @@ enum class BenchMode
 /** Parse LAPSES_BENCH_MODE (quick|default|paper); Default if unset. */
 BenchMode benchModeFromEnv();
 
+/**
+ * Worker-thread count for campaign-driven benches: LAPSES_JOBS if set
+ * (0 = hardware concurrency), otherwise all hardware threads. Results
+ * are byte-identical for any value; this only sets the pace.
+ */
+unsigned benchJobsFromEnv();
+
 /** Human-readable mode name. */
 std::string benchModeName(BenchMode mode);
 

@@ -1,0 +1,299 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/simulation.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace lapses
+{
+
+namespace
+{
+
+/** The axis values, or the base value when the axis is empty. */
+template <typename T>
+std::vector<T>
+axisOr(const std::vector<T>& axis, T fallback)
+{
+    if (axis.empty())
+        return {fallback};
+    return axis;
+}
+
+} // namespace
+
+std::size_t
+CampaignAxes::runCount() const
+{
+    auto n = [](const auto& v) { return v.empty() ? 1 : v.size(); };
+    return n(models) * n(routings) * n(tables) * n(selectors) *
+           n(traffics) * n(msgLens) * n(injections) * n(vcCounts) *
+           n(bufferDepths) * n(escapeVcs) * n(loads);
+}
+
+std::size_t
+CampaignAxes::loadsPerSeries() const
+{
+    return loads.empty() ? 1 : loads.size();
+}
+
+std::vector<CampaignRun>
+CampaignGrid::expand(std::size_t index_offset,
+                     std::size_t series_offset) const
+{
+    std::vector<CampaignRun> runs;
+    runs.reserve(axes.runCount());
+    std::size_t index = index_offset;
+    std::size_t series = series_offset;
+    // Load is the innermost loop: one series = one load sweep.
+    for (RouterModel model : axisOr(axes.models, base.model))
+    for (RoutingAlgo routing : axisOr(axes.routings, base.routing))
+    for (TableKind table : axisOr(axes.tables, base.table))
+    for (SelectorKind selector : axisOr(axes.selectors, base.selector))
+    for (TrafficKind traffic : axisOr(axes.traffics, base.traffic))
+    for (int msg_len : axisOr(axes.msgLens, base.msgLen))
+    for (InjectionKind injection :
+         axisOr(axes.injections, base.injection))
+    for (int vcs : axisOr(axes.vcCounts, base.vcsPerPort))
+    for (int buffers : axisOr(axes.bufferDepths, base.bufferDepth))
+    for (int escape : axisOr(axes.escapeVcs, base.escapeVcs)) {
+        for (double load : axisOr(axes.loads, base.normalizedLoad)) {
+            CampaignRun run;
+            run.index = index;
+            run.series = series;
+            run.config = base;
+            run.config.model = model;
+            run.config.routing = routing;
+            run.config.table = table;
+            run.config.selector = selector;
+            run.config.traffic = traffic;
+            run.config.msgLen = msg_len;
+            run.config.injection = injection;
+            run.config.vcsPerPort = vcs;
+            run.config.bufferDepth = buffers;
+            run.config.escapeVcs = escape;
+            run.config.normalizedLoad = load;
+            if (deriveSeeds)
+                run.config.seed = deriveSeed(campaignSeed, index);
+            run.config.validate();
+            runs.push_back(std::move(run));
+            ++index;
+        }
+        ++series;
+    }
+    return runs;
+}
+
+std::vector<CampaignRun>
+expandGrids(const std::vector<CampaignGrid>& grids)
+{
+    std::vector<CampaignRun> runs;
+    std::size_t index = 0;
+    std::size_t series = 0;
+    for (const CampaignGrid& grid : grids) {
+        std::vector<CampaignRun> part = grid.expand(index, series);
+        if (!part.empty()) {
+            index = part.back().index + 1;
+            series = part.back().series + 1;
+        }
+        runs.insert(runs.end(),
+                    std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    return runs;
+}
+
+namespace
+{
+
+/**
+ * Reorder buffer between concurrently finishing runs and the sinks:
+ * results are released strictly in the expected-index sequence, so the
+ * streamed output is byte-identical for any thread count.
+ */
+class OrderedEmitter
+{
+  public:
+    OrderedEmitter(std::vector<std::size_t> expected,
+                   const std::vector<ResultSink*>& sinks,
+                   const std::function<void(const RunResult&)>& progress,
+                   std::vector<RunResult>& out,
+                   const std::map<std::size_t, std::size_t>& positions)
+        : expected_(std::move(expected)), sinks_(sinks),
+          progress_(progress), out_(out), positions_(positions)
+    {
+        std::sort(expected_.begin(), expected_.end());
+    }
+
+    void
+    emit(RunResult result)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        pending_.emplace(result.run.index, std::move(result));
+        drainLocked();
+    }
+
+    /** Forget indices that will never arrive (their series failed). */
+    void
+    abandon(const std::vector<std::size_t>& indices)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (std::size_t idx : indices) {
+            auto it = std::lower_bound(expected_.begin(),
+                                       expected_.end(), idx);
+            if (it != expected_.end() && *it == idx)
+                expected_.erase(it);
+        }
+        drainLocked();
+    }
+
+  private:
+    void
+    drainLocked()
+    {
+        while (cursor_ < expected_.size()) {
+            auto it = pending_.find(expected_[cursor_]);
+            if (it == pending_.end())
+                return;
+            RunResult& r = it->second;
+            for (ResultSink* sink : sinks_)
+                sink->write(r);
+            if (progress_)
+                progress_(r);
+            out_[positions_.at(r.run.index)] = std::move(r);
+            pending_.erase(it);
+            ++cursor_;
+        }
+    }
+
+    std::mutex mutex_;
+    std::vector<std::size_t> expected_; //!< sorted indices still owed
+    std::size_t cursor_ = 0;
+    std::map<std::size_t, RunResult> pending_;
+    const std::vector<ResultSink*>& sinks_;
+    const std::function<void(const RunResult&)>& progress_;
+    std::vector<RunResult>& out_;
+    const std::map<std::size_t, std::size_t>& positions_;
+};
+
+} // namespace
+
+std::vector<RunResult>
+runCampaign(const std::vector<CampaignRun>& runs,
+            const CampaignOptions& opts,
+            const std::vector<ResultSink*>& sinks)
+{
+    // Position of each run index in the input (and output) vector.
+    std::map<std::size_t, std::size_t> positions;
+    for (std::size_t pos = 0; pos < runs.size(); ++pos)
+        positions.emplace(runs[pos].index, pos);
+
+    std::vector<RunResult> results(runs.size());
+    std::vector<std::size_t> expected;
+    expected.reserve(runs.size());
+
+    // Series members in ascending index order (= ascending load).
+    std::map<std::size_t, std::vector<std::size_t>> series_runs;
+    for (std::size_t pos = 0; pos < runs.size(); ++pos) {
+        const CampaignRun& run = runs[pos];
+        series_runs[run.series].push_back(pos);
+        if (opts.resume.isDone(run.index)) {
+            results[pos].run = run;
+            results[pos].executed = false;
+            results[pos].stats.saturated =
+                opts.resume.saturated.count(run.index) != 0;
+        } else {
+            expected.push_back(run.index);
+        }
+    }
+    for (auto& [series, members] : series_runs) {
+        std::sort(members.begin(), members.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return runs[a].index < runs[b].index;
+                  });
+    }
+
+    OrderedEmitter emitter(expected, sinks, opts.progress, results,
+                           positions);
+
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto run_series = [&](const std::vector<std::size_t>& members) {
+        bool saturated = false;
+        std::size_t done = 0;
+        try {
+            for (std::size_t pos : members) {
+                const CampaignRun& run = runs[pos];
+                if (opts.resume.isDone(run.index)) {
+                    if (opts.resume.saturated.count(run.index) != 0)
+                        saturated = true;
+                    ++done;
+                    continue;
+                }
+                RunResult result;
+                result.run = run;
+                if (saturated && opts.skipSaturatedTail) {
+                    result.stats.saturated = true;
+                    result.inferredSaturated = true;
+                } else {
+                    Simulation sim(run.config);
+                    result.stats = sim.run();
+                    saturated = result.stats.saturated;
+                }
+                emitter.emit(std::move(result));
+                ++done;
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lk(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            // Unblock the emitter for everything this series still owed.
+            std::vector<std::size_t> lost;
+            for (std::size_t i = done; i < members.size(); ++i)
+                lost.push_back(runs[members[i]].index);
+            emitter.abandon(lost);
+        }
+    };
+
+    unsigned jobs = opts.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+
+    if (jobs == 1 || series_runs.size() <= 1) {
+        for (const auto& [series, members] : series_runs)
+            run_series(members);
+    } else {
+        ThreadPool pool(jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(series_runs.size());
+        for (const auto& [series, members] : series_runs) {
+            futures.push_back(pool.submit(
+                [&run_series, &members]() { run_series(members); }));
+        }
+        for (auto& f : futures)
+            f.get(); // run_series traps run errors; this cannot throw
+    }
+
+    for (ResultSink* sink : sinks)
+        sink->flush();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace lapses

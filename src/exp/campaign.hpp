@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Declarative experiment campaigns: a cross-product of configuration
+ * axes expanded into independent simulation runs, executed across a
+ * thread pool with deterministic per-run seeding.
+ *
+ * Every result in the paper (Fig. 5/6, Tables 3-5) is such a grid —
+ * router model x routing algorithm x table x selector x traffic x
+ * load. The engine guarantees that campaign output is byte-identical
+ * regardless of --jobs or thread schedule:
+ *
+ *  - run i's seed is deriveSeed(campaign_seed, i), fixed at expansion
+ *    time, so results depend only on the grid, never on the schedule;
+ *  - sinks receive results in ascending run-index order through a
+ *    reorder buffer, so streamed CSV/JSONL files are stable too.
+ *
+ * Runs sharing every axis value except load form a *series*. A series
+ * executes in ascending-load order on one thread so that once a load
+ * saturates, the heavier loads are marked saturated without simulating
+ * (the paper prints "Sat." beyond the saturation point); parallelism
+ * comes from running many series concurrently.
+ */
+
+#ifndef LAPSES_EXP_CAMPAIGN_HPP
+#define LAPSES_EXP_CAMPAIGN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace lapses
+{
+
+class ResultSink;
+
+/**
+ * Value lists for the swept axes. An empty axis means "use the grid's
+ * base value" (an axis of one). Expansion order is fixed: model,
+ * routing, table, selector, traffic, msglen, injection, vcs, buffers,
+ * escape, load — load varies fastest, so consecutive indices of one
+ * series walk its load axis.
+ */
+struct CampaignAxes
+{
+    std::vector<RouterModel> models;
+    std::vector<RoutingAlgo> routings;
+    std::vector<TableKind> tables;
+    std::vector<SelectorKind> selectors;
+    std::vector<TrafficKind> traffics;
+    std::vector<int> msgLens;
+    std::vector<InjectionKind> injections;
+    std::vector<int> vcCounts;
+    std::vector<int> bufferDepths;
+    std::vector<int> escapeVcs;
+    std::vector<double> loads;
+
+    /** Number of runs the cross-product expands to (>= 1). */
+    std::size_t runCount() const;
+
+    /** Runs per series (the load-axis length, >= 1). */
+    std::size_t loadsPerSeries() const;
+};
+
+/** One fully resolved run of a campaign. */
+struct CampaignRun
+{
+    std::size_t index = 0;  //!< global run index (also the seed stream)
+    std::size_t series = 0; //!< id of the all-axes-but-load combination
+    SimConfig config;       //!< resolved config, seed included
+};
+
+/** A declarative cross-product of simulation runs. */
+struct CampaignGrid
+{
+    /** Template configuration; axis values overwrite its fields. */
+    SimConfig base;
+    CampaignAxes axes;
+
+    /** Base seed every run seed is derived from. */
+    std::uint64_t campaignSeed = 1;
+
+    /**
+     * When true (the default) run i gets seed
+     * deriveSeed(campaignSeed, i); when false every run keeps
+     * base.seed (legacy single-sweep semantics).
+     */
+    bool deriveSeeds = true;
+
+    /**
+     * Expand into runs, validating each config. Offsets shift the
+     * global run/series numbering when several grids form one campaign.
+     * Throws ConfigError on an invalid combination.
+     */
+    std::vector<CampaignRun> expand(std::size_t index_offset = 0,
+                                    std::size_t series_offset = 0) const;
+};
+
+/** Concatenate several grids into one campaign with global numbering. */
+std::vector<CampaignRun>
+expandGrids(const std::vector<CampaignGrid>& grids);
+
+/** Outcome of one campaign run. */
+struct RunResult
+{
+    CampaignRun run;
+    SimStats stats;
+
+    /** False when the run was skipped because --resume found it done. */
+    bool executed = true;
+
+    /** True when saturation was inferred from a lighter load in the
+     *  same series rather than simulated. */
+    bool inferredSaturated = false;
+};
+
+/** Completed-run information recovered from a previous output file. */
+struct ResumeState
+{
+    std::unordered_set<std::size_t> completed;
+    std::unordered_set<std::size_t> saturated; //!< subset of completed
+
+    /** Raw record line per completed run, for validateResume(). */
+    std::unordered_map<std::size_t, std::string> records;
+
+    bool
+    isDone(std::size_t index) const
+    {
+        return completed.count(index) != 0;
+    }
+};
+
+/** Execution knobs for runCampaign(). */
+struct CampaignOptions
+{
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned jobs = 1;
+
+    /** Mark heavier loads of a saturated series without simulating. */
+    bool skipSaturatedTail = true;
+
+    /** Runs already present in the output files (see scanResumeState);
+     *  they are neither simulated nor re-emitted. */
+    ResumeState resume;
+
+    /** Called once per emitted result, in run-index order. */
+    std::function<void(const RunResult&)> progress;
+};
+
+/**
+ * Execute a campaign. Results stream to the sinks (and the progress
+ * callback) in ascending run-index order as they become available, and
+ * the full result vector (run-index order, resumed runs included with
+ * executed=false) is returned at the end. Exceptions thrown by a run
+ * (e.g. SimulationError from the deadlock watchdog) abort the campaign
+ * and are rethrown after in-flight series finish.
+ */
+std::vector<RunResult>
+runCampaign(const std::vector<CampaignRun>& runs,
+            const CampaignOptions& opts,
+            const std::vector<ResultSink*>& sinks = {});
+
+} // namespace lapses
+
+#endif // LAPSES_EXP_CAMPAIGN_HPP

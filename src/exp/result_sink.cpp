@@ -1,0 +1,218 @@
+#include "exp/result_sink.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/names.hpp"
+#include "stats/report.hpp"
+
+namespace lapses
+{
+
+namespace
+{
+
+std::string
+meshName(const SimConfig& cfg)
+{
+    std::string s;
+    for (std::size_t i = 0; i < cfg.radices.size(); ++i) {
+        if (i)
+            s += 'x';
+        s += std::to_string(cfg.radices[i]);
+    }
+    if (cfg.torus)
+        s += " torus";
+    return s;
+}
+
+std::string
+jsonCoordinates(const CampaignRun& run)
+{
+    const SimConfig& cfg = run.config;
+    std::ostringstream os;
+    os << "\"run\":" << run.index << ",\"series\":" << run.series
+       << ",\"mesh\":\"" << meshName(cfg)
+       << "\",\"model\":\"" << routerModelName(cfg.model)
+       << "\",\"routing\":\"" << routingAlgoName(cfg.routing)
+       << "\",\"table\":\"" << tableKindName(cfg.table)
+       << "\",\"selector\":\"" << selectorKindName(cfg.selector)
+       << "\",\"traffic\":\"" << trafficKindName(cfg.traffic)
+       << "\",\"injection\":\"" << injectionKindName(cfg.injection)
+       << "\",\"msglen\":" << cfg.msgLen << ",\"vcs\":" << cfg.vcsPerPort
+       << ",\"buffers\":" << cfg.bufferDepth
+       << ",\"escape_vcs\":" << cfg.escapeVcs
+       << ",\"load\":" << cfg.normalizedLoad
+       << ",\"seed\":" << cfg.seed
+       << ",\"warmup\":" << cfg.warmupMessages
+       << ",\"measure\":" << cfg.measureMessages;
+    return os.str();
+}
+
+std::string
+csvCoordinates(const CampaignRun& run)
+{
+    const SimConfig& cfg = run.config;
+    std::ostringstream os;
+    os << run.index << ',' << run.series << ','
+       << csvEscape(meshName(cfg)) << ','
+       << csvEscape(routerModelName(cfg.model)) << ','
+       << csvEscape(routingAlgoName(cfg.routing)) << ','
+       << csvEscape(tableKindName(cfg.table)) << ','
+       << csvEscape(selectorKindName(cfg.selector)) << ','
+       << csvEscape(trafficKindName(cfg.traffic)) << ','
+       << csvEscape(injectionKindName(cfg.injection)) << ','
+       << cfg.msgLen << ',' << cfg.vcsPerPort << ','
+       << cfg.bufferDepth << ',' << cfg.escapeVcs << ','
+       << cfg.normalizedLoad << ',' << cfg.seed << ','
+       << cfg.warmupMessages << ',' << cfg.measureMessages;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+runResultJson(const RunResult& result)
+{
+    return '{' + jsonCoordinates(result.run) + ',' +
+           statsJsonFields(result.stats) + '}';
+}
+
+std::string
+campaignCsvHeader()
+{
+    return "run,series,mesh,model,routing,table,selector,traffic,"
+           "injection,msglen,vcs,buffers,escape_vcs,load,seed,warmup,"
+           "measure," +
+           statsCsvHeader();
+}
+
+std::string
+runResultCsvRow(const RunResult& result)
+{
+    return csvCoordinates(result.run) + ',' +
+           statsToCsvRow(result.stats);
+}
+
+void
+JsonlSink::write(const RunResult& result)
+{
+    os_ << runResultJson(result) << '\n';
+    os_.flush(); // one durable record per run: kill-safe, resumable
+}
+
+void
+JsonlSink::flush()
+{
+    os_.flush();
+}
+
+void
+CsvSink::write(const RunResult& result)
+{
+    if (write_header_) {
+        os_ << campaignCsvHeader() << '\n';
+        write_header_ = false;
+    }
+    os_ << runResultCsvRow(result) << '\n';
+    os_.flush();
+}
+
+void
+CsvSink::flush()
+{
+    os_.flush();
+}
+
+namespace
+{
+
+/** Parse the digits after `pos`; false when none are there. */
+bool
+parseIndexAt(const std::string& line, std::size_t pos,
+             std::size_t& out)
+{
+    if (pos >= line.size() ||
+        !std::isdigit(static_cast<unsigned char>(line[pos])))
+        return false;
+    out = std::strtoull(line.c_str() + pos, nullptr, 10);
+    return true;
+}
+
+} // namespace
+
+ResumeState
+scanResumeJsonl(std::istream& is)
+{
+    ResumeState state;
+    std::string line;
+    while (std::getline(is, line)) {
+        // A record the kill cut short has no closing brace: ignore it,
+        // the campaign will re-run that point.
+        if (line.empty() || line.front() != '{' || line.back() != '}')
+            continue;
+        const std::size_t run_key = line.find("\"run\":");
+        std::size_t index = 0;
+        if (run_key == std::string::npos ||
+            !parseIndexAt(line, run_key + 6, index))
+            continue;
+        state.completed.insert(index);
+        if (line.find("\"saturated\":true") != std::string::npos)
+            state.saturated.insert(index);
+        state.records.emplace(index, line);
+    }
+    return state;
+}
+
+ResumeState
+scanResumeCsv(std::istream& is)
+{
+    ResumeState state;
+    std::string line;
+    while (std::getline(is, line)) {
+        std::size_t index = 0;
+        if (!parseIndexAt(line, 0, index)) // header or torn line
+            continue;
+        // The saturated flag is the final cell.
+        const std::size_t comma = line.rfind(',');
+        if (comma == std::string::npos)
+            continue;
+        const std::string tail = line.substr(comma + 1);
+        if (tail != "true" && tail != "false")
+            continue; // torn mid-record: re-run it
+        state.completed.insert(index);
+        if (tail == "true")
+            state.saturated.insert(index);
+        state.records.emplace(index, line);
+    }
+    return state;
+}
+
+void
+validateResume(const ResumeState& state,
+               const std::vector<CampaignRun>& runs, SinkFormat format)
+{
+    for (const CampaignRun& run : runs) {
+        auto it = state.records.find(run.index);
+        if (it == state.records.end())
+            continue;
+        // The record's coordinate section is deterministic, so the
+        // expected prefix must match byte-for-byte.
+        const std::string prefix =
+            format == SinkFormat::Jsonl
+                ? '{' + jsonCoordinates(run) + ','
+                : csvCoordinates(run) + ',';
+        if (it->second.compare(0, prefix.size(), prefix) != 0) {
+            throw ConfigError(
+                "resume record for run " + std::to_string(run.index) +
+                " does not match this campaign (grid or --seed "
+                "changed?); remove the output file or rerun with the "
+                "original campaign");
+        }
+    }
+}
+
+} // namespace lapses

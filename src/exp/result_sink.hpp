@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Streaming result sinks for campaign runs: one record per run,
+ * flushed incrementally so a killed campaign can be resumed from the
+ * partial file (--resume re-scans it and skips the runs found there).
+ *
+ * Record layout is identical across formats: the run's coordinates
+ * (index, series, every axis value, seed) followed by the shared
+ * SimStats columns from stats/report.hpp. Sinks are driven in
+ * ascending run-index order by the campaign engine, so output files
+ * are byte-identical for any --jobs value.
+ */
+
+#ifndef LAPSES_EXP_RESULT_SINK_HPP
+#define LAPSES_EXP_RESULT_SINK_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/campaign.hpp"
+
+namespace lapses
+{
+
+/** Consumer of campaign results, called in run-index order. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Record one finished run. */
+    virtual void write(const RunResult& result) = 0;
+
+    /** Force buffered records out (end of campaign). */
+    virtual void flush() {}
+};
+
+/** One JSON object per line (JSON Lines); flushed after every record. */
+class JsonlSink : public ResultSink
+{
+  public:
+    /** Stream must outlive the sink; opened in append mode to resume. */
+    explicit JsonlSink(std::ostream& os) : os_(os) {}
+
+    void write(const RunResult& result) override;
+    void flush() override;
+
+  private:
+    std::ostream& os_;
+};
+
+/** Tidy CSV with a header row; flushed after every record. */
+class CsvSink : public ResultSink
+{
+  public:
+    /** Pass write_header=false when appending to a resumed file. */
+    explicit CsvSink(std::ostream& os, bool write_header = true)
+        : os_(os), write_header_(write_header)
+    {
+    }
+
+    void write(const RunResult& result) override;
+    void flush() override;
+
+  private:
+    std::ostream& os_;
+    bool write_header_;
+};
+
+/** The JSON line a JsonlSink writes for one run (no newline). */
+std::string runResultJson(const RunResult& result);
+
+/** Column names of the campaign CSV schema. */
+std::string campaignCsvHeader();
+
+/** The CSV row a CsvSink writes for one run (no newline). */
+std::string runResultCsvRow(const RunResult& result);
+
+/**
+ * Recover completed-run indices (and their saturation flags) from a
+ * partial campaign output file, for CampaignOptions::resume. Malformed
+ * lines — e.g. a record cut short by the kill — are ignored.
+ */
+ResumeState scanResumeJsonl(std::istream& is);
+ResumeState scanResumeCsv(std::istream& is);
+
+/** Record format a ResumeState was scanned from. */
+enum class SinkFormat
+{
+    Jsonl,
+    Csv,
+};
+
+/**
+ * Check that every resumed record's coordinates (axis values, seed)
+ * match the run the expanded campaign would execute at that index;
+ * throws ConfigError on a mismatch. Catches resuming with a changed
+ * grid or --seed, which would silently mix incompatible records.
+ */
+void validateResume(const ResumeState& state,
+                    const std::vector<CampaignRun>& runs,
+                    SinkFormat format);
+
+} // namespace lapses
+
+#endif // LAPSES_EXP_RESULT_SINK_HPP

@@ -27,24 +27,36 @@ csvEscape(const std::string& field)
 void
 writeSweepCsv(std::ostream& os, const std::vector<SweepSeries>& series)
 {
-    os << "series,load,latency,network_latency,hops,accepted,offered,"
-          "saturated\n";
+    os << "series,load," << statsCsvHeader() << '\n';
     for (const SweepSeries& s : series) {
         LAPSES_ASSERT(s.loads.size() == s.points.size());
         for (std::size_t i = 0; i < s.loads.size(); ++i) {
-            const SimStats& st = s.points[i];
-            os << csvEscape(s.label) << ',' << s.loads[i] << ',';
-            if (st.saturated) {
-                os << ",,,,";
-            } else {
-                os << st.meanLatency() << ','
-                   << st.meanNetworkLatency() << ',' << st.hops.mean()
-                   << ',' << st.acceptedFlitRate << ',';
-            }
-            os << st.offeredFlitRate << ','
-               << (st.saturated ? "true" : "false") << '\n';
+            os << csvEscape(s.label) << ',' << s.loads[i] << ','
+               << statsToCsvRow(s.points[i]) << '\n';
         }
     }
+}
+
+std::string
+statsCsvHeader()
+{
+    return "latency,network_latency,hops,accepted,offered,saturated";
+}
+
+std::string
+statsToCsvRow(const SimStats& stats)
+{
+    std::ostringstream os;
+    if (stats.saturated) {
+        os << ",,,,";
+    } else {
+        os << stats.meanLatency() << ',' << stats.meanNetworkLatency()
+           << ',' << stats.hops.mean() << ',' << stats.acceptedFlitRate
+           << ',';
+    }
+    os << stats.offeredFlitRate << ','
+       << (stats.saturated ? "true" : "false");
+    return os.str();
 }
 
 namespace
@@ -67,10 +79,9 @@ jsonNumber(std::ostringstream& os, const char* key, double v,
 } // namespace
 
 std::string
-statsToJson(const SimStats& stats)
+statsJsonFields(const SimStats& stats)
 {
     std::ostringstream os;
-    os << '{';
     bool first = true;
     jsonNumber(os, "latency_mean", stats.meanLatency(), first);
     jsonNumber(os, "latency_p50", stats.latencyHist.percentile(0.5),
@@ -90,8 +101,13 @@ statsToJson(const SimStats& stats)
     jsonNumber(os, "measured_cycles",
                static_cast<double>(stats.measuredCycles), first);
     os << ",\"saturated\":" << (stats.saturated ? "true" : "false");
-    os << '}';
     return os.str();
+}
+
+std::string
+statsToJson(const SimStats& stats)
+{
+    return '{' + statsJsonFields(stats) + '}';
 }
 
 } // namespace lapses

@@ -35,6 +35,22 @@ void writeSweepCsv(std::ostream& os,
 /** JSON object for one simulation point (flat keys, no nesting). */
 std::string statsToJson(const SimStats& stats);
 
+/**
+ * The inner `"key":value,...` fields of statsToJson without the
+ * braces, for embedding in larger records (campaign sinks).
+ */
+std::string statsJsonFields(const SimStats& stats);
+
+/** Column names matching statsToCsvRow: "latency,...,saturated". */
+std::string statsCsvHeader();
+
+/**
+ * Stable CSV cells for one point, matching statsCsvHeader. Saturated
+ * points keep the row with the latency-derived fields empty (the
+ * paper prints "Sat." for them).
+ */
+std::string statsToCsvRow(const SimStats& stats);
+
 /** Escape a string for CSV (quotes fields containing , " or \n). */
 std::string csvEscape(const std::string& field);
 

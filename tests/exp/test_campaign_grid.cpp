@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for campaign-grid expansion: cross-product sizes, axis
+ * ordering, seed derivation, multi-grid numbering, axis validation,
+ * and the --grid spec parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "exp/campaign.hpp"
+#include "exp/grid_spec.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(CampaignGrid, EmptyAxesExpandToOneBaseRun)
+{
+    CampaignGrid grid;
+    const auto runs = grid.expand();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].index, 0u);
+    EXPECT_EQ(runs[0].series, 0u);
+    EXPECT_EQ(runs[0].config.normalizedLoad,
+              grid.base.normalizedLoad);
+}
+
+TEST(CampaignGrid, CrossProductCountsMultiply)
+{
+    CampaignGrid grid;
+    grid.axes.models = {RouterModel::Proud, RouterModel::LaProud};
+    grid.axes.selectors = {SelectorKind::StaticXY, SelectorKind::Lru,
+                           SelectorKind::MaxCredit};
+    grid.axes.loads = {0.1, 0.2, 0.3, 0.4};
+    EXPECT_EQ(grid.axes.runCount(), 2u * 3u * 4u);
+    const auto runs = grid.expand();
+    ASSERT_EQ(runs.size(), 24u);
+    // Load varies fastest: one series per (model, selector) pair.
+    EXPECT_EQ(runs.back().series, 5u);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[i].index, i);
+        EXPECT_EQ(runs[i].series, i / 4);
+        EXPECT_DOUBLE_EQ(runs[i].config.normalizedLoad,
+                         grid.axes.loads[i % 4]);
+    }
+}
+
+TEST(CampaignGrid, SeedsDeriveFromCampaignSeedAndIndex)
+{
+    CampaignGrid grid;
+    grid.campaignSeed = 42;
+    grid.axes.loads = {0.1, 0.2, 0.3};
+    const auto runs = grid.expand();
+    for (const CampaignRun& run : runs) {
+        EXPECT_EQ(run.config.seed, deriveSeed(42, run.index));
+    }
+    EXPECT_NE(runs[0].config.seed, runs[1].config.seed);
+}
+
+TEST(CampaignGrid, DeriveSeedsOffKeepsBaseSeed)
+{
+    CampaignGrid grid;
+    grid.base.seed = 7;
+    grid.deriveSeeds = false;
+    grid.axes.loads = {0.1, 0.2};
+    for (const CampaignRun& run : grid.expand())
+        EXPECT_EQ(run.config.seed, 7u);
+}
+
+TEST(CampaignGrid, OffsetsShiftGlobalNumbering)
+{
+    CampaignGrid grid;
+    grid.axes.loads = {0.1, 0.2};
+    const auto runs = grid.expand(10, 3);
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].index, 10u);
+    EXPECT_EQ(runs[1].index, 11u);
+    EXPECT_EQ(runs[0].series, 3u);
+    // The seed stream follows the global index.
+    EXPECT_EQ(runs[0].config.seed,
+              deriveSeed(grid.campaignSeed, 10));
+}
+
+TEST(CampaignGrid, ExpandGridsNumbersAcrossGrids)
+{
+    CampaignGrid a;
+    a.axes.loads = {0.1, 0.2};
+    CampaignGrid b;
+    b.axes.selectors = {SelectorKind::StaticXY, SelectorKind::Lru};
+    b.axes.loads = {0.3};
+    const auto runs = expandGrids({a, b});
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_EQ(runs[2].index, 2u);
+    EXPECT_EQ(runs[2].series, 1u);
+    EXPECT_EQ(runs[3].series, 2u);
+}
+
+TEST(CampaignGrid, InvalidCombinationThrowsAtExpansion)
+{
+    CampaignGrid grid;
+    grid.axes.vcCounts = {4};
+    grid.axes.escapeVcs = {4}; // escape must be < vcs
+    EXPECT_THROW(grid.expand(), ConfigError);
+}
+
+TEST(GridSpec, ParsesAxesAndRanges)
+{
+    CampaignGrid grid;
+    applyGridSpec("model=proud,la-proud; routing = duato;"
+                  "load=0.1:0.3:0.1,0.5; msglen=4,20",
+                  grid);
+    EXPECT_EQ(grid.axes.models.size(), 2u);
+    ASSERT_EQ(grid.axes.routings.size(), 1u);
+    EXPECT_EQ(grid.axes.routings[0], RoutingAlgo::DuatoFullyAdaptive);
+    ASSERT_EQ(grid.axes.loads.size(), 4u);
+    EXPECT_DOUBLE_EQ(grid.axes.loads[3], 0.5);
+    EXPECT_EQ(grid.axes.msgLens, (std::vector<int>{4, 20}));
+    EXPECT_EQ(grid.axes.runCount(), 2u * 1u * 4u * 2u);
+}
+
+TEST(GridSpec, RejectsUnknownAxisAndBadValues)
+{
+    CampaignGrid grid;
+    EXPECT_THROW(applyGridSpec("warp=9", grid), ConfigError);
+    EXPECT_THROW(applyGridSpec("model=warp-proud", grid), ConfigError);
+    EXPECT_THROW(applyGridSpec("load=0.5:0.1:0.1", grid), ConfigError);
+    EXPECT_THROW(applyGridSpec("msglen=", grid), ConfigError);
+    EXPECT_THROW(applyGridSpec("msglen", grid), ConfigError);
+}
+
+} // namespace
+} // namespace lapses

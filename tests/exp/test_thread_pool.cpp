@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the work-stealing thread pool: submit/drain,
+ * result and exception propagation, nested submission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&count] { ++count; }));
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsWithoutKillingWorkers)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    auto good = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(good.get(), 42);
+}
+
+TEST(ThreadPool, WaitIdleDrainsAllQueues)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> inner;
+    std::mutex inner_mutex;
+    auto outer = pool.submit([&] {
+        for (int i = 0; i < 10; ++i) {
+            std::lock_guard<std::mutex> lk(inner_mutex);
+            inner.push_back(pool.submit([&count] { ++count; }));
+        }
+    });
+    outer.get();
+    for (auto& f : inner)
+        f.get();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        // No explicit drain: ~ThreadPool must finish everything.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+} // namespace
+} // namespace lapses

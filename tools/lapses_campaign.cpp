@@ -1,0 +1,386 @@
+/**
+ * @file
+ * lapses-campaign: parallel experiment-campaign driver.
+ *
+ * Expand a declarative cross-product of configuration axes into
+ * independent simulation runs and execute them across worker threads,
+ * streaming one result record per run to JSONL and/or CSV:
+ *
+ *   lapses-campaign --grid "model=proud,la-proud; routing=xy,duato; \
+ *       traffic=uniform,transpose; load=0.1:0.8:0.1" \
+ *       --jobs 8 --json fig5.jsonl --csv fig5.csv
+ *
+ * Output is byte-identical for any --jobs value: run i's seed is
+ * derived from (--seed, i) at expansion time and records are emitted
+ * in run-index order. A killed campaign resumes with --resume, which
+ * re-scans the output file and skips the runs already recorded.
+ *
+ * Repeat --grid to join several grids (e.g. different load axes per
+ * traffic pattern) into one campaign with global run numbering.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/lapses.hpp"
+#include "core/names.hpp"
+#include "exp/campaign.hpp"
+#include "exp/grid_spec.hpp"
+#include "exp/result_sink.hpp"
+
+namespace
+{
+
+using namespace lapses;
+
+void
+printHelp()
+{
+    std::printf(
+        "lapses-campaign -- parallel LAPSES experiment campaigns\n"
+        "\n"
+        "Campaign:\n"
+        "  --grid SPEC          axes as 'axis=v1,v2;axis=v1' clauses;\n"
+        "                       axes: model|routing|table|selector|\n"
+        "                       traffic|injection|msglen|vcs|buffers|\n"
+        "                       escape|load (load takes LO:HI:STEP\n"
+        "                       ranges); repeat --grid to join grids\n"
+        "  --jobs N             worker threads (0 = all cores)  [0]\n"
+        "  --seed N             campaign seed; run i gets the seed\n"
+        "                       derived from (N, i)              [1]\n"
+        "  --no-skip-saturated  simulate loads past saturation too\n"
+        "  --dry-run            list the expanded runs and exit\n"
+        "\n"
+        "Base configuration (defaults = paper Table 2):\n"
+        "  --mesh KxK[xK] --torus --model M --vcs N --buffers N\n"
+        "  --escape-vcs N --routing A --table T --selector S\n"
+        "  --traffic P --load X --msglen N --injection I\n"
+        "  --hotspot-frac X --warmup N --measure N\n"
+        "  --mode quick|default|paper   measurement scale preset\n"
+        "\n"
+        "Output:\n"
+        "  --json FILE          stream records as JSON Lines\n"
+        "  --csv FILE           stream records as CSV\n"
+        "  --resume             skip runs already in the output files\n"
+        "                       (scans them, then appends)\n"
+        "  --quiet              suppress per-run progress on stderr\n"
+        "  --help               this text\n");
+}
+
+/** Parse "16x16" or "4x4x4" into radices. */
+std::vector<int>
+parseMesh(const std::string& spec)
+{
+    std::vector<int> radices;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t next = spec.find('x', pos);
+        if (next == std::string::npos)
+            next = spec.size();
+        const int k = std::atoi(spec.substr(pos, next - pos).c_str());
+        if (k < 2)
+            throw ConfigError("bad mesh spec '" + spec + "'");
+        radices.push_back(k);
+        pos = next + 1;
+    }
+    if (radices.empty())
+        throw ConfigError("bad mesh spec '" + spec + "'");
+    return radices;
+}
+
+BenchMode
+parseMode(const std::string& name)
+{
+    if (name == "quick")
+        return BenchMode::Quick;
+    if (name == "default")
+        return BenchMode::Default;
+    if (name == "paper")
+        return BenchMode::Paper;
+    throw ConfigError("bad mode '" + name +
+                      "' (want quick|default|paper)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SimConfig base;
+    std::vector<std::string> grid_specs;
+    std::uint64_t campaign_seed = 1;
+    unsigned jobs = 0;
+    bool skip_saturated = true;
+    bool dry_run = false;
+    bool resume = false;
+    bool quiet = false;
+    std::string json_path;
+    std::string csv_path;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw ConfigError("missing value for " + arg);
+                return argv[++i];
+            };
+            if (arg == "--help" || arg == "-h") {
+                printHelp();
+                return 0;
+            } else if (arg == "--grid") {
+                grid_specs.push_back(value());
+            } else if (arg == "--jobs") {
+                jobs = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+            } else if (arg == "--seed") {
+                campaign_seed =
+                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--no-skip-saturated") {
+                skip_saturated = false;
+            } else if (arg == "--dry-run") {
+                dry_run = true;
+            } else if (arg == "--resume") {
+                resume = true;
+            } else if (arg == "--json") {
+                json_path = value();
+            } else if (arg == "--csv") {
+                csv_path = value();
+            } else if (arg == "--quiet") {
+                quiet = true;
+            } else if (arg == "--mesh") {
+                base.radices = parseMesh(value());
+            } else if (arg == "--torus") {
+                base.torus = true;
+            } else if (arg == "--model") {
+                base.model = parseRouterModel(value());
+            } else if (arg == "--vcs") {
+                base.vcsPerPort = std::atoi(value().c_str());
+            } else if (arg == "--buffers") {
+                base.bufferDepth = std::atoi(value().c_str());
+            } else if (arg == "--escape-vcs") {
+                base.escapeVcs = std::atoi(value().c_str());
+            } else if (arg == "--routing") {
+                base.routing = parseRoutingAlgo(value());
+            } else if (arg == "--table") {
+                base.table = parseTableKind(value());
+            } else if (arg == "--selector") {
+                base.selector = parseSelectorKind(value());
+            } else if (arg == "--traffic") {
+                base.traffic = parseTrafficKind(value());
+            } else if (arg == "--load") {
+                base.normalizedLoad = std::atof(value().c_str());
+            } else if (arg == "--msglen") {
+                base.msgLen = std::atoi(value().c_str());
+            } else if (arg == "--injection") {
+                base.injection = parseInjectionKind(value());
+            } else if (arg == "--hotspot-frac") {
+                base.hotspot.fraction = std::atof(value().c_str());
+            } else if (arg == "--warmup") {
+                base.warmupMessages =
+                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--measure") {
+                base.measureMessages =
+                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--mode") {
+                applyBenchMode(base, parseMode(value()));
+            } else {
+                throw ConfigError("unknown option '" + arg +
+                                  "' (see --help)");
+            }
+        }
+
+        if (grid_specs.empty())
+            grid_specs.push_back(""); // single run of the base config
+
+        std::vector<CampaignGrid> grids;
+        for (const std::string& spec : grid_specs) {
+            CampaignGrid grid;
+            grid.base = base;
+            grid.campaignSeed = campaign_seed;
+            if (!spec.empty())
+                applyGridSpec(spec, grid);
+            grids.push_back(std::move(grid));
+        }
+        const std::vector<CampaignRun> runs = expandGrids(grids);
+
+        if (dry_run) {
+            for (const CampaignRun& run : runs) {
+                std::printf("run %zu (series %zu): %s\n", run.index,
+                            run.series, run.config.describe().c_str());
+            }
+            std::printf("%zu runs, %zu series\n", runs.size(),
+                        runs.empty() ? 0 : runs.back().series + 1);
+            return 0;
+        }
+
+        CampaignOptions opts;
+        opts.jobs = jobs;
+        opts.skipSaturatedTail = skip_saturated;
+
+        // --resume: recover completed runs from every output file and
+        // normalize the files before appending. A run counts as
+        // completed only when it is durably recorded in *all* files
+        // (a kill can land between the per-sink flushes), and
+        // normalization rewrites each file to exactly those records —
+        // dropping torn lines and orphans — so the resumed campaign
+        // finishes with byte-identical files to an uninterrupted run.
+        struct ScannedFile
+        {
+            std::string path;
+            SinkFormat format;
+            ResumeState state;
+        };
+        std::vector<ScannedFile> scanned;
+        if (resume) {
+            if (json_path.empty() && csv_path.empty())
+                throw ConfigError("--resume needs --json or --csv");
+            if (!json_path.empty()) {
+                ScannedFile f{json_path, SinkFormat::Jsonl, {}};
+                std::ifstream is(json_path);
+                if (is)
+                    f.state = scanResumeJsonl(is);
+                validateResume(f.state, runs, f.format);
+                scanned.push_back(std::move(f));
+            }
+            if (!csv_path.empty()) {
+                ScannedFile f{csv_path, SinkFormat::Csv, {}};
+                std::ifstream is(csv_path);
+                if (is)
+                    f.state = scanResumeCsv(is);
+                validateResume(f.state, runs, f.format);
+                scanned.push_back(std::move(f));
+            }
+
+            opts.resume = scanned.front().state;
+            for (std::size_t i = 1; i < scanned.size(); ++i) {
+                const ResumeState& other = scanned[i].state;
+                std::erase_if(opts.resume.completed,
+                              [&other](std::size_t idx) {
+                                  return !other.isDone(idx);
+                              });
+            }
+            std::erase_if(opts.resume.saturated,
+                          [&](std::size_t idx) {
+                              return !opts.resume.isDone(idx);
+                          });
+
+            // A kill between the per-run sink flushes leaves the files
+            // differing by at most one record. A bigger gap means the
+            // output set changed (e.g. --csv added to a finished
+            // --json campaign); refuse rather than silently discard
+            // the non-shared records and re-simulate them.
+            std::size_t max_completed = 0;
+            for (const ScannedFile& f : scanned) {
+                max_completed = std::max(max_completed,
+                                         f.state.completed.size());
+            }
+            if (max_completed > opts.resume.completed.size() + 1) {
+                throw ConfigError(
+                    "--resume: the output files disagree on " +
+                    std::to_string(max_completed -
+                                   opts.resume.completed.size()) +
+                    " completed runs (was a new output format added "
+                    "to a finished campaign?); resume with the "
+                    "original outputs or start fresh");
+            }
+
+            // Rewrite each file to exactly the shared completed
+            // records (dropping torn lines and orphans) via temp file
+            // + rename, so a kill mid-rewrite cannot lose records.
+            for (const ScannedFile& f : scanned) {
+                const std::string tmp = f.path + ".tmp";
+                {
+                    std::ofstream os(tmp, std::ios::trunc);
+                    if (!os)
+                        throw ConfigError("cannot rewrite " + tmp);
+                    if (f.format == SinkFormat::Csv)
+                        os << campaignCsvHeader() << '\n';
+                    for (const CampaignRun& run : runs) {
+                        if (!opts.resume.isDone(run.index))
+                            continue;
+                        os << f.state.records.at(run.index) << '\n';
+                    }
+                }
+                if (std::rename(tmp.c_str(), f.path.c_str()) != 0)
+                    throw ConfigError("cannot replace " + f.path);
+            }
+        }
+        std::size_t resumed = 0;
+        for (const CampaignRun& run : runs) {
+            if (opts.resume.isDone(run.index))
+                ++resumed;
+        }
+
+        const auto open_mode = resume ? std::ios::app : std::ios::trunc;
+        std::ofstream json_os;
+        std::ofstream csv_os;
+        std::vector<std::unique_ptr<ResultSink>> sink_storage;
+        std::vector<ResultSink*> sinks;
+        if (!json_path.empty()) {
+            json_os.open(json_path, open_mode);
+            if (!json_os)
+                throw ConfigError("cannot open " + json_path);
+            sink_storage.push_back(
+                std::make_unique<JsonlSink>(json_os));
+            sinks.push_back(sink_storage.back().get());
+        }
+        if (!csv_path.empty()) {
+            csv_os.open(csv_path, open_mode);
+            if (!csv_os)
+                throw ConfigError("cannot open " + csv_path);
+            // On resume the normalization pass wrote the header.
+            sink_storage.push_back(
+                std::make_unique<CsvSink>(csv_os, !resume));
+            sinks.push_back(sink_storage.back().get());
+        }
+
+        std::size_t executed = 0;
+        std::size_t saturated = 0;
+        opts.progress = [&](const RunResult& r) {
+            ++executed;
+            if (r.stats.saturated)
+                ++saturated;
+            if (!quiet) {
+                std::fprintf(stderr, "[%zu/%zu] %s%s\n",
+                             r.run.index + 1, runs.size(),
+                             r.run.config.describe().c_str(),
+                             r.stats.saturated ? " [saturated]" : "");
+            }
+        };
+
+        const auto t0 = std::chrono::steady_clock::now();
+        runCampaign(runs, opts, sinks);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+        // Mirror runCampaign's jobs resolution for the summary line.
+        unsigned effective_jobs = jobs;
+        if (effective_jobs == 0) {
+            effective_jobs = std::thread::hardware_concurrency();
+            if (effective_jobs == 0)
+                effective_jobs = 1;
+        }
+        std::fprintf(stderr,
+                     "campaign done: %zu runs (%zu executed, %zu "
+                     "resumed, %zu saturated) in %.2fs with %u jobs\n",
+                     runs.size(), executed, resumed, saturated, secs,
+                     effective_jobs);
+    } catch (const ConfigError& e) {
+        std::fprintf(stderr, "lapses-campaign: %s\n", e.what());
+        return 1;
+    } catch (const SimulationError& e) {
+        std::fprintf(stderr, "lapses-campaign: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
