@@ -41,10 +41,6 @@ int
 main()
 {
     const BenchMode mode = benchModeFromEnv();
-    std::printf("=== Router design ablations (16x16 mesh, mode: %s) "
-                "===\n\n",
-                benchModeName(mode).c_str());
-
     const std::vector<int> vc_counts = {2, 3, 4, 6, 8};
     const std::vector<int> depths = {5, 10, 20, 40};
     const std::vector<int> escapes = {1, 2, 3};
@@ -90,6 +86,16 @@ main()
         injection.axes.injections = injections;
         grids.push_back(injection);
     }
+
+    // LAPSES_SHARD=k/M: emit this machine's slice as JSONL instead of
+    // the tables (which need every shard's runs) — before anything
+    // else touches stdout, which must stay pure records.
+    if (runBenchShardFromEnv(grids, "ablation"))
+        return 0;
+
+    std::printf("=== Router design ablations (16x16 mesh, mode: %s) "
+                "===\n\n",
+                benchModeName(mode).c_str());
 
     CampaignOptions opts;
     opts.jobs = benchJobsFromEnv();

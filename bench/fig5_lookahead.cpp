@@ -76,12 +76,6 @@ main()
     base.selector = SelectorKind::StaticXY; // Fig. 5 uses static PS
     applyBenchMode(base, mode);
 
-    std::printf("=== Figure 5: look-ahead and adaptivity on a 16x16 "
-                "mesh (mode: %s) ===\n",
-                benchModeName(mode).c_str());
-    std::printf("20-flit messages, 4 VCs/PC, Duato adaptive vs "
-                "dimension-order XY, static path selection\n\n");
-
     // One grid per traffic pattern (the load axes differ); the four
     // schemes are the model x routing cross-product within each grid.
     const std::vector<PatternSpec> specs = patterns(mode);
@@ -96,6 +90,18 @@ main()
         grid.axes.loads = spec.loads;
         grids.push_back(std::move(grid));
     }
+
+    // LAPSES_SHARD=k/M: emit this machine's slice as JSONL instead of
+    // the tables (which need every shard's runs) — before anything
+    // else touches stdout, which must stay pure records.
+    if (runBenchShardFromEnv(grids, "fig5"))
+        return 0;
+
+    std::printf("=== Figure 5: look-ahead and adaptivity on a 16x16 "
+                "mesh (mode: %s) ===\n",
+                benchModeName(mode).c_str());
+    std::printf("20-flit messages, 4 VCs/PC, Duato adaptive vs "
+                "dimension-order XY, static path selection\n\n");
 
     CampaignOptions opts;
     opts.jobs = benchJobsFromEnv();

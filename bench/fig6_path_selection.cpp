@@ -64,11 +64,6 @@ main()
     base.table = TableKind::Full;
     applyBenchMode(base, mode);
 
-    std::printf("=== Figure 6: path-selection heuristics on a 16x16 "
-                "mesh (mode: %s) ===\n",
-                benchModeName(mode).c_str());
-    std::printf("LA-PROUD, Duato fully adaptive, 20-flit messages\n\n");
-
     // One grid per traffic pattern; the selector axis gives one series
     // per heuristic, all sweeping that pattern's load axis in parallel.
     const std::vector<PatternSpec> specs = patterns(mode);
@@ -82,6 +77,17 @@ main()
         grid.axes.loads = spec.loads;
         grids.push_back(std::move(grid));
     }
+
+    // LAPSES_SHARD=k/M: emit this machine's slice as JSONL instead of
+    // the tables (which need every shard's runs) — before anything
+    // else touches stdout, which must stay pure records.
+    if (runBenchShardFromEnv(grids, "fig6"))
+        return 0;
+
+    std::printf("=== Figure 6: path-selection heuristics on a 16x16 "
+                "mesh (mode: %s) ===\n",
+                benchModeName(mode).c_str());
+    std::printf("LA-PROUD, Duato fully adaptive, 20-flit messages\n\n");
 
     CampaignOptions opts;
     opts.jobs = benchJobsFromEnv();

@@ -63,6 +63,25 @@ main()
         }
     }
 
+    // One grid per traffic pattern; the table axis yields one series
+    // per storage scheme, in kColumns order.
+    std::vector<CampaignGrid> grids;
+    for (const PatternSpec& spec : specs) {
+        CampaignGrid grid;
+        grid.base = base;
+        grid.base.traffic = spec.traffic;
+        for (const Column& col : kColumns)
+            grid.axes.tables.push_back(col.table);
+        grid.axes.loads = spec.loads;
+        grids.push_back(std::move(grid));
+    }
+
+    // LAPSES_SHARD=k/M: emit this machine's slice as JSONL instead of
+    // the tables (which need every shard's runs) — before anything
+    // else touches stdout, which must stay pure records.
+    if (runBenchShardFromEnv(grids, "table4"))
+        return 0;
+
     std::printf("=== Table 4: table-storage schemes on a 16x16 mesh "
                 "(mode: %s) ===\n",
                 benchModeName(mode).c_str());
@@ -76,19 +95,6 @@ main()
     for (const Column& col : kColumns)
         std::printf(" %14s", col.label);
     std::printf("\n");
-
-    // One grid per traffic pattern; the table axis yields one series
-    // per storage scheme, in kColumns order.
-    std::vector<CampaignGrid> grids;
-    for (const PatternSpec& spec : specs) {
-        CampaignGrid grid;
-        grid.base = base;
-        grid.base.traffic = spec.traffic;
-        for (const Column& col : kColumns)
-            grid.axes.tables.push_back(col.table);
-        grid.axes.loads = spec.loads;
-        grids.push_back(std::move(grid));
-    }
 
     CampaignOptions opts;
     opts.jobs = benchJobsFromEnv();

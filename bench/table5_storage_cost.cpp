@@ -7,8 +7,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/names.hpp"
+#include "exp/campaign.hpp"
 #include "routing/algorithm_factory.hpp"
 #include "tables/interval_table.hpp"
 #include "tables/storage_cost.hpp"
@@ -48,6 +51,35 @@ printNetworkCosts(const MeshTopology& topo, const char* label,
 int
 main()
 {
+    // Cost vs measured performance: one campaign grid over the
+    // adaptive-capable schemes (interval routing is
+    // deterministic-only) on the study mesh, uniform load 0.2. The
+    // paper's point is the last column: orders of magnitude less
+    // storage at equal latency.
+    const BenchMode mode = benchModeFromEnv();
+    SimConfig base;
+    base.model = RouterModel::LaProud;
+    base.routing = RoutingAlgo::DuatoFullyAdaptive;
+    base.selector = SelectorKind::StaticXY;
+    base.traffic = TrafficKind::Uniform;
+    base.normalizedLoad = 0.2;
+    applyBenchMode(base, mode);
+
+    const std::vector<TableKind> kinds = {
+        TableKind::Full, TableKind::MetaBlockMaximal,
+        TableKind::MetaRowMinimal, TableKind::EconomicalStorage};
+
+    CampaignGrid grid;
+    grid.base = base;
+    grid.axes.tables = kinds;
+    std::vector<CampaignGrid> grids = {grid};
+
+    // LAPSES_SHARD=k/M: emit this machine's slice as JSONL instead of
+    // the tables (which need every shard's runs) — before anything
+    // else touches stdout, which must stay pure records.
+    if (runBenchShardFromEnv(grids, "table5"))
+        return 0;
+
     std::printf("=== Table 5: table-storage schemes, properties and "
                 "sizes ===\n\n");
 
@@ -93,5 +125,34 @@ main()
                 fullTableCost(mesh16, {true, false}).entriesPerRouter /
                     economicalStorageCost(mesh16, {true, false})
                         .entriesPerRouter);
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    opts.progress = [](const RunResult& r) {
+        std::fprintf(stderr, "[table5] run %zu: %s\n", r.run.index,
+                     r.run.config.describe().c_str());
+    };
+    const std::vector<RunResult> results =
+        runCampaign(expandGrids(grids), opts);
+
+    // Costs for the measured router: adaptive + look-ahead (LA-PROUD).
+    const TableFeatures la{true, true};
+    const StorageCost kind_costs[] = {
+        fullTableCost(mesh16, la),
+        metaTableCost(mesh16, mesh16.radix(0), la),
+        metaTableCost(mesh16, mesh16.radix(0), la),
+        economicalStorageCost(mesh16, la),
+    };
+    std::printf("\n--- Storage cost vs measured latency (16x16, "
+                "uniform 0.2, mode: %s) ---\n",
+                benchModeName(mode).c_str());
+    std::printf("%-20s %12s %12s\n", "Scheme", "Bits/router",
+                "Latency");
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        std::printf("%-20s %12zu %12s\n",
+                    tableKindName(kinds[i]).c_str(),
+                    kind_costs[i].bitsPerRouter(),
+                    latencyCell(results[i].stats).c_str());
+    }
     return 0;
 }

@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <thread>
 
+#include "common/assert.hpp"
 #include "core/simulation.hpp"
 #include "exp/campaign.hpp"
+#include "exp/result_sink.hpp"
 
 namespace lapses
 {
@@ -73,6 +76,47 @@ benchJobsFromEnv()
             jobs = 1;
     }
     return jobs;
+}
+
+ShardSpec
+benchShardFromEnv()
+{
+    const char* env = std::getenv("LAPSES_SHARD");
+    if (env == nullptr || *env == '\0')
+        return {};
+    return parseShardSpec(env);
+}
+
+bool
+runBenchShardFromEnv(const std::vector<CampaignGrid>& grids,
+                     const char* tag)
+{
+    ShardSpec shard;
+    try {
+        shard = benchShardFromEnv();
+    } catch (const ConfigError& e) {
+        // Bench main()s have no exception handler; die cleanly.
+        std::fprintf(stderr, "%s: %s\n", tag, e.what());
+        std::exit(1);
+    }
+    if (shard.isAll())
+        return false;
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    opts.shard = shard;
+    opts.progress = [tag, &shard](const RunResult& r) {
+        std::fprintf(stderr, "[%s %s] run %zu: %s\n", tag,
+                     shard.str().c_str(), r.run.index,
+                     r.run.config.describe().c_str());
+    };
+    JsonlSink sink(std::cout);
+    runCampaign(expandGrids(grids), opts, {&sink});
+    std::fprintf(stderr,
+                 "[%s] shard %s done; merge the shards with "
+                 "lapses-merge\n",
+                 tag, shard.str().c_str());
+    return true;
 }
 
 std::string

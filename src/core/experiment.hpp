@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "exp/campaign.hpp"
 #include "stats/sim_stats.hpp"
 
 namespace lapses
@@ -53,6 +54,25 @@ BenchMode benchModeFromEnv();
  * are byte-identical for any value; this only sets the pace.
  */
 unsigned benchJobsFromEnv();
+
+/**
+ * Campaign shard for grid-driven benches, from LAPSES_SHARD="k/M"
+ * (unset -> the whole campaign). Throws ConfigError on a malformed
+ * value.
+ */
+ShardSpec benchShardFromEnv();
+
+/**
+ * Distributed-bench escape hatch. When LAPSES_SHARD=k/M is set,
+ * execute only that shard of the bench's grids (LAPSES_JOBS workers)
+ * and stream the owned records as JSON Lines on stdout — reassemble
+ * and aggregate the M machines' outputs with lapses-merge — then
+ * return true; the bench should skip its table rendering, which would
+ * need the runs other shards own. Returns false (running nothing)
+ * when LAPSES_SHARD is unset.
+ */
+bool runBenchShardFromEnv(const std::vector<CampaignGrid>& grids,
+                          const char* tag);
 
 /** Human-readable mode name. */
 std::string benchModeName(BenchMode mode);

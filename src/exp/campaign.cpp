@@ -5,8 +5,10 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/simulation.hpp"
 #include "exp/result_sink.hpp"
@@ -90,6 +92,57 @@ CampaignGrid::expand(std::size_t index_offset,
         ++series;
     }
     return runs;
+}
+
+void
+ShardSpec::validate() const
+{
+    if (count < 1)
+        throw ConfigError("shard count must be >= 1");
+    if (index >= count) {
+        throw ConfigError("shard index " + std::to_string(index + 1) +
+                          " out of range for " + std::to_string(count) +
+                          " shards");
+    }
+}
+
+std::string
+ShardSpec::str() const
+{
+    return std::to_string(index + 1) + '/' + std::to_string(count);
+}
+
+ShardSpec
+parseShardSpec(const std::string& spec)
+{
+    const std::size_t slash = spec.find('/');
+    const auto digits = [](const std::string& s) {
+        return !s.empty() &&
+               s.find_first_not_of("0123456789") == std::string::npos;
+    };
+    if (slash == std::string::npos ||
+        !digits(spec.substr(0, slash)) ||
+        !digits(spec.substr(slash + 1))) {
+        throw ConfigError("bad shard spec '" + spec +
+                          "' (want k/M, e.g. 2/3)");
+    }
+    unsigned long long k = 0;
+    unsigned long long m = 0;
+    try {
+        k = std::stoull(spec.substr(0, slash));
+        m = std::stoull(spec.substr(slash + 1));
+    } catch (const std::out_of_range&) {
+        throw ConfigError("bad shard spec '" + spec +
+                          "' (number out of range)");
+    }
+    if (m < 1 || k < 1 || k > m) {
+        throw ConfigError("bad shard spec '" + spec +
+                          "' (want 1 <= k <= M)");
+    }
+    ShardSpec shard;
+    shard.index = static_cast<std::size_t>(k - 1);
+    shard.count = static_cast<std::size_t>(m);
+    return shard;
 }
 
 std::vector<CampaignRun>
@@ -191,6 +244,8 @@ runCampaign(const std::vector<CampaignRun>& runs,
             const CampaignOptions& opts,
             const std::vector<ResultSink*>& sinks)
 {
+    opts.shard.validate();
+
     // Position of each run index in the input (and output) vector.
     std::map<std::size_t, std::size_t> positions;
     for (std::size_t pos = 0; pos < runs.size(); ++pos)
@@ -210,8 +265,12 @@ runCampaign(const std::vector<CampaignRun>& runs,
             results[pos].executed = false;
             results[pos].stats.saturated =
                 opts.resume.saturated.count(run.index) != 0;
-        } else {
+        } else if (opts.shard.owns(run.index)) {
             expected.push_back(run.index);
+        } else {
+            // Another shard's run: returned unexecuted, never emitted.
+            results[pos].run = run;
+            results[pos].executed = false;
         }
     }
     for (auto& [series, members] : series_runs) {
@@ -228,10 +287,26 @@ runCampaign(const std::vector<CampaignRun>& runs,
     std::exception_ptr first_error;
 
     auto run_series = [&](const std::vector<std::size_t>& members) {
+        // This shard's last pending member: beyond it nothing in the
+        // series affects output, so execution (and probing) stops
+        // there. A series owned entirely elsewhere costs nothing.
+        std::size_t last = members.size();
+        for (std::size_t i = members.size(); i-- > 0;) {
+            const CampaignRun& run = runs[members[i]];
+            if (opts.shard.owns(run.index) &&
+                !opts.resume.isDone(run.index)) {
+                last = i;
+                break;
+            }
+        }
+        if (last == members.size())
+            return;
+
         bool saturated = false;
         std::size_t done = 0;
         try {
-            for (std::size_t pos : members) {
+            for (std::size_t i = 0; i <= last; ++i) {
+                const std::size_t pos = members[i];
                 const CampaignRun& run = runs[pos];
                 if (opts.resume.isDone(run.index)) {
                     if (opts.resume.saturated.count(run.index) != 0)
@@ -239,17 +314,34 @@ runCampaign(const std::vector<CampaignRun>& runs,
                     ++done;
                     continue;
                 }
+                const bool owned = opts.shard.owns(run.index);
+                if (saturated && opts.skipSaturatedTail) {
+                    if (owned) {
+                        RunResult result;
+                        result.run = run;
+                        result.stats.saturated = true;
+                        result.inferredSaturated = true;
+                        emitter.emit(std::move(result));
+                    }
+                    ++done;
+                    continue;
+                }
+                if (!owned && !opts.skipSaturatedTail) {
+                    // No inference to feed: this run is purely another
+                    // shard's business.
+                    ++done;
+                    continue;
+                }
+                // Simulate: an owned run, or a probe whose saturation
+                // outcome decides whether this shard's heavier loads
+                // are inferred exactly as in the unsharded campaign.
                 RunResult result;
                 result.run = run;
-                if (saturated && opts.skipSaturatedTail) {
-                    result.stats.saturated = true;
-                    result.inferredSaturated = true;
-                } else {
-                    Simulation sim(run.config);
-                    result.stats = sim.run();
-                    saturated = result.stats.saturated;
-                }
-                emitter.emit(std::move(result));
+                Simulation sim(run.config);
+                result.stats = sim.run();
+                saturated = result.stats.saturated;
+                if (owned)
+                    emitter.emit(std::move(result));
                 ++done;
             }
         } catch (...) {
@@ -258,10 +350,15 @@ runCampaign(const std::vector<CampaignRun>& runs,
                 if (!first_error)
                     first_error = std::current_exception();
             }
-            // Unblock the emitter for everything this series still owed.
+            // Unblock the emitter for every owed (owned, unresumed)
+            // member this series can no longer deliver.
             std::vector<std::size_t> lost;
-            for (std::size_t i = done; i < members.size(); ++i)
-                lost.push_back(runs[members[i]].index);
+            for (std::size_t i = done; i < members.size(); ++i) {
+                const CampaignRun& run = runs[members[i]];
+                if (opts.shard.owns(run.index) &&
+                    !opts.resume.isDone(run.index))
+                    lost.push_back(run.index);
+            }
             emitter.abandon(lost);
         }
     };

@@ -120,6 +120,47 @@ struct RunResult
     bool inferredSaturated = false;
 };
 
+/**
+ * One machine's slice of a campaign. Of `count` shards, shard `index`
+ * owns the run indices i with i % count == index. Global run indices
+ * and the deriveSeed(campaign_seed, i) scheme are untouched, so a
+ * shard's output records are byte-for-byte the lines the unsharded
+ * campaign would have written for those indices, and lapses-merge can
+ * reassemble the canonical file from M shard files produced on M
+ * machines.
+ */
+struct ShardSpec
+{
+    std::size_t index = 0; //!< 0-based shard number (CLI "k/M" is 1-based)
+    std::size_t count = 1; //!< total shards; 1 = the whole campaign
+
+    /** Does this shard execute (and emit) run index i? */
+    bool
+    owns(std::size_t run_index) const
+    {
+        return run_index % count == index;
+    }
+
+    /** True for the degenerate whole-campaign shard. */
+    bool
+    isAll() const
+    {
+        return count == 1;
+    }
+
+    /** Throws ConfigError unless count >= 1 and index < count. */
+    void validate() const;
+
+    /** CLI form with 1-based numbering, e.g. "1/3". */
+    std::string str() const;
+};
+
+/**
+ * Parse the CLI form "k/M" (1-based k in [1, M]) into a ShardSpec.
+ * Throws ConfigError on malformed input.
+ */
+ShardSpec parseShardSpec(const std::string& spec);
+
 /** Completed-run information recovered from a previous output file. */
 struct ResumeState
 {
@@ -145,6 +186,23 @@ struct CampaignOptions
     /** Mark heavier loads of a saturated series without simulating. */
     bool skipSaturatedTail = true;
 
+    /**
+     * Slice of the campaign this host executes; only owned runs are
+     * simulated for their results, emitted to the sinks, and returned
+     * with executed=true. Non-owned runs come back with executed=false
+     * and default stats.
+     *
+     * Determinism across shards: with skipSaturatedTail on, whether a
+     * run is simulated or marked "Sat." by inference depends on the
+     * lighter loads of its series, which another shard may own. To keep
+     * shard output byte-identical to the unsharded run, a shard
+     * re-simulates (probes) those lighter loads without emitting them.
+     * Probing stops at the shard's last owned run of the series and
+     * never happens once the series is known saturated — but for a
+     * zero-redundancy split, pair --shard with --no-skip-saturated.
+     */
+    ShardSpec shard;
+
     /** Runs already present in the output files (see scanResumeState);
      *  they are neither simulated nor re-emitted. */
     ResumeState resume;
@@ -154,9 +212,10 @@ struct CampaignOptions
 };
 
 /**
- * Execute a campaign. Results stream to the sinks (and the progress
- * callback) in ascending run-index order as they become available, and
- * the full result vector (run-index order, resumed runs included with
+ * Execute a campaign (or, with opts.shard, one shard of it). Results
+ * stream to the sinks (and the progress callback) in ascending
+ * run-index order as they become available, and the full result vector
+ * (run-index order; resumed and non-owned runs included with
  * executed=false) is returned at the end. Exceptions thrown by a run
  * (e.g. SimulationError from the deadlock watchdog) abort the campaign
  * and are rethrown after in-flight series finish.

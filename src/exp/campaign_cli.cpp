@@ -1,0 +1,157 @@
+#include "exp/campaign_cli.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+#include "core/experiment.hpp"
+#include "core/names.hpp"
+#include "exp/grid_spec.hpp"
+
+namespace lapses
+{
+
+namespace
+{
+
+/** Parse "16x16" or "4x4x4" into radices. */
+std::vector<int>
+parseMesh(const std::string& spec)
+{
+    std::vector<int> radices;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t next = spec.find('x', pos);
+        if (next == std::string::npos)
+            next = spec.size();
+        const int k = std::atoi(spec.substr(pos, next - pos).c_str());
+        if (k < 2)
+            throw ConfigError("bad mesh spec '" + spec + "'");
+        radices.push_back(k);
+        pos = next + 1;
+    }
+    if (radices.empty())
+        throw ConfigError("bad mesh spec '" + spec + "'");
+    return radices;
+}
+
+BenchMode
+parseBenchModeName(const std::string& name)
+{
+    if (name == "quick")
+        return BenchMode::Quick;
+    if (name == "default")
+        return BenchMode::Default;
+    if (name == "paper")
+        return BenchMode::Paper;
+    throw ConfigError("bad mode '" + name +
+                      "' (want quick|default|paper)");
+}
+
+} // namespace
+
+bool
+CampaignCli::consume(int argc, char** argv, int& i)
+{
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+            throw ConfigError("missing value for " + arg);
+        return argv[++i];
+    };
+    if (arg == "--grid") {
+        gridSpecs.push_back(value());
+    } else if (arg == "--seed") {
+        campaignSeed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--mesh") {
+        base.radices = parseMesh(value());
+    } else if (arg == "--torus") {
+        base.torus = true;
+    } else if (arg == "--model") {
+        base.model = parseRouterModel(value());
+    } else if (arg == "--vcs") {
+        base.vcsPerPort = std::atoi(value().c_str());
+    } else if (arg == "--buffers") {
+        base.bufferDepth = std::atoi(value().c_str());
+    } else if (arg == "--escape-vcs") {
+        base.escapeVcs = std::atoi(value().c_str());
+    } else if (arg == "--routing") {
+        base.routing = parseRoutingAlgo(value());
+    } else if (arg == "--table") {
+        base.table = parseTableKind(value());
+    } else if (arg == "--selector") {
+        base.selector = parseSelectorKind(value());
+    } else if (arg == "--traffic") {
+        base.traffic = parseTrafficKind(value());
+    } else if (arg == "--load") {
+        base.normalizedLoad = std::atof(value().c_str());
+    } else if (arg == "--msglen") {
+        base.msgLen = std::atoi(value().c_str());
+    } else if (arg == "--injection") {
+        base.injection = parseInjectionKind(value());
+    } else if (arg == "--hotspot-frac") {
+        base.hotspot.fraction = std::atof(value().c_str());
+    } else if (arg == "--warmup") {
+        base.warmupMessages =
+            std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--measure") {
+        base.measureMessages =
+            std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--mode") {
+        applyBenchMode(base, parseBenchModeName(value()));
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<CampaignGrid>
+CampaignCli::grids() const
+{
+    std::vector<std::string> specs = gridSpecs;
+    if (specs.empty())
+        specs.push_back(""); // single run of the base config
+    std::vector<CampaignGrid> grids;
+    grids.reserve(specs.size());
+    for (const std::string& spec : specs) {
+        CampaignGrid grid;
+        grid.base = base;
+        grid.campaignSeed = campaignSeed;
+        if (!spec.empty())
+            applyGridSpec(spec, grid);
+        grids.push_back(std::move(grid));
+    }
+    return grids;
+}
+
+std::vector<CampaignRun>
+CampaignCli::runs() const
+{
+    return expandGrids(grids());
+}
+
+const char*
+campaignCliHelp()
+{
+    return "Campaign definition (identical for lapses-campaign and "
+           "lapses-merge):\n"
+           "  --grid SPEC          axes as 'axis=v1,v2;axis=v1' "
+           "clauses;\n"
+           "                       axes: model|routing|table|selector|\n"
+           "                       traffic|injection|msglen|vcs|"
+           "buffers|\n"
+           "                       escape|load (load takes LO:HI:STEP\n"
+           "                       ranges); repeat --grid to join "
+           "grids\n"
+           "  --seed N             campaign seed; run i gets the seed\n"
+           "                       derived from (N, i)              "
+           "[1]\n"
+           "\n"
+           "Base configuration (defaults = paper Table 2):\n"
+           "  --mesh KxK[xK] --torus --model M --vcs N --buffers N\n"
+           "  --escape-vcs N --routing A --table T --selector S\n"
+           "  --traffic P --load X --msglen N --injection I\n"
+           "  --hotspot-frac X --warmup N --measure N\n"
+           "  --mode quick|default|paper   measurement scale preset\n";
+}
+
+} // namespace lapses

@@ -5,14 +5,12 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "core/names.hpp"
 #include "stats/report.hpp"
 
 namespace lapses
-{
-
-namespace
 {
 
 std::string
@@ -28,6 +26,9 @@ meshName(const SimConfig& cfg)
         s += " torus";
     return s;
 }
+
+namespace
+{
 
 std::string
 jsonCoordinates(const CampaignRun& run)
@@ -95,6 +96,14 @@ runResultCsvRow(const RunResult& result)
 {
     return csvCoordinates(result.run) + ',' +
            statsToCsvRow(result.stats);
+}
+
+std::string
+runRecordPrefix(const CampaignRun& run, SinkFormat format)
+{
+    return format == SinkFormat::Jsonl
+               ? '{' + jsonCoordinates(run) + ','
+               : csvCoordinates(run) + ',';
 }
 
 void
@@ -193,18 +202,37 @@ scanResumeCsv(std::istream& is)
 
 void
 validateResume(const ResumeState& state,
-               const std::vector<CampaignRun>& runs, SinkFormat format)
+               const std::vector<CampaignRun>& runs, SinkFormat format,
+               const ShardSpec& shard)
 {
+    std::unordered_set<std::size_t> known;
+    known.reserve(runs.size());
+    for (const CampaignRun& run : runs)
+        known.insert(run.index);
+    for (std::size_t index : state.completed) {
+        if (known.count(index) == 0) {
+            throw ConfigError(
+                "resume record for run " + std::to_string(index) +
+                " is not part of this campaign (different grid?); "
+                "remove the output file or rerun with the original "
+                "campaign");
+        }
+        if (!shard.owns(index)) {
+            throw ConfigError(
+                "resume record for run " + std::to_string(index) +
+                " is outside shard " + shard.str() +
+                " (was the file written with a different --shard?); "
+                "resume it with the original shard spec or merge the "
+                "shards first");
+        }
+    }
     for (const CampaignRun& run : runs) {
         auto it = state.records.find(run.index);
         if (it == state.records.end())
             continue;
         // The record's coordinate section is deterministic, so the
         // expected prefix must match byte-for-byte.
-        const std::string prefix =
-            format == SinkFormat::Jsonl
-                ? '{' + jsonCoordinates(run) + ','
-                : csvCoordinates(run) + ',';
+        const std::string prefix = runRecordPrefix(run, format);
         if (it->second.compare(0, prefix.size(), prefix) != 0) {
             throw ConfigError(
                 "resume record for run " + std::to_string(run.index) +

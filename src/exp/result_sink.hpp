@@ -67,6 +67,16 @@ class CsvSink : public ResultSink
     bool write_header_;
 };
 
+/** Record format of a campaign output file. */
+enum class SinkFormat
+{
+    Jsonl,
+    Csv,
+};
+
+/** The record's "mesh" coordinate, e.g. "16x16" or "4x4x4 torus". */
+std::string meshName(const SimConfig& cfg);
+
 /** The JSON line a JsonlSink writes for one run (no newline). */
 std::string runResultJson(const RunResult& result);
 
@@ -77,6 +87,14 @@ std::string campaignCsvHeader();
 std::string runResultCsvRow(const RunResult& result);
 
 /**
+ * The deterministic coordinate section of a run's record — everything
+ * up to and including the separator before the stats columns. A record
+ * produced by this exact campaign (same grid, --seed, measurement
+ * scale) starts with these bytes; anything else is a foreign record.
+ */
+std::string runRecordPrefix(const CampaignRun& run, SinkFormat format);
+
+/**
  * Recover completed-run indices (and their saturation flags) from a
  * partial campaign output file, for CampaignOptions::resume. Malformed
  * lines — e.g. a record cut short by the kill — are ignored.
@@ -84,22 +102,19 @@ std::string runResultCsvRow(const RunResult& result);
 ResumeState scanResumeJsonl(std::istream& is);
 ResumeState scanResumeCsv(std::istream& is);
 
-/** Record format a ResumeState was scanned from. */
-enum class SinkFormat
-{
-    Jsonl,
-    Csv,
-};
-
 /**
- * Check that every resumed record's coordinates (axis values, seed)
- * match the run the expanded campaign would execute at that index;
- * throws ConfigError on a mismatch. Catches resuming with a changed
- * grid or --seed, which would silently mix incompatible records.
+ * Check that every resumed record belongs to this exact campaign
+ * slice; throws ConfigError on a mismatch. Three things are verified
+ * per record: its index is a run of the expanded campaign (catches a
+ * foreign or shrunk grid), the requested shard owns it (catches
+ * resuming a file written with a different --shard), and its
+ * coordinate section (axis values, seed) matches the run the campaign
+ * would execute at that index (catches a changed grid or --seed,
+ * which would silently mix incompatible records).
  */
 void validateResume(const ResumeState& state,
                     const std::vector<CampaignRun>& runs,
-                    SinkFormat format);
+                    SinkFormat format, const ShardSpec& shard = {});
 
 } // namespace lapses
 

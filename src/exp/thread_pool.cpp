@@ -35,8 +35,14 @@ ThreadPool::~ThreadPool()
     for (auto& w : workers_)
         w->thread.request_stop();
     sleep_cv_.notify_all();
-    // ~Worker joins via std::jthread; workers drain queues before
-    // honoring the stop request.
+    // Join every thread before any Worker is destroyed: a worker
+    // winding down may still be inside trySteal() holding (or about
+    // to take) another worker's queue mutex, so destroying Workers
+    // one at a time — each ~jthread joining only its own thread —
+    // would free a mutex that a live thread is about to lock.
+    // Workers drain the queues before honoring the stop request.
+    for (auto& w : workers_)
+        w->thread.join();
 }
 
 void

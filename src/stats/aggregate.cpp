@@ -1,0 +1,42 @@
+#include "stats/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lapses
+{
+
+double
+percentileSorted(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const double rank =
+        clamped * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SampleSummary
+summarize(std::vector<double> values)
+{
+    SampleSummary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / static_cast<double>(values.size());
+    std::sort(values.begin(), values.end());
+    s.p50 = percentileSorted(values, 0.5);
+    s.p99 = percentileSorted(values, 0.99);
+    return s;
+}
+
+} // namespace lapses

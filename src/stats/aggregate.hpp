@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cross-run aggregation helpers: summarize a sample set (one value per
+ * campaign run) into mean / p50 / p99, the statistics lapses-merge
+ * reports per --group-by cell so figures come straight from campaign
+ * output.
+ */
+
+#ifndef LAPSES_STATS_AGGREGATE_HPP
+#define LAPSES_STATS_AGGREGATE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace lapses
+{
+
+/** Mean and percentile summary of a sample set. */
+struct SampleSummary
+{
+    std::size_t count = 0;
+    double mean = 0.0; //!< meaningful only when count > 0
+    double p50 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Linear-interpolated percentile of an ascending-sorted sample,
+ * q in [0, 1] (q=0.5 is the median). Returns 0 for an empty sample.
+ */
+double percentileSorted(const std::vector<double>& sorted, double q);
+
+/** Summarize a sample set (sorts its copy of the values). */
+SampleSummary summarize(std::vector<double> values);
+
+} // namespace lapses
+
+#endif // LAPSES_STATS_AGGREGATE_HPP

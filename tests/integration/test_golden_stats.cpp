@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Golden-stats regression tests: seeded end-to-end results pinned for
+ * one representative configuration per entry in the simulator's
+ * catalog — both router models, every routing algorithm, every table
+ * scheme, every path selector. A refactor that shifts any of these
+ * numbers (event ordering, RNG consumption, arbitration ties, stat
+ * accounting) fails here instead of silently bending the paper's
+ * figures.
+ *
+ * The pins are exact products of the deterministic simulation, not
+ * physics: when a change *intentionally* alters results (and the new
+ * values are vetted against the paper's shapes), regenerate the table
+ * with
+ *
+ *   LAPSES_GOLDEN_REGEN=1 ./lapses_tests \
+ *       --gtest_filter='GoldenStats.*'
+ *
+ * and paste the printed rows over kGolden below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+/** The shared scenario: small, fast, unsaturated, fixed seed. */
+SimConfig
+goldenBase()
+{
+    SimConfig cfg;
+    cfg.radices = {4, 4};
+    cfg.msgLen = 4;
+    cfg.normalizedLoad = 0.2;
+    cfg.warmupMessages = 50;
+    cfg.measureMessages = 400;
+    cfg.seed = 20260727;
+    return cfg;
+}
+
+/** One named configuration per catalog entry, in pinned order. */
+std::vector<std::pair<std::string, SimConfig>>
+goldenCases()
+{
+    std::vector<std::pair<std::string, SimConfig>> cases;
+    auto add = [&](const std::string& name, SimConfig cfg) {
+        cases.emplace_back(name, std::move(cfg));
+    };
+
+    for (RouterModel model :
+         {RouterModel::Proud, RouterModel::LaProud}) {
+        SimConfig cfg = goldenBase();
+        cfg.model = model;
+        add("model:" + routerModelName(model), cfg);
+    }
+
+    for (RoutingAlgo routing :
+         {RoutingAlgo::DeterministicXY, RoutingAlgo::DeterministicYX,
+          RoutingAlgo::DuatoFullyAdaptive, RoutingAlgo::NorthLast,
+          RoutingAlgo::WestFirst, RoutingAlgo::NegativeFirst,
+          RoutingAlgo::TorusAdaptive}) {
+        SimConfig cfg = goldenBase();
+        cfg.routing = routing;
+        if (routing == RoutingAlgo::TorusAdaptive) {
+            cfg.torus = true;
+            cfg.table = TableKind::Full; // economical is mesh-only
+        }
+        add("routing:" + routingAlgoName(routing), cfg);
+    }
+
+    for (TableKind table :
+         {TableKind::Full, TableKind::MetaRowMinimal,
+          TableKind::MetaBlockMaximal, TableKind::EconomicalStorage,
+          TableKind::Interval}) {
+        SimConfig cfg = goldenBase();
+        cfg.table = table;
+        if (table == TableKind::Interval) // deterministic-only scheme
+            cfg.routing = RoutingAlgo::DeterministicXY;
+        add("table:" + tableKindName(table), cfg);
+    }
+
+    for (SelectorKind selector :
+         {SelectorKind::StaticXY, SelectorKind::FirstFree,
+          SelectorKind::Random, SelectorKind::MinMux,
+          SelectorKind::Lfu, SelectorKind::Lru,
+          SelectorKind::MaxCredit}) {
+        SimConfig cfg = goldenBase();
+        cfg.selector = selector;
+        add("selector:" + selectorKindName(selector), cfg);
+    }
+    return cases;
+}
+
+struct GoldenRow
+{
+    const char* name;
+    std::uint64_t delivered;
+    double latency;  //!< mean total latency, cycles
+    double accepted; //!< accepted flits/node/cycle
+};
+
+// LAPSES_GOLDEN_REGEN=1 prints this table fresh (see file header).
+const GoldenRow kGolden[] = {
+    {"model:proud", 400, 28.255, 0.20334},
+    {"model:la-proud", 400, 25.3075, 0.202358},
+    {"routing:xy", 400, 25.31, 0.202358},
+    {"routing:yx", 400, 25.375, 0.202849},
+    {"routing:duato", 400, 25.3075, 0.202358},
+    {"routing:north-last", 400, 25.31, 0.202358},
+    {"routing:west-first", 400, 25.31, 0.202358},
+    {"routing:negative-first", 400, 25.645, 0.20334},
+    {"routing:torus-adaptive", 400, 25.805, 0.405882},
+    {"table:full-table", 400, 25.3075, 0.202358},
+    {"table:meta-row", 400, 25.3825, 0.202849},
+    {"table:meta-block", 400, 25.31, 0.202358},
+    {"table:economical-storage", 400, 25.3075, 0.202358},
+    {"table:interval", 400, 25.31, 0.202358},
+    {"selector:static-xy", 400, 25.3075, 0.202358},
+    {"selector:first-free", 400, 25.3075, 0.202358},
+    {"selector:random", 400, 25.71, 0.202358},
+    {"selector:min-mux", 400, 25.4025, 0.201866},
+    {"selector:lfu", 400, 25.71, 0.202849},
+    {"selector:lru", 400, 25.62, 0.201866},
+    {"selector:max-credit", 400, 25.6425, 0.201866},
+};
+
+TEST(GoldenStats, PinnedPerCatalogEntry)
+{
+    const auto cases = goldenCases();
+    const bool regen =
+        std::getenv("LAPSES_GOLDEN_REGEN") != nullptr;
+    if (!regen) {
+        ASSERT_EQ(std::size(kGolden), cases.size())
+            << "catalog changed; regenerate the golden table";
+    }
+
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& [name, cfg] = cases[i];
+        ASSERT_NO_THROW(cfg.validate()) << name;
+        Simulation sim(cfg);
+        const SimStats stats = sim.run();
+
+        if (regen) {
+            std::printf("    {\"%s\", %llu, %.6g, %.6g},\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(
+                            stats.deliveredMessages),
+                        stats.meanLatency(), stats.acceptedFlitRate);
+            continue;
+        }
+
+        const GoldenRow& want = kGolden[i];
+        EXPECT_EQ(name, want.name) << "catalog order changed";
+        EXPECT_FALSE(stats.saturated) << name;
+        EXPECT_EQ(stats.deliveredMessages, want.delivered) << name;
+        EXPECT_NEAR(stats.meanLatency(), want.latency,
+                    1e-4 * want.latency)
+            << name;
+        EXPECT_NEAR(stats.acceptedFlitRate, want.accepted,
+                    1e-4 * want.accepted)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace lapses

@@ -17,6 +17,12 @@
  *
  * Repeat --grid to join several grids (e.g. different load axes per
  * traffic pattern) into one campaign with global run numbering.
+ *
+ * --shard k/M splits the campaign across machines: shard k executes
+ * only the run indices i with i % M == k-1 (k is 1-based), keeping
+ * global indices and per-run seeds, so the M shard files are
+ * byte-identical slices of the unsharded output and `lapses-merge`
+ * reassembles the canonical file.
  */
 
 #include <algorithm>
@@ -29,11 +35,9 @@
 #include <thread>
 #include <vector>
 
-#include "core/experiment.hpp"
 #include "core/lapses.hpp"
-#include "core/names.hpp"
 #include "exp/campaign.hpp"
-#include "exp/grid_spec.hpp"
+#include "exp/campaign_cli.hpp"
 #include "exp/result_sink.hpp"
 
 namespace
@@ -47,24 +51,16 @@ printHelp()
     std::printf(
         "lapses-campaign -- parallel LAPSES experiment campaigns\n"
         "\n"
-        "Campaign:\n"
-        "  --grid SPEC          axes as 'axis=v1,v2;axis=v1' clauses;\n"
-        "                       axes: model|routing|table|selector|\n"
-        "                       traffic|injection|msglen|vcs|buffers|\n"
-        "                       escape|load (load takes LO:HI:STEP\n"
-        "                       ranges); repeat --grid to join grids\n"
-        "  --jobs N             worker threads (0 = all cores)  [0]\n"
-        "  --seed N             campaign seed; run i gets the seed\n"
-        "                       derived from (N, i)              [1]\n"
-        "  --no-skip-saturated  simulate loads past saturation too\n"
-        "  --dry-run            list the expanded runs and exit\n"
+        "%s"
         "\n"
-        "Base configuration (defaults = paper Table 2):\n"
-        "  --mesh KxK[xK] --torus --model M --vcs N --buffers N\n"
-        "  --escape-vcs N --routing A --table T --selector S\n"
-        "  --traffic P --load X --msglen N --injection I\n"
-        "  --hotspot-frac X --warmup N --measure N\n"
-        "  --mode quick|default|paper   measurement scale preset\n"
+        "Execution:\n"
+        "  --jobs N             worker threads (0 = all cores)  [0]\n"
+        "  --shard k/M          execute only run indices i with\n"
+        "                       i %% M == k-1 (one of M machines);\n"
+        "                       merge the M outputs with lapses-merge\n"
+        "  --no-skip-saturated  simulate loads past saturation too\n"
+        "                       (also makes --shard redundancy-free)\n"
+        "  --dry-run            list the expanded runs and exit\n"
         "\n"
         "Output:\n"
         "  --json FILE          stream records as JSON Lines\n"
@@ -72,41 +68,8 @@ printHelp()
         "  --resume             skip runs already in the output files\n"
         "                       (scans them, then appends)\n"
         "  --quiet              suppress per-run progress on stderr\n"
-        "  --help               this text\n");
-}
-
-/** Parse "16x16" or "4x4x4" into radices. */
-std::vector<int>
-parseMesh(const std::string& spec)
-{
-    std::vector<int> radices;
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-        std::size_t next = spec.find('x', pos);
-        if (next == std::string::npos)
-            next = spec.size();
-        const int k = std::atoi(spec.substr(pos, next - pos).c_str());
-        if (k < 2)
-            throw ConfigError("bad mesh spec '" + spec + "'");
-        radices.push_back(k);
-        pos = next + 1;
-    }
-    if (radices.empty())
-        throw ConfigError("bad mesh spec '" + spec + "'");
-    return radices;
-}
-
-BenchMode
-parseMode(const std::string& name)
-{
-    if (name == "quick")
-        return BenchMode::Quick;
-    if (name == "default")
-        return BenchMode::Default;
-    if (name == "paper")
-        return BenchMode::Paper;
-    throw ConfigError("bad mode '" + name +
-                      "' (want quick|default|paper)");
+        "  --help               this text\n",
+        campaignCliHelp());
 }
 
 } // namespace
@@ -114,9 +77,8 @@ parseMode(const std::string& name)
 int
 main(int argc, char** argv)
 {
-    SimConfig base;
-    std::vector<std::string> grid_specs;
-    std::uint64_t campaign_seed = 1;
+    CampaignCli cli;
+    ShardSpec shard;
     unsigned jobs = 0;
     bool skip_saturated = true;
     bool dry_run = false;
@@ -133,17 +95,16 @@ main(int argc, char** argv)
                     throw ConfigError("missing value for " + arg);
                 return argv[++i];
             };
-            if (arg == "--help" || arg == "-h") {
+            if (cli.consume(argc, argv, i)) {
+                continue;
+            } else if (arg == "--help" || arg == "-h") {
                 printHelp();
                 return 0;
-            } else if (arg == "--grid") {
-                grid_specs.push_back(value());
             } else if (arg == "--jobs") {
                 jobs = static_cast<unsigned>(
                     std::strtoul(value().c_str(), nullptr, 10));
-            } else if (arg == "--seed") {
-                campaign_seed =
-                    std::strtoull(value().c_str(), nullptr, 10);
+            } else if (arg == "--shard") {
+                shard = parseShardSpec(value());
             } else if (arg == "--no-skip-saturated") {
                 skip_saturated = false;
             } else if (arg == "--dry-run") {
@@ -156,75 +117,42 @@ main(int argc, char** argv)
                 csv_path = value();
             } else if (arg == "--quiet") {
                 quiet = true;
-            } else if (arg == "--mesh") {
-                base.radices = parseMesh(value());
-            } else if (arg == "--torus") {
-                base.torus = true;
-            } else if (arg == "--model") {
-                base.model = parseRouterModel(value());
-            } else if (arg == "--vcs") {
-                base.vcsPerPort = std::atoi(value().c_str());
-            } else if (arg == "--buffers") {
-                base.bufferDepth = std::atoi(value().c_str());
-            } else if (arg == "--escape-vcs") {
-                base.escapeVcs = std::atoi(value().c_str());
-            } else if (arg == "--routing") {
-                base.routing = parseRoutingAlgo(value());
-            } else if (arg == "--table") {
-                base.table = parseTableKind(value());
-            } else if (arg == "--selector") {
-                base.selector = parseSelectorKind(value());
-            } else if (arg == "--traffic") {
-                base.traffic = parseTrafficKind(value());
-            } else if (arg == "--load") {
-                base.normalizedLoad = std::atof(value().c_str());
-            } else if (arg == "--msglen") {
-                base.msgLen = std::atoi(value().c_str());
-            } else if (arg == "--injection") {
-                base.injection = parseInjectionKind(value());
-            } else if (arg == "--hotspot-frac") {
-                base.hotspot.fraction = std::atof(value().c_str());
-            } else if (arg == "--warmup") {
-                base.warmupMessages =
-                    std::strtoull(value().c_str(), nullptr, 10);
-            } else if (arg == "--measure") {
-                base.measureMessages =
-                    std::strtoull(value().c_str(), nullptr, 10);
-            } else if (arg == "--mode") {
-                applyBenchMode(base, parseMode(value()));
             } else {
                 throw ConfigError("unknown option '" + arg +
                                   "' (see --help)");
             }
         }
 
-        if (grid_specs.empty())
-            grid_specs.push_back(""); // single run of the base config
-
-        std::vector<CampaignGrid> grids;
-        for (const std::string& spec : grid_specs) {
-            CampaignGrid grid;
-            grid.base = base;
-            grid.campaignSeed = campaign_seed;
-            if (!spec.empty())
-                applyGridSpec(spec, grid);
-            grids.push_back(std::move(grid));
+        const std::vector<CampaignRun> runs = cli.runs();
+        std::size_t owned_total = 0;
+        for (const CampaignRun& run : runs) {
+            if (shard.owns(run.index))
+                ++owned_total;
         }
-        const std::vector<CampaignRun> runs = expandGrids(grids);
 
         if (dry_run) {
             for (const CampaignRun& run : runs) {
+                if (!shard.owns(run.index))
+                    continue;
                 std::printf("run %zu (series %zu): %s\n", run.index,
                             run.series, run.config.describe().c_str());
             }
-            std::printf("%zu runs, %zu series\n", runs.size(),
-                        runs.empty() ? 0 : runs.back().series + 1);
+            if (shard.isAll()) {
+                std::printf("%zu runs, %zu series\n", runs.size(),
+                            runs.empty() ? 0
+                                         : runs.back().series + 1);
+            } else {
+                std::printf("%zu of %zu runs in shard %s\n",
+                            owned_total, runs.size(),
+                            shard.str().c_str());
+            }
             return 0;
         }
 
         CampaignOptions opts;
         opts.jobs = jobs;
         opts.skipSaturatedTail = skip_saturated;
+        opts.shard = shard;
 
         // --resume: recover completed runs from every output file and
         // normalize the files before appending. A run counts as
@@ -248,7 +176,7 @@ main(int argc, char** argv)
                 std::ifstream is(json_path);
                 if (is)
                     f.state = scanResumeJsonl(is);
-                validateResume(f.state, runs, f.format);
+                validateResume(f.state, runs, f.format, shard);
                 scanned.push_back(std::move(f));
             }
             if (!csv_path.empty()) {
@@ -256,7 +184,7 @@ main(int argc, char** argv)
                 std::ifstream is(csv_path);
                 if (is)
                     f.state = scanResumeCsv(is);
-                validateResume(f.state, runs, f.format);
+                validateResume(f.state, runs, f.format, shard);
                 scanned.push_back(std::move(f));
             }
 
@@ -370,11 +298,23 @@ main(int argc, char** argv)
             if (effective_jobs == 0)
                 effective_jobs = 1;
         }
-        std::fprintf(stderr,
-                     "campaign done: %zu runs (%zu executed, %zu "
-                     "resumed, %zu saturated) in %.2fs with %u jobs\n",
-                     runs.size(), executed, resumed, saturated, secs,
-                     effective_jobs);
+        if (shard.isAll()) {
+            std::fprintf(stderr,
+                         "campaign done: %zu runs (%zu executed, %zu "
+                         "resumed, %zu saturated) in %.2fs with %u "
+                         "jobs\n",
+                         runs.size(), executed, resumed, saturated,
+                         secs, effective_jobs);
+        } else {
+            std::fprintf(stderr,
+                         "shard %s done: %zu of %zu runs (%zu "
+                         "executed, %zu resumed, %zu saturated) in "
+                         "%.2fs with %u jobs; combine the shards with "
+                         "lapses-merge\n",
+                         shard.str().c_str(), owned_total, runs.size(),
+                         executed, resumed, saturated, secs,
+                         effective_jobs);
+        }
     } catch (const ConfigError& e) {
         std::fprintf(stderr, "lapses-campaign: %s\n", e.what());
         return 1;
