@@ -3,6 +3,14 @@
  * Google-benchmark microbenchmarks for the router datapath: arbitration
  * (the other critical stage of Section 2.2), path selection, and
  * whole-network cycle throughput of the simulator.
+ *
+ * The BM_Kernel* cases compare the activity-driven kernel against the
+ * scan kernel at low / medium / saturated load and on a drain-heavy
+ * (mostly idle) network; items/sec is simulated router-cycles per wall
+ * second. CI runs them into BENCH_kernel.json:
+ *
+ *   ./bench/micro_router --benchmark_filter='BM_Kernel' \
+ *       --benchmark_out=BENCH_kernel.json --benchmark_out_format=json
  */
 
 #include <benchmark/benchmark.h>
@@ -83,6 +91,88 @@ BM_NetworkCycleHighLoad(benchmark::State& state)
     networkCycles(state, 0.7);
 }
 BENCHMARK(BM_NetworkCycleHighLoad)->Unit(benchmark::kMicrosecond);
+
+SimConfig
+kernelBenchConfig(double load, KernelKind kernel)
+{
+    SimConfig cfg;
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.traffic = TrafficKind::Uniform;
+    cfg.normalizedLoad = load;
+    cfg.kernel = kernel;
+    return cfg;
+}
+
+/** Steady-state cycle throughput at one load under one kernel. */
+void
+kernelCycles(benchmark::State& state, double load, KernelKind kernel)
+{
+    Simulation sim(kernelBenchConfig(load, kernel));
+    sim.stepCycles(2000); // warm the network up
+    for (auto _ : state)
+        sim.stepCycles(200);
+    // Report simulated router-cycles per wall second, comparable
+    // across kernels (the active kernel simply executes fewer steps
+    // for the same simulated cycles).
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+
+void
+BM_KernelLowLoad(benchmark::State& state)
+{
+    kernelCycles(state, 0.05,
+                 static_cast<KernelKind>(state.range(0)));
+}
+BENCHMARK(BM_KernelLowLoad)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_KernelMediumLoad(benchmark::State& state)
+{
+    kernelCycles(state, 0.3, static_cast<KernelKind>(state.range(0)));
+}
+BENCHMARK(BM_KernelMediumLoad)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_KernelSaturatedLoad(benchmark::State& state)
+{
+    kernelCycles(state, 1.2, static_cast<KernelKind>(state.range(0)));
+}
+BENCHMARK(BM_KernelSaturatedLoad)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
+/** Drain-heavy case: a warmed network with injection cut — the regime
+ *  of drain phases and deadlock watchdog waits, mostly dead cycles. */
+void
+BM_KernelDrainHeavy(benchmark::State& state)
+{
+    const auto kernel = static_cast<KernelKind>(state.range(0));
+    Simulation sim(kernelBenchConfig(0.3, kernel));
+    sim.stepCycles(2000);
+    sim.network().setInjectionEnabled(false);
+    while (sim.network().totalOccupancy() > 0 ||
+           sim.network().totalBacklog() > 0) {
+        sim.stepCycles(200);
+    }
+    for (auto _ : state)
+        sim.stepCycles(200);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+BENCHMARK(BM_KernelDrainHeavy)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

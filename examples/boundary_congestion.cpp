@@ -9,18 +9,56 @@
  * that cross 4x4 cluster boundaries against interior links. The
  * meta-table run should show boundary links far hotter than interior
  * ones; ES should spread the load.
+ *
+ * The (table x load) scenario is also declared as a campaign grid:
+ * LAPSES_SHARD=k/M executes one machine's slice of the grid and emits
+ * it as JSONL for lapses-merge (standard latency/throughput records;
+ * the bespoke per-link utilization table below needs direct router
+ * access and renders only in unsharded runs).
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "core/lapses.hpp"
+#include "exp/campaign.hpp"
 
 namespace
 {
 
 using namespace lapses;
+
+SimConfig
+boundaryConfig(TableKind table, double load)
+{
+    SimConfig cfg;
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = table;
+    cfg.traffic = TrafficKind::Transpose;
+    cfg.normalizedLoad = load;
+    cfg.warmupMessages = 300;
+    cfg.measureMessages = 4000;
+    cfg.latencySatCutoff = 1e9; // observe the congestion, don't stop
+    cfg.backlogSatPerNode = 1e9;
+    cfg.maxCycles = 150000;
+    return cfg;
+}
+
+/** The campaign-grid form of the scenario: both table schemes across a
+ *  small load ramp around the bespoke measurement's 0.2 point. */
+std::vector<CampaignGrid>
+boundaryGrids()
+{
+    CampaignGrid grid;
+    grid.base = boundaryConfig(TableKind::EconomicalStorage, 0.2);
+    grid.axes.tables = {TableKind::EconomicalStorage,
+                        TableKind::MetaBlockMaximal};
+    grid.axes.loads = {0.1, 0.2, 0.3};
+    return {grid};
+}
 
 struct LinkStats
 {
@@ -34,18 +72,7 @@ struct LinkStats
 LinkStats
 measure(TableKind table, double load)
 {
-    SimConfig cfg;
-    cfg.model = RouterModel::LaProud;
-    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
-    cfg.table = table;
-    cfg.traffic = TrafficKind::Transpose;
-    cfg.normalizedLoad = load;
-    cfg.warmupMessages = 300;
-    cfg.measureMessages = 4000;
-    cfg.latencySatCutoff = 1e9; // observe the congestion, don't stop
-    cfg.backlogSatPerNode = 1e9;
-    cfg.maxCycles = 150000;
-    Simulation sim(cfg);
+    Simulation sim(boundaryConfig(table, load));
     (void)sim.run();
 
     const MeshTopology& topo = sim.topology();
@@ -88,6 +115,12 @@ int
 main()
 {
     using namespace lapses;
+
+    // LAPSES_SHARD=k/M: run this machine's slice of the (table x load)
+    // grid and stream JSONL records for lapses-merge.
+    if (runBenchShardFromEnv(boundaryGrids(), "boundary_congestion"))
+        return 0;
+
     std::printf("Cluster-boundary congestion, transpose traffic at "
                 "load 0.2 (16x16 mesh, 4x4 clusters)\n");
     std::printf("======================================================"

@@ -9,11 +9,20 @@
  * router (LA + MAX-CREDIT + ES) holds its advantage across all of
  * them, which is the paper's argument that look-ahead adaptive routers
  * are "a good choice across the entire spectrum".
+ *
+ * The six runs (phase x {LAPSES, baseline}) are declared as campaign
+ * grids, so they execute across all cores (LAPSES_JOBS) and shard
+ * across machines exactly like the paper benches: LAPSES_SHARD=k/M
+ * emits this machine's slice as JSONL for lapses-merge instead of
+ * rendering the table.
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/experiment.hpp"
 #include "core/lapses.hpp"
+#include "exp/campaign.hpp"
 
 namespace
 {
@@ -29,23 +38,60 @@ struct Phase
     double hotspotFraction;
 };
 
-SimStats
-run(const Phase& ph, RouterModel model, RoutingAlgo routing,
-    TableKind table, SelectorKind selector)
+const Phase kPhases[] = {
+    // Shared-memory-style short control messages at light load.
+    {"control msgs (5 flits, light)", TrafficKind::Uniform, 0.15, 5,
+     0.0},
+    // Bulk data movement phase: long messages, skewed pattern.
+    {"bulk transfers (50 flits)", TrafficKind::Transpose, 0.3, 50,
+     0.0},
+    // Server hotspot: 5% of requests hit one node (a 16x16 mesh node
+    // ejects at most 1 flit/cycle, so the hotspot fraction must keep
+    // its influx under that bound).
+    {"server hotspot (20 flits)", TrafficKind::Hotspot, 0.25, 20,
+     0.05},
+};
+
+SimConfig
+phaseConfig(const Phase& ph, bool lapses_router)
 {
     SimConfig cfg;
-    cfg.model = model;
-    cfg.routing = routing;
-    cfg.table = table;
-    cfg.selector = selector;
+    if (lapses_router) {
+        cfg.model = RouterModel::LaProud;
+        cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+        cfg.table = TableKind::EconomicalStorage;
+        cfg.selector = SelectorKind::MaxCredit;
+    } else {
+        cfg.model = RouterModel::Proud;
+        cfg.routing = RoutingAlgo::DeterministicXY;
+        cfg.table = TableKind::Full;
+        cfg.selector = SelectorKind::StaticXY;
+    }
     cfg.traffic = ph.traffic;
     cfg.hotspot.fraction = ph.hotspotFraction;
     cfg.normalizedLoad = ph.load;
     cfg.msgLen = ph.msgLen;
     cfg.warmupMessages = 400;
     cfg.measureMessages = 4000;
-    Simulation sim(cfg);
-    return sim.run();
+    return cfg;
+}
+
+/** One single-run grid per (phase, router) cell: the two router
+ *  configurations differ in four axes at once, so they are separate
+ *  grids rather than a cross-product. Run 2*p is phase p's LAPSES
+ *  router, run 2*p + 1 its deterministic baseline. */
+std::vector<CampaignGrid>
+sanGrids()
+{
+    std::vector<CampaignGrid> grids;
+    for (const Phase& ph : kPhases) {
+        for (const bool lapses_router : {true, false}) {
+            CampaignGrid grid;
+            grid.base = phaseConfig(ph, lapses_router);
+            grids.push_back(std::move(grid));
+        }
+    }
+    return grids;
 }
 
 } // namespace
@@ -55,19 +101,17 @@ main()
 {
     using namespace lapses;
 
-    const Phase phases[] = {
-        // Shared-memory-style short control messages at light load.
-        {"control msgs (5 flits, light)", TrafficKind::Uniform, 0.15,
-         5, 0.0},
-        // Bulk data movement phase: long messages, skewed pattern.
-        {"bulk transfers (50 flits)", TrafficKind::Transpose, 0.3, 50,
-         0.0},
-        // Server hotspot: 5% of requests hit one node (a 16x16 mesh
-        // node ejects at most 1 flit/cycle, so the hotspot fraction
-        // must keep its influx under that bound).
-        {"server hotspot (20 flits)", TrafficKind::Hotspot, 0.25, 20,
-         0.05},
-    };
+    const std::vector<CampaignGrid> grids = sanGrids();
+
+    // LAPSES_SHARD=k/M: emit this machine's slice as JSONL instead of
+    // the table (which needs every shard's runs).
+    if (runBenchShardFromEnv(grids, "san_workload"))
+        return 0;
+
+    CampaignOptions opts;
+    opts.jobs = benchJobsFromEnv();
+    const std::vector<RunResult> results =
+        runCampaign(expandGrids(grids), opts);
 
     std::printf("SAN workload phases: LAPSES router vs deterministic "
                 "baseline\n");
@@ -76,14 +120,9 @@ main()
     std::printf("%-32s %14s %14s %10s\n", "Phase", "LAPSES",
                 "Baseline", "Gain");
 
-    for (const Phase& ph : phases) {
-        const SimStats lapses_stats =
-            run(ph, RouterModel::LaProud,
-                RoutingAlgo::DuatoFullyAdaptive,
-                TableKind::EconomicalStorage, SelectorKind::MaxCredit);
-        const SimStats base_stats =
-            run(ph, RouterModel::Proud, RoutingAlgo::DeterministicXY,
-                TableKind::Full, SelectorKind::StaticXY);
+    for (std::size_t p = 0; p < std::size(kPhases); ++p) {
+        const SimStats& lapses_stats = results[2 * p].stats;
+        const SimStats& base_stats = results[2 * p + 1].stats;
         std::string gain = "-";
         if (!lapses_stats.saturated && !base_stats.saturated) {
             char buf[16];
@@ -96,7 +135,7 @@ main()
         } else if (base_stats.saturated && !lapses_stats.saturated) {
             gain = "base Sat.";
         }
-        std::printf("%-32s %14s %14s %10s\n", ph.name,
+        std::printf("%-32s %14s %14s %10s\n", kPhases[p].name,
                     latencyCell(lapses_stats).c_str(),
                     latencyCell(base_stats).c_str(), gain.c_str());
     }

@@ -46,6 +46,44 @@ inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 /** The local (processor/NIC) port of every router. Paper Section 2.2. */
 inline constexpr PortId kLocalPort = 0;
 
+/**
+ * Simulation-kernel selection (see DESIGN.md "Activity-driven kernel").
+ *
+ * The activity-driven kernel steps only components that can make
+ * progress and delivers wire traffic from a calendar queue; the scan
+ * kernel is the original step-everything path, kept behind the same
+ * interface for differential testing. Both produce byte-identical
+ * statistics. Auto resolves through the LAPSES_KERNEL environment
+ * variable ("scan" or "active"), defaulting to Active.
+ */
+enum class KernelKind : std::uint8_t
+{
+    Auto,
+    Active,
+    Scan,
+};
+
+/**
+ * What one component did during a step() — the network's activity-set
+ * bookkeeping input. A component whose report shows no pending work is
+ * dropped from the active set until an external event (flit arrival,
+ * credit arrival, injection) or its own nextWake cycle re-activates it.
+ */
+struct StepActivity
+{
+    /** A flit moved (forwarded, transmitted, or injected) this step. */
+    bool movedFlits = false;
+
+    /** The component still holds work (buffered flits / queued
+     *  messages) and must be stepped again next cycle. */
+    bool pendingWork = false;
+
+    /** Self-scheduled wake-up cycle (e.g. the next injection-process
+     *  arrival); kNeverCycle when none. Only consulted when pendingWork
+     *  is false. */
+    Cycle nextWake = kNeverCycle;
+};
+
 } // namespace lapses
 
 #endif // LAPSES_COMMON_TYPES_HPP

@@ -74,6 +74,11 @@ struct SimConfig
 
     std::uint64_t seed = 1;
 
+    /** Simulation kernel: Auto resolves via LAPSES_KERNEL (default
+     *  the activity-driven kernel). Results are byte-identical either
+     *  way; Scan exists for differential testing. */
+    KernelKind kernel = KernelKind::Auto;
+
     /** Throw ConfigError on inconsistent settings. */
     void validate() const;
 

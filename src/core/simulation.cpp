@@ -54,6 +54,7 @@ Simulation::Simulation(const SimConfig& cfg)
         msgRateForLoad(topo_, cfg_.normalizedLoad, cfg_.msgLen);
     np.selector = cfg_.selector;
     np.seed = cfg_.seed;
+    np.kernel = cfg_.kernel;
 
     net_ = std::make_unique<Network>(topo_, np, *table_,
                                      algo_->usesEscapeChannels(),
@@ -128,9 +129,14 @@ Simulation::runUntil(Pred pred)
     Network& net = *net_;
     while (!pred()) {
         // Batch cycles between saturation checks to keep the check off
-        // the per-cycle fast path.
-        for (int i = 0; i < 256 && !pred(); ++i)
-            net.step();
+        // the per-cycle fast path. The 256-cycle window is measured on
+        // the cycle clock, not in step() calls, so both kernels run
+        // saturationCheck() at identical cycles and stay
+        // byte-identical; inside a window the active kernel
+        // fast-forwards idle stretches via stepUntil.
+        const Cycle window_end = net.now() + 256;
+        while (net.now() < window_end && !pred())
+            net.stepUntil(window_end);
         if (saturationCheck()) {
             stats_.saturated = true;
             return false;
@@ -142,8 +148,9 @@ Simulation::runUntil(Pred pred)
 void
 Simulation::stepCycles(Cycle n)
 {
-    for (Cycle i = 0; i < n; ++i)
-        net_->step();
+    const Cycle end = net_->now() + n;
+    while (net_->now() < end)
+        net_->stepUntil(end);
 }
 
 SimStats

@@ -99,38 +99,53 @@ ShardSpec::validate() const
 {
     if (count < 1)
         throw ConfigError("shard count must be >= 1");
-    if (index >= count) {
-        throw ConfigError("shard index " + std::to_string(index + 1) +
-                          " out of range for " + std::to_string(count) +
-                          " shards");
+    if (weight < 1)
+        throw ConfigError("shard weight must be >= 1");
+    if (index >= count || weight > count - index) {
+        throw ConfigError(
+            "shard units [" + std::to_string(index + 1) + ", " +
+            std::to_string(index + weight) + "] out of range for " +
+            std::to_string(count) + " units");
     }
 }
 
 std::string
 ShardSpec::str() const
 {
-    return std::to_string(index + 1) + '/' + std::to_string(count);
+    std::string s =
+        std::to_string(index + 1) + '/' + std::to_string(count);
+    if (weight > 1)
+        s += ':' + std::to_string(weight);
+    return s;
 }
 
 ShardSpec
 parseShardSpec(const std::string& spec)
 {
     const std::size_t slash = spec.find('/');
+    const std::size_t colon = spec.find(':');
     const auto digits = [](const std::string& s) {
         return !s.empty() &&
                s.find_first_not_of("0123456789") == std::string::npos;
     };
-    if (slash == std::string::npos ||
+    const std::size_t m_end =
+        colon == std::string::npos ? spec.size() : colon;
+    if (slash == std::string::npos || slash > m_end ||
         !digits(spec.substr(0, slash)) ||
-        !digits(spec.substr(slash + 1))) {
+        !digits(spec.substr(slash + 1, m_end - slash - 1)) ||
+        (colon != std::string::npos &&
+         !digits(spec.substr(colon + 1)))) {
         throw ConfigError("bad shard spec '" + spec +
-                          "' (want k/M, e.g. 2/3)");
+                          "' (want k/M or k/M:w, e.g. 2/3 or 1/4:3)");
     }
     unsigned long long k = 0;
     unsigned long long m = 0;
+    unsigned long long w = 1;
     try {
         k = std::stoull(spec.substr(0, slash));
-        m = std::stoull(spec.substr(slash + 1));
+        m = std::stoull(spec.substr(slash + 1, m_end - slash - 1));
+        if (colon != std::string::npos)
+            w = std::stoull(spec.substr(colon + 1));
     } catch (const std::out_of_range&) {
         throw ConfigError("bad shard spec '" + spec +
                           "' (number out of range)");
@@ -139,9 +154,14 @@ parseShardSpec(const std::string& spec)
         throw ConfigError("bad shard spec '" + spec +
                           "' (want 1 <= k <= M)");
     }
+    if (w < 1 || w > m - (k - 1)) {
+        throw ConfigError("bad shard spec '" + spec +
+                          "' (weight w must fit: k-1+w <= M)");
+    }
     ShardSpec shard;
     shard.index = static_cast<std::size_t>(k - 1);
     shard.count = static_cast<std::size_t>(m);
+    shard.weight = static_cast<std::size_t>(w);
     return shard;
 }
 

@@ -121,43 +121,51 @@ struct RunResult
 };
 
 /**
- * One machine's slice of a campaign. Of `count` shards, shard `index`
- * owns the run indices i with i % count == index. Global run indices
- * and the deriveSeed(campaign_seed, i) scheme are untouched, so a
- * shard's output records are byte-for-byte the lines the unsharded
- * campaign would have written for those indices, and lapses-merge can
- * reassemble the canonical file from M shard files produced on M
- * machines.
+ * One machine's slice of a campaign. The campaign's run indices are
+ * dealt round-robin over `count` weight units; a shard owns `weight`
+ * consecutive units starting at `index`, i.e. the run indices i with
+ * i % count in [index, index + weight). With weight 1 this is the
+ * classic "shard k of M" split; heterogeneous hosts agree on a total
+ * unit count M and take proportional unit ranges (CLI "k/M:w" — e.g. a
+ * 3x-faster host takes --shard 1/4:3, its slower peer --shard 4/4:1).
+ * Global run indices and the deriveSeed(campaign_seed, i) scheme are
+ * untouched, so a shard's output records are byte-for-byte the lines
+ * the unsharded campaign would have written for those indices, and
+ * lapses-merge reassembles the canonical file from any set of shard
+ * files that covers the grid exactly once.
  */
 struct ShardSpec
 {
-    std::size_t index = 0; //!< 0-based shard number (CLI "k/M" is 1-based)
-    std::size_t count = 1; //!< total shards; 1 = the whole campaign
+    std::size_t index = 0;  //!< first owned unit (CLI "k/M:w" is 1-based)
+    std::size_t count = 1;  //!< total weight units; 1 = whole campaign
+    std::size_t weight = 1; //!< consecutive units this shard owns
 
     /** Does this shard execute (and emit) run index i? */
     bool
     owns(std::size_t run_index) const
     {
-        return run_index % count == index;
+        const std::size_t unit = run_index % count;
+        return unit >= index && unit < index + weight;
     }
 
     /** True for the degenerate whole-campaign shard. */
     bool
     isAll() const
     {
-        return count == 1;
+        return count == 1 || weight == count;
     }
 
-    /** Throws ConfigError unless count >= 1 and index < count. */
+    /** Throws ConfigError unless 1 <= weight, index + weight <= count. */
     void validate() const;
 
-    /** CLI form with 1-based numbering, e.g. "1/3". */
+    /** CLI form with 1-based numbering, e.g. "1/3" or "2/4:3". */
     std::string str() const;
 };
 
 /**
- * Parse the CLI form "k/M" (1-based k in [1, M]) into a ShardSpec.
- * Throws ConfigError on malformed input.
+ * Parse the CLI form "k/M" or "k/M:w" (1-based k; w weight units, 1
+ * when omitted) into a ShardSpec. Throws ConfigError on malformed
+ * input.
  */
 ShardSpec parseShardSpec(const std::string& spec);
 

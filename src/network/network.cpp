@@ -1,5 +1,9 @@
 #include "network/network.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 namespace lapses
 {
 
@@ -10,55 +14,81 @@ namespace lapses
 // cycles, matching Table 2 (6 for PROUD, 5 for LA-PROUD with unit link
 // delay).
 
+KernelKind
+resolveKernelKind(KernelKind requested)
+{
+    if (requested != KernelKind::Auto)
+        return requested;
+    const char* env = std::getenv("LAPSES_KERNEL");
+    if (env == nullptr || *env == '\0' ||
+        std::strcmp(env, "active") == 0) {
+        return KernelKind::Active;
+    }
+    if (std::strcmp(env, "scan") == 0)
+        return KernelKind::Scan;
+    // A typo here would silently bend a differential run back to the
+    // default kernel; refuse instead.
+    throw ConfigError("bad LAPSES_KERNEL value '" + std::string(env) +
+                      "' (want scan or active)");
+}
+
 void
 Network::RouterEnv::flitOut(PortId out_port, VcId out_vc,
                             const Flit& flit)
 {
     Network& net = *net_;
+    const Cycle due = net.now_ + 1 + net.params_.linkDelay;
     net.flit_wires_[net.wireIndex(id_, out_port)].push(
-        {flit, out_vc, net.now_ + 1 + net.params_.linkDelay});
+        {flit, out_vc, due});
+    net.scheduleWire(net.flitWireKey(id_, out_port), due);
 }
 
 void
 Network::RouterEnv::creditOut(PortId in_port, VcId vc)
 {
     Network& net = *net_;
-    net.credit_wires_[net.wireIndex(id_, in_port)].push(
-        {vc, net.now_ + 1 + net.params_.linkDelay});
+    const Cycle due = net.now_ + 1 + net.params_.linkDelay;
+    net.credit_wires_[net.wireIndex(id_, in_port)].push({vc, due});
+    net.scheduleWire(net.creditWireKey(id_, in_port), due);
 }
 
 void
 Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
 {
     Network& net = *net_;
+    const Cycle due = net.now_ + 1 + net.params_.linkDelay;
     net.inject_wires_[static_cast<std::size_t>(id_)].push(
-        {flit, vc, net.now_ + 1 + net.params_.linkDelay});
+        {flit, vc, due});
+    net.scheduleWire(net.injectWireKey(id_), due);
 }
 
 Network::Network(const MeshTopology& topo, const NetworkParams& params,
                  const RoutingTable& table, bool escape_channels,
                  const TrafficPattern& pattern)
-    : topo_(topo), params_(params)
+    : topo_(topo), params_(params),
+      kernel_(resolveKernelKind(params.kernel))
 {
     const NodeId n = topo.numNodes();
     const int ports = topo.numPorts();
     const int vcs = params.router.vcsPerPort;
     Rng master(params.seed);
 
+    // Contiguous component storage: stepping walks flat arrays instead
+    // of chasing one heap pointer per router/NIC.
     routers_.reserve(static_cast<std::size_t>(n));
     nics_.reserve(static_cast<std::size_t>(n));
     router_envs_.resize(static_cast<std::size_t>(n));
     nic_envs_.resize(static_cast<std::size_t>(n));
 
     for (NodeId id = 0; id < n; ++id) {
-        routers_.push_back(std::make_unique<Router>(
+        routers_.emplace_back(
             id, topo, params.router, table, escape_channels,
             makePathSelector(params.selector,
                              master.split(0x5E1Eu + static_cast<
-                                          std::uint64_t>(id)))));
-        nics_.push_back(std::make_unique<Nic>(
+                                          std::uint64_t>(id))));
+        nics_.emplace_back(
             id, params.nic, table, pattern,
-            master.split(0x417Cu + static_cast<std::uint64_t>(id))));
+            master.split(0x417Cu + static_cast<std::uint64_t>(id)));
         router_envs_[static_cast<std::size_t>(id)].bind(this, id);
         nic_envs_[static_cast<std::size_t>(id)].bind(this, id);
     }
@@ -82,10 +112,141 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
     inject_wires_.reserve(static_cast<std::size_t>(n));
     for (NodeId id = 0; id < n; ++id)
         inject_wires_.emplace_back(flit_cap);
+
+    // Active-kernel bookkeeping. All events pushed at cycle t are due
+    // t + linkDelay + 1, so linkDelay + 2 buckets make due % width
+    // injective over the in-flight window.
+    key_stride_ = 2 * ports + 1;
+    calendar_.resize(static_cast<std::size_t>(params.linkDelay) + 2);
+    sweep_threshold_ = static_cast<std::size_t>(n);
+    router_active_.assign(static_cast<std::size_t>(n), 0);
+    nic_active_.assign(static_cast<std::size_t>(n), 0);
+    nic_wake_at_.assign(static_cast<std::size_t>(n), kNeverCycle);
+    if (kernel_ == KernelKind::Active) {
+        // Every NIC starts active: its injection process may have an
+        // arrival due at cycle 0. Routers start empty and asleep.
+        active_nics_.reserve(static_cast<std::size_t>(n));
+        for (NodeId id = 0; id < n; ++id)
+            activateNic(id);
+    }
 }
 
 void
-Network::deliverWires()
+Network::scheduleWire(std::int32_t key, Cycle due)
+{
+    if (kernel_ != KernelKind::Active)
+        return;
+    // Every wire event is pushed with due = now + linkDelay + 1 and
+    // the calendar has linkDelay + 2 slots, so due % width is always
+    // the slot just behind now's — no division needed.
+    const std::size_t slot =
+        now_slot_ == 0 ? calendar_.size() - 1 : now_slot_ - 1;
+    CalendarBucket& bucket = calendar_[slot];
+    bucket.due = due;
+    bucket.keys.push_back(key);
+}
+
+void
+Network::activateRouter(NodeId id)
+{
+    std::uint8_t& mark = router_active_[static_cast<std::size_t>(id)];
+    if (mark == 0) {
+        mark = 1;
+        active_routers_.push_back(id);
+    }
+}
+
+void
+Network::activateNic(NodeId id)
+{
+    std::uint8_t& mark = nic_active_[static_cast<std::size_t>(id)];
+    if (mark == 0) {
+        mark = 1;
+        active_nics_.push_back(id);
+        nic_wake_at_[static_cast<std::size_t>(id)] = kNeverCycle;
+    }
+}
+
+Cycle
+Network::nextEventCycle()
+{
+    Cycle next = kNeverCycle;
+    for (const CalendarBucket& bucket : calendar_) {
+        if (!bucket.keys.empty())
+            next = std::min(next, bucket.due);
+    }
+    // Drop stale wake entries (NIC re-activated or rescheduled since).
+    while (!nic_wakes_.empty()) {
+        const auto [cycle, id] = nic_wakes_.top();
+        if (nic_active_[static_cast<std::size_t>(id)] == 0 &&
+            nic_wake_at_[static_cast<std::size_t>(id)] == cycle) {
+            next = std::min(next, cycle);
+            break;
+        }
+        nic_wakes_.pop();
+    }
+    return next;
+}
+
+void
+Network::deliverFlitWire(NodeId id, PortId p, const WireFlit& wf)
+{
+    if (p == kLocalPort) {
+        if (tracer_ != nullptr) {
+            tracer_->record({now_, TraceEvent::Kind::Eject, id,
+                             kInvalidPort, wf.flit.msg, wf.flit.seq,
+                             wf.flit.type});
+        }
+        nics_[static_cast<std::size_t>(id)].acceptFlit(wf.flit, now_,
+                                                       *this);
+        return;
+    }
+    const NodeId peer = topo_.neighbor(id, p);
+    LAPSES_ASSERT(peer != kInvalidNode);
+    if (tracer_ != nullptr) {
+        tracer_->record({now_, TraceEvent::Kind::HopArrive, peer,
+                         MeshTopology::oppositePort(p), wf.flit.msg,
+                         wf.flit.seq, wf.flit.type});
+    }
+    routers_[static_cast<std::size_t>(peer)].acceptFlit(
+        MeshTopology::oppositePort(p), wf.vc, wf.flit, now_);
+    if (kernel_ == KernelKind::Active)
+        activateRouter(peer);
+}
+
+void
+Network::deliverCreditWire(NodeId id, PortId p, const WireCredit& wc)
+{
+    if (p == kLocalPort) {
+        nics_[static_cast<std::size_t>(id)].acceptCredit(wc.vc);
+        if (kernel_ == KernelKind::Active)
+            activateNic(id);
+        return;
+    }
+    const NodeId peer = topo_.neighbor(id, p);
+    LAPSES_ASSERT(peer != kInvalidNode);
+    routers_[static_cast<std::size_t>(peer)].acceptCredit(
+        MeshTopology::oppositePort(p), wc.vc);
+    if (kernel_ == KernelKind::Active)
+        activateRouter(peer);
+}
+
+void
+Network::deliverInjectWire(NodeId id, const WireFlit& wf)
+{
+    if (tracer_ != nullptr) {
+        tracer_->record({now_, TraceEvent::Kind::Inject, id,
+                         kLocalPort, wf.flit.msg, wf.flit.seq,
+                         wf.flit.type});
+    }
+    routers_[static_cast<std::size_t>(id)].acceptFlit(
+        kLocalPort, wf.vc, wf.flit, now_);
+    if (kernel_ == KernelKind::Active)
+        activateRouter(id);
+}
+
+void
+Network::deliverWiresScan()
 {
     const int ports = topo_.numPorts();
     for (NodeId id = 0; id < topo_.numNodes(); ++id) {
@@ -93,88 +254,200 @@ Network::deliverWires()
         for (PortId p = 0; p < ports; ++p) {
             auto& fw = flit_wires_[wireIndex(id, p)];
             while (!fw.empty() && fw.front().due <= now_) {
-                const WireFlit wf = fw.pop();
-                if (p == kLocalPort) {
-                    if (tracer_ != nullptr) {
-                        tracer_->record({now_,
-                                         TraceEvent::Kind::Eject, id,
-                                         kInvalidPort, wf.flit.msg,
-                                         wf.flit.seq, wf.flit.type});
-                    }
-                    nics_[static_cast<std::size_t>(id)]->acceptFlit(
-                        wf.flit, now_, *this);
-                } else {
-                    const NodeId peer = topo_.neighbor(id, p);
-                    LAPSES_ASSERT(peer != kInvalidNode);
-                    if (tracer_ != nullptr) {
-                        tracer_->record(
-                            {now_, TraceEvent::Kind::HopArrive, peer,
-                             MeshTopology::oppositePort(p),
-                             wf.flit.msg, wf.flit.seq, wf.flit.type});
-                    }
-                    routers_[static_cast<std::size_t>(peer)]->acceptFlit(
-                        MeshTopology::oppositePort(p), wf.vc, wf.flit,
-                        now_);
-                }
+                ++counters_.wireEventsDelivered;
+                deliverFlitWire(id, p, fw.pop());
             }
             // Credit wires from (router id, in port p) upstream.
             auto& cw = credit_wires_[wireIndex(id, p)];
             while (!cw.empty() && cw.front().due <= now_) {
-                const WireCredit wc = cw.pop();
-                if (p == kLocalPort) {
-                    nics_[static_cast<std::size_t>(id)]->acceptCredit(
-                        wc.vc);
-                } else {
-                    const NodeId peer = topo_.neighbor(id, p);
-                    LAPSES_ASSERT(peer != kInvalidNode);
-                    routers_[static_cast<std::size_t>(peer)]
-                        ->acceptCredit(MeshTopology::oppositePort(p),
-                                       wc.vc);
-                }
+                ++counters_.wireEventsDelivered;
+                deliverCreditWire(id, p, cw.pop());
             }
         }
         // NIC injection wires -> router local input port.
         auto& iw = inject_wires_[static_cast<std::size_t>(id)];
         while (!iw.empty() && iw.front().due <= now_) {
-            const WireFlit wf = iw.pop();
-            if (tracer_ != nullptr) {
-                tracer_->record({now_, TraceEvent::Kind::Inject, id,
-                                 kLocalPort, wf.flit.msg, wf.flit.seq,
-                                 wf.flit.type});
-            }
-            routers_[static_cast<std::size_t>(id)]->acceptFlit(
-                kLocalPort, wf.vc, wf.flit, now_);
+            ++counters_.wireEventsDelivered;
+            deliverInjectWire(id, iw.pop());
         }
     }
 }
 
 void
-Network::step()
+Network::deliverWiresActive()
 {
-    deliverWires();
+    CalendarBucket& bucket = calendar_[now_slot_];
+    if (bucket.keys.empty())
+        return;
+    LAPSES_ASSERT(bucket.due == now_);
+    if (bucket.keys.size() >= sweep_threshold_) {
+        // Saturated regime: most wires carry traffic, so a full sweep
+        // (which visits wires in canonical order by construction) is
+        // cheaper than sorting the bucket. It delivers exactly this
+        // bucket's events — everything else in flight is due later.
+        bucket.keys.clear();
+        deliverWiresScan();
+        return;
+    }
+    // Ascending wire-key order = the scan kernel's delivery order, so
+    // the stats/tracer event stream stays byte-identical.
+    std::sort(bucket.keys.begin(), bucket.keys.end());
+    const std::int32_t inject_slot = key_stride_ - 1;
+    std::int32_t prev_key = -1;
+    for (const std::int32_t key : bucket.keys) {
+        if (key == prev_key)
+            continue; // several same-cycle events on one wire
+        prev_key = key;
+        const auto id = static_cast<NodeId>(key / key_stride_);
+        const std::int32_t slot = key % key_stride_;
+        if (slot == inject_slot) {
+            auto& iw = inject_wires_[static_cast<std::size_t>(id)];
+            while (!iw.empty() && iw.front().due <= now_) {
+                ++counters_.wireEventsDelivered;
+                deliverInjectWire(id, iw.pop());
+            }
+        } else if (slot % 2 == 0) {
+            const auto p = static_cast<PortId>(slot / 2);
+            auto& fw = flit_wires_[wireIndex(id, p)];
+            while (!fw.empty() && fw.front().due <= now_) {
+                ++counters_.wireEventsDelivered;
+                deliverFlitWire(id, p, fw.pop());
+            }
+        } else {
+            const auto p = static_cast<PortId>(slot / 2);
+            auto& cw = credit_wires_[wireIndex(id, p)];
+            while (!cw.empty() && cw.front().due <= now_) {
+                ++counters_.wireEventsDelivered;
+                deliverCreditWire(id, p, cw.pop());
+            }
+        }
+    }
+    bucket.keys.clear();
+}
+
+void
+Network::stepScan()
+{
+    deliverWiresScan();
+    const auto n = static_cast<std::size_t>(topo_.numNodes());
+    counters_.nicSteps += n;
+    counters_.routerSteps += n;
     for (NodeId id = 0; id < topo_.numNodes(); ++id) {
-        nics_[static_cast<std::size_t>(id)]->step(
+        nics_[static_cast<std::size_t>(id)].step(
             now_, nic_envs_[static_cast<std::size_t>(id)]);
     }
     for (NodeId id = 0; id < topo_.numNodes(); ++id) {
-        routers_[static_cast<std::size_t>(id)]->step(
+        routers_[static_cast<std::size_t>(id)].step(
             now_, router_envs_[static_cast<std::size_t>(id)]);
     }
     ++now_;
+    if (++now_slot_ == calendar_.size())
+        now_slot_ = 0;
+}
+
+void
+Network::stepActive()
+{
+    // 1. Wake NICs whose injection process has an event due.
+    while (!nic_wakes_.empty() && nic_wakes_.top().first <= now_) {
+        const auto [cycle, id] = nic_wakes_.top();
+        nic_wakes_.pop();
+        if (nic_active_[static_cast<std::size_t>(id)] == 0 &&
+            nic_wake_at_[static_cast<std::size_t>(id)] == cycle) {
+            activateNic(id);
+        }
+    }
+
+    // 2. Deliver due wire traffic; receivers join the active set.
+    deliverWiresActive();
+
+    // 3. Step active NICs; a NIC with no backlog leaves the set and
+    //    schedules its next injection-process wake.
+    counters_.nicSteps += active_nics_.size();
+    scratch_nics_.clear();
+    for (const NodeId id : active_nics_) {
+        const StepActivity act = nics_[static_cast<std::size_t>(id)]
+                                     .step(now_, nic_envs_[static_cast<
+                                               std::size_t>(id)]);
+        if (act.pendingWork || act.nextWake == now_ + 1) {
+            // Still has backlog — or must step again next cycle
+            // anyway (e.g. a Bernoulli process draws every cycle):
+            // staying in the set skips a pointless heap round-trip.
+            scratch_nics_.push_back(id);
+        } else {
+            nic_active_[static_cast<std::size_t>(id)] = 0;
+            nic_wake_at_[static_cast<std::size_t>(id)] = act.nextWake;
+            if (act.nextWake != kNeverCycle)
+                nic_wakes_.emplace(act.nextWake, id);
+        }
+    }
+    active_nics_.swap(scratch_nics_);
+
+    // 4. Step active routers; a router with empty buffers leaves the
+    //    set until a flit or credit arrival re-activates it.
+    counters_.routerSteps += active_routers_.size();
+    scratch_routers_.clear();
+    for (const NodeId id : active_routers_) {
+        const StepActivity act =
+            routers_[static_cast<std::size_t>(id)].step(
+                now_, router_envs_[static_cast<std::size_t>(id)]);
+        if (act.pendingWork)
+            scratch_routers_.push_back(id);
+        else
+            router_active_[static_cast<std::size_t>(id)] = 0;
+    }
+    active_routers_.swap(scratch_routers_);
+
+    ++now_;
+    if (++now_slot_ == calendar_.size())
+        now_slot_ = 0;
+}
+
+void
+Network::step()
+{
+    if (kernel_ == KernelKind::Scan)
+        stepScan();
+    else
+        stepActive();
+}
+
+Cycle
+Network::stepUntil(Cycle horizon)
+{
+    LAPSES_ASSERT(horizon > now_);
+    if (kernel_ == KernelKind::Active && active_routers_.empty() &&
+        active_nics_.empty()) {
+        const Cycle next = nextEventCycle();
+        if (next > now_) {
+            // Nothing can happen before `next`: no component is
+            // active, every wire event and NIC wake lies at or beyond
+            // it. Skip the dead cycles (capped so phase predicates and
+            // saturation checks keep their cycle schedule).
+            const Cycle target = std::min(horizon, next);
+            const Cycle advanced = target - now_;
+            counters_.fastForwardedCycles += advanced;
+            now_ = target;
+            now_slot_ = now_ % calendar_.size();
+            return advanced;
+        }
+    }
+    step();
+    return 1;
 }
 
 void
 Network::setMeasuring(bool on)
 {
     for (auto& nic : nics_)
-        nic->setMeasuring(on);
+        nic.setMeasuring(on);
 }
 
 void
 Network::setInjectionEnabled(bool on)
 {
     for (auto& nic : nics_)
-        nic->setInjectionEnabled(on);
+        nic.setInjectionEnabled(on);
 }
 
 std::uint64_t
@@ -182,7 +455,7 @@ Network::createdMeasured() const
 {
     std::uint64_t n = 0;
     for (const auto& nic : nics_)
-        n += nic->createdMeasured();
+        n += nic.createdMeasured();
     return n;
 }
 
@@ -191,7 +464,7 @@ Network::createdTotal() const
 {
     std::uint64_t n = 0;
     for (const auto& nic : nics_)
-        n += nic->createdTotal();
+        n += nic.createdTotal();
     return n;
 }
 
@@ -200,7 +473,7 @@ Network::totalBacklog() const
 {
     std::size_t n = 0;
     for (const auto& nic : nics_)
-        n += nic->backlog();
+        n += nic.backlog();
     return n;
 }
 
@@ -209,7 +482,7 @@ Network::totalOccupancy() const
 {
     std::size_t n = 0;
     for (const auto& r : routers_)
-        n += r->occupancy();
+        n += r.occupancy();
     for (const auto& w : flit_wires_)
         n += w.size();
     for (const auto& w : inject_wires_)
@@ -222,9 +495,9 @@ Network::progressCounter() const
 {
     std::uint64_t n = delivered_total_;
     for (const auto& r : routers_)
-        n += r->forwardedFlits();
+        n += r.forwardedFlits();
     for (const auto& nic : nics_)
-        n += nic->injectedFlits();
+        n += nic.injectedFlits();
     return n;
 }
 

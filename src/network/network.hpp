@@ -6,12 +6,29 @@
  * plus reverse credit wires. Delivery is staged: everything a component
  * emits at cycle t arrives at its peer at t + linkDelay, so the order in
  * which routers step within a cycle cannot matter.
+ *
+ * Two simulation kernels share this interface (see DESIGN.md):
+ *
+ *  - KernelKind::Active (default): per-cycle work is O(active
+ *    components + due wire events). Wire traffic sits in a calendar
+ *    queue bucketed by due cycle, only routers/NICs with pending work
+ *    are stepped, and when nothing is active the clock fast-forwards to
+ *    the next wire event or injection-process wake.
+ *  - KernelKind::Scan: the original path that steps every component and
+ *    scans every wire each cycle, kept for differential testing
+ *    (LAPSES_KERNEL=scan).
+ *
+ * Both kernels produce byte-identical statistics: wire events are
+ * delivered in the same (node, port, wire-kind) order the scan uses,
+ * and components are only put to sleep when stepping them is provably a
+ * no-op (no buffered flits, no injection-process event due).
  */
 
 #ifndef LAPSES_NETWORK_NETWORK_HPP
 #define LAPSES_NETWORK_NETWORK_HPP
 
-#include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
@@ -23,6 +40,10 @@
 namespace lapses
 {
 
+/** Resolve KernelKind::Auto through LAPSES_KERNEL ("scan"/"active");
+ *  unset resolves to Active, anything else throws ConfigError. */
+KernelKind resolveKernelKind(KernelKind requested);
+
 /** Network-level construction parameters. */
 struct NetworkParams
 {
@@ -31,12 +52,23 @@ struct NetworkParams
     Cycle linkDelay = 1;
     SelectorKind selector = SelectorKind::StaticXY;
     std::uint64_t seed = 1;
+    KernelKind kernel = KernelKind::Auto;
 };
 
 /** A mesh of routers and NICs with credit-based flow control. */
 class Network : public DeliverySink
 {
   public:
+    /** Cumulative kernel-side work counters (perf diagnostics; the
+     *  activity-driven kernel's savings show up here). */
+    struct KernelCounters
+    {
+        std::uint64_t nicSteps = 0;    //!< Nic::step invocations
+        std::uint64_t routerSteps = 0; //!< Router::step invocations
+        std::uint64_t wireEventsDelivered = 0;
+        std::uint64_t fastForwardedCycles = 0; //!< cycles skipped idle
+    };
+
     /**
      * @param topo     the mesh
      * @param params   microarchitecture + injection parameters
@@ -51,8 +83,23 @@ class Network : public DeliverySink
     /** Advance the whole network by one cycle. */
     void step();
 
+    /**
+     * Advance at least one cycle, but never past `horizon` (> now()).
+     * With the active kernel, an idle network (empty active set) jumps
+     * straight to the next wire event / NIC wake instead of stepping
+     * through dead cycles; the scan kernel always advances one cycle.
+     * Returns the number of cycles advanced.
+     */
+    Cycle stepUntil(Cycle horizon);
+
     /** The next cycle to execute (cycles completed so far). */
     Cycle now() const { return now_; }
+
+    /** The kernel this network runs (resolved, never Auto). */
+    KernelKind kernel() const { return kernel_; }
+
+    /** Work counters for perf tests and benches. */
+    const KernelCounters& kernelCounters() const { return counters_; }
 
     /** Start/stop tagging new messages as measured. */
     void setMeasuring(bool on);
@@ -103,12 +150,12 @@ class Network : public DeliverySink
     const MeshTopology& topology() const { return topo_; }
     Router& router(NodeId id)
     {
-        return *routers_[static_cast<std::size_t>(id)];
+        return routers_[static_cast<std::size_t>(id)];
     }
     const Router&
     router(NodeId id) const
     {
-        return *routers_[static_cast<std::size_t>(id)];
+        return routers_[static_cast<std::size_t>(id)];
     }
 
   private:
@@ -176,15 +223,76 @@ class Network : public DeliverySink
                static_cast<std::size_t>(port);
     }
 
-    /** Deliver all wire traffic due at 'now'. */
-    void deliverWires();
+    // --- Wire-event calendar (active kernel) --------------------------
+    //
+    // Every wire event is pushed with due = push cycle + linkDelay + 1,
+    // so dues in flight always lie in (now, now + linkDelay + 1]. With
+    // linkDelay + 2 buckets indexed by due % width, each bucket holds
+    // events of exactly one due at a time, and bucket[now % width] is
+    // precisely the set of wires with traffic due this cycle. A bucket
+    // entry is a wire key whose ascending order reproduces the scan
+    // kernel's delivery order (per node: flit wire, credit wire per
+    // port, then the injection wire), which keeps the stats/tracer
+    // stream byte-identical.
+
+    /** One calendar slot: the wires (possibly repeated, one entry per
+     *  event) with traffic due at cycles congruent to this slot. */
+    struct CalendarBucket
+    {
+        Cycle due = 0;
+        std::vector<std::int32_t> keys;
+    };
+
+    std::int32_t
+    flitWireKey(NodeId node, PortId port) const
+    {
+        return static_cast<std::int32_t>(node) * key_stride_ +
+               2 * static_cast<std::int32_t>(port);
+    }
+    std::int32_t
+    creditWireKey(NodeId node, PortId port) const
+    {
+        return flitWireKey(node, port) + 1;
+    }
+    std::int32_t
+    injectWireKey(NodeId node) const
+    {
+        return static_cast<std::int32_t>(node) * key_stride_ +
+               key_stride_ - 1;
+    }
+
+    /** Register a pushed wire event with the calendar. */
+    void scheduleWire(std::int32_t key, Cycle due);
+
+    /** Add a router/NIC to the active set (idempotent). */
+    void activateRouter(NodeId id);
+    void activateNic(NodeId id);
+
+    /** Earliest pending wire event or valid NIC wake; kNeverCycle when
+     *  the network is fully drained with no scheduled arrivals. */
+    Cycle nextEventCycle();
+
+    // Shared per-event delivery (tracer + hand-off + activation).
+    void deliverFlitWire(NodeId id, PortId p, const WireFlit& wf);
+    void deliverCreditWire(NodeId id, PortId p, const WireCredit& wc);
+    void deliverInjectWire(NodeId id, const WireFlit& wf);
+
+    /** Deliver all wire traffic due at 'now' (scan kernel). */
+    void deliverWiresScan();
+
+    /** Deliver the calendar bucket due at 'now' (active kernel). */
+    void deliverWiresActive();
+
+    void stepScan();
+    void stepActive();
 
     const MeshTopology& topo_;
     NetworkParams params_;
+    KernelKind kernel_;
     Cycle now_ = 0;
 
-    std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<Router> routers_;
+    std::vector<Nic> nics_;
     std::vector<RouterEnv> router_envs_;
     std::vector<NicEnv> nic_envs_;
 
@@ -198,6 +306,29 @@ class Network : public DeliverySink
 
     /** NIC -> router injection wires, one per node. */
     std::vector<RingBuffer<WireFlit>> inject_wires_;
+
+    // Active-kernel state.
+    std::int32_t key_stride_ = 0; //!< wire keys per node (2*ports + 1)
+    std::vector<CalendarBucket> calendar_;
+    std::size_t now_slot_ = 0; //!< calendar_[now_ % width], div-free
+    /** Bucket size beyond which a full scan sweep is cheaper than
+     *  sorting the bucket (the saturated regime, where most wires
+     *  carry traffic anyway). */
+    std::size_t sweep_threshold_ = 0;
+    std::vector<NodeId> active_routers_;
+    std::vector<NodeId> active_nics_;
+    std::vector<NodeId> scratch_routers_;
+    std::vector<NodeId> scratch_nics_;
+    std::vector<std::uint8_t> router_active_;
+    std::vector<std::uint8_t> nic_active_;
+    /** Pending wake cycle per NIC (kNeverCycle = none); entries in
+     *  nic_wakes_ that disagree with this are stale and skipped. */
+    std::vector<Cycle> nic_wake_at_;
+    std::priority_queue<std::pair<Cycle, NodeId>,
+                        std::vector<std::pair<Cycle, NodeId>>,
+                        std::greater<>>
+        nic_wakes_;
+    KernelCounters counters_;
 
     std::uint64_t delivered_measured_ = 0;
     std::uint64_t delivered_total_ = 0;

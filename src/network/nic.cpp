@@ -43,9 +43,10 @@ Nic::acceptFlit(const Flit& flit, Cycle now, DeliverySink& sink)
         sink.messageDelivered(flit, now);
 }
 
-void
+StepActivity
 Nic::step(Cycle now, Env& env)
 {
+    StepActivity report;
     // 1. Open-loop arrivals join the (unbounded) source queue. The
     //    process clock advances even while injection is disabled so a
     //    re-enabled NIC does not release a burst of stale arrivals.
@@ -124,8 +125,13 @@ Nic::step(Cycle now, Env& env)
             a.active = false;
         env.injectFlit(v, flit);
         mux_next_ = (static_cast<int>(v) + 1) % nv;
+        report.movedFlits = true;
         break;
     }
+
+    report.pendingWork = backlog() > 0;
+    report.nextWake = process_.nextArrivalCycle(now + 1);
+    return report;
 }
 
 } // namespace lapses

@@ -63,8 +63,32 @@ class Nic
     Nic(NodeId node, const Params& params, const RoutingTable& table,
         const TrafficPattern& pattern, Rng rng);
 
-    /** Generate arrivals, allocate VCs, stream one flit if possible. */
-    void step(Cycle now, Env& env);
+    /**
+     * Generate arrivals, allocate VCs, stream one flit if possible.
+     * The returned report tells the network whether this NIC needs
+     * stepping next cycle (pendingWork: backlog remains) and, when it
+     * does not, when to wake it for the next injection-process event.
+     */
+    StepActivity step(Cycle now, Env& env);
+
+    /**
+     * True when stepping this NIC cannot do anything: no queued or
+     * streaming messages, and the injection process has no event due
+     * at or before `now`. A quiescent NIC is re-activated by a credit
+     * return or by reaching its nextArrivalCycle().
+     */
+    bool
+    isQuiescent(Cycle now) const
+    {
+        return backlog() == 0 && nextArrivalCycle(now) > now;
+    }
+
+    /** The injection process's next RNG-consuming cycle (>= now). */
+    Cycle
+    nextArrivalCycle(Cycle now) const
+    {
+        return process_.nextArrivalCycle(now);
+    }
 
     /** Credit returned from the router's local input port. */
     void acceptCredit(VcId vc);

@@ -43,6 +43,7 @@ Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit, Cycle now)
 {
     LAPSES_ASSERT(in_port >= 0 && in_port < num_ports_);
     inputs_[static_cast<std::size_t>(in_port)].receiveFlit(vc, flit, now);
+    ++buffered_flits_;
 }
 
 void
@@ -54,21 +55,6 @@ Router::acceptCredit(PortId out_port, VcId vc)
     ++ovc.credits;
     LAPSES_ASSERT_MSG(ovc.credits <= params_.inBufDepth,
                       "credit overflow: more credits than buffer slots");
-}
-
-std::size_t
-Router::occupancy() const
-{
-    std::size_t n = 0;
-    for (const auto& in : inputs_)
-        n += in.occupancy();
-    for (PortId p = 0; p < num_ports_; ++p) {
-        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
-            n += outputs_[static_cast<std::size_t>(p)].vc(v)
-                     .buffer.size();
-        }
-    }
-    return n;
 }
 
 void
@@ -307,21 +293,31 @@ Router::serveVcMux(Cycle now, Env& env)
         if (!out.hasInfiniteCredits())
             --ovc.credits;
         out.recordUse(now);
+        ++transmitted_flits_;
+        --buffered_flits_; // the flit leaves the router for the wire
         if (isTail(flit.type))
             ovc.busy = false;
         env.flitOut(op, v, flit);
     }
 }
 
-void
+StepActivity
 Router::step(Cycle now, Env& env)
 {
+    const std::uint64_t forwarded_before = forwarded_flits_;
+    const std::uint64_t transmitted_before = transmitted_flits_;
     for (PortId ip = 0; ip < num_ports_; ++ip) {
         for (VcId v = 0; v < params_.vcsPerPort; ++v)
             advanceHeaderState(ip, v, now);
     }
     serveCrossbar(now, env);
     serveVcMux(now, env);
+
+    StepActivity report;
+    report.movedFlits = forwarded_flits_ != forwarded_before ||
+                        transmitted_flits_ != transmitted_before;
+    report.pendingWork = occupancy() > 0;
+    return report;
 }
 
 } // namespace lapses

@@ -106,12 +106,27 @@ class Router
     /** A credit returns for output (out_port, vc). */
     void acceptCredit(PortId out_port, VcId vc);
 
-    /** Advance one cycle: route headers, arbitrate the crossbar,
-     *  multiplex VCs onto links. */
-    void step(Cycle now, Env& env);
+    /**
+     * Advance one cycle: route headers, arbitrate the crossbar,
+     * multiplex VCs onto links. The report tells the network whether
+     * any flit moved and whether the router still holds buffered work
+     * (and therefore needs stepping again next cycle).
+     */
+    StepActivity step(Cycle now, Env& env);
 
-    /** Flits buffered in the router (diagnostics / quiescence check). */
-    std::size_t occupancy() const;
+    /**
+     * True when stepping this router is a guaranteed no-op: no flit is
+     * buffered in any input or output FIFO, so nothing can be routed,
+     * arbitrated, or transmitted. Residual per-message state (an input
+     * VC waiting for a tail still upstream, a busy output VC) needs no
+     * stepping — a quiescent router is re-activated by the next flit or
+     * credit arrival.
+     */
+    bool isQuiescent() const { return occupancy() == 0; }
+
+    /** Flits buffered in the router (input + output FIFOs), maintained
+     *  incrementally so the per-step quiescence check is O(1). */
+    std::size_t occupancy() const { return buffered_flits_; }
 
     /** Flits forwarded over the router's lifetime (progress watchdog). */
     std::uint64_t forwardedFlits() const { return forwarded_flits_; }
@@ -170,6 +185,8 @@ class Router
     std::vector<PortId> pending_request_;
 
     std::uint64_t forwarded_flits_ = 0;
+    std::uint64_t transmitted_flits_ = 0;
+    std::size_t buffered_flits_ = 0;
 };
 
 } // namespace lapses

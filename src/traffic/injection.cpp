@@ -83,6 +83,44 @@ InjectionProcess::arrivals(Cycle now)
     return 0;
 }
 
+Cycle
+InjectionProcess::nextArrivalCycle(Cycle now) const
+{
+    if (rate_ <= 0.0)
+        return kNeverCycle;
+
+    // The cycle containing the pending arrival clock; arrivals(c)
+    // consumes RNG only once next_time_ < c + 1, i.e. from cycle
+    // floor(next_time_) onward.
+    const auto clock_cycle = [&](double next_time) {
+        if (next_time <= static_cast<double>(now))
+            return now;
+        const auto limit =
+            static_cast<double>(kNeverCycle); // avoid UB on huge gaps
+        if (next_time >= limit)
+            return kNeverCycle;
+        return std::max(now, static_cast<Cycle>(next_time));
+    };
+
+    switch (kind_) {
+      case InjectionKind::Bernoulli:
+        return now; // one Bernoulli draw every cycle
+
+      case InjectionKind::Exponential:
+        return clock_cycle(next_time_);
+
+      case InjectionKind::Bursty:
+        // A phase toggle at phase_ends_ draws period lengths from the
+        // RNG, so the process must be polled there even while OFF.
+        if (now >= phase_ends_)
+            return now;
+        if (!on_)
+            return phase_ends_;
+        return std::min(phase_ends_, clock_cycle(next_time_));
+    }
+    return now;
+}
+
 double
 flitRateForLoad(const MeshTopology& topo, double normalized_load)
 {

@@ -58,6 +58,17 @@ class InjectionProcess
      */
     int arrivals(Cycle now);
 
+    /**
+     * The earliest cycle c >= now at which arrivals(c) might draw from
+     * the RNG or return a non-zero count; kNeverCycle when the process
+     * can never produce another arrival (rate 0). Cycles before the
+     * returned one may be skipped entirely: calling arrivals() there is
+     * a guaranteed no-op (no state change, no RNG consumption), which
+     * is what lets the activity-driven kernel put an idle NIC to sleep
+     * without perturbing the byte-identical RNG stream.
+     */
+    Cycle nextArrivalCycle(Cycle now) const;
+
     double rate() const { return rate_; }
 
     /** True while a Bursty process is in an ON period. */

@@ -145,6 +145,84 @@ TEST(ShardSpec, OwnershipPartitionsRunIndices)
     EXPECT_THROW((ShardSpec{0, 0}.validate()), ConfigError);
 }
 
+TEST(ShardSpec, ParsesTheWeightedCliForm)
+{
+    // k/M:w — M weight units, this shard owns units k-1 .. k-2+w.
+    const ShardSpec fast = parseShardSpec("1/4:3");
+    EXPECT_EQ(fast.index, 0u);
+    EXPECT_EQ(fast.count, 4u);
+    EXPECT_EQ(fast.weight, 3u);
+    EXPECT_EQ(fast.str(), "1/4:3");
+    const ShardSpec slow = parseShardSpec("4/4:1");
+    EXPECT_EQ(slow.index, 3u);
+    EXPECT_EQ(slow.weight, 1u);
+    EXPECT_EQ(slow.str(), "4/4"); // weight 1 prints the classic form
+    EXPECT_TRUE(parseShardSpec("1/3:3").isAll());
+
+    EXPECT_THROW(parseShardSpec("1/4:0"), ConfigError);
+    EXPECT_THROW(parseShardSpec("2/4:4"), ConfigError); // units 2..5
+    EXPECT_THROW(parseShardSpec("1/4:"), ConfigError);
+    EXPECT_THROW(parseShardSpec("1:3/4"), ConfigError);
+    EXPECT_THROW(parseShardSpec("1/4:x"), ConfigError);
+    // k-1+w must not be allowed to wrap around to "fits".
+    EXPECT_THROW(parseShardSpec("2/5:18446744073709551615"),
+                 ConfigError);
+}
+
+TEST(ShardSpec, WeightedOwnershipPartitionsRunIndices)
+{
+    // A 3x-faster host paired with a 1x host, and an uneven trio:
+    // every partition of the unit range covers each run exactly once.
+    const std::vector<std::vector<ShardSpec>> partitions = {
+        {{0, 4, 3}, {3, 4, 1}},
+        {{0, 5, 2}, {2, 5, 1}, {3, 5, 2}},
+    };
+    for (const auto& shards : partitions) {
+        for (const ShardSpec& s : shards)
+            EXPECT_NO_THROW(s.validate());
+        for (std::size_t i = 0; i < 100; ++i) {
+            int owners = 0;
+            for (const ShardSpec& s : shards)
+                owners += s.owns(i) ? 1 : 0;
+            EXPECT_EQ(owners, 1) << "run " << i;
+        }
+    }
+    EXPECT_THROW((ShardSpec{2, 4, 3}.validate()), ConfigError);
+    EXPECT_THROW((ShardSpec{0, 4, 0}.validate()), ConfigError);
+}
+
+TEST(ShardMerge, WeightedShardsMergeByteIdenticalToUnsharded)
+{
+    // Heterogeneous hosts: one takes 3 of 4 weight units, the other 1.
+    // The two shard files must partition the runs and reassemble into
+    // the canonical unsharded output, JSONL and CSV alike.
+    const ShardFixture& fx = fixture();
+    const ShardSpec specs[2] = {{0, 4, 3}, {3, 4, 1}};
+    const ShardOutput outputs[2] = {runShard(fx.runs, specs[0], 2),
+                                    runShard(fx.runs, specs[1], 1)};
+
+    for (SinkFormat format : {SinkFormat::Jsonl, SinkFormat::Csv}) {
+        const bool json = format == SinkFormat::Jsonl;
+        std::vector<ShardFile> shards;
+        for (std::size_t k = 0; k < 2; ++k) {
+            shards.push_back(parseString(
+                json ? outputs[k].jsonl : outputs[k].csv,
+                "weighted" + std::to_string(k), format));
+            for (const auto& [index, line] : shards.back().records)
+                EXPECT_TRUE(specs[k].owns(index)) << index;
+        }
+        // The fast shard carries ~3x the slow one's records.
+        EXPECT_GT(shards[0].records.size(),
+                  2 * shards[1].records.size());
+        EXPECT_NO_THROW(validateShardFiles(shards, fx.runs));
+        MergeReport report;
+        const std::string merged =
+            mergeAll(shards, fx.runs, format, &report);
+        EXPECT_TRUE(report.complete());
+        EXPECT_EQ(merged, json ? fx.whole.jsonl : fx.whole.csv);
+    }
+}
+
 TEST(ShardMerge, ThreeShardsMergeByteIdenticalToUnsharded)
 {
     const ShardFixture& fx = fixture();

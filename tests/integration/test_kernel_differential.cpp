@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Lockstep differential tests between the activity-driven kernel and
+ * the scan kernel (LAPSES_KERNEL=scan): over the full router catalog
+ * (both models, every routing algorithm, table scheme and selector,
+ * plus every injection process), the two kernels must agree cycle by
+ * cycle on the progress counter and total occupancy, and produce
+ * byte-identical final statistics. Any activation/quiescence bug —
+ * a component put to sleep while it still had work, a wire event
+ * delivered out of scan order, an RNG stream perturbed by a skipped
+ * step — diverges here with the offending cycle named.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/names.hpp"
+#include "core/simulation.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+/** The golden-stats scenario: small, fast, unsaturated, fixed seed. */
+SimConfig
+diffBase()
+{
+    SimConfig cfg;
+    cfg.radices = {4, 4};
+    cfg.msgLen = 4;
+    cfg.normalizedLoad = 0.2;
+    cfg.warmupMessages = 50;
+    cfg.measureMessages = 400;
+    cfg.seed = 20260727;
+    return cfg;
+}
+
+/** One configuration per catalog entry (the golden-stats catalog),
+ *  plus one per injection process. */
+std::vector<std::pair<std::string, SimConfig>>
+diffCases()
+{
+    std::vector<std::pair<std::string, SimConfig>> cases;
+    auto add = [&](const std::string& name, SimConfig cfg) {
+        cases.emplace_back(name, std::move(cfg));
+    };
+
+    for (RouterModel model :
+         {RouterModel::Proud, RouterModel::LaProud}) {
+        SimConfig cfg = diffBase();
+        cfg.model = model;
+        add("model:" + routerModelName(model), cfg);
+    }
+
+    for (RoutingAlgo routing :
+         {RoutingAlgo::DeterministicXY, RoutingAlgo::DeterministicYX,
+          RoutingAlgo::DuatoFullyAdaptive, RoutingAlgo::NorthLast,
+          RoutingAlgo::WestFirst, RoutingAlgo::NegativeFirst,
+          RoutingAlgo::TorusAdaptive}) {
+        SimConfig cfg = diffBase();
+        cfg.routing = routing;
+        if (routing == RoutingAlgo::TorusAdaptive) {
+            cfg.torus = true;
+            cfg.table = TableKind::Full; // economical is mesh-only
+        }
+        add("routing:" + routingAlgoName(routing), cfg);
+    }
+
+    for (TableKind table :
+         {TableKind::Full, TableKind::MetaRowMinimal,
+          TableKind::MetaBlockMaximal, TableKind::EconomicalStorage,
+          TableKind::Interval}) {
+        SimConfig cfg = diffBase();
+        cfg.table = table;
+        if (table == TableKind::Interval) // deterministic-only scheme
+            cfg.routing = RoutingAlgo::DeterministicXY;
+        add("table:" + tableKindName(table), cfg);
+    }
+
+    for (SelectorKind selector :
+         {SelectorKind::StaticXY, SelectorKind::FirstFree,
+          SelectorKind::Random, SelectorKind::MinMux,
+          SelectorKind::Lfu, SelectorKind::Lru,
+          SelectorKind::MaxCredit}) {
+        SimConfig cfg = diffBase();
+        cfg.selector = selector;
+        add("selector:" + selectorKindName(selector), cfg);
+    }
+
+    for (InjectionKind injection :
+         {InjectionKind::Exponential, InjectionKind::Bernoulli,
+          InjectionKind::Bursty}) {
+        SimConfig cfg = diffBase();
+        cfg.injection = injection;
+        add("injection:" + injectionKindName(injection), cfg);
+    }
+    return cases;
+}
+
+/** Every field of SimStats, compared exactly (byte identity). */
+void
+expectStatsIdentical(const SimStats& scan, const SimStats& active,
+                     const std::string& name)
+{
+    EXPECT_EQ(scan.saturated, active.saturated) << name;
+    EXPECT_EQ(scan.injectedMessages, active.injectedMessages) << name;
+    EXPECT_EQ(scan.deliveredMessages, active.deliveredMessages)
+        << name;
+    EXPECT_EQ(scan.deliveredFlits, active.deliveredFlits) << name;
+    EXPECT_EQ(scan.measuredCycles, active.measuredCycles) << name;
+    EXPECT_EQ(scan.acceptedFlitRate, active.acceptedFlitRate) << name;
+    EXPECT_EQ(scan.offeredFlitRate, active.offeredFlitRate) << name;
+    for (const auto& [label, s, a] :
+         {std::tuple<const char*, const Accumulator&,
+                     const Accumulator&>{
+              "totalLatency", scan.totalLatency, active.totalLatency},
+          {"networkLatency", scan.networkLatency,
+           active.networkLatency},
+          {"hops", scan.hops, active.hops}}) {
+        EXPECT_EQ(s.count(), a.count()) << name << ' ' << label;
+        EXPECT_EQ(s.mean(), a.mean()) << name << ' ' << label;
+        EXPECT_EQ(s.min(), a.min()) << name << ' ' << label;
+        EXPECT_EQ(s.max(), a.max()) << name << ' ' << label;
+        EXPECT_EQ(s.sum(), a.sum()) << name << ' ' << label;
+    }
+    for (double q : {0.5, 0.9, 0.99}) {
+        EXPECT_EQ(scan.latencyHist.percentile(q),
+                  active.latencyHist.percentile(q))
+            << name << " p" << q;
+    }
+}
+
+TEST(KernelDifferential, LockstepOverCatalog)
+{
+    for (const auto& [name, base] : diffCases()) {
+        SimConfig scan_cfg = base;
+        scan_cfg.kernel = KernelKind::Scan;
+        SimConfig active_cfg = base;
+        active_cfg.kernel = KernelKind::Active;
+        Simulation scan(scan_cfg);
+        Simulation active(active_cfg);
+        ASSERT_EQ(scan.network().kernel(), KernelKind::Scan) << name;
+        ASSERT_EQ(active.network().kernel(), KernelKind::Active)
+            << name;
+
+        for (Cycle t = 0; t < 800; ++t) {
+            scan.stepCycles(1);
+            active.stepCycles(1);
+            ASSERT_EQ(scan.network().progressCounter(),
+                      active.network().progressCounter())
+                << name << " diverged at cycle " << t;
+            ASSERT_EQ(scan.network().totalOccupancy(),
+                      active.network().totalOccupancy())
+                << name << " diverged at cycle " << t;
+            ASSERT_EQ(scan.network().deliveredTotal(),
+                      active.network().deliveredTotal())
+                << name << " diverged at cycle " << t;
+        }
+    }
+}
+
+TEST(KernelDifferential, FinalStatsByteIdenticalOverCatalog)
+{
+    for (const auto& [name, base] : diffCases()) {
+        SimConfig scan_cfg = base;
+        scan_cfg.kernel = KernelKind::Scan;
+        SimConfig active_cfg = base;
+        active_cfg.kernel = KernelKind::Active;
+        Simulation scan(scan_cfg);
+        Simulation active(active_cfg);
+        const SimStats scan_stats = scan.run();
+        const SimStats active_stats = active.run();
+        expectStatsIdentical(scan_stats, active_stats, name);
+        // The whole-run cycle clocks must agree too: the active
+        // kernel's fast-forward may skip stepping dead cycles but
+        // never bends the time axis.
+        EXPECT_EQ(scan.network().now(), active.network().now()) << name;
+        EXPECT_EQ(scan.network().progressCounter(),
+                  active.network().progressCounter())
+            << name;
+    }
+}
+
+TEST(KernelDifferential, SaturatedRunsAgree)
+{
+    // Past saturation the active set is the whole network; the kernels
+    // must still agree byte-for-byte, including on the saturation
+    // verdict itself.
+    SimConfig base = diffBase();
+    base.normalizedLoad = 1.2;
+    base.measureMessages = 600;
+    base.maxCycles = 60000;
+    for (SelectorKind selector :
+         {SelectorKind::StaticXY, SelectorKind::Random}) {
+        SimConfig scan_cfg = base;
+        scan_cfg.selector = selector;
+        scan_cfg.kernel = KernelKind::Scan;
+        SimConfig active_cfg = scan_cfg;
+        active_cfg.kernel = KernelKind::Active;
+        Simulation scan(scan_cfg);
+        Simulation active(active_cfg);
+        const SimStats scan_stats = scan.run();
+        const SimStats active_stats = active.run();
+        const std::string name =
+            "saturated:" + selectorKindName(selector);
+        expectStatsIdentical(scan_stats, active_stats, name);
+        EXPECT_EQ(scan.network().now(), active.network().now()) << name;
+    }
+}
+
+} // namespace
+} // namespace lapses

@@ -91,6 +91,40 @@ class NicTest : public ::testing::Test
     FixedPattern pattern;
 };
 
+TEST_F(NicTest, StepReportsActivityAndQuiescence)
+{
+    // Rate 0: the arrival process never fires, so after any step the
+    // NIC is quiescent with no wake scheduled.
+    Nic idle_nic(0, params(0.0), table, pattern, Rng{5});
+    CaptureEnv env;
+    const StepActivity idle = idle_nic.step(0, env);
+    EXPECT_FALSE(idle.movedFlits);
+    EXPECT_FALSE(idle.pendingWork);
+    EXPECT_EQ(idle.nextWake, kNeverCycle);
+    EXPECT_TRUE(idle_nic.isQuiescent(1));
+
+    // A busy NIC reports pending work while its backlog streams, and
+    // movedFlits on the cycles it puts a flit on the link.
+    Nic nic(0, params(0.5, 4), table, pattern, Rng{5});
+    Cycle now = 0;
+    bool moved_any = false;
+    bool pending_any = false;
+    for (; now < 100; ++now) {
+        const StepActivity r = nic.step(now, env);
+        moved_any |= r.movedFlits;
+        pending_any |= r.pendingWork;
+        // While a message streams, the NIC may never claim quiescence.
+        if (r.pendingWork)
+            EXPECT_FALSE(nic.isQuiescent(now));
+    }
+    EXPECT_TRUE(moved_any);
+    EXPECT_TRUE(pending_any);
+    // With a positive rate the self-scheduled wake is always finite.
+    const StepActivity last = nic.step(now, env);
+    EXPECT_NE(last.nextWake, kNeverCycle);
+    EXPECT_GT(last.nextWake, now);
+}
+
 TEST_F(NicTest, FlitizesMessagesInOrder)
 {
     // One VC so messages cannot interleave on the link.

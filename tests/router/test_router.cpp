@@ -125,6 +125,34 @@ TEST(RouterPipeline, ProudHeaderTakesFiveStages)
               MeshTopology::port(0, Direction::Plus));
 }
 
+TEST(RouterPipeline, StepReportsActivityAndQuiescence)
+{
+    RouterHarness h(/*lookahead=*/false);
+    // Empty router: quiescent, and a step reports neither movement
+    // nor pending work (the active kernel's licence to sleep it).
+    EXPECT_TRUE(h.router->isQuiescent());
+    h.env.now = 0;
+    const StepActivity idle = h.router->step(0, h.env);
+    EXPECT_FALSE(idle.movedFlits);
+    EXPECT_FALSE(idle.pendingWork);
+    EXPECT_EQ(idle.nextWake, kNeverCycle);
+
+    h.router->acceptFlit(kLocalPort, 0,
+                         h.makeFlit(FlitType::HeadTail, 1), 5);
+    EXPECT_FALSE(h.router->isQuiescent());
+    bool moved_any = false;
+    for (Cycle c = 5; c <= 9; ++c) {
+        h.env.now = c;
+        const StepActivity r = h.router->step(c, h.env);
+        moved_any |= r.movedFlits;
+        // Pending work until the flit leaves on the link at cycle 9.
+        EXPECT_EQ(r.pendingWork, c < 9) << c;
+    }
+    EXPECT_TRUE(moved_any);
+    EXPECT_TRUE(h.router->isQuiescent());
+    ASSERT_EQ(h.env.flits.size(), 1u);
+}
+
 TEST(RouterPipeline, LaProudHeaderTakesFourStages)
 {
     // Look-ahead removes the lookup stage: sync(5), sel/arb(6),

@@ -22,7 +22,11 @@
  * only the run indices i with i % M == k-1 (k is 1-based), keeping
  * global indices and per-run seeds, so the M shard files are
  * byte-identical slices of the unsharded output and `lapses-merge`
- * reassembles the canonical file.
+ * reassembles the canonical file. Heterogeneous hosts use weighted
+ * shards --shard k/M:w, where M counts weight units and the shard owns
+ * units k-1 .. k-2+w — e.g. a host 3x faster than its peer takes
+ * --shard 1/4:3 and the peer --shard 4/4:1. Any set of shards whose
+ * unit ranges partition [1, M] covers the grid exactly once.
  */
 
 #include <algorithm>
@@ -55,9 +59,11 @@ printHelp()
         "\n"
         "Execution:\n"
         "  --jobs N             worker threads (0 = all cores)  [0]\n"
-        "  --shard k/M          execute only run indices i with\n"
-        "                       i %% M == k-1 (one of M machines);\n"
-        "                       merge the M outputs with lapses-merge\n"
+        "  --shard k/M[:w]      execute only run indices i with\n"
+        "                       i %% M in [k-1, k-1+w) (one of M weight\n"
+        "                       units; w units for a faster host, 1\n"
+        "                       when omitted); merge the shard outputs\n"
+        "                       with lapses-merge\n"
         "  --no-skip-saturated  simulate loads past saturation too\n"
         "                       (also makes --shard redundancy-free)\n"
         "  --dry-run            list the expanded runs and exit\n"
