@@ -174,6 +174,68 @@ BENCHMARK(BM_KernelDrainHeavy)
     ->Arg(static_cast<int>(KernelKind::Scan))
     ->Unit(benchmark::kMicrosecond);
 
+/**
+ * The BM_Router* cases isolate the router hot path in the saturated
+ * regime — the regime that dominates every load sweep past the knee —
+ * on a fully pinned configuration (independent of SimConfig defaults),
+ * so the committed BENCH_router.json baseline stays comparable across
+ * PRs. CI runs them into BENCH_router.json:
+ *
+ *   ./bench/micro_router --benchmark_filter='BM_Router' \
+ *       --benchmark_out=BENCH_router.json --benchmark_out_format=json
+ */
+SimConfig
+routerBenchConfig(TrafficKind traffic, KernelKind kernel)
+{
+    SimConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.model = RouterModel::LaProud;
+    cfg.vcsPerPort = 4;
+    cfg.bufferDepth = 20;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.selector = SelectorKind::MaxCredit;
+    cfg.traffic = traffic;
+    cfg.normalizedLoad = 1.2;
+    cfg.msgLen = 8;
+    cfg.seed = 4242;
+    cfg.kernel = kernel;
+    return cfg;
+}
+
+/** Saturated steady-state cycle throughput on the pinned config. */
+void
+routerCycles(benchmark::State& state, TrafficKind traffic)
+{
+    Simulation sim(routerBenchConfig(
+        traffic, static_cast<KernelKind>(state.range(0))));
+    sim.stepCycles(2000); // fill the network to saturation
+    for (auto _ : state)
+        sim.stepCycles(200);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+
+void
+BM_RouterSaturatedUniform(benchmark::State& state)
+{
+    routerCycles(state, TrafficKind::Uniform);
+}
+BENCHMARK(BM_RouterSaturatedUniform)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_RouterSaturatedHotspot(benchmark::State& state)
+{
+    routerCycles(state, TrafficKind::Hotspot);
+}
+BENCHMARK(BM_RouterSaturatedHotspot)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

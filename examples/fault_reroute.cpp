@@ -43,11 +43,11 @@ runOnTable(const MeshTopology& topo, const RoutingTable& table,
         SimStats* stats;
     } ctx{&stats};
     net.setDeliveryHook(
-        [](void* c, const Flit& tail, Cycle now) {
+        [](void* c, const MessageDescriptor& msg, Cycle now) {
             SimStats& s = *static_cast<Ctx*>(c)->stats;
             s.totalLatency.add(
-                static_cast<double>(now - tail.createdAt));
-            s.hops.add(tail.hops);
+                static_cast<double>(now - msg.createdAt));
+            s.hops.add(msg.hops);
             ++s.deliveredMessages;
         },
         &ctx);

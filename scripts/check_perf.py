@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare kernel-benchmark ratios against a committed baseline.
+
+Absolute cycles/sec numbers are machine-dependent, so CI compares the
+*active/scan ratio* per benchmark case — how much the activity-driven
+kernel buys over the step-everything kernel on the same host — against
+the ratios recorded in the committed baseline JSON (BENCH_kernel.json /
+BENCH_router.json at the repo root). A shrinking ratio means the hot
+path regressed relative to the scan reference.
+
+Exit status: 0 when all ratios are within --warn of the baseline (or
+better), 0 with warnings between --warn and --fail, 1 beyond --fail.
+
+When the two files were measured against differently built Google
+Benchmark libraries (context.library_build_type, e.g. a debug-library
+dev box vs a release-library CI runner), ratios are not like-for-like:
+regressions beyond --fail are reported as warnings instead of failing,
+and the baseline should be refreshed from the CI job's uploaded
+artifact to restore strict gating.
+
+    scripts/check_perf.py BENCH_kernel.json build/BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ACTIVE_ARG = "/1"  # KernelKind::Active
+SCAN_ARG = "/2"    # KernelKind::Scan
+
+
+def load_ratios(path):
+    """(case -> active/scan items_per_second ratio, library build type).
+
+    When the file was produced with --benchmark_repetitions, the
+    median aggregate is used (stable against scheduler noise on
+    shared runners); otherwise the single iteration row.
+    """
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    build_type = data.get("context", {}).get("library_build_type", "")
+    rates = {}
+    medians = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench["run_name"]] = bench["items_per_second"]
+            continue
+        rates.setdefault(bench["name"], bench["items_per_second"])
+    rates.update(medians)
+    ratios = {}
+    for name, active in sorted(rates.items()):
+        if not name.endswith(ACTIVE_ARG):
+            continue
+        case = name[: -len(ACTIVE_ARG)]
+        scan = rates.get(case + SCAN_ARG)
+        if scan:
+            ratios[case] = active / scan
+    if not ratios:
+        raise SystemExit(f"{path}: no active/scan benchmark pairs found")
+    return ratios, build_type
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--warn", type=float, default=0.15,
+                        help="warn when the ratio regresses by this "
+                             "fraction (default 0.15)")
+    parser.add_argument("--fail", type=float, default=0.40,
+                        help="fail when the ratio regresses by this "
+                             "fraction (default 0.40)")
+    args = parser.parse_args(argv)
+
+    baseline, base_build = load_ratios(args.baseline)
+    current, cur_build = load_ratios(args.current)
+
+    comparable = base_build == cur_build
+    if not comparable:
+        print(f"::warning::benchmark-library build types differ "
+              f"(baseline: {base_build or '?'}, current: "
+              f"{cur_build or '?'}); ratios are not like-for-like, "
+              "reporting regressions as warnings only — refresh the "
+              "committed baseline from this run's artifact")
+
+    failed = False
+    for case, base_ratio in sorted(baseline.items()):
+        cur_ratio = current.get(case)
+        if cur_ratio is None:
+            # A silently vanished case would silently remove its gate;
+            # dropping or renaming a benchmark must come with a
+            # baseline refresh.
+            print(f"::error::{case}: present in baseline but not in "
+                  "the current run — regenerate the baselines if the "
+                  "benchmark was renamed or removed")
+            failed = True
+            continue
+        regression = (base_ratio - cur_ratio) / base_ratio
+        line = (f"{case}: active/scan {cur_ratio:.2f}x "
+                f"(baseline {base_ratio:.2f}x, "
+                f"{-regression:+.1%} vs baseline)")
+        if regression >= args.fail and comparable:
+            print(f"::error::{line}")
+            failed = True
+        elif regression >= args.warn or regression >= args.fail:
+            print(f"::warning::{line}")
+        else:
+            print(line)
+    for case in sorted(set(current) - set(baseline)):
+        print(f"{case}: active/scan {current[case]:.2f}x (no baseline)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

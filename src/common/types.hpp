@@ -31,6 +31,13 @@ using VcId = std::int8_t;
 /** Unique message identifier assigned at injection. */
 using MessageId = std::uint64_t;
 
+/** Handle of an in-flight message's descriptor in the MessagePool. */
+using MsgRef = std::uint32_t;
+
+/** Sentinel for "no message descriptor". */
+inline constexpr MsgRef kInvalidMsgRef =
+    std::numeric_limits<MsgRef>::max();
+
 /** Sentinel for "no node". */
 inline constexpr NodeId kInvalidNode = -1;
 
@@ -73,6 +80,11 @@ struct StepActivity
 {
     /** A flit moved (forwarded, transmitted, or injected) this step. */
     bool movedFlits = false;
+
+    /** Flits this step pushed toward their destination (crossbar
+     *  forwards for routers, link injections for NICs). The network
+     *  accumulates these into its O(1) progress counter. */
+    std::uint32_t progressed = 0;
 
     /** The component still holds work (buffered flits / queued
      *  messages) and must be stepped again next cycle. */

@@ -67,26 +67,27 @@ Simulation::Simulation(const SimConfig& cfg)
 Simulation::~Simulation() = default;
 
 void
-Simulation::deliveryHook(void* ctx, const Flit& tail, Cycle now)
+Simulation::deliveryHook(void* ctx, const MessageDescriptor& msg,
+                         Cycle now)
 {
-    static_cast<Simulation*>(ctx)->recordDelivery(tail, now);
+    static_cast<Simulation*>(ctx)->recordDelivery(msg, now);
 }
 
 void
-Simulation::recordDelivery(const Flit& tail, Cycle now)
+Simulation::recordDelivery(const MessageDescriptor& msg, Cycle now)
 {
     if (measuring_window_)
-        window_flits_ += tail.msgLen;
-    if (!tail.measured)
+        window_flits_ += msg.msgLen;
+    if (!msg.measured)
         return;
-    const auto total = static_cast<double>(now - tail.createdAt);
-    const auto network = static_cast<double>(now - tail.injectedAt);
+    const auto total = static_cast<double>(now - msg.createdAt);
+    const auto network = static_cast<double>(now - msg.injectedAt);
     stats_.totalLatency.add(total);
     stats_.networkLatency.add(network);
     stats_.latencyHist.add(total);
-    stats_.hops.add(static_cast<double>(tail.hops));
+    stats_.hops.add(static_cast<double>(msg.hops));
     ++stats_.deliveredMessages;
-    stats_.deliveredFlits += tail.msgLen;
+    stats_.deliveredFlits += msg.msgLen;
 }
 
 bool

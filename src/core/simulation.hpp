@@ -53,8 +53,9 @@ class Simulation
     int effectiveEscapeVcs() const { return escape_vcs_; }
 
   private:
-    static void deliveryHook(void* ctx, const Flit& tail, Cycle now);
-    void recordDelivery(const Flit& tail, Cycle now);
+    static void deliveryHook(void* ctx, const MessageDescriptor& msg,
+                             Cycle now);
+    void recordDelivery(const MessageDescriptor& msg, Cycle now);
 
     /** Run phase loop until pred is true or saturation; returns false
      *  when the run saturated. */

@@ -60,6 +60,8 @@ Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
     net.inject_wires_[static_cast<std::size_t>(id_)].push(
         {flit, vc, due});
     net.scheduleWire(net.injectWireKey(id_), due);
+    // The flit enters the tracked domain (wires + router FIFOs).
+    ++net.occupancy_;
 }
 
 Network::Network(const MeshTopology& topo, const NetworkParams& params,
@@ -85,10 +87,12 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
             id, topo, params.router, table, escape_channels,
             makePathSelector(params.selector,
                              master.split(0x5E1Eu + static_cast<
-                                          std::uint64_t>(id))));
+                                          std::uint64_t>(id))),
+            pool_);
         nics_.emplace_back(
             id, params.nic, table, pattern,
-            master.split(0x417Cu + static_cast<std::uint64_t>(id)));
+            master.split(0x417Cu + static_cast<std::uint64_t>(id)),
+            pool_);
         router_envs_[static_cast<std::size_t>(id)].bind(this, id);
         nic_envs_[static_cast<std::size_t>(id)].bind(this, id);
     }
@@ -194,9 +198,11 @@ Network::deliverFlitWire(NodeId id, PortId p, const WireFlit& wf)
     if (p == kLocalPort) {
         if (tracer_ != nullptr) {
             tracer_->record({now_, TraceEvent::Kind::Eject, id,
-                             kInvalidPort, wf.flit.msg, wf.flit.seq,
-                             wf.flit.type});
+                             kInvalidPort, pool_[wf.flit.msg].id,
+                             wf.flit.seq, wf.flit.type});
         }
+        // The flit leaves the tracked domain at its destination NIC.
+        --occupancy_;
         nics_[static_cast<std::size_t>(id)].acceptFlit(wf.flit, now_,
                                                        *this);
         return;
@@ -205,8 +211,9 @@ Network::deliverFlitWire(NodeId id, PortId p, const WireFlit& wf)
     LAPSES_ASSERT(peer != kInvalidNode);
     if (tracer_ != nullptr) {
         tracer_->record({now_, TraceEvent::Kind::HopArrive, peer,
-                         MeshTopology::oppositePort(p), wf.flit.msg,
-                         wf.flit.seq, wf.flit.type});
+                         MeshTopology::oppositePort(p),
+                         pool_[wf.flit.msg].id, wf.flit.seq,
+                         wf.flit.type});
     }
     routers_[static_cast<std::size_t>(peer)].acceptFlit(
         MeshTopology::oppositePort(p), wf.vc, wf.flit, now_);
@@ -236,8 +243,8 @@ Network::deliverInjectWire(NodeId id, const WireFlit& wf)
 {
     if (tracer_ != nullptr) {
         tracer_->record({now_, TraceEvent::Kind::Inject, id,
-                         kLocalPort, wf.flit.msg, wf.flit.seq,
-                         wf.flit.type});
+                         kLocalPort, pool_[wf.flit.msg].id,
+                         wf.flit.seq, wf.flit.type});
     }
     routers_[static_cast<std::size_t>(id)].acceptFlit(
         kLocalPort, wf.vc, wf.flit, now_);
@@ -333,12 +340,15 @@ Network::stepScan()
     counters_.nicSteps += n;
     counters_.routerSteps += n;
     for (NodeId id = 0; id < topo_.numNodes(); ++id) {
-        nics_[static_cast<std::size_t>(id)].step(
+        const StepActivity act = nics_[static_cast<std::size_t>(id)].step(
             now_, nic_envs_[static_cast<std::size_t>(id)]);
+        progress_flits_ += act.progressed;
     }
     for (NodeId id = 0; id < topo_.numNodes(); ++id) {
-        routers_[static_cast<std::size_t>(id)].step(
-            now_, router_envs_[static_cast<std::size_t>(id)]);
+        const StepActivity act =
+            routers_[static_cast<std::size_t>(id)].step(
+                now_, router_envs_[static_cast<std::size_t>(id)]);
+        progress_flits_ += act.progressed;
     }
     ++now_;
     if (++now_slot_ == calendar_.size())
@@ -369,6 +379,7 @@ Network::stepActive()
         const StepActivity act = nics_[static_cast<std::size_t>(id)]
                                      .step(now_, nic_envs_[static_cast<
                                                std::size_t>(id)]);
+        progress_flits_ += act.progressed;
         if (act.pendingWork || act.nextWake == now_ + 1) {
             // Still has backlog — or must step again next cycle
             // anyway (e.g. a Bernoulli process draws every cycle):
@@ -391,6 +402,7 @@ Network::stepActive()
         const StepActivity act =
             routers_[static_cast<std::size_t>(id)].step(
                 now_, router_envs_[static_cast<std::size_t>(id)]);
+        progress_flits_ += act.progressed;
         if (act.pendingWork)
             scratch_routers_.push_back(id);
         else
@@ -478,7 +490,7 @@ Network::totalBacklog() const
 }
 
 std::size_t
-Network::totalOccupancy() const
+Network::totalOccupancySlow() const
 {
     std::size_t n = 0;
     for (const auto& r : routers_)
@@ -491,7 +503,7 @@ Network::totalOccupancy() const
 }
 
 std::uint64_t
-Network::progressCounter() const
+Network::progressCounterSlow() const
 {
     std::uint64_t n = delivered_total_;
     for (const auto& r : routers_)
@@ -502,13 +514,17 @@ Network::progressCounter() const
 }
 
 void
-Network::messageDelivered(const Flit& tail, Cycle now)
+Network::messageDelivered(MsgRef msg, Cycle now)
 {
+    const MessageDescriptor& desc = pool_[msg];
     ++delivered_total_;
-    if (tail.measured)
+    if (desc.measured)
         ++delivered_measured_;
     if (hook_ != nullptr)
-        hook_(hook_ctx_, tail, now);
+        hook_(hook_ctx_, desc, now);
+    // The tail was the message's last flit anywhere in the network:
+    // recycle its descriptor.
+    pool_.release(msg);
 }
 
 } // namespace lapses

@@ -125,15 +125,35 @@ class Network : public DeliverySink
     /** Sum of source-queue backlogs (saturation detector input). */
     std::size_t totalBacklog() const;
 
-    /** Flits buffered anywhere in routers or on wires. */
-    std::size_t totalOccupancy() const;
+    /** Flits buffered anywhere in routers or on wires. O(1): the
+     *  counter moves only at injection (a flit enters the tracked
+     *  domain) and ejection (it leaves); every other hop shifts flits
+     *  between tracked stores. */
+    std::size_t totalOccupancy() const { return occupancy_; }
+
+    /** Recomputed-by-summation occupancy; the differential and unit
+     *  suites pin it equal to the O(1) counter. */
+    std::size_t totalOccupancySlow() const;
 
     /** Monotone progress counter (flit movements), for the deadlock
-     *  watchdog. */
-    std::uint64_t progressCounter() const;
+     *  watchdog. O(1): steps report their forwarded/injected flits
+     *  and the network accumulates. */
+    std::uint64_t
+    progressCounter() const
+    {
+        return delivered_total_ + progress_flits_;
+    }
+
+    /** Recomputed-by-summation progress (test cross-check). */
+    std::uint64_t progressCounterSlow() const;
+
+    /** In-flight message descriptors (shared by NICs and routers). */
+    MessagePool& messagePool() { return pool_; }
+    const MessagePool& messagePool() const { return pool_; }
 
     /** Hook invoked on every delivered message (set by Simulation). */
-    using DeliveryHook = void (*)(void* ctx, const Flit& tail, Cycle now);
+    using DeliveryHook = void (*)(void* ctx, const MessageDescriptor& msg,
+                                  Cycle now);
     void
     setDeliveryHook(DeliveryHook hook, void* ctx)
     {
@@ -144,8 +164,8 @@ class Network : public DeliverySink
     /** Attach (or detach with nullptr) a flit-event tracer. */
     void setTracer(FlitTracer* tracer) { tracer_ = tracer; }
 
-    // DeliverySink
-    void messageDelivered(const Flit& tail, Cycle now) override;
+    // DeliverySink; recycles the message's descriptor after the hook.
+    void messageDelivered(MsgRef msg, Cycle now) override;
 
     const MeshTopology& topology() const { return topo_; }
     Router& router(NodeId id)
@@ -291,6 +311,10 @@ class Network : public DeliverySink
     KernelKind kernel_;
     Cycle now_ = 0;
 
+    /** Descriptor store; declared before the components that hold
+     *  references into it. */
+    MessagePool pool_;
+
     std::vector<Router> routers_;
     std::vector<Nic> nics_;
     std::vector<RouterEnv> router_envs_;
@@ -329,6 +353,13 @@ class Network : public DeliverySink
                         std::greater<>>
         nic_wakes_;
     KernelCounters counters_;
+
+    /** Flits in routers or on flit/injection wires (totalOccupancy). */
+    std::size_t occupancy_ = 0;
+
+    /** Flits forwarded by routers + injected by NICs (accumulated from
+     *  step reports; progressCounter adds deliveries). */
+    std::uint64_t progress_flits_ = 0;
 
     std::uint64_t delivered_measured_ = 0;
     std::uint64_t delivered_total_ = 0;

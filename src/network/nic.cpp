@@ -4,10 +4,11 @@ namespace lapses
 {
 
 Nic::Nic(NodeId node, const Params& params, const RoutingTable& table,
-         const TrafficPattern& pattern, Rng rng)
+         const TrafficPattern& pattern, Rng rng, MessagePool& pool)
     : node_(node), params_(params), table_(table), pattern_(pattern),
-      rng_(rng), process_(params.injection, params.msgsPerCycle,
-                          rng.split(0x1111), params.burst),
+      rng_(rng), pool_(pool),
+      process_(params.injection, params.msgsPerCycle,
+               rng.split(0x1111), params.burst),
       active_(static_cast<std::size_t>(params.numVcs)),
       credits_(static_cast<std::size_t>(params.numVcs),
                params.routerBufDepth),
@@ -37,10 +38,10 @@ Nic::acceptCredit(VcId vc)
 void
 Nic::acceptFlit(const Flit& flit, Cycle now, DeliverySink& sink)
 {
-    LAPSES_ASSERT_MSG(flit.dest == node_,
+    LAPSES_ASSERT_MSG(pool_[flit.msg].dest == node_,
                       "flit ejected at the wrong node");
     if (isTail(flit.type))
-        sink.messageDelivered(flit, now);
+        sink.messageDelivered(flit.msg, now);
 }
 
 StepActivity
@@ -62,7 +63,9 @@ Nic::step(Cycle now, Env& env)
     }
 
     // 2. Allocate idle VCs to waiting messages (conservative
-    //    reallocation: the downstream buffer must have drained).
+    //    reallocation: the downstream buffer must have drained). The
+    //    message's shared header state moves into a pool descriptor
+    //    here; its flits will carry only the handle.
     for (VcId v = 0; v < params_.numVcs && !queue_.empty(); ++v) {
         ActiveInjection& a = active_[static_cast<std::size_t>(v)];
         if (a.active ||
@@ -73,11 +76,15 @@ Nic::step(Cycle now, Env& env)
         const QueuedMessage m = queue_.front();
         queue_.pop_front();
         a.active = true;
-        a.dest = m.dest;
-        a.createdAt = m.createdAt;
-        a.measured = m.measured;
         a.nextSeq = 0;
-        a.msg = next_msg_id_++;
+        a.msg = pool_.acquire();
+        MessageDescriptor& desc = pool_[a.msg];
+        desc.id = next_msg_id_++;
+        desc.src = node_;
+        desc.dest = m.dest;
+        desc.msgLen = static_cast<std::uint16_t>(params_.msgLen);
+        desc.createdAt = m.createdAt;
+        desc.measured = m.measured;
     }
 
     // 3. The local physical link carries one flit per cycle; round-robin
@@ -89,11 +96,20 @@ Nic::step(Cycle now, Env& env)
         if (!a.active || credits_[static_cast<std::size_t>(v)] <= 0)
             continue;
 
-        if (a.nextSeq == 0)
-            a.injectedAt = now; // the header actually enters the network
+        const int len = params_.msgLen;
+        if (a.nextSeq == 0) {
+            // The header actually enters the network.
+            MessageDescriptor& desc = pool_[a.msg];
+            desc.injectedAt = now;
+            if (params_.lookahead) {
+                // First-hop lookup performed by the NIC so the header
+                // reaches the source router carrying its candidates.
+                desc.laRoute = table_.lookup(node_, desc.dest);
+                desc.laValid = true;
+            }
+        }
 
         Flit flit;
-        const int len = params_.msgLen;
         if (len == 1) {
             flit.type = FlitType::HeadTail;
         } else if (a.nextSeq == 0) {
@@ -104,19 +120,7 @@ Nic::step(Cycle now, Env& env)
             flit.type = FlitType::Body;
         }
         flit.msg = a.msg;
-        flit.src = node_;
-        flit.dest = a.dest;
         flit.seq = a.nextSeq;
-        flit.msgLen = static_cast<std::uint16_t>(len);
-        flit.createdAt = a.createdAt;
-        flit.injectedAt = a.injectedAt;
-        flit.measured = a.measured;
-        if (isHead(flit.type) && params_.lookahead) {
-            // First-hop lookup performed by the NIC so the header
-            // reaches the source router carrying its candidates.
-            flit.laRoute = table_.lookup(node_, a.dest);
-            flit.laValid = true;
-        }
 
         --credits_[static_cast<std::size_t>(v)];
         ++a.nextSeq;
@@ -126,6 +130,7 @@ Nic::step(Cycle now, Env& env)
         env.injectFlit(v, flit);
         mux_next_ = (static_cast<int>(v) + 1) % nv;
         report.movedFlits = true;
+        report.progressed = 1;
         break;
     }
 

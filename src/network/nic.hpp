@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
+#include "router/message_pool.hpp"
 #include "tables/routing_table.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/patterns.hpp"
@@ -32,8 +33,10 @@ class DeliverySink
   public:
     virtual ~DeliverySink() = default;
 
-    /** The tail flit of a message reached its destination NIC. */
-    virtual void messageDelivered(const Flit& tail, Cycle now) = 0;
+    /** The tail flit of message `msg` reached its destination NIC.
+     *  The descriptor stays valid for the duration of the call; the
+     *  sink's owner recycles it afterwards. */
+    virtual void messageDelivered(MsgRef msg, Cycle now) = 0;
 };
 
 /** Injection + ejection endpoint of one node. */
@@ -60,8 +63,10 @@ class Nic
         virtual void injectFlit(VcId vc, const Flit& flit) = 0;
     };
 
+    /** @param pool shared in-flight message descriptors (acquired at
+     *         injection, recycled by the network on tail delivery) */
     Nic(NodeId node, const Params& params, const RoutingTable& table,
-        const TrafficPattern& pattern, Rng rng);
+        const TrafficPattern& pattern, Rng rng, MessagePool& pool);
 
     /**
      * Generate arrivals, allocate VCs, stream one flit if possible.
@@ -128,12 +133,8 @@ class Nic
     struct ActiveInjection
     {
         bool active = false;
-        NodeId dest = kInvalidNode;
-        Cycle createdAt = 0;
-        Cycle injectedAt = 0;
-        bool measured = false;
         std::uint16_t nextSeq = 0;
-        MessageId msg = 0;
+        MsgRef msg = kInvalidMsgRef;
     };
 
     NodeId node_;
@@ -141,6 +142,7 @@ class Nic
     const RoutingTable& table_;
     const TrafficPattern& pattern_;
     Rng rng_;
+    MessagePool& pool_;
     InjectionProcess process_;
 
     std::deque<QueuedMessage> queue_;

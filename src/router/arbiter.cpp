@@ -1,6 +1,6 @@
 #include "router/arbiter.hpp"
 
-#include <algorithm>
+#include <bit>
 
 namespace lapses
 {
@@ -8,24 +8,43 @@ namespace lapses
 bool
 RoundRobinArbiter::anyRequest() const
 {
-    return std::find(requests_.begin(), requests_.end(), true) !=
-           requests_.end();
+    for (const std::uint64_t w : words_) {
+        if (w != 0)
+            return true;
+    }
+    return false;
+}
+
+int
+RoundRobinArbiter::scanFrom(int start) const
+{
+    std::size_t wi = static_cast<std::size_t>(start) >> 6;
+    if (wi >= words_.size())
+        return -1;
+    // Mask off lines below `start` in its word; later words scan whole.
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (start & 63));
+    while (true) {
+        if (w != 0) {
+            const int i = static_cast<int>(wi) * 64 + std::countr_zero(w);
+            return i < num_requesters_ ? i : -1;
+        }
+        if (++wi == words_.size())
+            return -1;
+        w = words_[wi];
+    }
 }
 
 int
 RoundRobinArbiter::grant()
 {
-    const int n = numRequesters();
-    int winner = -1;
-    for (int k = 0; k < n; ++k) {
-        const int i = (next_ + k) % n;
-        if (requests_[static_cast<std::size_t>(i)]) {
-            winner = i;
-            break;
-        }
-    }
+    // Rotating priority: first raised line at or after the pointer,
+    // wrapping around — exactly the circular scan a chain of fixed
+    // arbiters would implement.
+    int winner = scanFrom(next_);
+    if (winner < 0 && next_ != 0)
+        winner = scanFrom(0);
     if (winner >= 0)
-        next_ = (winner + 1) % n;
+        next_ = winner + 1 == num_requesters_ ? 0 : winner + 1;
     clear();
     return winner;
 }
@@ -33,7 +52,8 @@ RoundRobinArbiter::grant()
 void
 RoundRobinArbiter::clear()
 {
-    std::fill(requests_.begin(), requests_.end(), false);
+    for (std::uint64_t& w : words_)
+        w = 0;
 }
 
 } // namespace lapses

@@ -5,7 +5,9 @@
  * The two arbitration points of the paper's router model (Section 2.2:
  * "contention ... can occur only in the crossbar arbitration and VC
  * multiplexing stages") both use rotating-priority arbitration for
- * starvation freedom.
+ * starvation freedom. Request lines are 64-bit words so that raising,
+ * scanning and clearing are a handful of bit operations per cycle
+ * rather than a walk over every requester.
  */
 
 #ifndef LAPSES_ROUTER_ARBITER_HPP
@@ -25,22 +27,20 @@ class RoundRobinArbiter
   public:
     /** @param num_requesters size of the requester id space */
     explicit RoundRobinArbiter(int num_requesters)
-        : requests_(static_cast<std::size_t>(num_requesters), false),
-          next_(0)
+        : words_(static_cast<std::size_t>(num_requesters + 63) / 64, 0),
+          num_requesters_(num_requesters), next_(0)
     {
         LAPSES_ASSERT(num_requesters > 0);
     }
 
-    int numRequesters() const
-    {
-        return static_cast<int>(requests_.size());
-    }
+    int numRequesters() const { return num_requesters_; }
 
     /** Raise requester i's request line for this arbitration round. */
     void
     request(int i)
     {
-        requests_[static_cast<std::size_t>(i)] = true;
+        words_[static_cast<std::size_t>(i) >> 6] |=
+            std::uint64_t{1} << (i & 63);
     }
 
     /** True if any request line is raised. */
@@ -57,7 +57,11 @@ class RoundRobinArbiter
     void clear();
 
   private:
-    std::vector<bool> requests_;
+    /** First raised line in [start, numRequesters), or -1. */
+    int scanFrom(int start) const;
+
+    std::vector<std::uint64_t> words_;
+    int num_requesters_;
     int next_;
 };
 

@@ -3,17 +3,19 @@
  * Flits — the flow-control units of wormhole switching.
  *
  * A message is a header flit, zero or more body flits and a tail flit
- * (single-flit messages use HeadTail). The header carries the routing
- * information; in look-ahead mode it additionally carries the candidate
- * output ports for the *current* router, computed by the previous
- * router's concurrent table lookup (Fig. 3/4 header formats).
+ * (single-flit messages use HeadTail). Per-message header state (source,
+ * destination, timestamps, the look-ahead route of Fig. 3/4) lives in a
+ * MessageDescriptor owned by the network's MessagePool; the Flit itself
+ * is a compact wire token — what actually moves through input buffers,
+ * output FIFOs and wire queues millions of times per run — carrying only
+ * its position in the message, the descriptor handle, and the local
+ * pipeline timestamp.
  */
 
 #ifndef LAPSES_ROUTER_FLIT_HPP
 #define LAPSES_ROUTER_FLIT_HPP
 
 #include "common/types.hpp"
-#include "routing/route_candidates.hpp"
 
 namespace lapses
 {
@@ -41,44 +43,28 @@ isTail(FlitType t)
     return t == FlitType::Tail || t == FlitType::HeadTail;
 }
 
-/** One flow-control unit travelling through the network. */
+/** Name of a flit type for diagnostics. */
+const char* flitTypeName(FlitType t);
+
+/**
+ * One flow-control unit travelling through the network: a 16-byte wire
+ * token. Everything shared by the whole message is reached through
+ * `msg` (see MessagePool); replicating it per flit would copy ~5x the
+ * bytes through every FIFO the flit crosses.
+ */
 struct Flit
 {
-    FlitType type = FlitType::Head;
-
-    /** Message identity and addressing (header information, replicated
-     *  on every flit for simulator convenience). */
-    MessageId msg = 0;
-    NodeId src = kInvalidNode;
-    NodeId dest = kInvalidNode;
-
-    /** Flit index within the message, 0 = header. */
-    std::uint16_t seq = 0;
-
-    /** Message length in flits. */
-    std::uint16_t msgLen = 1;
-
-    /** Cycle the message was created at the source NIC. */
-    Cycle createdAt = 0;
-
-    /** Cycle the header entered the network (left the source queue). */
-    Cycle injectedAt = 0;
-
     /** Earliest cycle the flit may take its next pipeline action;
      *  maintained locally by each router/NIC stage. */
     Cycle readyAt = 0;
 
-    /** Routers traversed so far (incremented at each router). */
-    std::uint16_t hops = 0;
+    /** Handle of the message's descriptor in the network's pool. */
+    MsgRef msg = kInvalidMsgRef;
 
-    /** True when the message was created inside the measurement
-     *  window and contributes to statistics. */
-    bool measured = false;
+    /** Flit index within the message, 0 = header. */
+    std::uint16_t seq = 0;
 
-    /** Look-ahead route: candidate ports at the router this flit is
-     *  arriving at. Valid on header flits when laValid is set. */
-    bool laValid = false;
-    RouteCandidates laRoute;
+    FlitType type = FlitType::Head;
 };
 
 } // namespace lapses

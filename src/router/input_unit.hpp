@@ -17,6 +17,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
+#include "routing/route_candidates.hpp"
 
 namespace lapses
 {

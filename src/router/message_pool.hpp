@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-message header state and the free-listed pool that owns it.
+ *
+ * Wormhole switching replicates nothing but the flit type/sequence on
+ * the wire; everything a message's flits share — addressing, length,
+ * timestamps, the look-ahead route the previous hop computed (Fig. 3/4
+ * header formats) — lives in one MessageDescriptor per in-flight
+ * message. Flits carry a MsgRef handle. The Network owns one
+ * MessagePool; NICs acquire a descriptor when a message starts
+ * streaming and the pool recycles it when the tail ejects at the
+ * destination (by then every other flit of the message has already
+ * drained from every FIFO it crossed, so no stale reference survives).
+ */
+
+#ifndef LAPSES_ROUTER_MESSAGE_POOL_HPP
+#define LAPSES_ROUTER_MESSAGE_POOL_HPP
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "routing/route_candidates.hpp"
+
+namespace lapses
+{
+
+/** Header state shared by all flits of one in-flight message. */
+struct MessageDescriptor
+{
+    /** Network-unique message id (tracing / diagnostics). */
+    MessageId id = 0;
+
+    /** Cycle the message was created at the source NIC. */
+    Cycle createdAt = 0;
+
+    /** Cycle the header entered the network (left the source queue). */
+    Cycle injectedAt = 0;
+
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+
+    /** Message length in flits. */
+    std::uint16_t msgLen = 1;
+
+    /** Routers traversed so far (incremented when the header is
+     *  granted at each router; the tail reads the final count). */
+    std::uint16_t hops = 0;
+
+    /** True when the message was created inside the measurement
+     *  window and contributes to statistics. */
+    bool measured = false;
+
+    /** Look-ahead route: candidate ports at the router the header is
+     *  travelling toward, written by the previous hop's concurrent
+     *  lookup. Valid when laValid is set. */
+    bool laValid = false;
+    RouteCandidates laRoute;
+};
+
+/**
+ * Free-listed store of in-flight message descriptors. Slots are
+ * recycled in LIFO order after tail delivery, so steady-state traffic
+ * reuses a hot working set instead of growing; the pool only allocates
+ * when the number of simultaneously in-flight messages reaches a new
+ * high-water mark.
+ */
+class MessagePool
+{
+  public:
+    /** Take a slot (reset to defaults) off the free list, growing the
+     *  pool if every slot is live. */
+    MsgRef
+    acquire()
+    {
+        if (free_.empty()) {
+            slots_.emplace_back();
+            live_.push_back(1);
+            return static_cast<MsgRef>(slots_.size() - 1);
+        }
+        const MsgRef ref = free_.back();
+        free_.pop_back();
+        slots_[ref] = MessageDescriptor{};
+        live_[ref] = 1;
+        return ref;
+    }
+
+    /** Return a slot to the free list (tail delivered). A duplicated
+     *  release would alias one slot between two future messages and
+     *  silently corrupt their header state — abort instead. */
+    void
+    release(MsgRef ref)
+    {
+        LAPSES_ASSERT(ref < slots_.size());
+        LAPSES_ASSERT_MSG(live_[ref] == 1,
+                          "double release of a message descriptor");
+        live_[ref] = 0;
+        free_.push_back(ref);
+    }
+
+    MessageDescriptor&
+    operator[](MsgRef ref)
+    {
+        LAPSES_ASSERT(ref < slots_.size());
+        return slots_[ref];
+    }
+
+    const MessageDescriptor&
+    operator[](MsgRef ref) const
+    {
+        LAPSES_ASSERT(ref < slots_.size());
+        return slots_[ref];
+    }
+
+    /** Descriptors currently acquired (in-flight messages). */
+    std::size_t liveCount() const { return slots_.size() - free_.size(); }
+
+    /** Slots ever allocated: the in-flight high-water mark. */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::vector<MessageDescriptor> slots_;
+    std::vector<MsgRef> free_;
+    std::vector<std::uint8_t> live_; //!< release() double-free guard
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTER_MESSAGE_POOL_HPP

@@ -1,20 +1,28 @@
 #include "router/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace lapses
 {
 
 Router::Router(NodeId id, const MeshTopology& topo,
                const RouterParams& params, const RoutingTable& table,
-               bool escape_channels, PathSelectorPtr selector)
+               bool escape_channels, PathSelectorPtr selector,
+               MessagePool& pool)
     : id_(id), topo_(topo), params_(params), table_(table),
       escape_channels_(escape_channels), selector_(std::move(selector)),
-      num_ports_(topo.numPorts())
+      pool_(pool), num_ports_(topo.numPorts())
 {
     LAPSES_ASSERT(selector_ != nullptr);
     if (params_.vcsPerPort < 1)
         throw ConfigError("router needs at least one VC per port");
+    if (params_.vcsPerPort > 64 || num_ports_ > 64) {
+        // The occupied-VC lists are 64-bit masks per port and over
+        // ports; real configurations sit far below this.
+        throw ConfigError("occupied-VC tracking supports at most 64 "
+                          "VCs per port and 64 ports");
+    }
     if (escape_channels_ &&
         (params_.escapeVcs < 1 ||
          params_.escapeVcs >= params_.vcsPerPort)) {
@@ -36,6 +44,8 @@ Router::Router(NodeId id, const MeshTopology& topo,
     }
     pending_request_.assign(
         static_cast<std::size_t>(xbar_requesters), kInvalidPort);
+    in_vc_mask_.assign(static_cast<std::size_t>(num_ports_), 0);
+    out_vc_mask_.assign(static_cast<std::size_t>(num_ports_), 0);
 }
 
 void
@@ -44,6 +54,7 @@ Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit, Cycle now)
     LAPSES_ASSERT(in_port >= 0 && in_port < num_ports_);
     inputs_[static_cast<std::size_t>(in_port)].receiveFlit(vc, flit, now);
     ++buffered_flits_;
+    markOccupied(in_vc_mask_, in_port_mask_, in_port, vc);
 }
 
 void
@@ -57,6 +68,15 @@ Router::acceptCredit(PortId out_port, VcId vc)
                       "credit overflow: more credits than buffer slots");
 }
 
+std::vector<std::pair<PortId, VcId>>
+Router::occupiedInputVcs() const
+{
+    std::vector<std::pair<PortId, VcId>> occupied;
+    forEachOccupiedInput(
+        [&](PortId ip, VcId v) { occupied.emplace_back(ip, v); });
+    return occupied;
+}
+
 void
 Router::advanceHeaderState(PortId in_port, VcId vc, Cycle now)
 {
@@ -68,19 +88,20 @@ Router::advanceHeaderState(PortId in_port, VcId vc, Cycle now)
         return;
     LAPSES_ASSERT_MSG(isHead(front.type),
                       "non-header flit at the front of an idle VC");
+    const MessageDescriptor& desc = pool_[front.msg];
     if (params_.lookahead) {
         // LA-PROUD: the candidates arrived in the header; selection and
         // arbitration may start immediately (4-stage pipe). The lookup
         // for the *next* router happens concurrently at grant time.
-        LAPSES_ASSERT_MSG(front.laValid,
+        LAPSES_ASSERT_MSG(desc.laValid,
                           "look-ahead router received a header without "
                           "look-ahead route");
-        ivc.route = front.laRoute;
+        ivc.route = desc.laRoute;
         ivc.arbEligibleAt = std::max(front.readyAt, now);
     } else {
         // PROUD: a dedicated table-lookup stage precedes selection
         // (5-stage pipe).
-        ivc.route = table_.lookup(id_, front.dest);
+        ivc.route = table_.lookup(id_, desc.dest);
         ivc.arbEligibleAt = std::max(front.readyAt, now) + 1;
     }
     LAPSES_ASSERT_MSG(!ivc.route.empty(), "empty routing-table entry");
@@ -199,21 +220,27 @@ Router::gatherRequest(PortId in_port, VcId vc, Cycle now)
 void
 Router::serveCrossbar(Cycle now, Env& env)
 {
-    // Raise request lines.
-    for (PortId ip = 0; ip < num_ports_; ++ip) {
-        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
-            const PortId req = gatherRequest(ip, v, now);
-            pending_request_[static_cast<std::size_t>(
-                requesterIndex(ip, v))] = req;
-            if (req != kInvalidPort) {
-                outputs_[static_cast<std::size_t>(req)].xbarArb.request(
-                    requesterIndex(ip, v));
-            }
+    // Raise request lines — only VCs holding flits can request, and
+    // the occupied list iterates them in the same ascending (port, VC)
+    // order the full sweep used, so arbitration is unchanged.
+    std::uint64_t req_ports = 0;
+    forEachOccupiedInput([&](PortId ip, VcId v) {
+        const PortId req = gatherRequest(ip, v, now);
+        pending_request_[static_cast<std::size_t>(
+            requesterIndex(ip, v))] = req;
+        if (req != kInvalidPort) {
+            outputs_[static_cast<std::size_t>(req)].xbarArb.request(
+                requesterIndex(ip, v));
+            req_ports |= std::uint64_t{1} << req;
         }
-    }
+    });
 
-    // One grant per output port per cycle.
-    for (PortId op = 0; op < num_ports_; ++op) {
+    // One grant per output port per cycle. Ports nobody requested are
+    // skipped: their grant() would return -1 without touching the
+    // rotating priority pointer.
+    while (req_ports != 0) {
+        const auto op = static_cast<PortId>(std::countr_zero(req_ports));
+        req_ports &= req_ports - 1;
         OutputUnit& out = outputs_[static_cast<std::size_t>(op)];
         const int winner = out.xbarArb.grant();
         if (winner < 0)
@@ -245,18 +272,25 @@ Router::serveCrossbar(Cycle now, Env& env)
         // cycle of crossbar traversal, then it is eligible for the VC
         // multiplexer.
         Flit flit = ivc.buffer.pop();
+        clearIfDrained(in_vc_mask_, in_port_mask_, ip, v,
+                       ivc.buffer.empty());
         env.creditOut(ip, v);
         flit.readyAt = now + 2;
-        ++flit.hops; // routers traversed; tails carry it to statistics
         if (isHead(flit.type)) {
+            // The header advances the message's hop count; the tail
+            // reads the final value for statistics. Head and tail
+            // traverse the same routers, so this matches the old
+            // per-flit counter exactly.
+            MessageDescriptor& desc = pool_[flit.msg];
+            ++desc.hops;
             if (params_.lookahead && op != kLocalPort) {
                 // Concurrent lookup for the next hop; the new header is
                 // generated off the arbitration critical path (Fig. 4b),
                 // so this costs no pipeline time.
                 const NodeId next = topo_.neighbor(id_, op);
                 LAPSES_ASSERT(next != kInvalidNode);
-                flit.laRoute = table_.lookup(next, flit.dest);
-                flit.laValid = true;
+                desc.laRoute = table_.lookup(next, desc.dest);
+                desc.laValid = true;
             }
         }
         if (isTail(flit.type)) {
@@ -267,6 +301,7 @@ Router::serveCrossbar(Cycle now, Env& env)
             ivc.outVc = kInvalidVc;
         }
         out.vc(ov).buffer.push(flit);
+        markOccupied(out_vc_mask_, out_port_mask_, op, ov);
         ++forwarded_flits_;
     }
 }
@@ -274,22 +309,35 @@ Router::serveCrossbar(Cycle now, Env& env)
 void
 Router::serveVcMux(Cycle now, Env& env)
 {
-    for (PortId op = 0; op < num_ports_; ++op) {
+    // Only output ports with FIFO backlog can transmit; VCs raise in
+    // ascending order exactly as the full sweep did.
+    std::uint64_t pm = out_port_mask_;
+    while (pm != 0) {
+        const auto op = static_cast<PortId>(std::countr_zero(pm));
+        pm &= pm - 1;
         OutputUnit& out = outputs_[static_cast<std::size_t>(op)];
-        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+        std::uint64_t vm = out_vc_mask_[static_cast<std::size_t>(op)];
+        bool raised = false;
+        while (vm != 0) {
+            const auto v = static_cast<VcId>(std::countr_zero(vm));
+            vm &= vm - 1;
             const OutputVc& ovc = out.vc(v);
-            if (!ovc.buffer.empty() &&
-                ovc.buffer.front().readyAt <= now &&
+            if (ovc.buffer.front().readyAt <= now &&
                 out.canTransmit(v)) {
                 out.muxArb.request(v);
+                raised = true;
             }
         }
+        if (!raised)
+            continue;
         const int winner = out.muxArb.grant();
         if (winner < 0)
             continue;
         const VcId v = static_cast<VcId>(winner);
         OutputVc& ovc = out.vc(v);
         Flit flit = ovc.buffer.pop();
+        clearIfDrained(out_vc_mask_, out_port_mask_, op, v,
+                       ovc.buffer.empty());
         if (!out.hasInfiniteCredits())
             --ovc.credits;
         out.recordUse(now);
@@ -306,16 +354,16 @@ Router::step(Cycle now, Env& env)
 {
     const std::uint64_t forwarded_before = forwarded_flits_;
     const std::uint64_t transmitted_before = transmitted_flits_;
-    for (PortId ip = 0; ip < num_ports_; ++ip) {
-        for (VcId v = 0; v < params_.vcsPerPort; ++v)
-            advanceHeaderState(ip, v, now);
-    }
+    forEachOccupiedInput(
+        [&](PortId ip, VcId v) { advanceHeaderState(ip, v, now); });
     serveCrossbar(now, env);
     serveVcMux(now, env);
 
     StepActivity report;
     report.movedFlits = forwarded_flits_ != forwarded_before ||
                         transmitted_flits_ != transmitted_before;
+    report.progressed = static_cast<std::uint32_t>(forwarded_flits_ -
+                                                   forwarded_before);
     report.pendingWork = occupancy() > 0;
     return report;
 }

@@ -16,6 +16,14 @@
  * arbitration and VC multiplexing, matching the paper's model of a
  * router as parallel per-(port,VC) pipes.
  *
+ * Stepping is O(occupied VCs), not O(ports x VCs): per-port bitmasks
+ * track which input VCs hold flits and which output VCs have FIFO
+ * backlog, maintained incrementally on flit receive / pop / transmit.
+ * The masks iterate in ascending (port, VC) order — the same order the
+ * full sweeps used — so arbitration requests, grants, and therefore
+ * every statistic stay byte-identical to the exhaustive scan (see
+ * DESIGN.md "Occupied-VC stepping").
+ *
  * Deadlock avoidance is Duato's protocol when the routing algorithm
  * requests it: escape VCs are acquired only toward the escape port of
  * the table entry, adaptive VCs toward any candidate, and a blocked
@@ -25,11 +33,14 @@
 #ifndef LAPSES_ROUTER_ROUTER_HPP
 #define LAPSES_ROUTER_ROUTER_HPP
 
+#include <bit>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 #include "router/input_unit.hpp"
+#include "router/message_pool.hpp"
 #include "router/output_unit.hpp"
 #include "selection/path_selector.hpp"
 #include "tables/routing_table.hpp"
@@ -91,10 +102,12 @@ class Router
      * @param escape_channels whether the routing algorithm requires
      *                  Duato escape-VC discipline
      * @param selector  path-selection heuristic instance (owned)
+     * @param pool      in-flight message descriptors (shared with the
+     *                  NICs and the network; must outlive the router)
      */
     Router(NodeId id, const MeshTopology& topo, const RouterParams& params,
            const RoutingTable& table, bool escape_channels,
-           PathSelectorPtr selector);
+           PathSelectorPtr selector, MessagePool& pool);
 
     NodeId id() const { return id_; }
     int numPorts() const { return num_ports_; }
@@ -141,6 +154,25 @@ class Router
         return outputs_[static_cast<std::size_t>(p)];
     }
 
+    // --- Occupied-list introspection (tests / invariant checks) -------
+
+    /** True when input (p, v) is on the occupied list. */
+    bool
+    inputVcOccupied(PortId p, VcId v) const
+    {
+        return (in_vc_mask_[static_cast<std::size_t>(p)] >> v) & 1u;
+    }
+
+    /** True when output (p, v) is on the non-empty-FIFO list. */
+    bool
+    outputVcOccupied(PortId p, VcId v) const
+    {
+        return (out_vc_mask_[static_cast<std::size_t>(p)] >> v) & 1u;
+    }
+
+    /** The occupied input VCs in iteration (= arbitration) order. */
+    std::vector<std::pair<PortId, VcId>> occupiedInputVcs() const;
+
   private:
     /** Move a header at the front of (in_port, vc) through decode /
      *  lookup into the WaitArb state. */
@@ -170,12 +202,64 @@ class Router
                static_cast<int>(vc);
     }
 
+    // Occupied-list maintenance. Every buffer push/pop site must keep
+    // the VC bit and the port summary bit in sync — route all updates
+    // through these two helpers so the invariant lives in one place.
+
+    static void
+    markOccupied(std::vector<std::uint64_t>& vc_masks,
+                 std::uint64_t& port_mask, PortId p, VcId v)
+    {
+        vc_masks[static_cast<std::size_t>(p)] |= std::uint64_t{1} << v;
+        port_mask |= std::uint64_t{1} << p;
+    }
+
+    /** Clear (p, v) when its buffer just drained to empty. */
+    static void
+    clearIfDrained(std::vector<std::uint64_t>& vc_masks,
+                   std::uint64_t& port_mask, PortId p, VcId v,
+                   bool empty)
+    {
+        if (!empty)
+            return;
+        vc_masks[static_cast<std::size_t>(p)] &=
+            ~(std::uint64_t{1} << v);
+        if (vc_masks[static_cast<std::size_t>(p)] == 0)
+            port_mask &= ~(std::uint64_t{1} << p);
+    }
+
+    /**
+     * Visit every occupied input VC as fn(port, vc), in ascending
+     * (port, VC) order. That order is load-bearing: it is the order
+     * the old exhaustive sweeps raised arbitration requests in, and
+     * changing it would silently change grant outcomes — keep the
+     * iteration in this one place.
+     */
+    template <typename Fn>
+    void
+    forEachOccupiedInput(Fn&& fn) const
+    {
+        std::uint64_t pm = in_port_mask_;
+        while (pm != 0) {
+            const auto ip = static_cast<PortId>(std::countr_zero(pm));
+            pm &= pm - 1;
+            std::uint64_t vm =
+                in_vc_mask_[static_cast<std::size_t>(ip)];
+            while (vm != 0) {
+                const auto v = static_cast<VcId>(std::countr_zero(vm));
+                vm &= vm - 1;
+                fn(ip, v);
+            }
+        }
+    }
+
     NodeId id_;
     const MeshTopology& topo_;
     RouterParams params_;
     const RoutingTable& table_;
     bool escape_channels_;
     PathSelectorPtr selector_;
+    MessagePool& pool_;
     int num_ports_;
 
     std::vector<InputUnit> inputs_;
@@ -183,6 +267,13 @@ class Router
 
     /** Pending crossbar request per input VC this cycle. */
     std::vector<PortId> pending_request_;
+
+    // Occupied-VC lists, as bitmasks so insertion/removal are O(1) and
+    // iteration follows ascending (port, VC) — the scan sweeps' order.
+    std::vector<std::uint64_t> in_vc_mask_;  //!< per in port: VCs with flits
+    std::vector<std::uint64_t> out_vc_mask_; //!< per out port: backlogged VCs
+    std::uint64_t in_port_mask_ = 0;  //!< in ports with any occupied VC
+    std::uint64_t out_port_mask_ = 0; //!< out ports with any backlog
 
     std::uint64_t forwarded_flits_ = 0;
     std::uint64_t transmitted_flits_ = 0;

@@ -159,6 +159,79 @@ TEST(KernelDifferential, LockstepOverCatalog)
             ASSERT_EQ(scan.network().deliveredTotal(),
                       active.network().deliveredTotal())
                 << name << " diverged at cycle " << t;
+            // The O(1) counters must track their recomputed sums.
+            ASSERT_EQ(active.network().totalOccupancy(),
+                      active.network().totalOccupancySlow())
+                << name << " occupancy counter drift at cycle " << t;
+            ASSERT_EQ(active.network().progressCounter(),
+                      active.network().progressCounterSlow())
+                << name << " progress counter drift at cycle " << t;
+        }
+    }
+}
+
+TEST(KernelDifferential, SaturationLockstepOverTablesAndTraffic)
+{
+    // The occupied-VC hot path earns its keep past the knee, so pin
+    // byte-identity exactly there: dense uniform and hotspot traffic
+    // at saturating load, across every table kind. The two kernels
+    // must agree cycle by cycle while routers run full.
+    for (TableKind table :
+         {TableKind::Full, TableKind::MetaRowMinimal,
+          TableKind::MetaBlockMaximal, TableKind::EconomicalStorage,
+          TableKind::Interval}) {
+        for (TrafficKind traffic :
+             {TrafficKind::Uniform, TrafficKind::Hotspot}) {
+            SimConfig base = diffBase();
+            base.table = table;
+            base.traffic = traffic;
+            base.normalizedLoad = 1.3;
+            if (table == TableKind::Interval) // deterministic-only
+                base.routing = RoutingAlgo::DeterministicXY;
+            const std::string name =
+                "saturation:" + tableKindName(table) + '+' +
+                trafficKindName(traffic);
+
+            SimConfig scan_cfg = base;
+            scan_cfg.kernel = KernelKind::Scan;
+            SimConfig active_cfg = base;
+            active_cfg.kernel = KernelKind::Active;
+            Simulation scan(scan_cfg);
+            Simulation active(active_cfg);
+            // Let the network fill well past the knee, then lockstep.
+            scan.stepCycles(400);
+            active.stepCycles(400);
+            for (Cycle t = 0; t < 400; ++t) {
+                scan.stepCycles(1);
+                active.stepCycles(1);
+                ASSERT_EQ(scan.network().progressCounter(),
+                          active.network().progressCounter())
+                    << name << " diverged at cycle " << t;
+                ASSERT_EQ(scan.network().totalOccupancy(),
+                          active.network().totalOccupancy())
+                    << name << " diverged at cycle " << t;
+                ASSERT_EQ(scan.network().deliveredTotal(),
+                          active.network().deliveredTotal())
+                    << name << " diverged at cycle " << t;
+                ASSERT_EQ(active.network().totalOccupancy(),
+                          active.network().totalOccupancySlow())
+                    << name << " occupancy drift at cycle " << t;
+                ASSERT_EQ(scan.network().totalOccupancy(),
+                          scan.network().totalOccupancySlow())
+                    << name << " scan occupancy drift at cycle " << t;
+                ASSERT_EQ(active.network().progressCounter(),
+                          active.network().progressCounterSlow())
+                    << name << " progress drift at cycle " << t;
+            }
+            // The saturated network is genuinely loaded (the regime
+            // under test) and the descriptor pool is bounded by the
+            // in-flight population, not by messages ever created.
+            EXPECT_GT(active.network().totalOccupancy(), 0u) << name;
+            EXPECT_LT(
+                active.network().messagePool().capacity(),
+                static_cast<std::size_t>(
+                    active.network().createdTotal()))
+                << name;
         }
     }
 }

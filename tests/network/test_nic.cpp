@@ -42,14 +42,14 @@ class CountingSink : public DeliverySink
 {
   public:
     void
-    messageDelivered(const Flit& tail, Cycle) override
+    messageDelivered(MsgRef msg, Cycle) override
     {
         ++delivered;
-        last = tail;
+        last = msg;
     }
 
     int delivered = 0;
-    Flit last;
+    MsgRef last = kInvalidMsgRef;
 };
 
 class NicTest : public ::testing::Test
@@ -89,13 +89,14 @@ class NicTest : public ::testing::Test
     DuatoAdaptiveRouting algo;
     FullTable table;
     FixedPattern pattern;
+    MessagePool pool;
 };
 
 TEST_F(NicTest, StepReportsActivityAndQuiescence)
 {
     // Rate 0: the arrival process never fires, so after any step the
     // NIC is quiescent with no wake scheduled.
-    Nic idle_nic(0, params(0.0), table, pattern, Rng{5});
+    Nic idle_nic(0, params(0.0), table, pattern, Rng{5}, pool);
     CaptureEnv env;
     const StepActivity idle = idle_nic.step(0, env);
     EXPECT_FALSE(idle.movedFlits);
@@ -105,7 +106,7 @@ TEST_F(NicTest, StepReportsActivityAndQuiescence)
 
     // A busy NIC reports pending work while its backlog streams, and
     // movedFlits on the cycles it puts a flit on the link.
-    Nic nic(0, params(0.5, 4), table, pattern, Rng{5});
+    Nic nic(0, params(0.5, 4), table, pattern, Rng{5}, pool);
     Cycle now = 0;
     bool moved_any = false;
     bool pending_any = false;
@@ -130,7 +131,7 @@ TEST_F(NicTest, FlitizesMessagesInOrder)
     // One VC so messages cannot interleave on the link.
     Nic::Params p = params(0.05, 4);
     p.numVcs = 1;
-    Nic nic(0, p, table, pattern, Rng{5});
+    Nic nic(0, p, table, pattern, Rng{5}, pool);
     CaptureEnv env;
     Cycle now = 0;
     for (; now < 500 && env.sent.size() < 4; ++now)
@@ -158,7 +159,7 @@ TEST_F(NicTest, FlitizesMessagesInOrder)
 
 TEST_F(NicTest, SingleFlitMessagesAreHeadTail)
 {
-    Nic nic(0, params(0.05, 1), table, pattern, Rng{6});
+    Nic nic(0, params(0.05, 1), table, pattern, Rng{6}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 200 && env.sent.empty(); ++c)
         nic.step(c, env);
@@ -170,7 +171,7 @@ TEST_F(NicTest, AtMostOneFlitPerCycle)
 {
     // Drive a heavy rate; the local physical link must still carry at
     // most one flit per cycle.
-    Nic nic(0, params(0.5, 4), table, pattern, Rng{7});
+    Nic nic(0, params(0.5, 4), table, pattern, Rng{7}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 100; ++c) {
         const std::size_t before = env.sent.size();
@@ -184,7 +185,7 @@ TEST_F(NicTest, RespectsCredits)
     // Messages longer than the buffer (12 > 8): each active VC sends
     // exactly its 8 credits and stalls, so with 2 VCs and no credit
     // returns precisely 16 flits ever leave.
-    Nic nic(0, params(1.0, 12), table, pattern, Rng{8});
+    Nic nic(0, params(1.0, 12), table, pattern, Rng{8}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 400; ++c)
         nic.step(c, env);
@@ -205,7 +206,7 @@ TEST_F(NicTest, ConservativeVcReallocation)
     Nic::Params p = params(1.0, 2);
     p.numVcs = 1;
     p.routerBufDepth = 2;
-    Nic nic(0, p, table, pattern, Rng{9});
+    Nic nic(0, p, table, pattern, Rng{9}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 50; ++c)
         nic.step(c, env);
@@ -226,34 +227,38 @@ TEST_F(NicTest, ConservativeVcReallocation)
 TEST_F(NicTest, LookaheadHeaderCarriesFirstHopRoute)
 {
     Nic nic(0, params(0.05, 4, /*lookahead=*/true), table, pattern,
-            Rng{10});
+            Rng{10}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 200 && env.sent.size() < 4; ++c)
         nic.step(c, env);
     ASSERT_GE(env.sent.size(), 4u);
     const Flit& head = env.sent[0].flit;
-    ASSERT_TRUE(head.laValid);
-    EXPECT_EQ(head.laRoute, table.lookup(0, head.dest));
-    // Body flits carry no look-ahead payload.
-    EXPECT_FALSE(env.sent[1].flit.laValid);
+    const MessageDescriptor& desc = pool[head.msg];
+    ASSERT_TRUE(desc.laValid);
+    EXPECT_EQ(desc.laRoute, table.lookup(0, desc.dest));
+    // Body flits reach the descriptor through the same handle instead
+    // of replicating the look-ahead payload.
+    EXPECT_EQ(env.sent[1].flit.msg, head.msg);
 }
 
 TEST_F(NicTest, InjectedAtStampsHeaderLaunch)
 {
-    Nic nic(0, params(0.05, 4), table, pattern, Rng{11});
+    Nic nic(0, params(0.05, 4), table, pattern, Rng{11}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 300 && env.sent.size() < 4; ++c)
         nic.step(c, env);
     ASSERT_GE(env.sent.size(), 4u);
     const Flit& head = env.sent[0].flit;
-    EXPECT_GE(head.injectedAt, head.createdAt);
-    // All flits of the message share the header's injection stamp.
-    EXPECT_EQ(env.sent[3].flit.injectedAt, head.injectedAt);
+    const MessageDescriptor& desc = pool[head.msg];
+    EXPECT_GE(desc.injectedAt, desc.createdAt);
+    // All flits of the message share the descriptor (and therefore the
+    // header's injection stamp).
+    EXPECT_EQ(env.sent[3].flit.msg, head.msg);
 }
 
 TEST_F(NicTest, MeasuringFlagTagsMessages)
 {
-    Nic nic(0, params(0.1, 2), table, pattern, Rng{12});
+    Nic nic(0, params(0.1, 2), table, pattern, Rng{12}, pool);
     CaptureEnv env;
     for (Cycle c = 0; c < 100; ++c)
         nic.step(c, env);
@@ -267,7 +272,7 @@ TEST_F(NicTest, MeasuringFlagTagsMessages)
 
 TEST_F(NicTest, InjectionDisableStopsCreation)
 {
-    Nic nic(0, params(0.2, 2), table, pattern, Rng{13});
+    Nic nic(0, params(0.2, 2), table, pattern, Rng{13}, pool);
     CaptureEnv env;
     nic.setInjectionEnabled(false);
     for (Cycle c = 0; c < 200; ++c)
@@ -282,11 +287,13 @@ TEST_F(NicTest, InjectionDisableStopsCreation)
 
 TEST_F(NicTest, EjectionReportsTailsOnly)
 {
-    Nic nic(5, params(0.0), table, pattern, Rng{14});
+    Nic nic(5, params(0.0), table, pattern, Rng{14}, pool);
     CountingSink sink;
+    const MsgRef ref = pool.acquire();
+    pool[ref].dest = 5;
+    pool[ref].msgLen = 2;
     Flit f;
-    f.dest = 5;
-    f.msgLen = 2;
+    f.msg = ref;
     f.type = FlitType::Head;
     nic.acceptFlit(f, 100, sink);
     EXPECT_EQ(sink.delivered, 0);
@@ -294,15 +301,17 @@ TEST_F(NicTest, EjectionReportsTailsOnly)
     f.seq = 1;
     nic.acceptFlit(f, 101, sink);
     EXPECT_EQ(sink.delivered, 1);
-    EXPECT_EQ(sink.last.seq, 1);
+    EXPECT_EQ(sink.last, ref);
 }
 
 TEST_F(NicTest, WrongDestinationEjectionAborts)
 {
-    Nic nic(5, params(0.0), table, pattern, Rng{15});
+    Nic nic(5, params(0.0), table, pattern, Rng{15}, pool);
     CountingSink sink;
+    const MsgRef ref = pool.acquire();
+    pool[ref].dest = 6; // misrouted
     Flit f;
-    f.dest = 6; // misrouted
+    f.msg = ref;
     f.type = FlitType::HeadTail;
     EXPECT_DEATH(nic.acceptFlit(f, 1, sink), "wrong node");
 }

@@ -1,11 +1,13 @@
 /**
  * @file
- * Unit tests for flit types and header payloads.
+ * Unit tests for flit types, the compact wire token, and the message
+ * descriptor that carries the shared header payload.
  */
 
 #include <gtest/gtest.h>
 
 #include "router/flit.hpp"
+#include "router/message_pool.hpp"
 
 namespace lapses
 {
@@ -28,22 +30,39 @@ TEST(Flit, HeadTailPredicates)
 TEST(Flit, DefaultsAreSane)
 {
     const Flit f;
-    EXPECT_EQ(f.src, kInvalidNode);
-    EXPECT_EQ(f.dest, kInvalidNode);
-    EXPECT_FALSE(f.laValid);
-    EXPECT_FALSE(f.measured);
-    EXPECT_EQ(f.hops, 0);
+    EXPECT_EQ(f.msg, kInvalidMsgRef);
+    EXPECT_EQ(f.seq, 0);
+    EXPECT_EQ(f.readyAt, 0u);
+    EXPECT_EQ(f.type, FlitType::Head);
 }
 
-TEST(Flit, LookaheadPayloadCarriesCandidates)
+TEST(Flit, WireTokenStaysCompact)
 {
-    Flit f;
-    f.laRoute.add(1);
-    f.laRoute.add(3);
-    f.laRoute.setEscapePort(1);
-    f.laValid = true;
-    EXPECT_EQ(f.laRoute.count(), 2);
-    EXPECT_EQ(f.laRoute.escapePort(), 1);
+    // The whole point of the flit/descriptor split: what moves through
+    // every FIFO is one or two machine words, not a replicated header.
+    EXPECT_LE(sizeof(Flit), 16u);
+}
+
+TEST(MessageDescriptor, DefaultsAreSane)
+{
+    const MessageDescriptor d;
+    EXPECT_EQ(d.src, kInvalidNode);
+    EXPECT_EQ(d.dest, kInvalidNode);
+    EXPECT_FALSE(d.laValid);
+    EXPECT_FALSE(d.measured);
+    EXPECT_EQ(d.hops, 0);
+    EXPECT_EQ(d.msgLen, 1);
+}
+
+TEST(MessageDescriptor, LookaheadPayloadCarriesCandidates)
+{
+    MessageDescriptor d;
+    d.laRoute.add(1);
+    d.laRoute.add(3);
+    d.laRoute.setEscapePort(1);
+    d.laValid = true;
+    EXPECT_EQ(d.laRoute.count(), 2);
+    EXPECT_EQ(d.laRoute.escapePort(), 1);
 }
 
 TEST(RouteCandidatesRender, ToStringIncludesEscape)
