@@ -236,6 +236,36 @@ BENCHMARK(BM_RouterSaturatedHotspot)
     ->Arg(static_cast<int>(KernelKind::Scan))
     ->Unit(benchmark::kMicrosecond);
 
+/**
+ * BM_RouterFaulted*: the saturated pinned config again, but running
+ * degraded — two links died (and their reconfigurations completed)
+ * during warm-up, so the measured steady state exercises the
+ * dead-port masks on the router hot path. Gated via check_perf.py
+ * like the healthy BM_Router* cases: a regression of the active/scan
+ * ratio here means the fault machinery leaked cost into stepping.
+ */
+void
+BM_RouterFaultedUniform(benchmark::State& state)
+{
+    SimConfig cfg = routerBenchConfig(
+        TrafficKind::Uniform, static_cast<KernelKind>(state.range(0)));
+    cfg.table = TableKind::Full; // reprogramming path included
+    cfg.faultCount = 2;
+    cfg.faultStart = 500;
+    cfg.faultSpacing = 500;
+    cfg.reconfigLatency = 200;
+    Simulation sim(cfg);
+    sim.stepCycles(2000); // saturate; both faults + reconfigs land
+    for (auto _ : state)
+        sim.stepCycles(200);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+BENCHMARK(BM_RouterFaultedUniform)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -95,6 +95,32 @@ class RingBuffer
         size_ = 0;
     }
 
+    /**
+     * Remove every element matching `pred`, preserving the FIFO order
+     * of the survivors; returns the number removed. O(size) — used
+     * only by reconfiguration-time cleanup (purging a dead message's
+     * flits), never on the per-cycle hot path.
+     */
+    template <typename Pred>
+    std::size_t
+    removeIf(Pred&& pred)
+    {
+        const std::size_t old_size = size_;
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < old_size; ++i) {
+            T& value = slots_[(head_ + i) % slots_.size()];
+            if (pred(static_cast<const T&>(value)))
+                continue;
+            if (kept != i)
+                slots_[(head_ + kept) % slots_.size()] = value;
+            ++kept;
+        }
+        size_ = kept;
+        if (size_ == 0)
+            head_ = 0;
+        return old_size - kept;
+    }
+
   private:
     std::vector<T> slots_;
     std::size_t head_;

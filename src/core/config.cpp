@@ -35,6 +35,10 @@ SimConfig::validate() const
     if (escapeVcs >= vcsPerPort)
         throw ConfigError("escapeVcs must leave at least one adaptive "
                           "VC (escapeVcs < vcsPerPort)");
+    if (faultCount < 0)
+        throw ConfigError("faultCount must be >= 0");
+    if (faultCount > 0 && faultSpacing < 1)
+        throw ConfigError("faultSpacing must be >= 1");
 }
 
 std::string
@@ -57,6 +61,14 @@ SimConfig::describe() const
                   normalizedLoad);
     s += load_buf;
     s += ", len " + std::to_string(msgLen);
+    if (hasFaults()) {
+        s += ", faults " + std::to_string(faultCount);
+        if (!faultEvents.empty()) {
+            s += "+" + std::to_string(faultEvents.size()) +
+                 " explicit";
+        }
+        s += " (" + faultPolicyName(faultPolicy) + ")";
+    }
     return s;
 }
 

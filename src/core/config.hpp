@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_schedule.hpp"
 #include "routing/algorithm_factory.hpp"
 #include "selection/selector_factory.hpp"
 #include "tables/table_factory.hpp"
@@ -57,9 +58,39 @@ struct SimConfig
     InjectionKind injection = InjectionKind::Exponential;
     BurstOptions burst;          //!< shape of InjectionKind::Bursty
 
-    // --- Measurement (paper: 10k warm-up, 400k measured) ---
+    // --- Measurement ---
+    // Defaults are smoke-test scale so interactive runs finish in
+    // seconds. The paper's Section 2.2 scale (10k warm-up, 400k
+    // measured) is applyBenchMode(cfg, BenchMode::Paper), selected by
+    // LAPSES_BENCH_MODE=paper or --mode paper on the CLIs.
     std::uint64_t warmupMessages = 1000;
     std::uint64_t measureMessages = 10000;
+
+    // --- Dynamic link faults (src/fault/, README "Fault injection") ---
+    /** Random link-down events injected mid-run (0 = none). Sites are
+     *  derived from faultSeed, event i fires at
+     *  faultStart + i * faultSpacing. */
+    int faultCount = 0;
+    /** Seed of the random fault sites; 0 derives the stream from the
+     *  run seed, keeping sharded campaigns byte-identical. */
+    std::uint64_t faultSeed = 0;
+    Cycle faultStart = 2000;   //!< cycle of the first random fault
+    Cycle faultSpacing = 2000; //!< cycles between random faults
+    /** Cycles between a fault event and the reconfiguration that
+     *  reprograms full tables / re-routes held headers around it. */
+    Cycle reconfigLatency = 200;
+    /** Drop or reinject the messages a dying link cuts. */
+    FaultPolicy faultPolicy = FaultPolicy::Reinject;
+    /** Explicit events (CLI --fail-link/--repair-link), merged with
+     *  the random ones; validated against the topology at build. */
+    std::vector<FaultEvent> faultEvents;
+
+    /** True when any fault event (random or explicit) is configured. */
+    bool
+    hasFaults() const
+    {
+        return faultCount > 0 || !faultEvents.empty();
+    }
 
     // --- Safety rails ---
     /** Mean total latency beyond which the run is declared saturated. */

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,13 +55,12 @@ BenchMode
 benchModeFromEnv()
 {
     const char* env = std::getenv("LAPSES_BENCH_MODE");
-    if (env == nullptr)
+    if (env == nullptr || *env == '\0')
         return BenchMode::Default;
-    if (std::strcmp(env, "quick") == 0)
-        return BenchMode::Quick;
-    if (std::strcmp(env, "paper") == 0)
-        return BenchMode::Paper;
-    return BenchMode::Default;
+    // A typo ("Paper", "papers") would silently run default scale
+    // while the user believes they got the paper's 10k/400k; reject
+    // like LAPSES_KERNEL does.
+    return parseBenchModeName(env);
 }
 
 unsigned
@@ -117,6 +117,79 @@ runBenchShardFromEnv(const std::vector<CampaignGrid>& grids,
                  "lapses-merge\n",
                  tag, shard.str().c_str());
     return true;
+}
+
+BenchMode
+parseBenchModeName(const std::string& name)
+{
+    if (name == "quick")
+        return BenchMode::Quick;
+    if (name == "default")
+        return BenchMode::Default;
+    if (name == "paper")
+        return BenchMode::Paper;
+    throw ConfigError("bad mode '" + name +
+                      "' (want quick|default|paper)");
+}
+
+double
+parseCheckedDouble(const std::string& flag, const std::string& value,
+                   double lo, double hi)
+{
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        throw ConfigError("bad " + flag + " value '" + value +
+                          "' (not a number)");
+    }
+    // Negated form so NaN (which compares false to both bounds) is
+    // rejected too.
+    if (!(v >= lo && v <= hi)) {
+        throw ConfigError("bad " + flag + " value '" + value +
+                          "' (want a number in [" +
+                          std::to_string(lo) + ", " +
+                          std::to_string(hi) + "])");
+    }
+    return v;
+}
+
+int
+parseCheckedInt(const std::string& flag, const std::string& value,
+                int lo, int hi)
+{
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+        throw ConfigError("bad " + flag + " value '" + value +
+                          "' (not an integer)");
+    }
+    if (v < lo || v > hi) {
+        throw ConfigError("bad " + flag + " value '" + value +
+                          "' (want an integer in [" +
+                          std::to_string(lo) + ", " +
+                          std::to_string(hi) + "])");
+    }
+    return static_cast<int>(v);
+}
+
+std::uint64_t
+parseCheckedU64(const std::string& flag, const std::string& value)
+{
+    // Digits-only up front: strtoull would silently negate "-1" to
+    // ULLONG_MAX and skip leading whitespace.
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        throw ConfigError("bad " + flag + " value '" + value +
+                          "' (want a non-negative integer)");
+    }
+    errno = 0;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+        throw ConfigError("bad " + flag + " value '" + value +
+                          "' (out of range)");
+    }
+    return static_cast<std::uint64_t>(v);
 }
 
 std::string

@@ -48,6 +48,25 @@ enum class BenchMode
 /** Parse LAPSES_BENCH_MODE (quick|default|paper); Default if unset. */
 BenchMode benchModeFromEnv();
 
+/** Parse "quick"/"default"/"paper"; ConfigError otherwise. Shared by
+ *  the lapses-sim and lapses-campaign --mode flags. */
+BenchMode parseBenchModeName(const std::string& name);
+
+/**
+ * Checked numeric parsers for CLI value flags (same contract as the
+ * grid-spec axis parsers): the whole token must be numeric and lie
+ * within [lo, hi] — NaN included in the rejection — otherwise
+ * ConfigError names the flag. std::atof/atoi would silently turn
+ * garbage into 0 and run a wrong campaign.
+ */
+double parseCheckedDouble(const std::string& flag,
+                          const std::string& value, double lo,
+                          double hi);
+int parseCheckedInt(const std::string& flag, const std::string& value,
+                    int lo, int hi);
+std::uint64_t parseCheckedU64(const std::string& flag,
+                              const std::string& value);
+
 /**
  * Worker-thread count for campaign-driven benches: LAPSES_JOBS if set
  * (0 = hardware concurrency), otherwise all hardware threads. Results

@@ -30,6 +30,22 @@ Simulation::Simulation(const SimConfig& cfg)
     cfg_.validate();
     algo_ = makeRoutingAlgorithm(cfg_.routing, topo_);
     table_ = makeRoutingTable(cfg_.table, topo_, *algo_);
+
+    // Dynamic link faults: merge the explicit events with the seeded
+    // random schedule, then validate the whole sequence (range checks,
+    // legal transitions, connectivity after every down event) before
+    // any network state exists.
+    FaultSchedule faults;
+    for (const FaultEvent& event : cfg_.faultEvents)
+        faults.add(event);
+    if (cfg_.faultCount > 0) {
+        faults.appendRandom(topo_, cfg_.faultCount,
+                            cfg_.faultSeed != 0
+                                ? cfg_.faultSeed
+                                : deriveFaultSeed(cfg_.seed),
+                            cfg_.faultStart, cfg_.faultSpacing);
+    }
+    faults.validate(topo_);
     pattern_ = makeTrafficPattern(cfg_.traffic, topo_, cfg_.hotspot);
     escape_vcs_ = resolveEscapeVcs(cfg_, *algo_);
     if (algo_->usesEscapeChannels() && escape_vcs_ >= cfg_.vcsPerPort) {
@@ -55,6 +71,15 @@ Simulation::Simulation(const SimConfig& cfg)
     np.selector = cfg_.selector;
     np.seed = cfg_.seed;
     np.kernel = cfg_.kernel;
+    np.faults = std::move(faults);
+    np.reconfigLatency = cfg_.reconfigLatency;
+    np.faultPolicy = cfg_.faultPolicy;
+    // Online reconfiguration reprograms full tables only; other
+    // storage schemes cannot express fault-aware entries (the Table 5
+    // flexibility trade-off) and fall back to dead-port masking.
+    np.reprogramTable = cfg_.hasFaults()
+                            ? dynamic_cast<FullTable*>(table_.get())
+                            : nullptr;
 
     net_ = std::make_unique<Network>(topo_, np, *table_,
                                      algo_->usesEscapeChannels(),
@@ -88,6 +113,16 @@ Simulation::recordDelivery(const MessageDescriptor& msg, Cycle now)
     stats_.hops.add(static_cast<double>(msg.hops));
     ++stats_.deliveredMessages;
     stats_.deliveredFlits += msg.msgLen;
+    // Post-fault recovery curve: bucket deliveries by cycles elapsed
+    // since the most recent fault event.
+    const Cycle last_fault = net_->lastFaultCycle();
+    if (last_fault != kNeverCycle) {
+        stats_.postFaultLatency.add(total);
+        const auto bucket = std::min<std::size_t>(
+            (now - last_fault) / SimStats::kRecoveryBucketCycles,
+            SimStats::kRecoveryBuckets - 1);
+        stats_.recoveryCurve[bucket].add(total);
+    }
 }
 
 bool
@@ -154,8 +189,8 @@ Simulation::stepCycles(Cycle n)
         net_->stepUntil(end);
 }
 
-SimStats
-Simulation::run()
+void
+Simulation::runPhases()
 {
     Network& net = *net_;
 
@@ -164,7 +199,7 @@ Simulation::run()
     if (!runUntil([&] {
             return net.createdTotal() >= cfg_.warmupMessages;
         })) {
-        return stats_;
+        return;
     }
 
     // Phase 2: measurement window. Tag new messages; stop tagging after
@@ -180,14 +215,16 @@ Simulation::run()
     measuring_window_ = false;
     stats_.injectedMessages = net.createdMeasured();
     if (!measured)
-        return stats_;
+        return;
 
     // Phase 3: drain. Injection continues (unmeasured) to hold the load
-    // steady while tagged messages finish.
+    // steady while tagged messages finish. Measured messages a fault
+    // permanently dropped will never deliver; count them done.
     if (!runUntil([&] {
-            return net.deliveredMeasured() >= net.createdMeasured();
+            return net.deliveredMeasured() + net.droppedMeasured() >=
+                   net.createdMeasured();
         })) {
-        return stats_;
+        return;
     }
 
     stats_.measuredCycles = measure_end_ - measure_start_;
@@ -197,6 +234,22 @@ Simulation::run()
             (static_cast<double>(stats_.measuredCycles) *
              static_cast<double>(topo_.numNodes()));
     }
+}
+
+SimStats
+Simulation::run()
+{
+    runPhases();
+    // Resilience counters accumulate in the network across all
+    // phases; every exit path (including saturation) reports them.
+    const Network::FaultCounters& fc = net_->faultCounters();
+    stats_.linkDownEvents = fc.linkDownEvents;
+    stats_.linkUpEvents = fc.linkUpEvents;
+    stats_.reconfigurations = fc.reconfigurations;
+    stats_.droppedMessages = fc.droppedMessages;
+    stats_.droppedFlits = fc.droppedFlits;
+    stats_.reinjectedMessages = fc.reinjectedMessages;
+    stats_.reroutedHeads = fc.reroutedHeads;
     return stats_;
 }
 

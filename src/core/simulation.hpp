@@ -65,6 +65,9 @@ class Simulation
     /** Periodic saturation / deadlock checks. */
     bool saturationCheck();
 
+    /** The warm-up / measure / drain phases (body of run()). */
+    void runPhases();
+
     SimConfig cfg_;
     MeshTopology topo_;
     RoutingAlgorithmPtr algo_;

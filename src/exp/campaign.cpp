@@ -38,7 +38,8 @@ CampaignAxes::runCount() const
     auto n = [](const auto& v) { return v.empty() ? 1 : v.size(); };
     return n(models) * n(routings) * n(tables) * n(selectors) *
            n(traffics) * n(msgLens) * n(injections) * n(vcCounts) *
-           n(bufferDepths) * n(escapeVcs) * n(loads);
+           n(bufferDepths) * n(escapeVcs) * n(faultCounts) *
+           n(faultSeeds) * n(loads);
 }
 
 std::size_t
@@ -66,7 +67,10 @@ CampaignGrid::expand(std::size_t index_offset,
          axisOr(axes.injections, base.injection))
     for (int vcs : axisOr(axes.vcCounts, base.vcsPerPort))
     for (int buffers : axisOr(axes.bufferDepths, base.bufferDepth))
-    for (int escape : axisOr(axes.escapeVcs, base.escapeVcs)) {
+    for (int escape : axisOr(axes.escapeVcs, base.escapeVcs))
+    for (int faults : axisOr(axes.faultCounts, base.faultCount))
+    for (std::uint64_t fault_seed :
+         axisOr(axes.faultSeeds, base.faultSeed)) {
         for (double load : axisOr(axes.loads, base.normalizedLoad)) {
             CampaignRun run;
             run.index = index;
@@ -82,6 +86,8 @@ CampaignGrid::expand(std::size_t index_offset,
             run.config.vcsPerPort = vcs;
             run.config.bufferDepth = buffers;
             run.config.escapeVcs = escape;
+            run.config.faultCount = faults;
+            run.config.faultSeed = fault_seed;
             run.config.normalizedLoad = load;
             if (deriveSeeds)
                 run.config.seed = deriveSeed(campaignSeed, index);

@@ -44,8 +44,8 @@ class ResultSink;
  * Value lists for the swept axes. An empty axis means "use the grid's
  * base value" (an axis of one). Expansion order is fixed: model,
  * routing, table, selector, traffic, msglen, injection, vcs, buffers,
- * escape, load — load varies fastest, so consecutive indices of one
- * series walk its load axis.
+ * escape, faults, fault-seed, load — load varies fastest, so
+ * consecutive indices of one series walk its load axis.
  */
 struct CampaignAxes
 {
@@ -59,6 +59,8 @@ struct CampaignAxes
     std::vector<int> vcCounts;
     std::vector<int> bufferDepths;
     std::vector<int> escapeVcs;
+    std::vector<int> faultCounts;
+    std::vector<std::uint64_t> faultSeeds;
     std::vector<double> loads;
 
     /** Number of runs the cross-product expands to (>= 1). */

@@ -1,6 +1,7 @@
 #include "exp/campaign_cli.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "core/experiment.hpp"
@@ -34,19 +35,6 @@ parseMesh(const std::string& spec)
     return radices;
 }
 
-BenchMode
-parseBenchModeName(const std::string& name)
-{
-    if (name == "quick")
-        return BenchMode::Quick;
-    if (name == "default")
-        return BenchMode::Default;
-    if (name == "paper")
-        return BenchMode::Paper;
-    throw ConfigError("bad mode '" + name +
-                      "' (want quick|default|paper)");
-}
-
 } // namespace
 
 bool
@@ -58,10 +46,11 @@ CampaignCli::consume(int argc, char** argv, int& i)
             throw ConfigError("missing value for " + arg);
         return argv[++i];
     };
+    const int int_max = std::numeric_limits<int>::max();
     if (arg == "--grid") {
         gridSpecs.push_back(value());
     } else if (arg == "--seed") {
-        campaignSeed = std::strtoull(value().c_str(), nullptr, 10);
+        campaignSeed = parseCheckedU64(arg, value());
     } else if (arg == "--mesh") {
         base.radices = parseMesh(value());
     } else if (arg == "--torus") {
@@ -69,11 +58,11 @@ CampaignCli::consume(int argc, char** argv, int& i)
     } else if (arg == "--model") {
         base.model = parseRouterModel(value());
     } else if (arg == "--vcs") {
-        base.vcsPerPort = std::atoi(value().c_str());
+        base.vcsPerPort = parseCheckedInt(arg, value(), 1, int_max);
     } else if (arg == "--buffers") {
-        base.bufferDepth = std::atoi(value().c_str());
+        base.bufferDepth = parseCheckedInt(arg, value(), 1, int_max);
     } else if (arg == "--escape-vcs") {
-        base.escapeVcs = std::atoi(value().c_str());
+        base.escapeVcs = parseCheckedInt(arg, value(), -1, int_max);
     } else if (arg == "--routing") {
         base.routing = parseRoutingAlgo(value());
     } else if (arg == "--table") {
@@ -83,19 +72,36 @@ CampaignCli::consume(int argc, char** argv, int& i)
     } else if (arg == "--traffic") {
         base.traffic = parseTrafficKind(value());
     } else if (arg == "--load") {
-        base.normalizedLoad = std::atof(value().c_str());
+        base.normalizedLoad = parseCheckedDouble(
+            arg, value(), 1e-9, std::numeric_limits<double>::max());
     } else if (arg == "--msglen") {
-        base.msgLen = std::atoi(value().c_str());
+        base.msgLen = parseCheckedInt(arg, value(), 1, int_max);
     } else if (arg == "--injection") {
         base.injection = parseInjectionKind(value());
     } else if (arg == "--hotspot-frac") {
-        base.hotspot.fraction = std::atof(value().c_str());
+        base.hotspot.fraction =
+            parseCheckedDouble(arg, value(), 0.0, 1.0);
+    } else if (arg == "--faults") {
+        base.faultCount = parseCheckedInt(
+            arg, value(), 0, std::numeric_limits<int>::max());
+    } else if (arg == "--fault-seed") {
+        base.faultSeed = parseCheckedU64(arg, value());
+    } else if (arg == "--fault-start") {
+        base.faultStart = parseCheckedU64(arg, value());
+    } else if (arg == "--fault-spacing") {
+        base.faultSpacing = parseCheckedU64(arg, value());
+    } else if (arg == "--reconfig-latency") {
+        base.reconfigLatency = parseCheckedU64(arg, value());
+    } else if (arg == "--fault-policy") {
+        base.faultPolicy = parseFaultPolicy(value());
+    } else if (arg == "--fail-link") {
+        base.faultEvents.push_back(parseFaultEvent(value(), true));
+    } else if (arg == "--repair-link") {
+        base.faultEvents.push_back(parseFaultEvent(value(), false));
     } else if (arg == "--warmup") {
-        base.warmupMessages =
-            std::strtoull(value().c_str(), nullptr, 10);
+        base.warmupMessages = parseCheckedU64(arg, value());
     } else if (arg == "--measure") {
-        base.measureMessages =
-            std::strtoull(value().c_str(), nullptr, 10);
+        base.measureMessages = parseCheckedU64(arg, value());
     } else if (arg == "--mode") {
         applyBenchMode(base, parseBenchModeName(value()));
     } else {
@@ -139,9 +145,9 @@ campaignCliHelp()
            "                       axes: model|routing|table|selector|\n"
            "                       traffic|injection|msglen|vcs|"
            "buffers|\n"
-           "                       escape|load (load takes LO:HI:STEP\n"
-           "                       ranges); repeat --grid to join "
-           "grids\n"
+           "                       escape|faults|fault-seed|load (load\n"
+           "                       takes LO:HI:STEP ranges); repeat\n"
+           "                       --grid to join grids\n"
            "  --seed N             campaign seed; run i gets the seed\n"
            "                       derived from (N, i)              "
            "[1]\n"
@@ -151,7 +157,23 @@ campaignCliHelp()
            "  --escape-vcs N --routing A --table T --selector S\n"
            "  --traffic P --load X --msglen N --injection I\n"
            "  --hotspot-frac X --warmup N --measure N\n"
-           "  --mode quick|default|paper   measurement scale preset\n";
+           "  --mode quick|default|paper   measurement scale preset\n"
+           "\n"
+           "Dynamic link faults (README \"Fault injection\"):\n"
+           "  --faults N           random mid-run link failures\n"
+           "  --fault-seed N       fault-site seed (0 = derive from\n"
+           "                       the run seed)                  [0]\n"
+           "  --fault-start N      cycle of the first random fault\n"
+           "                       [2000]\n"
+           "  --fault-spacing N    cycles between random faults "
+           "[2000]\n"
+           "  --fail-link n:p@c    fail node n's port-p link at "
+           "cycle c\n"
+           "  --repair-link n:p@c  bring a failed link back up\n"
+           "  --reconfig-latency N cycles before tables reprogram "
+           "[200]\n"
+           "  --fault-policy P     drop|reinject cut messages "
+           "[reinject]\n";
 }
 
 } // namespace lapses

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "core/names.hpp"
 
 namespace lapses
@@ -39,14 +41,21 @@ splitList(const std::string& s, char sep)
     return parts;
 }
 
+// Axis value parsers: the shared checked parsers (core/experiment),
+// specialized with the axis name in the error message. Overflow and
+// sign-wrap garbage ("fault-seed=-1") are rejected, not clamped.
 int
 parseInt(const std::string& axis, const std::string& value)
 {
-    char* end = nullptr;
-    const long v = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0')
-        throw ConfigError("bad " + axis + " value '" + value + "'");
-    return static_cast<int>(v);
+    return parseCheckedInt(axis, value,
+                           std::numeric_limits<int>::min(),
+                           std::numeric_limits<int>::max());
+}
+
+std::uint64_t
+parseU64(const std::string& axis, const std::string& value)
+{
+    return parseCheckedU64(axis, value);
 }
 
 /** One load token: a plain number or a LO:HI:STEP range. */
@@ -109,13 +118,23 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
                 axes.bufferDepths.push_back(parseInt(axis, v));
             } else if (axis == "escape") {
                 axes.escapeVcs.push_back(parseInt(axis, v));
+            } else if (axis == "faults") {
+                const int count = parseInt(axis, v);
+                if (count < 0) {
+                    throw ConfigError("bad faults value '" + v +
+                                      "' (want >= 0)");
+                }
+                axes.faultCounts.push_back(count);
+            } else if (axis == "fault-seed") {
+                axes.faultSeeds.push_back(parseU64(axis, v));
             } else if (axis == "load") {
                 appendLoads(v, axes.loads);
             } else {
                 throw ConfigError(
                     "unknown grid axis '" + axis +
                     "' (want model|routing|table|selector|traffic|"
-                    "injection|msglen|vcs|buffers|escape|load)");
+                    "injection|msglen|vcs|buffers|escape|faults|"
+                    "fault-seed|load)");
             }
         }
     }

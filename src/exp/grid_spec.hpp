@@ -24,8 +24,8 @@ namespace lapses
 /**
  * Parse a grid spec into grid.axes (appending to any values already
  * there). Accepted axes: model, routing, table, selector, traffic,
- * injection, msglen, vcs, buffers, escape, load. Throws ConfigError
- * on an unknown axis or a malformed value.
+ * injection, msglen, vcs, buffers, escape, faults, fault-seed, load.
+ * Throws ConfigError on an unknown axis or a malformed value.
  */
 void applyGridSpec(const std::string& spec, CampaignGrid& grid);
 

@@ -372,6 +372,10 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
         return std::to_string(cfg.bufferDepth);
     if (axis == "escape" || axis == "escape_vcs")
         return std::to_string(cfg.escapeVcs);
+    if (axis == "faults")
+        return std::to_string(cfg.faultCount);
+    if (axis == "fault-seed" || axis == "fault_seed")
+        return std::to_string(cfg.faultSeed);
     if (axis == "load")
         return number(cfg.normalizedLoad);
     if (axis == "mesh")
@@ -381,7 +385,8 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
     throw ConfigError(
         "unknown --group-by axis '" + axis +
         "' (want model|routing|table|selector|traffic|injection|"
-        "msglen|vcs|buffers|escape|load|mesh|series)");
+        "msglen|vcs|buffers|escape|faults|fault-seed|load|mesh|"
+        "series)");
 }
 
 void

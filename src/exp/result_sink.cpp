@@ -46,6 +46,8 @@ jsonCoordinates(const CampaignRun& run)
        << "\",\"msglen\":" << cfg.msgLen << ",\"vcs\":" << cfg.vcsPerPort
        << ",\"buffers\":" << cfg.bufferDepth
        << ",\"escape_vcs\":" << cfg.escapeVcs
+       << ",\"faults\":" << cfg.faultCount
+       << ",\"fault_seed\":" << cfg.faultSeed
        << ",\"load\":" << cfg.normalizedLoad
        << ",\"seed\":" << cfg.seed
        << ",\"warmup\":" << cfg.warmupMessages
@@ -68,6 +70,7 @@ csvCoordinates(const CampaignRun& run)
        << csvEscape(injectionKindName(cfg.injection)) << ','
        << cfg.msgLen << ',' << cfg.vcsPerPort << ','
        << cfg.bufferDepth << ',' << cfg.escapeVcs << ','
+       << cfg.faultCount << ',' << cfg.faultSeed << ','
        << cfg.normalizedLoad << ',' << cfg.seed << ','
        << cfg.warmupMessages << ',' << cfg.measureMessages;
     return os.str();
@@ -86,8 +89,8 @@ std::string
 campaignCsvHeader()
 {
     return "run,series,mesh,model,routing,table,selector,traffic,"
-           "injection,msglen,vcs,buffers,escape_vcs,load,seed,warmup,"
-           "measure," +
+           "injection,msglen,vcs,buffers,escape_vcs,faults,fault_seed,"
+           "load,seed,warmup,measure," +
            statsCsvHeader();
 }
 

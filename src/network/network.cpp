@@ -53,6 +53,16 @@ Network::RouterEnv::creditOut(PortId in_port, VcId vc)
 }
 
 void
+Network::RouterEnv::headUnroutable(PortId in_port, VcId vc)
+{
+    // Deferred: purging mid-step would make the kernels' (different
+    // but unobservable) stepping orders observable through cross-
+    // router state surgery. processPendingUnroutable() runs after the
+    // step loops, in sorted order, identically under both kernels.
+    net_->pending_unroutable_.emplace_back(id_, in_port, vc);
+}
+
+void
 Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
 {
     Network& net = *net_;
@@ -133,6 +143,13 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
         for (NodeId id = 0; id < n; ++id)
             activateNic(id);
     }
+
+    // Fault schedule. The caller is responsible for validate()
+    // (connectivity etc.); the sort is repeated here so a hand-built
+    // schedule still applies in order.
+    fault_events_ = params.faults.events();
+    std::sort(fault_events_.begin(), fault_events_.end());
+    reprogram_table_ = params.reprogramTable;
 }
 
 void
@@ -179,6 +196,12 @@ Network::nextEventCycle()
         if (!bucket.keys.empty())
             next = std::min(next, bucket.due);
     }
+    // Fault events and reconfigurations are wake-up sources too: the
+    // idle fast-forward must stop exactly at their cycles.
+    if (next_fault_ < fault_events_.size())
+        next = std::min(next, fault_events_[next_fault_].cycle);
+    if (next_reconfig_ < reconfig_due_.size())
+        next = std::min(next, reconfig_due_[next_reconfig_]);
     // Drop stale wake entries (NIC re-activated or rescheduled since).
     while (!nic_wakes_.empty()) {
         const auto [cycle, id] = nic_wakes_.top();
@@ -350,6 +373,7 @@ Network::stepScan()
                 now_, router_envs_[static_cast<std::size_t>(id)]);
         progress_flits_ += act.progressed;
     }
+    processPendingUnroutable();
     ++now_;
     if (++now_slot_ == calendar_.size())
         now_slot_ = 0;
@@ -410,14 +434,239 @@ Network::stepActive()
     }
     active_routers_.swap(scratch_routers_);
 
+    processPendingUnroutable();
     ++now_;
     if (++now_slot_ == calendar_.size())
         now_slot_ = 0;
 }
 
 void
+Network::applyFaultEvents()
+{
+    while (next_fault_ < fault_events_.size() &&
+           fault_events_[next_fault_].cycle <= now_) {
+        const FaultEvent& event = fault_events_[next_fault_++];
+        if (event.down)
+            applyDownEvent(event.node, event.port);
+        else
+            applyUpEvent(event.node, event.port);
+        last_fault_cycle_ = now_;
+        // Every event opens (or extends) a reconfiguration window.
+        const Cycle due = now_ + params_.reconfigLatency;
+        if (reconfig_due_.empty() || reconfig_due_.back() != due)
+            reconfig_due_.push_back(due);
+        for (auto& r : routers_)
+            r.setReconfigPending(true);
+    }
+    while (next_reconfig_ < reconfig_due_.size() &&
+           reconfig_due_[next_reconfig_] <= now_) {
+        ++next_reconfig_;
+        applyReconfiguration();
+    }
+}
+
+void
+Network::applyDownEvent(NodeId node, PortId port)
+{
+    const NodeId peer = topo_.neighbor(node, port);
+    const PortId peer_port = MeshTopology::oppositePort(port);
+    LAPSES_ASSERT(peer != kInvalidNode);
+    failures_.fail(topo_, node, port);
+    routers_[static_cast<std::size_t>(node)].markPortDead(port);
+    routers_[static_cast<std::size_t>(peer)].markPortDead(peer_port);
+
+    // Collect every message the dying link cuts: flits in flight on
+    // its two wires, flits and worm owners at its two endpoint ports.
+    std::vector<MsgRef> affected;
+    const auto side = [&](NodeId n, PortId p) {
+        const auto& fw = flit_wires_[wireIndex(n, p)];
+        for (std::size_t i = 0; i < fw.size(); ++i)
+            affected.push_back(fw.at(i).flit.msg);
+        routers_[static_cast<std::size_t>(n)].collectPortMessages(
+            p, affected);
+    };
+    side(node, port);
+    side(peer, peer_port);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (const MsgRef msg : affected)
+        purgeMessage(msg, /*allow_reinject=*/true);
+
+    // Quarantine the dead channel: in-flight credits are lost with
+    // the link, endpoint credit counters drop to zero (reset to full
+    // at repair — by then both peer input buffers are empty).
+    credit_wires_[wireIndex(node, port)].clear();
+    credit_wires_[wireIndex(peer, peer_port)].clear();
+    routers_[static_cast<std::size_t>(node)].quarantineDeadPort(port);
+    routers_[static_cast<std::size_t>(peer)].quarantineDeadPort(
+        peer_port);
+    LAPSES_ASSERT(flit_wires_[wireIndex(node, port)].empty());
+    LAPSES_ASSERT(flit_wires_[wireIndex(peer, peer_port)].empty());
+    ++fault_counters_.linkDownEvents;
+}
+
+void
+Network::applyUpEvent(NodeId node, PortId port)
+{
+    const NodeId peer = topo_.neighbor(node, port);
+    const PortId peer_port = MeshTopology::oppositePort(port);
+    LAPSES_ASSERT(peer != kInvalidNode);
+    failures_.repair(topo_, node, port);
+    // While the link was down nothing could enter either endpoint's
+    // buffers, so a full credit line is exact.
+    routers_[static_cast<std::size_t>(node)].markPortAlive(
+        port, params_.router.inBufDepth);
+    routers_[static_cast<std::size_t>(peer)].markPortAlive(
+        peer_port, params_.router.inBufDepth);
+    ++fault_counters_.linkUpEvents;
+}
+
+void
+Network::applyReconfiguration()
+{
+    // 1. Reprogram the table around the surviving topology (full
+    //    tables only; the schedule validator guarantees the network
+    //    is still connected).
+    if (reprogram_table_ != nullptr) {
+        reprogramFaultAwareTable(*reprogram_table_, topo_, failures_);
+    }
+
+    // 2. Re-route every held header from the fresh tables; heads with
+    //    no surviving candidate are purged (always dropped: under
+    //    Reinject they would retry the same dead route forever).
+    std::vector<std::pair<PortId, VcId>> unroutable;
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        unroutable.clear();
+        routers_[static_cast<std::size_t>(id)].rerouteHeldHeads(
+            unroutable, fault_counters_.reroutedHeads);
+        for (const auto& [p, v] : unroutable) {
+            const MsgRef msg =
+                routers_[static_cast<std::size_t>(id)]
+                    .heldUnroutableMsg(p, v);
+            if (msg != kInvalidMsgRef)
+                purgeMessage(msg, /*allow_reinject=*/false);
+        }
+    }
+
+    // 3. Close the window once every scheduled reconfiguration ran.
+    if (next_reconfig_ == reconfig_due_.size()) {
+        for (auto& r : routers_)
+            r.setReconfigPending(false);
+    }
+    ++fault_counters_.reconfigurations;
+}
+
+void
+Network::purgeMessage(MsgRef msg, bool allow_reinject)
+{
+    const MessageDescriptor& desc = pool_[msg];
+    const NodeId src = desc.src;
+    const NodeId dest = desc.dest;
+    const Cycle created_at = desc.createdAt;
+    const bool measured = desc.measured;
+
+    std::size_t removed = 0;
+
+    // Router buffers; freed input slots credit the upstream hop
+    // directly (cleanup is instantaneous and bypasses the wires —
+    // identical under both kernels).
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        Router& router = routers_[static_cast<std::size_t>(id)];
+        removed += router.purgeMessage(
+            msg, [&](PortId in_port, VcId vc) {
+                if (in_port == kLocalPort) {
+                    nics_[static_cast<std::size_t>(id)].acceptCredit(
+                        vc);
+                    if (kernel_ == KernelKind::Active)
+                        activateNic(id);
+                    return;
+                }
+                const NodeId up = topo_.neighbor(id, in_port);
+                LAPSES_ASSERT(up != kInvalidNode);
+                routers_[static_cast<std::size_t>(up)].acceptCredit(
+                    MeshTopology::oppositePort(in_port), vc);
+                if (kernel_ == KernelKind::Active)
+                    activateRouter(up);
+            });
+    }
+
+    // Flits still on wires. A flit on a (non-ejection) wire consumed
+    // the sender's credit at transmit time and would return it from
+    // the receiver's buffer — restore it straight to the sender. The
+    // sender's port may itself be the dying link: restore anyway,
+    // quarantine zeroes the counter afterwards.
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        for (PortId p = 0; p < topo_.numPorts(); ++p) {
+            auto& fw = flit_wires_[wireIndex(id, p)];
+            const std::size_t dropped = fw.removeIf(
+                [&](const WireFlit& wf) {
+                    if (wf.flit.msg != msg)
+                        return false;
+                    if (p != kLocalPort) {
+                        routers_[static_cast<std::size_t>(id)]
+                            .acceptCredit(p, wf.vc);
+                    }
+                    return true;
+                });
+            removed += dropped;
+        }
+        auto& iw = inject_wires_[static_cast<std::size_t>(id)];
+        removed += iw.removeIf([&](const WireFlit& wf) {
+            if (wf.flit.msg != msg)
+                return false;
+            // The NIC spent a local-port credit on this flit.
+            nics_[static_cast<std::size_t>(id)].acceptCredit(wf.vc);
+            return true;
+        });
+    }
+
+    occupancy_ -= removed;
+    fault_counters_.droppedFlits += removed;
+
+    // Cancel the source NIC's stream (no-op when the message had
+    // fully left the source).
+    nics_[static_cast<std::size_t>(src)].cancelInjection(msg);
+
+    if (allow_reinject && params_.faultPolicy == FaultPolicy::Reinject) {
+        nics_[static_cast<std::size_t>(src)].requeueFront(
+            dest, created_at, measured);
+        ++fault_counters_.reinjectedMessages;
+    } else {
+        ++fault_counters_.droppedMessages;
+        if (measured)
+            ++dropped_measured_;
+    }
+    if (kernel_ == KernelKind::Active)
+        activateNic(src);
+    pool_.release(msg);
+}
+
+void
+Network::processPendingUnroutable()
+{
+    if (pending_unroutable_.empty())
+        return;
+    std::sort(pending_unroutable_.begin(), pending_unroutable_.end());
+    for (const auto& [id, p, v] : pending_unroutable_) {
+        // Re-verify: an earlier purge this cycle may have freed the
+        // VC, or a duplicate report may target an already-purged head.
+        const MsgRef msg =
+            routers_[static_cast<std::size_t>(id)].heldUnroutableMsg(
+                p, v);
+        if (msg != kInvalidMsgRef)
+            purgeMessage(msg, /*allow_reinject=*/false);
+    }
+    pending_unroutable_.clear();
+}
+
+void
 Network::step()
 {
+    if (next_fault_ < fault_events_.size() ||
+        next_reconfig_ < reconfig_due_.size()) {
+        applyFaultEvents();
+    }
     if (kernel_ == KernelKind::Scan)
         stepScan();
     else

@@ -28,14 +28,17 @@
 #define LAPSES_NETWORK_NETWORK_HPP
 
 #include <queue>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
+#include "fault/fault_schedule.hpp"
 #include "network/nic.hpp"
 #include "network/tracer.hpp"
 #include "router/router.hpp"
 #include "selection/selector_factory.hpp"
+#include "tables/full_table.hpp"
 
 namespace lapses
 {
@@ -53,6 +56,26 @@ struct NetworkParams
     SelectorKind selector = SelectorKind::StaticXY;
     std::uint64_t seed = 1;
     KernelKind kernel = KernelKind::Auto;
+
+    // --- Dynamic link faults (DESIGN.md "Fault events") -----------
+    /** Validated schedule of mid-run link down/up events. */
+    FaultSchedule faults;
+
+    /** Cycles between a fault event and the reconfiguration that
+     *  reprograms tables / re-routes held headers. */
+    Cycle reconfigLatency = 200;
+
+    /** Drop or reinject the messages a dying link cuts. */
+    FaultPolicy faultPolicy = FaultPolicy::Reinject;
+
+    /**
+     * The table to reprogram around failures at reconfiguration time
+     * (must be the same object the routers route from). Null for
+     * storage schemes that cannot express fault-aware entries — those
+     * still mask dead ports, but headers whose every candidate faces
+     * a dead link are dropped instead of re-routed.
+     */
+    FullTable* reprogramTable = nullptr;
 };
 
 /** A mesh of routers and NICs with credit-based flow control. */
@@ -67,6 +90,23 @@ class Network : public DeliverySink
         std::uint64_t routerSteps = 0; //!< Router::step invocations
         std::uint64_t wireEventsDelivered = 0;
         std::uint64_t fastForwardedCycles = 0; //!< cycles skipped idle
+    };
+
+    /** Resilience counters maintained by the fault-event machinery. */
+    struct FaultCounters
+    {
+        std::uint64_t linkDownEvents = 0;
+        std::uint64_t linkUpEvents = 0;
+        std::uint64_t reconfigurations = 0;
+        /** Messages permanently lost (policy Drop, or unroutable). */
+        std::uint64_t droppedMessages = 0;
+        /** Flits physically removed from buffers and wires by purges
+         *  (dropped and reinjected messages both shed flits). */
+        std::uint64_t droppedFlits = 0;
+        /** Messages requeued at their source (policy Reinject). */
+        std::uint64_t reinjectedMessages = 0;
+        /** Held headers whose candidates changed at reconfiguration. */
+        std::uint64_t reroutedHeads = 0;
     };
 
     /**
@@ -100,6 +140,23 @@ class Network : public DeliverySink
 
     /** Work counters for perf tests and benches. */
     const KernelCounters& kernelCounters() const { return counters_; }
+
+    /** Resilience counters (all zero on a healthy run). */
+    const FaultCounters& faultCounters() const
+    {
+        return fault_counters_;
+    }
+
+    /** Measured messages permanently dropped by faults; the drain
+     *  phase terminates on delivered + dropped >= created. */
+    std::uint64_t droppedMeasured() const { return dropped_measured_; }
+
+    /** Cycle of the most recent applied fault event (kNeverCycle when
+     *  none fired yet); anchors the latency-recovery curve. */
+    Cycle lastFaultCycle() const { return last_fault_cycle_; }
+
+    /** Links currently down (tests / diagnostics). */
+    const FailureSet& currentFailures() const { return failures_; }
 
     /** Start/stop tagging new messages as measured. */
     void setMeasuring(bool on);
@@ -208,6 +265,7 @@ class Network : public DeliverySink
         void flitOut(PortId out_port, VcId out_vc,
                      const Flit& flit) override;
         void creditOut(PortId in_port, VcId vc) override;
+        void headUnroutable(PortId in_port, VcId vc) override;
 
       private:
         Network* net_;
@@ -306,6 +364,35 @@ class Network : public DeliverySink
     void stepScan();
     void stepActive();
 
+    // --- Fault-event machinery (DESIGN.md "Fault events") -----------
+
+    /** Apply every fault event and reconfiguration due at `now` —
+     *  runs at the very top of step(), before wire delivery, so both
+     *  kernels see identical state all cycle. */
+    void applyFaultEvents();
+
+    void applyDownEvent(NodeId node, PortId port);
+    void applyUpEvent(NodeId node, PortId port);
+
+    /** Reprogram the full table around the current failures and
+     *  re-route / purge held headers. */
+    void applyReconfiguration();
+
+    /**
+     * Remove every flit of `msg` from the network (router FIFOs, flit
+     * and injection wires), restore the freed buffer credits directly
+     * (cleanup bypasses the wires), cancel the source NIC's stream,
+     * and either requeue the message at its source or count it
+     * dropped. `allow_reinject` is false for unroutable heads — they
+     * would loop forever under Reinject.
+     */
+    void purgeMessage(MsgRef msg, bool allow_reinject);
+
+    /** End-of-cycle purge of heads reported unroutable during the
+     *  step loops (deferred so mid-loop state surgery cannot make the
+     *  kernels' stepping orders observable). */
+    void processPendingUnroutable();
+
     const MeshTopology& topo_;
     NetworkParams params_;
     KernelKind kernel_;
@@ -353,6 +440,22 @@ class Network : public DeliverySink
                         std::greater<>>
         nic_wakes_;
     KernelCounters counters_;
+
+    // Fault-event state. fault_events_ is the validated schedule in
+    // order; next_fault_ and next_reconfig_ are cursors, and the whole
+    // machinery is skipped when both are exhausted (healthy runs pay
+    // one predictable branch per cycle).
+    std::vector<FaultEvent> fault_events_;
+    std::size_t next_fault_ = 0;
+    std::vector<Cycle> reconfig_due_; //!< ascending; deduped on push
+    std::size_t next_reconfig_ = 0;
+    FailureSet failures_;
+    FullTable* reprogram_table_ = nullptr;
+    /** (node, port, vc) of heads reported unroutable this cycle. */
+    std::vector<std::tuple<NodeId, PortId, VcId>> pending_unroutable_;
+    FaultCounters fault_counters_;
+    std::uint64_t dropped_measured_ = 0;
+    Cycle last_fault_cycle_ = kNeverCycle;
 
     /** Flits in routers or on flit/injection wires (totalOccupancy). */
     std::size_t occupancy_ = 0;

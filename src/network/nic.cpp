@@ -27,6 +27,26 @@ Nic::backlog() const
     return n;
 }
 
+bool
+Nic::cancelInjection(MsgRef msg)
+{
+    for (auto& a : active_) {
+        if (a.active && a.msg == msg) {
+            a.active = false;
+            a.msg = kInvalidMsgRef;
+            a.nextSeq = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Nic::requeueFront(NodeId dest, Cycle createdAt, bool measured)
+{
+    queue_.push_front({dest, createdAt, measured});
+}
+
 void
 Nic::acceptCredit(VcId vc)
 {

@@ -120,6 +120,20 @@ class Nic
     /** Flits sent into the network (progress watchdog input). */
     std::uint64_t injectedFlits() const { return injected_flits_; }
 
+    // --- Dynamic link faults --------------------------------------
+
+    /** Stop streaming `msg` (its flits were purged network-wide when
+     *  a link died). Credits for the purged flits come back through
+     *  the purge path; the un-sent remainder is simply never created.
+     *  Returns true when the NIC was streaming that message. */
+    bool cancelInjection(MsgRef msg);
+
+    /** Put a purged message back at the head of the source queue
+     *  (retransmission-by-reinjection): it re-enters VC allocation
+     *  with a fresh descriptor but keeps its creation time, so its
+     *  eventual latency includes the fault. */
+    void requeueFront(NodeId dest, Cycle createdAt, bool measured);
+
   private:
     /** A message waiting in the source queue. */
     struct QueuedMessage

@@ -43,6 +43,11 @@ struct InputVc
     /** Earliest cycle the header may attempt selection/arbitration. */
     Cycle arbEligibleAt = 0;
 
+    /** The message owning this VC while state != Idle. Lets the fault
+     *  path find a cut worm even when every one of its flits is
+     *  momentarily buffered elsewhere (see Network fault handling). */
+    MsgRef msg = kInvalidMsgRef;
+
     /** Routing-table candidates for the header (from the look-ahead
      *  header payload or the local table-lookup stage). */
     RouteCandidates route;

@@ -38,6 +38,10 @@ struct OutputVc
     /** Allocated to an in-flight message (cleared when its tail is
      *  transmitted). */
     bool busy = false;
+
+    /** The message owning this VC while busy (fault-path discovery of
+     *  worms cut by a dying link). */
+    MsgRef msg = kInvalidMsgRef;
 };
 
 /** Output port: crossbar output + VC mux + link credit bookkeeping. */

@@ -106,6 +106,7 @@ Router::advanceHeaderState(PortId in_port, VcId vc, Cycle now)
     }
     LAPSES_ASSERT_MSG(!ivc.route.empty(), "empty routing-table entry");
     ivc.state = RouteState::WaitArb;
+    ivc.msg = front.msg;
 }
 
 int
@@ -166,8 +167,18 @@ Router::allocateVc(const RouteCandidates& route, PortId p) const
     return kInvalidVc;
 }
 
+bool
+Router::hasLiveCandidate(const RouteCandidates& route) const
+{
+    for (int i = 0; i < route.count(); ++i) {
+        if (!portDead(route.at(i)))
+            return true;
+    }
+    return false;
+}
+
 PortId
-Router::gatherRequest(PortId in_port, VcId vc, Cycle now)
+Router::gatherRequest(PortId in_port, VcId vc, Cycle now, Env& env)
 {
     InputVc& ivc = inputs_[static_cast<std::size_t>(in_port)].vc(vc);
     if (ivc.buffer.empty())
@@ -177,12 +188,16 @@ Router::gatherRequest(PortId in_port, VcId vc, Cycle now)
         if (now < ivc.arbEligibleAt)
             return kInvalidPort;
         // Selection-cum-arbitration stage: filter candidates to those
-        // with an allocatable VC, then apply the path-selection
-        // heuristic (Section 4).
+        // with an allocatable VC (skipping dead links), then apply the
+        // path-selection heuristic (Section 4).
         std::array<PortStatus, RouteCandidates::kMaxCandidates> status;
         int avail = 0;
+        int live = 0;
         for (int i = 0; i < ivc.route.count(); ++i) {
             const PortId p = ivc.route.at(i);
+            if (portDead(p))
+                continue;
+            ++live;
             const int free_vcs = countFreeVcs(ivc.route, p);
             if (free_vcs == 0)
                 continue;
@@ -191,6 +206,22 @@ Router::gatherRequest(PortId in_port, VcId vc, Cycle now)
             status[static_cast<std::size_t>(avail++)] = PortStatus{
                 p, free_vcs, out.totalCredits(), out.activeVcCount(),
                 out.useCount(), out.lastUseCycle()};
+        }
+        if (live == 0) {
+            // Every candidate faces a dead link. Stall while a
+            // reconfiguration is pending (the reprogrammed tables may
+            // route around the failure); otherwise consult the table
+            // once more (a look-ahead route computed before the fault
+            // is stale by now) and report the head unroutable if that
+            // does not help — the network purges it at end of cycle.
+            if (reconfig_pending_)
+                return kInvalidPort;
+            const MessageDescriptor& desc =
+                pool_[ivc.buffer.front().msg];
+            ivc.route = table_.lookup(id_, desc.dest);
+            if (!hasLiveCandidate(ivc.route))
+                env.headUnroutable(in_port, vc);
+            return kInvalidPort;
         }
         if (avail == 0)
             return kInvalidPort; // all candidates blocked; retry
@@ -225,7 +256,7 @@ Router::serveCrossbar(Cycle now, Env& env)
     // order the full sweep used, so arbitration is unchanged.
     std::uint64_t req_ports = 0;
     forEachOccupiedInput([&](PortId ip, VcId v) {
-        const PortId req = gatherRequest(ip, v, now);
+        const PortId req = gatherRequest(ip, v, now, env);
         pending_request_[static_cast<std::size_t>(
             requesterIndex(ip, v))] = req;
         if (req != kInvalidPort) {
@@ -260,6 +291,7 @@ Router::serveCrossbar(Cycle now, Env& env)
             LAPSES_ASSERT_MSG(ov != kInvalidVc,
                               "granted header found no allocatable VC");
             out.vc(ov).busy = true;
+            out.vc(ov).msg = ivc.msg;
             ivc.state = RouteState::Active;
             ivc.outPort = op;
             ivc.outVc = ov;
@@ -299,6 +331,7 @@ Router::serveCrossbar(Cycle now, Env& env)
             ivc.state = RouteState::Idle;
             ivc.outPort = kInvalidPort;
             ivc.outVc = kInvalidVc;
+            ivc.msg = kInvalidMsgRef;
         }
         out.vc(ov).buffer.push(flit);
         markOccupied(out_vc_mask_, out_port_mask_, op, ov);
@@ -310,8 +343,9 @@ void
 Router::serveVcMux(Cycle now, Env& env)
 {
     // Only output ports with FIFO backlog can transmit; VCs raise in
-    // ascending order exactly as the full sweep did.
-    std::uint64_t pm = out_port_mask_;
+    // ascending order exactly as the full sweep did. Dead ports never
+    // transmit (their FIFOs are purged when the link dies anyway).
+    std::uint64_t pm = out_port_mask_ & ~dead_port_mask_;
     while (pm != 0) {
         const auto op = static_cast<PortId>(std::countr_zero(pm));
         pm &= pm - 1;
@@ -343,10 +377,156 @@ Router::serveVcMux(Cycle now, Env& env)
         out.recordUse(now);
         ++transmitted_flits_;
         --buffered_flits_; // the flit leaves the router for the wire
-        if (isTail(flit.type))
+        if (isTail(flit.type)) {
             ovc.busy = false;
+            ovc.msg = kInvalidMsgRef;
+        }
         env.flitOut(op, v, flit);
     }
+}
+
+void
+Router::markPortDead(PortId p)
+{
+    LAPSES_ASSERT(p > 0 && p < num_ports_);
+    dead_port_mask_ |= std::uint64_t{1} << p;
+}
+
+void
+Router::markPortAlive(PortId p, int fresh_credits)
+{
+    LAPSES_ASSERT(portDead(p));
+    dead_port_mask_ &= ~(std::uint64_t{1} << p);
+    OutputUnit& out = outputs_[static_cast<std::size_t>(p)];
+    for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+        OutputVc& ovc = out.vc(v);
+        LAPSES_ASSERT_MSG(ovc.buffer.empty() && !ovc.busy,
+                          "reviving a dead port with residual state");
+        ovc.credits = fresh_credits;
+    }
+}
+
+void
+Router::collectPortMessages(PortId p, std::vector<MsgRef>& out) const
+{
+    const InputUnit& in = inputs_[static_cast<std::size_t>(p)];
+    const OutputUnit& op = outputs_[static_cast<std::size_t>(p)];
+    for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+        // Flits queued on the dead link's input side: their worm is
+        // cut (the rest of the message is across the dead wire).
+        const InputVc& ivc = in.vc(v);
+        for (std::size_t i = 0; i < ivc.buffer.size(); ++i)
+            out.push_back(ivc.buffer.at(i).msg);
+        if (ivc.state != RouteState::Idle &&
+            ivc.msg != kInvalidMsgRef) {
+            out.push_back(ivc.msg);
+        }
+        // Flits (and worm owners) waiting to transmit into the dead
+        // wire.
+        const OutputVc& ovc = op.vc(v);
+        for (std::size_t i = 0; i < ovc.buffer.size(); ++i)
+            out.push_back(ovc.buffer.at(i).msg);
+        if (ovc.busy && ovc.msg != kInvalidMsgRef)
+            out.push_back(ovc.msg);
+    }
+    // Worms still crossing the router toward the dead port.
+    for (PortId ip = 0; ip < num_ports_; ++ip) {
+        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+            const InputVc& ivc =
+                inputs_[static_cast<std::size_t>(ip)].vc(v);
+            if (ivc.state == RouteState::Active && ivc.outPort == p &&
+                ivc.msg != kInvalidMsgRef) {
+                out.push_back(ivc.msg);
+            }
+        }
+    }
+}
+
+std::size_t
+Router::purgeMessage(MsgRef msg,
+                     const std::function<void(PortId, VcId)>& credit)
+{
+    std::size_t removed = 0;
+    for (PortId p = 0; p < num_ports_; ++p) {
+        InputUnit& in = inputs_[static_cast<std::size_t>(p)];
+        OutputUnit& out = outputs_[static_cast<std::size_t>(p)];
+        for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+            InputVc& ivc = in.vc(v);
+            const std::size_t in_removed = ivc.buffer.removeIf(
+                [msg](const Flit& f) { return f.msg == msg; });
+            for (std::size_t i = 0; i < in_removed; ++i)
+                credit(p, v);
+            clearIfDrained(in_vc_mask_, in_port_mask_, p, v,
+                           ivc.buffer.empty());
+            if (ivc.msg == msg) {
+                // Release the VC the worm owned; any output VC it had
+                // allocated is released through its own msg field.
+                ivc.state = RouteState::Idle;
+                ivc.outPort = kInvalidPort;
+                ivc.outVc = kInvalidVc;
+                ivc.msg = kInvalidMsgRef;
+            }
+            OutputVc& ovc = out.vc(v);
+            const std::size_t out_removed = ovc.buffer.removeIf(
+                [msg](const Flit& f) { return f.msg == msg; });
+            clearIfDrained(out_vc_mask_, out_port_mask_, p, v,
+                           ovc.buffer.empty());
+            if (ovc.busy && ovc.msg == msg) {
+                ovc.busy = false;
+                ovc.msg = kInvalidMsgRef;
+            }
+            removed += in_removed + out_removed;
+        }
+    }
+    buffered_flits_ -= removed;
+    return removed;
+}
+
+void
+Router::quarantineDeadPort(PortId p)
+{
+    LAPSES_ASSERT(portDead(p));
+    OutputUnit& out = outputs_[static_cast<std::size_t>(p)];
+    for (VcId v = 0; v < params_.vcsPerPort; ++v) {
+        OutputVc& ovc = out.vc(v);
+        LAPSES_ASSERT_MSG(ovc.buffer.empty() && !ovc.busy,
+                          "dead port still holds traffic after purge");
+        ovc.credits = 0;
+    }
+}
+
+void
+Router::rerouteHeldHeads(
+    std::vector<std::pair<PortId, VcId>>& unroutable,
+    std::uint64_t& rerouted)
+{
+    forEachOccupiedInput([&](PortId ip, VcId v) {
+        InputVc& ivc = inputs_[static_cast<std::size_t>(ip)].vc(v);
+        if (ivc.state != RouteState::WaitArb)
+            return;
+        // The reconfiguration controller re-runs the lookup for every
+        // held header (also in look-ahead mode: the route the previous
+        // hop computed predates the reprogramming).
+        const MessageDescriptor& desc = pool_[ivc.msg];
+        const RouteCandidates fresh = table_.lookup(id_, desc.dest);
+        if (fresh != ivc.route) {
+            ivc.route = fresh;
+            ++rerouted;
+        }
+        if (!hasLiveCandidate(ivc.route))
+            unroutable.emplace_back(ip, v);
+    });
+}
+
+MsgRef
+Router::heldUnroutableMsg(PortId p, VcId v) const
+{
+    const InputVc& ivc = inputs_[static_cast<std::size_t>(p)].vc(v);
+    if (ivc.state != RouteState::WaitArb ||
+        ivc.msg == kInvalidMsgRef || hasLiveCandidate(ivc.route)) {
+        return kInvalidMsgRef;
+    }
+    return ivc.msg;
 }
 
 StepActivity

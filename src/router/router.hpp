@@ -34,6 +34,7 @@
 #define LAPSES_ROUTER_ROUTER_HPP
 
 #include <bit>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -92,6 +93,17 @@ class Router
         /** A buffer slot freed on input (in_port, vc); credit the
          *  upstream transmitter. */
         virtual void creditOut(PortId in_port, VcId vc) = 0;
+
+        /** The header on (in_port, vc) has no surviving candidate
+         *  port (every one faces a dead link) and no reconfiguration
+         *  is pending that could save it. The network purges such
+         *  heads at the end of the cycle; default no-op for tests
+         *  driving a router directly. */
+        virtual void headUnroutable(PortId in_port, VcId vc)
+        {
+            (void)in_port;
+            (void)vc;
+        }
     };
 
     /**
@@ -173,6 +185,66 @@ class Router
     /** The occupied input VCs in iteration (= arbitration) order. */
     std::vector<std::pair<PortId, VcId>> occupiedInputVcs() const;
 
+    // --- Dynamic link faults (see DESIGN.md "Fault events") ----------
+
+    /** Mark port p's link dead: headers never select it, the VC mux
+     *  never transmits through it. */
+    void markPortDead(PortId p);
+
+    /** Bring port p's link back up, resetting its output unit (fresh
+     *  credits, no busy VCs; the peer's input buffers were purged when
+     *  the link died, so full credit is exact). */
+    void markPortAlive(PortId p, int fresh_credits);
+
+    bool
+    portDead(PortId p) const
+    {
+        return (dead_port_mask_ >> p) & 1u;
+    }
+
+    /** While a reconfiguration is pending, heads with no surviving
+     *  candidate stall (the new tables may save them) instead of being
+     *  reported unroutable. */
+    void setReconfigPending(bool pending) { reconfig_pending_ = pending; }
+
+    /**
+     * Collect the messages a death of port p's link cuts: every flit
+     * buffered in the port's input/output FIFOs, the owners of those
+     * VCs, and any input VC allocated through p. Appends MsgRefs
+     * (possibly duplicated) to `out`.
+     */
+    void collectPortMessages(PortId p, std::vector<MsgRef>& out) const;
+
+    /**
+     * Remove every flit of `msg` from this router, releasing any VC
+     * the message owns. For each flit removed from an input FIFO,
+     * `credit(in_port, vc)` runs so the caller can return the freed
+     * slot upstream directly (reconfiguration-time cleanup bypasses
+     * the wires). Returns the number of flits removed.
+     */
+    std::size_t
+    purgeMessage(MsgRef msg,
+                 const std::function<void(PortId, VcId)>& credit);
+
+    /** Zero the dead port's credits (quarantine) after its traffic was
+     *  purged; FIFOs must already be empty. */
+    void quarantineDeadPort(PortId p);
+
+    /**
+     * Reconfiguration sweep: refresh the table route of every held
+     * (WaitArb) header from the (possibly reprogrammed) table,
+     * counting those whose candidates changed into `rerouted`. Heads
+     * left without a surviving candidate are appended to `unroutable`.
+     */
+    void rerouteHeldHeads(
+        std::vector<std::pair<PortId, VcId>>& unroutable,
+        std::uint64_t& rerouted);
+
+    /** The message of the head on (p, v) if it is still a held header
+     *  with no surviving candidate; kInvalidMsgRef otherwise (the
+     *  end-of-cycle unroutable purge re-verifies through this). */
+    MsgRef heldUnroutableMsg(PortId p, VcId v) const;
+
   private:
     /** Move a header at the front of (in_port, vc) through decode /
      *  lookup into the WaitArb state. */
@@ -180,7 +252,11 @@ class Router
 
     /** Raise crossbar requests for one input VC; returns the requested
      *  output port or kInvalidPort. */
-    PortId gatherRequest(PortId in_port, VcId vc, Cycle now);
+    PortId gatherRequest(PortId in_port, VcId vc, Cycle now, Env& env);
+
+    /** True when the route has at least one candidate whose link is
+     *  up. */
+    bool hasLiveCandidate(const RouteCandidates& route) const;
 
     /** VCs this header may allocate on candidate port p. */
     int countFreeVcs(const RouteCandidates& route, PortId p) const;
@@ -274,6 +350,13 @@ class Router
     std::vector<std::uint64_t> out_vc_mask_; //!< per out port: backlogged VCs
     std::uint64_t in_port_mask_ = 0;  //!< in ports with any occupied VC
     std::uint64_t out_port_mask_ = 0; //!< out ports with any backlog
+
+    /** Ports whose link is currently down (zero when healthy — every
+     *  fault check is a single mask test on the hot path). */
+    std::uint64_t dead_port_mask_ = 0;
+
+    /** A reconfiguration window is open (see setReconfigPending). */
+    bool reconfig_pending_ = false;
 
     std::uint64_t forwarded_flits_ = 0;
     std::uint64_t transmitted_flits_ = 0;

@@ -1,6 +1,7 @@
 #include "stats/report.hpp"
 
 #include <cmath>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -40,7 +41,10 @@ writeSweepCsv(std::ostream& os, const std::vector<SweepSeries>& series)
 std::string
 statsCsvHeader()
 {
-    return "latency,network_latency,hops,accepted,offered,saturated";
+    // `saturated` must stay the final column: resume/merge detect a
+    // record cut short by a kill through the last cell being a bool.
+    return "latency,network_latency,hops,accepted,offered,"
+           "dropped_messages,reinjected_messages,saturated";
 }
 
 std::string
@@ -54,7 +58,8 @@ statsToCsvRow(const SimStats& stats)
            << ',' << stats.hops.mean() << ',' << stats.acceptedFlitRate
            << ',';
     }
-    os << stats.offeredFlitRate << ','
+    os << stats.offeredFlitRate << ',' << stats.droppedMessages << ','
+       << stats.reinjectedMessages << ','
        << (stats.saturated ? "true" : "false");
     return os.str();
 }
@@ -100,6 +105,24 @@ statsJsonFields(const SimStats& stats)
                static_cast<double>(stats.deliveredMessages), first);
     jsonNumber(os, "measured_cycles",
                static_cast<double>(stats.measuredCycles), first);
+    // Resilience fields (all zero / null on healthy runs).
+    jsonNumber(os, "link_down_events",
+               static_cast<double>(stats.linkDownEvents), first);
+    jsonNumber(os, "reconfigurations",
+               static_cast<double>(stats.reconfigurations), first);
+    jsonNumber(os, "dropped_messages",
+               static_cast<double>(stats.droppedMessages), first);
+    jsonNumber(os, "dropped_flits",
+               static_cast<double>(stats.droppedFlits), first);
+    jsonNumber(os, "reinjected_messages",
+               static_cast<double>(stats.reinjectedMessages), first);
+    jsonNumber(os, "rerouted_heads",
+               static_cast<double>(stats.reroutedHeads), first);
+    jsonNumber(os, "post_fault_latency_mean",
+               stats.postFaultLatency.count() > 0
+                   ? stats.postFaultLatency.mean()
+                   : std::numeric_limits<double>::quiet_NaN(),
+               first);
     os << ",\"saturated\":" << (stats.saturated ? "true" : "false");
     return os.str();
 }

@@ -22,7 +22,54 @@ SimStats::summary() const
                       hops.mean(), acceptedFlitRate,
                       static_cast<unsigned long long>(deliveredMessages));
     }
-    return std::string(buf);
+    std::string s(buf);
+    if (linkDownEvents > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | faults: %llu down/%llu up, %llu reconfig, "
+            "%llu rerouted, %llu reinjected, %llu dropped",
+            static_cast<unsigned long long>(linkDownEvents),
+            static_cast<unsigned long long>(linkUpEvents),
+            static_cast<unsigned long long>(reconfigurations),
+            static_cast<unsigned long long>(reroutedHeads),
+            static_cast<unsigned long long>(reinjectedMessages),
+            static_cast<unsigned long long>(droppedMessages));
+        s += buf;
+    }
+    return s;
+}
+
+std::string
+SimStats::recoveryCurveSummary() const
+{
+    if (linkDownEvents == 0)
+        return "";
+    std::string s;
+    char buf[96];
+    for (std::size_t i = 0; i < kRecoveryBuckets; ++i) {
+        const Accumulator& acc = recoveryCurve[i];
+        const auto lo = static_cast<unsigned long long>(
+            i * kRecoveryBucketCycles);
+        if (i + 1 < kRecoveryBuckets) {
+            std::snprintf(buf, sizeof(buf), "  +[%6llu, %6llu) ",
+                          lo,
+                          static_cast<unsigned long long>(
+                              (i + 1) * kRecoveryBucketCycles));
+        } else {
+            std::snprintf(buf, sizeof(buf), "  +[%6llu,    inf) ",
+                          lo);
+        }
+        s += buf;
+        if (acc.count() == 0) {
+            s += "-\n";
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "latency %7.1f over %llu msgs\n", acc.mean(),
+                          static_cast<unsigned long long>(acc.count()));
+            s += buf;
+        }
+    }
+    return s;
 }
 
 } // namespace lapses

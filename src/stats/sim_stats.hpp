@@ -12,6 +12,7 @@
 #ifndef LAPSES_STATS_SIM_STATS_HPP
 #define LAPSES_STATS_SIM_STATS_HPP
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -60,6 +61,41 @@ struct SimStats
      * exceeded the configured cutoff. The paper prints "Sat." for these.
      */
     bool saturated = false;
+
+    // --- Resilience (dynamic link faults; all zero on healthy runs) ---
+
+    std::uint64_t linkDownEvents = 0;   //!< fault events applied
+    std::uint64_t linkUpEvents = 0;     //!< repairs applied
+    std::uint64_t reconfigurations = 0; //!< table reprogram sweeps
+
+    /** Messages permanently lost to faults (policy Drop or unroutable). */
+    std::uint64_t droppedMessages = 0;
+
+    /** Flits physically purged from buffers and wires. */
+    std::uint64_t droppedFlits = 0;
+
+    /** Messages requeued at their source (policy Reinject). */
+    std::uint64_t reinjectedMessages = 0;
+
+    /** Held headers re-routed by a reconfiguration sweep. */
+    std::uint64_t reroutedHeads = 0;
+
+    /** Latency of measured messages delivered after the first fault
+     *  event (the post-fault regime as one number). */
+    Accumulator postFaultLatency;
+
+    /** Latency-recovery curve: deliveries bucketed by cycles elapsed
+     *  since the most recent fault event — the mean per bucket shows
+     *  latency spiking at the fault and recovering as reconfiguration
+     *  and reinjection catch up. Bucket i covers
+     *  [i, i+1) * kRecoveryBucketCycles; the last bucket is open. */
+    static constexpr std::size_t kRecoveryBuckets = 8;
+    static constexpr Cycle kRecoveryBucketCycles = 1000;
+    std::array<Accumulator, kRecoveryBuckets> recoveryCurve{};
+
+    /** Multi-line "cycles-after-fault -> mean latency" rendering of
+     *  recoveryCurve (empty string when no fault fired). */
+    std::string recoveryCurveSummary() const;
 
     /** Mean total latency, the paper's headline metric. */
     double meanLatency() const { return totalLatency.mean(); }

@@ -25,6 +25,26 @@ FailureSet::fail(const MeshTopology& topo, NodeId node, PortId port)
     insert(peer, MeshTopology::oppositePort(port));
 }
 
+void
+FailureSet::repair(const MeshTopology& topo, NodeId node, PortId port)
+{
+    const NodeId peer = topo.neighbor(node, port);
+    if (!isFailed(node, port)) {
+        throw ConfigError("cannot repair link " + std::to_string(node) +
+                          ":" + std::to_string(port) +
+                          ": it is not failed");
+    }
+    const auto erase = [this](NodeId n, PortId p) {
+        const auto key = std::make_pair(n, p);
+        const auto it =
+            std::lower_bound(failed_.begin(), failed_.end(), key);
+        LAPSES_ASSERT(it != failed_.end() && *it == key);
+        failed_.erase(it);
+    };
+    erase(node, port);
+    erase(peer, MeshTopology::oppositePort(port));
+}
+
 bool
 FailureSet::isFailed(NodeId node, PortId port) const
 {
@@ -74,13 +94,52 @@ survivingDistance(const MeshTopology& topo, const FailureSet& failures,
                        to)[static_cast<std::size_t>(from)];
 }
 
-FullTable
-programFaultAwareTable(const MeshTopology& topo,
-                       const FailureSet& failures)
+std::string
+ConnectivityReport::describe() const
 {
-    // Start from any algorithm (entries are overwritten below).
-    const DimensionOrderRouting seed = DimensionOrderRouting::xy(topo);
-    FullTable table(topo, seed);
+    if (connected)
+        return "network connected";
+    std::string s = "failure set cuts the network: " +
+                    std::to_string(unreachable.size()) +
+                    " node(s) unreachable from the other " +
+                    std::to_string(reachable.size()) + " (" +
+                    std::to_string(unreachablePairs()) +
+                    " disconnected node pairs each way); cut-off nodes:";
+    for (std::size_t i = 0; i < unreachable.size(); ++i) {
+        s += i == 0 ? " " : ",";
+        s += std::to_string(unreachable[i]);
+    }
+    return s;
+}
+
+ConnectivityReport
+checkConnectivity(const MeshTopology& topo, const FailureSet& failures)
+{
+    // One BFS from node 0 suffices: surviving links are bidirectional,
+    // so the component of node 0 and its complement are the two sides
+    // of any cut.
+    const std::vector<int> dist = distancesTo(topo, failures, 0);
+    ConnectivityReport report;
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        if (dist[static_cast<std::size_t>(n)] >= 0)
+            report.reachable.push_back(n);
+        else
+            report.unreachable.push_back(n);
+    }
+    report.connected = report.unreachable.empty();
+    return report;
+}
+
+void
+reprogramFaultAwareTable(FullTable& table, const MeshTopology& topo,
+                         const FailureSet& failures)
+{
+    // Reject a partitioning failure set upfront, with both sides of
+    // the cut named, before any table entry is touched — the dynamic
+    // reconfiguration path must never leave a half-reprogrammed table.
+    const ConnectivityReport conn = checkConnectivity(topo, failures);
+    if (!conn.connected)
+        throw ConfigError(conn.describe());
 
     for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
         const std::vector<int> dist = distancesTo(topo, failures, dest);
@@ -88,12 +147,7 @@ programFaultAwareTable(const MeshTopology& topo,
             if (r == dest)
                 continue; // keep the ejection entry
             const int here = dist[static_cast<std::size_t>(r)];
-            if (here < 0) {
-                throw ConfigError(
-                    "failure set disconnects node " +
-                    std::to_string(r) + " from " +
-                    std::to_string(dest));
-            }
+            LAPSES_ASSERT_MSG(here >= 0, "connected check missed a cut");
             RouteCandidates rc;
             for (PortId p = 1;
                  p < topo.numPorts() &&
@@ -111,6 +165,16 @@ programFaultAwareTable(const MeshTopology& topo,
             table.setEntry(r, dest, rc);
         }
     }
+}
+
+FullTable
+programFaultAwareTable(const MeshTopology& topo,
+                       const FailureSet& failures)
+{
+    // Start from any algorithm (entries are overwritten below).
+    const DimensionOrderRouting seed = DimensionOrderRouting::xy(topo);
+    FullTable table(topo, seed);
+    reprogramFaultAwareTable(table, topo, failures);
     return table;
 }
 

@@ -41,6 +41,11 @@ class FailureSet
      *  ConfigError if the port faces the mesh edge. */
     void fail(const MeshTopology& topo, NodeId node, PortId port);
 
+    /** Un-fail the bidirectional link at (node, port) (a repaired
+     *  link coming back up). Throws ConfigError when the link is not
+     *  currently failed. */
+    void repair(const MeshTopology& topo, NodeId node, PortId port);
+
     /** True when the link out of node through port is failed. */
     bool isFailed(NodeId node, PortId port) const;
 
@@ -53,16 +58,69 @@ class FailureSet
 };
 
 /**
+ * Result of a whole-network connectivity check over the surviving
+ * topology. When the failure set cuts the network, the two sides of
+ * the cut are reported in full so a bad schedule can be rejected with
+ * one actionable message instead of the first (node, dest) pair a
+ * per-destination BFS happens to trip over.
+ */
+struct ConnectivityReport
+{
+    bool connected = true;
+
+    /** Nodes reachable from node 0 over surviving links. */
+    std::vector<NodeId> reachable;
+
+    /** Nodes cut off from node 0 (empty when connected). */
+    std::vector<NodeId> unreachable;
+
+    /** Unreachable node pairs implied by the cut:
+     *  |reachable| * |unreachable| (each pair in both directions). */
+    std::size_t unreachablePairs() const
+    {
+        return reachable.size() * unreachable.size();
+    }
+
+    /** One-line description of the cut, e.g. for ConfigError. */
+    std::string describe() const;
+};
+
+/**
+ * BFS the surviving topology from node 0 and report both sides of any
+ * cut. Used upfront by programFaultAwareTable and by the dynamic
+ * fault path (FaultSchedule::validate) to reject a disconnecting
+ * failure set before any live network state is touched.
+ */
+ConnectivityReport checkConnectivity(const MeshTopology& topo,
+                                     const FailureSet& failures);
+
+/**
  * Program a full table whose entries hold every next hop lying on a
  * shortest path in the surviving topology (BFS per destination).
  * Entries keep no escape designation: fault-aware tables target
  * deterministic-escape-free operation (turn-model style) or offline
  * analysis; the simulator's deadlock watchdog guards misuse.
  *
- * @throws ConfigError if any node pair is disconnected.
+ * @throws ConfigError (with the full cut report) if the failure set
+ *         partitions the network.
  */
 FullTable programFaultAwareTable(const MeshTopology& topo,
                                  const FailureSet& failures);
+
+/**
+ * Reprogram an existing full table in place around `failures` — the
+ * online-reconfiguration path (the offline programFaultAwareTable is
+ * this plus construction). Same entry semantics and the same upfront
+ * connectivity check as programFaultAwareTable. Note the entry
+ * semantics deliberately include "no escape designation": after the
+ * first online reconfiguration a Duato-protocol run continues with
+ * every VC adaptive on the re-routed paths — no known cheap escape
+ * discipline survives arbitrary link failures — and the deadlock
+ * watchdog is the guard, exactly as for statically programmed
+ * fault-aware tables (DESIGN.md "Fault events").
+ */
+void reprogramFaultAwareTable(FullTable& table, const MeshTopology& topo,
+                              const FailureSet& failures);
 
 /** Hop count of the shortest surviving path between two nodes, or -1
  *  when disconnected. */

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "exp/campaign.hpp"
+#include "exp/campaign_cli.hpp"
 #include "exp/grid_spec.hpp"
 
 namespace lapses
@@ -128,6 +132,106 @@ TEST(GridSpec, RejectsUnknownAxisAndBadValues)
     EXPECT_THROW(applyGridSpec("load=0.5:0.1:0.1", grid), ConfigError);
     EXPECT_THROW(applyGridSpec("msglen=", grid), ConfigError);
     EXPECT_THROW(applyGridSpec("msglen", grid), ConfigError);
+}
+
+TEST(GridSpec, ParsesFaultAxes)
+{
+    CampaignGrid grid;
+    applyGridSpec("faults=0,1,2,4; fault-seed=7,8; load=0.2", grid);
+    EXPECT_EQ(grid.axes.faultCounts, (std::vector<int>{0, 1, 2, 4}));
+    EXPECT_EQ(grid.axes.faultSeeds,
+              (std::vector<std::uint64_t>{7, 8}));
+    EXPECT_EQ(grid.axes.runCount(), 4u * 2u * 1u);
+    const auto runs = grid.expand();
+    ASSERT_EQ(runs.size(), 8u);
+    // fault-seed varies faster than faults; load fastest of all.
+    EXPECT_EQ(runs[0].config.faultCount, 0);
+    EXPECT_EQ(runs[0].config.faultSeed, 7u);
+    EXPECT_EQ(runs[1].config.faultSeed, 8u);
+    EXPECT_EQ(runs[2].config.faultCount, 1);
+    EXPECT_THROW(applyGridSpec("faults=-1", grid), ConfigError);
+    EXPECT_THROW(applyGridSpec("faults=x", grid), ConfigError);
+    EXPECT_THROW(applyGridSpec("fault-seed=y", grid), ConfigError);
+    // strtoull would silently wrap "-1" to 2^64-1; must be rejected.
+    EXPECT_THROW(applyGridSpec("fault-seed=-1", grid), ConfigError);
+    EXPECT_THROW(
+        applyGridSpec("fault-seed=99999999999999999999999", grid),
+        ConfigError);
+    EXPECT_THROW(applyGridSpec("msglen=99999999999", grid),
+                 ConfigError);
+}
+
+/** Drive CampaignCli::consume like main() would. */
+bool
+consumeFlags(CampaignCli& cli, std::vector<std::string> args)
+{
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("test"));
+    for (std::string& a : args)
+        argv.push_back(a.data());
+    for (int i = 1; i < static_cast<int>(argv.size()); ++i) {
+        if (!cli.consume(static_cast<int>(argv.size()), argv.data(),
+                         i)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(CampaignCliFlags, HotspotFracRejectsGarbageAndOutOfRange)
+{
+    // std::atof used to turn garbage into 0.0 and silently run a
+    // uniform-ish campaign; the checked parser must name the flag.
+    // "nan" parses as a double but must fail the range check — NaN
+    // compares false to both bounds, so the naive check missed it.
+    for (const char* bad :
+         {"x", "0.5x", "", "1.5", "-0.1", "nan", "inf", "nan0"}) {
+        CampaignCli cli;
+        try {
+            consumeFlags(cli, {"--hotspot-frac", bad});
+            FAIL() << "accepted --hotspot-frac " << bad;
+        } catch (const ConfigError& e) {
+            EXPECT_NE(std::string(e.what()).find("--hotspot-frac"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    CampaignCli cli;
+    EXPECT_TRUE(consumeFlags(cli, {"--hotspot-frac", "0.25"}));
+    EXPECT_DOUBLE_EQ(cli.base.hotspot.fraction, 0.25);
+}
+
+TEST(CampaignCliFlags, LoadRejectsGarbage)
+{
+    CampaignCli cli;
+    EXPECT_THROW(consumeFlags(cli, {"--load", "fast"}), ConfigError);
+    EXPECT_THROW(consumeFlags(cli, {"--load", "0"}), ConfigError);
+    EXPECT_TRUE(consumeFlags(cli, {"--load", "0.4"}));
+    EXPECT_DOUBLE_EQ(cli.base.normalizedLoad, 0.4);
+}
+
+TEST(CampaignCliFlags, FaultFlagsReachTheBaseConfig)
+{
+    CampaignCli cli;
+    EXPECT_TRUE(consumeFlags(
+        cli, {"--faults", "3", "--fault-seed", "99", "--fault-start",
+              "500", "--fault-spacing", "250", "--reconfig-latency",
+              "50", "--fault-policy", "drop", "--fail-link",
+              "5:1@300", "--repair-link", "5:1@900"}));
+    EXPECT_EQ(cli.base.faultCount, 3);
+    EXPECT_EQ(cli.base.faultSeed, 99u);
+    EXPECT_EQ(cli.base.faultStart, 500u);
+    EXPECT_EQ(cli.base.faultSpacing, 250u);
+    EXPECT_EQ(cli.base.reconfigLatency, 50u);
+    EXPECT_EQ(cli.base.faultPolicy, FaultPolicy::Drop);
+    ASSERT_EQ(cli.base.faultEvents.size(), 2u);
+    EXPECT_TRUE(cli.base.faultEvents[0].down);
+    EXPECT_FALSE(cli.base.faultEvents[1].down);
+    EXPECT_THROW(consumeFlags(cli, {"--faults", "-2"}), ConfigError);
+    EXPECT_THROW(consumeFlags(cli, {"--fault-policy", "retry"}),
+                 ConfigError);
+    EXPECT_THROW(consumeFlags(cli, {"--fail-link", "nope"}),
+                 ConfigError);
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,21 @@ printHelp()
         "  --injection I        exponential|bernoulli|bursty\n"
         "  --hotspot-frac X     hotspot fraction    [0.1]\n"
         "\n"
+        "Dynamic link faults (README \"Fault injection\"):\n"
+        "  --fail-link n:p@c    fail node n's port-p link at cycle c\n"
+        "                       (repeatable)\n"
+        "  --repair-link n:p@c  bring a failed link back up\n"
+        "  --faults N           random mid-run link failures [0]\n"
+        "  --fault-seed N       fault-site seed (0 = derive) [0]\n"
+        "  --fault-start N      first random fault cycle [2000]\n"
+        "  --fault-spacing N    cycles between random faults [2000]\n"
+        "  --reconfig-latency N cycles before tables reprogram [200]\n"
+        "  --fault-policy P     drop|reinject cut messages [reinject]\n"
+        "\n"
         "Measurement:\n"
+        "  --mode M             quick|default|paper preset (also\n"
+        "                       LAPSES_BENCH_MODE; paper = Section\n"
+        "                       2.2's 10k warm-up / 400k measured)\n"
         "  --warmup N           warm-up messages    [1000]\n"
         "  --measure N          measured messages   [10000]\n"
         "  --seed N             RNG seed            [1]\n"
@@ -129,7 +144,14 @@ main(int argc, char** argv)
     bool as_json = false;
     bool quiet = false;
 
+    const int int_max = std::numeric_limits<int>::max();
     try {
+        // LAPSES_BENCH_MODE selects the measurement scale here
+        // exactly like it does for the benches (paper = Section 2.2's
+        // 10k/400k); explicit --mode/--warmup/--measure flags
+        // override it, typos are rejected.
+        if (std::getenv("LAPSES_BENCH_MODE") != nullptr)
+            applyBenchMode(cfg, benchModeFromEnv());
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             auto value = [&]() -> std::string {
@@ -147,11 +169,14 @@ main(int argc, char** argv)
             } else if (arg == "--model") {
                 cfg.model = parseRouterModel(value());
             } else if (arg == "--vcs") {
-                cfg.vcsPerPort = std::atoi(value().c_str());
+                cfg.vcsPerPort = parseCheckedInt(arg, value(), 1,
+                                                 int_max);
             } else if (arg == "--buffers") {
-                cfg.bufferDepth = std::atoi(value().c_str());
+                cfg.bufferDepth = parseCheckedInt(arg, value(), 1,
+                                                  int_max);
             } else if (arg == "--escape-vcs") {
-                cfg.escapeVcs = std::atoi(value().c_str());
+                cfg.escapeVcs = parseCheckedInt(arg, value(), -1,
+                                                int_max);
             } else if (arg == "--routing") {
                 cfg.routing = parseRoutingAlgo(value());
             } else if (arg == "--table") {
@@ -161,21 +186,45 @@ main(int argc, char** argv)
             } else if (arg == "--traffic") {
                 cfg.traffic = parseTrafficKind(value());
             } else if (arg == "--load") {
-                cfg.normalizedLoad = std::atof(value().c_str());
+                cfg.normalizedLoad = parseCheckedDouble(
+                    arg, value(), 1e-9,
+                    std::numeric_limits<double>::max());
             } else if (arg == "--msglen") {
-                cfg.msgLen = std::atoi(value().c_str());
+                cfg.msgLen = parseCheckedInt(arg, value(), 1,
+                                             int_max);
             } else if (arg == "--injection") {
                 cfg.injection = parseInjectionKind(value());
             } else if (arg == "--hotspot-frac") {
-                cfg.hotspot.fraction = std::atof(value().c_str());
+                cfg.hotspot.fraction =
+                    parseCheckedDouble(arg, value(), 0.0, 1.0);
+            } else if (arg == "--fail-link") {
+                cfg.faultEvents.push_back(
+                    parseFaultEvent(value(), true));
+            } else if (arg == "--repair-link") {
+                cfg.faultEvents.push_back(
+                    parseFaultEvent(value(), false));
+            } else if (arg == "--faults") {
+                cfg.faultCount = parseCheckedInt(
+                    arg, value(), 0,
+                    std::numeric_limits<int>::max());
+            } else if (arg == "--fault-seed") {
+                cfg.faultSeed = parseCheckedU64(arg, value());
+            } else if (arg == "--fault-start") {
+                cfg.faultStart = parseCheckedU64(arg, value());
+            } else if (arg == "--fault-spacing") {
+                cfg.faultSpacing = parseCheckedU64(arg, value());
+            } else if (arg == "--reconfig-latency") {
+                cfg.reconfigLatency = parseCheckedU64(arg, value());
+            } else if (arg == "--fault-policy") {
+                cfg.faultPolicy = parseFaultPolicy(value());
+            } else if (arg == "--mode") {
+                applyBenchMode(cfg, parseBenchModeName(value()));
             } else if (arg == "--warmup") {
-                cfg.warmupMessages = std::strtoull(value().c_str(),
-                                                   nullptr, 10);
+                cfg.warmupMessages = parseCheckedU64(arg, value());
             } else if (arg == "--measure") {
-                cfg.measureMessages = std::strtoull(value().c_str(),
-                                                    nullptr, 10);
+                cfg.measureMessages = parseCheckedU64(arg, value());
             } else if (arg == "--seed") {
-                cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
+                cfg.seed = parseCheckedU64(arg, value());
             } else if (arg == "--sweep") {
                 sweep = parseSweep(value());
             } else if (arg == "--csv") {
@@ -200,6 +249,12 @@ main(int argc, char** argv)
             if (!quiet) {
                 std::printf("%s\n  %s\n", cfg.describe().c_str(),
                             stats.summary().c_str());
+                const std::string curve = stats.recoveryCurveSummary();
+                if (!curve.empty()) {
+                    std::printf("  post-fault latency recovery "
+                                "(cycles since last fault):\n%s",
+                                curve.c_str());
+                }
             }
             if (as_json)
                 std::printf("%s\n", statsToJson(stats).c_str());
