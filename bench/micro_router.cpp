@@ -18,6 +18,7 @@
 #include "core/simulation.hpp"
 #include "router/arbiter.hpp"
 #include "selection/selector_factory.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace
 {
@@ -262,6 +263,37 @@ BM_RouterFaultedUniform(benchmark::State& state)
         state.iterations() * 200 * sim.topology().numNodes()));
 }
 BENCHMARK(BM_RouterFaultedUniform)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * BM_RouterTelemetryWindow: the saturated pinned config with the
+ * telemetry subsystem fully engaged — a 64-cycle sampling window and
+ * an attached buffer, so every boundary snapshots all 64 routers.
+ * Two jobs: (1) quantify what observation costs when it is ON, and
+ * (2) guard the telemetry-OFF hot path — the plain BM_Router* cases
+ * above run the exact same stepping code with the hooks compiled in
+ * but disabled, so a drift in *their* ratios against the committed
+ * BENCH_router.json baseline means the off path stopped being free.
+ */
+void
+BM_RouterTelemetryWindow(benchmark::State& state)
+{
+    SimConfig cfg = routerBenchConfig(
+        TrafficKind::Uniform, static_cast<KernelKind>(state.range(0)));
+    cfg.telemetryWindow = 64;
+    Simulation sim(cfg);
+    TelemetryBuffer buffer(sim.topology().numNodes(),
+                           sim.topology().numPorts());
+    sim.network().attachTelemetryBuffer(&buffer);
+    sim.stepCycles(2000); // fill the network to saturation
+    for (auto _ : state)
+        sim.stepCycles(200);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+BENCHMARK(BM_RouterTelemetryWindow)
     ->Arg(static_cast<int>(KernelKind::Active))
     ->Arg(static_cast<int>(KernelKind::Scan))
     ->Unit(benchmark::kMicrosecond);

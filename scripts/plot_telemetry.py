@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Plot link utilization and per-window time series from telemetry JSONL.
+
+Input is the per-window, per-node metrics file that ``lapses-sim
+--telemetry-window N --telemetry-out FILE`` writes: one JSON object per
+line with
+
+    window_start, window_end, node,
+    flits_out[ports], vc_occupancy_time[ports],
+    arb_stalls, credit_starved, nic_backlog
+
+Two PNGs are produced:
+
+    link_heatmap.png             mesh-shaped heatmap of per-node link
+                                 utilization (flits forwarded per cycle,
+                                 network ports only) over the whole run
+    throughput_timeseries.png    per-window delivered throughput, mean
+                                 VC occupancy and NIC backlog curves
+
+The mesh shape is inferred from the node count (square 2D) unless
+``--mesh WxH`` overrides it.
+
+Example (the CI telemetry smoke job runs exactly this):
+
+    lapses-sim --telemetry-window 128 --telemetry-out telem.jsonl ...
+    scripts/plot_telemetry.py telem.jsonl --out-dir plots/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+ROW_KEYS = (
+    "window_start",
+    "window_end",
+    "node",
+    "flits_out",
+    "vc_occupancy_time",
+    "arb_stalls",
+    "credit_starved",
+    "nic_backlog",
+)
+
+
+def parse_telemetry(lines, label="<telemetry>"):
+    """Parse telemetry JSONL into a list of row dicts.
+
+    Raises SystemExit naming the offending line on a malformed or
+    schema-violating record. Pure (takes any iterable of strings), so
+    the schema checking is unit-testable without touching disk.
+    """
+    rows = []
+    ports = None
+    for line_no, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{label}:{line_no}: not JSON ({e})")
+        missing = [k for k in ROW_KEYS if k not in row]
+        if missing:
+            raise SystemExit(
+                f"{label}:{line_no}: not a telemetry record "
+                f"(missing {', '.join(missing)})")
+        if len(row["flits_out"]) != len(row["vc_occupancy_time"]):
+            raise SystemExit(
+                f"{label}:{line_no}: per-port columns disagree on "
+                "the port count")
+        if ports is None:
+            ports = len(row["flits_out"])
+        elif len(row["flits_out"]) != ports:
+            raise SystemExit(
+                f"{label}:{line_no}: port count changed mid-file")
+        if row["window_end"] <= row["window_start"]:
+            raise SystemExit(f"{label}:{line_no}: empty window")
+        rows.append(row)
+    if not rows:
+        raise SystemExit(f"{label}: no telemetry records")
+    return rows
+
+
+def mesh_shape(rows, mesh=None):
+    """(width, height) of the node grid; square unless overridden."""
+    nodes = max(r["node"] for r in rows) + 1
+    if mesh is not None:
+        try:
+            w, h = (int(v) for v in mesh.split("x"))
+        except ValueError:
+            raise SystemExit(f"bad --mesh {mesh!r} (want WxH)")
+        if w * h != nodes:
+            raise SystemExit(
+                f"--mesh {mesh} has {w * h} nodes, file has {nodes}")
+        return w, h
+    side = math.isqrt(nodes)
+    if side * side != nodes:
+        raise SystemExit(
+            f"{nodes} nodes is not a square mesh; pass --mesh WxH")
+    return side, side
+
+
+def link_utilization(rows):
+    """node -> flits forwarded per cycle on network ports (port 0, the
+    local ejection port, is excluded: it measures sink traffic, not
+    link load)."""
+    flits = {}
+    cycles = {}
+    for row in rows:
+        node = row["node"]
+        flits[node] = flits.get(node, 0) + sum(row["flits_out"][1:])
+        cycles[node] = (cycles.get(node, 0) + row["window_end"] -
+                        row["window_start"])
+    return {n: flits[n] / cycles[n] for n in flits}
+
+
+def window_series(rows):
+    """Sorted [(window_end, throughput, occupancy, backlog)]: network
+    throughput in ejected flits/node/cycle, mean occupied output VCs
+    per node, and total NIC backlog at the boundary."""
+    per_window = {}
+    for row in rows:
+        key = (row["window_start"], row["window_end"])
+        agg = per_window.setdefault(key, [0, 0, 0, 0])
+        agg[0] += row["flits_out"][0]  # ejected = delivered
+        agg[1] += sum(row["vc_occupancy_time"])
+        agg[2] += row["nic_backlog"]
+        agg[3] += 1
+    series = []
+    for (start, end), (ejected, occ, backlog, nodes) in sorted(
+            per_window.items()):
+        cycles = (end - start) * nodes
+        series.append((end, ejected / cycles, occ / cycles, backlog))
+    return series
+
+
+def plot_heatmap(plt, util, shape, out_path):
+    w, h = shape
+    grid = [[util.get(y * w + x, 0.0) for x in range(w)]
+            for y in range(h)]
+    fig, ax = plt.subplots(figsize=(6, 5))
+    im = ax.imshow(grid, origin="lower", cmap="viridis")
+    ax.set_xlabel("x")
+    ax.set_ylabel("y")
+    ax.set_title("link utilization (flits/cycle, network ports)")
+    fig.colorbar(im, ax=ax, shrink=0.85)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=130)
+    plt.close(fig)
+
+
+def plot_timeseries(plt, series, out_path):
+    xs = [p[0] for p in series]
+    fig, axes = plt.subplots(3, 1, figsize=(7, 7), sharex=True)
+    for ax, ys, label in (
+            (axes[0], [p[1] for p in series],
+             "throughput (flits/node/cycle)"),
+            (axes[1], [p[2] for p in series],
+             "mean occupied VCs per node"),
+            (axes[2], [p[3] for p in series], "total NIC backlog")):
+        ax.plot(xs, ys, linewidth=1.2)
+        ax.set_ylabel(label, fontsize=8)
+        ax.grid(True, linewidth=0.3, alpha=0.5)
+    axes[-1].set_xlabel("cycle (window end)")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=130)
+    plt.close(fig)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("telemetry",
+                        help="JSONL from lapses-sim --telemetry-out")
+    parser.add_argument("--mesh", default=None,
+                        help="mesh shape WxH (default: square, "
+                             "inferred from the node count)")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for the PNGs")
+    args = parser.parse_args(argv)
+
+    with open(args.telemetry, encoding="utf-8") as f:
+        rows = parse_telemetry(f, args.telemetry)
+    shape = mesh_shape(rows, args.mesh)
+    util = link_utilization(rows)
+    series = window_series(rows)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit(
+            "matplotlib is required for plotting; install it "
+            "(e.g. apt install python3-matplotlib) and re-run")
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    heatmap = os.path.join(args.out_dir, "link_heatmap.png")
+    timeseries = os.path.join(args.out_dir,
+                              "throughput_timeseries.png")
+    plot_heatmap(plt, util, shape, heatmap)
+    plot_timeseries(plt, series, timeseries)
+    print(f"wrote {heatmap} {timeseries} "
+          f"({len(rows)} rows, {len(series)} windows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

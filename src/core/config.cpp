@@ -13,6 +13,12 @@ routerModelName(RouterModel m)
     return m == RouterModel::LaProud ? "la-proud" : "proud";
 }
 
+int
+contentionFreeHopCycles(RouterModel m)
+{
+    return m == RouterModel::LaProud ? 5 : 6;
+}
+
 void
 SimConfig::validate() const
 {
@@ -69,6 +75,8 @@ SimConfig::describe() const
         }
         s += " (" + faultPolicyName(faultPolicy) + ")";
     }
+    if (telemetryWindow > 0)
+        s += ", telem " + std::to_string(telemetryWindow);
     return s;
 }
 

@@ -30,6 +30,11 @@ enum class RouterModel
 /** Short identifier, e.g. "la-proud". */
 std::string routerModelName(RouterModel m);
 
+/** Contention-free per-hop latency in cycles (pipeline stages + unit
+ *  link delay): Table 2's 5 for LA-PROUD, 6 for PROUD. Feeds the span
+ *  exporter's transfer/queueing split. */
+int contentionFreeHopCycles(RouterModel m);
+
 /** Complete configuration of one simulation point. */
 struct SimConfig
 {
@@ -65,6 +70,14 @@ struct SimConfig
     // LAPSES_BENCH_MODE=paper or --mode paper on the CLIs.
     std::uint64_t warmupMessages = 1000;
     std::uint64_t measureMessages = 10000;
+
+    // --- Telemetry (DESIGN.md "Telemetry determinism contract") ---
+    /** Cycles per telemetry sampling window; 0 = telemetry off. Any
+     *  value leaves every statistic byte-identical — the window only
+     *  controls when counters are snapshotted (and how idle stretches
+     *  are split by the wake source), so it is safe as a campaign
+     *  grid axis. */
+    Cycle telemetryWindow = 0;
 
     // --- Dynamic link faults (src/fault/, README "Fault injection") ---
     /** Random link-down events injected mid-run (0 = none). Sites are

@@ -39,7 +39,7 @@ CampaignAxes::runCount() const
     return n(models) * n(routings) * n(tables) * n(selectors) *
            n(traffics) * n(msgLens) * n(injections) * n(vcCounts) *
            n(bufferDepths) * n(escapeVcs) * n(faultCounts) *
-           n(faultSeeds) * n(loads);
+           n(faultSeeds) * n(telemetryWindows) * n(loads);
 }
 
 std::size_t
@@ -70,7 +70,9 @@ CampaignGrid::expand(std::size_t index_offset,
     for (int escape : axisOr(axes.escapeVcs, base.escapeVcs))
     for (int faults : axisOr(axes.faultCounts, base.faultCount))
     for (std::uint64_t fault_seed :
-         axisOr(axes.faultSeeds, base.faultSeed)) {
+         axisOr(axes.faultSeeds, base.faultSeed))
+    for (Cycle telemetry_window :
+         axisOr(axes.telemetryWindows, base.telemetryWindow)) {
         for (double load : axisOr(axes.loads, base.normalizedLoad)) {
             CampaignRun run;
             run.index = index;
@@ -88,6 +90,7 @@ CampaignGrid::expand(std::size_t index_offset,
             run.config.escapeVcs = escape;
             run.config.faultCount = faults;
             run.config.faultSeed = fault_seed;
+            run.config.telemetryWindow = telemetry_window;
             run.config.normalizedLoad = load;
             if (deriveSeeds)
                 run.config.seed = deriveSeed(campaignSeed, index);

@@ -102,6 +102,8 @@ CampaignCli::consume(int argc, char** argv, int& i)
         base.warmupMessages = parseCheckedU64(arg, value());
     } else if (arg == "--measure") {
         base.measureMessages = parseCheckedU64(arg, value());
+    } else if (arg == "--telemetry-window") {
+        base.telemetryWindow = parseCheckedU64(arg, value());
     } else if (arg == "--mode") {
         applyBenchMode(base, parseBenchModeName(value()));
     } else {
@@ -145,9 +147,10 @@ campaignCliHelp()
            "                       axes: model|routing|table|selector|\n"
            "                       traffic|injection|msglen|vcs|"
            "buffers|\n"
-           "                       escape|faults|fault-seed|load (load\n"
-           "                       takes LO:HI:STEP ranges); repeat\n"
-           "                       --grid to join grids\n"
+           "                       escape|faults|fault-seed|\n"
+           "                       telemetry-window|load (load takes\n"
+           "                       LO:HI:STEP ranges); repeat --grid\n"
+           "                       to join grids\n"
            "  --seed N             campaign seed; run i gets the seed\n"
            "                       derived from (N, i)              "
            "[1]\n"
@@ -157,6 +160,8 @@ campaignCliHelp()
            "  --escape-vcs N --routing A --table T --selector S\n"
            "  --traffic P --load X --msglen N --injection I\n"
            "  --hotspot-frac X --warmup N --measure N\n"
+           "  --telemetry-window N cycles per telemetry window (0 =\n"
+           "                       off; never changes results)     [0]\n"
            "  --mode quick|default|paper   measurement scale preset\n"
            "\n"
            "Dynamic link faults (README \"Fault injection\"):\n"

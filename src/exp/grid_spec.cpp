@@ -127,6 +127,8 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
                 axes.faultCounts.push_back(count);
             } else if (axis == "fault-seed") {
                 axes.faultSeeds.push_back(parseU64(axis, v));
+            } else if (axis == "telemetry-window") {
+                axes.telemetryWindows.push_back(parseU64(axis, v));
             } else if (axis == "load") {
                 appendLoads(v, axes.loads);
             } else {
@@ -134,7 +136,7 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
                     "unknown grid axis '" + axis +
                     "' (want model|routing|table|selector|traffic|"
                     "injection|msglen|vcs|buffers|escape|faults|"
-                    "fault-seed|load)");
+                    "fault-seed|telemetry-window|load)");
             }
         }
     }

@@ -134,10 +134,63 @@ readShardFile(const std::string& path, SinkFormat format)
     return parseShardStream(is, path, format);
 }
 
+namespace
+{
+
+/**
+ * Reject shard sets whose JSONL records straddle the telemetry schema
+ * boundary: files written before the telemetry_window coordinate
+ * existed have records without that field, and merging them with
+ * current shards would assemble a file whose rows follow two schemas.
+ * Checked before the per-record prefix validation so the error names
+ * the actual problem (a stale shard) instead of a generic coordinate
+ * mismatch. CSV shards cannot reach here mixed — parseCsvShard
+ * already rejects any header that is not the current schema.
+ */
+void
+checkTelemetrySchema(const std::vector<ShardFile>& shards)
+{
+    const ShardFile* bearing = nullptr;
+    const ShardFile* bare = nullptr;
+    for (const ShardFile& shard : shards) {
+        if (shard.format != SinkFormat::Jsonl ||
+            shard.records.empty())
+            continue;
+        std::size_t with = 0;
+        for (const auto& [index, line] : shard.records) {
+            if (line.find("\"telemetry_window\":") !=
+                std::string::npos)
+                ++with;
+        }
+        if (with != 0 && with != shard.records.size()) {
+            throw ConfigError(
+                "mixed telemetry schema inside " + shard.label +
+                ": some records carry the telemetry_window field "
+                "and some do not (file assembled from different "
+                "campaign versions?)");
+        }
+        if (with != 0)
+            bearing = &shard;
+        else
+            bare = &shard;
+    }
+    if (bearing != nullptr && bare != nullptr) {
+        throw ConfigError(
+            "mixed telemetry schema across shards: " + bare->label +
+            " has no telemetry_window field while " +
+            bearing->label + " does (stale pre-telemetry shard? "
+            "re-run it with the current lapses-campaign)");
+    }
+}
+
+} // namespace
+
 void
 validateShardFiles(const std::vector<ShardFile>& shards,
                    const std::vector<CampaignRun>& runs)
 {
+    checkTelemetrySchema(shards);
+
     std::unordered_map<std::size_t, const CampaignRun*> by_index;
     by_index.reserve(runs.size());
     for (const CampaignRun& run : runs)
@@ -376,6 +429,8 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
         return std::to_string(cfg.faultCount);
     if (axis == "fault-seed" || axis == "fault_seed")
         return std::to_string(cfg.faultSeed);
+    if (axis == "telemetry-window" || axis == "telemetry_window")
+        return std::to_string(cfg.telemetryWindow);
     if (axis == "load")
         return number(cfg.normalizedLoad);
     if (axis == "mesh")
@@ -385,8 +440,8 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
     throw ConfigError(
         "unknown --group-by axis '" + axis +
         "' (want model|routing|table|selector|traffic|injection|"
-        "msglen|vcs|buffers|escape|faults|fault-seed|load|mesh|"
-        "series)");
+        "msglen|vcs|buffers|escape|faults|fault-seed|"
+        "telemetry-window|load|mesh|series)");
 }
 
 void

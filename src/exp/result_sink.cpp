@@ -48,6 +48,7 @@ jsonCoordinates(const CampaignRun& run)
        << ",\"escape_vcs\":" << cfg.escapeVcs
        << ",\"faults\":" << cfg.faultCount
        << ",\"fault_seed\":" << cfg.faultSeed
+       << ",\"telemetry_window\":" << cfg.telemetryWindow
        << ",\"load\":" << cfg.normalizedLoad
        << ",\"seed\":" << cfg.seed
        << ",\"warmup\":" << cfg.warmupMessages
@@ -71,6 +72,7 @@ csvCoordinates(const CampaignRun& run)
        << cfg.msgLen << ',' << cfg.vcsPerPort << ','
        << cfg.bufferDepth << ',' << cfg.escapeVcs << ','
        << cfg.faultCount << ',' << cfg.faultSeed << ','
+       << cfg.telemetryWindow << ','
        << cfg.normalizedLoad << ',' << cfg.seed << ','
        << cfg.warmupMessages << ',' << cfg.measureMessages;
     return os.str();
@@ -90,7 +92,7 @@ campaignCsvHeader()
 {
     return "run,series,mesh,model,routing,table,selector,traffic,"
            "injection,msglen,vcs,buffers,escape_vcs,faults,fault_seed,"
-           "load,seed,warmup,measure," +
+           "telemetry_window,load,seed,warmup,measure," +
            statsCsvHeader();
 }
 

@@ -1,11 +1,44 @@
 #include "network/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 namespace lapses
 {
+namespace
+{
+
+/** Accumulates wall-clock seconds into `acc` while in scope; reads the
+ *  host clock only when profiling is on (one branch otherwise). */
+class ScopedPhaseTimer
+{
+  public:
+    ScopedPhaseTimer(bool on, double& acc) : acc_(on ? &acc : nullptr)
+    {
+        if (acc_ != nullptr)
+            t0_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedPhaseTimer()
+    {
+        if (acc_ != nullptr) {
+            *acc_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count();
+        }
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+    ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  private:
+    double* acc_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace
 
 // A flit transmitted during cycle t is latched into the sender's output
 // register at the end of t, spends linkDelay cycles on the wire, and is
@@ -150,6 +183,45 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
     fault_events_ = params.faults.events();
     std::sort(fault_events_.begin(), fault_events_.end());
     reprogram_table_ = params.reprogramTable;
+
+    // Telemetry: one counter block per router, allocated once so the
+    // pointers handed to the routers stay stable, and the first window
+    // boundary armed as a wake source.
+    if (params_.telemetryWindow > 0) {
+        router_telemetry_.assign(static_cast<std::size_t>(n),
+                                 RouterTelemetry(ports));
+        for (NodeId id = 0; id < n; ++id) {
+            routers_[static_cast<std::size_t>(id)].setTelemetry(
+                &router_telemetry_[static_cast<std::size_t>(id)]);
+        }
+        next_telemetry_at_ = params_.telemetryWindow;
+    }
+}
+
+void
+Network::attachTelemetryBuffer(TelemetryBuffer* buffer)
+{
+    if (buffer != nullptr && params_.telemetryWindow == 0) {
+        throw ConfigError(
+            "telemetry buffer needs a nonzero telemetry window "
+            "(set NetworkParams::telemetryWindow / --telemetry-window)");
+    }
+    telemetry_buffer_ = buffer;
+}
+
+void
+Network::captureTelemetryWindow()
+{
+    if (telemetry_buffer_ != nullptr) {
+        telemetry_buffer_->beginWindow(
+            now_ - params_.telemetryWindow, now_);
+        for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+            telemetry_buffer_->sample(
+                id, router_telemetry_[static_cast<std::size_t>(id)],
+                nics_[static_cast<std::size_t>(id)].backlog());
+        }
+    }
+    next_telemetry_at_ = now_ + params_.telemetryWindow;
 }
 
 void
@@ -202,6 +274,10 @@ Network::nextEventCycle()
         next = std::min(next, fault_events_[next_fault_].cycle);
     if (next_reconfig_ < reconfig_due_.size())
         next = std::min(next, reconfig_due_[next_reconfig_]);
+    // So is every telemetry window boundary (kNeverCycle when off):
+    // the snapshot at the top of step() must run at the exact boundary
+    // cycle under both kernels.
+    next = std::min(next, next_telemetry_at_);
     // Drop stale wake entries (NIC re-activated or rescheduled since).
     while (!nic_wakes_.empty()) {
         const auto [cycle, id] = nic_wakes_.top();
@@ -358,20 +434,30 @@ Network::deliverWiresActive()
 void
 Network::stepScan()
 {
-    deliverWiresScan();
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
+        deliverWiresScan();
+    }
     const auto n = static_cast<std::size_t>(topo_.numNodes());
     counters_.nicSteps += n;
     counters_.routerSteps += n;
-    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
-        const StepActivity act = nics_[static_cast<std::size_t>(id)].step(
-            now_, nic_envs_[static_cast<std::size_t>(id)]);
-        progress_flits_ += act.progressed;
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.nicStepSeconds);
+        for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+            const StepActivity act =
+                nics_[static_cast<std::size_t>(id)].step(
+                    now_, nic_envs_[static_cast<std::size_t>(id)]);
+            progress_flits_ += act.progressed;
+        }
     }
-    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
-        const StepActivity act =
-            routers_[static_cast<std::size_t>(id)].step(
-                now_, router_envs_[static_cast<std::size_t>(id)]);
-        progress_flits_ += act.progressed;
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.routerStepSeconds);
+        for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+            const StepActivity act =
+                routers_[static_cast<std::size_t>(id)].step(
+                    now_, router_envs_[static_cast<std::size_t>(id)]);
+            progress_flits_ += act.progressed;
+        }
     }
     processPendingUnroutable();
     ++now_;
@@ -393,27 +479,34 @@ Network::stepActive()
     }
 
     // 2. Deliver due wire traffic; receivers join the active set.
-    deliverWiresActive();
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
+        deliverWiresActive();
+    }
 
     // 3. Step active NICs; a NIC with no backlog leaves the set and
     //    schedules its next injection-process wake.
     counters_.nicSteps += active_nics_.size();
     scratch_nics_.clear();
-    for (const NodeId id : active_nics_) {
-        const StepActivity act = nics_[static_cast<std::size_t>(id)]
-                                     .step(now_, nic_envs_[static_cast<
-                                               std::size_t>(id)]);
-        progress_flits_ += act.progressed;
-        if (act.pendingWork || act.nextWake == now_ + 1) {
-            // Still has backlog — or must step again next cycle
-            // anyway (e.g. a Bernoulli process draws every cycle):
-            // staying in the set skips a pointless heap round-trip.
-            scratch_nics_.push_back(id);
-        } else {
-            nic_active_[static_cast<std::size_t>(id)] = 0;
-            nic_wake_at_[static_cast<std::size_t>(id)] = act.nextWake;
-            if (act.nextWake != kNeverCycle)
-                nic_wakes_.emplace(act.nextWake, id);
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.nicStepSeconds);
+        for (const NodeId id : active_nics_) {
+            const StepActivity act =
+                nics_[static_cast<std::size_t>(id)].step(
+                    now_, nic_envs_[static_cast<std::size_t>(id)]);
+            progress_flits_ += act.progressed;
+            if (act.pendingWork || act.nextWake == now_ + 1) {
+                // Still has backlog — or must step again next cycle
+                // anyway (e.g. a Bernoulli process draws every cycle):
+                // staying in the set skips a pointless heap round-trip.
+                scratch_nics_.push_back(id);
+            } else {
+                nic_active_[static_cast<std::size_t>(id)] = 0;
+                nic_wake_at_[static_cast<std::size_t>(id)] =
+                    act.nextWake;
+                if (act.nextWake != kNeverCycle)
+                    nic_wakes_.emplace(act.nextWake, id);
+            }
         }
     }
     active_nics_.swap(scratch_nics_);
@@ -422,15 +515,18 @@ Network::stepActive()
     //    set until a flit or credit arrival re-activates it.
     counters_.routerSteps += active_routers_.size();
     scratch_routers_.clear();
-    for (const NodeId id : active_routers_) {
-        const StepActivity act =
-            routers_[static_cast<std::size_t>(id)].step(
-                now_, router_envs_[static_cast<std::size_t>(id)]);
-        progress_flits_ += act.progressed;
-        if (act.pendingWork)
-            scratch_routers_.push_back(id);
-        else
-            router_active_[static_cast<std::size_t>(id)] = 0;
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.routerStepSeconds);
+        for (const NodeId id : active_routers_) {
+            const StepActivity act =
+                routers_[static_cast<std::size_t>(id)].step(
+                    now_, router_envs_[static_cast<std::size_t>(id)]);
+            progress_flits_ += act.progressed;
+            if (act.pendingWork)
+                scratch_routers_.push_back(id);
+            else
+                router_active_[static_cast<std::size_t>(id)] = 0;
+        }
     }
     active_routers_.swap(scratch_routers_);
 
@@ -665,7 +761,15 @@ Network::step()
 {
     if (next_fault_ < fault_events_.size() ||
         next_reconfig_ < reconfig_due_.size()) {
+        ScopedPhaseTimer timer(profiling_, profile_.faultSeconds);
         applyFaultEvents();
+    }
+    if (now_ == next_telemetry_at_) {
+        // Fixed snapshot point, like fault events: before any wire
+        // delivery or component stepping of this cycle, so the window
+        // [now - W, now) is complete and identical under both kernels.
+        ScopedPhaseTimer timer(profiling_, profile_.telemetrySeconds);
+        captureTelemetryWindow();
     }
     if (kernel_ == KernelKind::Scan)
         stepScan();

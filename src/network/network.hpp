@@ -39,6 +39,7 @@
 #include "router/router.hpp"
 #include "selection/selector_factory.hpp"
 #include "tables/full_table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lapses
 {
@@ -76,6 +77,17 @@ struct NetworkParams
      * a dead link are dropped instead of re-routed.
      */
     FullTable* reprogramTable = nullptr;
+
+    // --- Telemetry (DESIGN.md "Telemetry determinism contract") ----
+    /**
+     * Cycles per telemetry window; 0 = telemetry off (routers keep no
+     * counters, no wake source exists, zero hot-path work beyond one
+     * null check per site). When > 0 every window boundary is a wake
+     * source like fault events, whether or not a TelemetryBuffer is
+     * attached — so a campaign axis over window sizes changes only
+     * how idle stretches are split, never any statistic.
+     */
+    Cycle telemetryWindow = 0;
 };
 
 /** A mesh of routers and NICs with credit-based flow control. */
@@ -220,6 +232,42 @@ class Network : public DeliverySink
 
     /** Attach (or detach with nullptr) a flit-event tracer. */
     void setTracer(FlitTracer* tracer) { tracer_ = tracer; }
+
+    // --- Telemetry / profiling (pure observers) -----------------------
+
+    /**
+     * Attach (or detach with nullptr) the buffer that receives one row
+     * per node at every telemetry window boundary. Requires a nonzero
+     * NetworkParams::telemetryWindow (ConfigError otherwise) — the
+     * counters and the wake source only exist when the window was
+     * configured at construction. The buffer must outlive the network
+     * or be detached first.
+     */
+    void attachTelemetryBuffer(TelemetryBuffer* buffer);
+
+    /** The configured telemetry window (0 = off). */
+    Cycle telemetryWindow() const { return params_.telemetryWindow; }
+
+    /** This node's cumulative telemetry counters (telemetry must be
+     *  configured; tests and the buffer snapshot read through here). */
+    const RouterTelemetry& routerTelemetry(NodeId id) const
+    {
+        return router_telemetry_[static_cast<std::size_t>(id)];
+    }
+
+    /** NIC injection-queue depth (source backlog) at `id`. */
+    std::size_t
+    nicBacklog(NodeId id) const
+    {
+        return nics_[static_cast<std::size_t>(id)].backlog();
+    }
+
+    /** Enable per-phase wall-clock timers (off by default; they read
+     *  the host clock, never simulated state). */
+    void setProfiling(bool on) { profiling_ = on; }
+
+    /** Accumulated per-phase wall-clock seconds (--profile). */
+    const KernelProfile& kernelProfile() const { return profile_; }
 
     // DeliverySink; recycles the message's descriptor after the hook.
     void messageDelivered(MsgRef msg, Cycle now) override;
@@ -393,6 +441,11 @@ class Network : public DeliverySink
      *  kernels' stepping orders observable). */
     void processPendingUnroutable();
 
+    /** Snapshot the window ending at `now` into the attached buffer
+     *  (if any) and arm the next boundary — runs at the fixed top of
+     *  step(), like fault events, under both kernels. */
+    void captureTelemetryWindow();
+
     const MeshTopology& topo_;
     NetworkParams params_;
     KernelKind kernel_;
@@ -469,6 +522,19 @@ class Network : public DeliverySink
     DeliveryHook hook_ = nullptr;
     void* hook_ctx_ = nullptr;
     FlitTracer* tracer_ = nullptr;
+
+    // Telemetry state. The per-node counter storage lives here (not in
+    // the routers) so a single allocation at construction fixes every
+    // pointer the routers hold. next_telemetry_at_ is kNeverCycle when
+    // telemetry is off, making the step() boundary check one always-
+    // false branch.
+    std::vector<RouterTelemetry> router_telemetry_;
+    Cycle next_telemetry_at_ = kNeverCycle;
+    TelemetryBuffer* telemetry_buffer_ = nullptr;
+
+    // Wall-clock phase profiling (setProfiling / kernelProfile).
+    bool profiling_ = false;
+    KernelProfile profile_;
 };
 
 } // namespace lapses

@@ -2,14 +2,17 @@
  * @file
  * Flit-event tracer: a bounded ring of network events (injection,
  * per-hop arrival, ejection) for debugging and for timing analysis in
- * tests. Attach with Network::setTracer; tracing is off (and free)
- * by default.
+ * tests, plus an optional span exporter that assembles per-message
+ * lifecycle records (inject -> per-hop -> eject, with a queueing vs.
+ * transfer breakdown) and streams them as JSON lines. Attach with
+ * Network::setTracer; tracing is off (and free) by default.
  */
 
 #ifndef LAPSES_NETWORK_TRACER_HPP
 #define LAPSES_NETWORK_TRACER_HPP
 
 #include <iosfwd>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -65,11 +68,66 @@ class FlitTracer
     /** Human-readable dump, one event per line. */
     void dump(std::ostream& os) const;
 
+    // --- Span export (message lifecycle tracing) ----------------------
+
+    /**
+     * Stream one JSON line per completed message to `os`: source,
+     * destination, inject/eject cycles, the per-hop arrival chain of
+     * the header flit, and the latency decomposed into the
+     * contention-free transfer time and the queueing remainder.
+     *
+     * @param sample_every export only messages with id % sample_every
+     *        == 0 (>= 1; 1 = every message), bounding output volume on
+     *        saturation runs
+     * @param min_hop_cycles contention-free per-hop cost used for the
+     *        transfer/queueing split (contentionFreeHopCycles(model))
+     *
+     * Span assembly observes the event stream only — it reads no
+     * network state, consumes no RNG, and messages still in flight
+     * when the run ends are simply never emitted. `os` must outlive
+     * the tracer or be detached with disableSpanExport().
+     */
+    void enableSpanExport(std::ostream& os,
+                          std::uint64_t sample_every,
+                          Cycle min_hop_cycles);
+
+    /** Stop streaming spans and drop partially assembled ones. */
+    void disableSpanExport();
+
+    /** Completed spans written so far. */
+    std::uint64_t spansExported() const { return spans_exported_; }
+
   private:
+    /** One header hop-arrival within a pending span. */
+    struct SpanHop
+    {
+        NodeId node;
+        PortId port;
+        Cycle cycle;
+    };
+
+    /** A message's partially assembled lifecycle. */
+    struct PendingSpan
+    {
+        NodeId src = kInvalidNode;
+        Cycle inject = 0;
+        std::vector<SpanHop> hops;
+    };
+
+    /** Off the ring's hot path: fold `ev` into the pending span map
+     *  and emit the finished record on the tail's ejection. */
+    void recordSpan(const TraceEvent& ev);
+
     std::vector<TraceEvent> ring_;
     std::size_t head_ = 0; //!< index of the oldest event
     std::size_t size_ = 0;
     std::uint64_t recorded_ = 0;
+
+    std::ostream* span_os_ = nullptr;
+    std::uint64_t span_sample_every_ = 1;
+    Cycle span_min_hop_cycles_ = 0;
+    std::uint64_t spans_exported_ = 0;
+    std::unordered_map<MessageId, PendingSpan> pending_spans_;
 };
 
 /** Event-kind name for dumps ("inject", "hop", "eject"). */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "telemetry/telemetry.hpp"
+
 namespace lapses
 {
 
@@ -255,6 +257,8 @@ Router::serveCrossbar(Cycle now, Env& env)
     // the occupied list iterates them in the same ascending (port, VC)
     // order the full sweep used, so arbitration is unchanged.
     std::uint64_t req_ports = 0;
+    std::uint64_t raised = 0;
+    std::uint64_t granted = 0;
     forEachOccupiedInput([&](PortId ip, VcId v) {
         const PortId req = gatherRequest(ip, v, now, env);
         pending_request_[static_cast<std::size_t>(
@@ -263,6 +267,7 @@ Router::serveCrossbar(Cycle now, Env& env)
             outputs_[static_cast<std::size_t>(req)].xbarArb.request(
                 requesterIndex(ip, v));
             req_ports |= std::uint64_t{1} << req;
+            ++raised;
         }
     });
 
@@ -336,7 +341,10 @@ Router::serveCrossbar(Cycle now, Env& env)
         out.vc(ov).buffer.push(flit);
         markOccupied(out_vc_mask_, out_port_mask_, op, ov);
         ++forwarded_flits_;
+        ++granted;
     }
+    if (telem_ != nullptr)
+        telem_->arbStalls += raised - granted;
 }
 
 void
@@ -356,10 +364,13 @@ Router::serveVcMux(Cycle now, Env& env)
             const auto v = static_cast<VcId>(std::countr_zero(vm));
             vm &= vm - 1;
             const OutputVc& ovc = out.vc(v);
-            if (ovc.buffer.front().readyAt <= now &&
-                out.canTransmit(v)) {
-                out.muxArb.request(v);
-                raised = true;
+            if (ovc.buffer.front().readyAt <= now) {
+                if (out.canTransmit(v)) {
+                    out.muxArb.request(v);
+                    raised = true;
+                } else if (telem_ != nullptr) {
+                    ++telem_->creditStarvedCycles;
+                }
             }
         }
         if (!raised)
@@ -377,6 +388,8 @@ Router::serveVcMux(Cycle now, Env& env)
         out.recordUse(now);
         ++transmitted_flits_;
         --buffered_flits_; // the flit leaves the router for the wire
+        if (telem_ != nullptr)
+            ++telem_->flitsOut[static_cast<std::size_t>(op)];
         if (isTail(flit.type)) {
             ovc.busy = false;
             ovc.msg = kInvalidMsgRef;
@@ -534,6 +547,20 @@ Router::step(Cycle now, Env& env)
 {
     const std::uint64_t forwarded_before = forwarded_flits_;
     const std::uint64_t transmitted_before = transmitted_flits_;
+    if (telem_ != nullptr) {
+        // Time-weighted VC occupancy, sampled at cycle entry. Only
+        // ports with backlog contribute, and a quiescent router's
+        // masks are all zero, so the active kernel's skipped steps
+        // add exactly what the scan kernel's explicit zero adds.
+        std::uint64_t pm = out_port_mask_;
+        while (pm != 0) {
+            const auto p = static_cast<PortId>(std::countr_zero(pm));
+            pm &= pm - 1;
+            telem_->vcOccupancyTime[static_cast<std::size_t>(p)] +=
+                static_cast<std::uint64_t>(std::popcount(
+                    out_vc_mask_[static_cast<std::size_t>(p)]));
+        }
+    }
     forEachOccupiedInput(
         [&](PortId ip, VcId v) { advanceHeaderState(ip, v, now); });
     serveCrossbar(now, env);

@@ -50,6 +50,8 @@
 namespace lapses
 {
 
+struct RouterTelemetry;
+
 /** Microarchitectural parameters of one router. */
 struct RouterParams
 {
@@ -155,6 +157,16 @@ class Router
 
     /** Flits forwarded over the router's lifetime (progress watchdog). */
     std::uint64_t forwardedFlits() const { return forwarded_flits_; }
+
+    /**
+     * Attach (or detach with nullptr) the cumulative telemetry
+     * counters this router maintains. The counters are pure observers:
+     * they are updated on paths step() already executes, never read
+     * back by any routing/arbitration decision, and cost one null
+     * check per site when detached (see DESIGN.md "Telemetry
+     * determinism contract").
+     */
+    void setTelemetry(RouterTelemetry* telem) { telem_ = telem; }
 
     const InputUnit& inputUnit(PortId p) const
     {
@@ -357,6 +369,10 @@ class Router
 
     /** A reconfiguration window is open (see setReconfigPending). */
     bool reconfig_pending_ = false;
+
+    /** Telemetry counters (owned by the network); null = telemetry
+     *  off, every update site is behind one predictable branch. */
+    RouterTelemetry* telem_ = nullptr;
 
     std::uint64_t forwarded_flits_ = 0;
     std::uint64_t transmitted_flits_ = 0;

@@ -1,0 +1,103 @@
+#include "telemetry/telemetry.hpp"
+
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+TelemetryBuffer::TelemetryBuffer(NodeId nodes, int ports)
+    : ports_(ports)
+{
+    LAPSES_ASSERT(nodes > 0 && ports > 0);
+    prev_.assign(static_cast<std::size_t>(nodes),
+                 RouterTelemetry(ports));
+}
+
+void
+TelemetryBuffer::beginWindow(Cycle start, Cycle end)
+{
+    LAPSES_ASSERT(end > start);
+    window_start_ = start;
+    window_end_ = end;
+    ++windows_;
+}
+
+void
+TelemetryBuffer::sample(NodeId node, const RouterTelemetry& cumulative,
+                        std::uint64_t nic_backlog)
+{
+    LAPSES_ASSERT(node >= 0 &&
+                  static_cast<std::size_t>(node) < prev_.size());
+    RouterTelemetry& prev = prev_[static_cast<std::size_t>(node)];
+    start_.push_back(window_start_);
+    end_.push_back(window_end_);
+    node_.push_back(node);
+    for (std::size_t p = 0; p < static_cast<std::size_t>(ports_); ++p) {
+        flits_out_.push_back(cumulative.flitsOut[p] -
+                             prev.flitsOut[p]);
+        occ_time_.push_back(cumulative.vcOccupancyTime[p] -
+                            prev.vcOccupancyTime[p]);
+    }
+    arb_stalls_.push_back(cumulative.arbStalls - prev.arbStalls);
+    credit_starved_.push_back(cumulative.creditStarvedCycles -
+                              prev.creditStarvedCycles);
+    nic_backlog_.push_back(nic_backlog);
+    prev = cumulative;
+}
+
+void
+TelemetryBuffer::writeJsonl(std::ostream& os) const
+{
+    const auto ports = static_cast<std::size_t>(ports_);
+    for (std::size_t r = 0; r < node_.size(); ++r) {
+        os << "{\"window_start\":" << start_[r]
+           << ",\"window_end\":" << end_[r] << ",\"node\":" << node_[r]
+           << ",\"flits_out\":[";
+        for (std::size_t p = 0; p < ports; ++p) {
+            if (p)
+                os << ',';
+            os << flits_out_[r * ports + p];
+        }
+        os << "],\"vc_occupancy_time\":[";
+        for (std::size_t p = 0; p < ports; ++p) {
+            if (p)
+                os << ',';
+            os << occ_time_[r * ports + p];
+        }
+        os << "],\"arb_stalls\":" << arb_stalls_[r]
+           << ",\"credit_starved\":" << credit_starved_[r]
+           << ",\"nic_backlog\":" << nic_backlog_[r] << "}\n";
+    }
+}
+
+std::string
+TelemetryBuffer::csvHeader() const
+{
+    std::string header = "window_start,window_end,node";
+    for (int p = 0; p < ports_; ++p)
+        header += ",flits_out_p" + std::to_string(p);
+    for (int p = 0; p < ports_; ++p)
+        header += ",vc_occupancy_time_p" + std::to_string(p);
+    header += ",arb_stalls,credit_starved,nic_backlog";
+    return header;
+}
+
+void
+TelemetryBuffer::writeCsv(std::ostream& os) const
+{
+    os << csvHeader() << '\n';
+    const auto ports = static_cast<std::size_t>(ports_);
+    for (std::size_t r = 0; r < node_.size(); ++r) {
+        os << start_[r] << ',' << end_[r] << ',' << node_[r];
+        for (std::size_t p = 0; p < ports; ++p)
+            os << ',' << flits_out_[r * ports + p];
+        for (std::size_t p = 0; p < ports; ++p)
+            os << ',' << occ_time_[r * ports + p];
+        os << ',' << arb_stalls_[r] << ',' << credit_starved_[r] << ','
+           << nic_backlog_[r] << '\n';
+    }
+}
+
+} // namespace lapses

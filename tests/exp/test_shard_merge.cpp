@@ -286,6 +286,104 @@ TEST(ShardMerge, SaturationInferenceSurvivesSharding)
     EXPECT_EQ(mergeAll(shards, runs, SinkFormat::Jsonl), whole.jsonl);
 }
 
+TEST(ShardMerge, TelemetryWindowAxisShardsMergeByteIdentical)
+{
+    // telemetry_window as a first-class grid axis: sharded execution
+    // with per-run telemetry enabled must still reassemble into the
+    // unsharded campaign's bytes (the window is pure observation).
+    CampaignGrid grid;
+    grid.base.radices = {4, 4};
+    grid.base.msgLen = 4;
+    grid.base.warmupMessages = 10;
+    grid.base.measureMessages = 60;
+    grid.campaignSeed = 7;
+    grid.axes.telemetryWindows = {0, 64};
+    grid.axes.loads = {0.1, 0.2};
+    const std::vector<CampaignRun> runs = grid.expand();
+    ASSERT_EQ(runs.size(), 4u);
+
+    const ShardOutput whole = runShard(runs, ShardSpec{}, 2);
+    EXPECT_NE(whole.jsonl.find("\"telemetry_window\":0"),
+              std::string::npos);
+    EXPECT_NE(whole.jsonl.find("\"telemetry_window\":64"),
+              std::string::npos);
+    EXPECT_NE(whole.csv.find(",telemetry_window,"),
+              std::string::npos);
+
+    for (SinkFormat format : {SinkFormat::Jsonl, SinkFormat::Csv}) {
+        const bool json = format == SinkFormat::Jsonl;
+        std::vector<ShardFile> shards;
+        for (std::size_t k = 0; k < 2; ++k) {
+            const ShardOutput out =
+                runShard(runs, ShardSpec{k, 2}, 1);
+            shards.push_back(parseString(json ? out.jsonl : out.csv,
+                                         "telem" + std::to_string(k),
+                                         format));
+        }
+        EXPECT_NO_THROW(validateShardFiles(shards, runs));
+        MergeReport report;
+        const std::string merged =
+            mergeAll(shards, runs, format, &report);
+        EXPECT_TRUE(report.complete());
+        EXPECT_EQ(merged, json ? whole.jsonl : whole.csv);
+    }
+}
+
+/** Drop every "telemetry_window" field, imitating a shard file
+ *  written before the coordinate existed. */
+std::string
+stripTelemetryField(std::string text)
+{
+    const std::string key = "\"telemetry_window\":";
+    for (std::size_t pos = text.find(key); pos != std::string::npos;
+         pos = text.find(key, pos)) {
+        const std::size_t end = text.find(',', pos);
+        text.erase(pos, end - pos + 1);
+    }
+    return text;
+}
+
+TEST(MergeValidator, RejectsStalePreTelemetryShards)
+{
+    const ShardFixture& fx = fixture();
+
+    // A bare (pre-telemetry) shard next to a current one: rejected
+    // with the bare file named.
+    const std::vector<ShardFile> mixed = {
+        parseString(stripTelemetryField(fx.shard[0].jsonl),
+                    "stale.jsonl", SinkFormat::Jsonl),
+        parseString(fx.shard[1].jsonl, "fresh.jsonl",
+                    SinkFormat::Jsonl),
+    };
+    try {
+        validateShardFiles(mixed, fx.runs);
+        FAIL() << "mixed telemetry schema not rejected";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("telemetry"), std::string::npos) << what;
+        EXPECT_NE(what.find("stale.jsonl"), std::string::npos) << what;
+    }
+
+    // A single file whose records straddle the schema boundary.
+    const std::size_t first_eol = fx.shard[0].jsonl.find('\n');
+    ASSERT_NE(first_eol, std::string::npos);
+    const std::string straddling =
+        stripTelemetryField(
+            fx.shard[0].jsonl.substr(0, first_eol + 1)) +
+        fx.shard[0].jsonl.substr(first_eol + 1);
+    const std::vector<ShardFile> inner = {
+        parseString(straddling, "torn.jsonl", SinkFormat::Jsonl),
+    };
+    try {
+        validateShardFiles(inner, fx.runs);
+        FAIL() << "intra-file schema mix not rejected";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("telemetry"), std::string::npos) << what;
+        EXPECT_NE(what.find("torn.jsonl"), std::string::npos) << what;
+    }
+}
+
 TEST(ShardMerge, NonOwnedRunsComeBackUnexecuted)
 {
     const ShardFixture& fx = fixture();

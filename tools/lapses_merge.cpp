@@ -64,8 +64,10 @@ printHelp()
         "  --group-by AXES      aggregate over comma-separated grid\n"
         "                       axes (model|routing|table|selector|\n"
         "                       traffic|injection|msglen|vcs|buffers|\n"
-        "                       escape|load|mesh|series): mean/p50/p99\n"
-        "                       of latency and accepted throughput\n"
+        "                       escape|faults|fault-seed|\n"
+        "                       telemetry-window|load|mesh|series):\n"
+        "                       mean/p50/p99 of latency and accepted\n"
+        "                       throughput\n"
         "  --agg-out FILE       write the aggregate CSV here [stdout]\n"
         "  --help               this text\n",
         campaignCliHelp());

@@ -18,13 +18,16 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/lapses.hpp"
 #include "core/names.hpp"
+#include "network/tracer.hpp"
 #include "stats/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace
 {
@@ -82,6 +85,19 @@ printHelp()
         "  --warmup N           warm-up messages    [1000]\n"
         "  --measure N          measured messages   [10000]\n"
         "  --seed N             RNG seed            [1]\n"
+        "\n"
+        "Telemetry / tracing (README \"Telemetry & tracing\"; single\n"
+        "point only, not --sweep):\n"
+        "  --telemetry-window N cycles per telemetry window (0 = off;\n"
+        "                       never changes results)           [0]\n"
+        "  --telemetry-out FILE per-window per-node metrics, JSONL\n"
+        "                       (CSV when FILE ends in .csv);\n"
+        "                       needs --telemetry-window\n"
+        "  --trace-out FILE     per-message lifecycle spans, JSONL\n"
+        "  --trace-capacity N   tracer event ring size      [65536]\n"
+        "  --trace-sample N     export every Nth message id     [1]\n"
+        "  --profile            print per-phase kernel wall-clock\n"
+        "                       times after the run\n"
         "\n"
         "Output / sweeps:\n"
         "  --sweep LO:HI:STEP   sweep normalized load\n"
@@ -143,6 +159,11 @@ main(int argc, char** argv)
     std::string csv_path;
     bool as_json = false;
     bool quiet = false;
+    std::string telemetry_out;
+    std::string trace_out;
+    std::uint64_t trace_capacity = 65536;
+    std::uint64_t trace_sample = 1;
+    bool profile = false;
 
     const int int_max = std::numeric_limits<int>::max();
     try {
@@ -225,6 +246,22 @@ main(int argc, char** argv)
                 cfg.measureMessages = parseCheckedU64(arg, value());
             } else if (arg == "--seed") {
                 cfg.seed = parseCheckedU64(arg, value());
+            } else if (arg == "--telemetry-window") {
+                cfg.telemetryWindow = parseCheckedU64(arg, value());
+            } else if (arg == "--telemetry-out") {
+                telemetry_out = value();
+            } else if (arg == "--trace-out") {
+                trace_out = value();
+            } else if (arg == "--trace-capacity") {
+                trace_capacity = parseCheckedU64(arg, value());
+                if (trace_capacity == 0)
+                    throw ConfigError("--trace-capacity must be >= 1");
+            } else if (arg == "--trace-sample") {
+                trace_sample = parseCheckedU64(arg, value());
+                if (trace_sample == 0)
+                    throw ConfigError("--trace-sample must be >= 1");
+            } else if (arg == "--profile") {
+                profile = true;
             } else if (arg == "--sweep") {
                 sweep = parseSweep(value());
             } else if (arg == "--csv") {
@@ -239,13 +276,111 @@ main(int argc, char** argv)
             }
         }
 
+        if (!telemetry_out.empty() && cfg.telemetryWindow == 0) {
+            throw ConfigError(
+                "--telemetry-out needs --telemetry-window N (> 0)");
+        }
+        if (!sweep.empty() &&
+            (!telemetry_out.empty() || !trace_out.empty() ||
+             profile)) {
+            throw ConfigError(
+                "--telemetry-out/--trace-out/--profile apply to a "
+                "single point, not --sweep");
+        }
+
         std::vector<SweepSeries> series(1);
         series[0].label = cfg.describe();
 
         if (sweep.empty()) {
             cfg.validate();
             Simulation sim(cfg);
+
+            // Pure observers: none of these change a single statistic
+            // (DESIGN.md "Telemetry determinism contract").
+            std::unique_ptr<TelemetryBuffer> telem;
+            std::ofstream telem_os;
+            if (!telemetry_out.empty()) {
+                telem_os.open(telemetry_out);
+                if (!telem_os)
+                    throw ConfigError("cannot open " + telemetry_out);
+                telem = std::make_unique<TelemetryBuffer>(
+                    sim.topology().numNodes(),
+                    sim.topology().numPorts());
+                sim.network().attachTelemetryBuffer(telem.get());
+            }
+            std::unique_ptr<FlitTracer> tracer;
+            std::ofstream trace_os;
+            if (!trace_out.empty()) {
+                trace_os.open(trace_out);
+                if (!trace_os)
+                    throw ConfigError("cannot open " + trace_out);
+                tracer = std::make_unique<FlitTracer>(
+                    static_cast<std::size_t>(trace_capacity));
+                tracer->enableSpanExport(
+                    trace_os, trace_sample,
+                    static_cast<Cycle>(
+                        contentionFreeHopCycles(cfg.model)));
+                sim.network().setTracer(tracer.get());
+            }
+            if (profile)
+                sim.network().setProfiling(true);
+
             const SimStats stats = sim.run();
+
+            if (telem != nullptr) {
+                const bool telem_csv =
+                    telemetry_out.size() >= 4 &&
+                    telemetry_out.compare(telemetry_out.size() - 4, 4,
+                                          ".csv") == 0;
+                if (telem_csv)
+                    telem->writeCsv(telem_os);
+                else
+                    telem->writeJsonl(telem_os);
+                if (!quiet) {
+                    std::printf("wrote %zu telemetry rows (%zu "
+                                "windows) to %s\n",
+                                telem->rows(), telem->windows(),
+                                telemetry_out.c_str());
+                }
+            }
+            if (tracer != nullptr && !quiet) {
+                std::printf(
+                    "wrote %llu message spans to %s\n",
+                    static_cast<unsigned long long>(
+                        tracer->spansExported()),
+                    trace_out.c_str());
+            }
+            if (profile) {
+                const KernelProfile& prof =
+                    sim.network().kernelProfile();
+                const Network::KernelCounters& kc =
+                    sim.network().kernelCounters();
+                std::printf(
+                    "kernel profile (%s kernel, wall-clock):\n"
+                    "  wire drain    %9.3f ms  (%llu events)\n"
+                    "  NIC stepping  %9.3f ms  (%llu steps)\n"
+                    "  router steps  %9.3f ms  (%llu steps)\n"
+                    "  fault events  %9.3f ms\n"
+                    "  telemetry     %9.3f ms\n"
+                    "  total timed   %9.3f ms  (%llu cycles "
+                    "fast-forwarded)\n",
+                    sim.network().kernel() == KernelKind::Active
+                        ? "active"
+                        : "scan",
+                    prof.wireDrainSeconds * 1e3,
+                    static_cast<unsigned long long>(
+                        kc.wireEventsDelivered),
+                    prof.nicStepSeconds * 1e3,
+                    static_cast<unsigned long long>(kc.nicSteps),
+                    prof.routerStepSeconds * 1e3,
+                    static_cast<unsigned long long>(kc.routerSteps),
+                    prof.faultSeconds * 1e3,
+                    prof.telemetrySeconds * 1e3,
+                    prof.totalSeconds() * 1e3,
+                    static_cast<unsigned long long>(
+                        kc.fastForwardedCycles));
+            }
+
             if (!quiet) {
                 std::printf("%s\n  %s\n", cfg.describe().c_str(),
                             stats.summary().c_str());
