@@ -176,6 +176,70 @@ BENCHMARK(BM_KernelDrainHeavy)
     ->Unit(benchmark::kMicrosecond);
 
 /**
+ * The BM_KernelParallel* cases measure what the spatially sharded
+ * parallel kernel buys over the single-threaded active kernel on
+ * meshes big enough for one cycle's component work to amortize the
+ * barrier. Arg encoding differs from the BM_Kernel* cases: Arg(0) is
+ * the active-kernel reference, Arg(N > 0) the parallel kernel at N
+ * intra-jobs. check_perf.py recognizes the /0 reference and gates on
+ * the parallel/active ratio per job count — on a multi-core host the
+ * 128x128 mesh at 4 jobs clears 2x; single-core runners just pin the
+ * (honest, ~1x) sharding overhead so it cannot silently grow.
+ */
+SimConfig
+parallelBenchConfig(int radix, unsigned jobs)
+{
+    SimConfig cfg;
+    cfg.radices = {radix, radix};
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.traffic = TrafficKind::Uniform;
+    cfg.normalizedLoad = 0.3;
+    cfg.msgLen = 8;
+    cfg.seed = 4242;
+    cfg.kernel = jobs == 0 ? KernelKind::Active : KernelKind::Parallel;
+    cfg.intraJobs = jobs;
+    return cfg;
+}
+
+void
+parallelCycles(benchmark::State& state, int radix)
+{
+    Simulation sim(parallelBenchConfig(
+        radix, static_cast<unsigned>(state.range(0))));
+    sim.stepCycles(500); // warm the network up
+    for (auto _ : state)
+        sim.stepCycles(50);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 50 * sim.topology().numNodes()));
+}
+
+void
+BM_KernelParallelMesh64(benchmark::State& state)
+{
+    parallelCycles(state, 64);
+}
+BENCHMARK(BM_KernelParallelMesh64)
+    ->Arg(0) // active-kernel reference
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_KernelParallelMesh128(benchmark::State& state)
+{
+    parallelCycles(state, 128);
+}
+BENCHMARK(BM_KernelParallelMesh128)
+    ->Arg(0) // active-kernel reference
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * The BM_Router* cases isolate the router hot path in the saturated
  * regime — the regime that dominates every load sweep past the knee —
  * on a fully pinned configuration (independent of SimConfig defaults),

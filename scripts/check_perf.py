@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Compare kernel-benchmark ratios against a committed baseline.
 
-Absolute cycles/sec numbers are machine-dependent, so CI compares the
-*active/scan ratio* per benchmark case — how much the activity-driven
-kernel buys over the step-everything kernel on the same host — against
-the ratios recorded in the committed baseline JSON (BENCH_kernel.json /
-BENCH_router.json at the repo root). A shrinking ratio means the hot
-path regressed relative to the scan reference.
+Absolute cycles/sec numbers are machine-dependent, so CI compares
+*ratios* per benchmark case against the ratios recorded in the
+committed baseline JSON (BENCH_kernel.json / BENCH_router.json at the
+repo root). Two schemes, told apart by the case's arg encoding:
+
+- active/scan (args /1 vs /2): how much the activity-driven kernel
+  buys over the step-everything kernel on the same host. A shrinking
+  ratio means the hot path regressed relative to the scan reference.
+- parallel/active (a /0 reference plus /N intra-job members, the
+  BM_KernelParallel* family): the parallel kernel's speedup per job
+  count. On a multi-core host this is the scaling curve; on a
+  single-core runner it pins the sharding overhead near 1x either way.
 
 Exit status: 0 when all ratios are within --warn of the baseline (or
 better), 0 with warnings between --warn and --fail, 1 beyond --fail.
@@ -30,6 +36,12 @@ import sys
 ACTIVE_ARG = "/1"  # KernelKind::Active
 SCAN_ARG = "/2"    # KernelKind::Scan
 
+# The BM_KernelParallel* cases use a different arg encoding: /0 is the
+# active-kernel reference, /N (N > 0) the parallel kernel at N
+# intra-jobs. A case family with a /0 member is gated on the
+# parallel/active ratio of each member instead of active/scan.
+PARALLEL_REF_ARG = "/0"
+
 
 def load_ratios(path):
     """(case -> active/scan items_per_second ratio, library build type).
@@ -50,16 +62,25 @@ def load_ratios(path):
             continue
         rates.setdefault(bench["name"], bench["items_per_second"])
     rates.update(medians)
+    parallel_refs = {
+        name[: -len(PARALLEL_REF_ARG)]
+        for name in rates
+        if name.endswith(PARALLEL_REF_ARG)
+    }
     ratios = {}
-    for name, active in sorted(rates.items()):
-        if not name.endswith(ACTIVE_ARG):
-            continue
-        case = name[: -len(ACTIVE_ARG)]
-        scan = rates.get(case + SCAN_ARG)
-        if scan:
-            ratios[case] = active / scan
+    for name, rate in sorted(rates.items()):
+        case, _, arg = name.rpartition("/")
+        if case in parallel_refs:
+            # Parallel family: every non-reference member is gated on
+            # its speedup over the /0 active reference.
+            if arg != "0":
+                ratios[name] = rate / rates[case + PARALLEL_REF_ARG]
+        elif name.endswith(ACTIVE_ARG):
+            scan = rates.get(case + SCAN_ARG)
+            if scan:
+                ratios[case] = rate / scan
     if not ratios:
-        raise SystemExit(f"{path}: no active/scan benchmark pairs found")
+        raise SystemExit(f"{path}: no gateable benchmark pairs found")
     return ratios, build_type
 
 
@@ -100,7 +121,7 @@ def main(argv=None):
             failed = True
             continue
         regression = (base_ratio - cur_ratio) / base_ratio
-        line = (f"{case}: active/scan {cur_ratio:.2f}x "
+        line = (f"{case}: ratio {cur_ratio:.2f}x "
                 f"(baseline {base_ratio:.2f}x, "
                 f"{-regression:+.1%} vs baseline)")
         if regression >= args.fail and comparable:
@@ -111,7 +132,7 @@ def main(argv=None):
         else:
             print(line)
     for case in sorted(set(current) - set(baseline)):
-        print(f"{case}: active/scan {current[case]:.2f}x (no baseline)")
+        print(f"{case}: ratio {current[case]:.2f}x (no baseline)")
     return 1 if failed else 0
 
 

@@ -54,21 +54,43 @@ inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 inline constexpr PortId kLocalPort = 0;
 
 /**
- * Simulation-kernel selection (see DESIGN.md "Activity-driven kernel").
+ * Simulation-kernel selection (see DESIGN.md "Activity-driven kernel"
+ * and "Parallel kernel").
  *
  * The activity-driven kernel steps only components that can make
  * progress and delivers wire traffic from a calendar queue; the scan
  * kernel is the original step-everything path, kept behind the same
- * interface for differential testing. Both produce byte-identical
- * statistics. Auto resolves through the LAPSES_KERNEL environment
- * variable ("scan" or "active"), defaulting to Active.
+ * interface for differential testing; the parallel kernel shards the
+ * topology into contiguous node ranges and steps the shards on worker
+ * threads inside each cycle, exchanging wire events at cycle barriers.
+ * All three produce byte-identical statistics. Auto resolves through
+ * the LAPSES_KERNEL environment variable ("scan", "active" or
+ * "parallel"), defaulting to Active.
  */
 enum class KernelKind : std::uint8_t
 {
     Auto,
     Active,
     Scan,
+    Parallel,
 };
+
+/** Short identifier ("active", "scan", "parallel", "auto"). */
+constexpr const char*
+kernelKindName(KernelKind k)
+{
+    switch (k) {
+    case KernelKind::Active:
+        return "active";
+    case KernelKind::Scan:
+        return "scan";
+    case KernelKind::Parallel:
+        return "parallel";
+    case KernelKind::Auto:
+        break;
+    }
+    return "auto";
+}
 
 /**
  * What one component did during a step() — the network's activity-set

@@ -119,9 +119,16 @@ struct SimConfig
     std::uint64_t seed = 1;
 
     /** Simulation kernel: Auto resolves via LAPSES_KERNEL (default
-     *  the activity-driven kernel). Results are byte-identical either
-     *  way; Scan exists for differential testing. */
+     *  the activity-driven kernel). Results are byte-identical for
+     *  every kernel; Scan exists for differential testing, Parallel
+     *  shards one run across threads. */
     KernelKind kernel = KernelKind::Auto;
+
+    /** Parallel-kernel worker/shard count (--intra-jobs); 0 = auto
+     *  (LAPSES_INTRA_JOBS, else hardware concurrency). Never changes
+     *  results — combine with campaign --jobs knowing the effective
+     *  thread count is their product. */
+    unsigned intraJobs = 0;
 
     /** Throw ConfigError on inconsistent settings. */
     void validate() const;

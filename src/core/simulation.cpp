@@ -71,6 +71,7 @@ Simulation::Simulation(const SimConfig& cfg)
     np.selector = cfg_.selector;
     np.seed = cfg_.seed;
     np.kernel = cfg_.kernel;
+    np.intraJobs = cfg_.intraJobs;
     np.telemetryWindow = cfg_.telemetryWindow;
     np.faults = std::move(faults);
     np.reconfigLatency = cfg_.reconfigLatency;

@@ -104,6 +104,9 @@ CampaignCli::consume(int argc, char** argv, int& i)
         base.measureMessages = parseCheckedU64(arg, value());
     } else if (arg == "--telemetry-window") {
         base.telemetryWindow = parseCheckedU64(arg, value());
+    } else if (arg == "--intra-jobs") {
+        base.intraJobs = static_cast<unsigned>(parseCheckedInt(
+            arg, value(), 0, std::numeric_limits<int>::max()));
     } else if (arg == "--mode") {
         applyBenchMode(base, parseBenchModeName(value()));
     } else {
@@ -162,6 +165,11 @@ campaignCliHelp()
            "  --hotspot-frac X --warmup N --measure N\n"
            "  --telemetry-window N cycles per telemetry window (0 =\n"
            "                       off; never changes results)     [0]\n"
+           "  --intra-jobs N       parallel-kernel shard threads per\n"
+           "                       run (LAPSES_KERNEL=parallel; the\n"
+           "                       effective thread count is --jobs\n"
+           "                       times this). Never changes\n"
+           "                       results                         [0]\n"
            "  --mode quick|default|paper   measurement scale preset\n"
            "\n"
            "Dynamic link faults (README \"Fault injection\"):\n"

@@ -8,7 +8,12 @@ namespace lapses
 namespace
 {
 
-/** Index of the worker the current thread belongs to, or -1. */
+/** Pool the current thread works for (nullptr outside any pool) and
+ *  its worker index there. Both are needed: with nested pools — a
+ *  campaign worker driving a network's intra-run pool — an index
+ *  alone would mis-route a submit to the *other* pool's queue of the
+ *  same index. */
+thread_local const ThreadPool* tls_pool = nullptr;
 thread_local int tls_worker_index = -1;
 
 } // namespace
@@ -50,7 +55,7 @@ ThreadPool::enqueue(Task task)
 {
     LAPSES_ASSERT(!workers_.empty());
     std::size_t target;
-    if (tls_worker_index >= 0 &&
+    if (tls_pool == this && tls_worker_index >= 0 &&
         static_cast<std::size_t>(tls_worker_index) < workers_.size()) {
         target = static_cast<std::size_t>(tls_worker_index);
     } else {
@@ -106,6 +111,7 @@ ThreadPool::trySteal(unsigned self, Task& out)
 void
 ThreadPool::workerLoop(std::stop_token stop, unsigned index)
 {
+    tls_pool = this;
     tls_worker_index = static_cast<int>(index);
     for (;;) {
         Task task;

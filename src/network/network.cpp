@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "exp/thread_pool.hpp"
 
 namespace lapses
 {
@@ -59,10 +62,37 @@ resolveKernelKind(KernelKind requested)
     }
     if (std::strcmp(env, "scan") == 0)
         return KernelKind::Scan;
+    if (std::strcmp(env, "parallel") == 0)
+        return KernelKind::Parallel;
     // A typo here would silently bend a differential run back to the
     // default kernel; refuse instead.
     throw ConfigError("bad LAPSES_KERNEL value '" + std::string(env) +
-                      "' (want scan or active)");
+                      "' (want scan, active or parallel)");
+}
+
+unsigned
+resolveIntraJobs(unsigned requested)
+{
+    unsigned jobs = requested;
+    if (jobs == 0) {
+        const char* env = std::getenv("LAPSES_INTRA_JOBS");
+        if (env != nullptr && *env != '\0') {
+            char* end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (end == env || *end != '\0' || v < 1) {
+                throw ConfigError("bad LAPSES_INTRA_JOBS value '" +
+                                  std::string(env) +
+                                  "' (want a positive integer)");
+            }
+            jobs = static_cast<unsigned>(v);
+        }
+    }
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    return std::min(jobs, MessagePool::kMaxBanks);
 }
 
 void
@@ -73,7 +103,7 @@ Network::RouterEnv::flitOut(PortId out_port, VcId out_vc,
     const Cycle due = net.now_ + 1 + net.params_.linkDelay;
     net.flit_wires_[net.wireIndex(id_, out_port)].push(
         {flit, out_vc, due});
-    net.scheduleWire(net.flitWireKey(id_, out_port), due);
+    net.scheduleWire(id_, net.flitWireKey(id_, out_port), due);
 }
 
 void
@@ -82,7 +112,7 @@ Network::RouterEnv::creditOut(PortId in_port, VcId vc)
     Network& net = *net_;
     const Cycle due = net.now_ + 1 + net.params_.linkDelay;
     net.credit_wires_[net.wireIndex(id_, in_port)].push({vc, due});
-    net.scheduleWire(net.creditWireKey(id_, in_port), due);
+    net.scheduleWire(id_, net.creditWireKey(id_, in_port), due);
 }
 
 void
@@ -90,9 +120,13 @@ Network::RouterEnv::headUnroutable(PortId in_port, VcId vc)
 {
     // Deferred: purging mid-step would make the kernels' (different
     // but unobservable) stepping orders observable through cross-
-    // router state surgery. processPendingUnroutable() runs after the
-    // step loops, in sorted order, identically under both kernels.
-    net_->pending_unroutable_.emplace_back(id_, in_port, vc);
+    // router state surgery — and, under the parallel kernel, would be
+    // a cross-shard write from a stepping thread. Each shard collects
+    // its own reports; processPendingUnroutable() merges and sorts
+    // them after the step loops, identically under every kernel.
+    Network& net = *net_;
+    net.shards_[net.shard_of_[static_cast<std::size_t>(id_)]]
+        .pending_unroutable.emplace_back(id_, in_port, vc);
 }
 
 void
@@ -102,9 +136,13 @@ Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
     const Cycle due = net.now_ + 1 + net.params_.linkDelay;
     net.inject_wires_[static_cast<std::size_t>(id_)].push(
         {flit, vc, due});
-    net.scheduleWire(net.injectWireKey(id_), due);
-    // The flit enters the tracked domain (wires + router FIFOs).
-    ++net.occupancy_;
+    net.scheduleWire(id_, net.injectWireKey(id_), due);
+    // The flit enters the tracked domain (wires + router FIFOs). The
+    // global occupancy counter belongs to the sequential phases;
+    // stepping threads record the delta shard-locally and the barrier
+    // merge folds it in.
+    ++net.shards_[net.shard_of_[static_cast<std::size_t>(id_)]]
+          .injected_flits;
 }
 
 Network::Network(const MeshTopology& topo, const NetworkParams& params,
@@ -160,22 +198,14 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
     for (NodeId id = 0; id < n; ++id)
         inject_wires_.emplace_back(flit_cap);
 
-    // Active-kernel bookkeeping. All events pushed at cycle t are due
-    // t + linkDelay + 1, so linkDelay + 2 buckets make due % width
-    // injective over the in-flight window.
+    // Event-driven kernel bookkeeping. All events pushed at cycle t
+    // are due t + linkDelay + 1, so linkDelay + 2 calendar buckets
+    // make due % width injective over the in-flight window.
     key_stride_ = 2 * ports + 1;
-    calendar_.resize(static_cast<std::size_t>(params.linkDelay) + 2);
-    sweep_threshold_ = static_cast<std::size_t>(n);
     router_active_.assign(static_cast<std::size_t>(n), 0);
     nic_active_.assign(static_cast<std::size_t>(n), 0);
     nic_wake_at_.assign(static_cast<std::size_t>(n), kNeverCycle);
-    if (kernel_ == KernelKind::Active) {
-        // Every NIC starts active: its injection process may have an
-        // arrival due at cycle 0. Routers start empty and asleep.
-        active_nics_.reserve(static_cast<std::size_t>(n));
-        for (NodeId id = 0; id < n; ++id)
-            activateNic(id);
-    }
+    buildShards();
 
     // Fault schedule. The caller is responsible for validate()
     // (connectivity etc.); the sort is repeated here so a hand-built
@@ -195,6 +225,79 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
                 &router_telemetry_[static_cast<std::size_t>(id)]);
         }
         next_telemetry_at_ = params_.telemetryWindow;
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::buildShards()
+{
+    const NodeId n = topo_.numNodes();
+    std::vector<NodeId> bounds;
+    if (kernel_ == KernelKind::Parallel) {
+        if (!params_.shardBoundaries.empty()) {
+            bounds = params_.shardBoundaries;
+            NodeId prev = 0;
+            for (const NodeId b : bounds) {
+                if (b <= prev || b >= n) {
+                    throw ConfigError(
+                        "shard boundaries must be strictly ascending "
+                        "interior node ids");
+                }
+                prev = b;
+            }
+            if (bounds.size() + 1 > MessagePool::kMaxBanks) {
+                throw ConfigError("too many shards (max " +
+                                  std::to_string(
+                                      MessagePool::kMaxBanks) +
+                                  ")");
+            }
+        } else {
+            const auto jobs = static_cast<std::size_t>(std::min<
+                unsigned>(resolveIntraJobs(params_.intraJobs),
+                          static_cast<unsigned>(n)));
+            for (std::size_t s = 1; s < jobs; ++s) {
+                bounds.push_back(static_cast<NodeId>(
+                    (static_cast<std::size_t>(n) * s) / jobs));
+            }
+        }
+    }
+    const std::size_t s_count = bounds.size() + 1;
+    const std::size_t width =
+        static_cast<std::size_t>(params_.linkDelay) + 2;
+    shards_.resize(s_count);
+    shard_of_.assign(static_cast<std::size_t>(n), 0);
+    for (std::size_t s = 0; s < s_count; ++s) {
+        Shard& sh = shards_[s];
+        sh.begin = s == 0 ? 0 : bounds[s - 1];
+        sh.end = s + 1 == s_count ? n : bounds[s];
+        sh.calendar.resize(width);
+        for (NodeId id = sh.begin; id < sh.end; ++id)
+            shard_of_[static_cast<std::size_t>(id)] =
+                static_cast<std::uint32_t>(s);
+    }
+    // One descriptor bank per shard: NICs of a shard acquire from its
+    // bank, so concurrent injections never contend. Refs depend on
+    // the bank layout — nothing observable may be ordered by MsgRef.
+    pool_.configureBanks(static_cast<unsigned>(s_count));
+    for (NodeId id = 0; id < n; ++id) {
+        nics_[static_cast<std::size_t>(id)].setPoolBank(
+            shard_of_[static_cast<std::size_t>(id)]);
+    }
+    if (kernel_ != KernelKind::Scan) {
+        // Every NIC starts active: its injection process may have an
+        // arrival due at cycle 0. Routers start empty and asleep.
+        for (NodeId id = 0; id < n; ++id)
+            activateNic(id);
+    }
+    // Workers for shards 1..S-1; the caller thread steps shard 0.
+    // The pool is per-network, so campaign workers that each own a
+    // parallel network can never deadlock on a shared pool.
+    if (s_count > 1) {
+        intra_pool_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(s_count - 1));
+        intra_futures_.reserve(s_count - 1);
     }
 }
 
@@ -225,16 +328,19 @@ Network::captureTelemetryWindow()
 }
 
 void
-Network::scheduleWire(std::int32_t key, Cycle due)
+Network::scheduleWire(NodeId node, std::int32_t key, Cycle due)
 {
-    if (kernel_ != KernelKind::Active)
+    if (kernel_ == KernelKind::Scan)
         return;
     // Every wire event is pushed with due = now + linkDelay + 1 and
-    // the calendar has linkDelay + 2 slots, so due % width is always
-    // the slot just behind now's — no division needed.
+    // each shard calendar has linkDelay + 2 slots, so due % width is
+    // always the slot just behind now's — no division needed. The
+    // sender's shard owns the entry; during stepping only the owning
+    // thread pushes here.
+    Shard& sh = shards_[shard_of_[static_cast<std::size_t>(node)]];
     const std::size_t slot =
-        now_slot_ == 0 ? calendar_.size() - 1 : now_slot_ - 1;
-    CalendarBucket& bucket = calendar_[slot];
+        now_slot_ == 0 ? sh.calendar.size() - 1 : now_slot_ - 1;
+    CalendarBucket& bucket = sh.calendar[slot];
     bucket.due = due;
     bucket.keys.push_back(key);
 }
@@ -245,7 +351,8 @@ Network::activateRouter(NodeId id)
     std::uint8_t& mark = router_active_[static_cast<std::size_t>(id)];
     if (mark == 0) {
         mark = 1;
-        active_routers_.push_back(id);
+        shards_[shard_of_[static_cast<std::size_t>(id)]]
+            .active_routers.push_back(id);
     }
 }
 
@@ -255,18 +362,43 @@ Network::activateNic(NodeId id)
     std::uint8_t& mark = nic_active_[static_cast<std::size_t>(id)];
     if (mark == 0) {
         mark = 1;
-        active_nics_.push_back(id);
+        shards_[shard_of_[static_cast<std::size_t>(id)]]
+            .active_nics.push_back(id);
         nic_wake_at_[static_cast<std::size_t>(id)] = kNeverCycle;
     }
+}
+
+bool
+Network::anyComponentActive() const
+{
+    for (const Shard& sh : shards_) {
+        if (!sh.active_routers.empty() || !sh.active_nics.empty())
+            return true;
+    }
+    return false;
 }
 
 Cycle
 Network::nextEventCycle()
 {
     Cycle next = kNeverCycle;
-    for (const CalendarBucket& bucket : calendar_) {
-        if (!bucket.keys.empty())
-            next = std::min(next, bucket.due);
+    for (Shard& sh : shards_) {
+        for (const CalendarBucket& bucket : sh.calendar) {
+            if (!bucket.keys.empty())
+                next = std::min(next, bucket.due);
+        }
+        // Drop stale wake entries (NIC re-activated or rescheduled
+        // since). Shards with nothing pending cost two empty checks —
+        // the fast-forward hops straight over idle shards.
+        while (!sh.nic_wakes.empty()) {
+            const auto [cycle, id] = sh.nic_wakes.top();
+            if (nic_active_[static_cast<std::size_t>(id)] == 0 &&
+                nic_wake_at_[static_cast<std::size_t>(id)] == cycle) {
+                next = std::min(next, cycle);
+                break;
+            }
+            sh.nic_wakes.pop();
+        }
     }
     // Fault events and reconfigurations are wake-up sources too: the
     // idle fast-forward must stop exactly at their cycles.
@@ -276,18 +408,8 @@ Network::nextEventCycle()
         next = std::min(next, reconfig_due_[next_reconfig_]);
     // So is every telemetry window boundary (kNeverCycle when off):
     // the snapshot at the top of step() must run at the exact boundary
-    // cycle under both kernels.
+    // cycle under every kernel.
     next = std::min(next, next_telemetry_at_);
-    // Drop stale wake entries (NIC re-activated or rescheduled since).
-    while (!nic_wakes_.empty()) {
-        const auto [cycle, id] = nic_wakes_.top();
-        if (nic_active_[static_cast<std::size_t>(id)] == 0 &&
-            nic_wake_at_[static_cast<std::size_t>(id)] == cycle) {
-            next = std::min(next, cycle);
-            break;
-        }
-        nic_wakes_.pop();
-    }
     return next;
 }
 
@@ -316,7 +438,7 @@ Network::deliverFlitWire(NodeId id, PortId p, const WireFlit& wf)
     }
     routers_[static_cast<std::size_t>(peer)].acceptFlit(
         MeshTopology::oppositePort(p), wf.vc, wf.flit, now_);
-    if (kernel_ == KernelKind::Active)
+    if (kernel_ != KernelKind::Scan)
         activateRouter(peer);
 }
 
@@ -325,7 +447,7 @@ Network::deliverCreditWire(NodeId id, PortId p, const WireCredit& wc)
 {
     if (p == kLocalPort) {
         nics_[static_cast<std::size_t>(id)].acceptCredit(wc.vc);
-        if (kernel_ == KernelKind::Active)
+        if (kernel_ != KernelKind::Scan)
             activateNic(id);
         return;
     }
@@ -333,7 +455,7 @@ Network::deliverCreditWire(NodeId id, PortId p, const WireCredit& wc)
     LAPSES_ASSERT(peer != kInvalidNode);
     routers_[static_cast<std::size_t>(peer)].acceptCredit(
         MeshTopology::oppositePort(p), wc.vc);
-    if (kernel_ == KernelKind::Active)
+    if (kernel_ != KernelKind::Scan)
         activateRouter(peer);
 }
 
@@ -347,15 +469,15 @@ Network::deliverInjectWire(NodeId id, const WireFlit& wf)
     }
     routers_[static_cast<std::size_t>(id)].acceptFlit(
         kLocalPort, wf.vc, wf.flit, now_);
-    if (kernel_ == KernelKind::Active)
+    if (kernel_ != KernelKind::Scan)
         activateRouter(id);
 }
 
 void
-Network::deliverWiresScan()
+Network::deliverWiresRange(NodeId begin, NodeId end)
 {
     const int ports = topo_.numPorts();
-    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+    for (NodeId id = begin; id < end; ++id) {
         // Router output wires -> neighbor router input / local NIC.
         for (PortId p = 0; p < ports; ++p) {
             auto& fw = flit_wires_[wireIndex(id, p)];
@@ -380,19 +502,22 @@ Network::deliverWiresScan()
 }
 
 void
-Network::deliverWiresActive()
+Network::deliverShardBucket(Shard& sh)
 {
-    CalendarBucket& bucket = calendar_[now_slot_];
+    CalendarBucket& bucket = sh.calendar[now_slot_];
     if (bucket.keys.empty())
         return;
     LAPSES_ASSERT(bucket.due == now_);
-    if (bucket.keys.size() >= sweep_threshold_) {
-        // Saturated regime: most wires carry traffic, so a full sweep
-        // (which visits wires in canonical order by construction) is
-        // cheaper than sorting the bucket. It delivers exactly this
-        // bucket's events — everything else in flight is due later.
+    if (bucket.keys.size() >=
+        static_cast<std::size_t>(sh.end - sh.begin)) {
+        // Saturated regime: most of the shard's wires carry traffic,
+        // so a range sweep (which visits wires in canonical order by
+        // construction) is cheaper than sorting the bucket. It
+        // delivers exactly this bucket's events — everything else in
+        // flight is due later, and other shards' events live in their
+        // own calendars.
         bucket.keys.clear();
-        deliverWiresScan();
+        deliverWiresRange(sh.begin, sh.end);
         return;
     }
     // Ascending wire-key order = the scan kernel's delivery order, so
@@ -436,7 +561,7 @@ Network::stepScan()
 {
     {
         ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
-        deliverWiresScan();
+        deliverWiresRange(0, topo_.numNodes());
     }
     const auto n = static_cast<std::size_t>(topo_.numNodes());
     counters_.nicSteps += n;
@@ -459,80 +584,152 @@ Network::stepScan()
             progress_flits_ += act.progressed;
         }
     }
+    mergeShardCycleState();
     processPendingUnroutable();
     ++now_;
-    if (++now_slot_ == calendar_.size())
+    if (++now_slot_ == shards_[0].calendar.size())
         now_slot_ = 0;
 }
 
 void
-Network::stepActive()
+Network::stepShardComponents(Shard& sh)
 {
-    // 1. Wake NICs whose injection process has an event due.
-    while (!nic_wakes_.empty() && nic_wakes_.top().first <= now_) {
-        const auto [cycle, id] = nic_wakes_.top();
-        nic_wakes_.pop();
+    // 1. Wake own NICs whose injection process has an event due.
+    while (!sh.nic_wakes.empty() && sh.nic_wakes.top().first <= now_) {
+        const auto [cycle, id] = sh.nic_wakes.top();
+        sh.nic_wakes.pop();
         if (nic_active_[static_cast<std::size_t>(id)] == 0 &&
             nic_wake_at_[static_cast<std::size_t>(id)] == cycle) {
             activateNic(id);
         }
     }
 
-    // 2. Deliver due wire traffic; receivers join the active set.
-    {
-        ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
-        deliverWiresActive();
-    }
-
-    // 3. Step active NICs; a NIC with no backlog leaves the set and
+    // 2. Step active NICs; a NIC with no backlog leaves the set and
     //    schedules its next injection-process wake.
-    counters_.nicSteps += active_nics_.size();
-    scratch_nics_.clear();
+    sh.counters.nicSteps += sh.active_nics.size();
+    sh.scratch_nics.clear();
     {
-        ScopedPhaseTimer timer(profiling_, profile_.nicStepSeconds);
-        for (const NodeId id : active_nics_) {
+        ScopedPhaseTimer timer(profiling_, sh.profile.nicStepSeconds);
+        for (const NodeId id : sh.active_nics) {
             const StepActivity act =
                 nics_[static_cast<std::size_t>(id)].step(
                     now_, nic_envs_[static_cast<std::size_t>(id)]);
-            progress_flits_ += act.progressed;
+            sh.progress_flits += act.progressed;
             if (act.pendingWork || act.nextWake == now_ + 1) {
                 // Still has backlog — or must step again next cycle
                 // anyway (e.g. a Bernoulli process draws every cycle):
                 // staying in the set skips a pointless heap round-trip.
-                scratch_nics_.push_back(id);
+                sh.scratch_nics.push_back(id);
             } else {
                 nic_active_[static_cast<std::size_t>(id)] = 0;
                 nic_wake_at_[static_cast<std::size_t>(id)] =
                     act.nextWake;
                 if (act.nextWake != kNeverCycle)
-                    nic_wakes_.emplace(act.nextWake, id);
+                    sh.nic_wakes.emplace(act.nextWake, id);
             }
         }
     }
-    active_nics_.swap(scratch_nics_);
+    sh.active_nics.swap(sh.scratch_nics);
 
-    // 4. Step active routers; a router with empty buffers leaves the
+    // 3. Step active routers; a router with empty buffers leaves the
     //    set until a flit or credit arrival re-activates it.
-    counters_.routerSteps += active_routers_.size();
-    scratch_routers_.clear();
+    sh.counters.routerSteps += sh.active_routers.size();
+    sh.scratch_routers.clear();
     {
-        ScopedPhaseTimer timer(profiling_, profile_.routerStepSeconds);
-        for (const NodeId id : active_routers_) {
+        ScopedPhaseTimer timer(profiling_,
+                               sh.profile.routerStepSeconds);
+        for (const NodeId id : sh.active_routers) {
             const StepActivity act =
                 routers_[static_cast<std::size_t>(id)].step(
                     now_, router_envs_[static_cast<std::size_t>(id)]);
-            progress_flits_ += act.progressed;
+            sh.progress_flits += act.progressed;
             if (act.pendingWork)
-                scratch_routers_.push_back(id);
+                sh.scratch_routers.push_back(id);
             else
                 router_active_[static_cast<std::size_t>(id)] = 0;
         }
     }
-    active_routers_.swap(scratch_routers_);
+    sh.active_routers.swap(sh.scratch_routers);
+}
 
+void
+Network::mergeShardCycleState()
+{
+    for (Shard& sh : shards_) {
+        occupancy_ += sh.injected_flits;
+        sh.injected_flits = 0;
+        progress_flits_ += sh.progress_flits;
+        sh.progress_flits = 0;
+    }
+}
+
+void
+Network::stepActive()
+{
+    Shard& sh = shards_[0];
+
+    // Deliver due wire traffic; receivers join the active set. (Wake
+    // processing runs inside stepShardComponents, after delivery —
+    // activation is idempotent and stepping order is unobservable, so
+    // the phase order matches the parallel kernel exactly.)
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
+        deliverShardBucket(sh);
+    }
+
+    stepShardComponents(sh);
+
+    mergeShardCycleState();
     processPendingUnroutable();
     ++now_;
-    if (++now_slot_ == calendar_.size())
+    if (++now_slot_ == sh.calendar.size())
+        now_slot_ = 0;
+}
+
+void
+Network::stepParallel()
+{
+    // Sequential canonical delivery: shard calendars drained in shard
+    // order reproduce the global ascending (node, port, wire-kind)
+    // order, so the tracer/stats/delivery-hook stream is bit-for-bit
+    // the scan kernel's. Receiver activations and descriptor releases
+    // happen here, on the coordinator, before any stepping thread
+    // runs.
+    {
+        ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
+        for (Shard& sh : shards_)
+            deliverShardBucket(sh);
+    }
+
+    // Parallel component stepping: one shard per thread, shard 0 on
+    // the coordinator. Conservative lookahead — everything a shard
+    // emits is due at now + linkDelay + 1 at the earliest — means no
+    // stepping thread can ever consume another's output this cycle,
+    // so the only synchronization is the join barrier itself.
+    if (intra_pool_ == nullptr) {
+        for (Shard& sh : shards_)
+            stepShardComponents(sh);
+    } else {
+        intra_futures_.clear();
+        for (std::size_t s = 1; s < shards_.size(); ++s) {
+            intra_futures_.push_back(intra_pool_->submit(
+                [this, s] { stepShardComponents(shards_[s]); }));
+        }
+        stepShardComponents(shards_[0]);
+        // Wait for every shard before rethrowing anything, so a
+        // throwing shard cannot leave the others running into the
+        // sequential phases.
+        for (auto& f : intra_futures_)
+            f.wait();
+        for (auto& f : intra_futures_)
+            f.get();
+        intra_futures_.clear();
+    }
+
+    mergeShardCycleState();
+    processPendingUnroutable();
+    ++now_;
+    if (++now_slot_ == shards_[0].calendar.size())
         now_slot_ = 0;
 }
 
@@ -583,7 +780,17 @@ Network::applyDownEvent(NodeId node, PortId port)
     };
     side(node, port);
     side(peer, peer_port);
-    std::sort(affected.begin(), affected.end());
+    // Purge in deterministic message-id order, never raw MsgRef
+    // order: refs follow pool allocation order, which differs between
+    // kernels (and with the shard/bank count under the parallel
+    // kernel), while ids are per-NIC sequence numbers. Purge order is
+    // observable when two purged messages share a source NIC — both
+    // requeueFront at the same queue. Equal ids mean equal refs, so
+    // the id sort also makes duplicates adjacent for unique().
+    std::sort(affected.begin(), affected.end(),
+              [this](MsgRef a, MsgRef b) {
+                  return pool_[a].id < pool_[b].id;
+              });
     affected.erase(std::unique(affected.begin(), affected.end()),
                    affected.end());
     for (const MsgRef msg : affected)
@@ -674,7 +881,7 @@ Network::purgeMessage(MsgRef msg, bool allow_reinject)
                 if (in_port == kLocalPort) {
                     nics_[static_cast<std::size_t>(id)].acceptCredit(
                         vc);
-                    if (kernel_ == KernelKind::Active)
+                    if (kernel_ != KernelKind::Scan)
                         activateNic(id);
                     return;
                 }
@@ -682,7 +889,7 @@ Network::purgeMessage(MsgRef msg, bool allow_reinject)
                 LAPSES_ASSERT(up != kInvalidNode);
                 routers_[static_cast<std::size_t>(up)].acceptCredit(
                     MeshTopology::oppositePort(in_port), vc);
-                if (kernel_ == KernelKind::Active)
+                if (kernel_ != KernelKind::Scan)
                     activateRouter(up);
             });
     }
@@ -733,7 +940,7 @@ Network::purgeMessage(MsgRef msg, bool allow_reinject)
         if (measured)
             ++dropped_measured_;
     }
-    if (kernel_ == KernelKind::Active)
+    if (kernel_ != KernelKind::Scan)
         activateNic(src);
     pool_.release(msg);
 }
@@ -741,10 +948,27 @@ Network::purgeMessage(MsgRef msg, bool allow_reinject)
 void
 Network::processPendingUnroutable()
 {
-    if (pending_unroutable_.empty())
+    bool any = false;
+    for (const Shard& sh : shards_) {
+        if (!sh.pending_unroutable.empty()) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
         return;
-    std::sort(pending_unroutable_.begin(), pending_unroutable_.end());
-    for (const auto& [id, p, v] : pending_unroutable_) {
+    // Merge the shards' reports and sort by (node, port, vc): the
+    // processing order is then independent of which thread collected
+    // which report — and of the kernels' stepping orders.
+    unroutable_scratch_.clear();
+    for (Shard& sh : shards_) {
+        unroutable_scratch_.insert(unroutable_scratch_.end(),
+                                   sh.pending_unroutable.begin(),
+                                   sh.pending_unroutable.end());
+        sh.pending_unroutable.clear();
+    }
+    std::sort(unroutable_scratch_.begin(), unroutable_scratch_.end());
+    for (const auto& [id, p, v] : unroutable_scratch_) {
         // Re-verify: an earlier purge this cycle may have freed the
         // VC, or a duplicate report may target an already-purged head.
         const MsgRef msg =
@@ -753,7 +977,7 @@ Network::processPendingUnroutable()
         if (msg != kInvalidMsgRef)
             purgeMessage(msg, /*allow_reinject=*/false);
     }
-    pending_unroutable_.clear();
+    unroutable_scratch_.clear();
 }
 
 void
@@ -773,6 +997,8 @@ Network::step()
     }
     if (kernel_ == KernelKind::Scan)
         stepScan();
+    else if (kernel_ == KernelKind::Parallel)
+        stepParallel();
     else
         stepActive();
 }
@@ -781,19 +1007,20 @@ Cycle
 Network::stepUntil(Cycle horizon)
 {
     LAPSES_ASSERT(horizon > now_);
-    if (kernel_ == KernelKind::Active && active_routers_.empty() &&
-        active_nics_.empty()) {
+    if (kernel_ != KernelKind::Scan && !anyComponentActive()) {
         const Cycle next = nextEventCycle();
         if (next > now_) {
             // Nothing can happen before `next`: no component is
-            // active, every wire event and NIC wake lies at or beyond
-            // it. Skip the dead cycles (capped so phase predicates and
-            // saturation checks keep their cycle schedule).
+            // active in any shard, every wire event and NIC wake lies
+            // at or beyond it. Skip the dead cycles (capped so phase
+            // predicates and saturation checks keep their cycle
+            // schedule). Idle shards cost nothing here — the clock
+            // jumps over all of them at once.
             const Cycle target = std::min(horizon, next);
             const Cycle advanced = target - now_;
             counters_.fastForwardedCycles += advanced;
             now_ = target;
-            now_slot_ = now_ % calendar_.size();
+            now_slot_ = now_ % shards_[0].calendar.size();
             return advanced;
         }
     }
@@ -864,6 +1091,37 @@ Network::progressCounterSlow() const
     for (const auto& nic : nics_)
         n += nic.injectedFlits();
     return n;
+}
+
+Network::KernelCounters
+Network::kernelCounters() const
+{
+    // Per-shard accumulation with a merge on read: stepping threads
+    // only ever touch their own shard's counters, so the parallel
+    // kernel needs no shared mutable counter (and no atomics on the
+    // step path).
+    KernelCounters merged = counters_;
+    for (const Shard& sh : shards_) {
+        merged.nicSteps += sh.counters.nicSteps;
+        merged.routerSteps += sh.counters.routerSteps;
+        merged.wireEventsDelivered += sh.counters.wireEventsDelivered;
+        merged.fastForwardedCycles += sh.counters.fastForwardedCycles;
+    }
+    return merged;
+}
+
+KernelProfile
+Network::kernelProfile() const
+{
+    KernelProfile merged = profile_;
+    for (const Shard& sh : shards_) {
+        merged.wireDrainSeconds += sh.profile.wireDrainSeconds;
+        merged.nicStepSeconds += sh.profile.nicStepSeconds;
+        merged.routerStepSeconds += sh.profile.routerStepSeconds;
+        merged.faultSeconds += sh.profile.faultSeconds;
+        merged.telemetrySeconds += sh.profile.telemetrySeconds;
+    }
+    return merged;
 }
 
 void

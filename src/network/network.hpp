@@ -7,7 +7,7 @@
  * emits at cycle t arrives at its peer at t + linkDelay, so the order in
  * which routers step within a cycle cannot matter.
  *
- * Two simulation kernels share this interface (see DESIGN.md):
+ * Three simulation kernels share this interface (see DESIGN.md):
  *
  *  - KernelKind::Active (default): per-cycle work is O(active
  *    components + due wire events). Wire traffic sits in a calendar
@@ -17,8 +17,14 @@
  *  - KernelKind::Scan: the original path that steps every component and
  *    scans every wire each cycle, kept for differential testing
  *    (LAPSES_KERNEL=scan).
+ *  - KernelKind::Parallel: the active kernel's bookkeeping partitioned
+ *    into spatial shards (contiguous node ranges). Wire delivery stays
+ *    sequential in canonical order on the calling thread; component
+ *    stepping fans out, one shard per worker, and rejoins at a cycle
+ *    barrier (conservative lookahead = the link delay guarantees
+ *    nothing a shard emits can be consumed before the next cycle).
  *
- * Both kernels produce byte-identical statistics: wire events are
+ * All kernels produce byte-identical statistics: wire events are
  * delivered in the same (node, port, wire-kind) order the scan uses,
  * and components are only put to sleep when stepping them is provably a
  * no-op (no buffered flits, no injection-process event due).
@@ -27,6 +33,8 @@
 #ifndef LAPSES_NETWORK_NETWORK_HPP
 #define LAPSES_NETWORK_NETWORK_HPP
 
+#include <future>
+#include <memory>
 #include <queue>
 #include <tuple>
 #include <utility>
@@ -44,9 +52,18 @@
 namespace lapses
 {
 
-/** Resolve KernelKind::Auto through LAPSES_KERNEL ("scan"/"active");
- *  unset resolves to Active, anything else throws ConfigError. */
+class ThreadPool;
+
+/** Resolve KernelKind::Auto through LAPSES_KERNEL
+ *  ("scan"/"active"/"parallel"); unset resolves to Active, anything
+ *  else throws ConfigError. */
 KernelKind resolveKernelKind(KernelKind requested);
+
+/** Resolve the parallel kernel's shard/worker count: an explicit
+ *  request (> 0) wins, else LAPSES_INTRA_JOBS, else the hardware
+ *  concurrency. Always >= 1; a bad environment value throws
+ *  ConfigError. Capped at MessagePool::kMaxBanks. */
+unsigned resolveIntraJobs(unsigned requested);
 
 /** Network-level construction parameters. */
 struct NetworkParams
@@ -57,6 +74,20 @@ struct NetworkParams
     SelectorKind selector = SelectorKind::StaticXY;
     std::uint64_t seed = 1;
     KernelKind kernel = KernelKind::Auto;
+
+    /** Parallel-kernel shard/worker count; 0 = auto (LAPSES_INTRA_JOBS,
+     *  else hardware concurrency). Ignored by the other kernels. The
+     *  value never affects results — only how a cycle's component
+     *  stepping is spread over threads. */
+    unsigned intraJobs = 0;
+
+    /**
+     * Explicit interior shard cut points (ascending node ids in
+     * (0, numNodes)), overriding the balanced partition — a test hook
+     * for pinning boundary behavior on adversarial cuts, including
+     * shards that never hold active components. Empty = balanced.
+     */
+    std::vector<NodeId> shardBoundaries;
 
     // --- Dynamic link faults (DESIGN.md "Fault events") -----------
     /** Validated schedule of mid-run link down/up events. */
@@ -132,6 +163,8 @@ class Network : public DeliverySink
             const RoutingTable& table, bool escape_channels,
             const TrafficPattern& pattern);
 
+    ~Network();
+
     /** Advance the whole network by one cycle. */
     void step();
 
@@ -150,8 +183,14 @@ class Network : public DeliverySink
     /** The kernel this network runs (resolved, never Auto). */
     KernelKind kernel() const { return kernel_; }
 
-    /** Work counters for perf tests and benches. */
-    const KernelCounters& kernelCounters() const { return counters_; }
+    /** Shards the topology is partitioned into (1 unless Parallel). */
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Work counters for perf tests and benches: the coordinator's
+     *  delivery/fast-forward counts merged with every shard's step
+     *  counts (each shard accumulates its own, so stepping threads
+     *  never write a shared counter). */
+    KernelCounters kernelCounters() const;
 
     /** Resilience counters (all zero on a healthy run). */
     const FaultCounters& faultCounters() const
@@ -266,8 +305,11 @@ class Network : public DeliverySink
      *  the host clock, never simulated state). */
     void setProfiling(bool on) { profiling_ = on; }
 
-    /** Accumulated per-phase wall-clock seconds (--profile). */
-    const KernelProfile& kernelProfile() const { return profile_; }
+    /** Accumulated per-phase wall-clock seconds (--profile): the
+     *  coordinator's phases merged with per-shard step timers. Under
+     *  the parallel kernel the step phases sum CPU seconds across
+     *  shards, so they can exceed wall time. */
+    KernelProfile kernelProfile() const;
 
     // DeliverySink; recycles the message's descriptor after the hook.
     void messageDelivered(MsgRef msg, Cycle now) override;
@@ -369,6 +411,59 @@ class Network : public DeliverySink
         std::vector<std::int32_t> keys;
     };
 
+    /**
+     * Everything one stepping thread owns: the active/scan kernels run
+     * a single shard spanning all nodes; the parallel kernel runs one
+     * shard per worker over [begin, end). During the (parallel)
+     * component-stepping phase a shard's thread touches only this
+     * struct, its own nodes' components, and the wires/calendar slots
+     * those nodes send on — all disjoint across shards — while the
+     * coordinator touches shards only in the sequential phases on the
+     * other side of the cycle barrier. Cache-line aligned so adjacent
+     * shards' hot cursors never false-share.
+     */
+    struct alignas(64) Shard
+    {
+        NodeId begin = 0; //!< first owned node
+        NodeId end = 0;   //!< one past the last owned node
+
+        /** Calendar of wire events *sent by* this shard's nodes.
+         *  Concatenating the shards' due buckets in shard order
+         *  reproduces the global ascending-key delivery order because
+         *  shards are contiguous ascending node ranges. */
+        std::vector<CalendarBucket> calendar;
+
+        std::vector<NodeId> active_routers;
+        std::vector<NodeId> active_nics;
+        std::vector<NodeId> scratch_routers;
+        std::vector<NodeId> scratch_nics;
+
+        /** Wake heap of this shard's own NICs (see nic_wake_at_). */
+        std::priority_queue<std::pair<Cycle, NodeId>,
+                            std::vector<std::pair<Cycle, NodeId>>,
+                            std::greater<>>
+            nic_wakes;
+
+        /** (node, port, vc) of own heads reported unroutable this
+         *  cycle; merged and sorted by the coordinator afterwards. */
+        std::vector<std::tuple<NodeId, PortId, VcId>>
+            pending_unroutable;
+
+        /** Cumulative step counts (merged on kernelCounters() read). */
+        KernelCounters counters;
+
+        /** Per-shard step-phase wall-clock (merged on read). */
+        KernelProfile profile;
+
+        /** Flits this shard's components progressed this cycle;
+         *  drained into the global counter at the barrier. */
+        std::uint64_t progress_flits = 0;
+
+        /** Flits this shard's NICs put onto injection wires this
+         *  cycle; drained into occupancy_ at the barrier. */
+        std::size_t injected_flits = 0;
+    };
+
     std::int32_t
     flitWireKey(NodeId node, PortId port) const
     {
@@ -387,30 +482,55 @@ class Network : public DeliverySink
                key_stride_ - 1;
     }
 
-    /** Register a pushed wire event with the calendar. */
-    void scheduleWire(std::int32_t key, Cycle due);
+    /** Register a pushed wire event with the sender's shard calendar
+     *  (`node` is the sender; the key encodes it too, but every caller
+     *  already has it — no division on the hot path). */
+    void scheduleWire(NodeId node, std::int32_t key, Cycle due);
 
-    /** Add a router/NIC to the active set (idempotent). */
+    /** Add a router/NIC to its shard's active set (idempotent). Safe
+     *  from a stepping thread only for the shard's own nodes; the
+     *  sequential phases may activate anything. */
     void activateRouter(NodeId id);
     void activateNic(NodeId id);
 
-    /** Earliest pending wire event or valid NIC wake; kNeverCycle when
-     *  the network is fully drained with no scheduled arrivals. */
+    /** Earliest pending wire event or valid NIC wake over all shards;
+     *  kNeverCycle when the network is fully drained with no
+     *  scheduled arrivals. */
     Cycle nextEventCycle();
+
+    /** True while any shard holds an active router or NIC. */
+    bool anyComponentActive() const;
+
+    /** Build the shard partition (and, for Parallel, the worker pool
+     *  and pool banks) at construction. */
+    void buildShards();
 
     // Shared per-event delivery (tracer + hand-off + activation).
     void deliverFlitWire(NodeId id, PortId p, const WireFlit& wf);
     void deliverCreditWire(NodeId id, PortId p, const WireCredit& wc);
     void deliverInjectWire(NodeId id, const WireFlit& wf);
 
-    /** Deliver all wire traffic due at 'now' (scan kernel). */
-    void deliverWiresScan();
+    /** Deliver all wire traffic due at 'now' from senders in
+     *  [begin, end), in canonical order (scan sweep). */
+    void deliverWiresRange(NodeId begin, NodeId end);
 
-    /** Deliver the calendar bucket due at 'now' (active kernel). */
-    void deliverWiresActive();
+    /** Deliver one shard's due calendar bucket: the sorted-bucket walk
+     *  when sparse, the range sweep when the bucket saturates its
+     *  shard. Sequential phases only. */
+    void deliverShardBucket(Shard& sh);
 
     void stepScan();
     void stepActive();
+    void stepParallel();
+
+    /** The per-shard slice of a cycle: process due NIC wakes, step
+     *  active NICs, step active routers. Runs on the shard's stepping
+     *  thread under the parallel kernel, inline otherwise. */
+    void stepShardComponents(Shard& sh);
+
+    /** Fold per-cycle shard deltas (injected/progressed flits) into
+     *  the global counters after the barrier. */
+    void mergeShardCycleState();
 
     // --- Fault-event machinery (DESIGN.md "Fault events") -----------
 
@@ -471,27 +591,28 @@ class Network : public DeliverySink
     /** NIC -> router injection wires, one per node. */
     std::vector<RingBuffer<WireFlit>> inject_wires_;
 
-    // Active-kernel state.
+    // Event-driven kernel state (Active = one shard, Parallel = one
+    // shard per worker; Scan keeps a single inert shard so observers
+    // and merge paths are uniform).
     std::int32_t key_stride_ = 0; //!< wire keys per node (2*ports + 1)
-    std::vector<CalendarBucket> calendar_;
-    std::size_t now_slot_ = 0; //!< calendar_[now_ % width], div-free
-    /** Bucket size beyond which a full scan sweep is cheaper than
-     *  sorting the bucket (the saturated regime, where most wires
-     *  carry traffic anyway). */
-    std::size_t sweep_threshold_ = 0;
-    std::vector<NodeId> active_routers_;
-    std::vector<NodeId> active_nics_;
-    std::vector<NodeId> scratch_routers_;
-    std::vector<NodeId> scratch_nics_;
+    std::size_t now_slot_ = 0; //!< calendar[now_ % width], div-free
+    std::vector<Shard> shards_;
+    /** Owning shard per node (all zero unless Parallel). */
+    std::vector<std::uint32_t> shard_of_;
+    /** Workers for shards 1..S-1 (the caller steps shard 0); owned by
+     *  the network so nested campaign parallelism can never deadlock
+     *  on a shared pool — each network fans out on its own. */
+    std::unique_ptr<ThreadPool> intra_pool_;
+    std::vector<std::future<void>> intra_futures_;
     std::vector<std::uint8_t> router_active_;
     std::vector<std::uint8_t> nic_active_;
-    /** Pending wake cycle per NIC (kNeverCycle = none); entries in
-     *  nic_wakes_ that disagree with this are stale and skipped. */
+    /** Pending wake cycle per NIC (kNeverCycle = none); entries in a
+     *  shard's nic_wakes that disagree with this are stale and
+     *  skipped. Only the owning shard's thread touches its nodes'
+     *  entries during stepping. */
     std::vector<Cycle> nic_wake_at_;
-    std::priority_queue<std::pair<Cycle, NodeId>,
-                        std::vector<std::pair<Cycle, NodeId>>,
-                        std::greater<>>
-        nic_wakes_;
+    /** Coordinator counters: wire deliveries and fast-forwards (the
+     *  sequential phases); scan-kernel step counts also land here. */
     KernelCounters counters_;
 
     // Fault-event state. fault_events_ is the validated schedule in
@@ -504,8 +625,8 @@ class Network : public DeliverySink
     std::size_t next_reconfig_ = 0;
     FailureSet failures_;
     FullTable* reprogram_table_ = nullptr;
-    /** (node, port, vc) of heads reported unroutable this cycle. */
-    std::vector<std::tuple<NodeId, PortId, VcId>> pending_unroutable_;
+    /** Merge scratch for the shards' pending-unroutable reports. */
+    std::vector<std::tuple<NodeId, PortId, VcId>> unroutable_scratch_;
     FaultCounters fault_counters_;
     std::uint64_t dropped_measured_ = 0;
     Cycle last_fault_cycle_ = kNeverCycle;

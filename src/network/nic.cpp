@@ -97,7 +97,7 @@ Nic::step(Cycle now, Env& env)
         queue_.pop_front();
         a.active = true;
         a.nextSeq = 0;
-        a.msg = pool_.acquire();
+        a.msg = pool_.acquire(pool_bank_);
         MessageDescriptor& desc = pool_[a.msg];
         desc.id = next_msg_id_++;
         desc.src = node_;

@@ -134,6 +134,11 @@ class Nic
      *  eventual latency includes the fault. */
     void requeueFront(NodeId dest, Cycle createdAt, bool measured);
 
+    /** Pool bank this NIC acquires descriptors from — its shard under
+     *  the parallel kernel (set by the network at construction; stays
+     *  0 for the single-banked kernels). */
+    void setPoolBank(unsigned bank) { pool_bank_ = bank; }
+
   private:
     /** A message waiting in the source queue. */
     struct QueuedMessage
@@ -157,6 +162,7 @@ class Nic
     const TrafficPattern& pattern_;
     Rng rng_;
     MessagePool& pool_;
+    unsigned pool_bank_ = 0;
     InjectionProcess process_;
 
     std::deque<QueuedMessage> queue_;

@@ -59,6 +59,56 @@ TEST(Kernel, ExplicitSelectionOverridesEnvironment)
     ::unsetenv("LAPSES_KERNEL");
 }
 
+TEST(Kernel, ParallelSelectionAndIntraJobResolution)
+{
+    // LAPSES_KERNEL=parallel resolves Auto to the parallel kernel,
+    // and the shard count follows --intra-jobs / LAPSES_INTRA_JOBS
+    // with the explicit request winning.
+    ::setenv("LAPSES_KERNEL", "parallel", 1);
+    SimConfig cfg = kernelBase();
+    cfg.kernel = KernelKind::Auto;
+    cfg.intraJobs = 3;
+    Simulation from_env(cfg);
+    EXPECT_EQ(from_env.network().kernel(), KernelKind::Parallel);
+    EXPECT_EQ(from_env.network().shardCount(), 3u);
+    ::unsetenv("LAPSES_KERNEL");
+
+    cfg.kernel = KernelKind::Parallel;
+    ::setenv("LAPSES_INTRA_JOBS", "2", 1);
+    cfg.intraJobs = 0; // auto: take the environment value
+    Simulation from_env_jobs(cfg);
+    EXPECT_EQ(from_env_jobs.network().shardCount(), 2u);
+    cfg.intraJobs = 5; // explicit request beats the environment
+    Simulation explicit_jobs(cfg);
+    EXPECT_EQ(explicit_jobs.network().shardCount(), 5u);
+
+    // Junk or nonpositive LAPSES_INTRA_JOBS must refuse, not fall
+    // back silently (a parallel run with a typo'd job count would
+    // quietly measure the wrong thing).
+    cfg.intraJobs = 0;
+    for (const char* bad : {"0", "-3", "four", "2x"}) {
+        ::setenv("LAPSES_INTRA_JOBS", bad, 1);
+        EXPECT_THROW(Simulation sim(cfg), ConfigError) << bad;
+    }
+    // An empty value is "unset", not an error.
+    ::setenv("LAPSES_INTRA_JOBS", "", 1);
+    EXPECT_NO_THROW(Simulation sim(cfg));
+    ::unsetenv("LAPSES_INTRA_JOBS");
+
+    // More jobs than nodes clamps to one shard per node.
+    cfg.intraJobs = 4096;
+    Simulation clamped(cfg);
+    EXPECT_EQ(clamped.network().shardCount(), 16u);
+}
+
+TEST(Kernel, KernelKindNamesRoundTrip)
+{
+    EXPECT_STREQ(kernelKindName(KernelKind::Active), "active");
+    EXPECT_STREQ(kernelKindName(KernelKind::Scan), "scan");
+    EXPECT_STREQ(kernelKindName(KernelKind::Parallel), "parallel");
+    EXPECT_STREQ(kernelKindName(KernelKind::Auto), "auto");
+}
+
 TEST(Kernel, IdleNetworkFastForwards)
 {
     // At a vanishing load the network is idle almost always; the

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exp/thread_pool.hpp"
@@ -94,6 +96,73 @@ TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency)
 {
     ThreadPool pool(0);
     EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, ConstructSubmitDestroyStress)
+{
+    // Lock in the destructor-join order fix: tear pools down while
+    // workers are mid-steal, over and over. Destroying Workers one at
+    // a time (each ~jthread joining only its own thread) used to free
+    // a queue mutex another live worker was about to lock inside
+    // trySteal(); under TSAN/ASAN this loop is the regression trap.
+    std::atomic<int> count{0};
+    for (int round = 0; round < 60; ++round) {
+        ThreadPool pool(4);
+        // Tiny tasks maximize steal traffic; no drain before the
+        // destructor runs, so teardown races the busiest phase.
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&count] { ++count; });
+    }
+    // Every task ran despite the immediate teardowns.
+    EXPECT_EQ(count.load(), 60 * 64);
+}
+
+TEST(ThreadPool, StressNestedPoolsRouteSubmitsCorrectly)
+{
+    // A worker of an outer pool submitting to an *inner* pool must
+    // round-robin into the inner pool's queues, not self-enqueue into
+    // a same-index queue of the wrong pool (the campaign-worker /
+    // intra-run-pool nesting the parallel kernel creates). The inner
+    // submits would deadlock or crash if misrouted; the counts prove
+    // they all ran.
+    std::atomic<int> ran{0};
+    ThreadPool outer(3);
+    ThreadPool inner(3);
+    std::vector<std::future<void>> outer_futures;
+    for (int i = 0; i < 30; ++i) {
+        outer_futures.push_back(outer.submit([&] {
+            std::vector<std::future<void>> fs;
+            for (int j = 0; j < 8; ++j)
+                fs.push_back(inner.submit([&ran] { ++ran; }));
+            for (auto& f : fs)
+                f.get();
+        }));
+    }
+    for (auto& f : outer_futures)
+        f.get();
+    EXPECT_EQ(ran.load(), 30 * 8);
+}
+
+TEST(ThreadPool, ContendedSubmitAndDrainRepeated)
+{
+    // Many submitters hammering one pool while waitIdle() runs in the
+    // middle: exercises the lost-wakeup guard (queued_ under
+    // sleep_mutex_) and the idle_cv_ accounting from both sides.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 20; ++round) {
+        std::vector<std::thread> submitters;
+        for (int s = 0; s < 4; ++s) {
+            submitters.emplace_back([&] {
+                for (int i = 0; i < 25; ++i)
+                    pool.submit([&count] { ++count; });
+            });
+        }
+        for (auto& t : submitters)
+            t.join();
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), (round + 1) * 100);
+    }
 }
 
 } // namespace

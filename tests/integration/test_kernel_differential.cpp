@@ -1,18 +1,21 @@
 /**
  * @file
- * Lockstep differential tests between the activity-driven kernel and
- * the scan kernel (LAPSES_KERNEL=scan): over the full router catalog
- * (both models, every routing algorithm, table scheme and selector,
- * plus every injection process), the two kernels must agree cycle by
- * cycle on the progress counter and total occupancy, and produce
- * byte-identical final statistics. Any activation/quiescence bug —
- * a component put to sleep while it still had work, a wire event
- * delivered out of scan order, an RNG stream perturbed by a skipped
- * step — diverges here with the offending cycle named.
+ * Lockstep differential tests between the three simulation kernels:
+ * the activity-driven kernel, the scan kernel (LAPSES_KERNEL=scan),
+ * and the spatially sharded parallel kernel at several intra-job
+ * counts. Over the full router catalog (both models, every routing
+ * algorithm, table scheme and selector, plus every injection process,
+ * fault schedules and telemetry windows), the kernels must agree
+ * cycle by cycle on the progress counter and total occupancy, and
+ * produce byte-identical final statistics. Any activation/quiescence
+ * bug — a component put to sleep while it still had work, a wire
+ * event delivered out of shard/scan order, an RNG stream perturbed by
+ * a skipped step — diverges here with the offending cycle named.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +27,38 @@ namespace lapses
 {
 namespace
 {
+
+/** One kernel under differential test. */
+struct KernelVariant
+{
+    std::string label;
+    KernelKind kernel;
+    unsigned intraJobs; //!< 0 outside the parallel kernel
+};
+
+/** The standard three-way panel: scan is the oracle, active the
+ *  production default, and parallel runs with three shards so a 4x4
+ *  mesh gets uneven cuts (16 = 6+5+5 nodes). */
+std::vector<KernelVariant>
+threeWay()
+{
+    return {{"scan", KernelKind::Scan, 0},
+            {"active", KernelKind::Active, 0},
+            {"parallel/3", KernelKind::Parallel, 3}};
+}
+
+/** The intra-job sweep the issue pins: every power of two up to 8,
+ *  alongside both sequential kernels. */
+std::vector<KernelVariant>
+intraJobSweep()
+{
+    return {{"scan", KernelKind::Scan, 0},
+            {"active", KernelKind::Active, 0},
+            {"parallel/1", KernelKind::Parallel, 1},
+            {"parallel/2", KernelKind::Parallel, 2},
+            {"parallel/4", KernelKind::Parallel, 4},
+            {"parallel/8", KernelKind::Parallel, 8}};
+}
 
 /** The golden-stats scenario: small, fast, unsaturated, fixed seed. */
 SimConfig
@@ -40,7 +75,8 @@ diffBase()
 }
 
 /** One configuration per catalog entry (the golden-stats catalog),
- *  plus one per injection process. */
+ *  plus one per injection process, plus fault-schedule and telemetry
+ *  variants. */
 std::vector<std::pair<std::string, SimConfig>>
 diffCases()
 {
@@ -98,29 +134,161 @@ diffCases()
         cfg.injection = injection;
         add("injection:" + injectionKindName(injection), cfg);
     }
+
+    for (FaultPolicy policy :
+         {FaultPolicy::Reinject, FaultPolicy::Drop}) {
+        SimConfig cfg = diffBase();
+        cfg.faultCount = 2;
+        cfg.faultStart = 300;
+        cfg.faultSpacing = 250;
+        cfg.reconfigLatency = 100;
+        cfg.faultPolicy = policy;
+        add(std::string("faults:") +
+                (policy == FaultPolicy::Drop ? "drop" : "reinject"),
+            cfg);
+    }
+
+    for (Cycle window : {Cycle{1}, Cycle{64}}) {
+        SimConfig cfg = diffBase();
+        cfg.telemetryWindow = window;
+        add("telemetry:window" + std::to_string(window), cfg);
+    }
     return cases;
+}
+
+/** Build one Simulation per variant and check the kernel resolved. */
+std::vector<std::unique_ptr<Simulation>>
+buildVariants(const SimConfig& base,
+              const std::vector<KernelVariant>& variants,
+              const std::string& name)
+{
+    std::vector<std::unique_ptr<Simulation>> sims;
+    sims.reserve(variants.size());
+    for (const KernelVariant& v : variants) {
+        SimConfig cfg = base;
+        cfg.kernel = v.kernel;
+        cfg.intraJobs = v.intraJobs;
+        sims.push_back(std::make_unique<Simulation>(cfg));
+        EXPECT_EQ(sims.back()->network().kernel(), v.kernel)
+            << name << ' ' << v.label;
+        if (v.kernel == KernelKind::Parallel) {
+            EXPECT_EQ(sims.back()->network().shardCount(), v.intraJobs)
+                << name << ' ' << v.label;
+        } else {
+            EXPECT_EQ(sims.back()->network().shardCount(), 1u)
+                << name << ' ' << v.label;
+        }
+    }
+    return sims;
+}
+
+/**
+ * Step every variant one cycle at a time for `cycles` cycles,
+ * asserting after each cycle that all variants agree with variant 0
+ * on the externally visible counters, that every variant's O(1)
+ * counters track their recomputed sums, and that the parallel
+ * kernel's per-shard work counters merge to exactly the active
+ * kernel's totals (the shards must not duplicate or drop steps).
+ */
+void
+lockstep(std::vector<std::unique_ptr<Simulation>>& sims,
+         const std::vector<KernelVariant>& variants,
+         const std::string& name, Cycle cycles)
+{
+    // Index of the active-kernel variant: the work-counter reference.
+    std::size_t active_idx = variants.size();
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        if (variants[i].kernel == KernelKind::Active)
+            active_idx = i;
+    }
+
+    Simulation& ref = *sims.front();
+    for (Cycle t = 0; t < cycles; ++t) {
+        for (auto& sim : sims)
+            sim->stepCycles(1);
+        for (std::size_t i = 1; i < sims.size(); ++i) {
+            Network& net = sims[i]->network();
+            ASSERT_EQ(net.progressCounter(),
+                      ref.network().progressCounter())
+                << name << ' ' << variants[i].label
+                << " diverged at cycle " << t;
+            ASSERT_EQ(net.totalOccupancy(),
+                      ref.network().totalOccupancy())
+                << name << ' ' << variants[i].label
+                << " diverged at cycle " << t;
+            ASSERT_EQ(net.deliveredTotal(), ref.network().deliveredTotal())
+                << name << ' ' << variants[i].label
+                << " diverged at cycle " << t;
+        }
+        // The O(1) counters must track their recomputed sums — for the
+        // parallel kernel this pins the barrier merge of the per-shard
+        // occupancy/progress deltas every single cycle.
+        for (std::size_t i = 0; i < sims.size(); ++i) {
+            Network& net = sims[i]->network();
+            ASSERT_EQ(net.totalOccupancy(), net.totalOccupancySlow())
+                << name << ' ' << variants[i].label
+                << " occupancy counter drift at cycle " << t;
+            ASSERT_EQ(net.progressCounter(), net.progressCounterSlow())
+                << name << ' ' << variants[i].label
+                << " progress counter drift at cycle " << t;
+        }
+        // Sharding repartitions work, it must not change it: merged
+        // per-shard counters equal the active kernel's, cycle-level.
+        if (active_idx < sims.size()) {
+            const Network::KernelCounters ac =
+                sims[active_idx]->network().kernelCounters();
+            for (std::size_t i = 0; i < sims.size(); ++i) {
+                if (variants[i].kernel != KernelKind::Parallel)
+                    continue;
+                const Network::KernelCounters pc =
+                    sims[i]->network().kernelCounters();
+                ASSERT_EQ(pc.nicSteps, ac.nicSteps)
+                    << name << ' ' << variants[i].label
+                    << " NIC step drift at cycle " << t;
+                ASSERT_EQ(pc.routerSteps, ac.routerSteps)
+                    << name << ' ' << variants[i].label
+                    << " router step drift at cycle " << t;
+                ASSERT_EQ(pc.wireEventsDelivered,
+                          ac.wireEventsDelivered)
+                    << name << ' ' << variants[i].label
+                    << " wire event drift at cycle " << t;
+                ASSERT_EQ(pc.fastForwardedCycles,
+                          ac.fastForwardedCycles)
+                    << name << ' ' << variants[i].label
+                    << " fast-forward drift at cycle " << t;
+            }
+        }
+    }
 }
 
 /** Every field of SimStats, compared exactly (byte identity). */
 void
-expectStatsIdentical(const SimStats& scan, const SimStats& active,
+expectStatsIdentical(const SimStats& scan, const SimStats& other,
                      const std::string& name)
 {
-    EXPECT_EQ(scan.saturated, active.saturated) << name;
-    EXPECT_EQ(scan.injectedMessages, active.injectedMessages) << name;
-    EXPECT_EQ(scan.deliveredMessages, active.deliveredMessages)
+    EXPECT_EQ(scan.saturated, other.saturated) << name;
+    EXPECT_EQ(scan.injectedMessages, other.injectedMessages) << name;
+    EXPECT_EQ(scan.deliveredMessages, other.deliveredMessages)
         << name;
-    EXPECT_EQ(scan.deliveredFlits, active.deliveredFlits) << name;
-    EXPECT_EQ(scan.measuredCycles, active.measuredCycles) << name;
-    EXPECT_EQ(scan.acceptedFlitRate, active.acceptedFlitRate) << name;
-    EXPECT_EQ(scan.offeredFlitRate, active.offeredFlitRate) << name;
+    EXPECT_EQ(scan.deliveredFlits, other.deliveredFlits) << name;
+    EXPECT_EQ(scan.measuredCycles, other.measuredCycles) << name;
+    EXPECT_EQ(scan.acceptedFlitRate, other.acceptedFlitRate) << name;
+    EXPECT_EQ(scan.offeredFlitRate, other.offeredFlitRate) << name;
+    EXPECT_EQ(scan.linkDownEvents, other.linkDownEvents) << name;
+    EXPECT_EQ(scan.linkUpEvents, other.linkUpEvents) << name;
+    EXPECT_EQ(scan.reconfigurations, other.reconfigurations) << name;
+    EXPECT_EQ(scan.droppedMessages, other.droppedMessages) << name;
+    EXPECT_EQ(scan.droppedFlits, other.droppedFlits) << name;
+    EXPECT_EQ(scan.reinjectedMessages, other.reinjectedMessages)
+        << name;
+    EXPECT_EQ(scan.reroutedHeads, other.reroutedHeads) << name;
     for (const auto& [label, s, a] :
          {std::tuple<const char*, const Accumulator&,
                      const Accumulator&>{
-              "totalLatency", scan.totalLatency, active.totalLatency},
+              "totalLatency", scan.totalLatency, other.totalLatency},
           {"networkLatency", scan.networkLatency,
-           active.networkLatency},
-          {"hops", scan.hops, active.hops}}) {
+           other.networkLatency},
+          {"hops", scan.hops, other.hops}}) {
         EXPECT_EQ(s.count(), a.count()) << name << ' ' << label;
         EXPECT_EQ(s.mean(), a.mean()) << name << ' ' << label;
         EXPECT_EQ(s.min(), a.min()) << name << ' ' << label;
@@ -129,53 +297,49 @@ expectStatsIdentical(const SimStats& scan, const SimStats& active,
     }
     for (double q : {0.5, 0.9, 0.99}) {
         EXPECT_EQ(scan.latencyHist.percentile(q),
-                  active.latencyHist.percentile(q))
+                  other.latencyHist.percentile(q))
             << name << " p" << q;
     }
 }
 
 TEST(KernelDifferential, LockstepOverCatalog)
 {
+    const auto variants = threeWay();
     for (const auto& [name, base] : diffCases()) {
-        SimConfig scan_cfg = base;
-        scan_cfg.kernel = KernelKind::Scan;
-        SimConfig active_cfg = base;
-        active_cfg.kernel = KernelKind::Active;
-        Simulation scan(scan_cfg);
-        Simulation active(active_cfg);
-        ASSERT_EQ(scan.network().kernel(), KernelKind::Scan) << name;
-        ASSERT_EQ(active.network().kernel(), KernelKind::Active)
-            << name;
-
-        for (Cycle t = 0; t < 800; ++t) {
-            scan.stepCycles(1);
-            active.stepCycles(1);
-            ASSERT_EQ(scan.network().progressCounter(),
-                      active.network().progressCounter())
-                << name << " diverged at cycle " << t;
-            ASSERT_EQ(scan.network().totalOccupancy(),
-                      active.network().totalOccupancy())
-                << name << " diverged at cycle " << t;
-            ASSERT_EQ(scan.network().deliveredTotal(),
-                      active.network().deliveredTotal())
-                << name << " diverged at cycle " << t;
-            // The O(1) counters must track their recomputed sums.
-            ASSERT_EQ(active.network().totalOccupancy(),
-                      active.network().totalOccupancySlow())
-                << name << " occupancy counter drift at cycle " << t;
-            ASSERT_EQ(active.network().progressCounter(),
-                      active.network().progressCounterSlow())
-                << name << " progress counter drift at cycle " << t;
-        }
+        auto sims = buildVariants(base, variants, name);
+        lockstep(sims, variants, name, 800);
     }
+}
+
+TEST(KernelDifferential, IntraJobSweepUnderFaultsAndTelemetry)
+{
+    // The issue's pinned matrix: scan vs active vs parallel at 1, 2,
+    // 4 and 8 intra-jobs, with a live fault schedule (link death,
+    // reconfiguration, reinjection) and a telemetry window, stepping
+    // through the fault epochs in lockstep. Shard counts 1 (single
+    // shard — the parallel machinery with no concurrency), 2/4
+    // (balanced cuts) and 8 (2-node slivers) all reduce to the same
+    // byte-identical run.
+    SimConfig base = diffBase();
+    base.faultCount = 2;
+    base.faultStart = 250;
+    base.faultSpacing = 300;
+    base.reconfigLatency = 80;
+    base.telemetryWindow = 64;
+    const auto variants = intraJobSweep();
+    auto sims = buildVariants(base, variants, "intra-sweep");
+    lockstep(sims, variants, "intra-sweep", 1000);
 }
 
 TEST(KernelDifferential, SaturationLockstepOverTablesAndTraffic)
 {
     // The occupied-VC hot path earns its keep past the knee, so pin
     // byte-identity exactly there: dense uniform and hotspot traffic
-    // at saturating load, across every table kind. The two kernels
-    // must agree cycle by cycle while routers run full.
+    // at saturating load, across every table kind. All kernels must
+    // agree cycle by cycle while routers run full — for the parallel
+    // kernel this is the regime where every shard has work and all
+    // stepping really happens concurrently.
+    const auto variants = threeWay();
     for (TableKind table :
          {TableKind::Full, TableKind::MetaRowMinimal,
           TableKind::MetaBlockMaximal, TableKind::EconomicalStorage,
@@ -192,45 +356,18 @@ TEST(KernelDifferential, SaturationLockstepOverTablesAndTraffic)
                 "saturation:" + tableKindName(table) + '+' +
                 trafficKindName(traffic);
 
-            SimConfig scan_cfg = base;
-            scan_cfg.kernel = KernelKind::Scan;
-            SimConfig active_cfg = base;
-            active_cfg.kernel = KernelKind::Active;
-            Simulation scan(scan_cfg);
-            Simulation active(active_cfg);
+            auto sims = buildVariants(base, variants, name);
             // Let the network fill well past the knee, then lockstep.
-            scan.stepCycles(400);
-            active.stepCycles(400);
-            for (Cycle t = 0; t < 400; ++t) {
-                scan.stepCycles(1);
-                active.stepCycles(1);
-                ASSERT_EQ(scan.network().progressCounter(),
-                          active.network().progressCounter())
-                    << name << " diverged at cycle " << t;
-                ASSERT_EQ(scan.network().totalOccupancy(),
-                          active.network().totalOccupancy())
-                    << name << " diverged at cycle " << t;
-                ASSERT_EQ(scan.network().deliveredTotal(),
-                          active.network().deliveredTotal())
-                    << name << " diverged at cycle " << t;
-                ASSERT_EQ(active.network().totalOccupancy(),
-                          active.network().totalOccupancySlow())
-                    << name << " occupancy drift at cycle " << t;
-                ASSERT_EQ(scan.network().totalOccupancy(),
-                          scan.network().totalOccupancySlow())
-                    << name << " scan occupancy drift at cycle " << t;
-                ASSERT_EQ(active.network().progressCounter(),
-                          active.network().progressCounterSlow())
-                    << name << " progress drift at cycle " << t;
-            }
+            for (auto& sim : sims)
+                sim->stepCycles(400);
+            lockstep(sims, variants, name, 400);
             // The saturated network is genuinely loaded (the regime
             // under test) and the descriptor pool is bounded by the
             // in-flight population, not by messages ever created.
-            EXPECT_GT(active.network().totalOccupancy(), 0u) << name;
-            EXPECT_LT(
-                active.network().messagePool().capacity(),
-                static_cast<std::size_t>(
-                    active.network().createdTotal()))
+            Network& active = sims[1]->network();
+            EXPECT_GT(active.totalOccupancy(), 0u) << name;
+            EXPECT_LT(active.messagePool().capacity(),
+                      static_cast<std::size_t>(active.createdTotal()))
                 << name;
         }
     }
@@ -238,23 +375,25 @@ TEST(KernelDifferential, SaturationLockstepOverTablesAndTraffic)
 
 TEST(KernelDifferential, FinalStatsByteIdenticalOverCatalog)
 {
+    const auto variants = threeWay();
     for (const auto& [name, base] : diffCases()) {
-        SimConfig scan_cfg = base;
-        scan_cfg.kernel = KernelKind::Scan;
-        SimConfig active_cfg = base;
-        active_cfg.kernel = KernelKind::Active;
-        Simulation scan(scan_cfg);
-        Simulation active(active_cfg);
-        const SimStats scan_stats = scan.run();
-        const SimStats active_stats = active.run();
-        expectStatsIdentical(scan_stats, active_stats, name);
-        // The whole-run cycle clocks must agree too: the active
-        // kernel's fast-forward may skip stepping dead cycles but
-        // never bends the time axis.
-        EXPECT_EQ(scan.network().now(), active.network().now()) << name;
-        EXPECT_EQ(scan.network().progressCounter(),
-                  active.network().progressCounter())
-            << name;
+        auto sims = buildVariants(base, variants, name);
+        std::vector<SimStats> stats;
+        stats.reserve(sims.size());
+        for (auto& sim : sims)
+            stats.push_back(sim->run());
+        for (std::size_t i = 1; i < sims.size(); ++i) {
+            expectStatsIdentical(stats[0], stats[i],
+                                 name + " vs " + variants[i].label);
+            // The whole-run cycle clocks must agree too: fast-forward
+            // may skip stepping dead cycles but never bends the time
+            // axis.
+            EXPECT_EQ(sims[0]->network().now(), sims[i]->network().now())
+                << name << ' ' << variants[i].label;
+            EXPECT_EQ(sims[0]->network().progressCounter(),
+                      sims[i]->network().progressCounter())
+                << name << ' ' << variants[i].label;
+        }
     }
 }
 
@@ -267,21 +406,24 @@ TEST(KernelDifferential, SaturatedRunsAgree)
     base.normalizedLoad = 1.2;
     base.measureMessages = 600;
     base.maxCycles = 60000;
+    const auto variants = threeWay();
     for (SelectorKind selector :
          {SelectorKind::StaticXY, SelectorKind::Random}) {
-        SimConfig scan_cfg = base;
-        scan_cfg.selector = selector;
-        scan_cfg.kernel = KernelKind::Scan;
-        SimConfig active_cfg = scan_cfg;
-        active_cfg.kernel = KernelKind::Active;
-        Simulation scan(scan_cfg);
-        Simulation active(active_cfg);
-        const SimStats scan_stats = scan.run();
-        const SimStats active_stats = active.run();
+        SimConfig cfg = base;
+        cfg.selector = selector;
         const std::string name =
             "saturated:" + selectorKindName(selector);
-        expectStatsIdentical(scan_stats, active_stats, name);
-        EXPECT_EQ(scan.network().now(), active.network().now()) << name;
+        auto sims = buildVariants(cfg, variants, name);
+        std::vector<SimStats> stats;
+        for (auto& sim : sims)
+            stats.push_back(sim->run());
+        for (std::size_t i = 1; i < sims.size(); ++i) {
+            expectStatsIdentical(stats[0], stats[i],
+                                 name + " vs " + variants[i].label);
+            EXPECT_EQ(sims[0]->network().now(),
+                      sims[i]->network().now())
+                << name << ' ' << variants[i].label;
+        }
     }
 }
 

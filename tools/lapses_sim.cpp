@@ -85,6 +85,10 @@ printHelp()
         "  --warmup N           warm-up messages    [1000]\n"
         "  --measure N          measured messages   [10000]\n"
         "  --seed N             RNG seed            [1]\n"
+        "  --intra-jobs N       parallel-kernel shard threads (with\n"
+        "                       LAPSES_KERNEL=parallel; 0 = auto via\n"
+        "                       LAPSES_INTRA_JOBS / hardware). Never\n"
+        "                       changes results               [0]\n"
         "\n"
         "Telemetry / tracing (README \"Telemetry & tracing\"; single\n"
         "point only, not --sweep):\n"
@@ -246,6 +250,9 @@ main(int argc, char** argv)
                 cfg.measureMessages = parseCheckedU64(arg, value());
             } else if (arg == "--seed") {
                 cfg.seed = parseCheckedU64(arg, value());
+            } else if (arg == "--intra-jobs") {
+                cfg.intraJobs = static_cast<unsigned>(
+                    parseCheckedInt(arg, value(), 0, int_max));
             } else if (arg == "--telemetry-window") {
                 cfg.telemetryWindow = parseCheckedU64(arg, value());
             } else if (arg == "--telemetry-out") {
@@ -364,9 +371,7 @@ main(int argc, char** argv)
                     "  telemetry     %9.3f ms\n"
                     "  total timed   %9.3f ms  (%llu cycles "
                     "fast-forwarded)\n",
-                    sim.network().kernel() == KernelKind::Active
-                        ? "active"
-                        : "scan",
+                    kernelKindName(sim.network().kernel()),
                     prof.wireDrainSeconds * 1e3,
                     static_cast<unsigned long long>(
                         kc.wireEventsDelivered),
