@@ -36,11 +36,13 @@ import sys
 ACTIVE_ARG = "/1"  # KernelKind::Active
 SCAN_ARG = "/2"    # KernelKind::Scan
 
-# The BM_KernelParallel* cases use a different arg encoding: /0 is the
-# active-kernel reference, /N (N > 0) the parallel kernel at N
-# intra-jobs. A case family with a /0 member is gated on the
-# parallel/active ratio of each member instead of active/scan.
-PARALLEL_REF_ARG = "/0"
+# The BM_KernelParallel* cases use a different arg encoding: an
+# all-zero-args member (/0, or /0/0 for two-arg families such as the
+# batched Args({jobs, batch}) cases) is the active-kernel reference,
+# every other member the parallel kernel at those args. A case family
+# with such a reference is gated on the parallel/active ratio of each
+# member instead of active/scan.
+PARALLEL_REF_SUFFIXES = ("/0", "/0/0")
 
 
 def load_ratios(path):
@@ -49,6 +51,11 @@ def load_ratios(path):
     When the file was produced with --benchmark_repetitions, the
     median aggregate is used (stable against scheduler noise on
     shared runners); otherwise the single iteration row.
+
+    Families are grouped by the bare case name (everything before the
+    first '/'), so benchmarks with any number of args — including the
+    two-arg Args({jobs, batch}) batched-kernel cases — land in the
+    same family as their reference member.
     """
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -62,23 +69,26 @@ def load_ratios(path):
             continue
         rates.setdefault(bench["name"], bench["items_per_second"])
     rates.update(medians)
-    parallel_refs = {
-        name[: -len(PARALLEL_REF_ARG)]
-        for name in rates
-        if name.endswith(PARALLEL_REF_ARG)
-    }
+    families = {}
+    for name, rate in rates.items():
+        families.setdefault(name.split("/")[0], {})[name] = rate
     ratios = {}
-    for name, rate in sorted(rates.items()):
-        case, _, arg = name.rpartition("/")
-        if case in parallel_refs:
+    for case, members in sorted(families.items()):
+        ref_name = next(
+            (case + suffix for suffix in PARALLEL_REF_SUFFIXES
+             if case + suffix in members),
+            None,
+        )
+        if ref_name is not None:
             # Parallel family: every non-reference member is gated on
-            # its speedup over the /0 active reference.
-            if arg != "0":
-                ratios[name] = rate / rates[case + PARALLEL_REF_ARG]
-        elif name.endswith(ACTIVE_ARG):
-            scan = rates.get(case + SCAN_ARG)
-            if scan:
-                ratios[case] = rate / scan
+            # its speedup over the active-kernel reference.
+            for name, rate in sorted(members.items()):
+                if name != ref_name:
+                    ratios[name] = rate / members[ref_name]
+        elif (case + ACTIVE_ARG in members
+              and case + SCAN_ARG in members):
+            ratios[case] = (members[case + ACTIVE_ARG]
+                            / members[case + SCAN_ARG])
     if not ratios:
         raise SystemExit(f"{path}: no gateable benchmark pairs found")
     return ratios, build_type

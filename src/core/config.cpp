@@ -45,6 +45,8 @@ SimConfig::validate() const
         throw ConfigError("faultCount must be >= 0");
     if (faultCount > 0 && faultSpacing < 1)
         throw ConfigError("faultSpacing must be >= 1");
+    if (linkDelay < 1 || linkDelay > 64)
+        throw ConfigError("linkDelay must be in [1, 64]");
 }
 
 std::string

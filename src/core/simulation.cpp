@@ -7,6 +7,14 @@ namespace lapses
 namespace
 {
 
+/** Cycles between phase-predicate evaluations inside a saturation
+ *  window. Every kernel steps to the same quantum boundaries (the
+ *  quantum is the stepUntil horizon, so a parallel-kernel batch never
+ *  crosses one), which makes phase transitions — measure start/end,
+ *  drain end — land on identical cycles and keeps the results
+ *  byte-identical across kernels, shard counts and batch caps. */
+constexpr Cycle kPhaseQuantum = 8;
+
 int
 resolveEscapeVcs(const SimConfig& cfg, const RoutingAlgorithm& algo)
 {
@@ -20,6 +28,23 @@ resolveEscapeVcs(const SimConfig& cfg, const RoutingAlgorithm& algo)
     const bool meta = cfg.table == TableKind::MetaRowMinimal ||
                       cfg.table == TableKind::MetaBlockMaximal;
     return std::max(algo.escapeClasses(), meta ? 2 : 1);
+}
+
+/** Merge get(lane) over lanes [begin, end) with a pairwise tree
+ *  (recursive midpoint split). The tree shape depends only on the
+ *  lane count, never on delivery order or shard layout, so the merged
+ *  Welford state is bit-for-bit reproducible. */
+template <typename Get>
+Accumulator
+reduceTree(const std::vector<Simulation::DeliveryLane>& lanes,
+           std::size_t begin, std::size_t end, Get get)
+{
+    if (end - begin == 1)
+        return get(lanes[begin]);
+    const std::size_t mid = begin + (end - begin) / 2;
+    Accumulator left = reduceTree(lanes, begin, mid, get);
+    left.merge(reduceTree(lanes, mid, end, get));
+    return left;
 }
 
 } // namespace
@@ -72,6 +97,8 @@ Simulation::Simulation(const SimConfig& cfg)
     np.seed = cfg_.seed;
     np.kernel = cfg_.kernel;
     np.intraJobs = cfg_.intraJobs;
+    np.linkDelay = cfg_.linkDelay;
+    np.maxBatch = cfg_.maxBatchCycles;
     np.telemetryWindow = cfg_.telemetryWindow;
     np.faults = std::move(faults);
     np.reconfigLatency = cfg_.reconfigLatency;
@@ -88,6 +115,17 @@ Simulation::Simulation(const SimConfig& cfg)
                                      *pattern_);
     net_->setDeliveryHook(&Simulation::deliveryHook, this);
 
+    // Delivery-side accumulators: one lane per destination node (node
+    // d ejects on the thread owning d's shard, so lane writes never
+    // race), one integer tally per shard. reduceStats() folds them
+    // into stats_ at phase boundaries and saturation checks.
+    lanes_.resize(topo_.numNodes());
+    tallies_.reserve(net_->shardCount());
+    for (std::size_t s = 0; s < net_->shardCount(); ++s) {
+        tallies_.emplace_back(stats_.latencyHist.bucketWidth(),
+                              stats_.latencyHist.numBuckets());
+    }
+
     stats_.offeredFlitRate = np.nic.msgsPerCycle * cfg_.msgLen;
 }
 
@@ -103,27 +141,66 @@ Simulation::deliveryHook(void* ctx, const MessageDescriptor& msg,
 void
 Simulation::recordDelivery(const MessageDescriptor& msg, Cycle now)
 {
+    // Runs on the thread that ejected the message (a shard worker
+    // under the parallel kernel): only the per-destination lane and
+    // the owning shard's tally may be touched here. measuring_window_
+    // and lastFaultCycle() are written in sequential phases only.
+    ShardTally& tally = tallies_[net_->shardOf(msg.dest)];
     if (measuring_window_)
-        window_flits_ += msg.msgLen;
+        tally.windowFlits += msg.msgLen;
     if (!msg.measured)
         return;
     const auto total = static_cast<double>(now - msg.createdAt);
     const auto network = static_cast<double>(now - msg.injectedAt);
-    stats_.totalLatency.add(total);
-    stats_.networkLatency.add(network);
-    stats_.latencyHist.add(total);
-    stats_.hops.add(static_cast<double>(msg.hops));
-    ++stats_.deliveredMessages;
-    stats_.deliveredFlits += msg.msgLen;
+    DeliveryLane& lane = lanes_[msg.dest];
+    lane.totalLatency.add(total);
+    lane.networkLatency.add(network);
+    lane.hops.add(static_cast<double>(msg.hops));
+    tally.latencyHist.add(total);
+    ++tally.deliveredMessages;
+    tally.deliveredFlits += msg.msgLen;
     // Post-fault recovery curve: bucket deliveries by cycles elapsed
     // since the most recent fault event.
     const Cycle last_fault = net_->lastFaultCycle();
     if (last_fault != kNeverCycle) {
-        stats_.postFaultLatency.add(total);
+        lane.postFaultLatency.add(total);
         const auto bucket = std::min<std::size_t>(
             (now - last_fault) / SimStats::kRecoveryBucketCycles,
             SimStats::kRecoveryBuckets - 1);
-        stats_.recoveryCurve[bucket].add(total);
+        lane.recoveryCurve[bucket].add(total);
+    }
+}
+
+void
+Simulation::reduceStats()
+{
+    const std::size_t n = lanes_.size();
+    stats_.totalLatency = reduceTree(
+        lanes_, 0, n,
+        [](const DeliveryLane& l) { return l.totalLatency; });
+    stats_.networkLatency = reduceTree(
+        lanes_, 0, n,
+        [](const DeliveryLane& l) { return l.networkLatency; });
+    stats_.hops = reduceTree(
+        lanes_, 0, n, [](const DeliveryLane& l) { return l.hops; });
+    stats_.postFaultLatency = reduceTree(
+        lanes_, 0, n,
+        [](const DeliveryLane& l) { return l.postFaultLatency; });
+    for (std::size_t b = 0; b < SimStats::kRecoveryBuckets; ++b) {
+        stats_.recoveryCurve[b] = reduceTree(
+            lanes_, 0, n,
+            [b](const DeliveryLane& l) { return l.recoveryCurve[b]; });
+    }
+
+    stats_.latencyHist.reset();
+    stats_.deliveredMessages = 0;
+    stats_.deliveredFlits = 0;
+    window_flits_ = 0;
+    for (const ShardTally& t : tallies_) {
+        stats_.latencyHist.merge(t.latencyHist);
+        stats_.deliveredMessages += t.deliveredMessages;
+        stats_.deliveredFlits += t.deliveredFlits;
+        window_flits_ += t.windowFlits;
     }
 }
 
@@ -132,6 +209,11 @@ Simulation::saturationCheck()
 {
     Network& net = *net_;
     const Cycle now = net.now();
+
+    // Fold the per-node lanes and per-shard tallies into stats_ so the
+    // latency cutoff below sees current values. Runs between stepping
+    // slices, so no shard worker is touching the sources.
+    reduceStats();
 
     // Deadlock watchdog: flits are in the network but nothing moved for
     // a long time. This is a configuration error (non-deadlock-free
@@ -168,13 +250,20 @@ Simulation::runUntil(Pred pred)
     while (!pred()) {
         // Batch cycles between saturation checks to keep the check off
         // the per-cycle fast path. The 256-cycle window is measured on
-        // the cycle clock, not in step() calls, so both kernels run
-        // saturationCheck() at identical cycles and stay
+        // the cycle clock, not in step() calls, so every kernel runs
+        // saturationCheck() at identical cycles and stays
         // byte-identical; inside a window the active kernel
-        // fast-forwards idle stretches via stepUntil.
+        // fast-forwards idle stretches via stepUntil and the phase
+        // predicate is evaluated on the fixed kPhaseQuantum grid.
         const Cycle window_end = net.now() + 256;
-        while (net.now() < window_end && !pred())
-            net.stepUntil(window_end);
+        while (net.now() < window_end && !pred()) {
+            Cycle q = net.now() + kPhaseQuantum -
+                      net.now() % kPhaseQuantum;
+            if (q > window_end)
+                q = window_end;
+            while (net.now() < q)
+                net.stepUntil(q);
+        }
         if (saturationCheck()) {
             stats_.saturated = true;
             return false;
@@ -230,6 +319,7 @@ Simulation::runPhases()
     }
 
     stats_.measuredCycles = measure_end_ - measure_start_;
+    reduceStats();
     if (stats_.measuredCycles > 0) {
         stats_.acceptedFlitRate =
             static_cast<double>(window_flits_) /
@@ -242,6 +332,9 @@ SimStats
 Simulation::run()
 {
     runPhases();
+    // Every exit path — including saturation and the early returns in
+    // runPhases — reports fully reduced statistics.
+    reduceStats();
     // Resilience counters accumulate in the network across all
     // phases; every exit path (including saturation) reports them.
     const Network::FaultCounters& fc = net_->faultCounters();

@@ -12,7 +12,9 @@
 #ifndef LAPSES_CORE_SIMULATION_HPP
 #define LAPSES_CORE_SIMULATION_HPP
 
+#include <array>
 #include <memory>
+#include <vector>
 
 #include "core/config.hpp"
 #include "network/network.hpp"
@@ -52,6 +54,40 @@ class Simulation
     /** The effective escape-VC count after auto-resolution. */
     int effectiveEscapeVcs() const { return escape_vcs_; }
 
+    /**
+     * Per-destination-node statistics accumulators (DESIGN.md "Sharded
+     * stats reduction"). Node d's deliveries all eject on the thread
+     * owning d's shard, so lane writes are race-free under the
+     * parallel kernel with no locks; the lane granularity is the node
+     * (not the shard) so the reduction shape — and therefore every
+     * floating-point result — is independent of the shard count.
+     */
+    struct DeliveryLane
+    {
+        Accumulator totalLatency;
+        Accumulator networkLatency;
+        Accumulator hops;
+        Accumulator postFaultLatency;
+        std::array<Accumulator, SimStats::kRecoveryBuckets>
+            recoveryCurve{};
+    };
+
+    /** Per-shard integer tallies. Integer sums are exact and
+     *  order-independent, so these may be kept at shard granularity
+     *  (one histogram per node would be wasteful). */
+    struct ShardTally
+    {
+        ShardTally(double hist_width, std::size_t hist_buckets)
+            : latencyHist(hist_width, hist_buckets)
+        {
+        }
+
+        Histogram latencyHist;
+        std::uint64_t deliveredMessages = 0;
+        std::uint64_t deliveredFlits = 0;
+        std::uint64_t windowFlits = 0;
+    };
+
   private:
     static void deliveryHook(void* ctx, const MessageDescriptor& msg,
                              Cycle now);
@@ -65,6 +101,13 @@ class Simulation
     /** Periodic saturation / deadlock checks. */
     bool saturationCheck();
 
+    /** Fold lanes_ and tallies_ into stats_ (idempotent: recomputes
+     *  from scratch). Accumulators merge over a fixed-shape pairwise
+     *  tree whose shape depends only on the node count, so the merged
+     *  floating-point values are byte-identical for every kernel,
+     *  shard count and batch size. */
+    void reduceStats();
+
     /** The warm-up / measure / drain phases (body of run()). */
     void runPhases();
 
@@ -77,6 +120,8 @@ class Simulation
     int escape_vcs_;
 
     SimStats stats_;
+    std::vector<DeliveryLane> lanes_;  //!< indexed by destination node
+    std::vector<ShardTally> tallies_;  //!< indexed by owning shard
     bool measuring_window_ = false;
     Cycle measure_start_ = 0;
     Cycle measure_end_ = 0;

@@ -69,6 +69,15 @@ class ThreadPool
     /** Block until every task submitted so far has finished. */
     void waitIdle();
 
+    /**
+     * Schedule fn() on the pool without a future. The caller owns
+     * completion tracking and error propagation (e.g. the parallel
+     * kernel's own barrier) — nothing is allocated per call beyond the
+     * type-erased task itself, which keeps per-cycle fan-out cheap.
+     * fn() must not throw; a post()ed task that throws terminates.
+     */
+    void post(std::function<void()> fn) { enqueue(std::move(fn)); }
+
   private:
     using Task = std::function<void()>;
 

@@ -95,24 +95,57 @@ resolveIntraJobs(unsigned requested)
     return std::min(jobs, MessagePool::kMaxBanks);
 }
 
+Cycle
+resolveMaxBatchCycles(Cycle requested, Cycle linkDelay)
+{
+    Cycle cap = requested;
+    if (cap == 0) {
+        const char* env = std::getenv("LAPSES_MAX_BATCH");
+        if (env != nullptr && *env != '\0') {
+            char* end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (end == env || *end != '\0' || v < 1) {
+                throw ConfigError("bad LAPSES_MAX_BATCH value '" +
+                                  std::string(env) +
+                                  "' (want a positive integer)");
+            }
+            cap = static_cast<Cycle>(v);
+        }
+    }
+    if (cap == 0)
+        cap = linkDelay + 1;
+    // Events emitted at shard-local cycle t are due t + linkDelay + 1,
+    // so a batch of linkDelay + 1 cycles can never consume anything
+    // produced inside itself — the largest provably safe window.
+    return std::min(cap, linkDelay + 1);
+}
+
+thread_local Network::Shard* Network::tls_shard_ = nullptr;
+
 void
 Network::RouterEnv::flitOut(PortId out_port, VcId out_vc,
                             const Flit& flit)
 {
+    // The shard-local clock, not now_: mid-batch the sender may be
+    // ahead of the global cycle, and its emissions must land relative
+    // to its own time axis.
     Network& net = *net_;
-    const Cycle due = net.now_ + 1 + net.params_.linkDelay;
-    net.flit_wires_[net.wireIndex(id_, out_port)].push(
-        {flit, out_vc, due});
-    net.scheduleWire(id_, net.flitWireKey(id_, out_port), due);
+    const std::size_t w = net.wireIndex(id_, out_port);
+    const Cycle due = sh_->now + 1 + net.params_.linkDelay;
+    net.flit_wires_[w].push({flit, out_vc, due});
+    net.scheduleWire(*sh_, net.flitWireKey(id_, out_port), due,
+                     net.boundary_wire_[w] != 0);
 }
 
 void
 Network::RouterEnv::creditOut(PortId in_port, VcId vc)
 {
     Network& net = *net_;
-    const Cycle due = net.now_ + 1 + net.params_.linkDelay;
-    net.credit_wires_[net.wireIndex(id_, in_port)].push({vc, due});
-    net.scheduleWire(id_, net.creditWireKey(id_, in_port), due);
+    const std::size_t w = net.wireIndex(id_, in_port);
+    const Cycle due = sh_->now + 1 + net.params_.linkDelay;
+    net.credit_wires_[w].push({vc, due});
+    net.scheduleWire(*sh_, net.creditWireKey(id_, in_port), due,
+                     net.boundary_wire_[w] != 0);
 }
 
 void
@@ -124,25 +157,25 @@ Network::RouterEnv::headUnroutable(PortId in_port, VcId vc)
     // a cross-shard write from a stepping thread. Each shard collects
     // its own reports; processPendingUnroutable() merges and sorts
     // them after the step loops, identically under every kernel.
-    Network& net = *net_;
-    net.shards_[net.shard_of_[static_cast<std::size_t>(id_)]]
-        .pending_unroutable.emplace_back(id_, in_port, vc);
+    sh_->pending_unroutable.emplace_back(id_, in_port, vc);
 }
 
 void
 Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
 {
     Network& net = *net_;
-    const Cycle due = net.now_ + 1 + net.params_.linkDelay;
+    const Cycle due = sh_->now + 1 + net.params_.linkDelay;
     net.inject_wires_[static_cast<std::size_t>(id_)].push(
         {flit, vc, due});
-    net.scheduleWire(id_, net.injectWireKey(id_), due);
+    // Injection wires deliver to the sender's own router: always
+    // intra-shard.
+    net.scheduleWire(*sh_, net.injectWireKey(id_), due,
+                     /*boundary=*/false);
     // The flit enters the tracked domain (wires + router FIFOs). The
     // global occupancy counter belongs to the sequential phases;
     // stepping threads record the delta shard-locally and the barrier
     // merge folds it in.
-    ++net.shards_[net.shard_of_[static_cast<std::size_t>(id_)]]
-          .injected_flits;
+    ++sh_->injected_flits;
 }
 
 Network::Network(const MeshTopology& topo, const NetworkParams& params,
@@ -291,13 +324,44 @@ Network::buildShards()
         for (NodeId id = 0; id < n; ++id)
             activateNic(id);
     }
+    // Classify every wire once: flit and credit wires at (node, port)
+    // both connect to neighbor(node, port), so one table serves both
+    // kinds. Port 0 (ejection / NIC credit) and injection wires stay
+    // with their own node, hence intra-shard by construction.
+    boundary_wire_.assign(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(
+                                  topo_.numPorts()),
+                          0);
+    if (s_count > 1) {
+        for (NodeId id = 0; id < n; ++id) {
+            for (PortId p = 1; p < topo_.numPorts(); ++p) {
+                const NodeId peer = topo_.neighbor(id, p);
+                if (peer != kInvalidNode &&
+                    shard_of_[static_cast<std::size_t>(peer)] !=
+                        shard_of_[static_cast<std::size_t>(id)]) {
+                    boundary_wire_[wireIndex(id, p)] = 1;
+                }
+            }
+        }
+    }
+    // Rebind the env adapters to their owning shards: emissions read
+    // the shard-local clock and calendar cursor.
+    for (NodeId id = 0; id < n; ++id) {
+        Shard* sh = &shards_[shard_of_[static_cast<std::size_t>(id)]];
+        router_envs_[static_cast<std::size_t>(id)].setShard(sh);
+        nic_envs_[static_cast<std::size_t>(id)].setShard(sh);
+    }
+    batch_cap_ = kernel_ == KernelKind::Parallel
+                     ? resolveMaxBatchCycles(params_.maxBatch,
+                                             params_.linkDelay)
+                     : 1;
     // Workers for shards 1..S-1; the caller thread steps shard 0.
     // The pool is per-network, so campaign workers that each own a
     // parallel network can never deadlock on a shared pool.
+    shard_errors_.resize(s_count);
     if (s_count > 1) {
         intra_pool_ = std::make_unique<ThreadPool>(
             static_cast<unsigned>(s_count - 1));
-        intra_futures_.reserve(s_count - 1);
     }
 }
 
@@ -328,21 +392,21 @@ Network::captureTelemetryWindow()
 }
 
 void
-Network::scheduleWire(NodeId node, std::int32_t key, Cycle due)
+Network::scheduleWire(Shard& sh, std::int32_t key, Cycle due,
+                      bool boundary)
 {
     if (kernel_ == KernelKind::Scan)
         return;
-    // Every wire event is pushed with due = now + linkDelay + 1 and
-    // each shard calendar has linkDelay + 2 slots, so due % width is
-    // always the slot just behind now's — no division needed. The
-    // sender's shard owns the entry; during stepping only the owning
-    // thread pushes here.
-    Shard& sh = shards_[shard_of_[static_cast<std::size_t>(node)]];
+    // Every wire event is pushed with due = sender cycle + linkDelay
+    // + 1 and each shard calendar has linkDelay + 2 slots, so due %
+    // width is always the slot just behind the sender's — no division
+    // needed. The sender's shard owns the entry; during stepping only
+    // the owning thread pushes here, against its own local cursor.
     const std::size_t slot =
-        now_slot_ == 0 ? sh.calendar.size() - 1 : now_slot_ - 1;
+        sh.slot == 0 ? sh.calendar.size() - 1 : sh.slot - 1;
     CalendarBucket& bucket = sh.calendar[slot];
     bucket.due = due;
-    bucket.keys.push_back(key);
+    (boundary ? bucket.boundary_keys : bucket.keys).push_back(key);
 }
 
 void
@@ -384,7 +448,7 @@ Network::nextEventCycle()
     Cycle next = kNeverCycle;
     for (Shard& sh : shards_) {
         for (const CalendarBucket& bucket : sh.calendar) {
-            if (!bucket.keys.empty())
+            if (!bucket.keys.empty() || !bucket.boundary_keys.empty())
                 next = std::min(next, bucket.due);
         }
         // Drop stale wake entries (NIC re-activated or rescheduled
@@ -414,37 +478,43 @@ Network::nextEventCycle()
 }
 
 void
-Network::deliverFlitWire(NodeId id, PortId p, const WireFlit& wf)
+Network::deliverFlitWire(Shard& sh, NodeId id, PortId p,
+                         const WireFlit& wf, Cycle at)
 {
     if (p == kLocalPort) {
         if (tracer_ != nullptr) {
-            tracer_->record({now_, TraceEvent::Kind::Eject, id,
+            tracer_->record({at, TraceEvent::Kind::Eject, id,
                              kInvalidPort, pool_[wf.flit.msg].id,
                              wf.flit.seq, wf.flit.type});
         }
         // The flit leaves the tracked domain at its destination NIC.
-        --occupancy_;
-        nics_[static_cast<std::size_t>(id)].acceptFlit(wf.flit, now_,
+        // Ejections happen only on the owning shard's delivery path;
+        // the barrier merge folds the delta into occupancy_.
+        ++sh.ejected_flits;
+        nics_[static_cast<std::size_t>(id)].acceptFlit(wf.flit, at,
                                                        *this);
         return;
     }
     const NodeId peer = topo_.neighbor(id, p);
     LAPSES_ASSERT(peer != kInvalidNode);
     if (tracer_ != nullptr) {
-        tracer_->record({now_, TraceEvent::Kind::HopArrive, peer,
+        tracer_->record({at, TraceEvent::Kind::HopArrive, peer,
                          MeshTopology::oppositePort(p),
                          pool_[wf.flit.msg].id, wf.flit.seq,
                          wf.flit.type});
     }
     routers_[static_cast<std::size_t>(peer)].acceptFlit(
-        MeshTopology::oppositePort(p), wf.vc, wf.flit, now_);
+        MeshTopology::oppositePort(p), wf.vc, wf.flit, at);
     if (kernel_ != KernelKind::Scan)
         activateRouter(peer);
 }
 
 void
-Network::deliverCreditWire(NodeId id, PortId p, const WireCredit& wc)
+Network::deliverCreditWire(Shard& sh, NodeId id, PortId p,
+                           const WireCredit& wc, Cycle at)
 {
+    (void)sh;
+    (void)at;
     if (p == kLocalPort) {
         nics_[static_cast<std::size_t>(id)].acceptCredit(wc.vc);
         if (kernel_ != KernelKind::Scan)
@@ -460,54 +530,93 @@ Network::deliverCreditWire(NodeId id, PortId p, const WireCredit& wc)
 }
 
 void
-Network::deliverInjectWire(NodeId id, const WireFlit& wf)
+Network::deliverInjectWire(Shard& sh, NodeId id, const WireFlit& wf,
+                           Cycle at)
 {
+    (void)sh;
     if (tracer_ != nullptr) {
-        tracer_->record({now_, TraceEvent::Kind::Inject, id,
+        tracer_->record({at, TraceEvent::Kind::Inject, id,
                          kLocalPort, pool_[wf.flit.msg].id,
                          wf.flit.seq, wf.flit.type});
     }
     routers_[static_cast<std::size_t>(id)].acceptFlit(
-        kLocalPort, wf.vc, wf.flit, now_);
+        kLocalPort, wf.vc, wf.flit, at);
     if (kernel_ != KernelKind::Scan)
         activateRouter(id);
 }
 
 void
-Network::deliverWiresRange(NodeId begin, NodeId end)
+Network::deliverWiresRange(Shard& sh, NodeId begin, NodeId end,
+                           Cycle at)
 {
+    // Worker-safe even mid-batch: boundary wires of these senders can
+    // hold no event due <= the shard's local cycle (the coordinator
+    // drained everything due at the batch start, and batchCycles caps
+    // the batch short of any later boundary due), so the due check
+    // skips them and only intra-shard events pop.
     const int ports = topo_.numPorts();
     for (NodeId id = begin; id < end; ++id) {
         // Router output wires -> neighbor router input / local NIC.
         for (PortId p = 0; p < ports; ++p) {
             auto& fw = flit_wires_[wireIndex(id, p)];
-            while (!fw.empty() && fw.front().due <= now_) {
-                ++counters_.wireEventsDelivered;
-                deliverFlitWire(id, p, fw.pop());
+            while (!fw.empty() && fw.front().due <= at) {
+                ++sh.counters.wireEventsDelivered;
+                deliverFlitWire(sh, id, p, fw.pop(), at);
             }
             // Credit wires from (router id, in port p) upstream.
             auto& cw = credit_wires_[wireIndex(id, p)];
-            while (!cw.empty() && cw.front().due <= now_) {
-                ++counters_.wireEventsDelivered;
-                deliverCreditWire(id, p, cw.pop());
+            while (!cw.empty() && cw.front().due <= at) {
+                ++sh.counters.wireEventsDelivered;
+                deliverCreditWire(sh, id, p, cw.pop(), at);
             }
         }
         // NIC injection wires -> router local input port.
         auto& iw = inject_wires_[static_cast<std::size_t>(id)];
-        while (!iw.empty() && iw.front().due <= now_) {
-            ++counters_.wireEventsDelivered;
-            deliverInjectWire(id, iw.pop());
+        while (!iw.empty() && iw.front().due <= at) {
+            ++sh.counters.wireEventsDelivered;
+            deliverInjectWire(sh, id, iw.pop(), at);
         }
     }
 }
 
 void
-Network::deliverShardBucket(Shard& sh)
+Network::deliverKey(Shard& sh, std::int32_t key, Cycle at)
 {
-    CalendarBucket& bucket = sh.calendar[now_slot_];
+    const std::int32_t inject_slot = key_stride_ - 1;
+    const auto id = static_cast<NodeId>(key / key_stride_);
+    const std::int32_t slot = key % key_stride_;
+    if (slot == inject_slot) {
+        auto& iw = inject_wires_[static_cast<std::size_t>(id)];
+        while (!iw.empty() && iw.front().due <= at) {
+            ++sh.counters.wireEventsDelivered;
+            deliverInjectWire(sh, id, iw.pop(), at);
+        }
+    } else if (slot % 2 == 0) {
+        const auto p = static_cast<PortId>(slot / 2);
+        auto& fw = flit_wires_[wireIndex(id, p)];
+        while (!fw.empty() && fw.front().due <= at) {
+            ++sh.counters.wireEventsDelivered;
+            deliverFlitWire(sh, id, p, fw.pop(), at);
+        }
+    } else {
+        const auto p = static_cast<PortId>(slot / 2);
+        auto& cw = credit_wires_[wireIndex(id, p)];
+        while (!cw.empty() && cw.front().due <= at) {
+            ++sh.counters.wireEventsDelivered;
+            deliverCreditWire(sh, id, p, cw.pop(), at);
+        }
+    }
+}
+
+void
+Network::drainShardIntra(Shard& sh)
+{
+    CalendarBucket& bucket = sh.calendar[sh.slot];
     if (bucket.keys.empty())
         return;
-    LAPSES_ASSERT(bucket.due == now_);
+    LAPSES_ASSERT(bucket.due == sh.now);
+    ScopedPhaseTimer timer(profiling_,
+                           sh.profile.intraDeliverySeconds);
     if (bucket.keys.size() >=
         static_cast<std::size_t>(sh.end - sh.begin)) {
         // Saturated regime: most of the shard's wires carry traffic,
@@ -517,41 +626,72 @@ Network::deliverShardBucket(Shard& sh)
         // flight is due later, and other shards' events live in their
         // own calendars.
         bucket.keys.clear();
-        deliverWiresRange(sh.begin, sh.end);
+        deliverWiresRange(sh, sh.begin, sh.end, sh.now);
         return;
     }
-    // Ascending wire-key order = the scan kernel's delivery order, so
-    // the stats/tracer event stream stays byte-identical.
+    // Ascending wire-key order = the scan kernel's delivery order
+    // restricted to this shard, so every receiver sees its arrivals
+    // in the canonical order (receivers of intra-shard events live in
+    // this shard only).
     std::sort(bucket.keys.begin(), bucket.keys.end());
-    const std::int32_t inject_slot = key_stride_ - 1;
     std::int32_t prev_key = -1;
     for (const std::int32_t key : bucket.keys) {
         if (key == prev_key)
             continue; // several same-cycle events on one wire
         prev_key = key;
-        const auto id = static_cast<NodeId>(key / key_stride_);
-        const std::int32_t slot = key % key_stride_;
-        if (slot == inject_slot) {
-            auto& iw = inject_wires_[static_cast<std::size_t>(id)];
-            while (!iw.empty() && iw.front().due <= now_) {
-                ++counters_.wireEventsDelivered;
-                deliverInjectWire(id, iw.pop());
-            }
-        } else if (slot % 2 == 0) {
-            const auto p = static_cast<PortId>(slot / 2);
-            auto& fw = flit_wires_[wireIndex(id, p)];
-            while (!fw.empty() && fw.front().due <= now_) {
-                ++counters_.wireEventsDelivered;
-                deliverFlitWire(id, p, fw.pop());
-            }
-        } else {
-            const auto p = static_cast<PortId>(slot / 2);
-            auto& cw = credit_wires_[wireIndex(id, p)];
-            while (!cw.empty() && cw.front().due <= now_) {
-                ++counters_.wireEventsDelivered;
-                deliverCreditWire(id, p, cw.pop());
-            }
-        }
+        deliverKey(sh, key, sh.now);
+    }
+    bucket.keys.clear();
+}
+
+void
+Network::drainShardBoundary(Shard& sh)
+{
+    CalendarBucket& bucket = sh.calendar[now_slot_];
+    if (bucket.boundary_keys.empty())
+        return;
+    LAPSES_ASSERT(bucket.due == now_);
+    // Ascending keys within the shard + ascending shard order at the
+    // caller = the global canonical order restricted to boundary
+    // events. Boundary events only touch router ingress state
+    // (acceptFlit/acceptCredit on disjoint (port, vc) slots plus an
+    // idempotent activation), so their relative order against another
+    // shard's intra-shard deliveries is unobservable.
+    std::sort(bucket.boundary_keys.begin(),
+              bucket.boundary_keys.end());
+    std::int32_t prev_key = -1;
+    for (const std::int32_t key : bucket.boundary_keys) {
+        if (key == prev_key)
+            continue;
+        prev_key = key;
+        deliverKey(sh, key, now_);
+    }
+    bucket.boundary_keys.clear();
+}
+
+void
+Network::drainShardSerial(Shard& sh)
+{
+    // Tracer runs only: a shared trace stream cannot take concurrent
+    // writers, so the whole bucket — intra and boundary merged back
+    // together — drains on the coordinator in global canonical order,
+    // exactly like the pre-batching parallel kernel. batchCycles
+    // forces 1-cycle batches while a tracer is attached.
+    CalendarBucket& bucket = sh.calendar[now_slot_];
+    if (bucket.keys.empty() && bucket.boundary_keys.empty())
+        return;
+    LAPSES_ASSERT(bucket.due == now_);
+    bucket.keys.insert(bucket.keys.end(),
+                       bucket.boundary_keys.begin(),
+                       bucket.boundary_keys.end());
+    bucket.boundary_keys.clear();
+    std::sort(bucket.keys.begin(), bucket.keys.end());
+    std::int32_t prev_key = -1;
+    for (const std::int32_t key : bucket.keys) {
+        if (key == prev_key)
+            continue;
+        prev_key = key;
+        deliverKey(sh, key, now_);
     }
     bucket.keys.clear();
 }
@@ -561,7 +701,7 @@ Network::stepScan()
 {
     {
         ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
-        deliverWiresRange(0, topo_.numNodes());
+        deliverWiresRange(shards_[0], 0, topo_.numNodes(), now_);
     }
     const auto n = static_cast<std::size_t>(topo_.numNodes());
     counters_.nicSteps += n;
@@ -589,13 +729,21 @@ Network::stepScan()
     ++now_;
     if (++now_slot_ == shards_[0].calendar.size())
         now_slot_ = 0;
+    // The scan kernel never batches; keep the (single) shard clock in
+    // lockstep so the env adapters read the right sender cycle.
+    shards_[0].now = now_;
+    shards_[0].slot = now_slot_;
 }
 
 void
 Network::stepShardComponents(Shard& sh)
 {
+    // Everything below runs against the shard-local clock: under a
+    // multi-cycle batch sh.now walks ahead of the global now_ until
+    // the barrier re-syncs them.
     // 1. Wake own NICs whose injection process has an event due.
-    while (!sh.nic_wakes.empty() && sh.nic_wakes.top().first <= now_) {
+    while (!sh.nic_wakes.empty() &&
+           sh.nic_wakes.top().first <= sh.now) {
         const auto [cycle, id] = sh.nic_wakes.top();
         sh.nic_wakes.pop();
         if (nic_active_[static_cast<std::size_t>(id)] == 0 &&
@@ -613,9 +761,9 @@ Network::stepShardComponents(Shard& sh)
         for (const NodeId id : sh.active_nics) {
             const StepActivity act =
                 nics_[static_cast<std::size_t>(id)].step(
-                    now_, nic_envs_[static_cast<std::size_t>(id)]);
+                    sh.now, nic_envs_[static_cast<std::size_t>(id)]);
             sh.progress_flits += act.progressed;
-            if (act.pendingWork || act.nextWake == now_ + 1) {
+            if (act.pendingWork || act.nextWake == sh.now + 1) {
                 // Still has backlog — or must step again next cycle
                 // anyway (e.g. a Bernoulli process draws every cycle):
                 // staying in the set skips a pointless heap round-trip.
@@ -641,7 +789,8 @@ Network::stepShardComponents(Shard& sh)
         for (const NodeId id : sh.active_routers) {
             const StepActivity act =
                 routers_[static_cast<std::size_t>(id)].step(
-                    now_, router_envs_[static_cast<std::size_t>(id)]);
+                    sh.now,
+                    router_envs_[static_cast<std::size_t>(id)]);
             sh.progress_flits += act.progressed;
             if (act.pendingWork)
                 sh.scratch_routers.push_back(id);
@@ -658,8 +807,46 @@ Network::mergeShardCycleState()
     for (Shard& sh : shards_) {
         occupancy_ += sh.injected_flits;
         sh.injected_flits = 0;
+        occupancy_ -= sh.ejected_flits;
+        sh.ejected_flits = 0;
         progress_flits_ += sh.progress_flits;
         sh.progress_flits = 0;
+        delivered_total_ += sh.delivered_total;
+        sh.delivered_total = 0;
+        delivered_measured_ += sh.delivered_measured;
+        sh.delivered_measured = 0;
+        // Descriptor frees deferred from the stepping threads; the
+        // pool is sequential-phase-only. Shard order is fixed, so the
+        // release order is deterministic for a given configuration
+        // (MsgRefs are unobservable — nothing may be ordered by them).
+        for (const MsgRef msg : sh.pending_release)
+            pool_.release(msg);
+        sh.pending_release.clear();
+    }
+}
+
+void
+Network::stepShardCycles(Shard& sh, Cycle cycles)
+{
+    // Route this thread's delivery side effects (delivered counters,
+    // the stats hook, descriptor releases) into the shard's own
+    // deltas for the duration of the batch.
+    struct TlsGuard
+    {
+        ~TlsGuard() { tls_shard_ = nullptr; }
+    } guard;
+    (void)guard;
+    tls_shard_ = &sh;
+    for (Cycle c = 0; c < cycles; ++c) {
+        // Intra-shard deliveries first (receivers join the active
+        // set), then the component slice — the same phase order every
+        // kernel uses. Under the tracer fallback the coordinator
+        // already drained the whole bucket, so this is a no-op.
+        drainShardIntra(sh);
+        stepShardComponents(sh);
+        ++sh.now;
+        if (++sh.slot == sh.calendar.size())
+            sh.slot = 0;
     }
 }
 
@@ -671,10 +858,13 @@ Network::stepActive()
     // Deliver due wire traffic; receivers join the active set. (Wake
     // processing runs inside stepShardComponents, after delivery —
     // activation is idempotent and stepping order is unobservable, so
-    // the phase order matches the parallel kernel exactly.)
+    // the phase order matches the parallel kernel exactly.) With a
+    // single shard every event is intra-shard, and the coordinator is
+    // the owning thread; deliveries run with no shard bound, so the
+    // delivered counters update directly as before.
     {
         ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
-        deliverShardBucket(sh);
+        drainShardIntra(sh);
     }
 
     stepShardComponents(sh);
@@ -684,53 +874,125 @@ Network::stepActive()
     ++now_;
     if (++now_slot_ == sh.calendar.size())
         now_slot_ = 0;
+    sh.now = now_;
+    sh.slot = now_slot_;
 }
 
 void
-Network::stepParallel()
+Network::stepParallel(Cycle cycles)
 {
-    // Sequential canonical delivery: shard calendars drained in shard
-    // order reproduce the global ascending (node, port, wire-kind)
-    // order, so the tracer/stats/delivery-hook stream is bit-for-bit
-    // the scan kernel's. Receiver activations and descriptor releases
-    // happen here, on the coordinator, before any stepping thread
-    // runs.
+    // Coordinator boundary drain: shard calendars visited in shard
+    // order reproduce the global canonical order restricted to
+    // boundary-crossing events. Everything else — intra-shard
+    // deliveries, stats hooks, descriptor releases — happens on the
+    // owning shard's thread inside stepShardCycles. With a tracer
+    // attached the whole bucket drains here instead (serial
+    // fallback), preserving the single-writer trace stream.
+    const bool serial = tracer_ != nullptr;
     {
-        ScopedPhaseTimer timer(profiling_, profile_.wireDrainSeconds);
-        for (Shard& sh : shards_)
-            deliverShardBucket(sh);
+        ScopedPhaseTimer timer(profiling_,
+                               serial ? profile_.wireDrainSeconds
+                                      : profile_.boundaryDrainSeconds);
+        for (Shard& sh : shards_) {
+            if (serial)
+                drainShardSerial(sh);
+            else
+                drainShardBoundary(sh);
+        }
     }
 
-    // Parallel component stepping: one shard per thread, shard 0 on
-    // the coordinator. Conservative lookahead — everything a shard
-    // emits is due at now + linkDelay + 1 at the earliest — means no
-    // stepping thread can ever consume another's output this cycle,
-    // so the only synchronization is the join barrier itself.
+    // Parallel stepping: one shard per thread, shard 0 on the
+    // coordinator. Conservative lookahead — everything a shard emits
+    // at local cycle t is due t + linkDelay + 1 — plus the batch caps
+    // (batchCycles) means no stepping thread can ever consume another
+    // shard's output inside the batch, so the only synchronization is
+    // the join barrier itself.
     if (intra_pool_ == nullptr) {
         for (Shard& sh : shards_)
-            stepShardComponents(sh);
+            stepShardCycles(sh, cycles);
     } else {
-        intra_futures_.clear();
-        for (std::size_t s = 1; s < shards_.size(); ++s) {
-            intra_futures_.push_back(intra_pool_->submit(
-                [this, s] { stepShardComponents(shards_[s]); }));
+        {
+            const std::lock_guard<std::mutex> lock(barrier_mutex_);
+            barrier_pending_ = shards_.size() - 1;
         }
-        stepShardComponents(shards_[0]);
+        for (std::size_t s = 1; s < shards_.size(); ++s) {
+            intra_pool_->post([this, s, cycles] {
+                try {
+                    stepShardCycles(shards_[s], cycles);
+                } catch (...) {
+                    shard_errors_[s] = std::current_exception();
+                }
+                const std::lock_guard<std::mutex> lock(
+                    barrier_mutex_);
+                if (--barrier_pending_ == 0)
+                    barrier_cv_.notify_one();
+            });
+        }
+        try {
+            stepShardCycles(shards_[0], cycles);
+        } catch (...) {
+            shard_errors_[0] = std::current_exception();
+        }
         // Wait for every shard before rethrowing anything, so a
         // throwing shard cannot leave the others running into the
         // sequential phases.
-        for (auto& f : intra_futures_)
-            f.wait();
-        for (auto& f : intra_futures_)
-            f.get();
-        intra_futures_.clear();
+        {
+            ScopedPhaseTimer timer(profiling_,
+                                   profile_.barrierWaitSeconds);
+            std::unique_lock<std::mutex> lock(barrier_mutex_);
+            barrier_cv_.wait(
+                lock, [this] { return barrier_pending_ == 0; });
+        }
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (shard_errors_[s] != nullptr) {
+                const std::exception_ptr err = shard_errors_[s];
+                for (auto& e : shard_errors_)
+                    e = nullptr;
+                std::rethrow_exception(err);
+            }
+        }
     }
 
     mergeShardCycleState();
     processPendingUnroutable();
-    ++now_;
-    if (++now_slot_ == shards_[0].calendar.size())
-        now_slot_ = 0;
+    now_ += cycles;
+    now_slot_ = (now_slot_ + static_cast<std::size_t>(cycles)) %
+                shards_[0].calendar.size();
+}
+
+Cycle
+Network::batchCycles(Cycle horizon) const
+{
+    Cycle k = std::min<Cycle>(horizon - now_, batch_cap_);
+    if (k <= 1)
+        return 1;
+    // Serial-delivery fallback (tracer) needs the coordinator between
+    // every cycle; fault epochs need per-cycle purge processing.
+    if (tracer_ != nullptr || !failures_.empty())
+        return 1;
+    // Fault events, reconfigurations and telemetry windows run at the
+    // fixed top of a cycle on the coordinator — the batch must end
+    // exactly at the next such boundary. topOfCycle() already applied
+    // everything due at now_, so these cursors point strictly ahead.
+    if (next_fault_ < fault_events_.size())
+        k = std::min(k, fault_events_[next_fault_].cycle - now_);
+    if (next_reconfig_ < reconfig_due_.size())
+        k = std::min(k, reconfig_due_[next_reconfig_] - now_);
+    if (next_telemetry_at_ != kNeverCycle)
+        k = std::min(k, next_telemetry_at_ - now_);
+    if (k <= 1)
+        return 1;
+    // A boundary-crossing event due mid-batch needs the coordinator's
+    // merge at exactly its cycle: end the batch there. Events due now_
+    // are about to be drained; events emitted inside the batch are due
+    // >= now_ + linkDelay + 1 >= now_ + k, after the batch.
+    for (const Shard& sh : shards_) {
+        for (const CalendarBucket& bucket : sh.calendar) {
+            if (!bucket.boundary_keys.empty() && bucket.due > now_)
+                k = std::min(k, bucket.due - now_);
+        }
+    }
+    return std::max<Cycle>(k, 1);
 }
 
 void
@@ -981,7 +1243,7 @@ Network::processPendingUnroutable()
 }
 
 void
-Network::step()
+Network::topOfCycle()
 {
     if (next_fault_ < fault_events_.size() ||
         next_reconfig_ < reconfig_due_.size()) {
@@ -995,10 +1257,16 @@ Network::step()
         ScopedPhaseTimer timer(profiling_, profile_.telemetrySeconds);
         captureTelemetryWindow();
     }
+}
+
+void
+Network::step()
+{
+    topOfCycle();
     if (kernel_ == KernelKind::Scan)
         stepScan();
     else if (kernel_ == KernelKind::Parallel)
-        stepParallel();
+        stepParallel(1);
     else
         stepActive();
 }
@@ -1021,8 +1289,22 @@ Network::stepUntil(Cycle horizon)
             counters_.fastForwardedCycles += advanced;
             now_ = target;
             now_slot_ = now_ % shards_[0].calendar.size();
+            for (Shard& sh : shards_) {
+                sh.now = now_;
+                sh.slot = now_slot_;
+            }
             return advanced;
         }
+    }
+    if (kernel_ == KernelKind::Parallel && batch_cap_ > 1) {
+        // Multi-cycle batching: run the fixed top-of-cycle work, then
+        // let the shards step as many cycles as the lookahead allows
+        // before the next barrier. Callers see the same contract —
+        // at least one cycle, never past the horizon.
+        topOfCycle();
+        const Cycle batch = batchCycles(horizon);
+        stepParallel(batch);
+        return batch;
     }
     step();
     return 1;
@@ -1120,6 +1402,9 @@ Network::kernelProfile() const
         merged.routerStepSeconds += sh.profile.routerStepSeconds;
         merged.faultSeconds += sh.profile.faultSeconds;
         merged.telemetrySeconds += sh.profile.telemetrySeconds;
+        merged.boundaryDrainSeconds += sh.profile.boundaryDrainSeconds;
+        merged.intraDeliverySeconds += sh.profile.intraDeliverySeconds;
+        merged.barrierWaitSeconds += sh.profile.barrierWaitSeconds;
     }
     return merged;
 }
@@ -1128,6 +1413,20 @@ void
 Network::messageDelivered(MsgRef msg, Cycle now)
 {
     const MessageDescriptor& desc = pool_[msg];
+    Shard* sh = tls_shard_;
+    if (sh != nullptr) {
+        // Stepping-thread path: every ejection happens on the
+        // destination's owning shard, so the counters, the hook's
+        // per-destination stats lanes, and the deferred release are
+        // all shard-local. The barrier merge folds them in.
+        ++sh->delivered_total;
+        if (desc.measured)
+            ++sh->delivered_measured;
+        if (hook_ != nullptr)
+            hook_(hook_ctx_, desc, now);
+        sh->pending_release.push_back(msg);
+        return;
+    }
     ++delivered_total_;
     if (desc.measured)
         ++delivered_measured_;

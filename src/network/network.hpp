@@ -18,23 +18,29 @@
  *    scans every wire each cycle, kept for differential testing
  *    (LAPSES_KERNEL=scan).
  *  - KernelKind::Parallel: the active kernel's bookkeeping partitioned
- *    into spatial shards (contiguous node ranges). Wire delivery stays
- *    sequential in canonical order on the calling thread; component
- *    stepping fans out, one shard per worker, and rejoins at a cycle
- *    barrier (conservative lookahead = the link delay guarantees
- *    nothing a shard emits can be consumed before the next cycle).
+ *    into spatial shards (contiguous node ranges). Wire events are
+ *    classified at schedule time: intra-shard events are delivered by
+ *    the owning shard's worker at the top of its stepping slice, while
+ *    only boundary-crossing events go through the coordinator's
+ *    canonical merge. When lookahead allows (no fault, telemetry or
+ *    pending boundary event inside the window) shards run up to
+ *    linkDelay + 1 cycles between barriers (DESIGN.md "Parallel
+ *    kernel" spells out both contracts).
  *
  * All kernels produce byte-identical statistics: wire events are
- * delivered in the same (node, port, wire-kind) order the scan uses,
- * and components are only put to sleep when stepping them is provably a
- * no-op (no buffered flits, no injection-process event due).
+ * delivered in the same (node, port, wire-kind) order the scan uses
+ * within each owning domain, and components are only put to sleep when
+ * stepping them is provably a no-op (no buffered flits, no
+ * injection-process event due).
  */
 
 #ifndef LAPSES_NETWORK_NETWORK_HPP
 #define LAPSES_NETWORK_NETWORK_HPP
 
-#include <future>
+#include <condition_variable>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <tuple>
 #include <utility>
@@ -65,6 +71,15 @@ KernelKind resolveKernelKind(KernelKind requested);
  *  ConfigError. Capped at MessagePool::kMaxBanks. */
 unsigned resolveIntraJobs(unsigned requested);
 
+/** Resolve the parallel kernel's barrier batch cap: an explicit
+ *  request (> 0) wins, else LAPSES_MAX_BATCH, else the conservative
+ *  lookahead linkDelay + 1. The result is always clamped to
+ *  [1, linkDelay + 1] — events emitted inside a batch are due at
+ *  least linkDelay + 1 cycles after the batch starts, so no larger
+ *  batch can ever be safe. A bad environment value throws
+ *  ConfigError. */
+Cycle resolveMaxBatchCycles(Cycle requested, Cycle linkDelay);
+
 /** Network-level construction parameters. */
 struct NetworkParams
 {
@@ -88,6 +103,13 @@ struct NetworkParams
      * shards that never hold active components. Empty = balanced.
      */
     std::vector<NodeId> shardBoundaries;
+
+    /** Parallel-kernel barrier batch cap in cycles; 0 = auto
+     *  (LAPSES_MAX_BATCH, else linkDelay + 1). Clamped to
+     *  [1, linkDelay + 1]; 1 restores a barrier every cycle. Like
+     *  intraJobs the value never affects results — batching only
+     *  changes how often the shards rejoin. */
+    Cycle maxBatch = 0;
 
     // --- Dynamic link faults (DESIGN.md "Fault events") -----------
     /** Validated schedule of mid-run link down/up events. */
@@ -186,11 +208,29 @@ class Network : public DeliverySink
     /** Shards the topology is partitioned into (1 unless Parallel). */
     std::size_t shardCount() const { return shards_.size(); }
 
+    /** Owning shard index of a node (0 unless Parallel). */
+    std::size_t
+    shardOf(NodeId id) const
+    {
+        return shard_of_[static_cast<std::size_t>(id)];
+    }
+
+    /** The resolved barrier batch cap (1 unless Parallel batching). */
+    Cycle batchCap() const { return batch_cap_; }
+
     /** Work counters for perf tests and benches: the coordinator's
      *  delivery/fast-forward counts merged with every shard's step
      *  counts (each shard accumulates its own, so stepping threads
      *  never write a shared counter). */
     KernelCounters kernelCounters() const;
+
+    /** One shard's own step/delivery counters (load-imbalance
+     *  diagnostics; --profile warns when max/min exceeds 2x). */
+    const KernelCounters&
+    shardCounters(std::size_t shard) const
+    {
+        return shards_[shard].counters;
+    }
 
     /** Resilience counters (all zero on a healthy run). */
     const FaultCounters& faultCounters() const
@@ -326,6 +366,8 @@ class Network : public DeliverySink
     }
 
   private:
+    struct Shard;
+
     /** A flit in flight on a wire. */
     struct WireFlit
     {
@@ -341,17 +383,21 @@ class Network : public DeliverySink
         Cycle due;
     };
 
-    /** Adapter giving each router its link endpoints. */
+    /** Adapter giving each router its link endpoints. The bound shard
+     *  supplies the sender-local clock and calendar cursor, so an
+     *  emission lands in the right bucket even mid-batch when shards'
+     *  local cycles differ. */
     class RouterEnv : public Router::Env
     {
       public:
-        RouterEnv() : net_(nullptr), id_(kInvalidNode) {}
+        RouterEnv() : net_(nullptr), sh_(nullptr), id_(kInvalidNode) {}
         void
         bind(Network* net, NodeId id)
         {
             net_ = net;
             id_ = id;
         }
+        void setShard(Shard* sh) { sh_ = sh; }
         void flitOut(PortId out_port, VcId out_vc,
                      const Flit& flit) override;
         void creditOut(PortId in_port, VcId vc) override;
@@ -359,6 +405,7 @@ class Network : public DeliverySink
 
       private:
         Network* net_;
+        Shard* sh_;
         NodeId id_;
     };
 
@@ -366,17 +413,19 @@ class Network : public DeliverySink
     class NicEnv : public Nic::Env
     {
       public:
-        NicEnv() : net_(nullptr), id_(kInvalidNode) {}
+        NicEnv() : net_(nullptr), sh_(nullptr), id_(kInvalidNode) {}
         void
         bind(Network* net, NodeId id)
         {
             net_ = net;
             id_ = id;
         }
+        void setShard(Shard* sh) { sh_ = sh; }
         void injectFlit(VcId vc, const Flit& flit) override;
 
       private:
         Network* net_;
+        Shard* sh_;
         NodeId id_;
     };
 
@@ -404,11 +453,17 @@ class Network : public DeliverySink
     // stream byte-identical.
 
     /** One calendar slot: the wires (possibly repeated, one entry per
-     *  event) with traffic due at cycles congruent to this slot. */
+     *  event) with traffic due at cycles congruent to this slot.
+     *  Events are split at schedule time by the receiver's owning
+     *  shard: `keys` stay within the sender's shard and are drained by
+     *  its own worker, `boundary_keys` cross a shard cut and are
+     *  drained by the coordinator's canonical merge. Both halves of a
+     *  slot always share the same due cycle. */
     struct CalendarBucket
     {
         Cycle due = 0;
         std::vector<std::int32_t> keys;
+        std::vector<std::int32_t> boundary_keys;
     };
 
     /**
@@ -462,6 +517,27 @@ class Network : public DeliverySink
         /** Flits this shard's NICs put onto injection wires this
          *  cycle; drained into occupancy_ at the barrier. */
         std::size_t injected_flits = 0;
+
+        /** Flits this shard's NICs ejected (left the tracked domain);
+         *  subtracted from occupancy_ at the barrier. */
+        std::size_t ejected_flits = 0;
+
+        /** Shard-local clock and calendar cursor. Between barriers a
+         *  shard's local cycle may run ahead of the global now_ by up
+         *  to batchCap - 1; the sequential phases see them re-synced
+         *  (sh.now == now_) on both sides of every batch. */
+        Cycle now = 0;
+        std::size_t slot = 0;
+
+        /** Deliveries completed by this shard's worker this batch;
+         *  folded into the global delivered counters at the barrier. */
+        std::uint64_t delivered_total = 0;
+        std::uint64_t delivered_measured = 0;
+
+        /** Descriptors of messages delivered this batch, released by
+         *  the coordinator at the barrier (MessagePool frees are
+         *  sequential-phase only). */
+        std::vector<MsgRef> pending_release;
     };
 
     std::int32_t
@@ -482,10 +558,13 @@ class Network : public DeliverySink
                key_stride_ - 1;
     }
 
-    /** Register a pushed wire event with the sender's shard calendar
-     *  (`node` is the sender; the key encodes it too, but every caller
-     *  already has it — no division on the hot path). */
-    void scheduleWire(NodeId node, std::int32_t key, Cycle due);
+    /** Register a pushed wire event with the sender's shard calendar,
+     *  pre-classified as intra-shard or boundary-crossing (the env
+     *  adapters read boundary_wire_; no division on the hot path).
+     *  The slot is derived from the shard-local cursor, so emissions
+     *  mid-batch land correctly while shards' clocks differ. */
+    void scheduleWire(Shard& sh, std::int32_t key, Cycle due,
+                      bool boundary);
 
     /** Add a router/NIC to its shard's active set (idempotent). Safe
      *  from a stepping thread only for the shard's own nodes; the
@@ -506,31 +585,76 @@ class Network : public DeliverySink
     void buildShards();
 
     // Shared per-event delivery (tracer + hand-off + activation).
-    void deliverFlitWire(NodeId id, PortId p, const WireFlit& wf);
-    void deliverCreditWire(NodeId id, PortId p, const WireCredit& wc);
-    void deliverInjectWire(NodeId id, const WireFlit& wf);
+    // `at` is the delivering domain's current cycle: the sender
+    // shard's local clock for intra-shard events, the global now_ for
+    // boundary events and scan sweeps. Side effects are charged to
+    // `sh` (the sender's shard), never to shared state.
+    void deliverFlitWire(Shard& sh, NodeId id, PortId p,
+                         const WireFlit& wf, Cycle at);
+    void deliverCreditWire(Shard& sh, NodeId id, PortId p,
+                           const WireCredit& wc, Cycle at);
+    void deliverInjectWire(Shard& sh, NodeId id, const WireFlit& wf,
+                           Cycle at);
 
-    /** Deliver all wire traffic due at 'now' from senders in
+    /** Deliver all wire traffic due at `at` from senders in
      *  [begin, end), in canonical order (scan sweep). */
-    void deliverWiresRange(NodeId begin, NodeId end);
+    void deliverWiresRange(Shard& sh, NodeId begin, NodeId end,
+                           Cycle at);
 
-    /** Deliver one shard's due calendar bucket: the sorted-bucket walk
-     *  when sparse, the range sweep when the bucket saturates its
-     *  shard. Sequential phases only. */
-    void deliverShardBucket(Shard& sh);
+    /** Deliver one calendar key's due events (flit/credit/inject
+     *  dispatch shared by every bucket walk). */
+    void deliverKey(Shard& sh, std::int32_t key, Cycle at);
+
+    /** Deliver a shard's due intra-shard events, in canonical order
+     *  within the shard: the sorted-bucket walk when sparse, the range
+     *  sweep when the bucket saturates its shard. Runs on the shard's
+     *  own stepping thread (or inline under the active kernel). */
+    void drainShardIntra(Shard& sh);
+
+    /** Deliver a shard's due boundary-crossing events. Coordinator
+     *  only, in ascending shard order — which is the global canonical
+     *  order restricted to boundary events. */
+    void drainShardBoundary(Shard& sh);
+
+    /** Tracer fallback: deliver a shard's full due bucket (intra and
+     *  boundary merged back into global canonical order) on the
+     *  coordinator, exactly like the pre-batching kernel — a shared
+     *  tracer stream cannot be written from worker threads. */
+    void drainShardSerial(Shard& sh);
 
     void stepScan();
     void stepActive();
-    void stepParallel();
+
+    /** Advance the parallel kernel by `cycles` (>= 1) barrier-to-
+     *  barrier: coordinator boundary drain, worker fan-out of
+     *  stepShardCycles, barrier, merge. */
+    void stepParallel(Cycle cycles);
+
+    /** Largest safe batch for the parallel kernel ending at or before
+     *  `horizon`: capped by the conservative lookahead (batchCap), the
+     *  next fault/reconfiguration/telemetry boundary, any pending
+     *  boundary event's due cycle, and forced to 1 while links are
+     *  down or a tracer is attached. */
+    Cycle batchCycles(Cycle horizon) const;
+
+    /** A worker's whole batch: per cycle, drain own intra-shard
+     *  events, then run the per-shard component slice, then advance
+     *  the shard-local clock. */
+    void stepShardCycles(Shard& sh, Cycle cycles);
 
     /** The per-shard slice of a cycle: process due NIC wakes, step
      *  active NICs, step active routers. Runs on the shard's stepping
      *  thread under the parallel kernel, inline otherwise. */
     void stepShardComponents(Shard& sh);
 
-    /** Fold per-cycle shard deltas (injected/progressed flits) into
-     *  the global counters after the barrier. */
+    /** Fold per-batch shard deltas (injected/ejected/progressed flits,
+     *  deliveries, deferred descriptor frees) into the global counters
+     *  after the barrier. */
     void mergeShardCycleState();
+
+    /** The fixed top-of-cycle sequential work (fault events, telemetry
+     *  windows) shared by every kernel and the batch path. */
+    void topOfCycle();
 
     // --- Fault-event machinery (DESIGN.md "Fault events") -----------
 
@@ -599,11 +723,30 @@ class Network : public DeliverySink
     std::vector<Shard> shards_;
     /** Owning shard per node (all zero unless Parallel). */
     std::vector<std::uint32_t> shard_of_;
+    /** Per wire index: 1 iff the wire's receiver lives in a different
+     *  shard than its sender (injection and ejection/NIC-credit wires
+     *  are always intra-shard). Fixed at construction; read by the env
+     *  adapters to classify emissions with one table load. */
+    std::vector<std::uint8_t> boundary_wire_;
+    /** Resolved barrier batch cap (resolveMaxBatchCycles). */
+    Cycle batch_cap_ = 1;
     /** Workers for shards 1..S-1 (the caller steps shard 0); owned by
      *  the network so nested campaign parallelism can never deadlock
      *  on a shared pool — each network fans out on its own. */
     std::unique_ptr<ThreadPool> intra_pool_;
-    std::vector<std::future<void>> intra_futures_;
+    /** End-of-batch barrier: workers decrement pending under the
+     *  mutex, the coordinator waits for zero. A plain counter (no
+     *  futures) so the per-batch fan-out allocates nothing. */
+    std::mutex barrier_mutex_;
+    std::condition_variable barrier_cv_;
+    std::size_t barrier_pending_ = 0;
+    /** First exception each shard's batch raised (rethrown in shard
+     *  order after the barrier; slots reset on throw). */
+    std::vector<std::exception_ptr> shard_errors_;
+    /** The stepping thread's own shard while inside stepShardCycles;
+     *  routes messageDelivered side effects to shard-local deltas.
+     *  Null on the coordinator's sequential phases (scan, purges). */
+    static thread_local Shard* tls_shard_;
     std::vector<std::uint8_t> router_active_;
     std::vector<std::uint8_t> nic_active_;
     /** Pending wake cycle per NIC (kNeverCycle = none); entries in a

@@ -114,6 +114,17 @@ Histogram::percentile(double q) const
 }
 
 void
+Histogram::merge(const Histogram& other)
+{
+    LAPSES_ASSERT(width_ == other.width_);
+    LAPSES_ASSERT(buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

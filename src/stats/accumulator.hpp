@@ -99,6 +99,11 @@ class Histogram
     /** Discard all samples. */
     void reset();
 
+    /** Add another histogram's counts into this one. Both histograms
+     *  must share the same bucket width and count; bucket sums are
+     *  integers, so merging is exact and order-independent. */
+    void merge(const Histogram& other);
+
   private:
     double width_;
     std::vector<std::uint64_t> buckets_;

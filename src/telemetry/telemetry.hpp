@@ -133,11 +133,24 @@ struct KernelProfile
     double faultSeconds = 0.0;
     double telemetrySeconds = 0.0;
 
+    /** Coordinator time draining boundary-crossing wire events (the
+     *  serialized slice of the parallel kernel's delivery phase). */
+    double boundaryDrainSeconds = 0.0;
+
+    /** Worker time delivering intra-shard wire events (summed over
+     *  shards, so it can exceed wall-clock when shards overlap). */
+    double intraDeliverySeconds = 0.0;
+
+    /** Coordinator time parked at the end-of-batch barrier waiting for
+     *  the slowest shard worker. */
+    double barrierWaitSeconds = 0.0;
+
     double
     totalSeconds() const
     {
         return wireDrainSeconds + nicStepSeconds + routerStepSeconds +
-               faultSeconds + telemetrySeconds;
+               faultSeconds + telemetrySeconds + boundaryDrainSeconds +
+               intraDeliverySeconds + barrierWaitSeconds;
     }
 };
 

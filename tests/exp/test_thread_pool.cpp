@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -50,6 +51,28 @@ TEST(ThreadPool, PropagatesExceptionsWithoutKillingWorkers)
     // The pool survives a throwing task.
     auto good = pool.submit([] { return 41 + 1; });
     EXPECT_EQ(good.get(), 42);
+}
+
+TEST(ThreadPool, PostRunsFireAndForgetTasks)
+{
+    // post() is the allocation-light path the parallel kernel uses
+    // every barrier: no future, caller-owned completion tracking.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    int pending = 300;
+    for (int i = 0; i < 300; ++i) {
+        pool.post([&] {
+            ++count;
+            const std::lock_guard<std::mutex> lock(done_mutex);
+            if (--pending == 0)
+                done_cv.notify_one();
+        });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return pending == 0; });
+    EXPECT_EQ(count.load(), 300);
 }
 
 TEST(ThreadPool, WaitIdleDrainsAllQueues)

@@ -111,27 +111,27 @@ struct GoldenRow
 
 // LAPSES_GOLDEN_REGEN=1 prints this table fresh (see file header).
 const GoldenRow kGolden[] = {
-    {"model:proud", 400, 28.255, 0.20334},
-    {"model:la-proud", 400, 25.3075, 0.202358},
-    {"routing:xy", 400, 25.31, 0.202358},
-    {"routing:yx", 400, 25.375, 0.202849},
-    {"routing:duato", 400, 25.3075, 0.202358},
-    {"routing:north-last", 400, 25.31, 0.202358},
-    {"routing:west-first", 400, 25.31, 0.202358},
-    {"routing:negative-first", 400, 25.645, 0.20334},
-    {"routing:torus-adaptive", 400, 25.805, 0.405882},
-    {"table:full-table", 400, 25.3075, 0.202358},
-    {"table:meta-row", 400, 25.3825, 0.202849},
-    {"table:meta-block", 400, 25.31, 0.202358},
-    {"table:economical-storage", 400, 25.3075, 0.202358},
-    {"table:interval", 400, 25.31, 0.202358},
-    {"selector:static-xy", 400, 25.3075, 0.202358},
-    {"selector:first-free", 400, 25.3075, 0.202358},
-    {"selector:random", 400, 25.71, 0.202358},
-    {"selector:min-mux", 400, 25.4025, 0.201866},
-    {"selector:lfu", 400, 25.71, 0.202849},
-    {"selector:lru", 400, 25.62, 0.201866},
-    {"selector:max-credit", 400, 25.6425, 0.201866},
+    {"model:proud", 406, 28.2488, 0.200481},
+    {"model:la-proud", 406, 25.33, 0.2},
+    {"routing:xy", 406, 25.3325, 0.2},
+    {"routing:yx", 406, 25.3744, 0.199519},
+    {"routing:duato", 406, 25.33, 0.2},
+    {"routing:north-last", 406, 25.3325, 0.2},
+    {"routing:west-first", 406, 25.3325, 0.2},
+    {"routing:negative-first", 406, 25.6576, 0.2},
+    {"routing:torus-adaptive", 413, 25.6998, 0.40625},
+    {"table:full-table", 406, 25.33, 0.2},
+    {"table:meta-row", 406, 25.3916, 0.199519},
+    {"table:meta-block", 406, 25.33, 0.2},
+    {"table:economical-storage", 406, 25.33, 0.2},
+    {"table:interval", 406, 25.3325, 0.2},
+    {"selector:static-xy", 406, 25.33, 0.2},
+    {"selector:first-free", 406, 25.33, 0.2},
+    {"selector:random", 406, 25.7635, 0.200962},
+    {"selector:min-mux", 406, 25.4138, 0.2},
+    {"selector:lfu", 406, 25.7266, 0.200481},
+    {"selector:lru", 406, 25.6404, 0.200481},
+    {"selector:max-credit", 406, 25.6527, 0.200481},
 };
 
 TEST(GoldenStats, PinnedPerCatalogEntry)

@@ -34,6 +34,7 @@ struct KernelVariant
     std::string label;
     KernelKind kernel;
     unsigned intraJobs; //!< 0 outside the parallel kernel
+    Cycle maxBatch = 0; //!< parallel barrier batch cap (0 = auto)
 };
 
 /** The standard three-way panel: scan is the oracle, active the
@@ -58,6 +59,19 @@ intraJobSweep()
             {"parallel/2", KernelKind::Parallel, 2},
             {"parallel/4", KernelKind::Parallel, 4},
             {"parallel/8", KernelKind::Parallel, 8}};
+}
+
+/** The batch-cap sweep: the sequential oracles against 4-shard
+ *  parallel runs re-barriering every 1, 2 and 4 cycles. Pair with a
+ *  base config at linkDelay 3 so cap 4 is actually reachable. */
+std::vector<KernelVariant>
+batchSweep()
+{
+    return {{"scan", KernelKind::Scan, 0},
+            {"active", KernelKind::Active, 0},
+            {"parallel/4@batch1", KernelKind::Parallel, 4, 1},
+            {"parallel/4@batch2", KernelKind::Parallel, 4, 2},
+            {"parallel/4@batch4", KernelKind::Parallel, 4, 4}};
 }
 
 /** The golden-stats scenario: small, fast, unsaturated, fixed seed. */
@@ -168,12 +182,18 @@ buildVariants(const SimConfig& base,
         SimConfig cfg = base;
         cfg.kernel = v.kernel;
         cfg.intraJobs = v.intraJobs;
+        cfg.maxBatchCycles = v.maxBatch;
         sims.push_back(std::make_unique<Simulation>(cfg));
         EXPECT_EQ(sims.back()->network().kernel(), v.kernel)
             << name << ' ' << v.label;
         if (v.kernel == KernelKind::Parallel) {
             EXPECT_EQ(sims.back()->network().shardCount(), v.intraJobs)
                 << name << ' ' << v.label;
+            if (v.maxBatch > 0) {
+                EXPECT_EQ(sims.back()->network().batchCap(),
+                          v.maxBatch)
+                    << name << ' ' << v.label;
+            }
         } else {
             EXPECT_EQ(sims.back()->network().shardCount(), 1u)
                 << name << ' ' << v.label;
@@ -193,7 +213,8 @@ buildVariants(const SimConfig& base,
 void
 lockstep(std::vector<std::unique_ptr<Simulation>>& sims,
          const std::vector<KernelVariant>& variants,
-         const std::string& name, Cycle cycles)
+         const std::string& name, Cycle cycles, Cycle stride = 1,
+         bool pin_fast_forward = true)
 {
     // Index of the active-kernel variant: the work-counter reference.
     std::size_t active_idx = variants.size();
@@ -203,9 +224,9 @@ lockstep(std::vector<std::unique_ptr<Simulation>>& sims,
     }
 
     Simulation& ref = *sims.front();
-    for (Cycle t = 0; t < cycles; ++t) {
+    for (Cycle t = 0; t < cycles; t += stride) {
         for (auto& sim : sims)
-            sim->stepCycles(1);
+            sim->stepCycles(stride);
         for (std::size_t i = 1; i < sims.size(); ++i) {
             Network& net = sims[i]->network();
             ASSERT_EQ(net.progressCounter(),
@@ -252,10 +273,15 @@ lockstep(std::vector<std::unique_ptr<Simulation>>& sims,
                           ac.wireEventsDelivered)
                     << name << ' ' << variants[i].label
                     << " wire event drift at cycle " << t;
-                ASSERT_EQ(pc.fastForwardedCycles,
-                          ac.fastForwardedCycles)
-                    << name << ' ' << variants[i].label
-                    << " fast-forward drift at cycle " << t;
+                // A multi-cycle batch may step through idle cycles a
+                // 1-cycle stride would fast-forward, so this pin only
+                // holds at stride 1.
+                if (pin_fast_forward) {
+                    ASSERT_EQ(pc.fastForwardedCycles,
+                              ac.fastForwardedCycles)
+                        << name << ' ' << variants[i].label
+                        << " fast-forward drift at cycle " << t;
+                }
             }
         }
     }
@@ -397,6 +423,60 @@ TEST(KernelDifferential, FinalStatsByteIdenticalOverCatalog)
     }
 }
 
+TEST(KernelDifferential, BatchSweepLockstepHealthyAndFaulted)
+{
+    // Multi-cycle batching under an 8-cycle stride (the phase
+    // quantum): batch caps 1, 2 and 4 against both sequential oracles,
+    // healthy and with live fault epochs plus telemetry windows that
+    // force barriers mid-batch. Counter comparisons run at every
+    // stride boundary; the fault/telemetry/boundary caps must place
+    // barriers so precisely that no counter ever drifts.
+    for (const bool faulted : {false, true}) {
+        SimConfig base = diffBase();
+        base.linkDelay = 3;
+        if (faulted) {
+            base.faultCount = 2;
+            base.faultStart = 250;
+            base.faultSpacing = 300;
+            base.reconfigLatency = 80;
+            base.telemetryWindow = 64;
+        }
+        const std::string name = faulted ? "batch-sweep:faulted"
+                                         : "batch-sweep:healthy";
+        const auto variants = batchSweep();
+        auto sims = buildVariants(base, variants, name);
+        lockstep(sims, variants, name, 1000, /*stride=*/8,
+                 /*pin_fast_forward=*/false);
+    }
+}
+
+TEST(KernelDifferential, BatchSweepFinalStatsByteIdentical)
+{
+    // run() interleaves batched stepping with phase predicates (on the
+    // fixed 8-cycle quantum), saturation checks, fault events and the
+    // sharded stats reduction; every batch cap must produce the same
+    // byte-identical statistics as the sequential oracles.
+    SimConfig base = diffBase();
+    base.linkDelay = 3;
+    base.faultCount = 2;
+    base.faultStart = 300;
+    base.faultSpacing = 250;
+    base.reconfigLatency = 100;
+    base.telemetryWindow = 64;
+    const auto variants = batchSweep();
+    auto sims = buildVariants(base, variants, "batch-final");
+    std::vector<SimStats> stats;
+    stats.reserve(sims.size());
+    for (auto& sim : sims)
+        stats.push_back(sim->run());
+    for (std::size_t i = 1; i < sims.size(); ++i) {
+        expectStatsIdentical(stats[0], stats[i],
+                             "batch-final vs " + variants[i].label);
+        EXPECT_EQ(sims[0]->network().now(), sims[i]->network().now())
+            << "batch-final " << variants[i].label;
+    }
+}
+
 TEST(KernelDifferential, SaturatedRunsAgree)
 {
     // Past saturation the active set is the whole network; the kernels
@@ -424,6 +504,24 @@ TEST(KernelDifferential, SaturatedRunsAgree)
                       sims[i]->network().now())
                 << name << ' ' << variants[i].label;
         }
+    }
+
+    // The same saturated regime with multi-cycle batching: saturation
+    // checks land on the 256-cycle window inside run(), mid-stream of
+    // batched stepping, and must still agree — including the verdict.
+    SimConfig cfg = base;
+    cfg.linkDelay = 3;
+    const auto batched = batchSweep();
+    auto sims = buildVariants(cfg, batched, "saturated-batched");
+    std::vector<SimStats> stats;
+    for (auto& sim : sims)
+        stats.push_back(sim->run());
+    for (std::size_t i = 1; i < sims.size(); ++i) {
+        expectStatsIdentical(stats[0], stats[i],
+                             "saturated-batched vs " +
+                                 batched[i].label);
+        EXPECT_EQ(sims[0]->network().now(), sims[i]->network().now())
+            << "saturated-batched " << batched[i].label;
     }
 }
 

@@ -12,6 +12,7 @@
  * --help for the full list.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +90,12 @@ printHelp()
         "                       LAPSES_KERNEL=parallel; 0 = auto via\n"
         "                       LAPSES_INTRA_JOBS / hardware). Never\n"
         "                       changes results               [0]\n"
+        "  --link-delay N       link traversal cycles; widens the\n"
+        "                       parallel kernel's batch lookahead [1]\n"
+        "  --max-batch N        parallel-kernel cycles per barrier\n"
+        "                       (0 = auto via LAPSES_MAX_BATCH, else\n"
+        "                       link-delay + 1). Never changes\n"
+        "                       results                       [0]\n"
         "\n"
         "Telemetry / tracing (README \"Telemetry & tracing\"; single\n"
         "point only, not --sweep):\n"
@@ -253,6 +260,11 @@ main(int argc, char** argv)
             } else if (arg == "--intra-jobs") {
                 cfg.intraJobs = static_cast<unsigned>(
                     parseCheckedInt(arg, value(), 0, int_max));
+            } else if (arg == "--link-delay") {
+                cfg.linkDelay = static_cast<Cycle>(
+                    parseCheckedInt(arg, value(), 1, 64));
+            } else if (arg == "--max-batch") {
+                cfg.maxBatchCycles = parseCheckedU64(arg, value());
             } else if (arg == "--telemetry-window") {
                 cfg.telemetryWindow = parseCheckedU64(arg, value());
             } else if (arg == "--telemetry-out") {
@@ -365,8 +377,11 @@ main(int argc, char** argv)
                 std::printf(
                     "kernel profile (%s kernel, wall-clock):\n"
                     "  wire drain    %9.3f ms  (%llu events)\n"
+                    "  boundary drain%9.3f ms  (coordinator, serial)\n"
+                    "  intra deliver %9.3f ms  (summed over shards)\n"
                     "  NIC stepping  %9.3f ms  (%llu steps)\n"
                     "  router steps  %9.3f ms  (%llu steps)\n"
+                    "  barrier wait  %9.3f ms  (coordinator)\n"
                     "  fault events  %9.3f ms\n"
                     "  telemetry     %9.3f ms\n"
                     "  total timed   %9.3f ms  (%llu cycles "
@@ -375,15 +390,74 @@ main(int argc, char** argv)
                     prof.wireDrainSeconds * 1e3,
                     static_cast<unsigned long long>(
                         kc.wireEventsDelivered),
+                    prof.boundaryDrainSeconds * 1e3,
+                    prof.intraDeliverySeconds * 1e3,
                     prof.nicStepSeconds * 1e3,
                     static_cast<unsigned long long>(kc.nicSteps),
                     prof.routerStepSeconds * 1e3,
                     static_cast<unsigned long long>(kc.routerSteps),
+                    prof.barrierWaitSeconds * 1e3,
                     prof.faultSeconds * 1e3,
                     prof.telemetrySeconds * 1e3,
                     prof.totalSeconds() * 1e3,
                     static_cast<unsigned long long>(
                         kc.fastForwardedCycles));
+                // Amdahl view: phases the coordinator runs alone vs
+                // the timed total. NIC/router stepping and intra
+                // delivery are the parallel portion (their seconds sum
+                // worker CPU time across shards).
+                const double serial = prof.wireDrainSeconds +
+                                      prof.boundaryDrainSeconds +
+                                      prof.barrierWaitSeconds +
+                                      prof.faultSeconds +
+                                      prof.telemetrySeconds;
+                const double total = prof.totalSeconds();
+                if (total > 0.0) {
+                    std::printf(
+                        "  serial fraction %.1f%% (boundary drain + "
+                        "barrier wait + fault + telemetry)\n",
+                        100.0 * serial / total);
+                }
+                const std::size_t shards =
+                    sim.network().shardCount();
+                if (shards > 1) {
+                    std::uint64_t lo =
+                        std::numeric_limits<std::uint64_t>::max();
+                    std::uint64_t hi = 0;
+                    for (std::size_t s = 0; s < shards; ++s) {
+                        const Network::KernelCounters& sc =
+                            sim.network().shardCounters(s);
+                        const std::uint64_t work =
+                            sc.nicSteps + sc.routerSteps;
+                        lo = std::min(lo, work);
+                        hi = std::max(hi, work);
+                        std::printf(
+                            "  shard %zu stepped %llu components "
+                            "(%llu NIC + %llu router), %llu wire "
+                            "events\n",
+                            s,
+                            static_cast<unsigned long long>(work),
+                            static_cast<unsigned long long>(
+                                sc.nicSteps),
+                            static_cast<unsigned long long>(
+                                sc.routerSteps),
+                            static_cast<unsigned long long>(
+                                sc.wireEventsDelivered));
+                    }
+                    // Warn (measurement only) when shard work is
+                    // lopsided enough to cap the parallel speedup;
+                    // the floor skips trivially short runs.
+                    if (hi > 2 * lo && hi > 10000) {
+                        std::fprintf(
+                            stderr,
+                            "lapses-sim: warning: shard work "
+                            "imbalance %llu..%llu stepped components "
+                            "(> 2x); the busiest shard bounds the "
+                            "parallel speedup\n",
+                            static_cast<unsigned long long>(lo),
+                            static_cast<unsigned long long>(hi));
+                    }
+                }
             }
 
             if (!quiet) {
