@@ -175,6 +175,32 @@ BENCHMARK(BM_KernelDrainHeavy)
     ->Arg(static_cast<int>(KernelKind::Scan))
     ->Unit(benchmark::kMicrosecond);
 
+/** Closed-loop request/reply service on an 8x8 mesh: the NIC-side
+ *  client/server engines (timer wheel, seeded backoff, duplicate
+ *  bookkeeping) run inside the kernel step, so their cost shows up
+ *  here and nowhere else. */
+void
+BM_ClosedLoopMesh64(benchmark::State& state)
+{
+    SimConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.model = RouterModel::LaProud;
+    cfg.routing = RoutingAlgo::DuatoFullyAdaptive;
+    cfg.table = TableKind::EconomicalStorage;
+    cfg.workload = WorkloadKind::RequestReply;
+    cfg.kernel = static_cast<KernelKind>(state.range(0));
+    Simulation sim(cfg);
+    sim.stepCycles(2000); // reach the steady in-flight window
+    for (auto _ : state)
+        sim.stepCycles(200);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+BENCHMARK(BM_ClosedLoopMesh64)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
 /**
  * The BM_KernelParallel* cases measure what the spatially sharded
  * parallel kernel buys over the single-threaded active kernel on

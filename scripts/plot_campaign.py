@@ -37,6 +37,8 @@ METRIC_COLUMNS = (
     "throughput_mean",
     "throughput_p50",
     "throughput_p99",
+    "request_latency_p99",
+    "request_latency_p999",
 )
 
 METRIC_LABELS = {
@@ -146,6 +148,18 @@ def main(argv=None):
         metric = f"{family}_{args.stat}"
         series = build_series(axes, rows, x_axis, metric)
         out_path = os.path.join(args.out_dir, f"{family}.png")
+        plot_metric(plt, series, x_axis, metric, label, out_path)
+        written.append(out_path)
+    # Request-SLO tails exist only for closed-loop campaigns; the
+    # cells are empty otherwise and the plots are skipped.
+    for metric, label in (
+            ("request_latency_p99", "request latency p99 (cycles)"),
+            ("request_latency_p999", "request latency p999 (cycles)"),
+    ):
+        series = build_series(axes, rows, x_axis, metric)
+        if not series:
+            continue
+        out_path = os.path.join(args.out_dir, f"{metric}.png")
         plot_metric(plt, series, x_axis, metric, label, out_path)
         written.append(out_path)
     print("wrote " + " ".join(written))

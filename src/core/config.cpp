@@ -47,6 +47,24 @@ SimConfig::validate() const
         throw ConfigError("faultSpacing must be >= 1");
     if (linkDelay < 1 || linkDelay > 64)
         throw ConfigError("linkDelay must be in [1, 64]");
+    if (closedLoop()) {
+        int nodes = 1;
+        for (int r : radices)
+            nodes *= r;
+        if (servers < 1 || servers >= nodes)
+            throw ConfigError("servers must be in [1, numNodes) for "
+                              "the request-reply workload");
+        if (inflightWindow < 1)
+            throw ConfigError("inflightWindow must be >= 1");
+        if (requestTimeout < 1)
+            throw ConfigError("requestTimeout must be >= 1");
+        if (maxRetries < 0)
+            throw ConfigError("maxRetries must be >= 0");
+        if (backoffBase < 1)
+            throw ConfigError("backoffBase must be >= 1");
+        if (serviceTime < 1)
+            throw ConfigError("serviceTime must be >= 1");
+    }
 }
 
 std::string
@@ -64,10 +82,17 @@ SimConfig::describe() const
     s += ", " + tableKindName(table);
     s += ", sel " + selectorKindName(selector);
     s += ", " + trafficKindName(traffic);
-    char load_buf[24];
-    std::snprintf(load_buf, sizeof(load_buf), ", load %.2f",
-                  normalizedLoad);
-    s += load_buf;
+    if (closedLoop()) {
+        s += ", request-reply (" + std::to_string(servers) +
+             " servers, window " + std::to_string(inflightWindow) +
+             ", timeout " + std::to_string(requestTimeout) +
+             ", retries " + std::to_string(maxRetries) + ")";
+    } else {
+        char load_buf[24];
+        std::snprintf(load_buf, sizeof(load_buf), ", load %.2f",
+                      normalizedLoad);
+        s += load_buf;
+    }
     s += ", len " + std::to_string(msgLen);
     if (hasFaults()) {
         s += ", faults " + std::to_string(faultCount);

@@ -16,6 +16,7 @@
 #include "tables/table_factory.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/patterns.hpp"
+#include "workload/workload.hpp"
 
 namespace lapses
 {
@@ -62,6 +63,36 @@ struct SimConfig
     int msgLen = 20;             //!< Table 2: 20 flits
     InjectionKind injection = InjectionKind::Exponential;
     BurstOptions burst;          //!< shape of InjectionKind::Bursty
+
+    // --- Closed-loop service workload (src/workload/, DESIGN.md
+    // "Closed-loop determinism contract") -------------------------
+    /** Open keeps the classic open-loop streams above; RequestReply
+     *  turns nodes [0, servers) into servers and every other node
+     *  into a windowed request/reply client with deadline timeouts
+     *  and seeded retry/backoff. */
+    WorkloadKind workload = WorkloadKind::Open;
+    /** Cycles a client waits on a reply before timing out. */
+    Cycle requestTimeout = 4000;
+    /** Retransmissions allowed per request (0 = fail on the first
+     *  timeout). */
+    int maxRetries = 3;
+    /** Base backoff: retry k waits backoffBase << (k-1) cycles plus
+     *  seeded jitter in [0, backoffBase). */
+    Cycle backoffBase = 64;
+    /** Outstanding requests a client keeps in flight. */
+    int inflightWindow = 2;
+    /** Server nodes (ids [0, servers)); must stay below numNodes. */
+    int servers = 8;
+    /** Mean request service time at a server. */
+    Cycle serviceTime = 16;
+
+    /** True when the closed-loop request/reply engines drive the
+     *  NICs. */
+    bool
+    closedLoop() const
+    {
+        return workload == WorkloadKind::RequestReply;
+    }
 
     // --- Measurement ---
     // Defaults are smoke-test scale so interactive runs finish in

@@ -101,6 +101,15 @@ parseInjectionKind(const std::string& name)
          {InjectionKind::Bursty, "bursty"}});
 }
 
+WorkloadKind
+parseWorkloadKind(const std::string& name)
+{
+    return parseByName<WorkloadKind>(
+        name, "workload",
+        {{WorkloadKind::Open, "open"},
+         {WorkloadKind::RequestReply, "request-reply"}});
+}
+
 std::string
 injectionKindName(InjectionKind kind)
 {

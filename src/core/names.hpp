@@ -38,6 +38,9 @@ TrafficKind parseTrafficKind(const std::string& name);
 /** Parse "exponential", "bernoulli", "bursty". */
 InjectionKind parseInjectionKind(const std::string& name);
 
+/** Parse "open" / "request-reply" (workloadKindName's inverse). */
+WorkloadKind parseWorkloadKind(const std::string& name);
+
 /** Name for an injection kind (inverse of parseInjectionKind). */
 std::string injectionKindName(InjectionKind kind);
 

@@ -34,9 +34,9 @@ resolveEscapeVcs(const SimConfig& cfg, const RoutingAlgorithm& algo)
  *  (recursive midpoint split). The tree shape depends only on the
  *  lane count, never on delivery order or shard layout, so the merged
  *  Welford state is bit-for-bit reproducible. */
-template <typename Get>
+template <typename Lane, typename Get>
 Accumulator
-reduceTree(const std::vector<Simulation::DeliveryLane>& lanes,
+reduceTree(const std::vector<Lane>& lanes,
            std::size_t begin, std::size_t end, Get get)
 {
     if (end - begin == 1)
@@ -91,8 +91,19 @@ Simulation::Simulation(const SimConfig& cfg)
     np.nic.lookahead = np.router.lookahead;
     np.nic.injection = cfg_.injection;
     np.nic.burst = cfg_.burst;
+    // Closed-loop runs zero the open-loop injectors: demand comes
+    // from the request/reply engines instead of a rate process.
     np.nic.msgsPerCycle =
-        msgRateForLoad(topo_, cfg_.normalizedLoad, cfg_.msgLen);
+        cfg_.closedLoop()
+            ? 0.0
+            : msgRateForLoad(topo_, cfg_.normalizedLoad, cfg_.msgLen);
+    np.workload.kind = cfg_.workload;
+    np.workload.requestTimeout = cfg_.requestTimeout;
+    np.workload.maxRetries = cfg_.maxRetries;
+    np.workload.backoffBase = cfg_.backoffBase;
+    np.workload.inflightWindow = cfg_.inflightWindow;
+    np.workload.servers = cfg_.servers;
+    np.workload.serviceTime = cfg_.serviceTime;
     np.selector = cfg_.selector;
     np.seed = cfg_.seed;
     np.kernel = cfg_.kernel;
@@ -114,16 +125,21 @@ Simulation::Simulation(const SimConfig& cfg)
                                      algo_->usesEscapeChannels(),
                                      *pattern_);
     net_->setDeliveryHook(&Simulation::deliveryHook, this);
+    net_->setRequestHook(&Simulation::requestHook, this);
 
     // Delivery-side accumulators: one lane per destination node (node
     // d ejects on the thread owning d's shard, so lane writes never
     // race), one integer tally per shard. reduceStats() folds them
     // into stats_ at phase boundaries and saturation checks.
     lanes_.resize(topo_.numNodes());
+    request_lanes_.resize(topo_.numNodes());
     tallies_.reserve(net_->shardCount());
     for (std::size_t s = 0; s < net_->shardCount(); ++s) {
-        tallies_.emplace_back(stats_.latencyHist.bucketWidth(),
-                              stats_.latencyHist.numBuckets());
+        tallies_.emplace_back(
+            stats_.latencyHist.bucketWidth(),
+            stats_.latencyHist.numBuckets(),
+            stats_.requestLatencyHist.bucketWidth(),
+            stats_.requestLatencyHist.numBuckets());
     }
 
     stats_.offeredFlitRate = np.nic.msgsPerCycle * cfg_.msgLen;
@@ -172,6 +188,44 @@ Simulation::recordDelivery(const MessageDescriptor& msg, Cycle now)
 }
 
 void
+Simulation::requestHook(void* ctx, NodeId client, Cycle issuedAt,
+                        Cycle completedAt, std::uint16_t attempt,
+                        bool measured)
+{
+    (void)attempt;
+    static_cast<Simulation*>(ctx)->recordRequest(client, issuedAt,
+                                                 completedAt,
+                                                 measured);
+}
+
+void
+Simulation::recordRequest(NodeId client, Cycle issuedAt,
+                          Cycle completedAt, bool measured)
+{
+    // Runs on the thread owning the client's shard (completions fire
+    // at the client NIC's ejection path): touch only that node's
+    // request lane and its shard's tally. Requests issued in the
+    // measurement window are recorded wherever they complete —
+    // including the drain phase, or p99/p999 would be survivorship-
+    // biased toward the fast ones.
+    if (!measured)
+        return;
+    const auto latency = static_cast<double>(completedAt - issuedAt);
+    RequestLane& lane = request_lanes_[client];
+    lane.requestLatency.add(latency);
+    tallies_[net_->shardOf(client)].requestLatencyHist.add(latency);
+    const Cycle last_fault = net_->lastFaultCycle();
+    if (last_fault != kNeverCycle) {
+        lane.postFaultRequestLatency.add(latency);
+        const auto bucket = std::min<std::size_t>(
+            (completedAt - last_fault) /
+                SimStats::kRecoveryBucketCycles,
+            SimStats::kRecoveryBuckets - 1);
+        lane.requestRecoveryCurve[bucket].add(latency);
+    }
+}
+
+void
 Simulation::reduceStats()
 {
     const std::size_t n = lanes_.size();
@@ -192,15 +246,46 @@ Simulation::reduceStats()
             [b](const DeliveryLane& l) { return l.recoveryCurve[b]; });
     }
 
+    stats_.requestLatency = reduceTree(
+        request_lanes_, 0, n,
+        [](const RequestLane& l) { return l.requestLatency; });
+    stats_.postFaultRequestLatency = reduceTree(
+        request_lanes_, 0, n, [](const RequestLane& l) {
+            return l.postFaultRequestLatency;
+        });
+    for (std::size_t b = 0; b < SimStats::kRecoveryBuckets; ++b) {
+        stats_.requestRecoveryCurve[b] = reduceTree(
+            request_lanes_, 0, n, [b](const RequestLane& l) {
+                return l.requestRecoveryCurve[b];
+            });
+    }
+
     stats_.latencyHist.reset();
+    stats_.requestLatencyHist.reset();
     stats_.deliveredMessages = 0;
     stats_.deliveredFlits = 0;
     window_flits_ = 0;
     for (const ShardTally& t : tallies_) {
         stats_.latencyHist.merge(t.latencyHist);
+        stats_.requestLatencyHist.merge(t.requestLatencyHist);
         stats_.deliveredMessages += t.deliveredMessages;
         stats_.deliveredFlits += t.deliveredFlits;
         window_flits_ += t.windowFlits;
+    }
+
+    // Closed-loop reliability counters are integers summed over the
+    // engines in node order — exact and kernel-invariant.
+    if (net_->closedLoop()) {
+        const Network::WorkloadCounters wc = net_->workloadCounters();
+        stats_.requestsIssued = wc.issuedMeasured;
+        stats_.requestsCompleted = wc.completedMeasured;
+        stats_.requestsFailed = wc.failedMeasured;
+        stats_.requestTimeouts = wc.timeouts;
+        stats_.requestRetries = wc.retries;
+        stats_.duplicateRequests = wc.duplicateRequests;
+        stats_.duplicateReplies = wc.duplicateReplies;
+        stats_.suppressedReinjects =
+            net_->faultCounters().suppressedReinjects;
     }
 }
 
@@ -217,17 +302,49 @@ Simulation::saturationCheck()
 
     // Deadlock watchdog: flits are in the network but nothing moved for
     // a long time. This is a configuration error (non-deadlock-free
-    // routing), not saturation.
-    const std::uint64_t progress = net.progressCounter();
+    // routing), not saturation. Closed-loop runs also count the
+    // reliability layer's events as progress (a long backoff moves no
+    // flits but is not a stall), and a trip with requests outstanding
+    // dumps the outstanding-request table — the flit occupancy alone
+    // says nothing about which client/server pair wedged.
+    std::uint64_t progress = net.progressCounter();
+    if (net.closedLoop()) {
+        const Network::WorkloadCounters wc = net.workloadCounters();
+        progress += wc.completed + wc.failed + wc.timeouts +
+                    wc.retries;
+    }
     if (progress != last_progress_count_) {
         last_progress_count_ = progress;
         last_progress_cycle_ = now;
     } else if (now - last_progress_cycle_ > cfg_.deadlockCycles &&
-               net.totalOccupancy() > 0) {
-        throw SimulationError(
+               (net.totalOccupancy() > 0 ||
+                (net.closedLoop() &&
+                 !net.outstandingRequests().empty()))) {
+        std::string msg =
             "deadlock detected: no flit movement for " +
             std::to_string(now - last_progress_cycle_) +
-            " cycles with flits in flight (" + cfg_.describe() + ")");
+            " cycles with flits in flight (" + cfg_.describe() + ")";
+        if (net.closedLoop()) {
+            const auto rows = net.outstandingRequests();
+            msg += "\noutstanding requests (" +
+                   std::to_string(rows.size()) + "):";
+            constexpr std::size_t kMaxRows = 20;
+            for (std::size_t i = 0;
+                 i < rows.size() && i < kMaxRows; ++i) {
+                const Network::OutstandingRow& r = rows[i];
+                msg += "\n  client " + std::to_string(r.client) +
+                       " -> server " + std::to_string(r.server) +
+                       " req " + std::to_string(r.reqSeq) +
+                       " attempt " + std::to_string(r.attempt) +
+                       (r.backingOff ? " (backing off)" : "") +
+                       " deadline " + std::to_string(r.deadline);
+            }
+            if (rows.size() > kMaxRows)
+                msg += "\n  ... " +
+                       std::to_string(rows.size() - kMaxRows) +
+                       " more";
+        }
+        throw SimulationError(msg);
     }
 
     // Saturation: the offered load exceeds what the network drains.
@@ -328,10 +445,73 @@ Simulation::runPhases()
     }
 }
 
+void
+Simulation::runClosedLoopPhases()
+{
+    Network& net = *net_;
+
+    // Phase 1: warm-up. Clients issue from their windows until the
+    // configured number of requests has been put on the wire.
+    if (!runUntil([&] {
+            return net.workloadCounters().issued >=
+                   cfg_.warmupMessages;
+        })) {
+        return;
+    }
+
+    // Phase 2: measurement window. Tag new requests (and the flits
+    // they generate) until the request quota is reached.
+    net.setMeasuring(true);
+    measuring_window_ = true;
+    measure_start_ = net.now();
+    const bool measured = runUntil([&] {
+        return net.workloadCounters().issuedMeasured >=
+               cfg_.measureMessages;
+    });
+    net.setMeasuring(false);
+    measure_end_ = net.now();
+    measuring_window_ = false;
+    if (!measured)
+        return;
+
+    // Phase 3: drain. Stop admitting new requests but keep the
+    // reliability layer live — timers, retries and backoff continue
+    // until every measured request has either completed or exhausted
+    // its retry budget. Each outstanding request terminates within a
+    // bounded number of timeout + backoff rounds, so this converges.
+    net.setInjectionEnabled(false);
+    if (!runUntil([&] {
+            const Network::WorkloadCounters wc = net.workloadCounters();
+            return wc.completedMeasured + wc.failedMeasured >=
+                   wc.issuedMeasured;
+        })) {
+        return;
+    }
+
+    const Network::WorkloadCounters wc = net.workloadCounters();
+    stats_.injectedMessages = wc.issuedMeasured;
+    stats_.measuredCycles = measure_end_ - measure_start_;
+    reduceStats();
+    if (stats_.measuredCycles > 0) {
+        const auto cycles =
+            static_cast<double>(stats_.measuredCycles);
+        stats_.acceptedFlitRate =
+            static_cast<double>(window_flits_) /
+            (cycles * static_cast<double>(topo_.numNodes()));
+        stats_.requestGoodput =
+            static_cast<double>(wc.completedMeasured) / cycles;
+        stats_.requestOffered =
+            static_cast<double>(wc.issuedMeasured) / cycles;
+    }
+}
+
 SimStats
 Simulation::run()
 {
-    runPhases();
+    if (cfg_.closedLoop())
+        runClosedLoopPhases();
+    else
+        runPhases();
     // Every exit path — including saturation and the early returns in
     // runPhases — reports fully reduced statistics.
     reduceStats();

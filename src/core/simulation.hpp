@@ -77,21 +77,45 @@ class Simulation
      *  (one histogram per node would be wasteful). */
     struct ShardTally
     {
-        ShardTally(double hist_width, std::size_t hist_buckets)
-            : latencyHist(hist_width, hist_buckets)
+        ShardTally(double hist_width, std::size_t hist_buckets,
+                   double req_width, std::size_t req_buckets)
+            : latencyHist(hist_width, hist_buckets),
+              requestLatencyHist(req_width, req_buckets)
         {
         }
 
         Histogram latencyHist;
+        Histogram requestLatencyHist;
         std::uint64_t deliveredMessages = 0;
         std::uint64_t deliveredFlits = 0;
         std::uint64_t windowFlits = 0;
+    };
+
+    /**
+     * Per-client-node request-SLO accumulators, sharded exactly like
+     * DeliveryLane: a client's completions all fire on the thread
+     * owning its shard, and the node-granular lanes reduce through
+     * the same fixed-shape tree, so the merged floating-point values
+     * are byte-identical for every kernel and shard count.
+     */
+    struct RequestLane
+    {
+        Accumulator requestLatency;
+        Accumulator postFaultRequestLatency;
+        std::array<Accumulator, SimStats::kRecoveryBuckets>
+            requestRecoveryCurve{};
     };
 
   private:
     static void deliveryHook(void* ctx, const MessageDescriptor& msg,
                              Cycle now);
     void recordDelivery(const MessageDescriptor& msg, Cycle now);
+
+    static void requestHook(void* ctx, NodeId client, Cycle issuedAt,
+                            Cycle completedAt, std::uint16_t attempt,
+                            bool measured);
+    void recordRequest(NodeId client, Cycle issuedAt,
+                       Cycle completedAt, bool measured);
 
     /** Run phase loop until pred is true or saturation; returns false
      *  when the run saturated. */
@@ -111,6 +135,12 @@ class Simulation
     /** The warm-up / measure / drain phases (body of run()). */
     void runPhases();
 
+    /** The closed-loop phase loop: warm up on issued requests,
+     *  measure a request quota, then drain until every measured
+     *  request completed or failed (retries keep running after new
+     *  issues stop). */
+    void runClosedLoopPhases();
+
     SimConfig cfg_;
     MeshTopology topo_;
     RoutingAlgorithmPtr algo_;
@@ -122,6 +152,7 @@ class Simulation
     SimStats stats_;
     std::vector<DeliveryLane> lanes_;  //!< indexed by destination node
     std::vector<ShardTally> tallies_;  //!< indexed by owning shard
+    std::vector<RequestLane> request_lanes_; //!< by client node
     bool measuring_window_ = false;
     Cycle measure_start_ = 0;
     Cycle measure_end_ = 0;

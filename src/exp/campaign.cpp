@@ -39,7 +39,8 @@ CampaignAxes::runCount() const
     return n(models) * n(routings) * n(tables) * n(selectors) *
            n(traffics) * n(msgLens) * n(injections) * n(vcCounts) *
            n(bufferDepths) * n(escapeVcs) * n(faultCounts) *
-           n(faultSeeds) * n(telemetryWindows) * n(loads);
+           n(faultSeeds) * n(telemetryWindows) * n(workloads) *
+           n(loads);
 }
 
 std::size_t
@@ -72,7 +73,9 @@ CampaignGrid::expand(std::size_t index_offset,
     for (std::uint64_t fault_seed :
          axisOr(axes.faultSeeds, base.faultSeed))
     for (Cycle telemetry_window :
-         axisOr(axes.telemetryWindows, base.telemetryWindow)) {
+         axisOr(axes.telemetryWindows, base.telemetryWindow))
+    for (WorkloadKind workload :
+         axisOr(axes.workloads, base.workload)) {
         for (double load : axisOr(axes.loads, base.normalizedLoad)) {
             CampaignRun run;
             run.index = index;
@@ -91,6 +94,7 @@ CampaignGrid::expand(std::size_t index_offset,
             run.config.faultCount = faults;
             run.config.faultSeed = fault_seed;
             run.config.telemetryWindow = telemetry_window;
+            run.config.workload = workload;
             run.config.normalizedLoad = load;
             if (deriveSeeds)
                 run.config.seed = deriveSeed(campaignSeed, index);

@@ -44,8 +44,9 @@ class ResultSink;
  * Value lists for the swept axes. An empty axis means "use the grid's
  * base value" (an axis of one). Expansion order is fixed: model,
  * routing, table, selector, traffic, msglen, injection, vcs, buffers,
- * escape, faults, fault-seed, telemetry-window, load — load varies
- * fastest, so consecutive indices of one series walk its load axis.
+ * escape, faults, fault-seed, telemetry-window, workload, load — load
+ * varies fastest, so consecutive indices of one series walk its load
+ * axis.
  */
 struct CampaignAxes
 {
@@ -62,6 +63,7 @@ struct CampaignAxes
     std::vector<int> faultCounts;
     std::vector<std::uint64_t> faultSeeds;
     std::vector<Cycle> telemetryWindows;
+    std::vector<WorkloadKind> workloads;
     std::vector<double> loads;
 
     /** Number of runs the cross-product expands to (>= 1). */

@@ -104,6 +104,20 @@ CampaignCli::consume(int argc, char** argv, int& i)
         base.measureMessages = parseCheckedU64(arg, value());
     } else if (arg == "--telemetry-window") {
         base.telemetryWindow = parseCheckedU64(arg, value());
+    } else if (arg == "--workload") {
+        base.workload = parseWorkloadKind(value());
+    } else if (arg == "--request-timeout") {
+        base.requestTimeout = parseCheckedU64(arg, value());
+    } else if (arg == "--max-retries") {
+        base.maxRetries = parseCheckedInt(arg, value(), 0, int_max);
+    } else if (arg == "--backoff-base") {
+        base.backoffBase = parseCheckedU64(arg, value());
+    } else if (arg == "--inflight-window") {
+        base.inflightWindow = parseCheckedInt(arg, value(), 1, int_max);
+    } else if (arg == "--servers") {
+        base.servers = parseCheckedInt(arg, value(), 1, int_max);
+    } else if (arg == "--service-time") {
+        base.serviceTime = parseCheckedU64(arg, value());
     } else if (arg == "--intra-jobs") {
         base.intraJobs = static_cast<unsigned>(parseCheckedInt(
             arg, value(), 0, std::numeric_limits<int>::max()));
@@ -151,7 +165,8 @@ campaignCliHelp()
            "                       traffic|injection|msglen|vcs|"
            "buffers|\n"
            "                       escape|faults|fault-seed|\n"
-           "                       telemetry-window|load (load takes\n"
+           "                       telemetry-window|workload|load "
+           "(load takes\n"
            "                       LO:HI:STEP ranges); repeat --grid\n"
            "                       to join grids\n"
            "  --seed N             campaign seed; run i gets the seed\n"
@@ -171,6 +186,21 @@ campaignCliHelp()
            "                       times this). Never changes\n"
            "                       results                         [0]\n"
            "  --mode quick|default|paper   measurement scale preset\n"
+           "\n"
+           "Closed-loop service workload (README \"Service "
+           "workloads\"):\n"
+           "  --workload W         open|request-reply          [open]\n"
+           "  --servers N          server nodes (0..N-1 serve) "
+           "   [8]\n"
+           "  --inflight-window N  requests a client keeps in "
+           "flight [2]\n"
+           "  --request-timeout N  cycles before a retry is "
+           "armed [4000]\n"
+           "  --max-retries N      retransmissions before a request\n"
+           "                       is counted failed             [3]\n"
+           "  --backoff-base N     first backoff delay; doubles per\n"
+           "                       retry, plus seeded jitter    [64]\n"
+           "  --service-time N     mean server service delay    [16]\n"
            "\n"
            "Dynamic link faults (README \"Fault injection\"):\n"
            "  --faults N           random mid-run link failures\n"

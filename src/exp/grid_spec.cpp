@@ -129,6 +129,8 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
                 axes.faultSeeds.push_back(parseU64(axis, v));
             } else if (axis == "telemetry-window") {
                 axes.telemetryWindows.push_back(parseU64(axis, v));
+            } else if (axis == "workload") {
+                axes.workloads.push_back(parseWorkloadKind(v));
             } else if (axis == "load") {
                 appendLoads(v, axes.loads);
             } else {
@@ -136,7 +138,7 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
                     "unknown grid axis '" + axis +
                     "' (want model|routing|table|selector|traffic|"
                     "injection|msglen|vcs|buffers|escape|faults|"
-                    "fault-seed|telemetry-window|load)");
+                    "fault-seed|telemetry-window|workload|load)");
             }
         }
     }

@@ -183,6 +183,46 @@ checkTelemetrySchema(const std::vector<ShardFile>& shards)
     }
 }
 
+/**
+ * Same straddle check for the workload coordinate: shards written
+ * before the closed-loop workload axis existed have records without
+ * the "workload" field and cannot be merged with current shards.
+ */
+void
+checkWorkloadSchema(const std::vector<ShardFile>& shards)
+{
+    const ShardFile* bearing = nullptr;
+    const ShardFile* bare = nullptr;
+    for (const ShardFile& shard : shards) {
+        if (shard.format != SinkFormat::Jsonl ||
+            shard.records.empty())
+            continue;
+        std::size_t with = 0;
+        for (const auto& [index, line] : shard.records) {
+            if (line.find("\"workload\":") != std::string::npos)
+                ++with;
+        }
+        if (with != 0 && with != shard.records.size()) {
+            throw ConfigError(
+                "mixed workload schema inside " + shard.label +
+                ": some records carry the workload field and some "
+                "do not (file assembled from different campaign "
+                "versions?)");
+        }
+        if (with != 0)
+            bearing = &shard;
+        else
+            bare = &shard;
+    }
+    if (bearing != nullptr && bare != nullptr) {
+        throw ConfigError(
+            "mixed workload schema across shards: " + bare->label +
+            " has no workload field while " + bearing->label +
+            " does (stale pre-workload shard? re-run it with the "
+            "current lapses-campaign)");
+    }
+}
+
 } // namespace
 
 void
@@ -190,6 +230,7 @@ validateShardFiles(const std::vector<ShardFile>& shards,
                    const std::vector<CampaignRun>& runs)
 {
     checkTelemetrySchema(shards);
+    checkWorkloadSchema(shards);
 
     std::unordered_map<std::size_t, const CampaignRun*> by_index;
     by_index.reserve(runs.size());
@@ -365,6 +406,10 @@ struct RecordMetrics
     double latency = 0.0;
     bool hasThroughput = false;
     double throughput = 0.0;
+    bool hasRequestP99 = false;
+    double requestP99 = 0.0;
+    bool hasRequestP999 = false;
+    double requestP999 = 0.0;
 };
 
 RecordMetrics
@@ -377,9 +422,17 @@ extractMetrics(const std::string& line, SinkFormat format)
         m.hasLatency = jsonNumberField(line, "latency_mean", m.latency);
         m.hasThroughput =
             jsonNumberField(line, "accepted_flit_rate", m.throughput);
+        m.hasRequestP99 =
+            jsonNumberField(line, "request_latency_p99", m.requestP99);
+        m.hasRequestP999 = jsonNumberField(
+            line, "request_latency_p999", m.requestP999);
     } else {
         static const std::size_t latency_col = csvColumn("latency");
         static const std::size_t accepted_col = csvColumn("accepted");
+        static const std::size_t req_p99_col =
+            csvColumn("request_latency_p99");
+        static const std::size_t req_p999_col =
+            csvColumn("request_latency_p999");
         static const std::size_t saturated_col =
             csvColumn("saturated");
         const std::vector<std::string> cells = splitCsvRow(line);
@@ -394,6 +447,16 @@ extractMetrics(const std::string& line, SinkFormat format)
             !cells[accepted_col].empty()) {
             m.hasThroughput = true;
             m.throughput = std::atof(cells[accepted_col].c_str());
+        }
+        if (req_p99_col < cells.size() &&
+            !cells[req_p99_col].empty()) {
+            m.hasRequestP99 = true;
+            m.requestP99 = std::atof(cells[req_p99_col].c_str());
+        }
+        if (req_p999_col < cells.size() &&
+            !cells[req_p999_col].empty()) {
+            m.hasRequestP999 = true;
+            m.requestP999 = std::atof(cells[req_p999_col].c_str());
         }
     }
     return m;
@@ -431,6 +494,8 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
         return std::to_string(cfg.faultSeed);
     if (axis == "telemetry-window" || axis == "telemetry_window")
         return std::to_string(cfg.telemetryWindow);
+    if (axis == "workload")
+        return workloadKindName(cfg.workload);
     if (axis == "load")
         return number(cfg.normalizedLoad);
     if (axis == "mesh")
@@ -441,7 +506,7 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
         "unknown --group-by axis '" + axis +
         "' (want model|routing|table|selector|traffic|injection|"
         "msglen|vcs|buffers|escape|faults|fault-seed|"
-        "telemetry-window|load|mesh|series)");
+        "telemetry-window|workload|load|mesh|series)");
 }
 
 void
@@ -460,6 +525,8 @@ writeAggregateCsv(const std::vector<ShardFile>& shards,
         std::size_t saturated = 0;
         std::vector<double> latency;
         std::vector<double> throughput;
+        std::vector<double> requestP99;
+        std::vector<double> requestP999;
     };
 
     std::unordered_map<std::size_t,
@@ -504,19 +571,26 @@ writeAggregateCsv(const std::vector<ShardFile>& shards,
                 group.latency.push_back(m.latency);
             if (m.hasThroughput)
                 group.throughput.push_back(m.throughput);
+            if (m.hasRequestP99)
+                group.requestP99.push_back(m.requestP99);
+            if (m.hasRequestP999)
+                group.requestP999.push_back(m.requestP999);
         }
     }
 
     for (const std::string& axis : group_by)
         os << csvEscape(axis) << ',';
     os << "runs,saturated,latency_mean,latency_p50,latency_p99,"
-          "throughput_mean,throughput_p50,throughput_p99\n";
+          "throughput_mean,throughput_p50,throughput_p99,"
+          "request_latency_p99,request_latency_p999\n";
     for (const Group& group : groups) {
         for (const std::string& value : group.axes)
             os << csvEscape(value) << ',';
         os << group.records << ',' << group.saturated << ',';
         const SampleSummary lat = summarize(group.latency);
         const SampleSummary thr = summarize(group.throughput);
+        const SampleSummary req99 = summarize(group.requestP99);
+        const SampleSummary req999 = summarize(group.requestP999);
         // Like the sinks, all-saturated cells stay empty ("Sat.").
         if (lat.count > 0) {
             os << number(lat.mean) << ',' << number(lat.p50) << ','
@@ -531,6 +605,14 @@ writeAggregateCsv(const std::vector<ShardFile>& shards,
         } else {
             os << ",,";
         }
+        os << ',';
+        // SLO columns: group means of the per-run request-latency
+        // percentiles; empty for open-loop groups.
+        if (req99.count > 0)
+            os << number(req99.mean);
+        os << ',';
+        if (req999.count > 0)
+            os << number(req999.mean);
         os << '\n';
     }
 }

@@ -49,7 +49,8 @@ jsonCoordinates(const CampaignRun& run)
        << ",\"faults\":" << cfg.faultCount
        << ",\"fault_seed\":" << cfg.faultSeed
        << ",\"telemetry_window\":" << cfg.telemetryWindow
-       << ",\"load\":" << cfg.normalizedLoad
+       << ",\"workload\":\"" << workloadKindName(cfg.workload)
+       << "\",\"load\":" << cfg.normalizedLoad
        << ",\"seed\":" << cfg.seed
        << ",\"warmup\":" << cfg.warmupMessages
        << ",\"measure\":" << cfg.measureMessages;
@@ -73,6 +74,7 @@ csvCoordinates(const CampaignRun& run)
        << cfg.bufferDepth << ',' << cfg.escapeVcs << ','
        << cfg.faultCount << ',' << cfg.faultSeed << ','
        << cfg.telemetryWindow << ','
+       << csvEscape(workloadKindName(cfg.workload)) << ','
        << cfg.normalizedLoad << ',' << cfg.seed << ','
        << cfg.warmupMessages << ',' << cfg.measureMessages;
     return os.str();
@@ -92,7 +94,7 @@ campaignCsvHeader()
 {
     return "run,series,mesh,model,routing,table,selector,traffic,"
            "injection,msglen,vcs,buffers,escape_vcs,faults,fault_seed,"
-           "telemetry_window,load,seed,warmup,measure," +
+           "telemetry_window,workload,load,seed,warmup,measure," +
            statsCsvHeader();
 }
 

@@ -189,6 +189,14 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
     const int vcs = params.router.vcsPerPort;
     Rng master(params.seed);
 
+    // Closed-loop workload: the NICs' engines hash everything off the
+    // run seed, so the network stamps it into its own copy of the
+    // options and hands every NIC a pointer to that copy.
+    workload_opts_ = params.workload;
+    workload_opts_.seed = params.seed;
+    Nic::Params nic_params = params.nic;
+    nic_params.workload = &workload_opts_;
+
     // Contiguous component storage: stepping walks flat arrays instead
     // of chasing one heap pointer per router/NIC.
     routers_.reserve(static_cast<std::size_t>(n));
@@ -204,7 +212,7 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
                                           std::uint64_t>(id))),
             pool_);
         nics_.emplace_back(
-            id, params.nic, table, pattern,
+            id, nic_params, table, pattern,
             master.split(0x417Cu + static_cast<std::uint64_t>(id)),
             pool_);
         router_envs_[static_cast<std::size_t>(id)].bind(this, id);
@@ -485,14 +493,23 @@ Network::deliverFlitWire(Shard& sh, NodeId id, PortId p,
         if (tracer_ != nullptr) {
             tracer_->record({at, TraceEvent::Kind::Eject, id,
                              kInvalidPort, pool_[wf.flit.msg].id,
-                             wf.flit.seq, wf.flit.type});
+                             wf.flit.seq, wf.flit.type,
+                             pool_[wf.flit.msg].role,
+                             pool_[wf.flit.msg].attempt});
         }
         // The flit leaves the tracked domain at its destination NIC.
         // Ejections happen only on the owning shard's delivery path;
         // the barrier merge folds the delta into occupancy_.
         ++sh.ejected_flits;
-        nics_[static_cast<std::size_t>(id)].acceptFlit(wf.flit, at,
-                                                       *this);
+        Nic& nic = nics_[static_cast<std::size_t>(id)];
+        nic.acceptFlit(wf.flit, at, *this);
+        // A delivered request/reply arms new engine work (a service
+        // completion, a freed window slot) the NIC's recorded wake
+        // cannot know about — re-activate so it is stepped this very
+        // cycle, exactly when the scan kernel would step it. Ejection
+        // is intra-shard, so this touches only the owning shard.
+        if (kernel_ != KernelKind::Scan && nic.closedLoop())
+            activateNic(id);
         return;
     }
     const NodeId peer = topo_.neighbor(id, p);
@@ -537,7 +554,9 @@ Network::deliverInjectWire(Shard& sh, NodeId id, const WireFlit& wf,
     if (tracer_ != nullptr) {
         tracer_->record({at, TraceEvent::Kind::Inject, id,
                          kLocalPort, pool_[wf.flit.msg].id,
-                         wf.flit.seq, wf.flit.type});
+                         wf.flit.seq, wf.flit.type,
+                         pool_[wf.flit.msg].role,
+                         pool_[wf.flit.msg].attempt});
     }
     routers_[static_cast<std::size_t>(id)].acceptFlit(
         kLocalPort, wf.vc, wf.flit, at);
@@ -1193,9 +1212,20 @@ Network::purgeMessage(MsgRef msg, bool allow_reinject)
     // fully left the source).
     nics_[static_cast<std::size_t>(src)].cancelInjection(msg);
 
-    if (allow_reinject && params_.faultPolicy == FaultPolicy::Reinject) {
-        nics_[static_cast<std::size_t>(src)].requeueFront(
-            dest, created_at, measured);
+    Nic& src_nic = nics_[static_cast<std::size_t>(src)];
+    if (allow_reinject &&
+        params_.faultPolicy == FaultPolicy::Reinject &&
+        !src_nic.wantsReinject(desc)) {
+        // The client's reliability layer already timed this
+        // transmission out (or resolved the request); it owns the
+        // retry, so putting the purged copy back on the wire would
+        // race it. Not a drop either — the request is still live in
+        // the client's outstanding table.
+        ++fault_counters_.suppressedReinjects;
+    } else if (allow_reinject &&
+               params_.faultPolicy == FaultPolicy::Reinject) {
+        src_nic.requeueFront(dest, created_at, measured, desc.role,
+                             desc.reqSeq, desc.attempt);
         ++fault_counters_.reinjectedMessages;
     } else {
         ++fault_counters_.droppedMessages;
@@ -1349,6 +1379,46 @@ Network::totalBacklog() const
     for (const auto& nic : nics_)
         n += nic.backlog();
     return n;
+}
+
+Network::WorkloadCounters
+Network::workloadCounters() const
+{
+    WorkloadCounters wc;
+    for (const Nic& nic : nics_) {
+        if (const ClientEngine* client = nic.clientEngine()) {
+            const ClientCounters& c = client->counters();
+            wc.issued += c.issued;
+            wc.issuedMeasured += c.issuedMeasured;
+            wc.completed += c.completed;
+            wc.completedMeasured += c.completedMeasured;
+            wc.failed += c.failed;
+            wc.failedMeasured += c.failedMeasured;
+            wc.timeouts += c.timeouts;
+            wc.retries += c.retries;
+            wc.duplicateReplies += c.duplicateReplies;
+        }
+        if (const ServerEngine* server = nic.serverEngine())
+            wc.duplicateRequests +=
+                server->counters().duplicateRequests;
+    }
+    return wc;
+}
+
+std::vector<Network::OutstandingRow>
+Network::outstandingRequests() const
+{
+    std::vector<OutstandingRow> rows;
+    for (NodeId id = 0; id < topo_.numNodes(); ++id) {
+        const ClientEngine* client =
+            nics_[static_cast<std::size_t>(id)].clientEngine();
+        if (client == nullptr)
+            continue;
+        for (const OutstandingRequest& r : client->outstanding())
+            rows.push_back({id, r.server, r.reqSeq, r.attempt,
+                            r.backingOff, r.deadline});
+    }
+    return rows;
 }
 
 std::size_t

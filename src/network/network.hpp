@@ -122,6 +122,13 @@ struct NetworkParams
     /** Drop or reinject the messages a dying link cuts. */
     FaultPolicy faultPolicy = FaultPolicy::Reinject;
 
+    // --- Closed-loop workload (DESIGN.md "Closed-loop determinism
+    // contract") ---------------------------------------------------
+    /** Request/reply engine knobs; kind == Open (the default) keeps
+     *  every NIC on the classic open-loop injectors. The network
+     *  stamps its own seed into the copy it hands the NICs. */
+    WorkloadOptions workload;
+
     /**
      * The table to reprogram around failures at reconfiguration time
      * (must be the same object the routers route from). Null for
@@ -172,6 +179,39 @@ class Network : public DeliverySink
         std::uint64_t reinjectedMessages = 0;
         /** Held headers whose candidates changed at reconfiguration. */
         std::uint64_t reroutedHeads = 0;
+
+        /** Reinjects skipped because the client's reliability layer
+         *  had already timed the purged transmission out and owns the
+         *  retry (closed-loop runs only). */
+        std::uint64_t suppressedReinjects = 0;
+    };
+
+    /** Closed-loop reliability counters summed over every NIC's
+     *  engines in fixed node order (deterministic across kernels and
+     *  shard layouts). All zero for open-loop workloads. */
+    struct WorkloadCounters
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t issuedMeasured = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t completedMeasured = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t failedMeasured = 0;
+        std::uint64_t timeouts = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t duplicateRequests = 0;
+        std::uint64_t duplicateReplies = 0;
+    };
+
+    /** One row of the outstanding-request table (watchdog dumps). */
+    struct OutstandingRow
+    {
+        NodeId client = kInvalidNode;
+        NodeId server = kInvalidNode;
+        std::uint32_t reqSeq = 0;
+        std::uint16_t attempt = 0;
+        bool backingOff = false;
+        Cycle deadline = 0;
     };
 
     /**
@@ -273,6 +313,40 @@ class Network : public DeliverySink
     /** Sum of source-queue backlogs (saturation detector input). */
     std::size_t totalBacklog() const;
 
+    // --- Closed-loop workload observers ---------------------------
+
+    /** True when the NICs run the request/reply engines. */
+    bool
+    closedLoop() const
+    {
+        return workload_opts_.kind == WorkloadKind::RequestReply;
+    }
+
+    /** The resolved workload options (seed stamped in). */
+    const WorkloadOptions& workloadOptions() const
+    {
+        return workload_opts_;
+    }
+
+    /** Reliability counters summed over all engines in node order. */
+    WorkloadCounters workloadCounters() const;
+
+    /** Every client's outstanding requests, in (client, reqSeq)
+     *  order — the watchdog's stall diagnosis table. */
+    std::vector<OutstandingRow> outstandingRequests() const;
+
+    /** One NIC's engines (null when the node has none). */
+    const ClientEngine*
+    clientEngine(NodeId id) const
+    {
+        return nics_[static_cast<std::size_t>(id)].clientEngine();
+    }
+    const ServerEngine*
+    serverEngine(NodeId id) const
+    {
+        return nics_[static_cast<std::size_t>(id)].serverEngine();
+    }
+
     /** Flits buffered anywhere in routers or on wires. O(1): the
      *  counter moves only at injection (a flit enters the tracked
      *  domain) and ejection (it leaves); every other hop shifts flits
@@ -307,6 +381,30 @@ class Network : public DeliverySink
     {
         hook_ = hook;
         hook_ctx_ = ctx;
+    }
+
+    /** Hook invoked on every completed request (set by Simulation).
+     *  Runs on the client node's owning shard thread under the
+     *  parallel kernel — the sink must shard its accumulation by
+     *  client node, exactly like the delivery hook. */
+    using RequestHook = void (*)(void* ctx, NodeId client,
+                                 Cycle issuedAt, Cycle completedAt,
+                                 std::uint16_t attempt, bool measured);
+    void
+    setRequestHook(RequestHook hook, void* ctx)
+    {
+        request_hook_ = hook;
+        request_hook_ctx_ = ctx;
+    }
+
+    // DeliverySink: forwards a client engine's completion.
+    void
+    requestCompleted(NodeId client, Cycle issuedAt, Cycle completedAt,
+                     std::uint16_t attempt, bool measured) override
+    {
+        if (request_hook_ != nullptr)
+            request_hook_(request_hook_ctx_, client, issuedAt,
+                          completedAt, attempt, measured);
     }
 
     /** Attach (or detach with nullptr) a flit-event tracer. */
@@ -785,7 +883,12 @@ class Network : public DeliverySink
     std::uint64_t delivered_total_ = 0;
     DeliveryHook hook_ = nullptr;
     void* hook_ctx_ = nullptr;
+    RequestHook request_hook_ = nullptr;
+    void* request_hook_ctx_ = nullptr;
     FlitTracer* tracer_ = nullptr;
+
+    /** Seed-stamped workload options every NIC engine reads. */
+    WorkloadOptions workload_opts_;
 
     // Telemetry state. The per-node counter storage lives here (not in
     // the routers) so a single allocation at construction fixes every

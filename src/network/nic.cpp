@@ -1,5 +1,7 @@
 #include "network/nic.hpp"
 
+#include <algorithm>
+
 namespace lapses
 {
 
@@ -16,6 +18,15 @@ Nic::Nic(NodeId node, const Params& params, const RoutingTable& table,
 {
     if (params.msgLen < 1)
         throw ConfigError("message length must be at least 1 flit");
+    if (params.workload != nullptr &&
+        params.workload->kind == WorkloadKind::RequestReply) {
+        if (node < static_cast<NodeId>(params.workload->servers))
+            server_ =
+                std::make_unique<ServerEngine>(node, *params.workload);
+        else
+            client_ =
+                std::make_unique<ClientEngine>(node, *params.workload);
+    }
 }
 
 std::size_t
@@ -42,9 +53,12 @@ Nic::cancelInjection(MsgRef msg)
 }
 
 void
-Nic::requeueFront(NodeId dest, Cycle createdAt, bool measured)
+Nic::requeueFront(NodeId dest, Cycle createdAt, bool measured,
+                  MsgRole role, std::uint32_t reqSeq,
+                  std::uint16_t attempt)
 {
-    queue_.push_front({dest, createdAt, measured});
+    queue_.push_front({dest, createdAt, measured, role, reqSeq,
+                       attempt});
 }
 
 void
@@ -60,8 +74,23 @@ Nic::acceptFlit(const Flit& flit, Cycle now, DeliverySink& sink)
 {
     LAPSES_ASSERT_MSG(pool_[flit.msg].dest == node_,
                       "flit ejected at the wrong node");
-    if (isTail(flit.type))
-        sink.messageDelivered(flit.msg, now);
+    if (!isTail(flit.type))
+        return;
+    // Closed-loop dispatch happens before the generic delivery
+    // callback so the engines observe the message while its
+    // descriptor is still live. Ejection is always intra-shard, so
+    // these engine mutations stay on the owning shard's thread.
+    const MessageDescriptor& desc = pool_[flit.msg];
+    if (desc.role == MsgRole::Request && server_ != nullptr) {
+        server_->onRequest(desc.src, desc.reqSeq, desc.attempt,
+                           desc.measured, now);
+    } else if (desc.role == MsgRole::Reply && client_ != nullptr) {
+        const ReplyOutcome outcome = client_->onReply(desc.reqSeq, now);
+        if (outcome.completed)
+            sink.requestCompleted(node_, outcome.issuedAt, now,
+                                  outcome.attempt, outcome.measured);
+    }
+    sink.messageDelivered(flit.msg, now);
 }
 
 StepActivity
@@ -80,6 +109,30 @@ Nic::step(Cycle now, Env& env)
         ++created_total_;
         if (measuring_)
             ++created_measured_;
+    }
+
+    // 1b. Closed-loop engines: fire due timers, release ready
+    //     replies, and admit new requests into the source queue. The
+    //     emission order (client retransmits before new issues;
+    //     server replies in (readyAt, client, reqSeq) order) is fixed
+    //     by the engines, never by kernel interleaving.
+    if (client_ != nullptr || server_ != nullptr) {
+        emit_scratch_.clear();
+        MsgRole role = MsgRole::Request;
+        if (client_ != nullptr) {
+            client_->step(now, injection_enabled_, measuring_,
+                          emit_scratch_);
+        } else {
+            role = MsgRole::Reply;
+            server_->step(now, emit_scratch_);
+        }
+        for (const WorkloadEmit& e : emit_scratch_) {
+            queue_.push_back({e.dest, now, e.measured, role, e.reqSeq,
+                              e.attempt});
+            ++created_total_;
+            if (e.measured)
+                ++created_measured_;
+        }
     }
 
     // 2. Allocate idle VCs to waiting messages (conservative
@@ -105,6 +158,9 @@ Nic::step(Cycle now, Env& env)
         desc.msgLen = static_cast<std::uint16_t>(params_.msgLen);
         desc.createdAt = m.createdAt;
         desc.measured = m.measured;
+        desc.role = m.role;
+        desc.reqSeq = m.reqSeq;
+        desc.attempt = m.attempt;
     }
 
     // 3. The local physical link carries one flit per cycle; round-robin
@@ -155,7 +211,8 @@ Nic::step(Cycle now, Env& env)
     }
 
     report.pendingWork = backlog() > 0;
-    report.nextWake = process_.nextArrivalCycle(now + 1);
+    report.nextWake = std::min(process_.nextArrivalCycle(now + 1),
+                               engineWake(now + 1));
     return report;
 }
 

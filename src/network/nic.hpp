@@ -14,6 +14,7 @@
 #define LAPSES_NETWORK_NIC_HPP
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -23,6 +24,7 @@
 #include "tables/routing_table.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/patterns.hpp"
+#include "workload/workload.hpp"
 
 namespace lapses
 {
@@ -37,6 +39,20 @@ class DeliverySink
      *  The descriptor stays valid for the duration of the call; the
      *  sink's owner recycles it afterwards. */
     virtual void messageDelivered(MsgRef msg, Cycle now) = 0;
+
+    /** A closed-loop request completed: its reply reached the client
+     *  at `completedAt` after `attempt + 1` transmissions. Default
+     *  no-op so open-loop sinks stay untouched. */
+    virtual void
+    requestCompleted(NodeId client, Cycle issuedAt, Cycle completedAt,
+                     std::uint16_t attempt, bool measured)
+    {
+        (void)client;
+        (void)issuedAt;
+        (void)completedAt;
+        (void)attempt;
+        (void)measured;
+    }
 };
 
 /** Injection + ejection endpoint of one node. */
@@ -53,6 +69,10 @@ class Nic
         InjectionKind injection = InjectionKind::Exponential;
         BurstOptions burst;
         double msgsPerCycle = 0.0;
+
+        /** Closed-loop workload knobs (owned by the network; null or
+         *  kind == Open leaves the NIC purely open-loop). */
+        const WorkloadOptions* workload = nullptr;
     };
 
     /** Environment callback: puts a flit on the NIC -> router link. */
@@ -85,7 +105,8 @@ class Nic
     bool
     isQuiescent(Cycle now) const
     {
-        return backlog() == 0 && nextArrivalCycle(now) > now;
+        return backlog() == 0 && nextArrivalCycle(now) > now &&
+               engineWake(now) > now;
     }
 
     /** The injection process's next RNG-consuming cycle (>= now). */
@@ -132,12 +153,58 @@ class Nic
      *  (retransmission-by-reinjection): it re-enters VC allocation
      *  with a fresh descriptor but keeps its creation time, so its
      *  eventual latency includes the fault. */
-    void requeueFront(NodeId dest, Cycle createdAt, bool measured);
+    void requeueFront(NodeId dest, Cycle createdAt, bool measured,
+                      MsgRole role = MsgRole::Data,
+                      std::uint32_t reqSeq = 0,
+                      std::uint16_t attempt = 0);
 
     /** Pool bank this NIC acquires descriptors from — its shard under
      *  the parallel kernel (set by the network at construction; stays
      *  0 for the single-banked kernels). */
     void setPoolBank(unsigned bank) { pool_bank_ = bank; }
+
+    // --- Closed-loop workload (src/workload/) ---------------------
+
+    /** True when this NIC runs a request/reply engine (client or
+     *  server) instead of open-loop injection. */
+    bool closedLoop() const
+    {
+        return client_ != nullptr || server_ != nullptr;
+    }
+
+    /** The client-side reliability engine (null on servers and
+     *  open-loop NICs). */
+    const ClientEngine* clientEngine() const { return client_.get(); }
+
+    /** The server engine (null on clients and open-loop NICs). */
+    const ServerEngine* serverEngine() const { return server_.get(); }
+
+    /**
+     * True when the fault machinery may reinject a purged message at
+     * this NIC. Open-loop messages and replies always reinject;
+     * a purged request only while its client still waits on exactly
+     * that transmission — once the reliability layer timed it out,
+     * reinjection would race the retry it already owns.
+     */
+    bool
+    wantsReinject(const MessageDescriptor& desc) const
+    {
+        if (desc.role != MsgRole::Request || client_ == nullptr)
+            return true;
+        return client_->wantsReinject(desc.reqSeq, desc.attempt);
+    }
+
+    /** Earliest engine timer/service event at or after `now`;
+     *  kNeverCycle for open-loop NICs. */
+    Cycle
+    engineWake(Cycle now) const
+    {
+        if (client_)
+            return client_->nextWake(now);
+        if (server_)
+            return server_->nextWake(now);
+        return kNeverCycle;
+    }
 
   private:
     /** A message waiting in the source queue. */
@@ -146,6 +213,9 @@ class Nic
         NodeId dest;
         Cycle createdAt;
         bool measured;
+        MsgRole role = MsgRole::Data;
+        std::uint32_t reqSeq = 0;
+        std::uint16_t attempt = 0;
     };
 
     /** A message streaming flits on one local-link VC. */
@@ -169,6 +239,12 @@ class Nic
     std::vector<ActiveInjection> active_;
     std::vector<int> credits_;
     int mux_next_ = 0;
+
+    /** Closed-loop engines (at most one non-null, by node role). */
+    std::unique_ptr<ClientEngine> client_;
+    std::unique_ptr<ServerEngine> server_;
+    /** Per-step scratch for engine emissions (reused, never shrunk). */
+    std::vector<WorkloadEmit> emit_scratch_;
 
     bool measuring_ = false;
     bool injection_enabled_ = true;

@@ -66,6 +66,8 @@ FlitTracer::recordSpan(const TraceEvent& ev)
         PendingSpan& span = pending_spans_[ev.msg];
         span.src = ev.node;
         span.inject = ev.cycle;
+        span.role = ev.role;
+        span.attempt = ev.attempt;
         span.hops.clear();
         return;
     }
@@ -110,7 +112,15 @@ FlitTracer::recordSpan(const TraceEvent& ev)
     }
     os << "],\"network_cycles\":" << network
        << ",\"transfer_cycles\":" << transfer
-       << ",\"queueing_cycles\":" << queueing << "}\n";
+       << ",\"queueing_cycles\":" << queueing;
+    // Closed-loop spans carry their workload role; attempt > 0 tags a
+    // retransmission, so a grep for "attempt":[1-9] finds every retry
+    // the reliability layer put on the wire.
+    if (span.role != MsgRole::Data) {
+        os << ",\"role\":\"" << msgRoleName(span.role)
+           << "\",\"attempt\":" << span.attempt;
+    }
+    os << "}\n";
     ++spans_exported_;
     pending_spans_.erase(it);
 }

@@ -17,6 +17,7 @@
 
 #include "common/types.hpp"
 #include "router/flit.hpp"
+#include "router/message_pool.hpp"
 
 namespace lapses
 {
@@ -38,6 +39,12 @@ struct TraceEvent
     MessageId msg = 0;
     std::uint16_t seq = 0;
     FlitType type = FlitType::Head;
+
+    /** Closed-loop role of the message (Data for open-loop traffic)
+     *  and the transmission attempt it carries — span export tags
+     *  retransmissions with these. */
+    MsgRole role = MsgRole::Data;
+    std::uint16_t attempt = 0;
 };
 
 /** Bounded event recorder (oldest events are dropped when full). */
@@ -111,6 +118,8 @@ class FlitTracer
     {
         NodeId src = kInvalidNode;
         Cycle inject = 0;
+        MsgRole role = MsgRole::Data;
+        std::uint16_t attempt = 0;
         std::vector<SpanHop> hops;
     };
 

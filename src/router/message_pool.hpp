@@ -43,6 +43,31 @@
 namespace lapses
 {
 
+/** What a message means to the workload layer riding on top of the
+ *  network: plain open-loop data, a closed-loop request, or the reply
+ *  that closes it (src/workload/). */
+enum class MsgRole : std::uint8_t
+{
+    Data,
+    Request,
+    Reply,
+};
+
+/** Short identifier ("data", "request", "reply"). */
+constexpr const char*
+msgRoleName(MsgRole role)
+{
+    switch (role) {
+    case MsgRole::Request:
+        return "request";
+    case MsgRole::Reply:
+        return "reply";
+    case MsgRole::Data:
+        break;
+    }
+    return "data";
+}
+
 /** Header state shared by all flits of one in-flight message. */
 struct MessageDescriptor
 {
@@ -70,6 +95,17 @@ struct MessageDescriptor
     /** True when the message was created inside the measurement
      *  window and contributes to statistics. */
     bool measured = false;
+
+    /** Closed-loop role (Data for open-loop traffic). */
+    MsgRole role = MsgRole::Data;
+
+    /** Request sequence number within the client (role != Data);
+     *  replies echo the request's. */
+    std::uint32_t reqSeq = 0;
+
+    /** Transmission attempt this message carries (0 = first send);
+     *  replies echo the attempt they answer. */
+    std::uint16_t attempt = 0;
 
     /** Look-ahead route: candidate ports at the router the header is
      *  travelling toward, written by the previous hop's concurrent

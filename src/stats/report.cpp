@@ -44,7 +44,11 @@ statsCsvHeader()
     // `saturated` must stay the final column: resume/merge detect a
     // record cut short by a kill through the last cell being a bool.
     return "latency,network_latency,hops,accepted,offered,"
-           "dropped_messages,reinjected_messages,saturated";
+           "dropped_messages,reinjected_messages,"
+           "request_latency_p50,request_latency_p99,"
+           "request_latency_p999,request_goodput,request_offered,"
+           "request_retries,request_timeouts,requests_failed,"
+           "saturated";
 }
 
 std::string
@@ -59,8 +63,21 @@ statsToCsvRow(const SimStats& stats)
            << ',';
     }
     os << stats.offeredFlitRate << ',' << stats.droppedMessages << ','
-       << stats.reinjectedMessages << ','
-       << (stats.saturated ? "true" : "false");
+       << stats.reinjectedMessages << ',';
+    // Closed-loop SLO columns: empty for open-loop runs so sweep CSVs
+    // stay comparable across workloads.
+    if (stats.requestsIssued > 0 || stats.requestsCompleted > 0) {
+        os << stats.requestLatencyHist.percentile(0.5) << ','
+           << stats.requestLatencyHist.percentile(0.99) << ','
+           << stats.requestLatencyHist.percentile(0.999) << ','
+           << stats.requestGoodput << ',' << stats.requestOffered
+           << ',' << stats.requestRetries << ','
+           << stats.requestTimeouts << ',' << stats.requestsFailed
+           << ',';
+    } else {
+        os << ",,,,,,,,";
+    }
+    os << (stats.saturated ? "true" : "false");
     return os.str();
 }
 
@@ -122,6 +139,46 @@ statsJsonFields(const SimStats& stats)
                stats.postFaultLatency.count() > 0
                    ? stats.postFaultLatency.mean()
                    : std::numeric_limits<double>::quiet_NaN(),
+               first);
+    // Closed-loop service-workload fields (null/zero for open loop).
+    const bool closed =
+        stats.requestsIssued > 0 || stats.requestsCompleted > 0;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    jsonNumber(os, "request_latency_mean",
+               closed ? stats.requestLatency.mean() : nan, first);
+    jsonNumber(os, "request_latency_p50",
+               closed ? stats.requestLatencyHist.percentile(0.5) : nan,
+               first);
+    jsonNumber(os, "request_latency_p99",
+               closed ? stats.requestLatencyHist.percentile(0.99)
+                      : nan,
+               first);
+    jsonNumber(os, "request_latency_p999",
+               closed ? stats.requestLatencyHist.percentile(0.999)
+                      : nan,
+               first);
+    jsonNumber(os, "requests_issued",
+               static_cast<double>(stats.requestsIssued), first);
+    jsonNumber(os, "requests_completed",
+               static_cast<double>(stats.requestsCompleted), first);
+    jsonNumber(os, "requests_failed",
+               static_cast<double>(stats.requestsFailed), first);
+    jsonNumber(os, "request_timeouts",
+               static_cast<double>(stats.requestTimeouts), first);
+    jsonNumber(os, "request_retries",
+               static_cast<double>(stats.requestRetries), first);
+    jsonNumber(os, "duplicate_requests",
+               static_cast<double>(stats.duplicateRequests), first);
+    jsonNumber(os, "duplicate_replies",
+               static_cast<double>(stats.duplicateReplies), first);
+    jsonNumber(os, "suppressed_reinjects",
+               static_cast<double>(stats.suppressedReinjects), first);
+    jsonNumber(os, "request_goodput", stats.requestGoodput, first);
+    jsonNumber(os, "request_offered", stats.requestOffered, first);
+    jsonNumber(os, "post_fault_request_latency_mean",
+               stats.postFaultRequestLatency.count() > 0
+                   ? stats.postFaultRequestLatency.mean()
+                   : nan,
                first);
     os << ",\"saturated\":" << (stats.saturated ? "true" : "false");
     return os.str();

@@ -23,6 +23,20 @@ SimStats::summary() const
                       static_cast<unsigned long long>(deliveredMessages));
     }
     std::string s(buf);
+    if (requestsIssued > 0 || requestsCompleted > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | requests: %llu issued, %llu done (p99 %.0f, "
+            "p999 %.0f), %llu failed, %llu timeouts, %llu retries",
+            static_cast<unsigned long long>(requestsIssued),
+            static_cast<unsigned long long>(requestsCompleted),
+            requestLatencyHist.percentile(0.99),
+            requestLatencyHist.percentile(0.999),
+            static_cast<unsigned long long>(requestsFailed),
+            static_cast<unsigned long long>(requestTimeouts),
+            static_cast<unsigned long long>(requestRetries));
+        s += buf;
+    }
     if (linkDownEvents > 0) {
         std::snprintf(
             buf, sizeof(buf),

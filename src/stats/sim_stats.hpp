@@ -97,6 +97,52 @@ struct SimStats
      *  recoveryCurve (empty string when no fault fired). */
     std::string recoveryCurveSummary() const;
 
+    // --- Closed-loop service workload (src/workload/; all zero for
+    // open-loop runs) ----------------------------------------------
+
+    /** End-to-end request latency (issue to reply arrival, across
+     *  every retry) of measured completed requests. */
+    Accumulator requestLatency;
+
+    /** Request-latency distribution for p50/p99/p999 SLO reporting.
+     *  Wider buckets than the flit histogram: a request can legally
+     *  span several timeout + backoff rounds. */
+    Histogram requestLatencyHist{50.0, 2000};
+
+    /** Requests issued / completed / permanently failed during the
+     *  measurement window. */
+    std::uint64_t requestsIssued = 0;
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t requestsFailed = 0;
+
+    /** Deadline expiries observed (a request may time out several
+     *  times before completing or failing). All phases. */
+    std::uint64_t requestTimeouts = 0;
+
+    /** Retransmissions put on the wire (all phases). */
+    std::uint64_t requestRetries = 0;
+
+    /** Requests a server had already answered (suppressed from the
+     *  served count, still re-answered). */
+    std::uint64_t duplicateRequests = 0;
+
+    /** Replies for requests the client no longer tracked. */
+    std::uint64_t duplicateReplies = 0;
+
+    /** Reinjects the fault machinery skipped because the reliability
+     *  layer owned the retry. */
+    std::uint64_t suppressedReinjects = 0;
+
+    /** Measured completions per cycle (goodput) vs. measured issues
+     *  per cycle (offered) over the measurement window. */
+    double requestGoodput = 0.0;
+    double requestOffered = 0.0;
+
+    /** Request latency of measured completions after the first fault
+     *  event, and the recovery curve bucketed like recoveryCurve. */
+    Accumulator postFaultRequestLatency;
+    std::array<Accumulator, kRecoveryBuckets> requestRecoveryCurve{};
+
     /** Mean total latency, the paper's headline metric. */
     double meanLatency() const { return totalLatency.mean(); }
 

@@ -1,0 +1,177 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace lapses
+{
+
+std::uint64_t
+workloadHash(std::uint64_t seed, std::uint64_t node,
+             std::uint64_t reqSeq, std::uint64_t salt)
+{
+    return deriveSeed(deriveSeed(deriveSeed(seed, salt), node), reqSeq);
+}
+
+Cycle
+ClientEngine::backoffDelay(std::uint32_t reqSeq,
+                           std::uint16_t attempt) const
+{
+    // Exponential in the retry number, shift-capped so a deep budget
+    // cannot overflow; jitter decorrelates clients that timed out on
+    // the same cycle (the retry-storm knob).
+    const unsigned shift =
+        std::min<unsigned>(static_cast<unsigned>(attempt) - 1, 20u);
+    const Cycle base = opts_.backoffBase << shift;
+    const Cycle jitter =
+        workloadHash(opts_.seed, static_cast<std::uint64_t>(node_),
+                     reqSeq, kJitterSalt + attempt) %
+        opts_.backoffBase;
+    return base + jitter;
+}
+
+void
+ClientEngine::step(Cycle now, bool issueEnabled, bool measuring,
+                   std::vector<WorkloadEmit>& out)
+{
+    // 1. Fire every timer due by now, oldest request first (the vector
+    //    is insertion-ordered). A timer is either a reply deadline
+    //    (-> backoff or failure) or a backoff expiry (-> retransmit).
+    for (std::size_t i = 0; i < outstanding_.size();) {
+        OutstandingRequest& r = outstanding_[i];
+        if (r.deadline > now) {
+            ++i;
+            continue;
+        }
+        if (r.backingOff) {
+            r.backingOff = false;
+            r.deadline = now + opts_.requestTimeout;
+            ++counters_.retries;
+            out.push_back({r.server, r.reqSeq, r.attempt, r.measured});
+            ++i;
+        } else {
+            ++counters_.timeouts;
+            if (r.attempt >=
+                static_cast<std::uint16_t>(opts_.maxRetries)) {
+                ++counters_.failed;
+                if (r.measured)
+                    ++counters_.failedMeasured;
+                outstanding_.erase(outstanding_.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++r.attempt;
+                r.backingOff = true;
+                r.deadline = now + backoffDelay(r.reqSeq, r.attempt);
+                ++i;
+            }
+        }
+    }
+
+    // 2. Admit new requests while the window has room. Server choice
+    //    is a pure hash of the request identity, so the schedule never
+    //    depends on kernel or shard interleaving.
+    while (issueEnabled &&
+           outstanding_.size() <
+               static_cast<std::size_t>(opts_.inflightWindow)) {
+        const std::uint32_t seq = next_seq_++;
+        const NodeId server = static_cast<NodeId>(
+            workloadHash(opts_.seed, static_cast<std::uint64_t>(node_),
+                         seq, kServerPickSalt) %
+            static_cast<std::uint64_t>(opts_.servers));
+        outstanding_.push_back({seq, server, now,
+                                now + opts_.requestTimeout, 0,
+                                measuring, false});
+        ++counters_.issued;
+        if (measuring)
+            ++counters_.issuedMeasured;
+        out.push_back({server, seq, 0, measuring});
+    }
+}
+
+ReplyOutcome
+ClientEngine::onReply(std::uint32_t reqSeq, Cycle now)
+{
+    (void)now;
+    for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+        if (outstanding_[i].reqSeq != reqSeq)
+            continue;
+        // A reply completes the request in any state — including
+        // backing off, when an earlier attempt's answer finally
+        // arrived after the client gave up waiting on it.
+        const OutstandingRequest r = outstanding_[i];
+        outstanding_.erase(outstanding_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        ++counters_.completed;
+        if (r.measured)
+            ++counters_.completedMeasured;
+        return {true, r.issuedAt, r.attempt, r.measured};
+    }
+    ++counters_.duplicateReplies;
+    return {};
+}
+
+Cycle
+ClientEngine::nextWake(Cycle now) const
+{
+    Cycle wake = kNeverCycle;
+    for (const OutstandingRequest& r : outstanding_)
+        wake = std::min(wake, r.deadline);
+    return wake < now ? now : wake;
+}
+
+bool
+ClientEngine::wantsReinject(std::uint32_t reqSeq,
+                            std::uint16_t attempt) const
+{
+    for (const OutstandingRequest& r : outstanding_) {
+        if (r.reqSeq == reqSeq)
+            return r.attempt == attempt && !r.backingOff;
+    }
+    return false;
+}
+
+void
+ServerEngine::onRequest(NodeId client, std::uint32_t reqSeq,
+                        std::uint16_t attempt, bool measured,
+                        Cycle now)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(client))
+         << 32) |
+        reqSeq;
+    if (served_.insert(key).second)
+        ++counters_.served;
+    else
+        ++counters_.duplicateRequests;
+    // At-least-once: duplicates are re-answered too, so a reply the
+    // fault machinery purged stays recoverable through a retry. The
+    // client's duplicate-reply suppression keeps the double answers
+    // from double-counting.
+    const Cycle delay =
+        1 + workloadHash(opts_.seed,
+                         static_cast<std::uint64_t>(client), reqSeq,
+                         kServiceSalt + attempt) %
+                (2 * opts_.serviceTime - 1);
+    pending_.push({now + delay, client, reqSeq, attempt, measured});
+}
+
+void
+ServerEngine::step(Cycle now, std::vector<WorkloadEmit>& out)
+{
+    while (!pending_.empty() && pending_.top().readyAt <= now) {
+        const PendingReply p = pending_.top();
+        pending_.pop();
+        out.push_back({p.client, p.reqSeq, p.attempt, p.measured});
+    }
+}
+
+Cycle
+ServerEngine::nextWake(Cycle now) const
+{
+    if (pending_.empty())
+        return kNeverCycle;
+    return pending_.top().readyAt < now ? now : pending_.top().readyAt;
+}
+
+} // namespace lapses

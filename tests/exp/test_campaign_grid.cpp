@@ -134,6 +134,24 @@ TEST(GridSpec, RejectsUnknownAxisAndBadValues)
     EXPECT_THROW(applyGridSpec("msglen", grid), ConfigError);
 }
 
+TEST(GridSpec, ParsesWorkloadAxis)
+{
+    CampaignGrid grid;
+    applyGridSpec("workload=open,request-reply; load=0.1,0.2", grid);
+    ASSERT_EQ(grid.axes.workloads.size(), 2u);
+    EXPECT_EQ(grid.axes.workloads[0], WorkloadKind::Open);
+    EXPECT_EQ(grid.axes.workloads[1], WorkloadKind::RequestReply);
+    EXPECT_EQ(grid.axes.runCount(), 2u * 2u);
+    const auto runs = grid.expand();
+    ASSERT_EQ(runs.size(), 4u);
+    // workload varies slower than load.
+    EXPECT_EQ(runs[0].config.workload, WorkloadKind::Open);
+    EXPECT_EQ(runs[1].config.workload, WorkloadKind::Open);
+    EXPECT_EQ(runs[2].config.workload, WorkloadKind::RequestReply);
+    EXPECT_EQ(runs[3].config.workload, WorkloadKind::RequestReply);
+    EXPECT_THROW(applyGridSpec("workload=closed", grid), ConfigError);
+}
+
 TEST(GridSpec, ParsesFaultAxes)
 {
     CampaignGrid grid;

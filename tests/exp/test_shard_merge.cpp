@@ -329,6 +329,122 @@ TEST(ShardMerge, TelemetryWindowAxisShardsMergeByteIdentical)
     }
 }
 
+TEST(ShardMerge, WorkloadAxisClosedLoopShardsMergeByteIdentical)
+{
+    // workload as a first-class grid axis: a campaign mixing open-loop
+    // and closed-loop (request/reply, with mid-run faults) runs,
+    // executed as two shards, must reassemble into the unsharded
+    // bytes — the reliability layer's retries, timeouts, and SLO
+    // percentiles included.
+    CampaignGrid grid;
+    grid.base.radices = {4, 4};
+    grid.base.msgLen = 4;
+    grid.base.warmupMessages = 10;
+    grid.base.measureMessages = 60;
+    grid.base.table = TableKind::Full;
+    grid.base.servers = 4;
+    grid.base.inflightWindow = 2;
+    grid.base.requestTimeout = 300;
+    grid.base.serviceTime = 8;
+    grid.base.faultCount = 1;
+    grid.base.faultStart = 300;
+    grid.base.faultPolicy = FaultPolicy::Drop;
+    grid.campaignSeed = 11;
+    grid.axes.workloads = {WorkloadKind::Open,
+                           WorkloadKind::RequestReply};
+    grid.axes.loads = {0.1, 0.2};
+    const std::vector<CampaignRun> runs = grid.expand();
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_EQ(runs[0].config.workload, WorkloadKind::Open);
+    EXPECT_EQ(runs[2].config.workload, WorkloadKind::RequestReply);
+
+    const ShardOutput whole = runShard(runs, ShardSpec{}, 2);
+    EXPECT_NE(whole.jsonl.find("\"workload\":\"open\""),
+              std::string::npos);
+    EXPECT_NE(whole.jsonl.find("\"workload\":\"request-reply\""),
+              std::string::npos);
+    EXPECT_NE(whole.jsonl.find("\"request_latency_p99\":"),
+              std::string::npos);
+    EXPECT_NE(whole.csv.find(",workload,"), std::string::npos);
+
+    for (SinkFormat format : {SinkFormat::Jsonl, SinkFormat::Csv}) {
+        const bool json = format == SinkFormat::Jsonl;
+        std::vector<ShardFile> shards;
+        for (std::size_t k = 0; k < 2; ++k) {
+            const ShardOutput out =
+                runShard(runs, ShardSpec{k, 2}, 1);
+            shards.push_back(parseString(json ? out.jsonl : out.csv,
+                                         "wl" + std::to_string(k),
+                                         format));
+        }
+        EXPECT_NO_THROW(validateShardFiles(shards, runs));
+        MergeReport report;
+        const std::string merged =
+            mergeAll(shards, runs, format, &report);
+        EXPECT_TRUE(report.complete());
+        EXPECT_EQ(merged, json ? whole.jsonl : whole.csv);
+    }
+
+    // --group-by workload folds the load axis and reports the request
+    // SLO percentiles: populated for the request-reply group, empty
+    // cells for the open-loop group.
+    std::vector<ShardFile> shards;
+    for (std::size_t k = 0; k < 2; ++k) {
+        const ShardOutput out = runShard(runs, ShardSpec{k, 2}, 1);
+        shards.push_back(parseString(out.jsonl,
+                                     "ag" + std::to_string(k),
+                                     SinkFormat::Jsonl));
+    }
+    std::ostringstream os;
+    writeAggregateCsv(shards, runs, {"workload"}, os);
+    std::istringstream lines(os.str());
+    std::string header;
+    std::string open_row;
+    std::string rr_row;
+    ASSERT_TRUE(std::getline(lines, header));
+    ASSERT_TRUE(std::getline(lines, open_row));
+    ASSERT_TRUE(std::getline(lines, rr_row));
+    EXPECT_EQ(open_row.compare(0, 5, "open,"), 0) << open_row;
+    EXPECT_EQ(rr_row.compare(0, 14, "request-reply,"), 0) << rr_row;
+    // The last two columns are request_latency_p99/p999.
+    EXPECT_EQ(open_row.substr(open_row.size() - 2), ",,") << open_row;
+    EXPECT_NE(rr_row.substr(rr_row.size() - 2), ",,") << rr_row;
+}
+
+/** Drop every "workload" field, imitating a shard file written
+ *  before the closed-loop coordinate existed. */
+std::string
+stripWorkloadField(std::string text)
+{
+    const std::string key = "\"workload\":";
+    for (std::size_t pos = text.find(key); pos != std::string::npos;
+         pos = text.find(key, pos)) {
+        const std::size_t end = text.find(',', pos);
+        text.erase(pos, end - pos + 1);
+    }
+    return text;
+}
+
+TEST(MergeValidator, RejectsStalePreWorkloadShards)
+{
+    const ShardFixture& fx = fixture();
+    const std::vector<ShardFile> mixed = {
+        parseString(stripWorkloadField(fx.shard[0].jsonl),
+                    "pre-workload.jsonl", SinkFormat::Jsonl),
+        parseString(fx.shard[1].jsonl, "fresh.jsonl",
+                    SinkFormat::Jsonl),
+    };
+    try {
+        validateShardFiles(mixed, fx.runs);
+        FAIL() << "mixed workload schema not rejected";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("workload"), std::string::npos) << what;
+        EXPECT_NE(what.find("pre-workload.jsonl"), std::string::npos)
+            << what;
+    }
+}
+
 /** Drop every "telemetry_window" field, imitating a shard file
  *  written before the coordinate existed. */
 std::string
@@ -578,7 +694,8 @@ TEST(Aggregation, GroupsOverGridAxesWithSummaryColumns)
     EXPECT_EQ(header,
               "traffic,load,runs,saturated,latency_mean,latency_p50,"
               "latency_p99,throughput_mean,throughput_p50,"
-              "throughput_p99");
+              "throughput_p99,request_latency_p99,"
+              "request_latency_p999");
     std::size_t rows = 0;
     std::string line;
     while (std::getline(lines, line)) {

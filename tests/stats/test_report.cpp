@@ -65,7 +65,7 @@ TEST(SweepCsv, SaturatedRowsKeepLoadDropLatency)
     s.points = {fakeStats(0.0, /*saturated=*/true)};
     std::ostringstream os;
     writeSweepCsv(os, {s});
-    EXPECT_NE(os.str().find("x,0.5,,,,,0.1,0,0,true"),
+    EXPECT_NE(os.str().find("x,0.5,,,,,0.1,0,0,,,,,,,,,true"),
               std::string::npos);
 }
 

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit suite for the closed-loop request/reply engines (DESIGN.md
+ * "Closed-loop determinism contract"): window admission, deadline
+ * timers, the exponential-backoff-with-jitter retry ladder, retry
+ * budget exhaustion, duplicate-reply suppression at the client,
+ * duplicate-request counting (with at-least-once re-answering) at the
+ * server, the reinject-ownership predicate, and the pure-hash
+ * determinism every one of those decisions rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+WorkloadOptions
+testOpts()
+{
+    WorkloadOptions opts;
+    opts.kind = WorkloadKind::RequestReply;
+    opts.requestTimeout = 100;
+    opts.maxRetries = 2;
+    opts.backoffBase = 16;
+    opts.inflightWindow = 3;
+    opts.servers = 4;
+    opts.serviceTime = 8;
+    opts.seed = 42;
+    return opts;
+}
+
+TEST(WorkloadHash, DeterministicAndSaltSeparated)
+{
+    // Equal inputs equal outputs — the whole determinism story leans
+    // on this being a pure function.
+    EXPECT_EQ(workloadHash(1, 2, 3, kServerPickSalt),
+              workloadHash(1, 2, 3, kServerPickSalt));
+    // Different salts decorrelate the independent draws.
+    EXPECT_NE(workloadHash(1, 2, 3, kServerPickSalt),
+              workloadHash(1, 2, 3, kServiceSalt));
+    EXPECT_NE(workloadHash(1, 2, 3, kServiceSalt),
+              workloadHash(1, 2, 3, kJitterSalt));
+    // And each identity coordinate matters.
+    EXPECT_NE(workloadHash(1, 2, 3, kJitterSalt),
+              workloadHash(2, 2, 3, kJitterSalt));
+    EXPECT_NE(workloadHash(1, 2, 3, kJitterSalt),
+              workloadHash(1, 3, 3, kJitterSalt));
+    EXPECT_NE(workloadHash(1, 2, 3, kJitterSalt),
+              workloadHash(1, 2, 4, kJitterSalt));
+}
+
+TEST(ClientEngine, WindowAdmissionAndEnforcement)
+{
+    const WorkloadOptions opts = testOpts();
+    ClientEngine client(9, opts);
+    std::vector<WorkloadEmit> out;
+
+    client.step(0, /*issueEnabled=*/true, /*measuring=*/false, out);
+    ASSERT_EQ(out.size(), 3u); // the full window, in sequence order
+    for (std::uint32_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].reqSeq, i);
+        EXPECT_EQ(out[i].attempt, 0);
+        EXPECT_FALSE(out[i].measured);
+        EXPECT_GE(out[i].dest, 0);
+        EXPECT_LT(out[i].dest, opts.servers);
+    }
+    EXPECT_EQ(client.counters().issued, 3u);
+    EXPECT_EQ(client.counters().issuedMeasured, 0u);
+
+    // Window full: stepping again admits nothing.
+    out.clear();
+    client.step(1, true, false, out);
+    EXPECT_TRUE(out.empty());
+
+    // One completion frees one slot; the next issue is measured.
+    EXPECT_TRUE(client.onReply(0, 10).completed);
+    out.clear();
+    client.step(10, true, /*measuring=*/true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].reqSeq, 3u);
+    EXPECT_TRUE(out[0].measured);
+    EXPECT_EQ(client.counters().issuedMeasured, 1u);
+
+    // issueEnabled=false (the drain phase) admits nothing even with
+    // room in the window.
+    EXPECT_TRUE(client.onReply(1, 11).completed);
+    out.clear();
+    client.step(11, /*issueEnabled=*/false, false, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(client.outstanding().size(), 2u);
+}
+
+TEST(ClientEngine, ServerChoiceIsPureHash)
+{
+    const WorkloadOptions opts = testOpts();
+    ClientEngine a(9, opts);
+    ClientEngine b(9, opts);
+    std::vector<WorkloadEmit> out_a;
+    std::vector<WorkloadEmit> out_b;
+    a.step(0, true, false, out_a);
+    b.step(5, true, true, out_b); // different cycle and phase...
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::size_t i = 0; i < out_a.size(); ++i) {
+        // ...but identical server choice: it hangs off (seed, node,
+        // seq) only, never off time or measurement state.
+        EXPECT_EQ(out_a[i].dest, out_b[i].dest);
+        EXPECT_EQ(out_a[i].dest,
+                  static_cast<NodeId>(
+                      workloadHash(opts.seed, 9, out_a[i].reqSeq,
+                                   kServerPickSalt) %
+                      static_cast<std::uint64_t>(opts.servers)));
+    }
+}
+
+TEST(ClientEngine, ReplyCompletesAndDuplicateReplyIsSuppressed)
+{
+    ClientEngine client(9, testOpts());
+    std::vector<WorkloadEmit> out;
+    client.step(0, true, true, out);
+
+    const ReplyOutcome first = client.onReply(1, 30);
+    EXPECT_TRUE(first.completed);
+    EXPECT_EQ(first.issuedAt, 0u);
+    EXPECT_EQ(first.attempt, 0);
+    EXPECT_TRUE(first.measured);
+    EXPECT_EQ(client.counters().completed, 1u);
+    EXPECT_EQ(client.counters().completedMeasured, 1u);
+
+    // The same reply again (a retransmitted request's double answer):
+    // suppressed, counted, and the completion counters do not move.
+    const ReplyOutcome dup = client.onReply(1, 31);
+    EXPECT_FALSE(dup.completed);
+    EXPECT_EQ(client.counters().completed, 1u);
+    EXPECT_EQ(client.counters().completedMeasured, 1u);
+    EXPECT_EQ(client.counters().duplicateReplies, 1u);
+
+    // A reply for a request that never existed is also a duplicate.
+    EXPECT_FALSE(client.onReply(77, 32).completed);
+    EXPECT_EQ(client.counters().duplicateReplies, 2u);
+}
+
+TEST(ClientEngine, TimeoutBackoffRetransmitLadder)
+{
+    const WorkloadOptions opts = testOpts();
+    ClientEngine client(9, opts);
+    std::vector<WorkloadEmit> out;
+    client.step(0, true, false, out);
+    out.clear();
+
+    // Deadline passes: the timeout arms a backoff, no wire traffic.
+    client.step(opts.requestTimeout, true, false, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(client.counters().timeouts, 3u);
+    EXPECT_EQ(client.counters().retries, 0u);
+    for (const OutstandingRequest& r : client.outstanding()) {
+        EXPECT_TRUE(r.backingOff);
+        EXPECT_EQ(r.attempt, 1);
+        // First backoff: base + jitter, jitter in [0, base).
+        const Cycle delay = r.deadline - opts.requestTimeout;
+        EXPECT_GE(delay, opts.backoffBase);
+        EXPECT_LT(delay, 2 * opts.backoffBase);
+    }
+
+    // Backoff expires: the retransmission goes out, deadline re-arms.
+    const Cycle retransmit_at =
+        opts.requestTimeout + 2 * opts.backoffBase;
+    client.step(retransmit_at, true, false, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(client.counters().retries, 3u);
+    for (const WorkloadEmit& e : out)
+        EXPECT_EQ(e.attempt, 1);
+    for (const OutstandingRequest& r : client.outstanding()) {
+        EXPECT_FALSE(r.backingOff);
+        EXPECT_EQ(r.deadline, retransmit_at + opts.requestTimeout);
+        // The latency anchor stays at first issue across retries.
+        EXPECT_EQ(r.issuedAt, 0u);
+    }
+
+    // Second timeout: the backoff doubles (2*base + jitter).
+    out.clear();
+    const Cycle second_timeout = retransmit_at + opts.requestTimeout;
+    client.step(second_timeout, true, false, out);
+    EXPECT_TRUE(out.empty());
+    for (const OutstandingRequest& r : client.outstanding()) {
+        EXPECT_EQ(r.attempt, 2);
+        const Cycle delay = r.deadline - second_timeout;
+        EXPECT_GE(delay, 2 * opts.backoffBase);
+        EXPECT_LT(delay, 3 * opts.backoffBase);
+    }
+}
+
+TEST(ClientEngine, FailsWhenRetryBudgetExhausted)
+{
+    WorkloadOptions opts = testOpts();
+    opts.maxRetries = 0;
+    opts.inflightWindow = 1;
+    ClientEngine client(9, opts);
+    std::vector<WorkloadEmit> out;
+    client.step(0, true, true, out);
+    ASSERT_EQ(out.size(), 1u);
+
+    // maxRetries 0: the first timeout is terminal.
+    out.clear();
+    client.step(opts.requestTimeout, /*issueEnabled=*/false, false,
+                out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(client.counters().failed, 1u);
+    EXPECT_EQ(client.counters().failedMeasured, 1u);
+    EXPECT_TRUE(client.outstanding().empty());
+    EXPECT_EQ(client.nextWake(opts.requestTimeout), kNeverCycle);
+
+    // A straggler reply for the failed request is a duplicate now.
+    EXPECT_FALSE(client.onReply(0, opts.requestTimeout + 1).completed);
+    EXPECT_EQ(client.counters().duplicateReplies, 1u);
+}
+
+TEST(ClientEngine, WantsReinjectTracksAttemptOwnership)
+{
+    WorkloadOptions opts = testOpts();
+    opts.inflightWindow = 1;
+    ClientEngine client(9, opts);
+    std::vector<WorkloadEmit> out;
+    client.step(0, true, false, out);
+
+    // In flight on attempt 0: the purged copy is still the live one.
+    EXPECT_TRUE(client.wantsReinject(0, 0));
+    // A different attempt of the same request is stale.
+    EXPECT_FALSE(client.wantsReinject(0, 1));
+    // Unknown request: nothing to reinject.
+    EXPECT_FALSE(client.wantsReinject(5, 0));
+
+    // Timed out and backing off: the reliability layer owns the retry,
+    // reinjection of any copy must stay suppressed.
+    out.clear();
+    client.step(opts.requestTimeout, false, false, out);
+    ASSERT_TRUE(client.outstanding()[0].backingOff);
+    EXPECT_FALSE(client.wantsReinject(0, 0));
+    EXPECT_FALSE(client.wantsReinject(0, 1));
+
+    // Retransmitted: attempt 1 is live again, attempt 0 stays stale.
+    out.clear();
+    client.step(opts.requestTimeout + 2 * opts.backoffBase, false,
+                false, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(client.wantsReinject(0, 1));
+    EXPECT_FALSE(client.wantsReinject(0, 0));
+}
+
+TEST(ClientEngine, NextWakeIsEarliestTimerClampedToNow)
+{
+    WorkloadOptions opts = testOpts();
+    opts.inflightWindow = 2;
+    ClientEngine client(9, opts);
+    EXPECT_EQ(client.nextWake(0), kNeverCycle);
+
+    std::vector<WorkloadEmit> out;
+    client.step(5, true, false, out);
+    EXPECT_EQ(client.nextWake(6), 5 + opts.requestTimeout);
+    // A deadline already reached reports "wake now", never the past.
+    EXPECT_EQ(client.nextWake(5 + opts.requestTimeout + 3),
+              5 + opts.requestTimeout + 3);
+}
+
+TEST(ServerEngine, ServiceDelayIsSeededAndBounded)
+{
+    const WorkloadOptions opts = testOpts();
+    ServerEngine a(0, opts);
+    ServerEngine b(0, opts);
+    a.onRequest(9, 0, 0, false, 100);
+    b.onRequest(9, 0, 0, false, 100);
+    // Identical identity, identical release cycle — on any kernel.
+    EXPECT_EQ(a.nextWake(100), b.nextWake(100));
+    // Delay in [1, 2*serviceTime - 1]: positive, mean serviceTime.
+    EXPECT_GE(a.nextWake(100), 101u);
+    EXPECT_LE(a.nextWake(100), 100 + 2 * opts.serviceTime - 1);
+    EXPECT_EQ(a.counters().served, 1u);
+}
+
+TEST(ServerEngine, DuplicateRequestCountedButReAnswered)
+{
+    const WorkloadOptions opts = testOpts();
+    ServerEngine server(0, opts);
+    server.onRequest(9, 7, 0, true, 0);
+    server.onRequest(9, 7, 1, true, 50); // the client's retry
+    EXPECT_EQ(server.counters().served, 1u);
+    EXPECT_EQ(server.counters().duplicateRequests, 1u);
+
+    // At-least-once: both copies get answers, so a purged first reply
+    // stays recoverable through the retry.
+    std::vector<WorkloadEmit> out;
+    server.step(50 + 2 * opts.serviceTime, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].reqSeq, 7u);
+    EXPECT_EQ(out[1].reqSeq, 7u);
+
+    // Distinct requests from the same client are not duplicates.
+    server.onRequest(9, 8, 0, true, 60);
+    // Same reqSeq from a different client is not a duplicate either.
+    server.onRequest(10, 7, 0, true, 60);
+    EXPECT_EQ(server.counters().served, 3u);
+    EXPECT_EQ(server.counters().duplicateRequests, 1u);
+}
+
+TEST(ServerEngine, RepliesReleaseInDeterministicOrder)
+{
+    WorkloadOptions opts = testOpts();
+    opts.serviceTime = 1; // delay == 1 for every request
+    ServerEngine server(0, opts);
+    // Insert out of client order at the same cycle; all become ready
+    // at now+1 and must drain sorted by (readyAt, client, reqSeq).
+    server.onRequest(12, 0, 0, false, 10);
+    server.onRequest(9, 1, 0, false, 10);
+    server.onRequest(9, 0, 0, false, 10);
+
+    std::vector<WorkloadEmit> out;
+    EXPECT_EQ(server.nextWake(10), 11u);
+    server.step(11, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].dest, 9);
+    EXPECT_EQ(out[0].reqSeq, 0u);
+    EXPECT_EQ(out[1].dest, 9);
+    EXPECT_EQ(out[1].reqSeq, 1u);
+    EXPECT_EQ(out[2].dest, 12);
+    EXPECT_EQ(out[2].reqSeq, 0u);
+    EXPECT_EQ(server.nextWake(12), kNeverCycle);
+}
+
+} // namespace
+} // namespace lapses

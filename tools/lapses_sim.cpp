@@ -68,6 +68,19 @@ printHelp()
         "  --injection I        exponential|bernoulli|bursty\n"
         "  --hotspot-frac X     hotspot fraction    [0.1]\n"
         "\n"
+        "Closed-loop service workload (README \"Service "
+        "workloads\"):\n"
+        "  --workload W         open|request-reply  [open]\n"
+        "  --servers N          server nodes (ids 0..N-1)   [8]\n"
+        "  --inflight-window N  requests a client keeps in\n"
+        "                       flight                      [2]\n"
+        "  --request-timeout N  cycles before a timeout     [4000]\n"
+        "  --max-retries N      retransmissions before a\n"
+        "                       request is counted failed   [3]\n"
+        "  --backoff-base N     first backoff delay; doubles\n"
+        "                       per retry + seeded jitter   [64]\n"
+        "  --service-time N     mean server service delay   [16]\n"
+        "\n"
         "Dynamic link faults (README \"Fault injection\"):\n"
         "  --fail-link n:p@c    fail node n's port-p link at cycle c\n"
         "                       (repeatable)\n"
@@ -229,6 +242,23 @@ main(int argc, char** argv)
             } else if (arg == "--hotspot-frac") {
                 cfg.hotspot.fraction =
                     parseCheckedDouble(arg, value(), 0.0, 1.0);
+            } else if (arg == "--workload") {
+                cfg.workload = parseWorkloadKind(value());
+            } else if (arg == "--servers") {
+                cfg.servers = parseCheckedInt(arg, value(), 1,
+                                              int_max);
+            } else if (arg == "--inflight-window") {
+                cfg.inflightWindow = parseCheckedInt(arg, value(), 1,
+                                                     int_max);
+            } else if (arg == "--request-timeout") {
+                cfg.requestTimeout = parseCheckedU64(arg, value());
+            } else if (arg == "--max-retries") {
+                cfg.maxRetries = parseCheckedInt(arg, value(), 0,
+                                                 int_max);
+            } else if (arg == "--backoff-base") {
+                cfg.backoffBase = parseCheckedU64(arg, value());
+            } else if (arg == "--service-time") {
+                cfg.serviceTime = parseCheckedU64(arg, value());
             } else if (arg == "--fail-link") {
                 cfg.faultEvents.push_back(
                     parseFaultEvent(value(), true));
