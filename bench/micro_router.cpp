@@ -201,6 +201,49 @@ BENCHMARK(BM_ClosedLoopMesh64)
     ->Arg(static_cast<int>(KernelKind::Scan))
     ->Unit(benchmark::kMicrosecond);
 
+/** Non-mesh fabrics on the kernel hot path: the graph-generic
+ *  topology core (BFS tables, up*-down* routing, endpoint-indexed
+ *  injection) must not tax the per-cycle stepping. Gated like the
+ *  BM_Kernel* mesh cases on the active/scan ratio. */
+void
+fabricKernelCycles(benchmark::State& state, const char* topo,
+                   double load)
+{
+    SimConfig cfg = kernelBenchConfig(
+        load, static_cast<KernelKind>(state.range(0)));
+    cfg.topology = parseTopologySpec("--topology", topo);
+    Simulation sim(cfg);
+    sim.stepCycles(2000); // warm the network up
+    for (auto _ : state)
+        sim.stepCycles(200);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 200 * sim.topology().numNodes()));
+}
+
+/** 4-ary 3-tree: 64 hosts, 112 nodes. */
+void
+BM_KernelFatTree64(benchmark::State& state)
+{
+    fabricKernelCycles(state, "fattree4x3", 0.1);
+}
+BENCHMARK(BM_KernelFatTree64)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
+/** dragonfly(6,2,12): 72 routers in 12 groups. Light load — the
+ *  up*-down* tree root saturates this fabric early, and the bench
+ *  must measure flowing traffic, not a clogged root. */
+void
+BM_KernelDragonfly72(benchmark::State& state)
+{
+    fabricKernelCycles(state, "dragonfly6x2x12", 0.02);
+}
+BENCHMARK(BM_KernelDragonfly72)
+    ->Arg(static_cast<int>(KernelKind::Active))
+    ->Arg(static_cast<int>(KernelKind::Scan))
+    ->Unit(benchmark::kMicrosecond);
+
 /**
  * The BM_KernelParallel* cases measure what the spatially sharded
  * parallel kernel buys over the single-threaded active kernel on

@@ -20,10 +20,10 @@ namespace
 
 using namespace lapses;
 
-const MeshTopology&
+const Topology&
 mesh16()
 {
-    static const MeshTopology topo = MeshTopology::square2d(16);
+    static const Topology topo = makeSquareMesh(16);
     return topo;
 }
 
@@ -92,11 +92,12 @@ void
 BM_SignVectorComputation(benchmark::State& state)
 {
     // The ES index hardware: two subtractions + sign encode.
-    const MeshTopology& m = mesh16();
+    const Topology& m = mesh16();
     NodeId r = 3;
     NodeId d = 250;
     for (auto _ : state) {
-        const SignVector sv(m.nodeToCoords(r), m.nodeToCoords(d));
+        const SignVector sv(m.mesh()->nodeToCoords(r),
+                            m.mesh()->nodeToCoords(d));
         benchmark::DoNotOptimize(sv.tableIndex());
         d = (d + 41) % m.numNodes();
     }

@@ -22,19 +22,19 @@ namespace
 {
 
 void
-printNetworkCosts(const MeshTopology& topo, const char* label,
+printNetworkCosts(const Topology& topo, const char* label,
                   TableFeatures f)
 {
     // Two-level meta table with radix(0)-node clusters (one row per
     // cluster on the square meshes).
     const StorageCost costs[] = {
         fullTableCost(topo, f),
-        metaTableCost(topo, topo.radix(0), f),
+        metaTableCost(topo, topo.mesh()->radix(0), f),
         intervalCost(topo),
         economicalStorageCost(topo, f),
     };
     std::printf("--- %s (%d nodes, %d-D%s) ---\n", label,
-                topo.numNodes(), topo.dims(),
+                topo.numNodes(), topo.mesh()->dims(),
                 f.lookahead ? ", look-ahead" : "");
     std::printf("%-20s %10s %10s %12s  %s\n", "Scheme", "Entries",
                 "Bits/entry", "Bits/router", "Index hardware");
@@ -102,12 +102,12 @@ main()
     std::printf("\n");
 
     // Concrete sizes: the paper's 16x16 study network...
-    const MeshTopology mesh16 = MeshTopology::square2d(16);
+    const Topology mesh16 = makeSquareMesh(16);
     printNetworkCosts(mesh16, "16x16 study mesh", {true, false});
     printNetworkCosts(mesh16, "16x16 study mesh", {true, true});
 
     // ... and the Cray T3D example: 2048-entry table -> 27 entries.
-    const MeshTopology t3d({16, 16, 8}, false);
+    const Topology t3d = makeMeshTopology({16, 16, 8}, false);
     printNetworkCosts(t3d, "Cray T3D-scale 3-D mesh", {true, false});
 
     // Measured interval counts (interval routing stores per-port
@@ -139,8 +139,8 @@ main()
     const TableFeatures la{true, true};
     const StorageCost kind_costs[] = {
         fullTableCost(mesh16, la),
-        metaTableCost(mesh16, mesh16.radix(0), la),
-        metaTableCost(mesh16, mesh16.radix(0), la),
+        metaTableCost(mesh16, mesh16.mesh()->radix(0), la),
+        metaTableCost(mesh16, mesh16.mesh()->radix(0), la),
         economicalStorageCost(mesh16, la),
     };
     std::printf("\n--- Storage cost vs measured latency (16x16, "

@@ -75,7 +75,7 @@ measure(TableKind table, double load)
     Simulation sim(boundaryConfig(table, load));
     (void)sim.run();
 
-    const MeshTopology& topo = sim.topology();
+    const Topology& topo = sim.topology();
     const ClusterMap map = ClusterMap::blockMap(topo, 4);
     const double cycles = static_cast<double>(sim.network().now());
 

@@ -49,9 +49,10 @@ paperPorts(const RouteCandidates& rc)
 }
 
 void
-printTable(const MeshTopology& mesh, const EconomicalStorageTable& es,
+printTable(const Topology& topo, const EconomicalStorageTable& es,
            const RoutingAlgorithm& algo, NodeId router)
 {
+    const MeshShape& mesh = *topo.mesh();
     std::printf("Economical-storage table at router %s programmed "
                 "with %s:\n",
                 mesh.nodeToCoords(router).toString().c_str(),
@@ -84,8 +85,9 @@ main()
     std::printf("Paper port labels: 0 = local, 1 = -Y(S), 2 = -X(W), "
                 "3 = +Y(N), 4 = +X(E)\n\n");
 
-    const MeshTopology mesh = MeshTopology::square2d(3);
-    const NodeId router = mesh.coordsToNode(Coordinates(1, 1));
+    const Topology mesh = makeSquareMesh(3);
+    const NodeId router =
+        mesh.mesh()->coordsToNode(Coordinates(1, 1));
 
     // North-Last (the paper's example): turns out of +Y forbidden.
     const TurnModelRouting north_last(mesh, TurnModel::NorthLast);
@@ -102,7 +104,7 @@ main()
                 "+Y only.\n");
     EconomicalStorageTable custom(mesh);
     RouteCandidates entry;
-    entry.add(MeshTopology::port(1, Direction::Plus));
+    entry.add(MeshShape::port(1, Direction::Plus));
     custom.setEntry(router,
                     SignVector(Coordinates(0, 0), Coordinates(1, 1)),
                     entry);

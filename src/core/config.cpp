@@ -19,10 +19,27 @@ contentionFreeHopCycles(RouterModel m)
     return m == RouterModel::LaProud ? 5 : 6;
 }
 
+TopologySpec
+SimConfig::resolvedTopology() const
+{
+    TopologySpec spec = topology;
+    if (spec.isMeshKind()) {
+        spec.kind =
+            torus ? TopologyKind::Torus : TopologyKind::Mesh;
+    }
+    return spec;
+}
+
+Topology
+buildTopology(const SimConfig& cfg)
+{
+    return makeTopology(cfg.resolvedTopology(), cfg.radices);
+}
+
 void
 SimConfig::validate() const
 {
-    if (radices.empty())
+    if (topology.isMeshKind() && radices.empty())
         throw ConfigError("topology needs at least one dimension");
     if (vcsPerPort < 1)
         throw ConfigError("vcsPerPort must be >= 1");
@@ -48,12 +65,21 @@ SimConfig::validate() const
     if (linkDelay < 1 || linkDelay > 64)
         throw ConfigError("linkDelay must be in [1, 64]");
     if (closedLoop()) {
-        int nodes = 1;
-        for (int r : radices)
-            nodes *= r;
-        if (servers < 1 || servers >= nodes)
+        if (topology.isMeshKind()) {
+            int nodes = 1;
+            for (int r : radices)
+                nodes *= r;
+            if (servers < 1 || servers >= nodes) {
+                throw ConfigError(
+                    "servers must be in [1, numNodes) for "
+                    "the request-reply workload");
+            }
+        } else if (servers < 1) {
+            // The endpoint-count upper bound needs the built graph;
+            // Simulation enforces it.
             throw ConfigError("servers must be in [1, numNodes) for "
                               "the request-reply workload");
+        }
         if (inflightWindow < 1)
             throw ConfigError("inflightWindow must be >= 1");
         if (requestTimeout < 1)
@@ -71,12 +97,16 @@ std::string
 SimConfig::describe() const
 {
     std::string s;
-    for (std::size_t i = 0; i < radices.size(); ++i) {
-        if (i)
-            s += 'x';
-        s += std::to_string(radices[i]);
+    if (topology.isMeshKind()) {
+        for (std::size_t i = 0; i < radices.size(); ++i) {
+            if (i)
+                s += 'x';
+            s += std::to_string(radices[i]);
+        }
+        s += torus ? " torus" : " mesh";
+    } else {
+        s += topology.str();
     }
-    s += torus ? " torus" : " mesh";
     s += ", " + routerModelName(model);
     s += ", " + routingAlgoName(routing);
     s += ", " + tableKindName(table);

@@ -14,6 +14,7 @@
 #include "routing/algorithm_factory.hpp"
 #include "selection/selector_factory.hpp"
 #include "tables/table_factory.hpp"
+#include "topology/spec.hpp"
 #include "traffic/injection.hpp"
 #include "traffic/patterns.hpp"
 #include "workload/workload.hpp"
@@ -40,6 +41,9 @@ int contentionFreeHopCycles(RouterModel m);
 struct SimConfig
 {
     // --- Topology (Table 2: 256-node 16x16 mesh) ---
+    /** Which port graph the run uses (--topology). Mesh kinds read
+     *  radices/torus below; the other kinds carry their own shape. */
+    TopologySpec topology;
     std::vector<int> radices = {16, 16};
     bool torus = false;
 
@@ -172,12 +176,19 @@ struct SimConfig
      *  changes results — only how often the shards rejoin. */
     Cycle maxBatchCycles = 0;
 
+    /** The resolved topology spec: mesh kinds reflect the torus
+     *  flag, other kinds pass through. */
+    TopologySpec resolvedTopology() const;
+
     /** Throw ConfigError on inconsistent settings. */
     void validate() const;
 
     /** One-line description, e.g. for bench output headers. */
     std::string describe() const;
 };
+
+/** Build the run's port graph from the resolved topology spec. */
+Topology buildTopology(const SimConfig& cfg);
 
 } // namespace lapses
 

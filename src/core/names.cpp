@@ -47,7 +47,9 @@ parseRoutingAlgo(const std::string& name)
          {RoutingAlgo::NorthLast, "north-last"},
          {RoutingAlgo::WestFirst, "west-first"},
          {RoutingAlgo::NegativeFirst, "negative-first"},
-         {RoutingAlgo::TorusAdaptive, "torus-adaptive"}});
+         {RoutingAlgo::TorusAdaptive, "torus-adaptive"},
+         {RoutingAlgo::UpDown, "up-down"},
+         {RoutingAlgo::UpDownAdaptive, "up-down-adaptive"}});
 }
 
 TableKind

@@ -50,9 +50,13 @@ reduceTree(const std::vector<Lane>& lanes,
 } // namespace
 
 Simulation::Simulation(const SimConfig& cfg)
-    : cfg_(cfg), topo_(cfg.radices, cfg.torus)
+    : cfg_(cfg), topo_(buildTopology(cfg))
 {
     cfg_.validate();
+    if (cfg_.closedLoop() && cfg_.servers >= topo_.numEndpoints()) {
+        throw ConfigError("servers must be in [1, numEndpoints) for "
+                          "the request-reply workload");
+    }
     algo_ = makeRoutingAlgorithm(cfg_.routing, topo_);
     table_ = makeRoutingTable(cfg_.table, topo_, *algo_);
 
@@ -348,8 +352,11 @@ Simulation::saturationCheck()
     }
 
     // Saturation: the offered load exceeds what the network drains.
+    // Source backlog accumulates only at endpoints, so the limit
+    // scales with the endpoint count (== numNodes on meshes).
     const double backlog_limit =
-        cfg_.backlogSatPerNode * static_cast<double>(topo_.numNodes());
+        cfg_.backlogSatPerNode *
+        static_cast<double>(topo_.numEndpoints());
     if (static_cast<double>(net.totalBacklog()) > backlog_limit)
         return true;
     if (stats_.totalLatency.count() >= 100 &&
@@ -441,7 +448,7 @@ Simulation::runPhases()
         stats_.acceptedFlitRate =
             static_cast<double>(window_flits_) /
             (static_cast<double>(stats_.measuredCycles) *
-             static_cast<double>(topo_.numNodes()));
+             static_cast<double>(topo_.numEndpoints()));
     }
 }
 
@@ -497,7 +504,7 @@ Simulation::runClosedLoopPhases()
             static_cast<double>(stats_.measuredCycles);
         stats_.acceptedFlitRate =
             static_cast<double>(window_flits_) /
-            (cycles * static_cast<double>(topo_.numNodes()));
+            (cycles * static_cast<double>(topo_.numEndpoints()));
         stats_.requestGoodput =
             static_cast<double>(wc.completedMeasured) / cycles;
         stats_.requestOffered =

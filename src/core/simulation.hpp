@@ -46,7 +46,7 @@ class Simulation
     void stepCycles(Cycle n);
 
     const SimConfig& config() const { return cfg_; }
-    const MeshTopology& topology() const { return topo_; }
+    const Topology& topology() const { return topo_; }
     const RoutingAlgorithm& algorithm() const { return *algo_; }
     const RoutingTable& table() const { return *table_; }
     Network& network() { return *net_; }
@@ -142,7 +142,7 @@ class Simulation
     void runClosedLoopPhases();
 
     SimConfig cfg_;
-    MeshTopology topo_;
+    Topology topo_;
     RoutingAlgorithmPtr algo_;
     RoutingTablePtr table_;
     TrafficPatternPtr pattern_;

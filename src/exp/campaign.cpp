@@ -36,8 +36,9 @@ std::size_t
 CampaignAxes::runCount() const
 {
     auto n = [](const auto& v) { return v.empty() ? 1 : v.size(); };
-    return n(models) * n(routings) * n(tables) * n(selectors) *
-           n(traffics) * n(msgLens) * n(injections) * n(vcCounts) *
+    return n(topologies) * n(models) * n(routings) * n(tables) *
+           n(selectors) * n(traffics) * n(msgLens) * n(injections) *
+           n(vcCounts) *
            n(bufferDepths) * n(escapeVcs) * n(faultCounts) *
            n(faultSeeds) * n(telemetryWindows) * n(workloads) *
            n(loads);
@@ -58,6 +59,8 @@ CampaignGrid::expand(std::size_t index_offset,
     std::size_t index = index_offset;
     std::size_t series = series_offset;
     // Load is the innermost loop: one series = one load sweep.
+    for (const TopologySpec& topo :
+         axisOr(axes.topologies, base.resolvedTopology()))
     for (RouterModel model : axisOr(axes.models, base.model))
     for (RoutingAlgo routing : axisOr(axes.routings, base.routing))
     for (TableKind table : axisOr(axes.tables, base.table))
@@ -81,6 +84,9 @@ CampaignGrid::expand(std::size_t index_offset,
             run.index = index;
             run.series = series;
             run.config = base;
+            run.config.topology = topo;
+            if (topo.isMeshKind())
+                run.config.torus = topo.kind == TopologyKind::Torus;
             run.config.model = model;
             run.config.routing = routing;
             run.config.table = table;

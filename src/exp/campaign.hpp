@@ -42,14 +42,15 @@ class ResultSink;
 
 /**
  * Value lists for the swept axes. An empty axis means "use the grid's
- * base value" (an axis of one). Expansion order is fixed: model,
- * routing, table, selector, traffic, msglen, injection, vcs, buffers,
- * escape, faults, fault-seed, telemetry-window, workload, load — load
- * varies fastest, so consecutive indices of one series walk its load
- * axis.
+ * base value" (an axis of one). Expansion order is fixed: topology,
+ * model, routing, table, selector, traffic, msglen, injection, vcs,
+ * buffers, escape, faults, fault-seed, telemetry-window, workload,
+ * load — load varies fastest, so consecutive indices of one series
+ * walk its load axis.
  */
 struct CampaignAxes
 {
+    std::vector<TopologySpec> topologies;
     std::vector<RouterModel> models;
     std::vector<RoutingAlgo> routings;
     std::vector<TableKind> tables;

@@ -55,6 +55,10 @@ CampaignCli::consume(int argc, char** argv, int& i)
         base.radices = parseMesh(value());
     } else if (arg == "--torus") {
         base.torus = true;
+    } else if (arg == "--topology") {
+        base.topology = parseTopologySpec(arg, value());
+        if (base.topology.isMeshKind())
+            base.torus = base.topology.kind == TopologyKind::Torus;
     } else if (arg == "--model") {
         base.model = parseRouterModel(value());
     } else if (arg == "--vcs") {
@@ -161,10 +165,10 @@ campaignCliHelp()
            "lapses-merge):\n"
            "  --grid SPEC          axes as 'axis=v1,v2;axis=v1' "
            "clauses;\n"
-           "                       axes: model|routing|table|selector|\n"
-           "                       traffic|injection|msglen|vcs|"
-           "buffers|\n"
-           "                       escape|faults|fault-seed|\n"
+           "                       axes: topology|model|routing|table|\n"
+           "                       selector|traffic|injection|msglen|"
+           "vcs|\n"
+           "                       buffers|escape|faults|fault-seed|\n"
            "                       telemetry-window|workload|load "
            "(load takes\n"
            "                       LO:HI:STEP ranges); repeat --grid\n"
@@ -174,6 +178,10 @@ campaignCliHelp()
            "[1]\n"
            "\n"
            "Base configuration (defaults = paper Table 2):\n"
+           "  --topology T         mesh|torus|fattreeKxN|"
+           "dragonflyAxHxG|\n"
+           "                       file:PATH (README \"Topologies\") "
+           "[mesh]\n"
            "  --mesh KxK[xK] --torus --model M --vcs N --buffers N\n"
            "  --escape-vcs N --routing A --table T --selector S\n"
            "  --traffic P --load X --msglen N --injection I\n"

@@ -98,7 +98,9 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
         if (values.empty())
             throw ConfigError("grid axis '" + axis + "' has no values");
         for (const std::string& v : values) {
-            if (axis == "model") {
+            if (axis == "topology") {
+                axes.topologies.push_back(parseTopologySpec(axis, v));
+            } else if (axis == "model") {
                 axes.models.push_back(parseRouterModel(v));
             } else if (axis == "routing") {
                 axes.routings.push_back(parseRoutingAlgo(v));
@@ -136,9 +138,10 @@ applyGridSpec(const std::string& spec, CampaignGrid& grid)
             } else {
                 throw ConfigError(
                     "unknown grid axis '" + axis +
-                    "' (want model|routing|table|selector|traffic|"
-                    "injection|msglen|vcs|buffers|escape|faults|"
-                    "fault-seed|telemetry-window|workload|load)");
+                    "' (want topology|model|routing|table|selector|"
+                    "traffic|injection|msglen|vcs|buffers|escape|"
+                    "faults|fault-seed|telemetry-window|workload|"
+                    "load)");
             }
         }
     }

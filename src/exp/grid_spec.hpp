@@ -23,9 +23,10 @@ namespace lapses
 
 /**
  * Parse a grid spec into grid.axes (appending to any values already
- * there). Accepted axes: model, routing, table, selector, traffic,
- * injection, msglen, vcs, buffers, escape, faults, fault-seed, load.
- * Throws ConfigError on an unknown axis or a malformed value.
+ * there). Accepted axes: topology, model, routing, table, selector,
+ * traffic, injection, msglen, vcs, buffers, escape, faults,
+ * fault-seed, telemetry-window, workload, load. Throws ConfigError on
+ * an unknown axis or a malformed value.
  */
 void applyGridSpec(const std::string& spec, CampaignGrid& grid);
 

@@ -500,13 +500,15 @@ runAxisValue(const CampaignRun& run, const std::string& axis)
         return number(cfg.normalizedLoad);
     if (axis == "mesh")
         return meshName(cfg);
+    if (axis == "topology")
+        return topologyName(cfg);
     if (axis == "series")
         return std::to_string(run.series);
     throw ConfigError(
         "unknown --group-by axis '" + axis +
         "' (want model|routing|table|selector|traffic|injection|"
         "msglen|vcs|buffers|escape|faults|fault-seed|"
-        "telemetry-window|workload|load|mesh|series)");
+        "telemetry-window|workload|load|mesh|topology|series)");
 }
 
 void

@@ -108,7 +108,7 @@ MergeReport mergeShardFiles(const std::vector<ShardFile>& shards,
  * the sinks render it (e.g. "uniform", "0.2", "la-proud"). Axes:
  * model, routing, table, selector, traffic, injection, msglen, vcs,
  * buffers, escape, faults, fault-seed, telemetry-window, load, mesh,
- * series. Throws ConfigError on an unknown axis name.
+ * topology, series. Throws ConfigError on an unknown axis name.
  */
 std::string runAxisValue(const CampaignRun& run,
                          const std::string& axis);

@@ -16,6 +16,10 @@ namespace lapses
 std::string
 meshName(const SimConfig& cfg)
 {
+    // Non-mesh fabrics carry their shape in the topology token; the
+    // radices would be stale defaults here.
+    if (!cfg.topology.isMeshKind())
+        return cfg.topology.str();
     std::string s;
     for (std::size_t i = 0; i < cfg.radices.size(); ++i) {
         if (i)
@@ -25,6 +29,12 @@ meshName(const SimConfig& cfg)
     if (cfg.torus)
         s += " torus";
     return s;
+}
+
+std::string
+topologyName(const SimConfig& cfg)
+{
+    return cfg.resolvedTopology().str();
 }
 
 namespace
@@ -37,6 +47,7 @@ jsonCoordinates(const CampaignRun& run)
     std::ostringstream os;
     os << "\"run\":" << run.index << ",\"series\":" << run.series
        << ",\"mesh\":\"" << meshName(cfg)
+       << "\",\"topology\":\"" << topologyName(cfg)
        << "\",\"model\":\"" << routerModelName(cfg.model)
        << "\",\"routing\":\"" << routingAlgoName(cfg.routing)
        << "\",\"table\":\"" << tableKindName(cfg.table)
@@ -64,6 +75,7 @@ csvCoordinates(const CampaignRun& run)
     std::ostringstream os;
     os << run.index << ',' << run.series << ','
        << csvEscape(meshName(cfg)) << ','
+       << csvEscape(topologyName(cfg)) << ','
        << csvEscape(routerModelName(cfg.model)) << ','
        << csvEscape(routingAlgoName(cfg.routing)) << ','
        << csvEscape(tableKindName(cfg.table)) << ','
@@ -92,7 +104,8 @@ runResultJson(const RunResult& result)
 std::string
 campaignCsvHeader()
 {
-    return "run,series,mesh,model,routing,table,selector,traffic,"
+    return "run,series,mesh,topology,model,routing,table,selector,"
+           "traffic,"
            "injection,msglen,vcs,buffers,escape_vcs,faults,fault_seed,"
            "telemetry_window,workload,load,seed,warmup,measure," +
            statsCsvHeader();

@@ -74,8 +74,13 @@ enum class SinkFormat
     Csv,
 };
 
-/** The record's "mesh" coordinate, e.g. "16x16" or "4x4x4 torus". */
+/** The record's "mesh" coordinate, e.g. "16x16" or "4x4x4 torus";
+ *  the topology token (e.g. "fattree4x3") on non-mesh fabrics. */
 std::string meshName(const SimConfig& cfg);
+
+/** The record's "topology" coordinate: the resolved spec token, e.g.
+ *  "mesh", "torus", "fattree4x3", "dragonfly6x2x12", "file:<path>". */
+std::string topologyName(const SimConfig& cfg);
 
 /** The JSON line a JsonlSink writes for one run (no newline). */
 std::string runResultJson(const RunResult& result);

@@ -84,7 +84,7 @@ parseFaultEvent(const std::string& spec, bool down)
 }
 
 void
-FaultSchedule::appendRandom(const MeshTopology& topo, int count,
+FaultSchedule::appendRandom(const Topology& topo, int count,
                             std::uint64_t seed, Cycle start,
                             Cycle spacing)
 {
@@ -140,7 +140,7 @@ FaultSchedule::appendRandom(const MeshTopology& topo, int count,
 }
 
 void
-FaultSchedule::validate(const MeshTopology& topo)
+FaultSchedule::validate(const Topology& topo)
 {
     std::sort(events_.begin(), events_.end());
     FailureSet failures;
@@ -153,7 +153,7 @@ FaultSchedule::validate(const MeshTopology& topo)
             !topo.hasNeighbor(event.node, event.port)) {
             throw ConfigError("fault event " + event.str() +
                               ": no link through that port (local or "
-                              "mesh-edge port?)");
+                              "unconnected port?)");
         }
         if (event.down) {
             if (failures.isFailed(event.node, event.port)) {

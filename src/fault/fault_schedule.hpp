@@ -126,7 +126,7 @@ class FaultSchedule
      * function of (topology, count, seed, start, spacing) — identical
      * on every campaign shard.
      */
-    void appendRandom(const MeshTopology& topo, int count,
+    void appendRandom(const Topology& topo, int count,
                       std::uint64_t seed, Cycle start, Cycle spacing);
 
     /**
@@ -136,7 +136,7 @@ class FaultSchedule
      * Must be called (and succeed) before the schedule is given to a
      * Network.
      */
-    void validate(const MeshTopology& topo);
+    void validate(const Topology& topo);
 
     bool empty() const { return events_.empty(); }
     std::size_t size() const { return events_.size(); }

@@ -178,7 +178,7 @@ Network::NicEnv::injectFlit(VcId vc, const Flit& flit)
     ++sh_->injected_flits;
 }
 
-Network::Network(const MeshTopology& topo, const NetworkParams& params,
+Network::Network(const Topology& topo, const NetworkParams& params,
                  const RoutingTable& table, bool escape_channels,
                  const TrafficPattern& pattern)
     : topo_(topo), params_(params),
@@ -194,6 +194,14 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
     // options and hands every NIC a pointer to that copy.
     workload_opts_ = params.workload;
     workload_opts_.seed = params.seed;
+    if (workload_opts_.kind == WorkloadKind::RequestReply) {
+        // Servers are the first `servers` endpoints (the identity
+        // block [0, servers) on all-endpoint topologies).
+        workload_opts_.serverNodes.clear();
+        for (int s = 0; s < workload_opts_.servers; ++s)
+            workload_opts_.serverNodes.push_back(
+                topo.endpoint(static_cast<NodeId>(s)));
+    }
     Nic::Params nic_params = params.nic;
     nic_params.workload = &workload_opts_;
 
@@ -211,8 +219,16 @@ Network::Network(const MeshTopology& topo, const NetworkParams& params,
                              master.split(0x5E1Eu + static_cast<
                                           std::uint64_t>(id))),
             pool_);
+        // Only endpoints source traffic: a pure-switch node keeps a
+        // NIC (ejection port, credits) but its injector stays silent.
+        Nic::Params node_params = nic_params;
+        node_params.endpointIndex = topo.endpointIndex(id);
+        if (node_params.endpointIndex == kInvalidNode) {
+            node_params.msgsPerCycle = 0.0;
+            node_params.workload = nullptr;
+        }
         nics_.emplace_back(
-            id, nic_params, table, pattern,
+            id, node_params, table, pattern,
             master.split(0x417Cu + static_cast<std::uint64_t>(id)),
             pool_);
         router_envs_[static_cast<std::size_t>(id)].bind(this, id);
@@ -516,12 +532,12 @@ Network::deliverFlitWire(Shard& sh, NodeId id, PortId p,
     LAPSES_ASSERT(peer != kInvalidNode);
     if (tracer_ != nullptr) {
         tracer_->record({at, TraceEvent::Kind::HopArrive, peer,
-                         MeshTopology::oppositePort(p),
+                         topo_.peerPort(id, p),
                          pool_[wf.flit.msg].id, wf.flit.seq,
                          wf.flit.type});
     }
     routers_[static_cast<std::size_t>(peer)].acceptFlit(
-        MeshTopology::oppositePort(p), wf.vc, wf.flit, at);
+        topo_.peerPort(id, p), wf.vc, wf.flit, at);
     if (kernel_ != KernelKind::Scan)
         activateRouter(peer);
 }
@@ -541,7 +557,7 @@ Network::deliverCreditWire(Shard& sh, NodeId id, PortId p,
     const NodeId peer = topo_.neighbor(id, p);
     LAPSES_ASSERT(peer != kInvalidNode);
     routers_[static_cast<std::size_t>(peer)].acceptCredit(
-        MeshTopology::oppositePort(p), wc.vc);
+        topo_.peerPort(id, p), wc.vc);
     if (kernel_ != KernelKind::Scan)
         activateRouter(peer);
 }
@@ -1043,7 +1059,7 @@ void
 Network::applyDownEvent(NodeId node, PortId port)
 {
     const NodeId peer = topo_.neighbor(node, port);
-    const PortId peer_port = MeshTopology::oppositePort(port);
+    const PortId peer_port = topo_.peerPort(node, port);
     LAPSES_ASSERT(peer != kInvalidNode);
     failures_.fail(topo_, node, port);
     routers_[static_cast<std::size_t>(node)].markPortDead(port);
@@ -1094,7 +1110,7 @@ void
 Network::applyUpEvent(NodeId node, PortId port)
 {
     const NodeId peer = topo_.neighbor(node, port);
-    const PortId peer_port = MeshTopology::oppositePort(port);
+    const PortId peer_port = topo_.peerPort(node, port);
     LAPSES_ASSERT(peer != kInvalidNode);
     failures_.repair(topo_, node, port);
     // While the link was down nothing could enter either endpoint's
@@ -1169,7 +1185,7 @@ Network::purgeMessage(MsgRef msg, bool allow_reinject)
                 const NodeId up = topo_.neighbor(id, in_port);
                 LAPSES_ASSERT(up != kInvalidNode);
                 routers_[static_cast<std::size_t>(up)].acceptCredit(
-                    MeshTopology::oppositePort(in_port), vc);
+                    topo_.peerPort(id, in_port), vc);
                 if (kernel_ != KernelKind::Scan)
                     activateRouter(up);
             });

@@ -221,7 +221,7 @@ class Network : public DeliverySink
      * @param escape_channels Duato escape discipline on/off
      * @param pattern  traffic pattern (must outlive Network)
      */
-    Network(const MeshTopology& topo, const NetworkParams& params,
+    Network(const Topology& topo, const NetworkParams& params,
             const RoutingTable& table, bool escape_channels,
             const TrafficPattern& pattern);
 
@@ -452,7 +452,7 @@ class Network : public DeliverySink
     // DeliverySink; recycles the message's descriptor after the hook.
     void messageDelivered(MsgRef msg, Cycle now) override;
 
-    const MeshTopology& topology() const { return topo_; }
+    const Topology& topology() const { return topo_; }
     Router& router(NodeId id)
     {
         return routers_[static_cast<std::size_t>(id)];
@@ -788,7 +788,7 @@ class Network : public DeliverySink
      *  step(), like fault events, under both kernels. */
     void captureTelemetryWindow();
 
-    const MeshTopology& topo_;
+    const Topology& topo_;
     NetworkParams params_;
     KernelKind kernel_;
     Cycle now_ = 0;

@@ -19,8 +19,10 @@ Nic::Nic(NodeId node, const Params& params, const RoutingTable& table,
     if (params.msgLen < 1)
         throw ConfigError("message length must be at least 1 flit");
     if (params.workload != nullptr &&
-        params.workload->kind == WorkloadKind::RequestReply) {
-        if (node < static_cast<NodeId>(params.workload->servers))
+        params.workload->kind == WorkloadKind::RequestReply &&
+        params.endpointIndex != kInvalidNode) {
+        if (params.endpointIndex <
+            static_cast<NodeId>(params.workload->servers))
             server_ =
                 std::make_unique<ServerEngine>(node, *params.workload);
         else

@@ -73,6 +73,12 @@ class Nic
         /** Closed-loop workload knobs (owned by the network; null or
          *  kind == Open leaves the NIC purely open-loop). */
         const WorkloadOptions* workload = nullptr;
+
+        /** This node's index in the topology's endpoint set (the node
+         *  id itself on all-endpoint topologies); selects the
+         *  closed-loop server/client role. kInvalidNode for a
+         *  non-endpoint node, whose NIC never injects. */
+        NodeId endpointIndex = 0;
     };
 
     /** Environment callback: puts a flit on the NIC -> router link. */

@@ -161,7 +161,7 @@ FlitTracer::dump(std::ostream& os) const
         os << ev.cycle << ' ' << traceKindName(ev.kind) << " node "
            << ev.node;
         if (ev.kind == TraceEvent::Kind::HopArrive)
-            os << " port " << MeshTopology::portName(ev.port);
+            os << " port " << MeshShape::portName(ev.port);
         os << " msg " << ev.msg << " seq " << ev.seq << '\n';
     }
 }

@@ -8,7 +8,7 @@
 namespace lapses
 {
 
-Router::Router(NodeId id, const MeshTopology& topo,
+Router::Router(NodeId id, const Topology& topo,
                const RouterParams& params, const RoutingTable& table,
                bool escape_channels, PathSelectorPtr selector,
                MessagePool& pool)

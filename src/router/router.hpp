@@ -119,7 +119,7 @@ class Router
      * @param pool      in-flight message descriptors (shared with the
      *                  NICs and the network; must outlive the router)
      */
-    Router(NodeId id, const MeshTopology& topo, const RouterParams& params,
+    Router(NodeId id, const Topology& topo, const RouterParams& params,
            const RoutingTable& table, bool escape_channels,
            PathSelectorPtr selector, MessagePool& pool);
 
@@ -342,7 +342,7 @@ class Router
     }
 
     NodeId id_;
-    const MeshTopology& topo_;
+    const Topology& topo_;
     RouterParams params_;
     const RoutingTable& table_;
     bool escape_channels_;

@@ -23,12 +23,14 @@ enum class RoutingAlgo
     WestFirst,          //!< turn model
     NegativeFirst,      //!< turn model
     TorusAdaptive,      //!< Duato over dateline XY (tori only, T3E-style)
+    UpDown,             //!< up*-down* tree path (any connected graph)
+    UpDownAdaptive,     //!< adaptive with up*-down* Duato escape
 };
 
 /** Instantiate the algorithm for a topology. Throws ConfigError when the
  *  algorithm does not support the topology (e.g. turn model on 3-D). */
 RoutingAlgorithmPtr makeRoutingAlgorithm(RoutingAlgo algo,
-                                         const MeshTopology& topo);
+                                         const Topology& topo);
 
 /** Short identifier, e.g. "duato". */
 std::string routingAlgoName(RoutingAlgo algo);

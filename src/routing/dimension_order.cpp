@@ -5,32 +5,38 @@
 namespace lapses
 {
 
-DimensionOrderRouting::DimensionOrderRouting(const MeshTopology& topo,
+DimensionOrderRouting::DimensionOrderRouting(const Topology& topo,
                                              std::vector<int> order)
-    : RoutingAlgorithm(topo), order_(std::move(order))
+    : RoutingAlgorithm(topo),
+      mesh_(requireMeshShape(topo, "dimension-order routing")),
+      order_(std::move(order))
 {
-    if (static_cast<int>(order_.size()) != topo.dims())
+    if (static_cast<int>(order_.size()) != mesh_.dims())
         throw ConfigError("dimension order must list every dimension");
     std::vector<bool> seen(order_.size(), false);
     for (int d : order_) {
-        if (d < 0 || d >= topo.dims() || seen[static_cast<std::size_t>(d)])
+        if (d < 0 || d >= mesh_.dims() || seen[static_cast<std::size_t>(d)])
             throw ConfigError("dimension order must be a permutation");
         seen[static_cast<std::size_t>(d)] = true;
     }
 }
 
 DimensionOrderRouting
-DimensionOrderRouting::xy(const MeshTopology& topo)
+DimensionOrderRouting::xy(const Topology& topo)
 {
-    std::vector<int> order(static_cast<std::size_t>(topo.dims()));
+    const MeshShape& mesh =
+        requireMeshShape(topo, "dimension-order routing");
+    std::vector<int> order(static_cast<std::size_t>(mesh.dims()));
     std::iota(order.begin(), order.end(), 0);
     return DimensionOrderRouting(topo, std::move(order));
 }
 
 DimensionOrderRouting
-DimensionOrderRouting::yx(const MeshTopology& topo)
+DimensionOrderRouting::yx(const Topology& topo)
 {
-    std::vector<int> order(static_cast<std::size_t>(topo.dims()));
+    const MeshShape& mesh =
+        requireMeshShape(topo, "dimension-order routing");
+    std::vector<int> order(static_cast<std::size_t>(mesh.dims()));
     std::iota(order.rbegin(), order.rend(), 0);
     return DimensionOrderRouting(topo, std::move(order));
 }
@@ -49,7 +55,7 @@ PortId
 DimensionOrderRouting::nextPort(NodeId current, NodeId dest) const
 {
     for (int d : order_) {
-        const PortId p = topo_.productivePortInDim(current, dest, d);
+        const PortId p = mesh_.productivePortInDim(current, dest, d);
         if (p != kInvalidPort)
             return p;
     }

@@ -28,13 +28,13 @@ class DimensionOrderRouting : public RoutingAlgorithm
      * @param order dimensions in resolution order; e.g. {0,1} = XY,
      *              {1,0} = YX. Must be a permutation of 0..dims-1.
      */
-    DimensionOrderRouting(const MeshTopology& topo, std::vector<int> order);
+    DimensionOrderRouting(const Topology& topo, std::vector<int> order);
 
     /** Standard XY (lowest dimension first). */
-    static DimensionOrderRouting xy(const MeshTopology& topo);
+    static DimensionOrderRouting xy(const Topology& topo);
 
     /** Reverse order (YX in 2-D). */
-    static DimensionOrderRouting yx(const MeshTopology& topo);
+    static DimensionOrderRouting yx(const Topology& topo);
 
     std::string name() const override;
     RouteCandidates route(NodeId current, NodeId dest) const override;
@@ -49,6 +49,7 @@ class DimensionOrderRouting : public RoutingAlgorithm
     PortId nextPort(NodeId current, NodeId dest) const;
 
   private:
+    const MeshShape& mesh_;
     std::vector<int> order_;
 };
 

@@ -3,8 +3,10 @@
 namespace lapses
 {
 
-DuatoAdaptiveRouting::DuatoAdaptiveRouting(const MeshTopology& topo)
-    : RoutingAlgorithm(topo), escape_(DimensionOrderRouting::xy(topo))
+DuatoAdaptiveRouting::DuatoAdaptiveRouting(const Topology& topo)
+    : RoutingAlgorithm(topo),
+      mesh_(requireMeshShape(topo, "duato routing")),
+      escape_(DimensionOrderRouting::xy(topo))
 {
     if (topo.isTorus()) {
         // Wrap-around escape would need datelines; out of scope for the
@@ -21,8 +23,8 @@ DuatoAdaptiveRouting::route(NodeId current, NodeId dest) const
         return ejectionEntry();
 
     RouteCandidates rc;
-    for (int d = 0; d < topo_.dims(); ++d) {
-        const PortId p = topo_.productivePortInDim(current, dest, d);
+    for (int d = 0; d < mesh_.dims(); ++d) {
+        const PortId p = mesh_.productivePortInDim(current, dest, d);
         if (p != kInvalidPort)
             rc.add(p);
     }

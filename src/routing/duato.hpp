@@ -25,7 +25,7 @@ namespace lapses
 class DuatoAdaptiveRouting : public RoutingAlgorithm
 {
   public:
-    explicit DuatoAdaptiveRouting(const MeshTopology& topo);
+    explicit DuatoAdaptiveRouting(const Topology& topo);
 
     std::string name() const override { return "duato"; }
     RouteCandidates route(NodeId current, NodeId dest) const override;
@@ -33,6 +33,7 @@ class DuatoAdaptiveRouting : public RoutingAlgorithm
     bool isAdaptive() const override { return true; }
 
   private:
+    const MeshShape& mesh_;
     DimensionOrderRouting escape_;
 };
 

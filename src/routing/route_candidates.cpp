@@ -12,11 +12,11 @@ RouteCandidates::toString() const
     for (int i = 0; i < count_; ++i) {
         if (i)
             out += ',';
-        out += MeshTopology::portName(at(i));
+        out += MeshShape::portName(at(i));
     }
     if (escape_ != kInvalidPort) {
         out += "|esc ";
-        out += MeshTopology::portName(escape_);
+        out += MeshShape::portName(escape_);
     }
     out += '}';
     return out;

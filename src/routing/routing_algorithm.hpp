@@ -24,7 +24,7 @@ namespace lapses
 class RoutingAlgorithm
 {
   public:
-    explicit RoutingAlgorithm(const MeshTopology& topo) : topo_(topo) {}
+    explicit RoutingAlgorithm(const Topology& topo) : topo_(topo) {}
     virtual ~RoutingAlgorithm() = default;
 
     RoutingAlgorithm(const RoutingAlgorithm&) = delete;
@@ -59,7 +59,7 @@ class RoutingAlgorithm
      *  meaningful when usesEscapeChannels() is true. */
     virtual int escapeClasses() const { return 1; }
 
-    const MeshTopology& topology() const { return topo_; }
+    const Topology& topology() const { return topo_; }
 
   protected:
     /** The ejection-only candidate set. */
@@ -71,8 +71,13 @@ class RoutingAlgorithm
         return rc;
     }
 
-    const MeshTopology& topo_;
+    const Topology& topo_;
 };
+
+/** The analytic mesh capability, or ConfigError "<what> requires a
+ *  mesh/torus topology" when the graph is irregular. */
+const MeshShape& requireMeshShape(const Topology& topo,
+                                  const char* what);
 
 using RoutingAlgorithmPtr = std::unique_ptr<RoutingAlgorithm>;
 

@@ -3,8 +3,9 @@
 namespace lapses
 {
 
-TorusAdaptiveRouting::TorusAdaptiveRouting(const MeshTopology& topo)
-    : RoutingAlgorithm(topo)
+TorusAdaptiveRouting::TorusAdaptiveRouting(const Topology& topo)
+    : RoutingAlgorithm(topo),
+      mesh_(requireMeshShape(topo, "torus-adaptive routing"))
 {
     if (!topo.isTorus())
         throw ConfigError(
@@ -15,15 +16,15 @@ bool
 TorusAdaptiveRouting::crossesDateline(NodeId current, NodeId dest,
                                       int d) const
 {
-    const PortId p = topo_.productivePortInDim(current, dest, d);
+    const PortId p = mesh_.productivePortInDim(current, dest, d);
     if (p == kInvalidPort)
         return false; // dimension resolved
-    const int cur = topo_.nodeToCoords(current).at(d);
-    const int dst = topo_.nodeToCoords(dest).at(d);
+    const int cur = mesh_.nodeToCoords(current).at(d);
+    const int dst = mesh_.nodeToCoords(dest).at(d);
     // Travelling +d wraps through radix-1 -> 0 iff the destination
     // coordinate is numerically behind us; -d wraps through 0 ->
     // radix-1 iff it is ahead.
-    return MeshTopology::portDir(p) == Direction::Plus ? dst < cur
+    return MeshShape::portDir(p) == Direction::Plus ? dst < cur
                                                        : dst > cur;
 }
 
@@ -35,8 +36,8 @@ TorusAdaptiveRouting::route(NodeId current, NodeId dest) const
 
     RouteCandidates rc;
     int escape_dim = -1;
-    for (int d = 0; d < topo_.dims(); ++d) {
-        const PortId p = topo_.productivePortInDim(current, dest, d);
+    for (int d = 0; d < mesh_.dims(); ++d) {
+        const PortId p = mesh_.productivePortInDim(current, dest, d);
         if (p == kInvalidPort)
             continue;
         rc.add(p);
@@ -45,7 +46,7 @@ TorusAdaptiveRouting::route(NodeId current, NodeId dest) const
     }
     LAPSES_ASSERT(escape_dim >= 0);
     rc.setEscapePort(
-        topo_.productivePortInDim(current, dest, escape_dim));
+        mesh_.productivePortInDim(current, dest, escape_dim));
     rc.setEscapeClass(crossesDateline(current, dest, escape_dim) ? 0
                                                                  : 1);
     return rc;

@@ -28,7 +28,7 @@ namespace lapses
 class TorusAdaptiveRouting : public RoutingAlgorithm
 {
   public:
-    explicit TorusAdaptiveRouting(const MeshTopology& topo);
+    explicit TorusAdaptiveRouting(const Topology& topo);
 
     std::string name() const override { return "torus-adaptive"; }
     RouteCandidates route(NodeId current, NodeId dest) const override;
@@ -42,6 +42,9 @@ class TorusAdaptiveRouting : public RoutingAlgorithm
      * between coordinates radix-1 and 0. Exposed for tests.
      */
     bool crossesDateline(NodeId current, NodeId dest, int d) const;
+
+  private:
+    const MeshShape& mesh_;
 };
 
 } // namespace lapses

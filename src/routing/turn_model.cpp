@@ -3,11 +3,13 @@
 namespace lapses
 {
 
-TurnModelRouting::TurnModelRouting(const MeshTopology& topo,
+TurnModelRouting::TurnModelRouting(const Topology& topo,
                                    TurnModel model)
-    : RoutingAlgorithm(topo), model_(model)
+    : RoutingAlgorithm(topo),
+      mesh_(requireMeshShape(topo, "turn-model routing")),
+      model_(model)
 {
-    if (topo.dims() != 2)
+    if (mesh_.dims() != 2)
         throw ConfigError("turn models are defined for 2-D meshes");
     if (topo.isTorus())
         throw ConfigError("turn models require a mesh (no wrap links)");
@@ -33,15 +35,15 @@ TurnModelRouting::route(NodeId current, NodeId dest) const
     if (current == dest)
         return ejectionEntry();
 
-    const Coordinates cc = topo_.nodeToCoords(current);
-    const Coordinates cd = topo_.nodeToCoords(dest);
+    const Coordinates cc = mesh_.nodeToCoords(current);
+    const Coordinates cd = mesh_.nodeToCoords(dest);
     const int dx = cd.at(0) - cc.at(0);
     const int dy = cd.at(1) - cc.at(1);
 
-    const PortId east = MeshTopology::port(0, Direction::Plus);
-    const PortId west = MeshTopology::port(0, Direction::Minus);
-    const PortId north = MeshTopology::port(1, Direction::Plus);
-    const PortId south = MeshTopology::port(1, Direction::Minus);
+    const PortId east = MeshShape::port(0, Direction::Plus);
+    const PortId west = MeshShape::port(0, Direction::Minus);
+    const PortId north = MeshShape::port(1, Direction::Plus);
+    const PortId south = MeshShape::port(1, Direction::Minus);
 
     RouteCandidates rc;
     switch (model_) {

@@ -32,7 +32,7 @@ enum class TurnModel
 class TurnModelRouting : public RoutingAlgorithm
 {
   public:
-    TurnModelRouting(const MeshTopology& topo, TurnModel model);
+    TurnModelRouting(const Topology& topo, TurnModel model);
 
     std::string name() const override;
     RouteCandidates route(NodeId current, NodeId dest) const override;
@@ -42,6 +42,7 @@ class TurnModelRouting : public RoutingAlgorithm
     TurnModel model() const { return model_; }
 
   private:
+    const MeshShape& mesh_;
     TurnModel model_;
 };
 

@@ -1,0 +1,79 @@
+#include "routing/up_down.hpp"
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+UpDownRouting::UpDownRouting(const Topology& topo, bool adaptive)
+    : RoutingAlgorithm(topo), tree_(topo.spanningTree()),
+      adaptive_(adaptive)
+{
+}
+
+PortId
+UpDownRouting::treePort(const Topology& topo, const SpanningTree& tree,
+                        NodeId current, NodeId dest)
+{
+    LAPSES_ASSERT(current != dest);
+    if (!tree.inSubtree(current, dest))
+        return tree.parentPort[static_cast<std::size_t>(current)];
+    // Down phase: the tree child whose subtree holds dest. Exactly one
+    // child qualifies (sibling subtrees are disjoint).
+    for (PortId p = 1; p < topo.numPorts(); ++p) {
+        const NodeId v = topo.neighbor(current, p);
+        if (v == kInvalidNode)
+            continue;
+        const auto vi = static_cast<std::size_t>(v);
+        if (tree.parentNode[vi] == current &&
+            tree.parentDownPort[vi] == p && tree.inSubtree(v, dest))
+            return p;
+    }
+    LAPSES_ASSERT(!"up-down tree port not found");
+    return kInvalidPort;
+}
+
+RouteCandidates
+UpDownRouting::routeOn(const Topology& topo, const SpanningTree& tree,
+                       NodeId current, NodeId dest, bool adaptive)
+{
+    RouteCandidates rc;
+    if (current == dest) {
+        rc.add(kLocalPort);
+        return rc;
+    }
+    const PortId tree_port = treePort(topo, tree, current, dest);
+    rc.add(tree_port);
+    if (!adaptive)
+        return rc;
+    // Legal same-phase alternatives in ascending port order, after the
+    // escape choice, capped at the candidate-set width.
+    const bool down = tree.inSubtree(current, dest);
+    for (PortId p = 1;
+         p < topo.numPorts() &&
+         rc.count() < RouteCandidates::kMaxCandidates;
+         ++p) {
+        if (p == tree_port)
+            continue;
+        const NodeId v = topo.neighbor(current, p);
+        if (v == kInvalidNode)
+            continue;
+        if (down) {
+            if (!tree.isUpLink(current, v) && tree.inSubtree(v, dest))
+                rc.add(p);
+        } else if (tree.isUpLink(current, v)) {
+            rc.add(p);
+        }
+    }
+    rc.setEscapePort(tree_port);
+    rc.setEscapeClass(0);
+    return rc;
+}
+
+RouteCandidates
+UpDownRouting::route(NodeId current, NodeId dest) const
+{
+    return routeOn(topo_, tree_, current, dest, adaptive_);
+}
+
+} // namespace lapses

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Up*-down* routing over an arbitrary connected port graph.
+ *
+ * The topology's BFS spanning tree (Topology::spanningTree) orients
+ * every link: an edge heads "up" when its far end was discovered
+ * earlier. A legal path crosses zero or more up links followed by zero
+ * or more down links; the one-way up-to-down phase change makes the
+ * channel dependency graph acyclic, so the deterministic variant is
+ * deadlock-free on all VCs and the adaptive variant can use it as the
+ * escape layer of Duato's protocol.
+ *
+ * Phases are recomputed per hop from the current node, so the
+ * algorithm stays memoryless (tables can store it):
+ *
+ *  - down phase (dest inside the current node's subtree): candidates
+ *    are the down links to nodes v with order[v] > order[current] that
+ *    still contain dest in their subtree — strictly deeper ancestors
+ *    of dest, so every hop makes progress. The escape/deterministic
+ *    choice is the tree child whose subtree contains dest.
+ *  - up phase (dest outside): candidates are every up link (the BFS
+ *    order strictly decreases, and the root's subtree contains all
+ *    nodes). The escape/deterministic choice is the tree parent.
+ */
+
+#ifndef LAPSES_ROUTING_UP_DOWN_HPP
+#define LAPSES_ROUTING_UP_DOWN_HPP
+
+#include "routing/routing_algorithm.hpp"
+#include "topology/topology.hpp"
+
+namespace lapses
+{
+
+/** Up*-down* routing; deterministic (tree-path) or adaptive with the
+ *  tree path as Duato escape. */
+class UpDownRouting : public RoutingAlgorithm
+{
+  public:
+    UpDownRouting(const Topology& topo, bool adaptive);
+
+    std::string
+    name() const override
+    {
+        return adaptive_ ? "up-down-adaptive" : "up-down";
+    }
+
+    RouteCandidates route(NodeId current, NodeId dest) const override;
+
+    bool usesEscapeChannels() const override { return adaptive_; }
+    bool isAdaptive() const override { return adaptive_; }
+    int escapeClasses() const override { return 1; }
+
+    /** The deterministic tree-path port: toward the subtree child
+     *  containing dest in the down phase, the parent otherwise. */
+    static PortId treePort(const Topology& topo,
+                           const SpanningTree& tree, NodeId current,
+                           NodeId dest);
+
+    /**
+     * The full candidate computation, shared with the economical
+     * tree-interval tables (which must reproduce these entries
+     * bit-exactly). Returns the ejection entry when current == dest.
+     */
+    static RouteCandidates routeOn(const Topology& topo,
+                                   const SpanningTree& tree,
+                                   NodeId current, NodeId dest,
+                                   bool adaptive);
+
+  private:
+    const SpanningTree& tree_;
+    bool adaptive_;
+};
+
+} // namespace lapses
+
+#endif // LAPSES_ROUTING_UP_DOWN_HPP

@@ -1,7 +1,26 @@
 #include "tables/cluster_map.hpp"
 
+#include <algorithm>
+
+#include "topology/topology.hpp"
+
 namespace lapses
 {
+namespace
+{
+
+const MeshShape&
+meshOf(const Topology& topo, const char* map_name)
+{
+    if (topo.mesh() == nullptr) {
+        throw ConfigError(std::string(map_name) +
+                          " cluster maps require a mesh/torus "
+                          "topology (use the tree map)");
+    }
+    return *topo.mesh();
+}
+
+} // namespace
 
 bool
 ClusterBox::contains(const Coordinates& c) const
@@ -13,51 +32,128 @@ ClusterBox::contains(const Coordinates& c) const
     return true;
 }
 
-ClusterMap::ClusterMap(const MeshTopology& topo,
+ClusterMap::ClusterMap(const Topology& topo,
                        std::vector<int> block_edge, std::string map_name)
     : topo_(topo), edge_(std::move(block_edge)), name_(std::move(map_name))
 {
-    if (static_cast<int>(edge_.size()) != topo.dims())
+    const MeshShape& mesh = meshOf(topo, name_.c_str());
+    if (static_cast<int>(edge_.size()) != mesh.dims())
         throw ConfigError("cluster map needs one block edge per dim");
     num_clusters_ = 1;
     nodes_per_cluster_ = 1;
     blocks_.resize(edge_.size());
-    for (int d = 0; d < topo.dims(); ++d) {
+    for (int d = 0; d < mesh.dims(); ++d) {
         const int e = edge_[static_cast<std::size_t>(d)];
-        if (e < 1 || topo.radix(d) % e != 0) {
+        if (e < 1 || mesh.radix(d) % e != 0) {
             throw ConfigError(
                 "cluster block edge must divide the mesh radix");
         }
-        blocks_[static_cast<std::size_t>(d)] = topo.radix(d) / e;
+        blocks_[static_cast<std::size_t>(d)] = mesh.radix(d) / e;
         num_clusters_ *= blocks_[static_cast<std::size_t>(d)];
         nodes_per_cluster_ *= e;
     }
 }
 
+ClusterMap::ClusterMap(const Topology& topo) : topo_(topo) {}
+
 ClusterMap
-ClusterMap::rowMap(const MeshTopology& topo)
+ClusterMap::rowMap(const Topology& topo)
 {
+    const MeshShape& mesh = meshOf(topo, "row");
     // Whole rows: full extent in dimension 0, single node in the rest.
-    std::vector<int> edge(static_cast<std::size_t>(topo.dims()), 1);
-    edge[0] = topo.radix(0);
+    std::vector<int> edge(static_cast<std::size_t>(mesh.dims()), 1);
+    edge[0] = mesh.radix(0);
     return ClusterMap(topo, std::move(edge), "row");
 }
 
 ClusterMap
-ClusterMap::blockMap(const MeshTopology& topo, int edge)
+ClusterMap::blockMap(const Topology& topo, int edge)
 {
-    std::vector<int> edges(static_cast<std::size_t>(topo.dims()), edge);
+    const MeshShape& mesh = meshOf(topo, "block");
+    std::vector<int> edges(static_cast<std::size_t>(mesh.dims()), edge);
     return ClusterMap(topo, std::move(edges),
                       "block" + std::to_string(edge));
+}
+
+ClusterMap
+ClusterMap::treeMap(const Topology& topo, int target_size)
+{
+    if (target_size < 1)
+        throw ConfigError("tree cluster target size must be >= 1");
+    const SpanningTree& tree = topo.spanningTree();
+    const auto n = static_cast<std::size_t>(topo.numNodes());
+
+    ClusterMap map(topo);
+    map.tree_map_ = true;
+    map.name_ = "tree" + std::to_string(target_size);
+    map.cluster_of_.assign(n, -1);
+    map.sub_of_.assign(n, -1);
+
+    // Subtree size is the width of the DFS pre-order interval. A node
+    // roots a cluster when its subtree fits the target but its
+    // parent's does not; the oversize residue (an upward-closed region
+    // containing the tree root) is cluster 0. Nodes are processed in
+    // dfsIn order so a parent's cluster is known before its children's.
+    std::vector<NodeId> by_dfs(n);
+    for (NodeId v = 0; v < topo.numNodes(); ++v)
+        by_dfs[static_cast<std::size_t>(tree.dfsIn[
+            static_cast<std::size_t>(v)])] = v;
+    auto subtreeSize = [&tree](NodeId v) {
+        const auto i = static_cast<std::size_t>(v);
+        return tree.dfsOut[i] - tree.dfsIn[i];
+    };
+    map.members_.emplace_back(); // residue cluster 0
+    for (const NodeId v : by_dfs) {
+        const auto vi = static_cast<std::size_t>(v);
+        int cluster;
+        if (v == 0 || subtreeSize(v) > target_size) {
+            cluster = 0; // the tree root always anchors the residue
+        } else {
+            const NodeId parent = tree.parentNode[vi];
+            const int parent_cluster =
+                map.cluster_of_[static_cast<std::size_t>(parent)];
+            if (parent_cluster == 0) {
+                // New cluster root.
+                cluster = static_cast<int>(map.members_.size());
+                map.members_.emplace_back();
+            } else {
+                cluster = parent_cluster;
+            }
+        }
+        map.cluster_of_[vi] = cluster;
+        auto& members = map.members_[static_cast<std::size_t>(cluster)];
+        map.sub_of_[vi] = static_cast<int>(members.size());
+        members.push_back(v);
+    }
+
+    map.num_clusters_ = static_cast<int>(map.members_.size());
+    map.nodes_per_cluster_ = 0;
+    for (const auto& members : map.members_) {
+        map.nodes_per_cluster_ = std::max(
+            map.nodes_per_cluster_, static_cast<int>(members.size()));
+    }
+    return map;
+}
+
+int
+ClusterMap::clusterSize(int cluster) const
+{
+    LAPSES_ASSERT(cluster >= 0 && cluster < num_clusters_);
+    if (tree_map_)
+        return static_cast<int>(
+            members_[static_cast<std::size_t>(cluster)].size());
+    return nodes_per_cluster_;
 }
 
 int
 ClusterMap::clusterOf(NodeId node) const
 {
-    const Coordinates c = topo_.nodeToCoords(node);
+    if (tree_map_)
+        return cluster_of_[static_cast<std::size_t>(node)];
+    const Coordinates c = topo_.mesh()->nodeToCoords(node);
     int id = 0;
     int weight = 1;
-    for (int d = 0; d < topo_.dims(); ++d) {
+    for (int d = 0; d < topo_.mesh()->dims(); ++d) {
         id += (c.at(d) / edge_[static_cast<std::size_t>(d)]) * weight;
         weight *= blocks_[static_cast<std::size_t>(d)];
     }
@@ -67,10 +163,12 @@ ClusterMap::clusterOf(NodeId node) const
 int
 ClusterMap::subOf(NodeId node) const
 {
-    const Coordinates c = topo_.nodeToCoords(node);
+    if (tree_map_)
+        return sub_of_[static_cast<std::size_t>(node)];
+    const Coordinates c = topo_.mesh()->nodeToCoords(node);
     int id = 0;
     int weight = 1;
-    for (int d = 0; d < topo_.dims(); ++d) {
+    for (int d = 0; d < topo_.mesh()->dims(); ++d) {
         id += (c.at(d) % edge_[static_cast<std::size_t>(d)]) * weight;
         weight *= edge_[static_cast<std::size_t>(d)];
     }
@@ -81,26 +179,44 @@ NodeId
 ClusterMap::nodeOf(int cluster, int sub) const
 {
     LAPSES_ASSERT(cluster >= 0 && cluster < num_clusters_);
+    if (tree_map_) {
+        LAPSES_ASSERT(sub >= 0 && sub < clusterSize(cluster));
+        return members_[static_cast<std::size_t>(cluster)]
+                       [static_cast<std::size_t>(sub)];
+    }
     LAPSES_ASSERT(sub >= 0 && sub < nodes_per_cluster_);
-    Coordinates c(topo_.dims());
-    for (int d = 0; d < topo_.dims(); ++d) {
+    const MeshShape& mesh = *topo_.mesh();
+    Coordinates c(mesh.dims());
+    for (int d = 0; d < mesh.dims(); ++d) {
         const int e = edge_[static_cast<std::size_t>(d)];
         const int b = blocks_[static_cast<std::size_t>(d)];
         c.set(d, (cluster % b) * e + (sub % e));
         cluster /= b;
         sub /= e;
     }
-    return topo_.coordsToNode(c);
+    return mesh.coordsToNode(c);
+}
+
+NodeId
+ClusterMap::clusterRep(int cluster) const
+{
+    LAPSES_ASSERT(cluster >= 0 && cluster < num_clusters_);
+    LAPSES_ASSERT_MSG(tree_map_, "mesh clusters have no single rep");
+    // Members are recorded in dfsIn order, so the first is the subtree
+    // root (the residue's first member is the tree root).
+    return members_[static_cast<std::size_t>(cluster)].front();
 }
 
 ClusterBox
 ClusterMap::box(int cluster) const
 {
     LAPSES_ASSERT(cluster >= 0 && cluster < num_clusters_);
+    LAPSES_ASSERT_MSG(!tree_map_, "tree clusters have no bounding box");
+    const MeshShape& mesh = *topo_.mesh();
     ClusterBox bx;
-    bx.lo = Coordinates(topo_.dims());
-    bx.hi = Coordinates(topo_.dims());
-    for (int d = 0; d < topo_.dims(); ++d) {
+    bx.lo = Coordinates(mesh.dims());
+    bx.hi = Coordinates(mesh.dims());
+    for (int d = 0; d < mesh.dims(); ++d) {
         const int e = edge_[static_cast<std::size_t>(d)];
         const int b = blocks_[static_cast<std::size_t>(d)];
         const int first = (cluster % b) * e;

@@ -2,9 +2,9 @@
  * @file
  * Node-to-cluster mappings for meta-table routing (paper Fig. 8).
  *
- * A cluster map logically partitions the mesh into axis-aligned
- * rectangular clusters; every node gets a (cluster id, sub-cluster id)
- * pair. Two mappings from the paper:
+ * A cluster map logically partitions the network; every node gets a
+ * (cluster id, sub-cluster id) pair. On meshes the clusters are
+ * axis-aligned rectangles, with the paper's two mappings:
  *
  *  - Row map (Fig. 8a, "minimal adaptivity"): each row is a cluster, so
  *    intra-cluster routing is +-X only and inter-cluster routing is +-Y
@@ -14,6 +14,15 @@
  *  - Block map (Fig. 8b, "maximal adaptivity"): square blocks (4x4 on the
  *    paper's 16x16 mesh) arranged in a grid, preserving adaptivity within
  *    and between clusters but congesting cluster-boundary links.
+ *
+ * On irregular graphs the tree map partitions the up*-down* spanning
+ * tree into subtrees (treeMap). Subtrees are the one irregular cluster
+ * shape that keeps meta-table routing live: they are closed under
+ * lowest common ancestors, so the up*-down* path between two members
+ * never leaves the cluster and the memoryless cluster/local phase
+ * switch cannot oscillate. The cluster representative — the target of
+ * the shared inter-cluster entries — is the subtree root, which is
+ * also the first node of the cluster any down-phase path crosses.
  */
 
 #ifndef LAPSES_TABLES_CLUSTER_MAP_HPP
@@ -37,30 +46,46 @@ struct ClusterBox
     bool contains(const Coordinates& c) const;
 };
 
-/** Rectangular partition of the mesh into clusters. */
+/** Partition of the network into clusters (mesh blocks or subtrees). */
 class ClusterMap
 {
   public:
     /**
-     * Partition by per-dimension block edge lengths; block_edge[d] must
-     * divide radix(d). Cluster ids are row-major over the block grid,
-     * sub ids row-major within a block.
+     * Mesh partition by per-dimension block edge lengths; block_edge[d]
+     * must divide radix(d). Cluster ids are row-major over the block
+     * grid, sub ids row-major within a block. Requires the mesh
+     * capability.
      */
-    ClusterMap(const MeshTopology& topo, std::vector<int> block_edge,
+    ClusterMap(const Topology& topo, std::vector<int> block_edge,
                std::string map_name);
 
     /** Fig. 8(a): one cluster per row (minimal flexibility). */
-    static ClusterMap rowMap(const MeshTopology& topo);
+    static ClusterMap rowMap(const Topology& topo);
 
     /** Fig. 8(b): square blocks of the given edge (maximal flexibility);
      *  edge defaults to radix/4 on the paper's 16x16 mesh. */
-    static ClusterMap blockMap(const MeshTopology& topo, int edge);
+    static ClusterMap blockMap(const Topology& topo, int edge);
+
+    /**
+     * Irregular partition into spanning-tree subtrees of at most
+     * target_size nodes: a node roots a cluster when its subtree fits
+     * the target but its parent's does not. The residue — nodes whose
+     * subtree exceeds the target, an upward-closed region around the
+     * tree root — forms cluster 0.
+     */
+    static ClusterMap treeMap(const Topology& topo, int target_size);
 
     const std::string& name() const { return name_; }
-    const MeshTopology& topology() const { return topo_; }
+    const Topology& topology() const { return topo_; }
 
     int numClusters() const { return num_clusters_; }
+
+    /** Largest cluster size — the local-table entry count a router
+     *  must provision (the exact size of every cluster on meshes). */
     int nodesPerCluster() const { return nodes_per_cluster_; }
+
+    /** Nodes in one cluster (== nodesPerCluster() on meshes). */
+    int clusterSize(int cluster) const;
 
     /** Cluster id of a node. */
     int clusterOf(NodeId node) const;
@@ -71,16 +96,29 @@ class ClusterMap
     /** The node with the given (cluster, sub) pair. */
     NodeId nodeOf(int cluster, int sub) const;
 
-    /** Bounding box of a cluster. */
+    /** True for the subtree partition of an irregular graph. */
+    bool isTreeMap() const { return tree_map_; }
+
+    /** The cluster's representative: the subtree root (tree maps
+     *  only; mesh inter-cluster entries target the bounding box). */
+    NodeId clusterRep(int cluster) const;
+
+    /** Bounding box of a cluster (mesh maps only). */
     ClusterBox box(int cluster) const;
 
   private:
-    const MeshTopology& topo_;
-    std::vector<int> edge_;        // block edge per dimension
-    std::vector<int> blocks_;      // block count per dimension
+    explicit ClusterMap(const Topology& topo); // treeMap scaffold
+
+    const Topology& topo_;
+    std::vector<int> edge_;        // mesh: block edge per dimension
+    std::vector<int> blocks_;      // mesh: block count per dimension
     std::string name_;
     int num_clusters_;
     int nodes_per_cluster_;
+    bool tree_map_ = false;
+    std::vector<int> cluster_of_;            // tree: per node
+    std::vector<int> sub_of_;                // tree: per node
+    std::vector<std::vector<NodeId>> members_; // tree: per cluster
 };
 
 } // namespace lapses

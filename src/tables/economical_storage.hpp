@@ -8,6 +8,16 @@
  * (sign(d_x - i_x), sign(d_y - i_y), ...) suffices: 9 entries for 2-D, 27
  * for 3-D — independent of network size. The router hardware is the table
  * plus a node-id register and one comparator per dimension (Fig. 7).
+ *
+ * On irregular graphs the same storage-compression idea carries over as
+ * tree-interval storage: up*-down* candidate sets depend only on where
+ * the destination's DFS pre-order label falls relative to the subtree
+ * intervals of the router and of its tree children. Each router stores
+ * its own interval plus one (interval, up/down) record per port —
+ * numPorts + 1 entries, independent of network size — and the lookup
+ * hardware is a label register with interval comparators per port.
+ * Construction validates exhaustively that the programmed algorithm is
+ * tree-representable, mirroring the mesh sign-representability check.
  */
 
 #ifndef LAPSES_TABLES_ECONOMICAL_STORAGE_HPP
@@ -32,14 +42,14 @@ class EconomicalStorageTable : public RoutingTable
      * for all the minimal mesh algorithms in this library; validation is
      * exhaustive at construction).
      */
-    EconomicalStorageTable(const MeshTopology& topo,
+    EconomicalStorageTable(const Topology& topo,
                            const RoutingAlgorithm& algo);
 
     /**
      * Build an unprogrammed (all-empty) table for manual programming via
      * setEntry, as a router configuration interface would (Fig. 7d).
      */
-    explicit EconomicalStorageTable(const MeshTopology& topo);
+    explicit EconomicalStorageTable(const Topology& topo);
 
     std::string name() const override { return "economical-storage"; }
     RouteCandidates lookup(NodeId router, NodeId dest) const override;
@@ -52,11 +62,13 @@ class EconomicalStorageTable : public RoutingTable
 
     bool supportsAdaptive() const override { return true; }
 
-    /** Program one sign-indexed entry of one router's table. */
+    /** Program one sign-indexed entry of one router's table (mesh
+     *  mode only). */
     void setEntry(NodeId router, const SignVector& sv,
                   const RouteCandidates& rc);
 
-    /** Read one sign-indexed entry of one router's table. */
+    /** Read one sign-indexed entry of one router's table (mesh mode
+     *  only). */
     RouteCandidates entry(NodeId router, const SignVector& sv) const;
 
   private:
@@ -70,6 +82,11 @@ class EconomicalStorageTable : public RoutingTable
 
     int entries_per_router_;
     std::vector<RouteCandidates> entries_;
+    /** Tree-interval mode (irregular graphs): lookups are recomputed
+     *  from the per-port subtree intervals instead of a stored entry
+     *  array. */
+    bool tree_mode_ = false;
+    bool tree_adaptive_ = false;
 };
 
 } // namespace lapses

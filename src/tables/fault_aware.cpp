@@ -4,16 +4,18 @@
 #include <queue>
 
 #include "routing/dimension_order.hpp"
+#include "routing/up_down.hpp"
 
 namespace lapses
 {
 
 void
-FailureSet::fail(const MeshTopology& topo, NodeId node, PortId port)
+FailureSet::fail(const Topology& topo, NodeId node, PortId port)
 {
     const NodeId peer = topo.neighbor(node, port);
     if (port == kLocalPort || peer == kInvalidNode)
-        throw ConfigError("cannot fail a local port or mesh-edge port");
+        throw ConfigError(
+            "cannot fail a local port or unconnected port");
     const auto insert = [this](NodeId n, PortId p) {
         const auto key = std::make_pair(n, p);
         const auto it =
@@ -22,11 +24,11 @@ FailureSet::fail(const MeshTopology& topo, NodeId node, PortId port)
             failed_.insert(it, key);
     };
     insert(node, port);
-    insert(peer, MeshTopology::oppositePort(port));
+    insert(peer, topo.peerPort(node, port));
 }
 
 void
-FailureSet::repair(const MeshTopology& topo, NodeId node, PortId port)
+FailureSet::repair(const Topology& topo, NodeId node, PortId port)
 {
     const NodeId peer = topo.neighbor(node, port);
     if (!isFailed(node, port)) {
@@ -42,7 +44,7 @@ FailureSet::repair(const MeshTopology& topo, NodeId node, PortId port)
         failed_.erase(it);
     };
     erase(node, port);
-    erase(peer, MeshTopology::oppositePort(port));
+    erase(peer, topo.peerPort(node, port));
 }
 
 bool
@@ -57,7 +59,7 @@ namespace
 
 /** BFS distances to 'dest' over the surviving topology. */
 std::vector<int>
-distancesTo(const MeshTopology& topo, const FailureSet& failures,
+distancesTo(const Topology& topo, const FailureSet& failures,
             NodeId dest)
 {
     std::vector<int> dist(static_cast<std::size_t>(topo.numNodes()),
@@ -87,7 +89,7 @@ distancesTo(const MeshTopology& topo, const FailureSet& failures,
 } // namespace
 
 int
-survivingDistance(const MeshTopology& topo, const FailureSet& failures,
+survivingDistance(const Topology& topo, const FailureSet& failures,
                   NodeId from, NodeId to)
 {
     return distancesTo(topo, failures,
@@ -113,7 +115,7 @@ ConnectivityReport::describe() const
 }
 
 ConnectivityReport
-checkConnectivity(const MeshTopology& topo, const FailureSet& failures)
+checkConnectivity(const Topology& topo, const FailureSet& failures)
 {
     // One BFS from node 0 suffices: surviving links are bidirectional,
     // so the component of node 0 and its complement are the two sides
@@ -131,7 +133,7 @@ checkConnectivity(const MeshTopology& topo, const FailureSet& failures)
 }
 
 void
-reprogramFaultAwareTable(FullTable& table, const MeshTopology& topo,
+reprogramFaultAwareTable(FullTable& table, const Topology& topo,
                          const FailureSet& failures)
 {
     // Reject a partitioning failure set upfront, with both sides of
@@ -168,10 +170,16 @@ reprogramFaultAwareTable(FullTable& table, const MeshTopology& topo,
 }
 
 FullTable
-programFaultAwareTable(const MeshTopology& topo,
+programFaultAwareTable(const Topology& topo,
                        const FailureSet& failures)
 {
     // Start from any algorithm (entries are overwritten below).
+    if (topo.mesh() == nullptr) {
+        const UpDownRouting seed(topo, false);
+        FullTable table(topo, seed);
+        reprogramFaultAwareTable(table, topo, failures);
+        return table;
+    }
     const DimensionOrderRouting seed = DimensionOrderRouting::xy(topo);
     FullTable table(topo, seed);
     reprogramFaultAwareTable(table, topo, failures);

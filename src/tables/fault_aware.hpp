@@ -39,12 +39,12 @@ class FailureSet
   public:
     /** Mark the bidirectional link at (node, port) failed. Throws
      *  ConfigError if the port faces the mesh edge. */
-    void fail(const MeshTopology& topo, NodeId node, PortId port);
+    void fail(const Topology& topo, NodeId node, PortId port);
 
     /** Un-fail the bidirectional link at (node, port) (a repaired
      *  link coming back up). Throws ConfigError when the link is not
      *  currently failed. */
-    void repair(const MeshTopology& topo, NodeId node, PortId port);
+    void repair(const Topology& topo, NodeId node, PortId port);
 
     /** True when the link out of node through port is failed. */
     bool isFailed(NodeId node, PortId port) const;
@@ -91,7 +91,7 @@ struct ConnectivityReport
  * fault path (FaultSchedule::validate) to reject a disconnecting
  * failure set before any live network state is touched.
  */
-ConnectivityReport checkConnectivity(const MeshTopology& topo,
+ConnectivityReport checkConnectivity(const Topology& topo,
                                      const FailureSet& failures);
 
 /**
@@ -104,7 +104,7 @@ ConnectivityReport checkConnectivity(const MeshTopology& topo,
  * @throws ConfigError (with the full cut report) if the failure set
  *         partitions the network.
  */
-FullTable programFaultAwareTable(const MeshTopology& topo,
+FullTable programFaultAwareTable(const Topology& topo,
                                  const FailureSet& failures);
 
 /**
@@ -119,12 +119,12 @@ FullTable programFaultAwareTable(const MeshTopology& topo,
  * watchdog is the guard, exactly as for statically programmed
  * fault-aware tables (DESIGN.md "Fault events").
  */
-void reprogramFaultAwareTable(FullTable& table, const MeshTopology& topo,
+void reprogramFaultAwareTable(FullTable& table, const Topology& topo,
                               const FailureSet& failures);
 
 /** Hop count of the shortest surviving path between two nodes, or -1
  *  when disconnected. */
-int survivingDistance(const MeshTopology& topo,
+int survivingDistance(const Topology& topo,
                       const FailureSet& failures, NodeId from,
                       NodeId to);
 

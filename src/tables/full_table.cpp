@@ -3,7 +3,7 @@
 namespace lapses
 {
 
-FullTable::FullTable(const MeshTopology& topo, const RoutingAlgorithm& algo)
+FullTable::FullTable(const Topology& topo, const RoutingAlgorithm& algo)
     : RoutingTable(topo)
 {
     const NodeId n = topo.numNodes();

@@ -22,7 +22,7 @@ class FullTable : public RoutingTable
 {
   public:
     /** Program every router's table from the routing algorithm. */
-    FullTable(const MeshTopology& topo, const RoutingAlgorithm& algo);
+    FullTable(const Topology& topo, const RoutingAlgorithm& algo);
 
     std::string name() const override { return "full-table"; }
     RouteCandidates lookup(NodeId router, NodeId dest) const override;

@@ -5,7 +5,7 @@
 namespace lapses
 {
 
-IntervalTable::IntervalTable(const MeshTopology& topo,
+IntervalTable::IntervalTable(const Topology& topo,
                              const RoutingAlgorithm& algo)
     : RoutingTable(topo)
 {

@@ -37,7 +37,7 @@ class IntervalTable : public RoutingTable
      * maximal label intervals. Throws ConfigError for adaptive
      * algorithms.
      */
-    IntervalTable(const MeshTopology& topo, const RoutingAlgorithm& algo);
+    IntervalTable(const Topology& topo, const RoutingAlgorithm& algo);
 
     std::string name() const override { return "interval"; }
     RouteCandidates lookup(NodeId router, NodeId dest) const override;

@@ -9,19 +9,19 @@ namespace
 
 /** The node of 'box' nearest to 'from' (coordinate clamp). */
 NodeId
-nearestNodeInBox(const MeshTopology& topo, NodeId from,
+nearestNodeInBox(const MeshShape& mesh, NodeId from,
                  const ClusterBox& box)
 {
-    const Coordinates c = topo.nodeToCoords(from);
-    Coordinates nearest(topo.dims());
-    for (int d = 0; d < topo.dims(); ++d)
+    const Coordinates c = mesh.nodeToCoords(from);
+    Coordinates nearest(mesh.dims());
+    for (int d = 0; d < mesh.dims(); ++d)
         nearest.set(d, std::clamp(c.at(d), box.lo.at(d), box.hi.at(d)));
-    return topo.coordsToNode(nearest);
+    return mesh.coordsToNode(nearest);
 }
 
 } // namespace
 
-MetaTable::MetaTable(const MeshTopology& topo,
+MetaTable::MetaTable(const Topology& topo,
                      const RoutingAlgorithm& algo, ClusterMap map)
     : RoutingTable(topo), map_(std::move(map))
 {
@@ -40,7 +40,7 @@ MetaTable::MetaTable(const MeshTopology& topo,
         const int my_cluster = map_.clusterOf(r);
         // Sub-cluster table: exact algorithm entries for local nodes,
         // escape phase 1 (inside the destination cluster).
-        for (int sub = 0; sub < map_.nodesPerCluster(); ++sub) {
+        for (int sub = 0; sub < map_.clusterSize(my_cluster); ++sub) {
             const NodeId dest = map_.nodeOf(my_cluster, sub);
             RouteCandidates rc = algo.route(r, dest);
             if (rc.escapePort() != kInvalidPort)
@@ -63,12 +63,18 @@ MetaTable::interClusterEntry(NodeId router, int cluster,
                              const RoutingAlgorithm& algo) const
 {
     // All destinations of the cluster share this entry, so it can only
-    // hold ports productive toward the whole region. Routing toward the
-    // nearest node of the bounding box yields exactly those ports for
-    // every sign-representable mesh algorithm.
-    const NodeId rep = nearestNodeInBox(topo_, router, map_.box(cluster));
+    // hold ports productive toward the whole region. On meshes, routing
+    // toward the nearest node of the bounding box yields exactly those
+    // ports for every sign-representable algorithm; on tree maps the
+    // subtree root is the shared target — every down-phase path into
+    // the cluster crosses it first.
+    const NodeId rep =
+        map_.isTreeMap()
+            ? map_.clusterRep(cluster)
+            : nearestNodeInBox(*topo_.mesh(), router,
+                               map_.box(cluster));
     LAPSES_ASSERT_MSG(rep != router,
-                      "router inside a remote cluster's box");
+                      "router inside a remote cluster's region");
     RouteCandidates rc = algo.route(router, rep);
     if (rc.escapePort() != kInvalidPort)
         rc.setEscapeClass(0);

@@ -39,7 +39,7 @@ class MetaTable : public RoutingTable
      * cluster's region (a deterministic algorithm therefore stays
      * deterministic, an adaptive one loses boundary adaptivity).
      */
-    MetaTable(const MeshTopology& topo, const RoutingAlgorithm& algo,
+    MetaTable(const Topology& topo, const RoutingAlgorithm& algo,
               ClusterMap map);
 
     std::string name() const override { return "meta-" + map_.name(); }

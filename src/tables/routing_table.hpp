@@ -30,7 +30,7 @@ namespace lapses
 class RoutingTable
 {
   public:
-    explicit RoutingTable(const MeshTopology& topo) : topo_(topo) {}
+    explicit RoutingTable(const Topology& topo) : topo_(topo) {}
     virtual ~RoutingTable() = default;
 
     RoutingTable(const RoutingTable&) = delete;
@@ -54,10 +54,10 @@ class RoutingTable
     /** True when entries may hold multiple candidate ports. */
     virtual bool supportsAdaptive() const = 0;
 
-    const MeshTopology& topology() const { return topo_; }
+    const Topology& topology() const { return topo_; }
 
   protected:
-    const MeshTopology& topo_;
+    const Topology& topo_;
 };
 
 using RoutingTablePtr = std::unique_ptr<RoutingTable>;

@@ -1,5 +1,6 @@
 #include "tables/storage_cost.hpp"
 
+#include "routing/route_candidates.hpp"
 #include "tables/route_entry.hpp"
 
 namespace lapses
@@ -16,13 +17,23 @@ ceilLog2(std::size_t v)
     return bits;
 }
 
+/** Candidate fields an adaptive entry holds: one per dimension on
+ *  meshes, the candidate-set width on irregular graphs. */
+int
+adaptiveWidth(const Topology& topo)
+{
+    if (topo.mesh())
+        return topo.mesh()->dims();
+    return RouteCandidates::kMaxCandidates;
+}
+
 } // namespace
 
 int
-entryBits(const MeshTopology& topo, TableFeatures f)
+entryBits(const Topology& topo, TableFeatures f)
 {
     const int field = portFieldBits(topo.numPorts());
-    const int n = topo.dims();
+    const int n = adaptiveWidth(topo);
     if (!f.adaptive)
         return field; // one port, with or without look-ahead
     // n candidate fields; look-ahead expands each candidate into the n
@@ -33,7 +44,7 @@ entryBits(const MeshTopology& topo, TableFeatures f)
 }
 
 StorageCost
-fullTableCost(const MeshTopology& topo, TableFeatures f)
+fullTableCost(const Topology& topo, TableFeatures f)
 {
     StorageCost c;
     c.scheme = "full-table";
@@ -44,14 +55,17 @@ fullTableCost(const MeshTopology& topo, TableFeatures f)
 }
 
 StorageCost
-metaTableCost(const MeshTopology& topo, int cluster_nodes, TableFeatures f)
+metaTableCost(const Topology& topo, int cluster_nodes, TableFeatures f)
 {
     LAPSES_ASSERT(cluster_nodes > 0 &&
-                  topo.numNodes() % cluster_nodes == 0);
+                  cluster_nodes <= topo.numNodes());
     StorageCost c;
     c.scheme = "meta-table";
+    // Cluster count rounds up for partitions (tree maps) whose last
+    // cluster is short; exact for the divisible mesh block maps.
     c.entriesPerRouter =
-        static_cast<std::size_t>(topo.numNodes() / cluster_nodes) +
+        static_cast<std::size_t>(
+            (topo.numNodes() + cluster_nodes - 1) / cluster_nodes) +
         static_cast<std::size_t>(cluster_nodes);
     c.bitsPerEntry = entryBits(topo, f);
     c.indexHardware = "cluster-id compare + id split";
@@ -59,7 +73,7 @@ metaTableCost(const MeshTopology& topo, int cluster_nodes, TableFeatures f)
 }
 
 StorageCost
-intervalCost(const MeshTopology& topo)
+intervalCost(const Topology& topo)
 {
     StorageCost c;
     c.scheme = "interval";
@@ -73,17 +87,27 @@ intervalCost(const MeshTopology& topo)
 }
 
 StorageCost
-economicalStorageCost(const MeshTopology& topo, TableFeatures f)
+economicalStorageCost(const Topology& topo, TableFeatures f)
 {
     StorageCost c;
     c.scheme = "economical-storage";
+    c.bitsPerEntry = entryBits(topo, f);
+    if (topo.mesh() == nullptr) {
+        // Tree-interval mode: the router's own DFS interval plus one
+        // interval record per port.
+        c.entriesPerRouter =
+            static_cast<std::size_t>(topo.numPorts()) + 1;
+        c.indexHardware =
+            "dfs-label register + subtree-interval comparators "
+            "per port";
+        return c;
+    }
     std::size_t entries = 1;
-    for (int d = 0; d < topo.dims(); ++d)
+    for (int d = 0; d < topo.mesh()->dims(); ++d)
         entries *= 3;
     c.entriesPerRouter = entries;
-    c.bitsPerEntry = entryBits(topo, f);
     c.indexHardware =
-        "node-id register + " + std::to_string(topo.dims()) +
+        "node-id register + " + std::to_string(topo.mesh()->dims()) +
         " sign comparators";
     return c;
 }

@@ -47,22 +47,22 @@ struct TableFeatures
 };
 
 /** Bits in one entry for the feature set on this topology. */
-int entryBits(const MeshTopology& topo, TableFeatures f);
+int entryBits(const Topology& topo, TableFeatures f);
 
 /** Full-table cost: N entries. */
-StorageCost fullTableCost(const MeshTopology& topo, TableFeatures f);
+StorageCost fullTableCost(const Topology& topo, TableFeatures f);
 
 /** Two-level meta-table cost for clusters of the given node count:
  *  (N / clusterNodes) cluster entries + clusterNodes local entries. */
-StorageCost metaTableCost(const MeshTopology& topo, int cluster_nodes,
+StorageCost metaTableCost(const Topology& topo, int cluster_nodes,
                           TableFeatures f);
 
 /** Interval-routing cost: #ports interval entries of (label + port)
  *  bits. Deterministic only, so the adaptive flag is ignored. */
-StorageCost intervalCost(const MeshTopology& topo);
+StorageCost intervalCost(const Topology& topo);
 
 /** Economical-storage cost: 3^n entries + n comparators. */
-StorageCost economicalStorageCost(const MeshTopology& topo,
+StorageCost economicalStorageCost(const Topology& topo,
                                   TableFeatures f);
 
 } // namespace lapses

@@ -30,7 +30,7 @@ enum class TableKind
  * paper's 4x4 blocks on a 16x16 mesh) and otherwise the largest
  * square divisor.
  */
-RoutingTablePtr makeRoutingTable(TableKind kind, const MeshTopology& topo,
+RoutingTablePtr makeRoutingTable(TableKind kind, const Topology& topo,
                                  const RoutingAlgorithm& algo);
 
 /** Short identifier, e.g. "economical-storage". */

@@ -1,0 +1,70 @@
+#include "topology/dragonfly.hpp"
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+Topology
+makeDragonflyTopology(int a, int h, int g)
+{
+    if (a < 2)
+        throw ConfigError("dragonfly needs >= 2 routers per group");
+    if (h < 1)
+        throw ConfigError("dragonfly needs >= 1 global port");
+    if (g < 2)
+        throw ConfigError("dragonfly needs >= 2 groups");
+    if (g > a * h + 1) {
+        throw ConfigError(
+            "dragonfly with " + std::to_string(a * h) +
+            " global channels per group cannot connect " +
+            std::to_string(g) + " groups (need g <= a*h + 1)");
+    }
+    const long total = static_cast<long>(a) * g;
+    if (total > (1L << 24))
+        throw ConfigError("dragonfly too large");
+    const int ports = 1 + (a - 1) + h;
+    if (ports > 127)
+        throw ConfigError("dragonfly radix too large (ports > 127)");
+
+    Topology topo(static_cast<NodeId>(total), ports);
+    const auto router = [&](int group, int i) {
+        return static_cast<NodeId>(group * a + i);
+    };
+    // Intra-group full mesh: peer j of router i sits on port 1 + j,
+    // minus one when j > i (the router skips itself).
+    const auto local_port = [&](int i, int j) {
+        return static_cast<PortId>(1 + (j < i ? j : j - 1));
+    };
+    for (int grp = 0; grp < g; ++grp) {
+        for (int i = 0; i < a; ++i) {
+            for (int j = i + 1; j < a; ++j) {
+                topo.connect({router(grp, i), local_port(i, j)},
+                             {router(grp, j), local_port(j, i)});
+            }
+        }
+    }
+
+    // Palmtree global wiring: channel l of group G reaches group
+    // (G + l + 1) mod g on its channel g - 2 - l. Wire from the
+    // smaller channel index so each link is created once.
+    for (int grp = 0; grp < g; ++grp) {
+        for (int l = 0; l <= g - 2; ++l) {
+            const int peer_l = g - 2 - l;
+            if (l >= a * h || peer_l >= a * h)
+                continue; // channel beyond this radix
+            const int peer_grp = (grp + l + 1) % g;
+            if (grp > peer_grp || (grp == peer_grp && l > peer_l))
+                continue; // the far side wires it
+            topo.connect({router(grp, l / h),
+                          static_cast<PortId>(a + l % h)},
+                         {router(peer_grp, peer_l / h),
+                          static_cast<PortId>(a + peer_l % h)});
+        }
+    }
+
+    topo.setBisectionChannels(topo.medianCutChannels());
+    return topo;
+}
+
+} // namespace lapses

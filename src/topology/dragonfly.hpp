@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dragonfly generator (Kim, Dally, Scott & Abts, ISCA 2008) with
+ * palmtree global wiring.
+ *
+ * dragonfly(a, h, g): g groups of a routers; every router has one
+ * local port, a-1 intra-group ports (the group is a full mesh) and h
+ * global ports. Router i of a group owns global channels
+ * l = i*h .. i*h + h - 1; palmtree wiring connects channel l of group
+ * G to group (G + l + 1) mod g, arriving on that group's channel
+ * g - 2 - l — an involution, so every link is wired consistently from
+ * both sides. Full group connectivity needs g <= a*h + 1; when
+ * a*h > g - 1 the surplus global ports stay unconnected (like mesh
+ * edge ports).
+ *
+ * Ports:
+ *   port 0            : local / ejection port
+ *   ports 1 .. a-1    : intra-group (peer j sits on port 1 + j or
+ *                       1 + j - 1, skipping the router itself)
+ *   ports a .. a+h-1  : global channels
+ *
+ * Every router is an endpoint. The bisection is the median node cut
+ * {id < N/2}, counted over the generated links.
+ */
+
+#ifndef LAPSES_TOPOLOGY_DRAGONFLY_HPP
+#define LAPSES_TOPOLOGY_DRAGONFLY_HPP
+
+#include "topology/topology.hpp"
+
+namespace lapses
+{
+
+/** Build a dragonfly; a >= 2 routers/group, h >= 1 global ports,
+ *  2 <= g <= a*h + 1 groups. */
+Topology makeDragonflyTopology(int a, int h, int g);
+
+} // namespace lapses
+
+#endif // LAPSES_TOPOLOGY_DRAGONFLY_HPP

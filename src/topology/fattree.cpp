@@ -1,0 +1,93 @@
+#include "topology/fattree.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+namespace
+{
+
+/** Replace base-k digit d of w (digit 0 least significant). */
+int
+withDigit(int w, int k, int d, int value)
+{
+    int scale = 1;
+    for (int i = 0; i < d; ++i)
+        scale *= k;
+    const int digit = (w / scale) % k;
+    return w + (value - digit) * scale;
+}
+
+int
+digitOf(int w, int k, int d)
+{
+    for (int i = 0; i < d; ++i)
+        w /= k;
+    return w % k;
+}
+
+} // namespace
+
+Topology
+makeFatTreeTopology(int k, int n)
+{
+    if (k < 2)
+        throw ConfigError("fat-tree arity must be >= 2");
+    if (n < 1)
+        throw ConfigError("fat-tree must have at least one level");
+    long hosts = 1;
+    for (int i = 0; i < n; ++i) {
+        hosts *= k;
+        if (hosts > (1L << 24))
+            throw ConfigError("fat-tree too large");
+    }
+    const long switches_per_level = hosts / k;
+    const long total = hosts + n * switches_per_level;
+    const int ports = 1 + 2 * k;
+    if (ports > 127)
+        throw ConfigError("fat-tree arity too large (ports > 127)");
+
+    Topology topo(static_cast<NodeId>(total), ports);
+    const auto switch_id = [&](int level, long w) {
+        return static_cast<NodeId>(hosts + level * switches_per_level +
+                                   w);
+    };
+    const PortId up_base = static_cast<PortId>(k + 1);
+
+    // Hosts hang off level-0 switches: host h on down-port 1 + (h % k)
+    // of switch (0, h / k); the host's uplink is its first up port.
+    for (long h = 0; h < hosts; ++h) {
+        topo.connect({static_cast<NodeId>(h), up_base},
+                     {switch_id(0, h / k),
+                      static_cast<PortId>(1 + h % k)});
+    }
+
+    // Butterfly digit wiring between switch levels.
+    for (int l = 0; l + 1 < n; ++l) {
+        for (long w = 0; w < switches_per_level; ++w) {
+            const int digit = digitOf(static_cast<int>(w), k, l);
+            for (int j = 0; j < k; ++j) {
+                const long upper =
+                    withDigit(static_cast<int>(w), k, l, j);
+                topo.connect({switch_id(l, w),
+                              static_cast<PortId>(up_base + j)},
+                             {switch_id(l + 1, upper),
+                              static_cast<PortId>(1 + digit)});
+            }
+        }
+    }
+
+    std::vector<NodeId> endpoints(static_cast<std::size_t>(hosts));
+    std::iota(endpoints.begin(), endpoints.end(), 0);
+    topo.setEndpoints(std::move(endpoints));
+    // A full-bisection tree is injection-limited, not cut-limited:
+    // normalize so load 1.0 is one flit per host per cycle
+    // (2 * B / hosts = 1).
+    topo.setBisectionChannels(static_cast<int>(hosts / 2));
+    return topo;
+}
+
+} // namespace lapses

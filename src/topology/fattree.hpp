@@ -1,0 +1,38 @@
+/**
+ * @file
+ * k-ary n-tree (fat-tree) generator.
+ *
+ * k^n hosts (the endpoint set, ids 0 .. k^n - 1) under n levels of
+ * k^(n-1) switches each. Every node has 1 + 2k ports:
+ *
+ *   port 0          : local / ejection port
+ *   ports 1 .. k    : down links (toward the hosts)
+ *   ports k+1 .. 2k : up links (toward the roots)
+ *
+ * Hosts use only port k+1 (their uplink); level n-1 switches have no
+ * up links. Switch (l, w) — level l in [0, n), position w written as
+ * n-1 base-k digits — connects up-port k+1+j to switch
+ * (l+1, w with digit l replaced by j) whose down-port is 1 plus the
+ * replaced digit, the standard butterfly digit wiring. Any host pair
+ * has k^(n-1) root choices, which is the adaptivity up*-down* routing
+ * exploits.
+ *
+ * A full-bisection tree saturates at the injection limit rather than
+ * at a cut, so the load normalization makes 1.0 equal one flit per
+ * host per cycle.
+ */
+
+#ifndef LAPSES_TOPOLOGY_FATTREE_HPP
+#define LAPSES_TOPOLOGY_FATTREE_HPP
+
+#include "topology/topology.hpp"
+
+namespace lapses
+{
+
+/** Build a k-ary n-tree; k >= 2, n >= 1, k^n hosts. */
+Topology makeFatTreeTopology(int k, int n);
+
+} // namespace lapses
+
+#endif // LAPSES_TOPOLOGY_FATTREE_HPP

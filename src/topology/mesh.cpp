@@ -1,203 +1,40 @@
 #include "topology/mesh.hpp"
 
-#include <algorithm>
-
 namespace lapses
 {
 
-MeshTopology::MeshTopology(std::vector<int> radices, bool wrap)
-    : radices_(std::move(radices)), wrap_(wrap)
+Topology
+makeMeshTopology(std::vector<int> radices, bool wrap)
 {
-    if (radices_.empty() ||
-        static_cast<int>(radices_.size()) > kMaxDims) {
-        throw ConfigError("mesh must have between 1 and " +
-                          std::to_string(kMaxDims) + " dimensions");
+    MeshShape shape(std::move(radices), wrap);
+    Topology topo(shape.numNodes(), shape.numPorts());
+    // Wire every node's Plus port per dimension; the Minus side is the
+    // neighbor's receiving end (oppositePort), so each link is created
+    // exactly once — including both wrap links of a radix-2 torus ring.
+    for (NodeId n = 0; n < shape.numNodes(); ++n) {
+        for (int d = 0; d < shape.dims(); ++d) {
+            const PortId out = MeshShape::port(d, Direction::Plus);
+            const NodeId v = shape.neighbor(n, out);
+            if (v == kInvalidNode)
+                continue; // mesh edge
+            topo.connect({n, out}, {v, MeshShape::oppositePort(out)});
+        }
     }
-    long total = 1;
-    strides_.resize(radices_.size());
-    for (std::size_t d = 0; d < radices_.size(); ++d) {
-        if (radices_[d] < 2)
-            throw ConfigError("mesh radix must be >= 2 in every dimension");
-        strides_[d] = static_cast<int>(total);
-        total *= radices_[d];
-        if (total > (1L << 30))
-            throw ConfigError("mesh too large");
-    }
-    num_nodes_ = static_cast<NodeId>(total);
+    topo.setBisectionChannels(shape.bisectionChannels());
+    topo.setMeshShape(std::move(shape));
+    return topo;
 }
 
-MeshTopology
-MeshTopology::square2d(int k, bool wrap)
+Topology
+makeSquareMesh(int k, bool wrap)
 {
-    return MeshTopology({k, k}, wrap);
+    return makeMeshTopology({k, k}, wrap);
 }
 
-MeshTopology
-MeshTopology::cube3d(int k, bool wrap)
+Topology
+makeCubeMesh(int k, bool wrap)
 {
-    return MeshTopology({k, k, k}, wrap);
-}
-
-Coordinates
-MeshTopology::nodeToCoords(NodeId node) const
-{
-    LAPSES_ASSERT(contains(node));
-    Coordinates c(dims());
-    int rem = node;
-    for (int d = 0; d < dims(); ++d) {
-        c.set(d, rem % radix(d));
-        rem /= radix(d);
-    }
-    return c;
-}
-
-NodeId
-MeshTopology::coordsToNode(const Coordinates& c) const
-{
-    LAPSES_ASSERT(c.dims() == dims());
-    int node = 0;
-    for (int d = 0; d < dims(); ++d) {
-        LAPSES_ASSERT(c.at(d) >= 0 && c.at(d) < radix(d));
-        node += c.at(d) * strides_[static_cast<std::size_t>(d)];
-    }
-    return node;
-}
-
-PortId
-MeshTopology::port(int d, Direction dir)
-{
-    LAPSES_ASSERT(d >= 0 && d < kMaxDims);
-    return static_cast<PortId>(1 + 2 * d +
-                               (dir == Direction::Minus ? 1 : 0));
-}
-
-int
-MeshTopology::portDim(PortId p)
-{
-    LAPSES_ASSERT(p > kLocalPort);
-    return (p - 1) / 2;
-}
-
-Direction
-MeshTopology::portDir(PortId p)
-{
-    LAPSES_ASSERT(p > kLocalPort);
-    return ((p - 1) % 2) == 0 ? Direction::Plus : Direction::Minus;
-}
-
-PortId
-MeshTopology::oppositePort(PortId p)
-{
-    const Direction flipped = portDir(p) == Direction::Plus
-                                  ? Direction::Minus
-                                  : Direction::Plus;
-    return port(portDim(p), flipped);
-}
-
-std::string
-MeshTopology::portName(PortId p)
-{
-    if (p == kLocalPort)
-        return "L";
-    if (p == kInvalidPort)
-        return "?";
-    static const char* axis = "XYZW";
-    std::string name;
-    name += (portDir(p) == Direction::Plus) ? '+' : '-';
-    name += axis[portDim(p) % 4];
-    return name;
-}
-
-NodeId
-MeshTopology::neighbor(NodeId node, PortId p) const
-{
-    LAPSES_ASSERT(contains(node));
-    if (p == kLocalPort)
-        return node;
-    const int d = portDim(p);
-    if (d >= dims())
-        return kInvalidNode;
-    Coordinates c = nodeToCoords(node);
-    int v = c.at(d) + (portDir(p) == Direction::Plus ? 1 : -1);
-    if (v < 0 || v >= radix(d)) {
-        if (!wrap_)
-            return kInvalidNode;
-        v = (v + radix(d)) % radix(d);
-    }
-    c.set(d, v);
-    return coordsToNode(c);
-}
-
-int
-MeshTopology::distance(NodeId a, NodeId b) const
-{
-    const Coordinates ca = nodeToCoords(a);
-    const Coordinates cb = nodeToCoords(b);
-    int dist = 0;
-    for (int d = 0; d < dims(); ++d) {
-        int delta = std::abs(ca.at(d) - cb.at(d));
-        if (wrap_)
-            delta = std::min(delta, radix(d) - delta);
-        dist += delta;
-    }
-    return dist;
-}
-
-std::vector<PortId>
-MeshTopology::productivePorts(NodeId from, NodeId to) const
-{
-    std::vector<PortId> ports;
-    for (int d = 0; d < dims(); ++d) {
-        const PortId p = productivePortInDim(from, to, d);
-        if (p != kInvalidPort)
-            ports.push_back(p);
-    }
-    return ports;
-}
-
-PortId
-MeshTopology::productivePortInDim(NodeId from, NodeId to, int d) const
-{
-    const Coordinates cf = nodeToCoords(from);
-    const Coordinates ct = nodeToCoords(to);
-    const int delta = ct.at(d) - cf.at(d);
-    if (delta == 0)
-        return kInvalidPort;
-    if (!wrap_)
-        return port(d, delta > 0 ? Direction::Plus : Direction::Minus);
-    // Torus: go the shorter way around; ties prefer Plus.
-    const int k = radix(d);
-    const int fwd = (delta % k + k) % k;          // hops going Plus
-    const int bwd = k - fwd;                      // hops going Minus
-    return port(d, fwd <= bwd ? Direction::Plus : Direction::Minus);
-}
-
-int
-MeshTopology::bisectionChannels() const
-{
-    // Cut the largest dimension in half; channels crossing the cut are
-    // one bidirectional link (2 unidirectional channels) per node slice,
-    // doubled again on a torus for the wrap links.
-    int cut_dim = 0;
-    for (int d = 1; d < dims(); ++d) {
-        if (radix(d) > radix(cut_dim))
-            cut_dim = d;
-    }
-    long slice = 1;
-    for (int d = 0; d < dims(); ++d) {
-        if (d != cut_dim)
-            slice *= radix(d);
-    }
-    const int per_link = wrap_ ? 4 : 2;
-    return static_cast<int>(slice * per_link);
-}
-
-double
-MeshTopology::bisectionSaturationFlitRate() const
-{
-    // Under node-uniform traffic half of all flits cross the bisection,
-    // so N * rate / 2 <= bisectionChannels().
-    return 2.0 * bisectionChannels() / static_cast<double>(numNodes());
+    return makeMeshTopology({k, k, k}, wrap);
 }
 
 } // namespace lapses

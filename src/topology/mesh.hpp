@@ -1,6 +1,11 @@
 /**
  * @file
- * k-ary n-dimensional mesh / torus topology.
+ * k-ary n-dimensional mesh / torus generator.
+ *
+ * Builds the classic mesh port graph through the generic Topology
+ * core and attaches the analytic MeshShape capability, so mesh-only
+ * routing algorithms and tables keep their exact coordinate math
+ * (including the even-radix torus tie-break toward Plus).
  *
  * Port convention (paper Section 2.2: "five exit ports — four in the 4
  * coordinate directions +X, +Y, -X, -Y and one port 0 to exit the
@@ -16,124 +21,26 @@
 #ifndef LAPSES_TOPOLOGY_MESH_HPP
 #define LAPSES_TOPOLOGY_MESH_HPP
 
-#include <string>
 #include <vector>
 
-#include "common/types.hpp"
-#include "topology/coordinates.hpp"
+#include "topology/topology.hpp"
 
 namespace lapses
 {
 
-/** Direction along one dimension. */
-enum class Direction : std::int8_t { Plus, Minus };
+/**
+ * Build a k-ary n-mesh (wrap = false) or torus (wrap = true).
+ *
+ * @param radices  nodes per dimension, e.g. {16, 16} for the paper's
+ *                 network; every radix must be >= 2
+ */
+Topology makeMeshTopology(std::vector<int> radices, bool wrap = false);
 
-/** Immutable description of a k-ary n-mesh (optionally a torus). */
-class MeshTopology
-{
-  public:
-    /**
-     * @param radices  nodes per dimension, e.g. {16, 16} for the paper's
-     *                 network; every radix must be >= 2
-     * @param wrap     true builds a torus (wrap-around links)
-     */
-    explicit MeshTopology(std::vector<int> radices, bool wrap = false);
+/** Square 2-D convenience, e.g. makeSquareMesh(16) = 16x16 mesh. */
+Topology makeSquareMesh(int k, bool wrap = false);
 
-    /** Square 2-D convenience factory, e.g. square2d(16) = 16x16 mesh. */
-    static MeshTopology square2d(int k, bool wrap = false);
-
-    /** Cubic 3-D convenience factory. */
-    static MeshTopology cube3d(int k, bool wrap = false);
-
-    int dims() const { return static_cast<int>(radices_.size()); }
-    int radix(int d) const { return radices_[static_cast<std::size_t>(d)]; }
-    bool isTorus() const { return wrap_; }
-
-    /** Total node count (product of radices). */
-    NodeId numNodes() const { return num_nodes_; }
-
-    /** Router ports including the local port: 1 + 2*dims. */
-    int numPorts() const { return 1 + 2 * dims(); }
-
-    /** Map a node id to its coordinates. */
-    Coordinates nodeToCoords(NodeId node) const;
-
-    /** Map coordinates to the node id. */
-    NodeId coordsToNode(const Coordinates& c) const;
-
-    /** True if node is a valid id. */
-    bool
-    contains(NodeId node) const
-    {
-        return node >= 0 && node < num_nodes_;
-    }
-
-    /** The port leaving along dimension d in direction dir. */
-    static PortId port(int d, Direction dir);
-
-    /** Dimension a (non-local) port travels along. */
-    static int portDim(PortId p);
-
-    /** Direction a (non-local) port travels in. */
-    static Direction portDir(PortId p);
-
-    /** The opposite-facing port (what the neighbor receives on). */
-    static PortId oppositePort(PortId p);
-
-    /** Human-readable port name: "L", "+X", "-Y", "+Z", ... */
-    static std::string portName(PortId p);
-
-    /**
-     * Neighbor of node through port p, or kInvalidNode when the port
-     * faces the mesh edge (never invalid on a torus).
-     */
-    NodeId neighbor(NodeId node, PortId p) const;
-
-    /** True when node has a link through port p. */
-    bool
-    hasNeighbor(NodeId node, PortId p) const
-    {
-        return neighbor(node, p) != kInvalidNode;
-    }
-
-    /** Minimal hop distance between two nodes. */
-    int distance(NodeId a, NodeId b) const;
-
-    /**
-     * Ports that move from 'from' strictly closer to 'to' (minimal
-     * productive directions). Empty when from == to. On a torus the
-     * shorter way around each dimension is chosen (ties broken toward
-     * Plus).
-     */
-    std::vector<PortId> productivePorts(NodeId from, NodeId to) const;
-
-    /**
-     * The single productive port in dimension d, or kInvalidPort when
-     * that dimension is already resolved.
-     */
-    PortId productivePortInDim(NodeId from, NodeId to, int d) const;
-
-    /**
-     * Unidirectional channels crossing the network bisection, used to
-     * normalize offered load (Section 2.2; Fulgham & Snyder convention).
-     * For a k x k mesh this is 2k.
-     */
-    int bisectionChannels() const;
-
-    /**
-     * Injection rate (flits/node/cycle) that saturates the bisection
-     * under node-uniform traffic: 2 * bisection / N. Normalized load 1.0
-     * corresponds to this rate for every traffic pattern, as in the
-     * paper.
-     */
-    double bisectionSaturationFlitRate() const;
-
-  private:
-    std::vector<int> radices_;
-    std::vector<int> strides_;
-    bool wrap_;
-    NodeId num_nodes_;
-};
+/** Cubic 3-D convenience. */
+Topology makeCubeMesh(int k, bool wrap = false);
 
 } // namespace lapses
 

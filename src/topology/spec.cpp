@@ -1,0 +1,139 @@
+#include "topology/spec.hpp"
+
+#include "common/assert.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/fattree.hpp"
+#include "topology/mesh.hpp"
+#include "topology/topology_file.hpp"
+
+namespace lapses
+{
+
+namespace
+{
+
+/** Split "4x3" / "6x2x12" into exactly want-many positive integers. */
+std::vector<int>
+parseDims(const std::string& flag, const std::string& token,
+          const std::string& dims, std::size_t want)
+{
+    std::vector<int> values;
+    std::size_t pos = 0;
+    while (pos <= dims.size()) {
+        std::size_t next = dims.find('x', pos);
+        if (next == std::string::npos)
+            next = dims.size();
+        const std::string part = dims.substr(pos, next - pos);
+        long value = 0;
+        if (part.empty())
+            value = -1;
+        for (char ch : part) {
+            if (ch < '0' || ch > '9' || value > 1 << 24) {
+                value = -1;
+                break;
+            }
+            value = value * 10 + (ch - '0');
+        }
+        if (value < 1) {
+            throw ConfigError("bad " + flag + " value '" + token +
+                              "'");
+        }
+        values.push_back(static_cast<int>(value));
+        pos = next + 1;
+    }
+    if (values.size() != want) {
+        throw ConfigError("bad " + flag + " value '" + token +
+                          "' (want " + std::to_string(want) +
+                          " 'x'-separated sizes)");
+    }
+    return values;
+}
+
+} // namespace
+
+std::string
+TopologySpec::str() const
+{
+    switch (kind) {
+    case TopologyKind::Mesh:
+        return "mesh";
+    case TopologyKind::Torus:
+        return "torus";
+    case TopologyKind::FatTree:
+        return "fattree" + std::to_string(fatArity) + "x" +
+               std::to_string(fatLevels);
+    case TopologyKind::Dragonfly:
+        return "dragonfly" + std::to_string(dfRoutersPerGroup) + "x" +
+               std::to_string(dfGlobalPorts) + "x" +
+               std::to_string(dfGroups);
+    case TopologyKind::File:
+        return "file:" + path;
+    }
+    return "mesh";
+}
+
+TopologySpec
+parseTopologySpec(const std::string& flag, const std::string& token)
+{
+    TopologySpec spec;
+    if (token == "mesh") {
+        spec.kind = TopologyKind::Mesh;
+    } else if (token == "torus") {
+        spec.kind = TopologyKind::Torus;
+    } else if (token.rfind("fattree", 0) == 0) {
+        spec.kind = TopologyKind::FatTree;
+        const std::string dims = token.substr(7);
+        if (!dims.empty()) {
+            const std::vector<int> v =
+                parseDims(flag, token, dims, 2);
+            spec.fatArity = v[0];
+            spec.fatLevels = v[1];
+        }
+    } else if (token.rfind("dragonfly", 0) == 0) {
+        spec.kind = TopologyKind::Dragonfly;
+        const std::string dims = token.substr(9);
+        if (!dims.empty()) {
+            const std::vector<int> v =
+                parseDims(flag, token, dims, 3);
+            spec.dfRoutersPerGroup = v[0];
+            spec.dfGlobalPorts = v[1];
+            spec.dfGroups = v[2];
+        }
+    } else if (token.rfind("file:", 0) == 0) {
+        spec.kind = TopologyKind::File;
+        spec.path = token.substr(5);
+        if (spec.path.empty()) {
+            throw ConfigError("bad " + flag +
+                              " value '" + token +
+                              "' (want file:PATH)");
+        }
+    } else {
+        throw ConfigError(
+            "bad " + flag + " value '" + token +
+            "' (want mesh|torus|fattree[KxN]|dragonfly[AxHxG]|"
+            "file:PATH)");
+    }
+    return spec;
+}
+
+Topology
+makeTopology(const TopologySpec& spec, const std::vector<int>& radices)
+{
+    switch (spec.kind) {
+    case TopologyKind::Mesh:
+        return makeMeshTopology(radices, false);
+    case TopologyKind::Torus:
+        return makeMeshTopology(radices, true);
+    case TopologyKind::FatTree:
+        return makeFatTreeTopology(spec.fatArity, spec.fatLevels);
+    case TopologyKind::Dragonfly:
+        return makeDragonflyTopology(spec.dfRoutersPerGroup,
+                                     spec.dfGlobalPorts,
+                                     spec.dfGroups);
+    case TopologyKind::File:
+        return loadTopologyFile(spec.path);
+    }
+    return makeMeshTopology(radices, false);
+}
+
+} // namespace lapses

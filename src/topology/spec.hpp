@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Topology selection tokens: the value of --topology, the `topology`
+ * grid axis and the `topology` record coordinate.
+ *
+ * Tokens:
+ *   mesh                the k-ary n-mesh of --mesh / radices
+ *   torus               same radices with wrap links
+ *   fattree[KxN]        k-ary n-tree (default 4x3: 64 hosts)
+ *   dragonfly[AxHxG]    dragonfly (default 6x2x12: 72 routers)
+ *   file:PATH           file-defined graph (topology_file.hpp format)
+ */
+
+#ifndef LAPSES_TOPOLOGY_SPEC_HPP
+#define LAPSES_TOPOLOGY_SPEC_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace lapses
+{
+
+/** Which generator builds the run's port graph. */
+enum class TopologyKind : std::uint8_t
+{
+    Mesh,
+    Torus,
+    FatTree,
+    Dragonfly,
+    File,
+};
+
+/** A parsed --topology value. */
+struct TopologySpec
+{
+    TopologyKind kind = TopologyKind::Mesh;
+    int fatArity = 4;      //!< fat-tree k
+    int fatLevels = 3;     //!< fat-tree n
+    int dfRoutersPerGroup = 6; //!< dragonfly a
+    int dfGlobalPorts = 2;     //!< dragonfly h
+    int dfGroups = 12;         //!< dragonfly g
+    std::string path;          //!< file-defined graph
+
+    /** True for the mesh/torus kinds driven by SimConfig radices. */
+    bool
+    isMeshKind() const
+    {
+        return kind == TopologyKind::Mesh ||
+               kind == TopologyKind::Torus;
+    }
+
+    /** Canonical token, e.g. "torus", "fattree4x3", "file:fab.topo". */
+    std::string str() const;
+};
+
+/**
+ * Parse a --topology token (see the file comment). 'flag' names the
+ * offending flag or grid axis in ConfigError messages.
+ */
+TopologySpec parseTopologySpec(const std::string& flag,
+                               const std::string& token);
+
+/** Build the spec's port graph; mesh kinds use the given radices. */
+Topology makeTopology(const TopologySpec& spec,
+                      const std::vector<int>& radices);
+
+} // namespace lapses
+
+#endif // LAPSES_TOPOLOGY_SPEC_HPP

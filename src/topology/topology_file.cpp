@@ -1,0 +1,225 @@
+#include "topology/topology_file.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace lapses
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string& path, int line, const std::string& message)
+{
+    throw ConfigError(path + ":" + std::to_string(line) + ": " +
+                      message);
+}
+
+/** Strict non-negative integer parse with a bound. */
+long
+parseNumber(const std::string& token, const std::string& path,
+            int line, const char* what, long max_value)
+{
+    if (token.empty())
+        fail(path, line, std::string("missing ") + what);
+    long value = 0;
+    for (char ch : token) {
+        if (ch < '0' || ch > '9') {
+            fail(path, line, std::string("bad ") + what + " '" +
+                                 token + "' (want a non-negative "
+                                 "integer)");
+        }
+        value = value * 10 + (ch - '0');
+        if (value > max_value) {
+            fail(path, line, std::string(what) + " " + token +
+                                 " out of range (max " +
+                                 std::to_string(max_value) + ")");
+        }
+    }
+    return value;
+}
+
+/** Parse "NODE:PORT" into a link end. */
+RouterPortPair
+parseEnd(const std::string& token, const Topology& topo,
+         const std::string& path, int line)
+{
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= token.size()) {
+        fail(path, line,
+             "bad link end '" + token + "' (want NODE:PORT)");
+    }
+    RouterPortPair end;
+    end.node = static_cast<NodeId>(
+        parseNumber(token.substr(0, colon), path, line, "link node",
+                    topo.numNodes() - 1));
+    end.port = static_cast<PortId>(
+        parseNumber(token.substr(colon + 1), path, line, "link port",
+                    topo.numPorts() - 1));
+    if (end.port == kLocalPort)
+        fail(path, line, "link end '" + token +
+                             "' uses the local port 0");
+    return end;
+}
+
+} // namespace
+
+Topology
+loadTopology(std::istream& is, const std::string& path)
+{
+    std::optional<Topology> topo;
+    std::vector<NodeId> endpoints;
+    std::optional<int> bisection;
+    long declared_nodes = -1;
+    long declared_ports = -1;
+
+    std::string raw;
+    int line = 0;
+    while (std::getline(is, raw)) {
+        ++line;
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::istringstream ls(raw);
+        std::string keyword;
+        if (!(ls >> keyword))
+            continue; // blank / comment line
+        std::vector<std::string> args;
+        for (std::string tok; ls >> tok;)
+            args.push_back(tok);
+
+        if (keyword == "nodes") {
+            if (declared_nodes >= 0)
+                fail(path, line, "duplicate 'nodes' directive");
+            if (args.size() != 1)
+                fail(path, line, "'nodes' wants one count");
+            declared_nodes = parseNumber(args[0], path, line,
+                                         "node count", 1L << 30);
+            if (declared_nodes < 1)
+                fail(path, line, "node count must be >= 1");
+        } else if (keyword == "ports") {
+            if (declared_ports >= 0)
+                fail(path, line, "duplicate 'ports' directive");
+            if (args.size() != 1)
+                fail(path, line, "'ports' wants one count");
+            declared_ports =
+                parseNumber(args[0], path, line, "port count", 127);
+            if (declared_ports < 2) {
+                fail(path, line, "port count must be >= 2 (port 0 "
+                                 "is the local port)");
+            }
+        } else {
+            if (declared_nodes < 0 || declared_ports < 0) {
+                fail(path, line,
+                     "'" + keyword + "' before the 'nodes' and "
+                     "'ports' header");
+            }
+            if (!topo) {
+                topo.emplace(static_cast<NodeId>(declared_nodes),
+                             static_cast<int>(declared_ports));
+            }
+            if (keyword == "link") {
+                if (args.size() != 2)
+                    fail(path, line, "'link' wants two NODE:PORT ends");
+                // parseEnd errors already carry the file position;
+                // only connect()'s own rejections need the label.
+                const RouterPortPair a =
+                    parseEnd(args[0], *topo, path, line);
+                const RouterPortPair b =
+                    parseEnd(args[1], *topo, path, line);
+                try {
+                    topo->connect(a, b);
+                } catch (const ConfigError& e) {
+                    fail(path, line, e.what());
+                }
+            } else if (keyword == "endpoints") {
+                if (args.empty())
+                    fail(path, line, "'endpoints' wants node ids");
+                for (const std::string& tok : args) {
+                    endpoints.push_back(static_cast<NodeId>(
+                        parseNumber(tok, path, line, "endpoint node",
+                                    declared_nodes - 1)));
+                }
+            } else if (keyword == "bisection") {
+                if (bisection)
+                    fail(path, line, "duplicate 'bisection' directive");
+                if (args.size() != 1)
+                    fail(path, line, "'bisection' wants one count");
+                bisection = static_cast<int>(parseNumber(
+                    args[0], path, line, "bisection channel count",
+                    1L << 30));
+                if (*bisection < 1) {
+                    fail(path, line,
+                         "bisection channel count must be >= 1");
+                }
+            } else {
+                fail(path, line,
+                     "unknown directive '" + keyword +
+                     "' (want nodes, ports, link, endpoints or "
+                     "bisection)");
+            }
+        }
+    }
+    if (declared_nodes < 0 || declared_ports < 0) {
+        throw ConfigError(path +
+                          ": missing 'nodes' / 'ports' header");
+    }
+    if (!topo) {
+        topo.emplace(static_cast<NodeId>(declared_nodes),
+                     static_cast<int>(declared_ports));
+    }
+    try {
+        if (!endpoints.empty())
+            topo->setEndpoints(std::move(endpoints));
+        topo->setBisectionChannels(
+            bisection ? *bisection : topo->medianCutChannels());
+        topo->spanningTree(); // connectivity check
+    } catch (const ConfigError& e) {
+        throw ConfigError(path + ": " + e.what());
+    }
+    return std::move(*topo);
+}
+
+Topology
+loadTopologyFile(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw ConfigError("cannot open topology file '" + path + "'");
+    return loadTopology(is, path);
+}
+
+void
+dumpTopology(const Topology& topo, std::ostream& os)
+{
+    os << "nodes " << topo.numNodes() << "\n";
+    os << "ports " << topo.numPorts() << "\n";
+    if (topo.numEndpoints() != topo.numNodes()) {
+        os << "endpoints";
+        for (NodeId i = 0; i < topo.numEndpoints(); ++i)
+            os << ' ' << topo.endpoint(i);
+        os << "\n";
+    }
+    os << "bisection " << topo.bisectionChannels() << "\n";
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        for (PortId p = 1; p < topo.numPorts(); ++p) {
+            const NodeId v = topo.neighbor(n, p);
+            if (v == kInvalidNode)
+                continue;
+            const PortId q = topo.peerPort(n, p);
+            // Emit each link from its lexicographically smaller end.
+            if (v < n ||
+                (v == n && q < p)) // self-links cannot occur; safety
+                continue;
+            os << "link " << n << ':' << static_cast<int>(p) << ' '
+               << v << ':' << static_cast<int>(q) << "\n";
+        }
+    }
+}
+
+} // namespace lapses

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * File-defined topologies (DESIGN.md "Port-graph topology contract",
+ * file format section).
+ *
+ * Line-oriented text format; '#' starts a comment, blank lines are
+ * ignored. Directives, in any order after the header pair:
+ *
+ *   nodes N                  node count (required, first)
+ *   ports P                  uniform per-node port count incl. the
+ *                            local port 0 (required, second)
+ *   link A:P B:Q             bidirectional link, node A port P to
+ *                            node B port Q (ports 1..P-1)
+ *   endpoints I J K ...      restrict the endpoint set (repeatable,
+ *                            ascending overall; default: all nodes)
+ *   bisection C              unidirectional bisection channels for
+ *                            load normalization (default: the median
+ *                            node cut {id < N/2})
+ *
+ * Malformed input throws ConfigError as "<path>:<line>: message".
+ * The loaded graph must be connected (checked at load).
+ */
+
+#ifndef LAPSES_TOPOLOGY_TOPOLOGY_FILE_HPP
+#define LAPSES_TOPOLOGY_TOPOLOGY_FILE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace lapses
+{
+
+/** Load a topology from the text format above. */
+Topology loadTopologyFile(const std::string& path);
+
+/** Parse the format from a stream; 'path' labels error messages. */
+Topology loadTopology(std::istream& is, const std::string& path);
+
+/** Write a topology in canonical form: header, endpoints, bisection,
+ *  then links ascending by (low node, port). loadTopology() of the
+ *  dump reproduces the identical graph. */
+void dumpTopology(const Topology& topo, std::ostream& os);
+
+} // namespace lapses
+
+#endif // LAPSES_TOPOLOGY_TOPOLOGY_FILE_HPP

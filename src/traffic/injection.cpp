@@ -122,14 +122,14 @@ InjectionProcess::nextArrivalCycle(Cycle now) const
 }
 
 double
-flitRateForLoad(const MeshTopology& topo, double normalized_load)
+flitRateForLoad(const Topology& topo, double normalized_load)
 {
     LAPSES_ASSERT(normalized_load >= 0.0);
     return normalized_load * topo.bisectionSaturationFlitRate();
 }
 
 double
-msgRateForLoad(const MeshTopology& topo, double normalized_load,
+msgRateForLoad(const Topology& topo, double normalized_load,
                int msg_len)
 {
     LAPSES_ASSERT(msg_len > 0);

@@ -87,11 +87,11 @@ class InjectionProcess
 };
 
 /** Flit injection rate (flits/node/cycle) at a normalized load. */
-double flitRateForLoad(const MeshTopology& topo, double normalized_load);
+double flitRateForLoad(const Topology& topo, double normalized_load);
 
 /** Message injection rate (messages/node/cycle) at a normalized load
  *  for a fixed message length. */
-double msgRateForLoad(const MeshTopology& topo, double normalized_load,
+double msgRateForLoad(const Topology& topo, double normalized_load,
                       int msg_len);
 
 } // namespace lapses

@@ -5,19 +5,45 @@ namespace lapses
 namespace
 {
 
-/** Bits in the node-id space; requires N to be a power of two. */
-int
-addressBits(const MeshTopology& topo, const char* pattern)
+/** The analytic mesh shape, or ConfigError for coordinate patterns on
+ *  irregular graphs. */
+const MeshShape&
+requireMesh(const Topology& topo, const char* pattern)
 {
-    const auto n = static_cast<unsigned>(topo.numNodes());
+    if (topo.mesh() == nullptr) {
+        throw ConfigError(std::string(pattern) +
+                          " traffic requires a mesh/torus topology");
+    }
+    return *topo.mesh();
+}
+
+/** Bits in the endpoint-index space; requires a power of two count.
+ *  On meshes every node is an endpoint, so this is the node-id space
+ *  of the classic definitions. */
+int
+addressBits(const Topology& topo, const char* pattern)
+{
+    const auto n = static_cast<unsigned>(topo.numEndpoints());
     if ((n & (n - 1)) != 0) {
         throw ConfigError(std::string(pattern) +
-                          " traffic needs a power-of-two node count");
+                          " traffic needs a power-of-two endpoint "
+                          "count");
     }
     int b = 0;
     while ((1u << b) < n)
         ++b;
     return b;
+}
+
+/** The injecting node's endpoint index (injection only happens at
+ *  endpoints). */
+NodeId
+srcIndex(const Topology& topo, NodeId src)
+{
+    const NodeId idx = topo.endpointIndex(src);
+    LAPSES_ASSERT_MSG(idx != kInvalidNode,
+                      "traffic source is not an endpoint");
+    return idx;
 }
 
 class UniformTraffic : public TrafficPattern
@@ -30,23 +56,24 @@ class UniformTraffic : public TrafficPattern
     NodeId
     pick(NodeId src, Rng& rng) const override
     {
-        // Uniform over the other N-1 nodes.
-        const NodeId n = topo_.numNodes();
+        // Uniform over the other E-1 endpoints.
+        const NodeId e = topo_.numEndpoints();
+        const NodeId s = srcIndex(topo_, src);
         auto d = static_cast<NodeId>(
-            rng.nextBounded(static_cast<std::uint64_t>(n - 1)));
-        if (d >= src)
+            rng.nextBounded(static_cast<std::uint64_t>(e - 1)));
+        if (d >= s)
             ++d;
-        return d;
+        return topo_.endpoint(d);
     }
 };
 
 class TransposeTraffic : public TrafficPattern
 {
   public:
-    explicit TransposeTraffic(const MeshTopology& topo)
-        : TrafficPattern(topo)
+    explicit TransposeTraffic(const Topology& topo)
+        : TrafficPattern(topo), mesh_(requireMesh(topo, "transpose"))
     {
-        if (topo.dims() != 2 || topo.radix(0) != topo.radix(1))
+        if (mesh_.dims() != 2 || mesh_.radix(0) != mesh_.radix(1))
             throw ConfigError("transpose needs a square 2-D mesh");
     }
 
@@ -55,17 +82,20 @@ class TransposeTraffic : public TrafficPattern
     NodeId
     pick(NodeId src, Rng&) const override
     {
-        const Coordinates c = topo_.nodeToCoords(src);
+        const Coordinates c = mesh_.nodeToCoords(src);
         const NodeId d =
-            topo_.coordsToNode(Coordinates(c.at(1), c.at(0)));
+            mesh_.coordsToNode(Coordinates(c.at(1), c.at(0)));
         return d == src ? kInvalidNode : d;
     }
+
+  private:
+    const MeshShape& mesh_;
 };
 
 class BitReversalTraffic : public TrafficPattern
 {
   public:
-    explicit BitReversalTraffic(const MeshTopology& topo)
+    explicit BitReversalTraffic(const Topology& topo)
         : TrafficPattern(topo), bits_(addressBits(topo, "bit-reversal"))
     {}
 
@@ -74,13 +104,13 @@ class BitReversalTraffic : public TrafficPattern
     NodeId
     pick(NodeId src, Rng&) const override
     {
-        unsigned s = static_cast<unsigned>(src);
+        unsigned s = static_cast<unsigned>(srcIndex(topo_, src));
         unsigned d = 0;
         for (int i = 0; i < bits_; ++i) {
             d = (d << 1) | (s & 1u);
             s >>= 1;
         }
-        const auto dest = static_cast<NodeId>(d);
+        const NodeId dest = topo_.endpoint(static_cast<NodeId>(d));
         return dest == src ? kInvalidNode : dest;
     }
 
@@ -91,7 +121,7 @@ class BitReversalTraffic : public TrafficPattern
 class PerfectShuffleTraffic : public TrafficPattern
 {
   public:
-    explicit PerfectShuffleTraffic(const MeshTopology& topo)
+    explicit PerfectShuffleTraffic(const Topology& topo)
         : TrafficPattern(topo),
           bits_(addressBits(topo, "perfect-shuffle"))
     {}
@@ -101,11 +131,11 @@ class PerfectShuffleTraffic : public TrafficPattern
     NodeId
     pick(NodeId src, Rng&) const override
     {
-        const auto s = static_cast<unsigned>(src);
+        const auto s = static_cast<unsigned>(srcIndex(topo_, src));
         const unsigned mask = (1u << bits_) - 1;
         const unsigned d =
             ((s << 1) | (s >> (bits_ - 1))) & mask; // rotate left
-        const auto dest = static_cast<NodeId>(d);
+        const NodeId dest = topo_.endpoint(static_cast<NodeId>(d));
         return dest == src ? kInvalidNode : dest;
     }
 
@@ -116,7 +146,7 @@ class PerfectShuffleTraffic : public TrafficPattern
 class BitComplementTraffic : public TrafficPattern
 {
   public:
-    explicit BitComplementTraffic(const MeshTopology& topo)
+    explicit BitComplementTraffic(const Topology& topo)
         : TrafficPattern(topo),
           bits_(addressBits(topo, "bit-complement"))
     {}
@@ -127,8 +157,9 @@ class BitComplementTraffic : public TrafficPattern
     pick(NodeId src, Rng&) const override
     {
         const unsigned mask = (1u << bits_) - 1;
-        const auto dest =
-            static_cast<NodeId>(~static_cast<unsigned>(src) & mask);
+        const auto d = static_cast<NodeId>(
+            ~static_cast<unsigned>(srcIndex(topo_, src)) & mask);
+        const NodeId dest = topo_.endpoint(d);
         return dest == src ? kInvalidNode : dest;
     }
 
@@ -139,56 +170,76 @@ class BitComplementTraffic : public TrafficPattern
 class TornadoTraffic : public TrafficPattern
 {
   public:
-    using TrafficPattern::TrafficPattern;
+    explicit TornadoTraffic(const Topology& topo)
+        : TrafficPattern(topo), mesh_(requireMesh(topo, "tornado"))
+    {}
 
     std::string name() const override { return "tornado"; }
 
     NodeId
     pick(NodeId src, Rng&) const override
     {
-        Coordinates c = topo_.nodeToCoords(src);
-        for (int d = 0; d < topo_.dims(); ++d) {
-            const int k = topo_.radix(d);
+        Coordinates c = mesh_.nodeToCoords(src);
+        for (int d = 0; d < mesh_.dims(); ++d) {
+            const int k = mesh_.radix(d);
             c.set(d, (c.at(d) + (k / 2 - 1) + k) % k);
         }
-        const NodeId dest = topo_.coordsToNode(c);
+        const NodeId dest = mesh_.coordsToNode(c);
         return dest == src ? kInvalidNode : dest;
     }
+
+  private:
+    const MeshShape& mesh_;
 };
 
 class NeighborTraffic : public TrafficPattern
 {
   public:
-    using TrafficPattern::TrafficPattern;
+    explicit NeighborTraffic(const Topology& topo)
+        : TrafficPattern(topo), mesh_(requireMesh(topo, "neighbor"))
+    {}
 
     std::string name() const override { return "neighbor"; }
 
     NodeId
     pick(NodeId src, Rng&) const override
     {
-        Coordinates c = topo_.nodeToCoords(src);
-        c.set(0, (c.at(0) + 1) % topo_.radix(0));
-        const NodeId dest = topo_.coordsToNode(c);
+        Coordinates c = mesh_.nodeToCoords(src);
+        c.set(0, (c.at(0) + 1) % mesh_.radix(0));
+        const NodeId dest = mesh_.coordsToNode(c);
         return dest == src ? kInvalidNode : dest;
     }
+
+  private:
+    const MeshShape& mesh_;
 };
 
 class HotspotTraffic : public TrafficPattern
 {
   public:
-    HotspotTraffic(const MeshTopology& topo, HotspotOptions opts)
+    HotspotTraffic(const Topology& topo, HotspotOptions opts)
         : TrafficPattern(topo), opts_(std::move(opts)), uniform_(topo)
     {
         if (opts_.hotspots.empty()) {
-            // Default hotspot: the mesh center.
-            Coordinates c(topo.dims());
-            for (int d = 0; d < topo.dims(); ++d)
-                c.set(d, topo.radix(d) / 2);
-            opts_.hotspots.push_back(topo.coordsToNode(c));
+            if (topo.mesh()) {
+                // Default hotspot: the mesh center.
+                const MeshShape& mesh = *topo.mesh();
+                Coordinates c(mesh.dims());
+                for (int d = 0; d < mesh.dims(); ++d)
+                    c.set(d, mesh.radix(d) / 2);
+                opts_.hotspots.push_back(mesh.coordsToNode(c));
+            } else {
+                // Irregular graphs: the middle endpoint.
+                opts_.hotspots.push_back(
+                    topo.endpoint(topo.numEndpoints() / 2));
+            }
         }
         for (NodeId h : opts_.hotspots) {
             if (!topo.contains(h))
-                throw ConfigError("hotspot node outside the mesh");
+                throw ConfigError("hotspot node outside the topology");
+            if (!topo.isEndpoint(h))
+                throw ConfigError("hotspot node " + std::to_string(h) +
+                                  " is not an endpoint");
         }
         if (opts_.fraction < 0.0 || opts_.fraction > 1.0)
             throw ConfigError("hotspot fraction must be in [0,1]");
@@ -216,7 +267,7 @@ class HotspotTraffic : public TrafficPattern
 } // namespace
 
 TrafficPatternPtr
-makeTrafficPattern(TrafficKind kind, const MeshTopology& topo,
+makeTrafficPattern(TrafficKind kind, const Topology& topo,
                    const HotspotOptions& hs)
 {
     switch (kind) {

@@ -26,7 +26,7 @@ namespace lapses
 class TrafficPattern
 {
   public:
-    explicit TrafficPattern(const MeshTopology& topo) : topo_(topo) {}
+    explicit TrafficPattern(const Topology& topo) : topo_(topo) {}
     virtual ~TrafficPattern() = default;
 
     TrafficPattern(const TrafficPattern&) = delete;
@@ -42,10 +42,10 @@ class TrafficPattern
      */
     virtual NodeId pick(NodeId src, Rng& rng) const = 0;
 
-    const MeshTopology& topology() const { return topo_; }
+    const Topology& topology() const { return topo_; }
 
   protected:
-    const MeshTopology& topo_;
+    const Topology& topo_;
 };
 
 using TrafficPatternPtr = std::unique_ptr<TrafficPattern>;
@@ -53,20 +53,21 @@ using TrafficPatternPtr = std::unique_ptr<TrafficPattern>;
 /** Selectable traffic patterns. */
 enum class TrafficKind
 {
-    Uniform,       //!< uniformly random destination (excluding self)
+    Uniform,       //!< uniformly random endpoint (excluding self)
     Transpose,     //!< (x, y) -> (y, x); needs a square 2-D mesh
-    BitReversal,   //!< address bits reversed; needs power-of-two N
-    PerfectShuffle,//!< address bits rotated left by one
-    BitComplement, //!< address bits complemented
-    Tornado,       //!< half-radix offset along each dimension
-    Neighbor,      //!< +1 along dimension 0
+    BitReversal,   //!< endpoint-index bits reversed; power-of-two count
+    PerfectShuffle,//!< endpoint-index bits rotated left by one
+    BitComplement, //!< endpoint-index bits complemented
+    Tornado,       //!< half-radix offset along each dimension (mesh)
+    Neighbor,      //!< +1 along dimension 0 (mesh)
     Hotspot,       //!< uniform with a fraction aimed at hotspot nodes
 };
 
 /** Options for the Hotspot pattern. */
 struct HotspotOptions
 {
-    /** Nodes attracting extra traffic (defaults to the mesh center). */
+    /** Endpoints attracting extra traffic (defaults to the mesh
+     *  center, or the middle endpoint on irregular graphs). */
     std::vector<NodeId> hotspots;
 
     /** Probability a message is redirected to a hotspot. */
@@ -75,7 +76,7 @@ struct HotspotOptions
 
 /** Instantiate a traffic pattern; validates topology requirements. */
 TrafficPatternPtr makeTrafficPattern(TrafficKind kind,
-                                     const MeshTopology& topo,
+                                     const Topology& topo,
                                      const HotspotOptions& hs = {});
 
 /** Short identifier, e.g. "bit-reversal". */

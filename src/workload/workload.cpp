@@ -75,10 +75,14 @@ ClientEngine::step(Cycle now, bool issueEnabled, bool measuring,
            outstanding_.size() <
                static_cast<std::size_t>(opts_.inflightWindow)) {
         const std::uint32_t seq = next_seq_++;
-        const NodeId server = static_cast<NodeId>(
+        const auto pick = static_cast<NodeId>(
             workloadHash(opts_.seed, static_cast<std::uint64_t>(node_),
                          seq, kServerPickSalt) %
             static_cast<std::uint64_t>(opts_.servers));
+        const NodeId server =
+            opts_.serverNodes.empty()
+                ? pick
+                : opts_.serverNodes[static_cast<std::size_t>(pick)];
         outstanding_.push_back({seq, server, now,
                                 now + opts_.requestTimeout, 0,
                                 measuring, false});

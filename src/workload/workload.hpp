@@ -77,8 +77,14 @@ struct WorkloadOptions
     /** Outstanding requests a client keeps in flight. */
     int inflightWindow = 2;
 
-    /** Server nodes: ids [0, servers); all other nodes are clients. */
+    /** Server count: the first `servers` endpoints serve; every other
+     *  endpoint is a client. */
     int servers = 8;
+
+    /** Resolved server node ids (the first `servers` endpoints of the
+     *  topology, filled by the network). The identity map [0, servers)
+     *  when empty. */
+    std::vector<NodeId> serverNodes;
 
     /** Mean service time; a request's actual service delay is the
      *  seeded uniform 1 + hash % (2*serviceTime - 1). */

@@ -194,7 +194,8 @@ TEST(ResultSinks, CsvAndJsonlShareTheRecordSchema)
     EXPECT_NE(json.find("\"latency_mean\":"), std::string::npos);
 
     const std::string csv = csv_os.str();
-    EXPECT_NE(csv.find("run,series,mesh,model,"), std::string::npos);
+    EXPECT_NE(csv.find("run,series,mesh,topology,model,"),
+              std::string::npos);
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
 
     // Round-trip: the CSV scanner recovers the completed run.

@@ -59,7 +59,7 @@ TEST(FaultPolicyNames, RoundTrip)
 
 TEST(FaultScheduleRandom, DeterministicInSeed)
 {
-    const MeshTopology topo = MeshTopology::square2d(8);
+    const Topology topo = makeSquareMesh(8);
     FaultSchedule a;
     a.appendRandom(topo, 4, 42, 1000, 500);
     a.validate(topo);
@@ -83,7 +83,7 @@ TEST(FaultScheduleRandom, DeterministicInSeed)
 
 TEST(FaultScheduleRandom, SitesKeepNetworkConnected)
 {
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     FaultSchedule sched;
     sched.appendRandom(topo, 6, 7, 100, 100);
     sched.validate(topo); // would throw if any prefix cut the mesh
@@ -96,7 +96,7 @@ TEST(FaultScheduleRandom, SitesKeepNetworkConnected)
 
 TEST(FaultScheduleValidate, RejectsIllegalTransitions)
 {
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
 
     // Node out of range.
     {
@@ -135,7 +135,7 @@ TEST(FaultScheduleValidate, RejectsIllegalTransitions)
 
 TEST(FaultScheduleValidate, RejectsCutsWithFullReport)
 {
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     // Cut node 0's both links: ports +X (1) and +Y (3).
     FaultSchedule s;
     s.addDown(10, 0, 1);
@@ -160,7 +160,7 @@ TEST(FaultScheduleValidate, RejectsCutsWithFullReport)
 
 TEST(CheckConnectivity, ReportsBothSidesOfTheCut)
 {
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     FailureSet failures;
     EXPECT_TRUE(checkConnectivity(topo, failures).connected);
 
@@ -180,7 +180,7 @@ TEST(CheckConnectivity, ReportsBothSidesOfTheCut)
 
 TEST(ProgramFaultAwareTable, RejectsPartitionUpfrontWithCut)
 {
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     FailureSet failures;
     failures.fail(topo, 0, 1);
     failures.fail(topo, 0, 3);
@@ -198,7 +198,7 @@ TEST(ProgramFaultAwareTable, RejectsPartitionUpfrontWithCut)
 
 TEST(FailureSet, RepairRestoresTheLink)
 {
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     FailureSet failures;
     failures.fail(topo, 5, 1);
     EXPECT_TRUE(failures.isFailed(5, 1));

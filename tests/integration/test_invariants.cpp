@@ -44,7 +44,7 @@ TEST(Invariants, CreditsRestoredAtQuiescence)
 
     Network& net = sim.network();
     ASSERT_EQ(net.totalOccupancy(), 0u);
-    const MeshTopology& topo = sim.topology();
+    const Topology& topo = sim.topology();
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
         const Router& r = net.router(n);
         for (PortId p = 1; p < topo.numPorts(); ++p) {
@@ -75,7 +75,7 @@ TEST(Invariants, NoRouteStateLeaksAtQuiescence)
 
     Network& net = sim.network();
     ASSERT_EQ(net.totalOccupancy(), 0u);
-    const MeshTopology& topo = sim.topology();
+    const Topology& topo = sim.topology();
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
         const Router& r = net.router(n);
         for (PortId p = 0; p < topo.numPorts(); ++p) {
@@ -142,7 +142,7 @@ TEST(Invariants, FlitHopConservationAtQuiescence)
 
     std::uint64_t transmissions = 0;
     std::uint64_t forwards = 0;
-    const MeshTopology& topo = sim.topology();
+    const Topology& topo = sim.topology();
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
         const Router& r = sim.network().router(n);
         forwards += r.forwardedFlits();

@@ -56,7 +56,7 @@ class NicTest : public ::testing::Test
 {
   protected:
     NicTest()
-        : topo(MeshTopology::square2d(4)), algo(topo),
+        : topo(makeSquareMesh(4)), algo(topo),
           table(topo, algo), pattern(topo)
     {}
 
@@ -85,7 +85,7 @@ class NicTest : public ::testing::Test
         return p;
     }
 
-    MeshTopology topo;
+    Topology topo;
     DuatoAdaptiveRouting algo;
     FullTable table;
     FixedPattern pattern;

@@ -59,7 +59,7 @@ struct RigOpts
  *  delivery-hook recorder attached. */
 struct NetRig
 {
-    MeshTopology topo;
+    Topology topo;
     RoutingAlgorithmPtr algo;
     RoutingTablePtr table;
     TrafficPatternPtr pattern;
@@ -73,7 +73,7 @@ struct NetRig
     NetRig(const std::vector<int>& radices, KernelKind kernel,
            std::vector<NodeId> boundaries, double load,
            std::uint64_t seed, RigOpts opts = {})
-        : topo(radices, false)
+        : topo(makeMeshTopology(radices, false))
     {
         algo = makeRoutingAlgorithm(RoutingAlgo::DuatoFullyAdaptive,
                                     topo);

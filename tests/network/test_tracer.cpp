@@ -137,7 +137,7 @@ TEST(TracerTiming, ProudHeadersHopEverySixCycles)
 TEST(TracerTiming, HopChainMatchesManhattanPath)
 {
     const auto traces = headerTraces(RouterModel::LaProud, 4000);
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     int checked = 0;
     for (const auto& [msg, evs] : traces) {
         if (evs.size() < 3 ||

@@ -60,7 +60,7 @@ class RouterHarness
   public:
     explicit RouterHarness(bool lookahead, int vcs = 4,
                            int escape_vcs = 1, int depth = 20)
-        : topo(MeshTopology::square2d(2)), algo(topo), table(topo, algo)
+        : topo(makeSquareMesh(2)), algo(topo), table(topo, algo)
     {
         RouterParams params;
         params.vcsPerPort = vcs;
@@ -112,7 +112,7 @@ class RouterHarness
         }
     }
 
-    MeshTopology topo;
+    Topology topo;
     DuatoAdaptiveRouting algo;
     FullTable table;
     MessagePool pool;
@@ -133,7 +133,7 @@ TEST(RouterPipeline, ProudHeaderTakesFiveStages)
     ASSERT_EQ(h.env.flits.size(), 1u);
     EXPECT_EQ(h.env.flits[0].cycle, 9u);
     EXPECT_EQ(h.env.flits[0].port,
-              MeshTopology::port(0, Direction::Plus));
+              MeshShape::port(0, Direction::Plus));
 }
 
 TEST(RouterPipeline, StepReportsActivityAndQuiescence)
@@ -281,7 +281,7 @@ TEST(RouterPipeline, EscapeVcUsedWhenAdaptiveExhausted)
     ASSERT_EQ(h.env.flits.size(), 4u);
     bool vc_seen[4] = {};
     for (const auto& of : h.env.flits) {
-        EXPECT_EQ(of.port, MeshTopology::port(0, Direction::Plus));
+        EXPECT_EQ(of.port, MeshShape::port(0, Direction::Plus));
         EXPECT_TRUE(isHead(of.flit.type));
         vc_seen[of.vc] = true;
     }
@@ -320,7 +320,7 @@ TEST(RouterPipeline, BlockedByZeroCreditsResumesOnCredit)
     h.stepRange(8, 20);
     ASSERT_EQ(h.env.flits.size(), 1u); // tail starved of credits
     // Return the credit; the tail moves.
-    h.router->acceptCredit(MeshTopology::port(0, Direction::Plus),
+    h.router->acceptCredit(MeshShape::port(0, Direction::Plus),
                            h.env.flits[0].vc);
     h.stepRange(21, 30);
     ASSERT_EQ(h.env.flits.size(), 2u);
@@ -339,7 +339,7 @@ TEST(RouterPipeline, TailFreesInputVcForNextMessage)
     h.stepRange(15, 25);
     ASSERT_EQ(h.env.flits.size(), 2u);
     EXPECT_EQ(h.env.flits[1].port,
-              MeshTopology::port(1, Direction::Plus));
+              MeshShape::port(1, Direction::Plus));
 }
 
 TEST(RouterPipeline, OccupancyTracksBufferedFlits)
@@ -371,7 +371,7 @@ TEST(OccupiedLists, ActivateOnReceiveAndClearOnDrain)
     // (cycle 8 = xbar stage for a cycle-5 arrival in PROUD).
     h.stepRange(5, 8);
     EXPECT_FALSE(h.router->inputVcOccupied(kLocalPort, 2));
-    const PortId out = MeshTopology::port(0, Direction::Plus);
+    const PortId out = MeshShape::port(0, Direction::Plus);
     // Find the output VC actually allocated (exactly one holds the
     // flit) and check the occupied list tracks it.
     VcId out_vc = kInvalidVc;

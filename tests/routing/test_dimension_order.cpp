@@ -14,7 +14,7 @@ namespace
 
 /** Follow the routing function hop by hop; returns hops taken. */
 int
-walk(const RoutingAlgorithm& algo, const MeshTopology& m, NodeId src,
+walk(const RoutingAlgorithm& algo, const Topology& m, NodeId src,
      NodeId dest, int max_hops = 1000)
 {
     NodeId cur = src;
@@ -32,31 +32,31 @@ walk(const RoutingAlgorithm& algo, const MeshTopology& m, NodeId src,
 
 TEST(DimensionOrder, XyResolvesXFirst)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto xy = DimensionOrderRouting::xy(m);
-    const NodeId src = m.coordsToNode(Coordinates(1, 1));
-    const NodeId dest = m.coordsToNode(Coordinates(4, 5));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(1, 1));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(4, 5));
     EXPECT_EQ(xy.route(src, dest).at(0),
-              MeshTopology::port(0, Direction::Plus));
+              MeshShape::port(0, Direction::Plus));
     // Once X matches, Y moves.
-    const NodeId mid = m.coordsToNode(Coordinates(4, 1));
+    const NodeId mid = m.mesh()->coordsToNode(Coordinates(4, 1));
     EXPECT_EQ(xy.route(mid, dest).at(0),
-              MeshTopology::port(1, Direction::Plus));
+              MeshShape::port(1, Direction::Plus));
 }
 
 TEST(DimensionOrder, YxResolvesYFirst)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto yx = DimensionOrderRouting::yx(m);
-    const NodeId src = m.coordsToNode(Coordinates(1, 1));
-    const NodeId dest = m.coordsToNode(Coordinates(4, 5));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(1, 1));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(4, 5));
     EXPECT_EQ(yx.route(src, dest).at(0),
-              MeshTopology::port(1, Direction::Plus));
+              MeshShape::port(1, Direction::Plus));
 }
 
 TEST(DimensionOrder, EjectsAtDestination)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto xy = DimensionOrderRouting::xy(m);
     const RouteCandidates rc = xy.route(9, 9);
     EXPECT_TRUE(rc.isEjection());
@@ -64,14 +64,14 @@ TEST(DimensionOrder, EjectsAtDestination)
 
 TEST(DimensionOrder, NamesReflectOrder)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     EXPECT_EQ(DimensionOrderRouting::xy(m).name(), "xy");
     EXPECT_EQ(DimensionOrderRouting::yx(m).name(), "yx");
 }
 
 TEST(DimensionOrder, NotAdaptiveNoEscape)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto xy = DimensionOrderRouting::xy(m);
     EXPECT_FALSE(xy.isAdaptive());
     EXPECT_FALSE(xy.usesEscapeChannels());
@@ -80,7 +80,7 @@ TEST(DimensionOrder, NotAdaptiveNoEscape)
 
 TEST(DimensionOrder, WalksAreMinimalEverywhere)
 {
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     const auto xy = DimensionOrderRouting::xy(m);
     const auto yx = DimensionOrderRouting::yx(m);
     for (NodeId s = 0; s < m.numNodes(); s += 5) {
@@ -95,14 +95,14 @@ TEST(DimensionOrder, XyPathStaysInRowAfterColumn)
 {
     // The defining property: an XY path never changes X after its first
     // Y move.
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto xy = DimensionOrderRouting::xy(m);
-    const NodeId dest = m.coordsToNode(Coordinates(6, 6));
-    NodeId cur = m.coordsToNode(Coordinates(1, 2));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(6, 6));
+    NodeId cur = m.mesh()->coordsToNode(Coordinates(1, 2));
     bool seen_y = false;
     while (cur != dest) {
         const PortId p = xy.route(cur, dest).at(0);
-        if (MeshTopology::portDim(p) == 1)
+        if (MeshShape::portDim(p) == 1)
             seen_y = true;
         else
             EXPECT_FALSE(seen_y) << "X move after Y move in XY routing";
@@ -112,29 +112,29 @@ TEST(DimensionOrder, XyPathStaysInRowAfterColumn)
 
 TEST(DimensionOrder, ThreeDimensional)
 {
-    const MeshTopology m = MeshTopology::cube3d(4);
+    const Topology m = makeCubeMesh(4);
     const auto xyz = DimensionOrderRouting::xy(m);
-    const NodeId src = m.coordsToNode(Coordinates(0, 0, 0));
-    const NodeId dest = m.coordsToNode(Coordinates(1, 1, 1));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(0, 0, 0));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(1, 1, 1));
     // Resolves dim 0, then 1, then 2.
     EXPECT_EQ(xyz.route(src, dest).at(0),
-              MeshTopology::port(0, Direction::Plus));
+              MeshShape::port(0, Direction::Plus));
     EXPECT_EQ(walk(xyz, m, src, dest), 3);
 }
 
 TEST(DimensionOrder, TorusTakesShortWay)
 {
-    const MeshTopology t = MeshTopology::square2d(8, true);
+    const Topology t = makeSquareMesh(8, true);
     const auto xy = DimensionOrderRouting::xy(t);
-    const NodeId src = t.coordsToNode(Coordinates(0, 0));
-    const NodeId dest = t.coordsToNode(Coordinates(7, 0));
+    const NodeId src = t.mesh()->coordsToNode(Coordinates(0, 0));
+    const NodeId dest = t.mesh()->coordsToNode(Coordinates(7, 0));
     EXPECT_EQ(xy.route(src, dest).at(0),
-              MeshTopology::port(0, Direction::Minus)); // wrap is 1 hop
+              MeshShape::port(0, Direction::Minus)); // wrap is 1 hop
 }
 
 TEST(DimensionOrder, RejectsBadOrder)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     EXPECT_THROW(DimensionOrderRouting(m, {0}), ConfigError);
     EXPECT_THROW(DimensionOrderRouting(m, {0, 0}), ConfigError);
     EXPECT_THROW(DimensionOrderRouting(m, {0, 2}), ConfigError);

@@ -16,30 +16,30 @@ namespace
 
 TEST(Duato, FullyAdaptiveInQuadrant)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
-    const NodeId src = m.coordsToNode(Coordinates(2, 2));
-    const NodeId dest = m.coordsToNode(Coordinates(5, 6));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(2, 2));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(5, 6));
     const RouteCandidates rc = duato.route(src, dest);
     EXPECT_EQ(rc.count(), 2);
-    EXPECT_TRUE(rc.contains(MeshTopology::port(0, Direction::Plus)));
-    EXPECT_TRUE(rc.contains(MeshTopology::port(1, Direction::Plus)));
+    EXPECT_TRUE(rc.contains(MeshShape::port(0, Direction::Plus)));
+    EXPECT_TRUE(rc.contains(MeshShape::port(1, Direction::Plus)));
 }
 
 TEST(Duato, SingleCandidateOnAxis)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
-    const NodeId src = m.coordsToNode(Coordinates(2, 2));
-    const NodeId dest = m.coordsToNode(Coordinates(2, 7));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(2, 2));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(2, 7));
     const RouteCandidates rc = duato.route(src, dest);
     EXPECT_EQ(rc.count(), 1);
-    EXPECT_EQ(rc.at(0), MeshTopology::port(1, Direction::Plus));
+    EXPECT_EQ(rc.at(0), MeshShape::port(1, Direction::Plus));
 }
 
 TEST(Duato, EscapeIsDimensionOrder)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const auto xy = DimensionOrderRouting::xy(m);
     Rng rng(9);
@@ -57,7 +57,7 @@ TEST(Duato, EscapeIsDimensionOrder)
 
 TEST(Duato, EveryCandidateIsMinimal)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     Rng rng(10);
     for (int trial = 0; trial < 1000; ++trial) {
@@ -76,12 +76,12 @@ TEST(Duato, EveryCandidateIsMinimal)
 
 TEST(Duato, CandidateCountMatchesUnresolvedDims)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     for (NodeId a = 0; a < m.numNodes(); ++a) {
         for (NodeId b = 0; b < m.numNodes(); ++b) {
-            const Coordinates ca = m.nodeToCoords(a);
-            const Coordinates cb = m.nodeToCoords(b);
+            const Coordinates ca = m.mesh()->nodeToCoords(a);
+            const Coordinates cb = m.mesh()->nodeToCoords(b);
             int unresolved = 0;
             for (int d = 0; d < 2; ++d)
                 unresolved += ca.at(d) != cb.at(d) ? 1 : 0;
@@ -96,7 +96,7 @@ TEST(Duato, CandidateCountMatchesUnresolvedDims)
 
 TEST(Duato, UsesEscapeChannels)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     EXPECT_TRUE(duato.usesEscapeChannels());
     EXPECT_TRUE(duato.isAdaptive());
@@ -105,16 +105,16 @@ TEST(Duato, UsesEscapeChannels)
 
 TEST(Duato, ThreeDimensionalCandidates)
 {
-    const MeshTopology m = MeshTopology::cube3d(4);
+    const Topology m = makeCubeMesh(4);
     const DuatoAdaptiveRouting duato(m);
-    const NodeId src = m.coordsToNode(Coordinates(0, 0, 0));
-    const NodeId dest = m.coordsToNode(Coordinates(3, 3, 3));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(0, 0, 0));
+    const NodeId dest = m.mesh()->coordsToNode(Coordinates(3, 3, 3));
     EXPECT_EQ(duato.route(src, dest).count(), 3);
 }
 
 TEST(Duato, RejectsTorus)
 {
-    const MeshTopology t = MeshTopology::square2d(4, true);
+    const Topology t = makeSquareMesh(4, true);
     EXPECT_THROW(DuatoAdaptiveRouting{t}, ConfigError);
 }
 

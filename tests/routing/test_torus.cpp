@@ -17,22 +17,22 @@ class TorusRoutingTest : public ::testing::Test
 {
   protected:
     TorusRoutingTest()
-        : torus(MeshTopology::square2d(6, /*wrap=*/true)), algo(torus)
+        : torus(makeSquareMesh(6, /*wrap=*/true)), algo(torus)
     {}
 
     NodeId
     at(int x, int y) const
     {
-        return torus.coordsToNode(Coordinates(x, y));
+        return torus.mesh()->coordsToNode(Coordinates(x, y));
     }
 
-    MeshTopology torus;
+    Topology torus;
     TorusAdaptiveRouting algo;
 };
 
 TEST_F(TorusRoutingTest, RejectsMesh)
 {
-    const MeshTopology mesh = MeshTopology::square2d(4);
+    const Topology mesh = makeSquareMesh(4);
     EXPECT_THROW(TorusAdaptiveRouting{mesh}, ConfigError);
     EXPECT_EQ(algo.escapeClasses(), 2);
     EXPECT_TRUE(algo.usesEscapeChannels());
@@ -43,7 +43,7 @@ TEST_F(TorusRoutingTest, TakesShorterWayAround)
     // (0,0) -> (5,0): one hop across the wrap edge, not five east.
     const RouteCandidates rc = algo.route(at(0, 0), at(5, 0));
     EXPECT_EQ(rc.count(), 1);
-    EXPECT_EQ(rc.at(0), MeshTopology::port(0, Direction::Minus));
+    EXPECT_EQ(rc.at(0), MeshShape::port(0, Direction::Minus));
 }
 
 TEST_F(TorusRoutingTest, CandidatesAreMinimalEverywhere)
@@ -113,7 +113,7 @@ TEST_F(TorusRoutingTest, EscapeWalkIsDimensionOrder)
     int hops = 0;
     while (cur != dest) {
         const RouteCandidates rc = algo.route(cur, dest);
-        if (MeshTopology::portDim(rc.escapePort()) == 1)
+        if (MeshShape::portDim(rc.escapePort()) == 1)
             seen_y = true;
         else
             EXPECT_FALSE(seen_y);
@@ -144,14 +144,14 @@ TEST_F(TorusRoutingTest, AdaptiveWalksTerminateMinimally)
 
 TEST_F(TorusRoutingTest, ThreeDimensionalTorus)
 {
-    const MeshTopology t3 = MeshTopology::cube3d(4, /*wrap=*/true);
+    const Topology t3 = makeCubeMesh(4, /*wrap=*/true);
     const TorusAdaptiveRouting a3(t3);
-    const NodeId src = t3.coordsToNode(Coordinates(0, 0, 0));
-    const NodeId dest = t3.coordsToNode(Coordinates(3, 3, 3));
+    const NodeId src = t3.mesh()->coordsToNode(Coordinates(0, 0, 0));
+    const NodeId dest = t3.mesh()->coordsToNode(Coordinates(3, 3, 3));
     const RouteCandidates rc = a3.route(src, dest);
     EXPECT_EQ(rc.count(), 3); // one (wrap) hop in every dimension
     for (int i = 0; i < rc.count(); ++i) {
-        EXPECT_EQ(MeshTopology::portDir(rc.at(i)), Direction::Minus);
+        EXPECT_EQ(MeshShape::portDir(rc.at(i)), Direction::Minus);
     }
 }
 

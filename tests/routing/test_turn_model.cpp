@@ -18,22 +18,22 @@ namespace
 PortId
 east()
 {
-    return MeshTopology::port(0, Direction::Plus);
+    return MeshShape::port(0, Direction::Plus);
 }
 PortId
 west()
 {
-    return MeshTopology::port(0, Direction::Minus);
+    return MeshShape::port(0, Direction::Minus);
 }
 PortId
 north()
 {
-    return MeshTopology::port(1, Direction::Plus);
+    return MeshShape::port(1, Direction::Plus);
 }
 PortId
 south()
 {
-    return MeshTopology::port(1, Direction::Minus);
+    return MeshShape::port(1, Direction::Minus);
 }
 
 /** The Fig. 7 example mesh: 3x3, intermediate router at (1,1). */
@@ -41,18 +41,18 @@ class NorthLastFig7 : public ::testing::Test
 {
   protected:
     NorthLastFig7()
-        : mesh(MeshTopology::square2d(3)),
+        : mesh(makeSquareMesh(3)),
           nl(mesh, TurnModel::NorthLast),
-          src(mesh.coordsToNode(Coordinates(1, 1)))
+          src(mesh.mesh()->coordsToNode(Coordinates(1, 1)))
     {}
 
     RouteCandidates
     to(int x, int y) const
     {
-        return nl.route(src, mesh.coordsToNode(Coordinates(x, y)));
+        return nl.route(src, mesh.mesh()->coordsToNode(Coordinates(x, y)));
     }
 
-    MeshTopology mesh;
+    Topology mesh;
     TurnModelRouting nl;
     NodeId src;
 };
@@ -128,17 +128,17 @@ TEST_F(NorthLastFig7, DestNorthEastLosesNorth)
 
 TEST(TurnModel, WestFirstTakesWestFirst)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const TurnModelRouting wf(m, TurnModel::WestFirst);
-    const NodeId src = m.coordsToNode(Coordinates(5, 5));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(5, 5));
     // West offset remaining: only -X allowed.
     const RouteCandidates rc =
-        wf.route(src, m.coordsToNode(Coordinates(2, 7)));
+        wf.route(src, m.mesh()->coordsToNode(Coordinates(2, 7)));
     EXPECT_EQ(rc.count(), 1);
     EXPECT_EQ(rc.at(0), west());
     // No west offset: fully adaptive among productive.
     const RouteCandidates rc2 =
-        wf.route(src, m.coordsToNode(Coordinates(7, 2)));
+        wf.route(src, m.mesh()->coordsToNode(Coordinates(7, 2)));
     EXPECT_EQ(rc2.count(), 2);
     EXPECT_TRUE(rc2.contains(east()));
     EXPECT_TRUE(rc2.contains(south()));
@@ -146,29 +146,29 @@ TEST(TurnModel, WestFirstTakesWestFirst)
 
 TEST(TurnModel, NegativeFirstOrdersPhases)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const TurnModelRouting nf(m, TurnModel::NegativeFirst);
-    const NodeId src = m.coordsToNode(Coordinates(4, 4));
+    const NodeId src = m.mesh()->coordsToNode(Coordinates(4, 4));
     // Mixed negative offsets: both negatives adaptive.
     const RouteCandidates neg =
-        nf.route(src, m.coordsToNode(Coordinates(1, 1)));
+        nf.route(src, m.mesh()->coordsToNode(Coordinates(1, 1)));
     EXPECT_EQ(neg.count(), 2);
     EXPECT_TRUE(neg.contains(west()));
     EXPECT_TRUE(neg.contains(south()));
     // One negative one positive: negative must go first.
     const RouteCandidates mixed =
-        nf.route(src, m.coordsToNode(Coordinates(6, 1)));
+        nf.route(src, m.mesh()->coordsToNode(Coordinates(6, 1)));
     EXPECT_EQ(mixed.count(), 1);
     EXPECT_EQ(mixed.at(0), south());
     // All positive: positives adaptive.
     const RouteCandidates pos =
-        nf.route(src, m.coordsToNode(Coordinates(6, 6)));
+        nf.route(src, m.mesh()->coordsToNode(Coordinates(6, 6)));
     EXPECT_EQ(pos.count(), 2);
 }
 
 TEST(TurnModel, CandidatesAlwaysMinimalAndNonEmpty)
 {
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     for (TurnModel model : {TurnModel::NorthLast, TurnModel::WestFirst,
                             TurnModel::NegativeFirst}) {
         const TurnModelRouting algo(m, model);
@@ -195,7 +195,7 @@ TEST(TurnModel, NorthLastNeverTurnsOutOfNorth)
 {
     // Property: along any adaptive walk, once a +Y hop is taken only
     // +Y hops may follow.
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     const TurnModelRouting nl(m, TurnModel::NorthLast);
     Rng rng(77);
     for (int trial = 0; trial < 300; ++trial) {
@@ -219,7 +219,7 @@ TEST(TurnModel, NorthLastNeverTurnsOutOfNorth)
 
 TEST(TurnModel, NoEscapeChannelsNeeded)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const TurnModelRouting nl(m, TurnModel::NorthLast);
     EXPECT_FALSE(nl.usesEscapeChannels());
     EXPECT_TRUE(nl.isAdaptive());
@@ -228,15 +228,15 @@ TEST(TurnModel, NoEscapeChannelsNeeded)
 
 TEST(TurnModel, RejectsUnsupportedTopologies)
 {
-    const MeshTopology m3 = MeshTopology::cube3d(3);
+    const Topology m3 = makeCubeMesh(3);
     EXPECT_THROW(TurnModelRouting(m3, TurnModel::NorthLast), ConfigError);
-    const MeshTopology t = MeshTopology::square2d(4, true);
+    const Topology t = makeSquareMesh(4, true);
     EXPECT_THROW(TurnModelRouting(t, TurnModel::WestFirst), ConfigError);
 }
 
 TEST(AlgorithmFactory, CreatesEveryAlgorithm)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     for (RoutingAlgo a :
          {RoutingAlgo::DeterministicXY, RoutingAlgo::DeterministicYX,
           RoutingAlgo::DuatoFullyAdaptive, RoutingAlgo::NorthLast,

@@ -16,7 +16,7 @@ TEST(ClusterMap, RowMapMatchesFig8a)
 {
     // Fig. 8(a): 16 row clusters; nodes 0..15 are cluster 0,
     // 16..31 cluster 1, ..., 240..255 cluster 15.
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const ClusterMap map = ClusterMap::rowMap(m);
     EXPECT_EQ(map.numClusters(), 16);
     EXPECT_EQ(map.nodesPerCluster(), 16);
@@ -34,22 +34,22 @@ TEST(ClusterMap, BlockMapMatchesFig8b)
 {
     // Fig. 8(b): 4x4 blocks of 4x4 nodes. Node 0 in cluster 0; node 5
     // = (5,0) in cluster 1; node 255 = (15,15) in cluster 15.
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const ClusterMap map = ClusterMap::blockMap(m, 4);
     EXPECT_EQ(map.numClusters(), 16);
     EXPECT_EQ(map.nodesPerCluster(), 16);
-    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(0, 0))), 0);
-    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(5, 0))), 1);
-    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(0, 5))), 4);
-    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(5, 5))), 5);
-    EXPECT_EQ(map.clusterOf(m.coordsToNode(Coordinates(15, 15))), 15);
+    EXPECT_EQ(map.clusterOf(m.mesh()->coordsToNode(Coordinates(0, 0))), 0);
+    EXPECT_EQ(map.clusterOf(m.mesh()->coordsToNode(Coordinates(5, 0))), 1);
+    EXPECT_EQ(map.clusterOf(m.mesh()->coordsToNode(Coordinates(0, 5))), 4);
+    EXPECT_EQ(map.clusterOf(m.mesh()->coordsToNode(Coordinates(5, 5))), 5);
+    EXPECT_EQ(map.clusterOf(m.mesh()->coordsToNode(Coordinates(15, 15))), 15);
 }
 
 TEST(ClusterMap, PaperExampleClusters0145)
 {
     // The Table 4 discussion: from cluster 0, cluster 1 is the east
     // neighbor, cluster 4 the north neighbor, cluster 5 the diagonal.
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const ClusterMap map = ClusterMap::blockMap(m, 4);
     const ClusterBox b0 = map.box(0);
     const ClusterBox b1 = map.box(1);
@@ -65,7 +65,7 @@ TEST(ClusterMap, PaperExampleClusters0145)
 
 TEST(ClusterMap, NodeOfInvertsClusterSub)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     for (const ClusterMap& map :
          {ClusterMap::rowMap(m), ClusterMap::blockMap(m, 4)}) {
         for (NodeId n = 0; n < m.numNodes(); ++n) {
@@ -76,13 +76,13 @@ TEST(ClusterMap, NodeOfInvertsClusterSub)
 
 TEST(ClusterMap, BoxContainsExactlyClusterNodes)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const ClusterMap map = ClusterMap::blockMap(m, 4);
     for (int c = 0; c < map.numClusters(); ++c) {
         const ClusterBox box = map.box(c);
         int inside = 0;
         for (NodeId n = 0; n < m.numNodes(); ++n) {
-            const bool in = box.contains(m.nodeToCoords(n));
+            const bool in = box.contains(m.mesh()->nodeToCoords(n));
             EXPECT_EQ(in, map.clusterOf(n) == c);
             inside += in ? 1 : 0;
         }
@@ -92,7 +92,7 @@ TEST(ClusterMap, BoxContainsExactlyClusterNodes)
 
 TEST(ClusterMap, SubIdsAreDenseWithinCluster)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const ClusterMap map = ClusterMap::blockMap(m, 2);
     std::vector<int> seen(static_cast<std::size_t>(
                               map.nodesPerCluster()),
@@ -107,14 +107,14 @@ TEST(ClusterMap, SubIdsAreDenseWithinCluster)
 
 TEST(ClusterMap, RejectsNonDividingEdges)
 {
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     EXPECT_THROW(ClusterMap::blockMap(m, 4), ConfigError);
     EXPECT_NO_THROW(ClusterMap::blockMap(m, 3));
 }
 
 TEST(ClusterMap, NamesIdentifyMapping)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     EXPECT_EQ(ClusterMap::rowMap(m).name(), "row");
     EXPECT_EQ(ClusterMap::blockMap(m, 4).name(), "block4");
 }

@@ -17,7 +17,7 @@ namespace
 
 TEST(EconomicalStorage, NineEntriesFor2D)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const EconomicalStorageTable table(m);
     EXPECT_EQ(table.entriesPerRouter(), 9u);
     EXPECT_EQ(table.name(), "economical-storage");
@@ -26,7 +26,7 @@ TEST(EconomicalStorage, NineEntriesFor2D)
 
 TEST(EconomicalStorage, TwentySevenEntriesFor3D)
 {
-    const MeshTopology m = MeshTopology::cube3d(4);
+    const Topology m = makeCubeMesh(4);
     const EconomicalStorageTable table(m);
     EXPECT_EQ(table.entriesPerRouter(), 27u);
 }
@@ -36,7 +36,7 @@ TEST(EconomicalStorage, EntriesIndependentOfNetworkSize)
     // The paper's scalability claim: the T3D's 2048-entry table
     // becomes 27 entries; any k keeps 3^n entries.
     for (int k : {4, 8, 16}) {
-        const EconomicalStorageTable t2(MeshTopology::square2d(k));
+        const EconomicalStorageTable t2(makeSquareMesh(k));
         EXPECT_EQ(t2.entriesPerRouter(), 9u);
     }
 }
@@ -46,7 +46,7 @@ TEST(EconomicalStorage, MatchesEveryAlgorithmExhaustively)
     // The central claim of Section 5.2.2: economical storage loses no
     // flexibility; all the library's mesh algorithms program into it
     // exactly (validated against every (router, dest) pair).
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     for (RoutingAlgo a :
          {RoutingAlgo::DeterministicXY, RoutingAlgo::DeterministicYX,
           RoutingAlgo::DuatoFullyAdaptive, RoutingAlgo::NorthLast,
@@ -64,7 +64,7 @@ TEST(EconomicalStorage, MatchesEveryAlgorithmExhaustively)
 
 TEST(EconomicalStorage, MatchesDuatoIn3D)
 {
-    const MeshTopology m = MeshTopology::cube3d(3);
+    const Topology m = makeCubeMesh(3);
     const RoutingAlgorithmPtr algo =
         makeRoutingAlgorithm(RoutingAlgo::DuatoFullyAdaptive, m);
     const EconomicalStorageTable table(m, *algo);
@@ -81,15 +81,15 @@ TEST(EconomicalStorage, MatchesDuatoIn3D)
  */
 TEST(EconomicalStorage, Fig7NorthLastTableExact)
 {
-    const MeshTopology m = MeshTopology::square2d(3);
+    const Topology m = makeSquareMesh(3);
     const TurnModelRouting nl(m, TurnModel::NorthLast);
     const EconomicalStorageTable table(m, nl);
-    const NodeId router = m.coordsToNode(Coordinates(1, 1)); // node 4
+    const NodeId router = m.mesh()->coordsToNode(Coordinates(1, 1)); // node 4
 
-    const PortId east = MeshTopology::port(0, Direction::Plus);
-    const PortId west = MeshTopology::port(0, Direction::Minus);
-    const PortId north = MeshTopology::port(1, Direction::Plus);
-    const PortId south = MeshTopology::port(1, Direction::Minus);
+    const PortId east = MeshShape::port(0, Direction::Plus);
+    const PortId west = MeshShape::port(0, Direction::Minus);
+    const PortId north = MeshShape::port(1, Direction::Plus);
+    const PortId south = MeshShape::port(1, Direction::Minus);
 
     struct Fig7Row
     {
@@ -110,7 +110,7 @@ TEST(EconomicalStorage, Fig7NorthLastTableExact)
 
     for (const auto& row : rows) {
         const NodeId dest =
-            m.coordsToNode(Coordinates(row.destX, row.destY));
+            m.mesh()->coordsToNode(Coordinates(row.destX, row.destY));
         const RouteCandidates rc = table.lookup(router, dest);
         ASSERT_EQ(rc.count(),
                   static_cast<int>(row.northLastPorts.size()))
@@ -124,29 +124,29 @@ TEST(EconomicalStorage, Fig7NorthLastTableExact)
 TEST(EconomicalStorage, ManualProgrammingRoundTrip)
 {
     // The Fig. 7(d) configuration interface: program entries by sign.
-    const MeshTopology m = MeshTopology::square2d(3);
+    const Topology m = makeSquareMesh(3);
     EconomicalStorageTable table(m);
-    const NodeId router = m.coordsToNode(Coordinates(1, 1));
+    const NodeId router = m.mesh()->coordsToNode(Coordinates(1, 1));
 
     RouteCandidates rc;
-    rc.add(MeshTopology::port(0, Direction::Plus));
-    rc.add(MeshTopology::port(1, Direction::Plus));
+    rc.add(MeshShape::port(0, Direction::Plus));
+    rc.add(MeshShape::port(1, Direction::Plus));
     const SignVector sv(Coordinates(1, 1), Coordinates(2, 2));
     table.setEntry(router, sv, rc);
     EXPECT_EQ(table.entry(router, sv), rc);
     // lookup() uses the comparator-computed sign.
-    EXPECT_EQ(table.lookup(router, m.coordsToNode(Coordinates(2, 2))),
+    EXPECT_EQ(table.lookup(router, m.mesh()->coordsToNode(Coordinates(2, 2))),
               rc);
 }
 
 TEST(EconomicalStorage, InfeasibleEdgeSignsStayEmpty)
 {
     // A router on the +X edge can never see sign (+, 0).
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const RoutingAlgorithmPtr algo =
         makeRoutingAlgorithm(RoutingAlgo::DeterministicXY, m);
     const EconomicalStorageTable table(m, *algo);
-    const NodeId edge_router = m.coordsToNode(Coordinates(3, 1));
+    const NodeId edge_router = m.mesh()->coordsToNode(Coordinates(3, 1));
     SignVector sv;
     sv = SignVector(Coordinates(0, 0), Coordinates(1, 0)); // (+, 0)
     EXPECT_TRUE(table.entry(edge_router, sv).empty());
@@ -154,7 +154,7 @@ TEST(EconomicalStorage, InfeasibleEdgeSignsStayEmpty)
 
 TEST(EconomicalStorage, RejectsTorus)
 {
-    const MeshTopology t = MeshTopology::square2d(4, true);
+    const Topology t = makeSquareMesh(4, true);
     EXPECT_THROW(EconomicalStorageTable{t}, ConfigError);
 }
 

@@ -18,27 +18,27 @@ namespace
 PortId
 px()
 {
-    return MeshTopology::port(0, Direction::Plus);
+    return MeshShape::port(0, Direction::Plus);
 }
 
 TEST(FailureSet, SymmetricAndQueryable)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     FailureSet fs;
-    const NodeId n = m.coordsToNode(Coordinates(1, 1));
+    const NodeId n = m.mesh()->coordsToNode(Coordinates(1, 1));
     fs.fail(m, n, px());
     EXPECT_EQ(fs.count(), 1u);
     EXPECT_TRUE(fs.isFailed(n, px()));
     // The reverse direction is failed too.
     const NodeId peer = m.neighbor(n, px());
-    EXPECT_TRUE(fs.isFailed(peer, MeshTopology::oppositePort(px())));
-    EXPECT_FALSE(fs.isFailed(n, MeshTopology::port(1,
+    EXPECT_TRUE(fs.isFailed(peer, MeshShape::oppositePort(px())));
+    EXPECT_FALSE(fs.isFailed(n, MeshShape::port(1,
                                                    Direction::Plus)));
 }
 
 TEST(FailureSet, DuplicateFailureCountsOnce)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     FailureSet fs;
     fs.fail(m, 0, px());
     fs.fail(m, 0, px());
@@ -47,12 +47,12 @@ TEST(FailureSet, DuplicateFailureCountsOnce)
 
 TEST(FailureSet, RejectsEdgeAndLocalPorts)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     FailureSet fs;
     EXPECT_THROW(fs.fail(m, 0, kLocalPort), ConfigError);
     // Node 0's -X port faces the mesh edge.
     EXPECT_THROW(
-        fs.fail(m, 0, MeshTopology::port(0, Direction::Minus)),
+        fs.fail(m, 0, MeshShape::port(0, Direction::Minus)),
         ConfigError);
 }
 
@@ -60,7 +60,7 @@ TEST(FaultAware, NoFailuresGivesMinimalAdaptiveTable)
 {
     // With an empty failure set the shortest-path DAG is exactly the
     // minimal-adaptive candidate set.
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const FullTable table = programFaultAwareTable(m, FailureSet{});
     const DuatoAdaptiveRouting duato(m);
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -76,13 +76,13 @@ TEST(FaultAware, NoFailuresGivesMinimalAdaptiveTable)
 
 TEST(FaultAware, RoutesAroundASingleFailure)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     FailureSet fs;
-    const NodeId a = m.coordsToNode(Coordinates(1, 1));
+    const NodeId a = m.mesh()->coordsToNode(Coordinates(1, 1));
     fs.fail(m, a, px()); // break (1,1) <-> (2,1)
     const FullTable table = programFaultAwareTable(m, fs);
     // From (1,1) to (2,1): direct link dead, detour costs 3 hops.
-    const NodeId b = m.coordsToNode(Coordinates(2, 1));
+    const NodeId b = m.mesh()->coordsToNode(Coordinates(2, 1));
     EXPECT_EQ(survivingDistance(m, fs, a, b), 3);
     const RouteCandidates rc = table.lookup(a, b);
     EXPECT_FALSE(rc.contains(px()));
@@ -94,7 +94,7 @@ TEST(FaultAware, WalksDeliverUnderRandomFailures)
     // Property: with a random (connected) failure set, following any
     // candidate chain reaches the destination in the surviving
     // shortest distance.
-    const MeshTopology m = MeshTopology::square2d(5);
+    const Topology m = makeSquareMesh(5);
     Rng rng(21);
     FailureSet fs;
     int failed = 0;
@@ -137,10 +137,10 @@ TEST(FaultAware, WalksDeliverUnderRandomFailures)
 TEST(FaultAware, DisconnectionIsReported)
 {
     // Cut node (0,0) off completely: both its links fail.
-    const MeshTopology m = MeshTopology::square2d(3);
+    const Topology m = makeSquareMesh(3);
     FailureSet fs;
     fs.fail(m, 0, px());
-    fs.fail(m, 0, MeshTopology::port(1, Direction::Plus));
+    fs.fail(m, 0, MeshShape::port(1, Direction::Plus));
     EXPECT_THROW(programFaultAwareTable(m, fs), ConfigError);
 }
 
@@ -151,24 +151,24 @@ TEST(FaultAware, EconomicalStorageCannotHoldFaultTables)
     // equivalent algorithm wrapper and check sign-representability
     // breaks: two destinations with the same sign get different
     // candidates at the router next to the failure.
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     FailureSet fs;
-    fs.fail(m, m.coordsToNode(Coordinates(1, 1)), px());
+    fs.fail(m, m.mesh()->coordsToNode(Coordinates(1, 1)), px());
     const FullTable table = programFaultAwareTable(m, fs);
     // From (0,1), destinations (1,1) and (2,1) share sign (+, 0) but
     // need different entries: the direct hop vs the detour DAG that
     // includes sign-unproductive +-Y ports.
-    const NodeId router = m.coordsToNode(Coordinates(0, 1));
+    const NodeId router = m.mesh()->coordsToNode(Coordinates(0, 1));
     const RouteCandidates near_rc =
-        table.lookup(router, m.coordsToNode(Coordinates(1, 1)));
+        table.lookup(router, m.mesh()->coordsToNode(Coordinates(1, 1)));
     const RouteCandidates far_rc =
-        table.lookup(router, m.coordsToNode(Coordinates(2, 1)));
+        table.lookup(router, m.mesh()->coordsToNode(Coordinates(2, 1)));
     EXPECT_NE(near_rc, far_rc);
     EXPECT_EQ(near_rc.count(), 1);
     EXPECT_EQ(far_rc.count(), 3);
-    EXPECT_TRUE(far_rc.contains(MeshTopology::port(1,
+    EXPECT_TRUE(far_rc.contains(MeshShape::port(1,
                                                    Direction::Plus)));
-    EXPECT_TRUE(far_rc.contains(MeshTopology::port(1,
+    EXPECT_TRUE(far_rc.contains(MeshShape::port(1,
                                                    Direction::Minus)));
 }
 

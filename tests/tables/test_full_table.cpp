@@ -17,7 +17,7 @@ namespace
 
 TEST(FullTable, ReproducesAlgorithmExactly)
 {
-    const MeshTopology m = MeshTopology::square2d(5);
+    const Topology m = makeSquareMesh(5);
     const DuatoAdaptiveRouting duato(m);
     const FullTable table(m, duato);
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -28,7 +28,7 @@ TEST(FullTable, ReproducesAlgorithmExactly)
 
 TEST(FullTable, EntriesPerRouterIsN)
 {
-    const MeshTopology m = MeshTopology::square2d(5);
+    const Topology m = makeSquareMesh(5);
     const auto xy = DimensionOrderRouting::xy(m);
     const FullTable table(m, xy);
     EXPECT_EQ(table.entriesPerRouter(), 25u);
@@ -40,11 +40,11 @@ TEST(FullTable, SetEntryReprograms)
 {
     // Full tables allow per-(router, destination) reprogramming — the
     // flexibility the paper notes commercial routers expose.
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const auto xy = DimensionOrderRouting::xy(m);
     FullTable table(m, xy);
     RouteCandidates custom;
-    custom.add(MeshTopology::port(1, Direction::Plus));
+    custom.add(MeshShape::port(1, Direction::Plus));
     table.setEntry(0, 15, custom);
     EXPECT_EQ(table.lookup(0, 15), custom);
     // Other entries untouched.
@@ -53,7 +53,7 @@ TEST(FullTable, SetEntryReprograms)
 
 TEST(FullTable, EjectionAtSelf)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const auto xy = DimensionOrderRouting::xy(m);
     const FullTable table(m, xy);
     for (NodeId r = 0; r < m.numNodes(); ++r)
@@ -93,7 +93,7 @@ TEST(RouteEntry, PackUnpackRoundTripsEveryTableEntry)
 {
     // Property sweep: every entry of a programmed table encodes into
     // hardware bits and back without loss.
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const DuatoAdaptiveRouting duato(m);
     const FullTable table(m, duato);
     for (NodeId r = 0; r < m.numNodes(); ++r) {

@@ -16,7 +16,7 @@ namespace
 
 TEST(IntervalTable, MatchesDeterministicAlgorithm)
 {
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     const auto xy = DimensionOrderRouting::xy(m);
     const IntervalTable table(m, xy);
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -27,7 +27,7 @@ TEST(IntervalTable, MatchesDeterministicAlgorithm)
 
 TEST(IntervalTable, IntervalsPartitionLabelSpace)
 {
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     const auto xy = DimensionOrderRouting::xy(m);
     const IntervalTable table(m, xy);
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -44,7 +44,7 @@ TEST(IntervalTable, IntervalsPartitionLabelSpace)
 
 TEST(IntervalTable, AdjacentIntervalsDifferInPort)
 {
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     const auto xy = DimensionOrderRouting::xy(m);
     const IntervalTable table(m, xy);
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -59,7 +59,7 @@ TEST(IntervalTable, RowMajorXyNeedsFewIntervals)
     // With row-major labels and YX routing, destinations group into
     // whole-row runs: the south block, the north block and the local
     // row. The worst-case interval count stays far below N.
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto yx = DimensionOrderRouting::yx(m);
     const IntervalTable table(m, yx);
     EXPECT_LE(table.entriesPerRouter(), 8u);
@@ -67,7 +67,7 @@ TEST(IntervalTable, RowMajorXyNeedsFewIntervals)
 
 TEST(IntervalTable, IntervalCountsBoundedPerRouter)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const auto yx = DimensionOrderRouting::yx(m);
     const IntervalTable table(m, yx);
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -80,14 +80,14 @@ TEST(IntervalTable, RejectsAdaptiveAlgorithms)
 {
     // "not readily receptive to adaptive routing" — a label maps to
     // exactly one interval, so only one port can be stored.
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const DuatoAdaptiveRouting duato(m);
     EXPECT_THROW(IntervalTable(m, duato), ConfigError);
 }
 
 TEST(IntervalTable, DoesNotSupportAdaptive)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     const auto xy = DimensionOrderRouting::xy(m);
     const IntervalTable table(m, xy);
     EXPECT_FALSE(table.supportsAdaptive());

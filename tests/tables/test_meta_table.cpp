@@ -17,7 +17,7 @@ namespace
 
 TEST(MetaTable, IntraClusterEntriesMatchAlgorithm)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
     const ClusterMap& map = table.clusterMap();
@@ -43,7 +43,7 @@ TEST(MetaTable, InterClusterCandidatesAreSubsetOfAlgorithm)
     // Storage sharing can only *restrict* routing: every meta-table
     // candidate must be a candidate of the underlying algorithm (thus
     // minimal), and the entry must never be empty.
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
     for (NodeId r = 0; r < m.numNodes(); ++r) {
@@ -65,15 +65,15 @@ TEST(MetaTable, BoundaryAdaptivityLoss)
     // The Table 4 phenomenon: routing from cluster 1 (east of 0,
     // south of 5) to a node of cluster 5 is deterministic (+Y only)
     // although the algorithm offers two productive ports.
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
-    const NodeId in_c1 = m.coordsToNode(Coordinates(5, 1));
-    const NodeId in_c5 = m.coordsToNode(Coordinates(7, 5));
+    const NodeId in_c1 = m.mesh()->coordsToNode(Coordinates(5, 1));
+    const NodeId in_c5 = m.mesh()->coordsToNode(Coordinates(7, 5));
     EXPECT_EQ(duato.route(in_c1, in_c5).count(), 2);
     const RouteCandidates got = table.lookup(in_c1, in_c5);
     EXPECT_EQ(got.count(), 1);
-    EXPECT_EQ(got.at(0), MeshTopology::port(1, Direction::Plus));
+    EXPECT_EQ(got.at(0), MeshShape::port(1, Direction::Plus));
     EXPECT_EQ(got.escapeClass(), 0); // phase-0 escape outside cluster
 }
 
@@ -81,11 +81,11 @@ TEST(MetaTable, DiagonalClustersKeepAdaptivity)
 {
     // From cluster 0 toward diagonal cluster 5 both +X and +Y stay
     // productive until a boundary is crossed.
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
-    const NodeId in_c0 = m.coordsToNode(Coordinates(1, 1));
-    const NodeId in_c5 = m.coordsToNode(Coordinates(6, 6));
+    const NodeId in_c0 = m.mesh()->coordsToNode(Coordinates(1, 1));
+    const NodeId in_c5 = m.mesh()->coordsToNode(Coordinates(6, 6));
     EXPECT_EQ(table.lookup(in_c0, in_c5).count(), 2);
 }
 
@@ -93,7 +93,7 @@ TEST(MetaTable, RowMapDegeneratesToDimensionOrder)
 {
     // Fig. 8(a): row clusters force deterministic dimension-order
     // (Y to the destination row, then X within it).
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::rowMap(m));
     const auto yx = DimensionOrderRouting::yx(m);
@@ -109,7 +109,7 @@ TEST(MetaTable, RowMapDegeneratesToDimensionOrder)
 
 TEST(MetaTable, EntriesPerRouterIsClusterPlusSub)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
     // 16 clusters + 16 sub-cluster entries = 32 vs 256 full-table.
@@ -120,7 +120,7 @@ TEST(MetaTable, LookupWalksTerminateMinimally)
 {
     // Property: following any meta-table candidate chain reaches the
     // destination in exactly distance(src, dest) hops.
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 2));
     Rng rng(3);
@@ -147,7 +147,7 @@ TEST(MetaTable, EscapeWalkIsDeadlockFreePhases)
     // The escape port chain must be: phase 0 (class 0) while outside
     // the destination cluster, phase 1 (class 1) inside, with no
     // return to phase 0.
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::blockMap(m, 4));
     const ClusterMap& map = table.clusterMap();
@@ -174,7 +174,7 @@ TEST(MetaTable, EscapeWalkIsDeadlockFreePhases)
 
 TEST(MetaTable, NameIncludesMapName)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const DuatoAdaptiveRouting duato(m);
     const MetaTable table(m, duato, ClusterMap::rowMap(m));
     EXPECT_EQ(table.name(), "meta-row");

@@ -17,10 +17,10 @@ namespace
 
 TEST(StorageCost, FullTableScalesWithN)
 {
-    const MeshTopology m16 = MeshTopology::square2d(16);
+    const Topology m16 = makeSquareMesh(16);
     const StorageCost c = fullTableCost(m16, {true, false});
     EXPECT_EQ(c.entriesPerRouter, 256u);
-    const MeshTopology m32 = MeshTopology::square2d(32);
+    const Topology m32 = makeSquareMesh(32);
     EXPECT_EQ(fullTableCost(m32, {true, false}).entriesPerRouter, 1024u);
 }
 
@@ -29,12 +29,12 @@ TEST(StorageCost, EconomicalStorageIsConstant)
     // The paper's headline: 9 entries for 2-D, 27 for 3-D, independent
     // of network size.
     for (int k : {8, 16, 32}) {
-        const MeshTopology m = MeshTopology::square2d(k);
+        const Topology m = makeSquareMesh(k);
         EXPECT_EQ(economicalStorageCost(m, {true, false})
                       .entriesPerRouter,
                   9u);
     }
-    const MeshTopology m3 = MeshTopology::cube3d(8);
+    const Topology m3 = makeCubeMesh(8);
     EXPECT_EQ(economicalStorageCost(m3, {true, false}).entriesPerRouter,
               27u);
 }
@@ -44,7 +44,7 @@ TEST(StorageCost, T3DExampleReduction)
     // Section 5.2.1: "the 2048 node 3-D interconnect in Cray T3D uses
     // a 2048 entry routing table, which could be reduced to a 27 entry
     // table".
-    const MeshTopology t3d({16, 16, 8}, false);
+    const Topology t3d = makeMeshTopology({16, 16, 8}, false);
     EXPECT_EQ(t3d.numNodes(), 2048);
     EXPECT_EQ(fullTableCost(t3d, {true, false}).entriesPerRouter, 2048u);
     EXPECT_EQ(economicalStorageCost(t3d, {true, false}).entriesPerRouter,
@@ -54,7 +54,7 @@ TEST(StorageCost, T3DExampleReduction)
 TEST(StorageCost, MetaTableIsTwoLevels)
 {
     // 2-level meta table with sqrt(N) clusters: m * N^(1/m) per level.
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const StorageCost c = metaTableCost(m, 16, {true, false});
     EXPECT_EQ(c.entriesPerRouter, 32u); // 16 cluster + 16 local
     EXPECT_LT(c.entriesPerRouter,
@@ -63,14 +63,14 @@ TEST(StorageCost, MetaTableIsTwoLevels)
 
 TEST(StorageCost, IntervalIsPortCount)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     const StorageCost c = intervalCost(m);
     EXPECT_EQ(c.entriesPerRouter, 5u);
 }
 
 TEST(StorageCost, AdaptiveEntriesCostMoreThanDeterministic)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     EXPECT_GT(entryBits(m, {true, false}), entryBits(m, {false, false}));
 }
 
@@ -78,7 +78,7 @@ TEST(StorageCost, LookaheadExpandsAdaptiveEntries)
 {
     // Fig. 4(b): adaptive look-ahead stores next-router options per
     // candidate (n^2 fields vs n).
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     EXPECT_GT(entryBits(m, {true, true}), entryBits(m, {true, false}));
     // Deterministic look-ahead still stores a single port.
     EXPECT_EQ(entryBits(m, {false, true}), entryBits(m, {false, false}));
@@ -88,7 +88,7 @@ TEST(StorageCost, BitsPerRouterOrdering)
 {
     // Table 5's qualitative ordering for a large 2-D mesh:
     // interval < ES < meta << full.
-    const MeshTopology m = MeshTopology::square2d(32);
+    const Topology m = makeSquareMesh(32);
     const TableFeatures f{true, false};
     const auto full = fullTableCost(m, f).bitsPerRouter();
     const auto meta = metaTableCost(m, 32, f).bitsPerRouter();
@@ -101,7 +101,7 @@ TEST(StorageCost, BitsPerRouterOrdering)
 
 TEST(TableFactory, BuildsEveryKindForDuato)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const RoutingAlgorithmPtr duato =
         makeRoutingAlgorithm(RoutingAlgo::DuatoFullyAdaptive, m);
     for (TableKind kind :
@@ -118,7 +118,7 @@ TEST(TableFactory, BuildsEveryKindForDuato)
 
 TEST(TableFactory, IntervalNeedsDeterministic)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     const RoutingAlgorithmPtr duato =
         makeRoutingAlgorithm(RoutingAlgo::DuatoFullyAdaptive, m);
     EXPECT_THROW(makeRoutingTable(TableKind::Interval, m, *duato),
@@ -131,7 +131,7 @@ TEST(TableFactory, IntervalNeedsDeterministic)
 TEST(TableFactory, BlockEdgeFallsBackOnOddRadix)
 {
     // radix 6: 6 % 4 != 0, largest dividing edge is 3.
-    const MeshTopology m = MeshTopology::square2d(6);
+    const Topology m = makeSquareMesh(6);
     const RoutingAlgorithmPtr duato =
         makeRoutingAlgorithm(RoutingAlgo::DuatoFullyAdaptive, m);
     EXPECT_NO_THROW(

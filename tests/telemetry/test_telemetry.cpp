@@ -270,7 +270,7 @@ TEST(SpanExport, SimulatedSpansMatchManhattanPaths)
     sim.stepCycles(4000);
     ASSERT_GT(tracer.spansExported(), 20u);
 
-    const MeshTopology topo = MeshTopology::square2d(4);
+    const Topology topo = makeSquareMesh(4);
     std::istringstream lines(os.str());
     std::string line;
     std::size_t checked = 0;

@@ -15,128 +15,128 @@ namespace
 
 TEST(Mesh, BasicGeometry16x16)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     EXPECT_EQ(m.numNodes(), 256);
-    EXPECT_EQ(m.dims(), 2);
+    EXPECT_EQ(m.mesh()->dims(), 2);
     EXPECT_EQ(m.numPorts(), 5); // L, +X, -X, +Y, -Y
     EXPECT_FALSE(m.isTorus());
 }
 
 TEST(Mesh, NodeCoordRoundTrip)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     for (NodeId n = 0; n < m.numNodes(); ++n)
-        EXPECT_EQ(m.coordsToNode(m.nodeToCoords(n)), n);
+        EXPECT_EQ(m.mesh()->coordsToNode(m.mesh()->nodeToCoords(n)), n);
 }
 
 TEST(Mesh, RowMajorNumbering)
 {
     // Paper Fig. 8 labels: node = y*16 + x.
-    const MeshTopology m = MeshTopology::square2d(16);
-    const Coordinates c = m.nodeToCoords(16 * 3 + 5);
+    const Topology m = makeSquareMesh(16);
+    const Coordinates c = m.mesh()->nodeToCoords(16 * 3 + 5);
     EXPECT_EQ(c.at(0), 5);
     EXPECT_EQ(c.at(1), 3);
 }
 
 TEST(Mesh, PortNamesAndGeometry)
 {
-    EXPECT_EQ(MeshTopology::portName(kLocalPort), "L");
-    EXPECT_EQ(MeshTopology::portName(MeshTopology::port(0,
+    EXPECT_EQ(MeshShape::portName(kLocalPort), "L");
+    EXPECT_EQ(MeshShape::portName(MeshShape::port(0,
                                                         Direction::Plus)),
               "+X");
-    EXPECT_EQ(MeshTopology::portName(MeshTopology::port(1,
+    EXPECT_EQ(MeshShape::portName(MeshShape::port(1,
                                                         Direction::Minus)),
               "-Y");
-    EXPECT_EQ(MeshTopology::portDim(3), 1);
-    EXPECT_EQ(MeshTopology::portDir(3), Direction::Plus);
-    EXPECT_EQ(MeshTopology::portDir(4), Direction::Minus);
+    EXPECT_EQ(MeshShape::portDim(3), 1);
+    EXPECT_EQ(MeshShape::portDir(3), Direction::Plus);
+    EXPECT_EQ(MeshShape::portDir(4), Direction::Minus);
 }
 
 TEST(Mesh, OppositePortFlipsDirection)
 {
     for (PortId p = 1; p <= 4; ++p) {
-        const PortId o = MeshTopology::oppositePort(p);
-        EXPECT_EQ(MeshTopology::portDim(o), MeshTopology::portDim(p));
-        EXPECT_NE(MeshTopology::portDir(o), MeshTopology::portDir(p));
-        EXPECT_EQ(MeshTopology::oppositePort(o), p);
+        const PortId o = MeshShape::oppositePort(p);
+        EXPECT_EQ(MeshShape::portDim(o), MeshShape::portDim(p));
+        EXPECT_NE(MeshShape::portDir(o), MeshShape::portDir(p));
+        EXPECT_EQ(MeshShape::oppositePort(o), p);
     }
 }
 
 TEST(Mesh, NeighborsInterior)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
-    const NodeId center = m.coordsToNode(Coordinates(1, 1)); // node 5
-    EXPECT_EQ(m.neighbor(center, MeshTopology::port(0, Direction::Plus)),
-              m.coordsToNode(Coordinates(2, 1)));
-    EXPECT_EQ(m.neighbor(center, MeshTopology::port(0, Direction::Minus)),
-              m.coordsToNode(Coordinates(0, 1)));
-    EXPECT_EQ(m.neighbor(center, MeshTopology::port(1, Direction::Plus)),
-              m.coordsToNode(Coordinates(1, 2)));
-    EXPECT_EQ(m.neighbor(center, MeshTopology::port(1, Direction::Minus)),
-              m.coordsToNode(Coordinates(1, 0)));
+    const Topology m = makeSquareMesh(4);
+    const NodeId center = m.mesh()->coordsToNode(Coordinates(1, 1)); // node 5
+    EXPECT_EQ(m.neighbor(center, MeshShape::port(0, Direction::Plus)),
+              m.mesh()->coordsToNode(Coordinates(2, 1)));
+    EXPECT_EQ(m.neighbor(center, MeshShape::port(0, Direction::Minus)),
+              m.mesh()->coordsToNode(Coordinates(0, 1)));
+    EXPECT_EQ(m.neighbor(center, MeshShape::port(1, Direction::Plus)),
+              m.mesh()->coordsToNode(Coordinates(1, 2)));
+    EXPECT_EQ(m.neighbor(center, MeshShape::port(1, Direction::Minus)),
+              m.mesh()->coordsToNode(Coordinates(1, 0)));
 }
 
 TEST(Mesh, EdgesHaveNoNeighbor)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
-    const NodeId corner = m.coordsToNode(Coordinates(0, 0));
-    EXPECT_EQ(m.neighbor(corner, MeshTopology::port(0, Direction::Minus)),
+    const Topology m = makeSquareMesh(4);
+    const NodeId corner = m.mesh()->coordsToNode(Coordinates(0, 0));
+    EXPECT_EQ(m.neighbor(corner, MeshShape::port(0, Direction::Minus)),
               kInvalidNode);
-    EXPECT_EQ(m.neighbor(corner, MeshTopology::port(1, Direction::Minus)),
+    EXPECT_EQ(m.neighbor(corner, MeshShape::port(1, Direction::Minus)),
               kInvalidNode);
-    EXPECT_NE(m.neighbor(corner, MeshTopology::port(0, Direction::Plus)),
+    EXPECT_NE(m.neighbor(corner, MeshShape::port(0, Direction::Plus)),
               kInvalidNode);
 }
 
 TEST(Mesh, TorusWrapsAround)
 {
-    const MeshTopology t = MeshTopology::square2d(4, true);
-    const NodeId corner = t.coordsToNode(Coordinates(0, 0));
-    EXPECT_EQ(t.neighbor(corner, MeshTopology::port(0, Direction::Minus)),
-              t.coordsToNode(Coordinates(3, 0)));
-    EXPECT_EQ(t.neighbor(corner, MeshTopology::port(1, Direction::Minus)),
-              t.coordsToNode(Coordinates(0, 3)));
+    const Topology t = makeSquareMesh(4, true);
+    const NodeId corner = t.mesh()->coordsToNode(Coordinates(0, 0));
+    EXPECT_EQ(t.neighbor(corner, MeshShape::port(0, Direction::Minus)),
+              t.mesh()->coordsToNode(Coordinates(3, 0)));
+    EXPECT_EQ(t.neighbor(corner, MeshShape::port(1, Direction::Minus)),
+              t.mesh()->coordsToNode(Coordinates(0, 3)));
 }
 
 TEST(Mesh, LocalPortIsSelf)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     EXPECT_EQ(m.neighbor(7, kLocalPort), 7);
 }
 
 TEST(Mesh, NeighborRelationIsSymmetric)
 {
-    const MeshTopology m = MeshTopology::square2d(5);
+    const Topology m = makeSquareMesh(5);
     for (NodeId n = 0; n < m.numNodes(); ++n) {
         for (PortId p = 1; p < m.numPorts(); ++p) {
             const NodeId peer = m.neighbor(n, p);
             if (peer == kInvalidNode)
                 continue;
-            EXPECT_EQ(m.neighbor(peer, MeshTopology::oppositePort(p)), n);
+            EXPECT_EQ(m.neighbor(peer, MeshShape::oppositePort(p)), n);
         }
     }
 }
 
 TEST(Mesh, DistanceIsManhattan)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
-    EXPECT_EQ(m.distance(m.coordsToNode(Coordinates(0, 0)),
-                         m.coordsToNode(Coordinates(7, 7))),
+    const Topology m = makeSquareMesh(8);
+    EXPECT_EQ(m.distance(m.mesh()->coordsToNode(Coordinates(0, 0)),
+                         m.mesh()->coordsToNode(Coordinates(7, 7))),
               14);
     EXPECT_EQ(m.distance(3, 3), 0);
 }
 
 TEST(Mesh, TorusDistanceUsesWrap)
 {
-    const MeshTopology t = MeshTopology::square2d(8, true);
-    EXPECT_EQ(t.distance(t.coordsToNode(Coordinates(0, 0)),
-                         t.coordsToNode(Coordinates(7, 0))),
+    const Topology t = makeSquareMesh(8, true);
+    EXPECT_EQ(t.distance(t.mesh()->coordsToNode(Coordinates(0, 0)),
+                         t.mesh()->coordsToNode(Coordinates(7, 0))),
               1);
 }
 
 TEST(Mesh, ProductivePortsMoveCloser)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
+    const Topology m = makeSquareMesh(8);
     Rng rng(5);
     for (int trial = 0; trial < 500; ++trial) {
         const NodeId a = static_cast<NodeId>(rng.nextBounded(64));
@@ -151,12 +151,12 @@ TEST(Mesh, ProductivePortsMoveCloser)
 
 TEST(Mesh, ProductivePortCountMatchesOffsets)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
-    const NodeId a = m.coordsToNode(Coordinates(2, 2));
-    EXPECT_EQ(m.productivePorts(a, m.coordsToNode(Coordinates(5, 6)))
+    const Topology m = makeSquareMesh(8);
+    const NodeId a = m.mesh()->coordsToNode(Coordinates(2, 2));
+    EXPECT_EQ(m.productivePorts(a, m.mesh()->coordsToNode(Coordinates(5, 6)))
                   .size(),
               2u);
-    EXPECT_EQ(m.productivePorts(a, m.coordsToNode(Coordinates(5, 2)))
+    EXPECT_EQ(m.productivePorts(a, m.mesh()->coordsToNode(Coordinates(5, 2)))
                   .size(),
               1u);
     EXPECT_TRUE(m.productivePorts(a, a).empty());
@@ -164,58 +164,59 @@ TEST(Mesh, ProductivePortCountMatchesOffsets)
 
 TEST(Mesh, ProductivePortInDimExact)
 {
-    const MeshTopology m = MeshTopology::square2d(8);
-    const NodeId a = m.coordsToNode(Coordinates(4, 4));
-    const NodeId b = m.coordsToNode(Coordinates(2, 6));
-    EXPECT_EQ(m.productivePortInDim(a, b, 0),
-              MeshTopology::port(0, Direction::Minus));
-    EXPECT_EQ(m.productivePortInDim(a, b, 1),
-              MeshTopology::port(1, Direction::Plus));
-    EXPECT_EQ(m.productivePortInDim(a, a, 0), kInvalidPort);
+    const Topology m = makeSquareMesh(8);
+    const NodeId a = m.mesh()->coordsToNode(Coordinates(4, 4));
+    const NodeId b = m.mesh()->coordsToNode(Coordinates(2, 6));
+    EXPECT_EQ(m.mesh()->productivePortInDim(a, b, 0),
+              MeshShape::port(0, Direction::Minus));
+    EXPECT_EQ(m.mesh()->productivePortInDim(a, b, 1),
+              MeshShape::port(1, Direction::Plus));
+    EXPECT_EQ(m.mesh()->productivePortInDim(a, a, 0), kInvalidPort);
 }
 
 TEST(Mesh, BisectionChannels)
 {
     // k x k mesh: 2k unidirectional channels cross the bisection.
-    EXPECT_EQ(MeshTopology::square2d(16).bisectionChannels(), 32);
-    EXPECT_EQ(MeshTopology::square2d(8).bisectionChannels(), 16);
+    EXPECT_EQ(makeSquareMesh(16).bisectionChannels(), 32);
+    EXPECT_EQ(makeSquareMesh(8).bisectionChannels(), 16);
     // Torus doubles it with wrap links.
-    EXPECT_EQ(MeshTopology::square2d(16, true).bisectionChannels(), 64);
+    EXPECT_EQ(makeSquareMesh(16, true).bisectionChannels(), 64);
 }
 
 TEST(Mesh, BisectionSaturationRate)
 {
     // 16x16: 2 * 32 / 256 = 0.25 flits/node/cycle (Section 2.2).
     EXPECT_DOUBLE_EQ(
-        MeshTopology::square2d(16).bisectionSaturationFlitRate(), 0.25);
+        makeSquareMesh(16).bisectionSaturationFlitRate(), 0.25);
 }
 
 TEST(Mesh, ThreeDimensionalGeometry)
 {
-    const MeshTopology m = MeshTopology::cube3d(4);
+    const Topology m = makeCubeMesh(4);
     EXPECT_EQ(m.numNodes(), 64);
     EXPECT_EQ(m.numPorts(), 7);
-    const NodeId n = m.coordsToNode(Coordinates(1, 2, 3));
-    EXPECT_EQ(m.nodeToCoords(n).at(2), 3);
-    EXPECT_EQ(m.neighbor(n, MeshTopology::port(2, Direction::Minus)),
-              m.coordsToNode(Coordinates(1, 2, 2)));
+    const NodeId n = m.mesh()->coordsToNode(Coordinates(1, 2, 3));
+    EXPECT_EQ(m.mesh()->nodeToCoords(n).at(2), 3);
+    EXPECT_EQ(m.neighbor(n, MeshShape::port(2, Direction::Minus)),
+              m.mesh()->coordsToNode(Coordinates(1, 2, 2)));
 }
 
 TEST(Mesh, RectangularRadices)
 {
-    const MeshTopology m({8, 4}, false);
+    const Topology m = makeMeshTopology({8, 4}, false);
     EXPECT_EQ(m.numNodes(), 32);
-    EXPECT_EQ(m.radix(0), 8);
-    EXPECT_EQ(m.radix(1), 4);
+    EXPECT_EQ(m.mesh()->radix(0), 8);
+    EXPECT_EQ(m.mesh()->radix(1), 4);
     // Bisection cuts the larger dimension: slice = 4 nodes -> 8 chans.
     EXPECT_EQ(m.bisectionChannels(), 8);
 }
 
 TEST(Mesh, RejectsBadConfigs)
 {
-    EXPECT_THROW(MeshTopology({}, false), ConfigError);
-    EXPECT_THROW(MeshTopology({1, 4}, false), ConfigError);
-    EXPECT_THROW(MeshTopology({2, 2, 2, 2, 2}, false), ConfigError);
+    EXPECT_THROW(makeMeshTopology({}, false), ConfigError);
+    EXPECT_THROW(makeMeshTopology({1, 4}, false), ConfigError);
+    EXPECT_THROW(makeMeshTopology({2, 2, 2, 2, 2}, false),
+                 ConfigError);
 }
 
 } // namespace

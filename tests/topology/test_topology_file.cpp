@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the topology file loader and the --topology spec parser:
+ * every malformed input names the file and line (or the offending
+ * flag), and the canonical dump round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "topology/spec.hpp"
+#include "topology/topology_file.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+Topology
+load(const std::string& text)
+{
+    std::istringstream is(text);
+    return loadTopology(is, "fab.topo");
+}
+
+/** Expect loadTopology(text) to throw with 'expected' in the message. */
+void
+expectLoadError(const std::string& text, const std::string& expected)
+{
+    try {
+        load(text);
+        FAIL() << "no ConfigError for: " << text;
+    } catch (const ConfigError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(expected), std::string::npos)
+            << "message '" << msg << "' lacks '" << expected << "'";
+        // The file label must appear exactly once — no re-wrapped
+        // "path:line: path:line:" prefixes.
+        EXPECT_EQ(msg.find("fab.topo"), msg.rfind("fab.topo")) << msg;
+    }
+}
+
+TEST(TopologyFile, LoadsMinimalGraph)
+{
+    const Topology t = load("nodes 2\n"
+                            "ports 2\n"
+                            "link 0:1 1:1\n");
+    EXPECT_EQ(t.numNodes(), 2);
+    EXPECT_EQ(t.numPorts(), 2);
+    EXPECT_EQ(t.neighbor(0, 1), 1);
+    EXPECT_EQ(t.peerPort(0, 1), 1);
+    EXPECT_EQ(t.numEndpoints(), 2);
+    EXPECT_EQ(t.bisectionChannels(), 2); // median cut over 0|1
+}
+
+TEST(TopologyFile, CommentsAndBlankLinesIgnored)
+{
+    const Topology t = load("# a fabric\n"
+                            "nodes 2   # two routers\n"
+                            "\n"
+                            "ports 2\n"
+                            "link 0:1 1:1  # the only wire\n");
+    EXPECT_EQ(t.numNodes(), 2);
+    EXPECT_EQ(t.neighbor(1, 1), 0);
+}
+
+TEST(TopologyFile, EndpointsAndBisectionDirectives)
+{
+    const Topology t = load("nodes 3\n"
+                            "ports 3\n"
+                            "link 0:1 1:1\n"
+                            "link 1:2 2:1\n"
+                            "endpoints 0 2\n"
+                            "bisection 5\n");
+    EXPECT_EQ(t.numEndpoints(), 2);
+    EXPECT_EQ(t.endpoint(0), 0);
+    EXPECT_EQ(t.endpoint(1), 2);
+    EXPECT_FALSE(t.isEndpoint(1));
+    EXPECT_EQ(t.bisectionChannels(), 5);
+}
+
+TEST(TopologyFile, EndpointsDirectiveIsRepeatable)
+{
+    const Topology t = load("nodes 3\n"
+                            "ports 3\n"
+                            "link 0:1 1:1\n"
+                            "link 1:2 2:1\n"
+                            "endpoints 0\n"
+                            "endpoints 2\n");
+    EXPECT_EQ(t.numEndpoints(), 2);
+}
+
+TEST(TopologyFile, ErrorsNameFileAndLine)
+{
+    // Line 3 holds the broken link directive.
+    expectLoadError("nodes 2\n"
+                    "ports 2\n"
+                    "link 0:1\n",
+                    "fab.topo:3: 'link' wants two NODE:PORT ends");
+}
+
+TEST(TopologyFile, RejectsDirectiveBeforeHeader)
+{
+    expectLoadError("link 0:1 1:1\n",
+                    "fab.topo:1: 'link' before the 'nodes' and "
+                    "'ports' header");
+}
+
+TEST(TopologyFile, RejectsMissingHeader)
+{
+    expectLoadError("# nothing but comments\n",
+                    "fab.topo: missing 'nodes' / 'ports' header");
+    expectLoadError("nodes 4\n", "missing 'nodes' / 'ports' header");
+}
+
+TEST(TopologyFile, RejectsDuplicateHeader)
+{
+    expectLoadError("nodes 2\nnodes 2\n",
+                    "fab.topo:2: duplicate 'nodes' directive");
+    expectLoadError("nodes 2\nports 2\nports 2\n",
+                    "fab.topo:3: duplicate 'ports' directive");
+}
+
+TEST(TopologyFile, RejectsBadCounts)
+{
+    expectLoadError("nodes 0\n", "node count must be >= 1");
+    expectLoadError("nodes two\n",
+                    "bad node count 'two' (want a non-negative "
+                    "integer)");
+    expectLoadError("nodes 2\nports 1\n",
+                    "port count must be >= 2");
+}
+
+TEST(TopologyFile, RejectsBadLinkEnds)
+{
+    const std::string header = "nodes 2\nports 3\n";
+    expectLoadError(header + "link 01 1:1\n",
+                    "bad link end '01' (want NODE:PORT)");
+    expectLoadError(header + "link 0:0 1:1\n",
+                    "link end '0:0' uses the local port 0");
+    expectLoadError(header + "link 0:1 5:1\n",
+                    "link node 5 out of range (max 1)");
+    expectLoadError(header + "link 0:1 1:9\n",
+                    "link port 9 out of range (max 2)");
+    // connect() rejections are re-labelled with the file position.
+    expectLoadError(header + "link 0:1 1:1\nlink 0:1 1:2\n",
+                    "fab.topo:4:");
+}
+
+TEST(TopologyFile, RejectsUnknownDirective)
+{
+    expectLoadError("nodes 2\nports 2\nwires 0:1 1:1\n",
+                    "fab.topo:3: unknown directive 'wires'");
+}
+
+TEST(TopologyFile, RejectsDisconnectedGraph)
+{
+    // Two isolated nodes: the load-time connectivity check fires and
+    // is labelled with the path.
+    expectLoadError("nodes 2\nports 2\n", "fab.topo: ");
+}
+
+TEST(TopologyFile, RejectsBadEndpointList)
+{
+    const std::string body = "nodes 2\nports 2\nlink 0:1 1:1\n";
+    expectLoadError(body + "endpoints\n",
+                    "fab.topo:4: 'endpoints' wants node ids");
+    expectLoadError(body + "endpoints 7\n",
+                    "endpoint node 7 out of range (max 1)");
+}
+
+TEST(TopologyFile, RejectsBadBisection)
+{
+    const std::string body = "nodes 2\nports 2\nlink 0:1 1:1\n";
+    expectLoadError(body + "bisection 0\n",
+                    "bisection channel count must be >= 1");
+    expectLoadError(body + "bisection 1\nbisection 1\n",
+                    "fab.topo:5: duplicate 'bisection' directive");
+}
+
+TEST(TopologyFile, MissingFileNamesPath)
+{
+    try {
+        loadTopologyFile("/nonexistent/fab.topo");
+        FAIL() << "no ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "cannot open topology file '/nonexistent/"
+                      "fab.topo'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TopologySpecParse, CanonicalTokensRoundTrip)
+{
+    for (const std::string token :
+         {"mesh", "torus", "fattree4x3", "fattree2x5",
+          "dragonfly6x2x12", "file:fab.topo"}) {
+        EXPECT_EQ(parseTopologySpec("--topology", token).str(), token);
+    }
+}
+
+TEST(TopologySpecParse, DefaultsFillOmittedDims)
+{
+    const TopologySpec ft = parseTopologySpec("--topology", "fattree");
+    EXPECT_EQ(ft.kind, TopologyKind::FatTree);
+    EXPECT_EQ(ft.str(), "fattree4x3");
+    const TopologySpec df =
+        parseTopologySpec("--topology", "dragonfly");
+    EXPECT_EQ(df.kind, TopologyKind::Dragonfly);
+    EXPECT_EQ(df.str(), "dragonfly6x2x12");
+}
+
+TEST(TopologySpecParse, MeshKinds)
+{
+    EXPECT_TRUE(parseTopologySpec("--topology", "mesh").isMeshKind());
+    EXPECT_TRUE(parseTopologySpec("--topology", "torus").isMeshKind());
+    EXPECT_FALSE(
+        parseTopologySpec("--topology", "fattree").isMeshKind());
+}
+
+/** Expect parseTopologySpec to reject 'token', naming 'flag'. */
+void
+expectSpecError(const std::string& flag, const std::string& token)
+{
+    try {
+        parseTopologySpec(flag, token);
+        FAIL() << "no ConfigError for: " << token;
+    } catch (const ConfigError& e) {
+        const std::string msg = e.what();
+        EXPECT_EQ(msg.rfind("bad " + flag + " value '" + token + "'",
+                            0),
+                  0u)
+            << msg;
+    }
+}
+
+TEST(TopologySpecParse, ErrorsNameTheFlag)
+{
+    expectSpecError("--topology", "hypercube");
+    expectSpecError("--topology", "fattree4");
+    expectSpecError("--topology", "fattree4x3x2");
+    expectSpecError("--topology", "fattreeKxN");
+    expectSpecError("--topology", "dragonfly6x2");
+    expectSpecError("--topology", "dragonfly6x0x12");
+    expectSpecError("--topology", "file:");
+    // The grid axis reuses the parser with its own label.
+    expectSpecError("topology", "ring");
+}
+
+} // namespace
+} // namespace lapses

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Structural invariants every topology generator must satisfy
+ * (DESIGN.md "Port-graph topology contract"): link symmetry, port
+ * consistency, full connectivity, distance() against a BFS oracle,
+ * productive ports strictly closing the distance, a well-formed
+ * endpoint set, and pinned bisection counts. The up*-down* spanning
+ * tree gets its own invariants (order/interval consistency), and the
+ * file format round-trips dump -> load -> identical dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/dragonfly.hpp"
+#include "topology/fattree.hpp"
+#include "topology/mesh.hpp"
+#include "topology/topology_file.hpp"
+
+namespace lapses
+{
+namespace
+{
+
+/** Text form of the irregular test fabric: a 6-ring with two spurs
+ *  and a chord, plus a restricted endpoint set. */
+const char* kIrregularText = "nodes 10\n"
+                             "ports 5\n"
+                             "link 0:1 1:2\n"
+                             "link 1:1 2:2\n"
+                             "link 2:1 3:2\n"
+                             "link 3:1 4:2\n"
+                             "link 4:1 5:2\n"
+                             "link 5:1 0:2\n"
+                             "link 0:3 6:1\n"
+                             "link 6:2 7:1\n"
+                             "link 3:3 8:1\n"
+                             "link 8:2 9:1\n"
+                             "link 1:3 4:3\n"
+                             "endpoints 0 1 2 3 4 5 7 9\n";
+
+Topology
+irregular()
+{
+    std::istringstream is(kIrregularText);
+    return loadTopology(is, "irregular");
+}
+
+/** The generator panel the invariants run over. */
+std::vector<std::pair<std::string, Topology>>
+panel()
+{
+    std::vector<std::pair<std::string, Topology>> topos;
+    topos.emplace_back("mesh4x4", makeSquareMesh(4));
+    topos.emplace_back("torus4x4", makeSquareMesh(4, true));
+    topos.emplace_back("mesh3x5", makeMeshTopology({3, 5}, false));
+    topos.emplace_back("cube3", makeCubeMesh(3));
+    topos.emplace_back("fattree2x2", makeFatTreeTopology(2, 2));
+    topos.emplace_back("fattree4x2", makeFatTreeTopology(4, 2));
+    topos.emplace_back("fattree2x3", makeFatTreeTopology(2, 3));
+    topos.emplace_back("dragonfly2x1x3", makeDragonflyTopology(2, 1, 3));
+    topos.emplace_back("dragonfly6x2x12",
+                       makeDragonflyTopology(6, 2, 12));
+    topos.emplace_back("irregular-file", irregular());
+    return topos;
+}
+
+/** Plain BFS oracle, independent of Topology::distancesFrom. */
+std::vector<int>
+bfsOracle(const Topology& topo, NodeId src)
+{
+    std::vector<int> dist(static_cast<std::size_t>(topo.numNodes()),
+                          -1);
+    std::queue<NodeId> q;
+    dist[static_cast<std::size_t>(src)] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        const NodeId u = q.front();
+        q.pop();
+        for (PortId p = 1; p < topo.numPorts(); ++p) {
+            const NodeId v = topo.neighbor(u, p);
+            if (v == kInvalidNode ||
+                dist[static_cast<std::size_t>(v)] >= 0)
+                continue;
+            dist[static_cast<std::size_t>(v)] =
+                dist[static_cast<std::size_t>(u)] + 1;
+            q.push(v);
+        }
+    }
+    return dist;
+}
+
+TEST(TopologyInvariants, LinkSymmetry)
+{
+    for (const auto& [name, topo] : panel()) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            for (PortId p = 1; p < topo.numPorts(); ++p) {
+                const NodeId peer = topo.neighbor(n, p);
+                if (peer == kInvalidNode) {
+                    EXPECT_EQ(topo.peerPort(n, p), kInvalidPort)
+                        << name;
+                    continue;
+                }
+                const PortId back = topo.peerPort(n, p);
+                ASSERT_NE(back, kInvalidPort) << name;
+                EXPECT_EQ(topo.neighbor(peer, back), n)
+                    << name << " node " << n << " port " << int(p);
+                EXPECT_EQ(topo.peerPort(peer, back), p)
+                    << name << " node " << n << " port " << int(p);
+                EXPECT_NE(peer, n) << name << ": self-link";
+            }
+        }
+    }
+}
+
+TEST(TopologyInvariants, LocalPortIsSelf)
+{
+    for (const auto& [name, topo] : panel()) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            EXPECT_EQ(topo.neighbor(n, kLocalPort), n) << name;
+            EXPECT_EQ(topo.peerPort(n, kLocalPort), kLocalPort)
+                << name;
+        }
+    }
+}
+
+TEST(TopologyInvariants, FullyConnected)
+{
+    for (const auto& [name, topo] : panel()) {
+        const std::vector<int> dist = bfsOracle(topo, 0);
+        for (NodeId n = 0; n < topo.numNodes(); ++n)
+            EXPECT_GE(dist[static_cast<std::size_t>(n)], 0)
+                << name << " node " << n << " unreachable";
+    }
+}
+
+TEST(TopologyInvariants, DistanceMatchesBfsOracle)
+{
+    for (const auto& [name, topo] : panel()) {
+        for (NodeId a = 0; a < topo.numNodes(); ++a) {
+            const std::vector<int> dist = bfsOracle(topo, a);
+            const std::vector<std::int32_t> field =
+                topo.distancesFrom(a);
+            for (NodeId b = 0; b < topo.numNodes(); ++b) {
+                EXPECT_EQ(topo.distance(a, b),
+                          dist[static_cast<std::size_t>(b)])
+                    << name << ' ' << a << "->" << b;
+                EXPECT_EQ(field[static_cast<std::size_t>(b)],
+                          dist[static_cast<std::size_t>(b)])
+                    << name << ' ' << a << "->" << b;
+            }
+        }
+    }
+}
+
+TEST(TopologyInvariants, ProductivePortsStrictlyCloser)
+{
+    for (const auto& [name, topo] : panel()) {
+        for (NodeId a = 0; a < topo.numNodes(); ++a) {
+            for (NodeId b = 0; b < topo.numNodes(); ++b) {
+                const std::vector<PortId> ports =
+                    topo.productivePorts(a, b);
+                if (a == b) {
+                    EXPECT_TRUE(ports.empty()) << name;
+                    continue;
+                }
+                ASSERT_FALSE(ports.empty())
+                    << name << ' ' << a << "->" << b;
+                for (PortId p : ports) {
+                    const NodeId next = topo.neighbor(a, p);
+                    ASSERT_NE(next, kInvalidNode) << name;
+                    EXPECT_EQ(topo.distance(next, b),
+                              topo.distance(a, b) - 1)
+                        << name << ' ' << a << "->" << b << " via "
+                        << int(p);
+                }
+            }
+        }
+    }
+}
+
+TEST(TopologyInvariants, EndpointSetConsistent)
+{
+    for (const auto& [name, topo] : panel()) {
+        ASSERT_GE(topo.numEndpoints(), 1) << name;
+        ASSERT_LE(topo.numEndpoints(), topo.numNodes()) << name;
+        NodeId prev = -1;
+        for (NodeId i = 0; i < topo.numEndpoints(); ++i) {
+            const NodeId node = topo.endpoint(i);
+            EXPECT_GT(node, prev) << name << ": not ascending";
+            prev = node;
+            EXPECT_TRUE(topo.contains(node)) << name;
+            EXPECT_TRUE(topo.isEndpoint(node)) << name;
+            EXPECT_EQ(topo.endpointIndex(node), i) << name;
+        }
+        // Non-endpoints report kInvalidNode.
+        NodeId count = 0;
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (topo.isEndpoint(n))
+                ++count;
+            else
+                EXPECT_EQ(topo.endpointIndex(n), kInvalidNode) << name;
+        }
+        EXPECT_EQ(count, topo.numEndpoints()) << name;
+    }
+}
+
+TEST(TopologyInvariants, FatTreeHostsFirst)
+{
+    // k-ary n-tree: k^n hosts numbered 0..k^n-1, all endpoints.
+    const Topology ft = makeFatTreeTopology(4, 3);
+    EXPECT_EQ(ft.numEndpoints(), 64);
+    for (NodeId i = 0; i < 64; ++i)
+        EXPECT_EQ(ft.endpoint(i), i);
+    EXPECT_FALSE(ft.isEndpoint(64)); // first switch
+}
+
+TEST(TopologyInvariants, PinnedBisections)
+{
+    // Mesh/torus: analytic channel counts across the larger-dim cut.
+    EXPECT_EQ(makeSquareMesh(16).bisectionChannels(), 32);
+    EXPECT_EQ(makeSquareMesh(16, true).bisectionChannels(), 64);
+    // Fat tree: full bisection, hosts/2 channels each way.
+    EXPECT_EQ(makeFatTreeTopology(4, 2).bisectionChannels(), 8);
+    EXPECT_EQ(makeFatTreeTopology(4, 3).bisectionChannels(), 32);
+    EXPECT_EQ(makeFatTreeTopology(2, 3).bisectionChannels(), 4);
+    // Dragonfly: the median node cut over global + local links.
+    const Topology df = makeDragonflyTopology(6, 2, 12);
+    EXPECT_EQ(df.bisectionChannels(), df.medianCutChannels());
+    EXPECT_GT(df.bisectionChannels(), 0);
+    // Saturation normalization follows 2 * bisection / endpoints.
+    EXPECT_DOUBLE_EQ(
+        makeFatTreeTopology(4, 2).bisectionSaturationFlitRate(), 1.0);
+}
+
+TEST(TopologyInvariants, MeshCapabilityPresence)
+{
+    EXPECT_NE(makeSquareMesh(4).mesh(), nullptr);
+    EXPECT_TRUE(makeSquareMesh(4, true).isTorus());
+    EXPECT_EQ(makeFatTreeTopology(4, 2).mesh(), nullptr);
+    EXPECT_EQ(makeDragonflyTopology(2, 1, 3).mesh(), nullptr);
+    EXPECT_EQ(irregular().mesh(), nullptr);
+}
+
+TEST(TopologyInvariants, SpanningTreeWellFormed)
+{
+    for (const auto& [name, topo] : panel()) {
+        const SpanningTree& tree = topo.spanningTree();
+        const auto n = static_cast<std::size_t>(topo.numNodes());
+        ASSERT_EQ(tree.parentNode.size(), n) << name;
+        ASSERT_EQ(tree.order.size(), n) << name;
+        EXPECT_EQ(tree.parentNode[0], kInvalidNode) << name;
+        EXPECT_EQ(tree.order[0], 0) << name;
+        for (NodeId v = 1; v < topo.numNodes(); ++v) {
+            const auto i = static_cast<std::size_t>(v);
+            const NodeId parent = tree.parentNode[i];
+            ASSERT_NE(parent, kInvalidNode) << name;
+            // The recorded ports really wire child <-> parent.
+            EXPECT_EQ(topo.neighbor(v, tree.parentPort[i]), parent)
+                << name << " node " << v;
+            EXPECT_EQ(topo.neighbor(parent, tree.parentDownPort[i]), v)
+                << name << " node " << v;
+            // BFS discovery order orients every tree edge upward.
+            EXPECT_LT(tree.order[static_cast<std::size_t>(parent)],
+                      tree.order[i])
+                << name << " node " << v;
+            // DFS intervals nest strictly inside the parent's.
+            EXPECT_TRUE(tree.inSubtree(parent, v)) << name;
+            EXPECT_FALSE(tree.inSubtree(v, parent)) << name;
+        }
+    }
+}
+
+TEST(TopologyInvariants, ConnectRejectsBadWiring)
+{
+    Topology t(4, 3);
+    t.connect({0, 1}, {1, 1});
+    // Port already in use.
+    EXPECT_THROW(t.connect({0, 1}, {2, 1}), ConfigError);
+    // Self-link.
+    EXPECT_THROW(t.connect({2, 1}, {2, 2}), ConfigError);
+    // Local port.
+    EXPECT_THROW(t.connect({2, 0}, {3, 1}), ConfigError);
+    // Out of range.
+    EXPECT_THROW(t.connect({2, 1}, {4, 1}), ConfigError);
+    EXPECT_THROW(t.connect({2, 3}, {3, 1}), ConfigError);
+}
+
+TEST(TopologyInvariants, DisconnectedGraphRejected)
+{
+    Topology t(4, 3);
+    t.connect({0, 1}, {1, 1});
+    t.connect({2, 1}, {3, 1});
+    EXPECT_THROW(t.spanningTree(), ConfigError);
+}
+
+TEST(TopologyFileRoundTrip, DumpLoadIdentical)
+{
+    for (const auto& [name, topo] : panel()) {
+        std::ostringstream first;
+        dumpTopology(topo, first);
+        std::istringstream is(first.str());
+        const Topology reloaded = loadTopology(is, name);
+
+        ASSERT_EQ(reloaded.numNodes(), topo.numNodes()) << name;
+        ASSERT_EQ(reloaded.numPorts(), topo.numPorts()) << name;
+        EXPECT_EQ(reloaded.numEndpoints(), topo.numEndpoints())
+            << name;
+        EXPECT_EQ(reloaded.bisectionChannels(),
+                  topo.bisectionChannels())
+            << name;
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            for (PortId p = 1; p < topo.numPorts(); ++p) {
+                EXPECT_EQ(reloaded.neighbor(n, p), topo.neighbor(n, p))
+                    << name;
+                EXPECT_EQ(reloaded.peerPort(n, p), topo.peerPort(n, p))
+                    << name;
+            }
+        }
+        // Second dump is byte-identical: the canonical form is a
+        // fixed point.
+        std::ostringstream second;
+        dumpTopology(reloaded, second);
+        EXPECT_EQ(first.str(), second.str()) << name;
+    }
+}
+
+} // namespace
+} // namespace lapses

@@ -155,7 +155,7 @@ TEST(Injection, RejectsBadRates)
 
 TEST(LoadModel, FlitRateAtFullLoadIsBisectionRate)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     // Section 2.2 normalization: load 1.0 = 4k/N = 0.25 flits/node/cyc.
     EXPECT_DOUBLE_EQ(flitRateForLoad(m, 1.0), 0.25);
     EXPECT_DOUBLE_EQ(flitRateForLoad(m, 0.4), 0.1);
@@ -163,15 +163,15 @@ TEST(LoadModel, FlitRateAtFullLoadIsBisectionRate)
 
 TEST(LoadModel, MsgRateDividesByLength)
 {
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     EXPECT_DOUBLE_EQ(msgRateForLoad(m, 1.0, 20), 0.0125);
     EXPECT_DOUBLE_EQ(msgRateForLoad(m, 0.2, 5), 0.01);
 }
 
 TEST(LoadModel, SmallerMeshHasHigherPerNodeCapacity)
 {
-    const MeshTopology m8 = MeshTopology::square2d(8);
-    const MeshTopology m16 = MeshTopology::square2d(16);
+    const Topology m8 = makeSquareMesh(8);
+    const Topology m16 = makeSquareMesh(16);
     EXPECT_GT(flitRateForLoad(m8, 1.0), flitRateForLoad(m16, 1.0));
 }
 

@@ -17,9 +17,9 @@ namespace
 class PatternTest : public ::testing::Test
 {
   protected:
-    PatternTest() : mesh(MeshTopology::square2d(16)), rng(1) {}
+    PatternTest() : mesh(makeSquareMesh(16)), rng(1) {}
 
-    MeshTopology mesh;
+    Topology mesh;
     Rng rng;
 };
 
@@ -45,16 +45,16 @@ TEST_F(PatternTest, TransposeSwapsCoordinates)
 {
     const TrafficPatternPtr p =
         makeTrafficPattern(TrafficKind::Transpose, mesh);
-    const NodeId src = mesh.coordsToNode(Coordinates(3, 11));
+    const NodeId src = mesh.mesh()->coordsToNode(Coordinates(3, 11));
     const NodeId d = p->pick(src, rng);
-    EXPECT_EQ(d, mesh.coordsToNode(Coordinates(11, 3)));
+    EXPECT_EQ(d, mesh.mesh()->coordsToNode(Coordinates(11, 3)));
 }
 
 TEST_F(PatternTest, TransposeDiagonalIsSilent)
 {
     const TrafficPatternPtr p =
         makeTrafficPattern(TrafficKind::Transpose, mesh);
-    const NodeId diag = mesh.coordsToNode(Coordinates(5, 5));
+    const NodeId diag = mesh.mesh()->coordsToNode(Coordinates(5, 5));
     EXPECT_EQ(p->pick(diag, rng), kInvalidNode);
 }
 
@@ -105,19 +105,19 @@ TEST_F(PatternTest, TornadoOffsetsHalfRadix)
 {
     const TrafficPatternPtr p =
         makeTrafficPattern(TrafficKind::Tornado, mesh);
-    const NodeId src = mesh.coordsToNode(Coordinates(2, 3));
+    const NodeId src = mesh.mesh()->coordsToNode(Coordinates(2, 3));
     // k/2 - 1 = 7 offset per dimension, modulo 16.
     EXPECT_EQ(p->pick(src, rng),
-              mesh.coordsToNode(Coordinates(9, 10)));
+              mesh.mesh()->coordsToNode(Coordinates(9, 10)));
 }
 
 TEST_F(PatternTest, NeighborStepsAlongX)
 {
     const TrafficPatternPtr p =
         makeTrafficPattern(TrafficKind::Neighbor, mesh);
-    const NodeId src = mesh.coordsToNode(Coordinates(15, 4));
+    const NodeId src = mesh.mesh()->coordsToNode(Coordinates(15, 4));
     EXPECT_EQ(p->pick(src, rng),
-              mesh.coordsToNode(Coordinates(0, 4))); // wraps label
+              mesh.mesh()->coordsToNode(Coordinates(0, 4))); // wraps label
 }
 
 TEST_F(PatternTest, HotspotFractionReached)
@@ -139,7 +139,7 @@ TEST_F(PatternTest, HotspotDefaultsToMeshCenter)
 {
     const TrafficPatternPtr p =
         makeTrafficPattern(TrafficKind::Hotspot, mesh);
-    const NodeId center = mesh.coordsToNode(Coordinates(8, 8));
+    const NodeId center = mesh.mesh()->coordsToNode(Coordinates(8, 8));
     int hits = 0;
     for (int i = 0; i < 10000; ++i)
         hits += (p->pick(3, rng) == center) ? 1 : 0;
@@ -160,14 +160,14 @@ TEST_F(PatternTest, NamesMatchFactoryKinds)
 
 TEST(PatternErrors, TransposeNeedsSquareMesh)
 {
-    const MeshTopology rect({8, 4}, false);
+    const Topology rect = makeMeshTopology({8, 4}, false);
     EXPECT_THROW(makeTrafficPattern(TrafficKind::Transpose, rect),
                  ConfigError);
 }
 
 TEST(PatternErrors, BitPatternsNeedPowerOfTwo)
 {
-    const MeshTopology m6 = MeshTopology::square2d(6); // 36 nodes
+    const Topology m6 = makeSquareMesh(6); // 36 nodes
     EXPECT_THROW(makeTrafficPattern(TrafficKind::BitReversal, m6),
                  ConfigError);
     EXPECT_THROW(makeTrafficPattern(TrafficKind::PerfectShuffle, m6),
@@ -178,7 +178,7 @@ TEST(PatternErrors, BitPatternsNeedPowerOfTwo)
 
 TEST(PatternErrors, HotspotValidatesOptions)
 {
-    const MeshTopology m = MeshTopology::square2d(4);
+    const Topology m = makeSquareMesh(4);
     HotspotOptions bad_node;
     bad_node.hotspots = {1000};
     EXPECT_THROW(makeTrafficPattern(TrafficKind::Hotspot, m, bad_node),
@@ -193,7 +193,7 @@ TEST(PatternPermutation, AllBitPatternsArePermutations)
 {
     // Property: every deterministic pattern is a permutation on its
     // injecting set (no two sources share a destination).
-    const MeshTopology m = MeshTopology::square2d(16);
+    const Topology m = makeSquareMesh(16);
     Rng rng(2);
     for (TrafficKind kind :
          {TrafficKind::Transpose, TrafficKind::BitReversal,

@@ -65,7 +65,8 @@ printHelp()
         "                       axes (model|routing|table|selector|\n"
         "                       traffic|injection|msglen|vcs|buffers|\n"
         "                       escape|faults|fault-seed|\n"
-        "                       telemetry-window|load|mesh|series):\n"
+        "                       telemetry-window|load|mesh|topology|\n"
+        "                       series):\n"
         "                       mean/p50/p99 of latency and accepted\n"
         "                       throughput\n"
         "  --agg-out FILE       write the aggregate CSV here [stdout]\n"

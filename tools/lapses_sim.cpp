@@ -42,6 +42,9 @@ printHelp()
         "lapses-sim -- LAPSES adaptive-router network simulator\n"
         "\n"
         "Topology / router (defaults = paper Table 2):\n"
+        "  --topology T         mesh|torus|fattreeKxN|dragonflyAxHxG|\n"
+        "                       file:PATH (README \"Topologies\") "
+        "[mesh]\n"
         "  --mesh KxK[xK]       mesh radices        [16x16]\n"
         "  --torus              wrap links (use --routing "
         "torus-adaptive)\n"
@@ -211,6 +214,11 @@ main(int argc, char** argv)
                 cfg.radices = parseMesh(value());
             } else if (arg == "--torus") {
                 cfg.torus = true;
+            } else if (arg == "--topology") {
+                cfg.topology = parseTopologySpec(arg, value());
+                if (cfg.topology.isMeshKind())
+                    cfg.torus =
+                        cfg.topology.kind == TopologyKind::Torus;
             } else if (arg == "--model") {
                 cfg.model = parseRouterModel(value());
             } else if (arg == "--vcs") {
